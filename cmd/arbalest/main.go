@@ -1,0 +1,226 @@
+// Command arbalest runs a single program under a chosen analysis tool and
+// prints the diagnostics — the command-line experience of the paper's
+// Fig. 7 (ARBALEST's output on 503.postencil).
+//
+// Usage:
+//
+//	arbalest [-tool arbalest] [-list] <program>
+//
+// where <program> is a DRACC benchmark name or ID (e.g. DRACC_OMP_022 or
+// 22), a SPEC-ACCEL workload name (e.g. 503.postencil), or
+// "postencil-buggy" for the §VI-D case study.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/dracc"
+	"repro/internal/omp"
+	"repro/internal/ompt"
+	"repro/internal/specaccel"
+	"repro/internal/tools"
+	"repro/internal/trace"
+)
+
+func main() {
+	tool := flag.String("tool", "arbalest", "analysis tool: arbalest, arbalest-vsm, archer, valgrind, asan, msan")
+	list := flag.Bool("list", false, "list available programs and exit")
+	theorem1 := flag.Bool("theorem1", false, "run the paper's Theorem 1 procedure (race check on the async schedule + VSM with forced-synchronous kernels)")
+	repairFlag := flag.Bool("repair", false, "repair stale accesses on the fly (paper §III-C); implies -tool arbalest-vsm")
+	saveTrace := flag.String("save-trace", "", "record the execution's tool-interface events to this JSON-lines file")
+	replayTrace := flag.String("replay-trace", "", "skip execution: replay a recorded trace file into the chosen tool")
+	flag.Parse()
+
+	if *list {
+		listPrograms()
+		return
+	}
+	if *replayTrace != "" {
+		os.Exit(runReplay(*replayTrace, *tool))
+	}
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: arbalest [-tool name] [-theorem1] <program>   (see -list)")
+		os.Exit(2)
+	}
+	name := flag.Arg(0)
+
+	run, ok := resolve(name)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "arbalest: unknown program %q (see -list)\n", name)
+		os.Exit(2)
+	}
+
+	if *theorem1 {
+		os.Exit(runTheorem1(name, run))
+	}
+
+	if *repairFlag {
+		*tool = "arbalest-vsm"
+	}
+	a, err := tools.New(*tool)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "arbalest:", err)
+		os.Exit(2)
+	}
+	toolSet := []ompt.Tool{a}
+	var recorder *trace.Recorder
+	if *saveTrace != "" {
+		recorder = trace.NewRecorder()
+		toolSet = append(toolSet, recorder)
+	}
+	rt := omp.NewRuntime(omp.Config{NumThreads: 4, ForceSync: strings.HasPrefix(*tool, "arbalest")}, toolSet...)
+	if *repairFlag {
+		if vsm, ok := a.(*core.Arbalest); ok {
+			vsm.AttachRepairer(rt)
+		}
+	}
+	if err := rt.Run(func(c *omp.Context) error {
+		run(c)
+		return nil
+	}); err != nil {
+		fmt.Fprintf(os.Stderr, "note: simulated runtime fault (often part of the bug): %v\n", err)
+	}
+
+	if recorder != nil {
+		if err := writeTrace(*saveTrace, recorder); err != nil {
+			fmt.Fprintln(os.Stderr, "arbalest:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("trace (%d events) written to %s\n", recorder.Len(), *saveTrace)
+	}
+
+	reports := a.Sink().Reports()
+	if len(reports) == 0 {
+		fmt.Printf("%s: no issues detected in %s\n", a.Name(), name)
+		return
+	}
+	for _, r := range reports {
+		fmt.Println(r)
+	}
+	fmt.Printf("%s: %d issue(s) detected in %s\n", a.Name(), len(reports), name)
+	os.Exit(1)
+}
+
+// writeTrace saves a recorded trace to path.
+func writeTrace(path string, rec *trace.Recorder) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return rec.Trace().Save(f)
+}
+
+// runReplay loads a trace file and replays it into the chosen tool.
+func runReplay(path, toolName string) int {
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "arbalest:", err)
+		return 2
+	}
+	defer f.Close()
+	tr, err := trace.Load(f)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "arbalest:", err)
+		return 2
+	}
+	a, err := tools.New(toolName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "arbalest:", err)
+		return 2
+	}
+	if err := tr.Replay(a); err != nil {
+		fmt.Fprintln(os.Stderr, "arbalest:", err)
+		return 2
+	}
+	reports := a.Sink().Reports()
+	fmt.Printf("replayed %d events from %s under %s\n", len(tr.Events), path, a.Name())
+	for _, r := range reports {
+		fmt.Println(r)
+	}
+	if len(reports) == 0 {
+		fmt.Println("no issues detected")
+		return 0
+	}
+	fmt.Printf("%s: %d issue(s) detected\n", a.Name(), len(reports))
+	return 1
+}
+
+// runTheorem1 applies the two-hypothesis procedure of paper §IV-E and
+// returns the process exit code.
+func runTheorem1(name string, run func(c *omp.Context)) int {
+	racer, _ := tools.New("archer")
+	rt := omp.NewRuntime(omp.Config{NumThreads: 4}, racer)
+	_ = rt.Run(func(c *omp.Context) error { run(c); return nil })
+
+	vsm, _ := tools.New("arbalest-vsm")
+	rt = omp.NewRuntime(omp.Config{NumThreads: 4, ForceSync: true}, vsm)
+	_ = rt.Run(func(c *omp.Context) error { run(c); return nil })
+
+	races := racer.Sink().Count()
+	issues := vsm.Sink().Count()
+	verdict := func(n int) string {
+		if n == 0 {
+			return "holds"
+		}
+		return "FAILS"
+	}
+	fmt.Printf("Theorem 1 on %s:\n", name)
+	fmt.Printf("  hypothesis 1 (data-race-free):          %s (%d reports)\n", verdict(races), races)
+	fmt.Printf("  hypothesis 2 (VSM clean, forced sync):  %s (%d reports)\n", verdict(issues), issues)
+	if races == 0 && issues == 0 {
+		fmt.Println("=> free of data mapping issues in ALL schedules")
+		return 0
+	}
+	fmt.Println("=> data mapping issue possible; diagnostics:")
+	for _, r := range racer.Sink().Reports() {
+		fmt.Println(r)
+	}
+	for _, r := range vsm.Sink().Reports() {
+		fmt.Println(r)
+	}
+	return 1
+}
+
+func resolve(name string) (func(c *omp.Context), bool) {
+	if name == "postencil-buggy" {
+		return func(c *omp.Context) { specaccel.RunPostencilBuggy(c, 2) }, true
+	}
+	if w := specaccel.ByName(name); w != nil {
+		return func(c *omp.Context) { _ = w.Run(c, 1) }, true
+	}
+	id := 0
+	if n, err := strconv.Atoi(name); err == nil {
+		id = n
+	} else if strings.HasPrefix(name, "DRACC_OMP_") {
+		if n, err := strconv.Atoi(strings.TrimPrefix(name, "DRACC_OMP_")); err == nil {
+			id = n
+		}
+	}
+	if b := dracc.ByID(id); b != nil {
+		return b.Run, true
+	}
+	return nil, false
+}
+
+func listPrograms() {
+	fmt.Println("DRACC benchmarks:")
+	for _, b := range dracc.All() {
+		marker := " "
+		if b.Defect != dracc.DefectNone {
+			marker = "*"
+		}
+		fmt.Printf("  %s %-14s (%s) %s\n", marker, b.Name(), b.Defect, b.Brief)
+	}
+	fmt.Println("\nSPEC-ACCEL workloads:")
+	for _, w := range specaccel.All() {
+		fmt.Printf("    %-14s %s\n", w.Name, w.Brief)
+	}
+	fmt.Println("    postencil-buggy  the §VI-D pointer-swap case study (paper Figs. 6/7)")
+	fmt.Println("\n(* = known data mapping issue)")
+}

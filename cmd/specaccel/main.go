@@ -1,0 +1,60 @@
+// Command specaccel reproduces the paper's Figs. 8 and 9: it runs the five
+// SPEC-ACCEL-like workloads under the uninstrumented runtime and all five
+// tools, then prints the time-overhead series (slowdown vs native, Fig. 8)
+// and the space-overhead series (peak application + shadow bytes, Fig. 9).
+//
+// Usage:
+//
+//	specaccel [-scale N] [-threads N] [-what time|space|both]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/specaccel"
+)
+
+func main() {
+	scale := flag.Int("scale", 2, "problem-size multiplier")
+	threads := flag.Int("threads", 4, "simulated device threads")
+	what := flag.String("what", "both", "time, space, or both")
+	csvPath := flag.String("csv", "", "also write raw measurements to this CSV file")
+	flag.Parse()
+
+	ms, err := specaccel.RunFig8(*scale, *threads)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "specaccel:", err)
+		os.Exit(1)
+	}
+
+	if *what == "time" || *what == "both" {
+		fmt.Printf("Fig. 8: Time Overhead on SPEC ACCEL (scale=%d, threads=%d)\n\n", *scale, *threads)
+		if err := specaccel.WriteFig8(os.Stdout, ms); err != nil {
+			fmt.Fprintln(os.Stderr, "specaccel:", err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+	if *what == "space" || *what == "both" {
+		fmt.Printf("Fig. 9: Space Overhead on SPEC ACCEL (scale=%d, threads=%d)\n\n", *scale, *threads)
+		if err := specaccel.WriteFig9(os.Stdout, ms); err != nil {
+			fmt.Fprintln(os.Stderr, "specaccel:", err)
+			os.Exit(1)
+		}
+	}
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "specaccel:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := specaccel.WriteCSV(f, ms); err != nil {
+			fmt.Fprintln(os.Stderr, "specaccel:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nraw measurements written to %s\n", *csvPath)
+	}
+}

@@ -1,0 +1,93 @@
+// Multidevice: the (n+1)-tuple state machine extension (paper §IV-C).
+//
+// With more than one accelerator, a variable's state is no longer one of
+// four values: ARBALEST generalizes it to an (n+1)-tuple marking which of
+// the n+1 storage locations (host plus n corresponding variables) holds the
+// last write. This example partitions a grid across two simulated devices
+// and then makes the classic multi-GPU halo mistake: after device 0 updates
+// its half, device 1 reads its stale copy of the halo row without an
+// intervening host round-trip. ARBALEST pinpoints the stale device read;
+// the corrected exchange runs clean.
+//
+// Run with: go run ./examples/multidevice
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/omp"
+	"repro/internal/tools"
+)
+
+const cols = 64
+
+func run(exchangeHalo bool) {
+	det := tools.NewArbalestFull(nil)
+	rt := omp.NewRuntime(omp.Config{NumDevices: 2, NumThreads: 2}, det)
+	_ = rt.Run(func(c *omp.Context) error {
+		grid := c.AllocF64(2*cols, "grid") // row 0 on device 0, row 1 on device 1
+		c.At("halo.c", 1, "init")
+		for i := 0; i < 2*cols; i++ {
+			c.StoreF64(grid, i, float64(i))
+		}
+
+		// Each device holds its own row plus a copy of the other row (the
+		// halo), mapped up front.
+		c.TargetEnterData(omp.Opts{Device: 0, Maps: []omp.Map{omp.To(grid)}, Loc: omp.Loc("halo.c", 5, "main")})
+		c.TargetEnterData(omp.Opts{Device: 1, Maps: []omp.Map{omp.To(grid)}, Loc: omp.Loc("halo.c", 6, "main")})
+
+		// Device 0 relaxes row 0 (reads its halo = row 1).
+		c.Target(omp.Opts{Device: 0, Loc: omp.Loc("halo.c", 9, "main")}, func(k *omp.Context) {
+			k.At("halo.c", 10, "kernel0")
+			for j := 0; j < cols; j++ {
+				k.StoreF64(grid, j, (k.LoadF64(grid, j)+k.LoadF64(grid, cols+j))/2)
+			}
+		})
+
+		if exchangeHalo {
+			// Correct: route device 0's new row through the host to device 1.
+			c.TargetUpdate(omp.UpdateOpts{Device: 0, From: []omp.Map{{Buf: grid, Lo: 0, Hi: cols}}, Loc: omp.Loc("halo.c", 15, "main")})
+			c.TargetUpdate(omp.UpdateOpts{Device: 1, To: []omp.Map{{Buf: grid, Lo: 0, Hi: cols}}, Loc: omp.Loc("halo.c", 16, "main")})
+		}
+		// else BUG: device 1 still holds the pre-relaxation row 0.
+
+		// Device 1 relaxes row 1 (reads its halo = row 0).
+		c.Target(omp.Opts{Device: 1, Loc: omp.Loc("halo.c", 19, "main")}, func(k *omp.Context) {
+			k.At("halo.c", 20, "kernel1")
+			for j := 0; j < cols; j++ {
+				k.StoreF64(grid, cols+j, (k.LoadF64(grid, cols+j)+k.LoadF64(grid, j))/2)
+			}
+		})
+
+		// Tear down: copy each device's row home, then release.
+		c.TargetUpdate(omp.UpdateOpts{Device: 0, From: []omp.Map{{Buf: grid, Lo: 0, Hi: cols}}, Loc: omp.Loc("halo.c", 24, "main")})
+		c.TargetUpdate(omp.UpdateOpts{Device: 1, From: []omp.Map{{Buf: grid, Lo: cols, Hi: 2 * cols}}, Loc: omp.Loc("halo.c", 25, "main")})
+		c.TargetExitData(omp.Opts{Device: 0, Maps: []omp.Map{omp.Release(grid)}, Loc: omp.Loc("halo.c", 26, "main")})
+		c.TargetExitData(omp.Opts{Device: 1, Maps: []omp.Map{omp.Release(grid)}, Loc: omp.Loc("halo.c", 27, "main")})
+
+		c.At("halo.c", 29, "consume")
+		for i := 0; i < 2*cols; i++ {
+			_ = c.LoadF64(grid, i)
+		}
+		return nil
+	})
+
+	label := "without halo exchange (buggy)"
+	if exchangeHalo {
+		label = "with halo exchange (fixed)"
+	}
+	fmt.Printf("=== %s ===\n", label)
+	if reports := det.Sink().Reports(); len(reports) > 0 {
+		for _, r := range reports {
+			fmt.Println(r)
+		}
+	} else {
+		fmt.Println("Arbalest: no data mapping issues detected")
+	}
+	fmt.Println()
+}
+
+func main() {
+	run(false)
+	run(true)
+}

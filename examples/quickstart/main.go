@@ -1,0 +1,83 @@
+// Quickstart: detect your first data mapping issue.
+//
+// This example builds the paper's Fig. 1 program — a matrix-vector product
+// whose matrix is mapped with map(alloc:) where map(to:) was intended — runs
+// it under ARBALEST, and prints the resulting use-of-uninitialized-memory
+// report. It then runs the fixed version to show a clean pass.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/omp"
+	"repro/internal/tools"
+)
+
+const n = 64
+
+// program is Fig. 1: when buggy, array b's CV is allocated but never
+// transferred, so the kernel reads garbage.
+func program(c *omp.Context, buggy bool) {
+	a := c.AllocI64(n, "a")
+	b := c.AllocI64(n*n, "b")
+	out := c.AllocI64(n, "c")
+	c.At("fig1.c", 5, "init")
+	for i := 0; i < n; i++ {
+		c.StoreI64(a, i, int64(i%5))
+		c.StoreI64(out, i, 0)
+	}
+	for i := 0; i < n*n; i++ {
+		c.StoreI64(b, i, 1)
+	}
+
+	bMap := omp.To(b)
+	if buggy {
+		bMap = omp.Alloc(b) // BUG: mapping type should be "to" (Fig. 1 line 9)
+	}
+	c.Target(omp.Opts{
+		Maps: []omp.Map{omp.To(a), bMap, omp.ToFrom(out)},
+		Loc:  omp.Loc("fig1.c", 7, "main"),
+	}, func(k *omp.Context) {
+		k.At("fig1.c", 16, "kernel")
+		k.TeamsDistributeParallelFor(4, n, func(k *omp.Context, i int) {
+			acc := k.LoadI64(out, i)
+			for j := 0; j < n; j++ {
+				acc += k.LoadI64(b, j+i*n) * k.LoadI64(a, j) // data mapping issue
+			}
+			k.StoreI64(out, i, acc)
+		})
+	})
+	c.At("fig1.c", 20, "main")
+	for i := 0; i < n; i++ {
+		_ = c.LoadI64(out, i)
+	}
+}
+
+func runOnce(buggy bool) {
+	detector := tools.NewArbalestFull(nil)
+	rt := omp.NewRuntime(omp.Config{NumThreads: 4}, detector)
+	_ = rt.Run(func(c *omp.Context) error {
+		program(c, buggy)
+		return nil
+	})
+	label := "fixed"
+	if buggy {
+		label = "buggy"
+	}
+	fmt.Printf("=== %s version ===\n", label)
+	if reports := detector.Sink().Reports(); len(reports) > 0 {
+		for _, r := range reports {
+			fmt.Println(r)
+		}
+	} else {
+		fmt.Println("Arbalest: no data mapping issues detected")
+	}
+	fmt.Println()
+}
+
+func main() {
+	runOnce(true)
+	runOnce(false)
+}

@@ -1,0 +1,96 @@
+// Unifiedmemory: the paper's §III-B analysis, executable.
+//
+// With unified memory (a shared virtual address space with on-demand page
+// migration), a program whose map clauses are wrong can still be correct:
+// the device writes land in the same storage the host reads. The paper's
+// point is that unified memory is NOT a general fix — it removes the
+// OV/CV inconsistency only for data-race-free programs, because page
+// migration is a caching mechanism, not synchronization.
+//
+// This example runs the Fig. 2 wrong-map-type program twice:
+//
+//  1. separate memory model — ARBALEST reports the stale access;
+//  2. unified memory model — same program, correct result, no report, and
+//     the runtime's page-migration counters show the mechanism at work;
+//
+// and then a racy unified-memory program, which ARBALEST's race component
+// still flags: unified memory did not make it correct.
+//
+// Run with: go run ./examples/unifiedmemory
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/omp"
+	"repro/internal/tools"
+)
+
+const n = 1024
+
+// wrongMapType is paper Fig. 2 lines 1-5: map(to:) where tofrom is needed.
+func wrongMapType(c *omp.Context) {
+	a := c.AllocI64(n, "a")
+	c.At("fig2.c", 1, "main")
+	for i := 0; i < n; i++ {
+		c.StoreI64(a, i, 1)
+	}
+	c.Target(omp.Opts{Maps: []omp.Map{omp.To(a)}, Loc: omp.Loc("fig2.c", 2, "main")}, func(k *omp.Context) {
+		k.At("fig2.c", 3, "kernel")
+		for i := 0; i < n; i++ {
+			k.StoreI64(a, i, k.LoadI64(a, i)+1)
+		}
+	})
+	_ = c.At("fig2.c", 5, "main").LoadI64(a, 0) // printf
+}
+
+// racyUnified races a nowait kernel against a host write to the same words.
+func racyUnified(c *omp.Context) {
+	a := c.AllocI64(n, "a")
+	for i := 0; i < n; i++ {
+		c.StoreI64(a, i, 1)
+	}
+	gate := make(chan struct{})
+	c.Target(omp.Opts{Nowait: true, Maps: []omp.Map{omp.ToFrom(a)}, Loc: omp.Loc("racy.c", 4, "main")}, func(k *omp.Context) {
+		k.At("racy.c", 5, "kernel")
+		for i := 0; i < n; i++ {
+			k.StoreI64(a, i, 2)
+		}
+		close(gate)
+	})
+	<-gate // wall-clock ordering only; no happens-before
+	c.At("racy.c", 9, "main")
+	for i := 0; i < n; i++ {
+		c.StoreI64(a, i, 3) // races with the kernel
+	}
+	c.TaskWait()
+}
+
+func run(label string, unified bool, prog func(c *omp.Context)) {
+	det := tools.NewArbalestFull(nil)
+	rt := omp.NewRuntime(omp.Config{Unified: unified, NumThreads: 2}, det)
+	_ = rt.Run(func(c *omp.Context) error {
+		prog(c)
+		return nil
+	})
+	fmt.Printf("=== %s ===\n", label)
+	if reports := det.Sink().Reports(); len(reports) > 0 {
+		for _, r := range reports {
+			fmt.Println(r)
+		}
+	} else {
+		fmt.Println("no issues detected")
+	}
+	if unified {
+		st := rt.UnifiedStats()
+		fmt.Printf("unified-memory traffic: %d pages touched, %d migrations to device, %d to host\n",
+			st.PagesTouched, st.MigrationsToDevice, st.MigrationsToHost)
+	}
+	fmt.Println()
+}
+
+func main() {
+	run("wrong map-type, separate memory model (stale access)", false, wrongMapType)
+	run("wrong map-type, unified memory (correct: migration covers it)", true, wrongMapType)
+	run("racy program, unified memory (still broken: migration is not synchronization)", true, racyUnified)
+}

@@ -1,0 +1,202 @@
+// Package acc is an OpenACC-style frontend over the offloading runtime —
+// the paper's stated future-work direction of extending ARBALEST to other
+// accelerator programming models (§VIII).
+//
+// OpenACC's data clauses map directly onto OpenMP's (copyin -> map(to:),
+// copyout -> map(from:), copy -> map(tofrom:), create -> map(alloc:)),
+// its update directives onto target update, and its async queues onto
+// nowait + depend chains keyed by a per-queue token. Because the lowering
+// targets the same runtime, every tool in this repository — ARBALEST
+// included — analyzes OpenACC-style programs without modification: a missing
+// `update self` is caught as the same stale access a missing
+// `target update from` would be.
+package acc
+
+import (
+	"fmt"
+
+	"repro/internal/omp"
+	"repro/internal/ompt"
+)
+
+// Clauses carries an OpenACC construct's data clauses.
+type Clauses struct {
+	// CopyIn lists present-or-copyin variables (lowered to map(to:)).
+	CopyIn []*omp.Buffer
+	// CopyOut lists copyout variables (map(from:)).
+	CopyOut []*omp.Buffer
+	// Copy lists copy variables (map(tofrom:)).
+	Copy []*omp.Buffer
+	// Create lists create variables (map(alloc:)).
+	Create []*omp.Buffer
+	// Async selects an async queue (nil means synchronous).
+	Async *Queue
+	// Loc is the synthetic source location.
+	Loc ompt.SourceLoc
+}
+
+func (cl Clauses) maps() []omp.Map {
+	var out []omp.Map
+	for _, b := range cl.CopyIn {
+		out = append(out, omp.To(b))
+	}
+	for _, b := range cl.CopyOut {
+		out = append(out, omp.From(b))
+	}
+	for _, b := range cl.Copy {
+		out = append(out, omp.ToFrom(b))
+	}
+	for _, b := range cl.Create {
+		out = append(out, omp.Alloc(b))
+	}
+	return out
+}
+
+// releaseMaps lowers the exit side of an unstructured data region.
+func (cl Clauses) releaseMaps() []omp.Map {
+	var out []omp.Map
+	for _, b := range cl.CopyIn {
+		out = append(out, omp.Release(b))
+	}
+	for _, b := range cl.CopyOut {
+		out = append(out, omp.From(b))
+	}
+	for _, b := range cl.Copy {
+		out = append(out, omp.From(b))
+	}
+	for _, b := range cl.Create {
+		out = append(out, omp.Release(b))
+	}
+	return out
+}
+
+// Queue is an OpenACC async queue: operations submitted with the same queue
+// execute in order; different queues are unordered with each other.
+type Queue struct {
+	id    int
+	token *omp.Buffer
+}
+
+// Region is the OpenACC execution surface bound to a host context.
+type Region struct {
+	c      *omp.Context
+	device int
+	queues map[int]*Queue
+}
+
+// With wraps a host context for OpenACC-style programming on device 0.
+func With(c *omp.Context) *Region {
+	return &Region{c: c, queues: make(map[int]*Queue)}
+}
+
+// OnDevice selects the device subsequent constructs target.
+func (r *Region) OnDevice(d int) *Region {
+	r.device = d
+	return r
+}
+
+// Queue returns (creating on first use) the async queue with the given id.
+func (r *Region) Queue(id int) *Queue {
+	q, ok := r.queues[id]
+	if !ok {
+		q = &Queue{id: id, token: r.c.AllocI64(1, fmt.Sprintf("acc.queue%d", id))}
+		r.queues[id] = q
+	}
+	return q
+}
+
+// depends lowers an async clause to a depend chain on the queue token.
+func depends(cl Clauses) (in, out []*omp.Buffer, nowait bool) {
+	if cl.Async == nil {
+		return nil, nil, false
+	}
+	return []*omp.Buffer{cl.Async.token}, []*omp.Buffer{cl.Async.token}, true
+}
+
+// Data executes body inside a structured data region (#pragma acc data).
+func (r *Region) Data(cl Clauses, body func(r *Region)) {
+	r.c.TargetData(omp.Opts{Device: r.device, Maps: cl.maps(), Loc: cl.Loc}, func(*omp.Context) {
+		body(r)
+	})
+}
+
+// EnterData opens an unstructured data lifetime (#pragma acc enter data).
+func (r *Region) EnterData(cl Clauses) {
+	in, out, nowait := depends(cl)
+	r.c.TargetEnterData(omp.Opts{
+		Device: r.device, Maps: cl.maps(), Loc: cl.Loc,
+		Nowait: nowait, DependsIn: in, DependsOut: out,
+	})
+}
+
+// ExitData closes an unstructured data lifetime (#pragma acc exit data):
+// copyout/copy variables transfer back, others are released.
+func (r *Region) ExitData(cl Clauses) {
+	in, out, nowait := depends(cl)
+	r.c.TargetExitData(omp.Opts{
+		Device: r.device, Maps: cl.releaseMaps(), Loc: cl.Loc,
+		Nowait: nowait, DependsIn: in, DependsOut: out,
+	})
+}
+
+// Parallel launches a compute region (#pragma acc parallel).
+func (r *Region) Parallel(cl Clauses, body func(k *omp.Context)) {
+	in, out, nowait := depends(cl)
+	r.c.Target(omp.Opts{
+		Device: r.device, Maps: cl.maps(), Loc: cl.Loc,
+		Nowait: nowait, DependsIn: in, DependsOut: out,
+	}, body)
+}
+
+// ParallelLoop launches a compute region containing one gang/worker loop
+// (#pragma acc parallel loop).
+func (r *Region) ParallelLoop(cl Clauses, n int, body func(k *omp.Context, i int)) {
+	r.Parallel(cl, func(k *omp.Context) {
+		k.ParallelFor(n, body)
+	})
+}
+
+// UpdateSelf refreshes the host copies from the device
+// (#pragma acc update self/host).
+func (r *Region) UpdateSelf(cl Clauses, bufs ...*omp.Buffer) {
+	in, out, nowait := depends(cl)
+	r.c.TargetUpdate(omp.UpdateOpts{
+		Device: r.device, From: wholeMaps(bufs), Loc: cl.Loc,
+		Nowait: nowait, DependsIn: in, DependsOut: out,
+	})
+}
+
+// UpdateDevice refreshes the device copies from the host
+// (#pragma acc update device).
+func (r *Region) UpdateDevice(cl Clauses, bufs ...*omp.Buffer) {
+	in, out, nowait := depends(cl)
+	r.c.TargetUpdate(omp.UpdateOpts{
+		Device: r.device, To: wholeMaps(bufs), Loc: cl.Loc,
+		Nowait: nowait, DependsIn: in, DependsOut: out,
+	})
+}
+
+func wholeMaps(bufs []*omp.Buffer) []omp.Map {
+	out := make([]omp.Map, len(bufs))
+	for i, b := range bufs {
+		out[i] = omp.Map{Buf: b}
+	}
+	return out
+}
+
+// Wait blocks until the given queues drain (#pragma acc wait). With no
+// arguments it waits for all outstanding asynchronous work.
+func (r *Region) Wait(queues ...*Queue) {
+	if len(queues) == 0 {
+		r.c.TaskWait()
+		return
+	}
+	// A synchronous empty construct depending on the queue token orders the
+	// host behind everything previously submitted to that queue.
+	for _, q := range queues {
+		r.c.Target(omp.Opts{
+			Device:    r.device,
+			DependsIn: []*omp.Buffer{q.token},
+		}, func(*omp.Context) {})
+	}
+}

@@ -1,0 +1,89 @@
+package acc_test
+
+import (
+	"testing"
+
+	"repro/internal/acc"
+	"repro/internal/omp"
+)
+
+// TestAccWaitMultipleQueues: waiting on several queues at once orders the
+// host behind each of them.
+func TestAccWaitMultipleQueues(t *testing.T) {
+	det := run(t, omp.Config{NumThreads: 2}, func(r *acc.Region, c *omp.Context) {
+		a := c.AllocI64(4, "a")
+		b := c.AllocI64(4, "b")
+		for i := 0; i < 4; i++ {
+			c.StoreI64(a, i, 0)
+			c.StoreI64(b, i, 0)
+		}
+		q1, q2 := r.Queue(1), r.Queue(2)
+		r.EnterData(acc.Clauses{Copy: []*omp.Buffer{a}})
+		r.EnterData(acc.Clauses{Copy: []*omp.Buffer{b}})
+		r.Parallel(acc.Clauses{Async: q1}, func(k *omp.Context) {
+			for i := 0; i < 4; i++ {
+				k.StoreI64(a, i, 1)
+			}
+		})
+		r.Parallel(acc.Clauses{Async: q2}, func(k *omp.Context) {
+			for i := 0; i < 4; i++ {
+				k.StoreI64(b, i, 2)
+			}
+		})
+		r.UpdateSelf(acc.Clauses{Async: q1}, a)
+		r.UpdateSelf(acc.Clauses{Async: q2}, b)
+		r.Wait(q1, q2)
+		if c.LoadI64(a, 0) != 1 || c.LoadI64(b, 0) != 2 {
+			t.Errorf("queue results: a=%d b=%d", c.LoadI64(a, 0), c.LoadI64(b, 0))
+		}
+		r.ExitData(acc.Clauses{CopyIn: []*omp.Buffer{a}})
+		r.ExitData(acc.Clauses{CopyIn: []*omp.Buffer{b}})
+	})
+	if det.Sink().Count() != 0 {
+		for _, r := range det.Sink().Reports() {
+			t.Logf("%s", r)
+		}
+		t.Errorf("%d reports on multi-queue program", det.Sink().Count())
+	}
+}
+
+// TestAccQueueIdentity: the same id returns the same queue.
+func TestAccQueueIdentity(t *testing.T) {
+	_ = run(t, omp.Config{NumThreads: 1}, func(r *acc.Region, c *omp.Context) {
+		if r.Queue(3) != r.Queue(3) {
+			t.Error("Queue(3) not stable")
+		}
+		if r.Queue(3) == r.Queue(4) {
+			t.Error("distinct ids share a queue")
+		}
+	})
+}
+
+// TestAccExitDataCopyVariants: Copy and CopyOut transfer back at exit;
+// CopyIn and Create release without transfer.
+func TestAccExitDataCopyVariants(t *testing.T) {
+	det := run(t, omp.Config{NumThreads: 1}, func(r *acc.Region, c *omp.Context) {
+		keep := c.AllocI64(2, "keep") // exit via Copy: transferred back
+		drop := c.AllocI64(2, "drop") // exit via CopyIn: released
+		for i := 0; i < 2; i++ {
+			c.StoreI64(keep, i, 1)
+			c.StoreI64(drop, i, 1)
+		}
+		r.EnterData(acc.Clauses{CopyIn: []*omp.Buffer{keep, drop}})
+		r.Parallel(acc.Clauses{}, func(k *omp.Context) {
+			k.StoreI64(keep, 0, 9)
+			k.StoreI64(drop, 0, 9)
+		})
+		r.ExitData(acc.Clauses{Copy: []*omp.Buffer{keep}})
+		r.ExitData(acc.Clauses{CopyIn: []*omp.Buffer{drop}})
+		if got := c.LoadI64(keep, 0); got != 9 {
+			t.Errorf("keep[0] = %d, want 9 (copied out)", got)
+		}
+		// drop's device result was discarded; reading it is the stale value
+		// and must be flagged — we do NOT read it here to keep this test
+		// clean; the staleness variant is TestAccMissingUpdateSelfDetected.
+	})
+	if det.Sink().Count() != 0 {
+		t.Errorf("%d reports", det.Sink().Count())
+	}
+}

@@ -1,0 +1,259 @@
+package acc_test
+
+import (
+	"testing"
+
+	"repro/internal/acc"
+	"repro/internal/core"
+	"repro/internal/omp"
+	"repro/internal/report"
+	"repro/internal/tools"
+)
+
+// run executes body under a fresh runtime + full ARBALEST and returns the
+// detector.
+func run(t *testing.T, cfg omp.Config, body func(r *acc.Region, c *omp.Context)) *tools.ArbalestFull {
+	t.Helper()
+	det := tools.NewArbalestFull(nil)
+	rt := omp.NewRuntime(cfg, det)
+	if err := rt.Run(func(c *omp.Context) error {
+		body(acc.With(c), c)
+		return nil
+	}); err != nil {
+		t.Logf("runtime fault: %v", err)
+	}
+	return det
+}
+
+func TestAccDataCopyRoundTrip(t *testing.T) {
+	det := run(t, omp.Config{NumThreads: 2}, func(r *acc.Region, c *omp.Context) {
+		v := c.AllocF64(32, "v")
+		for i := 0; i < 32; i++ {
+			c.StoreF64(v, i, float64(i))
+		}
+		r.Data(acc.Clauses{Copy: []*omp.Buffer{v}}, func(r *acc.Region) {
+			r.ParallelLoop(acc.Clauses{}, 32, func(k *omp.Context, i int) {
+				k.StoreF64(v, i, k.LoadF64(v, i)*2)
+			})
+		})
+		for i := 0; i < 32; i++ {
+			if got := c.LoadF64(v, i); got != float64(i)*2 {
+				t.Fatalf("v[%d] = %v", i, got)
+			}
+		}
+	})
+	if det.Sink().Count() != 0 {
+		t.Errorf("%d reports on correct acc program", det.Sink().Count())
+	}
+}
+
+func TestAccCopyInCopyOut(t *testing.T) {
+	det := run(t, omp.Config{NumThreads: 2}, func(r *acc.Region, c *omp.Context) {
+		in := c.AllocI64(16, "in")
+		out := c.AllocI64(16, "out")
+		for i := 0; i < 16; i++ {
+			c.StoreI64(in, i, int64(i))
+		}
+		r.ParallelLoop(acc.Clauses{
+			CopyIn:  []*omp.Buffer{in},
+			CopyOut: []*omp.Buffer{out},
+		}, 16, func(k *omp.Context, i int) {
+			k.StoreI64(out, i, k.LoadI64(in, i)+100)
+		})
+		for i := 0; i < 16; i++ {
+			if got := c.LoadI64(out, i); got != int64(i)+100 {
+				t.Fatalf("out[%d] = %d", i, got)
+			}
+		}
+	})
+	if det.Sink().Count() != 0 {
+		t.Errorf("%d reports", det.Sink().Count())
+	}
+}
+
+// TestAccMissingUpdateSelfDetected: the OpenACC flavour of the paper's USD
+// bug — results produced on the device are read on the host without an
+// `update self`. ARBALEST reports the stale access through the same VSM.
+func TestAccMissingUpdateSelfDetected(t *testing.T) {
+	det := run(t, omp.Config{NumThreads: 1}, func(r *acc.Region, c *omp.Context) {
+		v := c.AllocI64(8, "v")
+		for i := 0; i < 8; i++ {
+			c.StoreI64(v, i, 1)
+		}
+		r.EnterData(acc.Clauses{CopyIn: []*omp.Buffer{v}})
+		r.Parallel(acc.Clauses{}, func(k *omp.Context) {
+			for i := 0; i < 8; i++ {
+				k.StoreI64(v, i, 9)
+			}
+		})
+		// BUG: missing r.UpdateSelf(acc.Clauses{}, v)
+		_ = c.At("acc.c", 20, "main").LoadI64(v, 0)
+		r.ExitData(acc.Clauses{CopyIn: []*omp.Buffer{v}})
+	})
+	if det.Sink().CountKind(report.USD) == 0 {
+		t.Error("missing update self not reported as stale access")
+	}
+}
+
+// TestAccUpdateSelfFixes: the corrected program is clean.
+func TestAccUpdateSelfFixes(t *testing.T) {
+	det := run(t, omp.Config{NumThreads: 1}, func(r *acc.Region, c *omp.Context) {
+		v := c.AllocI64(8, "v")
+		for i := 0; i < 8; i++ {
+			c.StoreI64(v, i, 1)
+		}
+		r.EnterData(acc.Clauses{CopyIn: []*omp.Buffer{v}})
+		r.Parallel(acc.Clauses{}, func(k *omp.Context) {
+			for i := 0; i < 8; i++ {
+				k.StoreI64(v, i, 9)
+			}
+		})
+		r.UpdateSelf(acc.Clauses{}, v)
+		if got := c.LoadI64(v, 0); got != 9 {
+			t.Fatalf("v[0] = %d", got)
+		}
+		r.ExitData(acc.Clauses{CopyIn: []*omp.Buffer{v}})
+	})
+	if det.Sink().Count() != 0 {
+		t.Errorf("%d reports on fixed program", det.Sink().Count())
+	}
+}
+
+// TestAccCreateWithoutInitDetected: `create` (map(alloc:)) consumed before
+// any device write — the OpenACC flavour of the Fig. 1 UUM.
+func TestAccCreateWithoutInitDetected(t *testing.T) {
+	det := run(t, omp.Config{NumThreads: 1}, func(r *acc.Region, c *omp.Context) {
+		v := c.AllocI64(8, "v")
+		s := c.AllocI64(1, "s")
+		for i := 0; i < 8; i++ {
+			c.StoreI64(v, i, 1)
+		}
+		c.StoreI64(s, 0, 0)
+		r.Parallel(acc.Clauses{
+			Create: []*omp.Buffer{v}, // BUG: copyin needed
+			Copy:   []*omp.Buffer{s},
+		}, func(k *omp.Context) {
+			k.At("acc.c", 8, "kernel")
+			acc := k.LoadI64(s, 0)
+			for i := 0; i < 8; i++ {
+				acc += k.LoadI64(v, i)
+			}
+			k.StoreI64(s, 0, acc)
+		})
+	})
+	if det.Sink().CountKind(report.UUM) == 0 {
+		t.Error("create-without-copyin not reported as UUM")
+	}
+}
+
+// TestAccAsyncQueuesOrdered: operations on one queue are ordered (no races,
+// correct result); Wait(queue) orders the host behind the queue.
+func TestAccAsyncQueuesOrdered(t *testing.T) {
+	det := run(t, omp.Config{NumThreads: 2}, func(r *acc.Region, c *omp.Context) {
+		v := c.AllocI64(4, "v")
+		for i := 0; i < 4; i++ {
+			c.StoreI64(v, i, 0)
+		}
+		q := r.Queue(1)
+		r.EnterData(acc.Clauses{Copy: []*omp.Buffer{v}})
+		for step := 0; step < 3; step++ {
+			r.Parallel(acc.Clauses{Async: q}, func(k *omp.Context) {
+				for i := 0; i < 4; i++ {
+					k.StoreI64(v, i, k.LoadI64(v, i)+1)
+				}
+			})
+		}
+		r.UpdateSelf(acc.Clauses{Async: q}, v)
+		r.Wait(q)
+		for i := 0; i < 4; i++ {
+			if got := c.LoadI64(v, i); got != 3 {
+				t.Fatalf("v[%d] = %d, want 3", i, got)
+			}
+		}
+		r.ExitData(acc.Clauses{CopyIn: []*omp.Buffer{v}})
+	})
+	if det.Sink().Count() != 0 {
+		for _, rep := range det.Sink().Reports() {
+			t.Logf("%s", rep)
+		}
+		t.Errorf("%d reports on ordered async program", det.Sink().Count())
+	}
+}
+
+// TestAccWaitAll: Wait() with no arguments joins everything.
+func TestAccWaitAll(t *testing.T) {
+	det := run(t, omp.Config{NumThreads: 2}, func(r *acc.Region, c *omp.Context) {
+		a := c.AllocI64(4, "a")
+		b := c.AllocI64(4, "b")
+		for i := 0; i < 4; i++ {
+			c.StoreI64(a, i, 1)
+			c.StoreI64(b, i, 2)
+		}
+		r.Parallel(acc.Clauses{Copy: []*omp.Buffer{a}, Async: r.Queue(1)}, func(k *omp.Context) {
+			for i := 0; i < 4; i++ {
+				k.StoreI64(a, i, 10)
+			}
+		})
+		r.Parallel(acc.Clauses{Copy: []*omp.Buffer{b}, Async: r.Queue(2)}, func(k *omp.Context) {
+			for i := 0; i < 4; i++ {
+				k.StoreI64(b, i, 20)
+			}
+		})
+		r.Wait()
+		if c.LoadI64(a, 0) != 10 || c.LoadI64(b, 0) != 20 {
+			t.Fatal("async results not visible after Wait()")
+		}
+	})
+	if det.Sink().Count() != 0 {
+		t.Errorf("%d reports", det.Sink().Count())
+	}
+}
+
+// TestAccMultiDevice: OnDevice routes constructs to different simulated
+// accelerators; the (n+1)-tuple machine keeps them straight.
+func TestAccMultiDevice(t *testing.T) {
+	det := run(t, omp.Config{NumDevices: 2, NumThreads: 1}, func(r *acc.Region, c *omp.Context) {
+		v := c.AllocI64(8, "v")
+		for i := 0; i < 8; i++ {
+			c.StoreI64(v, i, 1)
+		}
+		r.OnDevice(0).ParallelLoop(acc.Clauses{Copy: []*omp.Buffer{v}}, 8, func(k *omp.Context, i int) {
+			k.StoreI64(v, i, k.LoadI64(v, i)+1)
+		})
+		r.OnDevice(1).ParallelLoop(acc.Clauses{Copy: []*omp.Buffer{v}}, 8, func(k *omp.Context, i int) {
+			k.StoreI64(v, i, k.LoadI64(v, i)*3)
+		})
+		for i := 0; i < 8; i++ {
+			if got := c.LoadI64(v, i); got != 6 {
+				t.Fatalf("v[%d] = %d, want 6", i, got)
+			}
+		}
+	})
+	if det.Sink().Count() != 0 {
+		t.Errorf("%d reports", det.Sink().Count())
+	}
+}
+
+// TestAccVSMOnlyGranularityToo: the plain VSM detector (no race component)
+// also analyzes the lowered constructs.
+func TestAccVSMOnly(t *testing.T) {
+	a := core.New(core.Options{})
+	rt := omp.NewRuntime(omp.Config{NumThreads: 1}, a)
+	_ = rt.Run(func(c *omp.Context) error {
+		r := acc.With(c)
+		v := c.AllocI64(4, "v")
+		for i := 0; i < 4; i++ {
+			c.StoreI64(v, i, 1)
+		}
+		r.Parallel(acc.Clauses{CopyIn: []*omp.Buffer{v}}, func(k *omp.Context) {
+			for i := 0; i < 4; i++ {
+				k.StoreI64(v, i, 5)
+			}
+		})
+		_ = c.LoadI64(v, 0) // stale: copyin does not copy back
+		return nil
+	})
+	if a.Sink().CountKind(report.USD) == 0 {
+		t.Error("VSM-only detector missed the acc staleness")
+	}
+}

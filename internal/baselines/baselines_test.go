@@ -1,0 +1,242 @@
+package baselines_test
+
+import (
+	"testing"
+
+	"repro/internal/baselines"
+	"repro/internal/omp"
+	"repro/internal/ompt"
+	"repro/internal/report"
+	"repro/internal/tools"
+)
+
+// analyzers builds one of each baseline.
+func analyzers() []tools.Analyzer {
+	return []tools.Analyzer{baselines.NewMemcheck(nil), baselines.NewASan(nil), baselines.NewMSan(nil)}
+}
+
+// runAll executes body once per tool and returns the tools.
+func runAll(t *testing.T, body func(c *omp.Context)) []tools.Analyzer {
+	t.Helper()
+	as := analyzers()
+	for _, a := range as {
+		rt := omp.NewRuntime(omp.Config{NumThreads: 1}, a)
+		if err := rt.Run(func(c *omp.Context) error {
+			body(c)
+			return nil
+		}); err != nil {
+			t.Logf("%s: runtime fault: %v", a.Name(), err)
+		}
+	}
+	return as
+}
+
+func byName(as []tools.Analyzer, name string) tools.Analyzer {
+	for _, a := range as {
+		if a.Name() == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// uumScenario: map(alloc:) where `to` was needed; kernel reads garbage CV.
+func uumScenario(c *omp.Context) {
+	n := 8
+	b := c.AllocI64(n, "b")
+	for i := 0; i < n; i++ {
+		c.StoreI64(b, i, int64(i))
+	}
+	c.Target(omp.Opts{Maps: []omp.Map{omp.Alloc(b)}, Loc: omp.Loc("uum.go", 5, "main")}, func(k *omp.Context) {
+		for i := 0; i < n; i++ {
+			_ = k.At("uum.go", 8, "kernel").LoadI64(b, i)
+		}
+	})
+}
+
+// boScenario: map half, access all.
+func boScenario(c *omp.Context) {
+	n := 8
+	b := c.AllocI64(n, "b")
+	for i := 0; i < n; i++ {
+		c.StoreI64(b, i, int64(i))
+	}
+	c.Target(omp.Opts{Maps: []omp.Map{omp.To(b).Section(0, n/2)}, Loc: omp.Loc("bo.go", 5, "main")}, func(k *omp.Context) {
+		for i := 0; i < n; i++ {
+			_ = k.At("bo.go", 8, "kernel").LoadI64(b, i)
+		}
+	})
+}
+
+// usdScenario: map(to:) where tofrom was needed; host reads stale data.
+func usdScenario(c *omp.Context) {
+	b := c.AllocI64(1, "a")
+	c.StoreI64(b, 0, 1)
+	c.Target(omp.Opts{Maps: []omp.Map{omp.To(b)}}, func(k *omp.Context) {
+		k.StoreI64(b, 0, 2)
+	})
+	_ = c.At("usd.go", 7, "main").LoadI64(b, 0)
+}
+
+// TestTable3ToolProfiles verifies each baseline's Table III row behaviour on
+// the three bug classes.
+func TestTable3ToolProfiles(t *testing.T) {
+	cases := []struct {
+		name     string
+		scenario func(c *omp.Context)
+		// which tool should report
+		valgrind, asan, msan bool
+	}{
+		{"UUM", uumScenario, false, false, true},
+		{"BO", boScenario, true, true, false},
+		{"USD", usdScenario, false, false, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			as := runAll(t, tc.scenario)
+			for name, want := range map[string]bool{
+				"Valgrind": tc.valgrind, "ASan": tc.asan, "MSan": tc.msan,
+			} {
+				a := byName(as, name)
+				got := a.Sink().Count() > 0
+				if got != want {
+					for _, r := range a.Sink().Reports() {
+						t.Logf("%s report: %s", name, r)
+					}
+					t.Errorf("%s on %s: detected=%t, want %t", name, tc.name, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestCleanProgramNoFalsePositives: a correct to/from pipeline triggers no
+// baseline reports.
+func TestCleanProgramNoFalsePositives(t *testing.T) {
+	as := runAll(t, func(c *omp.Context) {
+		n := 32
+		in := c.AllocI64(n, "in")
+		out := c.AllocI64(n, "out")
+		for i := 0; i < n; i++ {
+			c.StoreI64(in, i, int64(i))
+		}
+		c.Target(omp.Opts{Maps: []omp.Map{omp.To(in), omp.From(out)}}, func(k *omp.Context) {
+			for i := 0; i < n; i++ {
+				k.StoreI64(out, i, k.LoadI64(in, i)*2)
+			}
+		})
+		for i := 0; i < n; i++ {
+			_ = c.LoadI64(out, i)
+		}
+	})
+	for _, a := range as {
+		if a.Sink().Count() != 0 {
+			for _, r := range a.Sink().Reports() {
+				t.Logf("%s report: %s", a.Name(), r)
+			}
+			t.Errorf("%s reported %d issues on a correct program", a.Name(), a.Sink().Count())
+		}
+	}
+}
+
+// TestMSanHostUUM: MSan also catches plain host-side uninitialized reads.
+func TestMSanHostUUM(t *testing.T) {
+	m := baselines.NewMSan(nil)
+	rt := omp.NewRuntime(omp.Config{}, m)
+	_ = rt.Run(func(c *omp.Context) error {
+		b := c.AllocI64(4, "b")
+		_ = c.LoadI64(b, 1)
+		return nil
+	})
+	if m.Sink().CountKind(report.UUM) != 1 {
+		t.Errorf("MSan host UUM reports = %d, want 1", m.Sink().CountKind(report.UUM))
+	}
+}
+
+// TestValgrindHostUUM: memcheck's V bits catch host-side uninitialized
+// reads too (its blindness is device-only).
+func TestValgrindHostUUM(t *testing.T) {
+	v := baselines.NewMemcheck(nil)
+	rt := omp.NewRuntime(omp.Config{}, v)
+	_ = rt.Run(func(c *omp.Context) error {
+		b := c.AllocI64(4, "b")
+		_ = c.LoadI64(b, 1)
+		return nil
+	})
+	if v.Sink().CountKind(report.UUM) != 1 {
+		t.Errorf("Valgrind host UUM reports = %d, want 1", v.Sink().CountKind(report.UUM))
+	}
+}
+
+// TestASanUseAfterFree: ASan flags accesses to freed blocks.
+func TestASanUseAfterFree(t *testing.T) {
+	a := baselines.NewASan(nil)
+	rt := omp.NewRuntime(omp.Config{}, a)
+	_ = rt.Run(func(c *omp.Context) error {
+		b := c.AllocI64(4, "b")
+		c.StoreI64(b, 0, 1)
+		c.Free(b)
+		_ = c.LoadI64(b, 0) // use after free
+		return nil
+	})
+	if a.Sink().CountKind(report.InvalidAccess) == 0 {
+		t.Error("ASan missed use-after-free")
+	}
+}
+
+// TestMSanLaunderingThroughTransfer: an uninitialized host value copied to
+// the device and read there is NOT caught (the DRACC_OMP_034 modeling).
+func TestMSanLaunderingThroughTransfer(t *testing.T) {
+	m := baselines.NewMSan(nil)
+	rt := omp.NewRuntime(omp.Config{}, m)
+	_ = rt.Run(func(c *omp.Context) error {
+		b := c.AllocI64(4, "b")
+		// b never initialized; map(to:) copies garbage to the CV.
+		c.Target(omp.Opts{Maps: []omp.Map{omp.To(b)}}, func(k *omp.Context) {
+			_ = k.LoadI64(b, 0)
+		})
+		return nil
+	})
+	if m.Sink().Count() != 0 {
+		t.Errorf("MSan reported %d issues; transfer laundering should hide this UUM", m.Sink().Count())
+	}
+}
+
+// TestToolsFactory covers the tools.New constructor.
+func TestToolsFactory(t *testing.T) {
+	for _, name := range append(tools.Names(), "arbalest-vsm") {
+		a, err := tools.New(name)
+		if err != nil {
+			t.Errorf("New(%q): %v", name, err)
+			continue
+		}
+		if a.Name() == "" || a.Sink() == nil {
+			t.Errorf("New(%q) returned incomplete analyzer", name)
+		}
+	}
+	if _, err := tools.New("bogus"); err == nil {
+		t.Error("New(bogus) did not error")
+	}
+}
+
+// TestArbalestFullCompositeForwarding: the composite forwards every event
+// kind to both components and shares one sink.
+func TestArbalestFullComposite(t *testing.T) {
+	af := tools.NewArbalestFull(nil)
+	rt := omp.NewRuntime(omp.Config{NumThreads: 1}, af)
+	_ = rt.Run(func(c *omp.Context) error {
+		uumScenario(c)
+		return nil
+	})
+	if af.Sink().CountKind(report.UUM) == 0 {
+		t.Error("composite missed the UUM")
+	}
+	if af.VSM().Sink() != af.Sink() || af.Race().Sink() != af.Sink() {
+		t.Error("components do not share the composite sink")
+	}
+	if af.ShadowBytes() == 0 {
+		t.Error("composite shadow accounting empty")
+	}
+	// The composite is usable as a plain ompt.Tool.
+	var _ ompt.Tool = af
+}

@@ -1,0 +1,44 @@
+package baselines
+
+import (
+	"testing"
+
+	"repro/internal/ompt"
+)
+
+func TestBlockTablePrimitives(t *testing.T) {
+	bt := newBlockTable()
+	b := bt.add(0x1000, 64, "x", ompt.SourceLoc{}, true, false)
+	if b == nil {
+		t.Fatal("add failed")
+	}
+	if bt.find(0x1000+32) != b {
+		t.Error("find missed")
+	}
+	if bt.find(0x1000+64) != nil {
+		t.Error("find hit past end")
+	}
+	b.markDefined(0x1000+8, 16, true)
+	if !b.allDefined(0x1000+8, 16) {
+		t.Error("defined range reads undefined")
+	}
+	if b.allDefined(0x1000+8, 17) {
+		t.Error("undefined tail reads defined")
+	}
+	if b.allDefined(0x1000, 8) {
+		t.Error("untouched prefix reads defined")
+	}
+	b.markDefined(0x1000+8, 4, false)
+	if b.allDefined(0x1000+8, 16) {
+		t.Error("re-poisoned range reads defined")
+	}
+	if !bt.remove(0x1000) {
+		t.Error("remove failed")
+	}
+	if bt.remove(0x1000) {
+		t.Error("double remove succeeded")
+	}
+	if bt.peak() == 0 {
+		t.Error("no peak accounting")
+	}
+}

@@ -1,0 +1,379 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/omp"
+	"repro/internal/report"
+)
+
+// runWith executes body under a fresh runtime with an Arbalest instance
+// attached and returns the detector.
+func runWith(t *testing.T, cfg omp.Config, opts Options, body func(c *omp.Context)) *Arbalest {
+	t.Helper()
+	a := New(opts)
+	rt := omp.NewRuntime(cfg, a)
+	if err := rt.Run(func(c *omp.Context) error {
+		body(c)
+		return nil
+	}); err != nil {
+		t.Logf("runtime fault (often intentional in bug scenarios): %v", err)
+	}
+	return a
+}
+
+func kinds(a *Arbalest) []report.Kind { return a.sink.Kinds() }
+
+func wantOnly(t *testing.T, a *Arbalest, want report.Kind) {
+	t.Helper()
+	ks := kinds(a)
+	if len(ks) != 1 || ks[0] != want {
+		for _, r := range a.Reports() {
+			t.Logf("report: %s", r)
+		}
+		t.Fatalf("kinds = %v, want only %v", ks, want)
+	}
+}
+
+func wantClean(t *testing.T, a *Arbalest) {
+	t.Helper()
+	if a.sink.Count() != 0 {
+		for _, r := range a.Reports() {
+			t.Logf("unexpected report: %s", r)
+		}
+		t.Fatalf("expected no reports, got %d", a.sink.Count())
+	}
+}
+
+// TestFig1UUM reproduces paper Fig. 1 / DRACC_OMP_022: map(alloc:) where the
+// map-type should be `to`, so the kernel reads an uninitialized CV.
+func TestFig1UUM(t *testing.T) {
+	a := runWith(t, omp.Config{NumThreads: 2}, Options{}, func(c *omp.Context) {
+		n := 16
+		b := c.AllocI64(n, "b")
+		for i := 0; i < n; i++ {
+			c.StoreI64(b, i, int64(i))
+		}
+		out := c.AllocI64(n, "c")
+		for i := 0; i < n; i++ {
+			c.StoreI64(out, i, 0)
+		}
+		c.Target(omp.Opts{
+			Maps: []omp.Map{omp.Alloc(b), omp.ToFrom(out)}, // BUG: alloc should be to
+			Loc:  omp.Loc("fig1.go", 9, "main"),
+		}, func(k *omp.Context) {
+			k.At("fig1.go", 16, "kernel")
+			k.ParallelFor(n, func(k *omp.Context, i int) {
+				k.StoreI64(out, i, k.LoadI64(out, i)+k.LoadI64(b, i))
+			})
+		})
+	})
+	wantOnly(t, a, report.UUM)
+}
+
+// TestFig2USD reproduces paper Fig. 2 lines 1-5: map(to:) where tofrom is
+// needed; the host read after the region sees stale data.
+func TestFig2USD(t *testing.T) {
+	a := runWith(t, omp.Config{NumThreads: 1}, Options{}, func(c *omp.Context) {
+		av := c.AllocI64(1, "a")
+		c.StoreI64(av, 0, 1)
+		c.Target(omp.Opts{Maps: []omp.Map{omp.To(av)}}, func(k *omp.Context) {
+			k.StoreI64(av, 0, k.LoadI64(av, 0)+1)
+		})
+		_ = c.At("fig2.go", 5, "main").LoadI64(av, 0) // printf reads stale a
+	})
+	wantOnly(t, a, report.USD)
+	r := a.Reports()[0]
+	if r.Loc.Line != 5 {
+		t.Errorf("report location = %v, want line 5", r.Loc)
+	}
+	if !strings.Contains(r.String(), "stale access") {
+		t.Errorf("rendered report missing anomaly: %s", r)
+	}
+}
+
+// TestBufferOverflow: map half the array, loop the whole array (paper §IV-D).
+func TestBufferOverflow(t *testing.T) {
+	a := runWith(t, omp.Config{NumThreads: 1}, Options{}, func(c *omp.Context) {
+		n := 32
+		b := c.AllocI64(n, "b")
+		for i := 0; i < n; i++ {
+			c.StoreI64(b, i, 1)
+		}
+		acc := c.AllocI64(1, "acc")
+		c.StoreI64(acc, 0, 0)
+		c.Target(omp.Opts{
+			Maps: []omp.Map{omp.To(b).Section(0, n/2), omp.ToFrom(acc)}, // BUG: half mapped
+			Loc:  omp.Loc("bo.go", 7, "main"),
+		}, func(k *omp.Context) {
+			k.At("bo.go", 12, "kernel")
+			sum := int64(0)
+			for i := 0; i < n; i++ {
+				sum += k.LoadI64(b, i)
+			}
+			k.StoreI64(acc, 0, sum)
+		})
+	})
+	if got := a.sink.CountKind(report.BufferOverflow); got == 0 {
+		t.Fatal("no buffer overflow reported")
+	}
+}
+
+// TestCorrectProgramIsClean: the fixed Fig-1 program produces no reports.
+func TestCorrectProgramIsClean(t *testing.T) {
+	a := runWith(t, omp.Config{NumThreads: 4}, Options{}, func(c *omp.Context) {
+		n := 64
+		b := c.AllocI64(n, "b")
+		out := c.AllocI64(n, "c")
+		for i := 0; i < n; i++ {
+			c.StoreI64(b, i, int64(i))
+			c.StoreI64(out, i, 0)
+		}
+		c.Target(omp.Opts{Maps: []omp.Map{omp.To(b), omp.ToFrom(out)}}, func(k *omp.Context) {
+			k.ParallelFor(n, func(k *omp.Context, i int) {
+				k.StoreI64(out, i, k.LoadI64(out, i)+k.LoadI64(b, i)*2)
+			})
+		})
+		for i := 0; i < n; i++ {
+			_ = c.LoadI64(out, i)
+		}
+	})
+	wantClean(t, a)
+}
+
+// TestTargetUpdateRepairsStaleness: `target update from` synchronizes the OV
+// so the host read is legal.
+func TestTargetUpdateRepairsStaleness(t *testing.T) {
+	a := runWith(t, omp.Config{NumThreads: 1}, Options{}, func(c *omp.Context) {
+		av := c.AllocI64(1, "a")
+		c.StoreI64(av, 0, 1)
+		c.TargetData(omp.Opts{Maps: []omp.Map{omp.To(av)}}, func(c *omp.Context) {
+			c.Target(omp.Opts{}, func(k *omp.Context) {
+				k.StoreI64(av, 0, 2)
+			})
+			c.TargetUpdate(omp.UpdateOpts{From: []omp.Map{{Buf: av}}})
+			_ = c.LoadI64(av, 0) // now legal
+		})
+	})
+	wantClean(t, a)
+}
+
+// TestCopyBackPoisonsOV: map(from:) with a kernel that never writes copies
+// an uninitialized CV over the OV; the subsequent host read is UUM.
+func TestCopyBackPoisonsOV(t *testing.T) {
+	a := runWith(t, omp.Config{NumThreads: 1}, Options{}, func(c *omp.Context) {
+		av := c.AllocI64(4, "a")
+		for i := 0; i < 4; i++ {
+			c.StoreI64(av, i, 9)
+		}
+		c.Target(omp.Opts{Maps: []omp.Map{omp.From(av)}}, func(k *omp.Context) {
+			// kernel forgets to write a
+		})
+		_ = c.At("poison.go", 9, "main").LoadI64(av, 0)
+	})
+	wantOnly(t, a, report.UUM)
+}
+
+// TestStaleDeviceRead: a second target region re-maps with `to` after the
+// mapping was destroyed, but the host changed the data in between and the
+// first kernel's result was discarded — classic missing-update staleness on
+// the device side.
+func TestStaleDeviceRead(t *testing.T) {
+	a := runWith(t, omp.Config{NumThreads: 1}, Options{}, func(c *omp.Context) {
+		av := c.AllocI64(1, "a")
+		c.StoreI64(av, 0, 1)
+		c.TargetData(omp.Opts{Maps: []omp.Map{omp.To(av)}}, func(c *omp.Context) {
+			c.StoreI64(av, 0, 2) // host write: CV now stale
+			c.Target(omp.Opts{}, func(k *omp.Context) {
+				_ = k.At("stale.go", 6, "kernel").LoadI64(av, 0) // reads stale CV
+			})
+		})
+	})
+	wantOnly(t, a, report.USD)
+}
+
+// TestReportDeduplication: a loop reading 1000 stale elements at one source
+// location yields a single report.
+func TestReportDeduplication(t *testing.T) {
+	a := runWith(t, omp.Config{NumThreads: 1}, Options{}, func(c *omp.Context) {
+		n := 1000
+		av := c.AllocI64(n, "a")
+		for i := 0; i < n; i++ {
+			c.StoreI64(av, i, 1)
+		}
+		c.Target(omp.Opts{Maps: []omp.Map{omp.To(av)}}, func(k *omp.Context) {
+			for i := 0; i < n; i++ {
+				k.StoreI64(av, i, 2)
+			}
+		})
+		c.At("dedup.go", 9, "main")
+		for i := 0; i < n; i++ {
+			_ = c.LoadI64(av, i)
+		}
+	})
+	if got := a.sink.Count(); got != 1 {
+		t.Errorf("%d reports, want 1 (deduplicated)", got)
+	}
+}
+
+// TestUnifiedMemoryNoFalsePositive: under unified memory the same "wrong"
+// map-type program is correct (paper §III-B) and must not be flagged.
+func TestUnifiedMemoryNoFalsePositive(t *testing.T) {
+	a := runWith(t, omp.Config{Unified: true, NumThreads: 1}, Options{}, func(c *omp.Context) {
+		av := c.AllocI64(1, "a")
+		c.StoreI64(av, 0, 1)
+		c.Target(omp.Opts{Maps: []omp.Map{omp.To(av)}}, func(k *omp.Context) {
+			k.StoreI64(av, 0, k.LoadI64(av, 0)+1)
+		})
+		if got := c.LoadI64(av, 0); got != 2 {
+			t.Errorf("unified result = %d, want 2", got)
+		}
+	})
+	wantClean(t, a)
+}
+
+// TestMultiDeviceTuple: with two devices, a value computed on device 0 and
+// copied back is stale on device 1 until transferred there.
+func TestMultiDeviceTuple(t *testing.T) {
+	a := runWith(t, omp.Config{NumDevices: 2, NumThreads: 1}, Options{}, func(c *omp.Context) {
+		av := c.AllocI64(1, "a")
+		c.StoreI64(av, 0, 1)
+		// Map on both devices via enter data.
+		c.TargetEnterData(omp.Opts{Device: 0, Maps: []omp.Map{omp.To(av)}})
+		c.TargetEnterData(omp.Opts{Device: 1, Maps: []omp.Map{omp.To(av)}})
+		// Device 0 updates a; copy back to host.
+		c.Target(omp.Opts{Device: 0}, func(k *omp.Context) {
+			k.StoreI64(av, 0, 2)
+		})
+		c.TargetUpdate(omp.UpdateOpts{Device: 0, From: []omp.Map{{Buf: av}}})
+		// Device 1's CV is now stale; reading it is a mapping issue.
+		c.Target(omp.Opts{Device: 1}, func(k *omp.Context) {
+			_ = k.At("multi.go", 12, "kernel1").LoadI64(av, 0)
+		})
+		c.TargetExitData(omp.Opts{Device: 0, Maps: []omp.Map{omp.Release(av)}})
+		c.TargetExitData(omp.Opts{Device: 1, Maps: []omp.Map{omp.Release(av)}})
+	})
+	wantOnly(t, a, report.USD)
+}
+
+// TestMultiDeviceCleanRelay: host -> dev0 -> host -> dev1 with proper
+// updates is clean under the (n+1)-tuple machine.
+func TestMultiDeviceCleanRelay(t *testing.T) {
+	a := runWith(t, omp.Config{NumDevices: 2, NumThreads: 1}, Options{}, func(c *omp.Context) {
+		av := c.AllocI64(8, "a")
+		for i := 0; i < 8; i++ {
+			c.StoreI64(av, i, int64(i))
+		}
+		c.Target(omp.Opts{Device: 0, Maps: []omp.Map{omp.ToFrom(av)}}, func(k *omp.Context) {
+			for i := 0; i < 8; i++ {
+				k.StoreI64(av, i, k.LoadI64(av, i)+10)
+			}
+		})
+		c.Target(omp.Opts{Device: 1, Maps: []omp.Map{omp.ToFrom(av)}}, func(k *omp.Context) {
+			for i := 0; i < 8; i++ {
+				k.StoreI64(av, i, k.LoadI64(av, i)*2)
+			}
+		})
+		for i := 0; i < 8; i++ {
+			if got := c.LoadI64(av, i); got != (int64(i)+10)*2 {
+				t.Errorf("a[%d] = %d", i, got)
+			}
+		}
+	})
+	wantClean(t, a)
+}
+
+// TestGranularityAblation: with per-region tracking, a kernel that updates
+// only part of an array followed by a host read of the untouched part raises
+// a false alarm that word granularity avoids (paper §IV-C soundness
+// argument).
+func TestGranularityAblation(t *testing.T) {
+	scenario := func(c *omp.Context) {
+		n := 16
+		av := c.AllocI64(n, "a")
+		for i := 0; i < n; i++ {
+			c.StoreI64(av, i, 1)
+		}
+		// Kernel updates only the first element through map(to:) — that
+		// element becomes stale on the host, but the rest stays intact.
+		c.Target(omp.Opts{Maps: []omp.Map{omp.To(av)}}, func(k *omp.Context) {
+			k.StoreI64(av, 0, 99)
+		})
+		// The host reads only untouched elements: correct at word
+		// granularity.
+		for i := 1; i < n; i++ {
+			_ = c.At("abl.go", 10, "main").LoadI64(av, i)
+		}
+	}
+	fine := runWith(t, omp.Config{NumThreads: 1}, Options{}, scenario)
+	wantClean(t, fine)
+	coarse := runWith(t, omp.Config{NumThreads: 1}, Options{Granularity: GranularityRegion}, scenario)
+	if coarse.sink.Count() == 0 {
+		t.Error("region granularity did not raise the expected false alarm")
+	}
+}
+
+// TestOverflowDetectionCanBeDisabled confirms the ablation switch.
+func TestOverflowDetectionCanBeDisabled(t *testing.T) {
+	body := func(c *omp.Context) {
+		n := 8
+		b := c.AllocI64(n, "b")
+		for i := 0; i < n; i++ {
+			c.StoreI64(b, i, 1)
+		}
+		c.Target(omp.Opts{Maps: []omp.Map{omp.To(b).Section(0, n/2)}}, func(k *omp.Context) {
+			for i := 0; i < n; i++ {
+				_ = k.LoadI64(b, i)
+			}
+		})
+	}
+	on := runWith(t, omp.Config{NumThreads: 1}, Options{}, body)
+	if on.sink.CountKind(report.BufferOverflow) == 0 {
+		t.Error("overflow not detected with extension enabled")
+	}
+	off := runWith(t, omp.Config{NumThreads: 1}, Options{DisableOverflow: true}, body)
+	if off.sink.CountKind(report.BufferOverflow) != 0 {
+		t.Error("overflow reported with extension disabled")
+	}
+}
+
+// TestShadowAccounting: shadow bytes scale with registered allocations and
+// the access counter advances.
+func TestShadowAccounting(t *testing.T) {
+	a := runWith(t, omp.Config{NumThreads: 1}, Options{}, func(c *omp.Context) {
+		b := c.AllocI64(1024, "big")
+		for i := 0; i < 1024; i++ {
+			c.StoreI64(b, i, 0)
+		}
+	})
+	if a.ShadowBytes() < 1024*8 {
+		t.Errorf("shadow bytes = %d, want >= %d", a.ShadowBytes(), 1024*8)
+	}
+	if a.AccessCount() != 1024 {
+		t.Errorf("access count = %d, want 1024", a.AccessCount())
+	}
+}
+
+// TestHostUUM: reading never-initialized host memory is caught by the VSM's
+// invalid state even without any mapping.
+func TestHostUUM(t *testing.T) {
+	a := runWith(t, omp.Config{NumThreads: 1}, Options{}, func(c *omp.Context) {
+		b := c.AllocI64(4, "b")
+		_ = c.At("uum.go", 3, "main").LoadI64(b, 2)
+	})
+	wantOnly(t, a, report.UUM)
+}
+
+// TestFreeUnregistersShadow: accesses after free are not tracked (no crash,
+// no stale region).
+func TestFreeUnregistersShadow(t *testing.T) {
+	a := runWith(t, omp.Config{NumThreads: 1}, Options{}, func(c *omp.Context) {
+		b := c.AllocI64(4, "b")
+		c.StoreI64(b, 0, 1)
+		c.Free(b)
+	})
+	if a.shadowMem.NumRegions() != 0 {
+		t.Errorf("%d shadow regions alive after free", a.shadowMem.NumRegions())
+	}
+}

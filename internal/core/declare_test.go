@@ -1,0 +1,139 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/omp"
+	"repro/internal/ompt"
+	"repro/internal/report"
+)
+
+// declareProgram uses a declare-target global from a kernel without any map
+// clause: the runtime maps it implicitly at first use.
+func declareProgram(c *omp.Context) {
+	global := c.AllocI64(8, "globalTable")
+	for i := 0; i < 8; i++ {
+		c.StoreI64(global, i, int64(i*i))
+	}
+	c.DeclareTarget(global)
+
+	out := c.AllocI64(8, "out")
+	for i := 0; i < 8; i++ {
+		c.StoreI64(out, i, 0)
+	}
+	c.Target(omp.Opts{Maps: []omp.Map{omp.ToFrom(out)}, Loc: omp.Loc("decl.c", 10, "main")}, func(k *omp.Context) {
+		k.At("decl.c", 12, "kernel")
+		for i := 0; i < 8; i++ {
+			k.StoreI64(out, i, k.LoadI64(global, i)+1) // no map clause for global
+		}
+	})
+	c.At("decl.c", 16, "main")
+	for i := 0; i < 8; i++ {
+		_ = c.LoadI64(out, i)
+	}
+}
+
+// TestDeclareTargetGlobalsWork: with the implicit-mapping events the paper
+// proposed for OMPT (§V-A), ARBALEST analyzes declare-target globals
+// cleanly.
+func TestDeclareTargetGlobalsWork(t *testing.T) {
+	a := runWith(t, omp.Config{NumThreads: 1}, Options{}, declareProgram)
+	wantClean(t, a)
+}
+
+// omptDropImplicit simulates stock OMPT (before the paper's proposal): it
+// forwards every event EXCEPT implicit data-mapping operations.
+type omptDropImplicit struct {
+	inner ompt.Tool
+}
+
+func (f *omptDropImplicit) Name() string                        { return f.inner.Name() }
+func (f *omptDropImplicit) OnDeviceInit(e ompt.DeviceInitEvent) { f.inner.OnDeviceInit(e) }
+func (f *omptDropImplicit) OnTargetBegin(e ompt.TargetEvent)    { f.inner.OnTargetBegin(e) }
+func (f *omptDropImplicit) OnTargetEnd(e ompt.TargetEvent)      { f.inner.OnTargetEnd(e) }
+func (f *omptDropImplicit) OnAccess(e ompt.AccessEvent)         { f.inner.OnAccess(e) }
+func (f *omptDropImplicit) OnSync(e ompt.SyncEvent)             { f.inner.OnSync(e) }
+func (f *omptDropImplicit) OnAlloc(e ompt.AllocEvent)           { f.inner.OnAlloc(e) }
+func (f *omptDropImplicit) OnDataOp(e ompt.DataOpEvent) {
+	if e.Implicit {
+		return // stock OMPT never reported these (paper §V-A)
+	}
+	f.inner.OnDataOp(e)
+}
+
+// TestStockOMPTGapOnGlobals reproduces the OMPT deficiency the paper
+// reported to the committee: without callbacks for implicit global-variable
+// mappings, the detector cannot associate the global's device accesses with
+// any mapping and emits spurious diagnostics. This is why ARBALEST needed
+// the extended OMPT implementation (§V-A).
+func TestStockOMPTGapOnGlobals(t *testing.T) {
+	a := New(Options{})
+	rt := omp.NewRuntime(omp.Config{NumThreads: 1}, &omptDropImplicit{inner: a})
+	_ = rt.Run(func(c *omp.Context) error {
+		declareProgram(c)
+		return nil
+	})
+	if a.Sink().Count() == 0 {
+		t.Fatal("expected spurious reports without implicit-mapping events")
+	}
+	// The spurious reports are buffer overflows: the device accesses land
+	// in a CV range the detector never saw allocated.
+	if a.Sink().CountKind(report.BufferOverflow) == 0 {
+		for _, r := range a.Reports() {
+			t.Logf("%s", r)
+		}
+		t.Error("expected the gap to manifest as unattributable device accesses")
+	}
+}
+
+// TestDeclareTargetStaleGlobal: a host write to a declare-target global
+// without `target update to` leaves the device copy stale — a real bug class
+// this machinery detects.
+func TestDeclareTargetStaleGlobal(t *testing.T) {
+	a := runWith(t, omp.Config{NumThreads: 1}, Options{}, func(c *omp.Context) {
+		global := c.AllocI64(4, "g")
+		for i := 0; i < 4; i++ {
+			c.StoreI64(global, i, 1)
+		}
+		c.DeclareTarget(global)
+		c.Target(omp.Opts{Loc: omp.Loc("decl.c", 5, "main")}, func(k *omp.Context) {
+			_ = k.At("decl.c", 6, "kernel1").LoadI64(global, 0) // implicit map happens here
+		})
+		for i := 0; i < 4; i++ {
+			c.At("decl.c", 9, "main").StoreI64(global, i, 2) // host update
+		}
+		// BUG: missing target update to.
+		c.Target(omp.Opts{Loc: omp.Loc("decl.c", 11, "main")}, func(k *omp.Context) {
+			_ = k.At("decl.c", 12, "kernel2").LoadI64(global, 0) // stale device read
+		})
+	})
+	if a.sink.CountKind(report.USD) == 0 {
+		t.Error("stale declare-target global not reported")
+	}
+}
+
+// TestDeclareTargetUpdateFixes: the corrected version with the update.
+func TestDeclareTargetUpdateFixes(t *testing.T) {
+	a := runWith(t, omp.Config{NumThreads: 1}, Options{}, func(c *omp.Context) {
+		global := c.AllocI64(4, "g")
+		for i := 0; i < 4; i++ {
+			c.StoreI64(global, i, 1)
+		}
+		c.DeclareTarget(global)
+		c.Target(omp.Opts{}, func(k *omp.Context) {
+			_ = k.LoadI64(global, 0)
+		})
+		for i := 0; i < 4; i++ {
+			c.StoreI64(global, i, 2)
+		}
+		c.TargetUpdate(omp.UpdateOpts{To: []omp.Map{{Buf: global}}}) // FIX
+		var got int64
+		c.Target(omp.Opts{}, func(k *omp.Context) {
+			got = k.LoadI64(global, 0)
+		})
+		if got != 2 {
+			t.Errorf("device saw %d after update, want 2", got)
+		}
+	})
+	wantClean(t, a)
+}

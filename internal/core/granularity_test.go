@@ -1,0 +1,243 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/omp"
+	"repro/internal/report"
+)
+
+// TestSubWordSplitIsConservative documents the 8-byte granularity
+// compromise the paper makes (§IV-C): two int32 values sharing one aligned
+// word are tracked as a unit, so a device write to the low half followed by
+// a host read of the untouched high half is conservatively flagged. The
+// paper argues byte granularity would be needed for full soundness but
+// chooses 8 bytes because scientific codes are dominated by doubles; this
+// test pins the resulting behaviour so it is a documented artifact, not an
+// accident.
+func TestSubWordSplitIsConservative(t *testing.T) {
+	a := runWith(t, omp.Config{NumThreads: 1}, Options{}, func(c *omp.Context) {
+		v := c.AllocI32(2, "pair") // both elements share one 8-byte word
+		c.StoreI32(v, 0, 1)
+		c.StoreI32(v, 1, 2)
+		c.Target(omp.Opts{Maps: []omp.Map{omp.To(v)}}, func(k *omp.Context) {
+			k.StoreI32(v, 0, 99) // writes only the low half
+		})
+		// The high half is physically intact, but the word-level VSM has
+		// state `target`, so this read reports.
+		_ = c.At("split.go", 9, "main").LoadI32(v, 1)
+	})
+	if a.sink.CountKind(report.USD) == 0 {
+		t.Error("expected the conservative word-granularity report (see paper §IV-C)")
+	}
+}
+
+// TestSubWordSameWordAccessesAreFine: 4-byte accesses that respect the
+// word-level protocol raise nothing.
+func TestSubWordClean(t *testing.T) {
+	a := runWith(t, omp.Config{NumThreads: 1}, Options{}, func(c *omp.Context) {
+		v := c.AllocI32(4, "quad")
+		for i := 0; i < 4; i++ {
+			c.StoreI32(v, i, int32(i))
+		}
+		c.Target(omp.Opts{Maps: []omp.Map{omp.ToFrom(v)}}, func(k *omp.Context) {
+			for i := 0; i < 4; i++ {
+				k.StoreI32(v, i, k.LoadI32(v, i)*2)
+			}
+		})
+		for i := 0; i < 4; i++ {
+			_ = c.LoadI32(v, i)
+		}
+	})
+	wantClean(t, a)
+}
+
+// TestByteBufferRoundTrip: 1-byte accesses through the full to/from cycle.
+func TestByteBufferRoundTrip(t *testing.T) {
+	a := runWith(t, omp.Config{NumThreads: 1}, Options{}, func(c *omp.Context) {
+		v := c.AllocBytes(32, "bytes")
+		for i := 0; i < 32; i++ {
+			c.StoreU8(v, i, uint8(i))
+		}
+		c.Target(omp.Opts{Maps: []omp.Map{omp.ToFrom(v)}}, func(k *omp.Context) {
+			for i := 0; i < 32; i++ {
+				k.StoreU8(v, i, k.LoadU8(v, i)^0xFF)
+			}
+		})
+		for i := 0; i < 32; i++ {
+			_ = c.LoadU8(v, i)
+		}
+	})
+	wantClean(t, a)
+}
+
+// TestMultiDeviceBufferOverflow: the overflow extension works in wide
+// (multi-device) mode too.
+func TestMultiDeviceBufferOverflow(t *testing.T) {
+	a := runWith(t, omp.Config{NumDevices: 2, NumThreads: 1}, Options{}, func(c *omp.Context) {
+		n := 16
+		b := c.AllocI64(n, "b")
+		for i := 0; i < n; i++ {
+			c.StoreI64(b, i, 1)
+		}
+		c.Target(omp.Opts{
+			Device: 1,
+			Maps:   []omp.Map{omp.To(b).Section(0, n/2)},
+			Loc:    omp.Loc("mbo.go", 5, "main"),
+		}, func(k *omp.Context) {
+			k.At("mbo.go", 8, "kernel")
+			for i := 0; i < n; i++ {
+				_ = k.LoadI64(b, i)
+			}
+		})
+	})
+	if a.sink.CountKind(report.BufferOverflow) == 0 {
+		t.Error("overflow missed in multi-device mode")
+	}
+}
+
+// TestMultiDeviceUUM: the wide tuple path classifies UUM correctly.
+func TestMultiDeviceUUM(t *testing.T) {
+	a := runWith(t, omp.Config{NumDevices: 2, NumThreads: 1}, Options{}, func(c *omp.Context) {
+		b := c.AllocI64(4, "b")
+		for i := 0; i < 4; i++ {
+			c.StoreI64(b, i, 1)
+		}
+		c.Target(omp.Opts{Device: 1, Maps: []omp.Map{omp.Alloc(b)}}, func(k *omp.Context) {
+			_ = k.At("muum.go", 6, "kernel").LoadI64(b, 0)
+		})
+	})
+	if a.sink.CountKind(report.UUM) == 0 {
+		t.Error("UUM missed in multi-device mode")
+	}
+}
+
+// TestReportCarriesLastAccessMetadata: the Table II TID/clock fields show up
+// in the diagnostic.
+func TestReportCarriesLastAccessMetadata(t *testing.T) {
+	a := runWith(t, omp.Config{NumThreads: 1}, Options{}, func(c *omp.Context) {
+		v := c.AllocI64(1, "a")
+		c.StoreI64(v, 0, 1)
+		c.Target(omp.Opts{Maps: []omp.Map{omp.To(v)}}, func(k *omp.Context) {
+			k.StoreI64(v, 0, 2)
+		})
+		_ = c.At("meta.go", 5, "main").LoadI64(v, 0)
+	})
+	rs := a.Reports()
+	if len(rs) != 1 {
+		t.Fatalf("%d reports", len(rs))
+	}
+	if got := rs[0].Detail; got == "" || !containsAll(got, "Last recorded access", "thread T", "clock") {
+		t.Errorf("report detail lacks last-access metadata: %q", got)
+	}
+}
+
+func containsAll(s string, subs ...string) bool {
+	for _, sub := range subs {
+		found := false
+		for i := 0; i+len(sub) <= len(s); i++ {
+			if s[i:i+len(sub)] == sub {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// TestIfClauseClobberDetected: the if(false) host-fallback pitfall — the
+// host-run kernel's update is clobbered by the exit copy-back, and the next
+// host read is flagged as stale.
+func TestIfClauseClobberDetected(t *testing.T) {
+	a := runWith(t, omp.Config{NumThreads: 1}, Options{}, func(c *omp.Context) {
+		v := c.AllocI64(1, "v")
+		c.StoreI64(v, 0, 1)
+		c.Target(omp.Opts{IfFalse: true, Maps: []omp.Map{omp.ToFrom(v)}, Loc: omp.Loc("ifc.go", 3, "main")}, func(k *omp.Context) {
+			k.At("ifc.go", 4, "kernel").StoreI64(v, 0, 5)
+		})
+		_ = c.At("ifc.go", 6, "main").LoadI64(v, 0) // clobbered by copy-back
+	})
+	if a.sink.CountKind(report.USD) == 0 {
+		t.Error("if(false) copy-back clobber not reported")
+	}
+}
+
+// TestByteGranularityRemovesSubWordFalseAlarm: the same sub-word split that
+// GranularityWord conservatively flags is clean at byte granularity — the
+// soundness/cost trade-off of paper §IV-C, with both ends implemented.
+func TestByteGranularityRemovesSubWordFalseAlarm(t *testing.T) {
+	scenario := func(c *omp.Context) {
+		v := c.AllocI32(2, "pair")
+		c.StoreI32(v, 0, 1)
+		c.StoreI32(v, 1, 2)
+		c.Target(omp.Opts{Maps: []omp.Map{omp.To(v)}}, func(k *omp.Context) {
+			k.StoreI32(v, 0, 99) // low half only
+		})
+		_ = c.At("bsplit.go", 9, "main").LoadI32(v, 1) // untouched high half
+	}
+	word := runWith(t, omp.Config{NumThreads: 1}, Options{}, scenario)
+	if word.sink.Count() == 0 {
+		t.Error("word granularity should flag the split conservatively")
+	}
+	byteG := runWith(t, omp.Config{NumThreads: 1}, Options{Granularity: GranularityByte}, scenario)
+	if byteG.sink.Count() != 0 {
+		for _, r := range byteG.Reports() {
+			t.Logf("%s", r)
+		}
+		t.Error("byte granularity flagged the untouched bytes")
+	}
+}
+
+// TestByteGranularityStillDetectsRealBugs: byte mode keeps full detection
+// power on the canonical bug classes.
+func TestByteGranularityStillDetectsRealBugs(t *testing.T) {
+	// USD (Fig. 2).
+	usd := runWith(t, omp.Config{NumThreads: 1}, Options{Granularity: GranularityByte}, func(c *omp.Context) {
+		v := c.AllocI64(1, "a")
+		c.StoreI64(v, 0, 1)
+		c.Target(omp.Opts{Maps: []omp.Map{omp.To(v)}}, func(k *omp.Context) {
+			k.StoreI64(v, 0, 2)
+		})
+		_ = c.At("bg.go", 5, "main").LoadI64(v, 0)
+	})
+	if usd.sink.CountKind(report.USD) == 0 {
+		t.Error("byte granularity missed the USD")
+	}
+	// UUM (Fig. 1).
+	uum := runWith(t, omp.Config{NumThreads: 1}, Options{Granularity: GranularityByte}, func(c *omp.Context) {
+		v := c.AllocI64(4, "b")
+		for i := 0; i < 4; i++ {
+			c.StoreI64(v, i, 1)
+		}
+		c.Target(omp.Opts{Maps: []omp.Map{omp.Alloc(v)}}, func(k *omp.Context) {
+			_ = k.At("bg.go", 9, "kernel").LoadI64(v, 0)
+		})
+	})
+	if uum.sink.CountKind(report.UUM) == 0 {
+		t.Error("byte granularity missed the UUM")
+	}
+}
+
+// TestByteGranularityShadowCost: the byte mode's shadow footprint is visibly
+// larger — the cost side of the trade-off.
+func TestByteGranularityShadowCost(t *testing.T) {
+	scenario := func(c *omp.Context) {
+		v := c.AllocI64(256, "v")
+		for i := 0; i < 256; i++ {
+			c.StoreI64(v, i, 1)
+		}
+		c.Target(omp.Opts{Maps: []omp.Map{omp.ToFrom(v)}}, func(k *omp.Context) {
+			for i := 0; i < 256; i++ {
+				k.StoreI64(v, i, 2)
+			}
+		})
+	}
+	word := runWith(t, omp.Config{NumThreads: 1}, Options{}, scenario)
+	byteG := runWith(t, omp.Config{NumThreads: 1}, Options{Granularity: GranularityByte}, scenario)
+	if byteG.ShadowBytes() <= word.ShadowBytes() {
+		t.Errorf("byte shadow %d not larger than word shadow %d", byteG.ShadowBytes(), word.ShadowBytes())
+	}
+}

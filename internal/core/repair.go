@@ -1,0 +1,82 @@
+package core
+
+import (
+	"repro/internal/interval"
+	"repro/internal/mem"
+	"repro/internal/ompt"
+	"repro/internal/vsm"
+)
+
+// Repairer is the runtime capability the detector uses to repair stale
+// accesses on the fly (paper §III-C): issue the memory transfer the
+// application forgot, right before the offending read executes.
+// *omp.Runtime implements it.
+type Repairer interface {
+	RepairTransfer(dev ompt.DeviceID, hostAddr mem.Addr, bytes uint64, toDevice bool, task ompt.TaskID) bool
+}
+
+// AttachRepairer enables repair mode: detected stale accesses are still
+// reported (annotated as repaired), but the runtime synchronizes the two
+// copies before the read executes, so the application computes with correct
+// data — the §III-C vision of an integrated analysis + repair OpenMP
+// implementation. Uses of uninitialized memory cannot be repaired and are
+// reported as usual.
+//
+// Attach the repairer after constructing the runtime:
+//
+//	a := core.New(core.Options{})
+//	rt := omp.NewRuntime(cfg, a)
+//	a.AttachRepairer(rt)
+func (a *Arbalest) AttachRepairer(r Repairer) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.repairer = r
+}
+
+// repairStale issues the missing transfer for the aligned word the stale
+// read touches. It reports whether the repair happened. The instrumentation
+// callback fires before the application's load executes, so a successful
+// repair means the read returns the up-to-date value.
+func (a *Arbalest) repairStale(ovAddr mem.Addr, e ompt.AccessEvent, hostSide bool) bool {
+	a.mu.Lock()
+	r := a.repairer
+	a.mu.Unlock()
+	if r == nil {
+		return false
+	}
+	word := ovAddr.Align()
+	if !hostSide {
+		// Stale CV: push the host's value to the executing device.
+		return r.RepairTransfer(e.Device, word, mem.WordSize, true, e.Task)
+	}
+	// Stale OV: pull from whichever device holds the valid CV.
+	dev, ok := a.deviceWithValidCV(word)
+	if !ok {
+		return false
+	}
+	return r.RepairTransfer(dev, word, mem.WordSize, false, e.Task)
+}
+
+// deviceWithValidCV locates the device whose CV covers the word. In
+// single-device mode the interval tree identifies it; in multi-device mode
+// the wide tuple's validity bits do.
+func (a *Arbalest) deviceWithValidCV(word mem.Addr) (ompt.DeviceID, bool) {
+	if a.multi.Load() {
+		slot := a.wideSlot(word)
+		t := vsm.UnpackTuple(slot.Load())
+		for loc := 1; loc < 32; loc++ {
+			if t.ValidAt(loc) {
+				return ompt.DeviceID(loc - 1), true
+			}
+		}
+		return 0, false
+	}
+	var found ompt.DeviceID
+	ok := false
+	a.cvTree.Each(func(_ interval.Interval, entry *cvEntry) {
+		if !ok && word >= entry.ov && word < entry.ov+mem.Addr(entry.bytes) {
+			found, ok = entry.device, true
+		}
+	})
+	return found, ok
+}

@@ -1,0 +1,136 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/omp"
+	"repro/internal/report"
+)
+
+// runRepaired executes body with repair mode enabled and returns (detector,
+// value channel results are checked inside body).
+func runRepaired(t *testing.T, cfg omp.Config, body func(c *omp.Context)) *Arbalest {
+	t.Helper()
+	a := New(Options{})
+	rt := omp.NewRuntime(cfg, a)
+	a.AttachRepairer(rt)
+	if err := rt.Run(func(c *omp.Context) error {
+		body(c)
+		return nil
+	}); err != nil {
+		t.Logf("runtime fault: %v", err)
+	}
+	return a
+}
+
+// TestRepairStaleHostRead: the Fig. 2 bug with repair enabled — the read is
+// reported AND returns the device's value because the runtime issued the
+// missing copy-back first.
+func TestRepairStaleHostRead(t *testing.T) {
+	a := runRepaired(t, omp.Config{NumThreads: 1}, func(c *omp.Context) {
+		v := c.AllocI64(1, "a")
+		c.StoreI64(v, 0, 1)
+		c.TargetData(omp.Opts{Maps: []omp.Map{omp.To(v)}}, func(c *omp.Context) {
+			c.Target(omp.Opts{}, func(k *omp.Context) {
+				k.StoreI64(v, 0, 2)
+			})
+			// BUG: missing update from — but repair mode fixes the value.
+			if got := c.At("rep.go", 5, "main").LoadI64(v, 0); got != 2 {
+				t.Errorf("repaired read = %d, want 2 (the device's value)", got)
+			}
+			// The repaired word is now consistent: a second read is clean.
+			if got := c.At("rep.go", 7, "main").LoadI64(v, 0); got != 2 {
+				t.Errorf("post-repair read = %d", got)
+			}
+		})
+	})
+	if a.sink.CountKind(report.USD) != 1 {
+		t.Fatalf("%d USD reports, want exactly 1 (repair does not silence diagnosis)", a.sink.CountKind(report.USD))
+	}
+	if !strings.Contains(a.Reports()[0].Detail, "repaired") {
+		t.Errorf("report not annotated as repaired: %s", a.Reports()[0].Detail)
+	}
+}
+
+// TestRepairStaleDeviceRead: the mirror direction — a kernel reads a CV made
+// stale by a host write; repair pushes the host value down first.
+func TestRepairStaleDeviceRead(t *testing.T) {
+	a := runRepaired(t, omp.Config{NumThreads: 1}, func(c *omp.Context) {
+		v := c.AllocI64(1, "a")
+		c.StoreI64(v, 0, 1)
+		c.TargetData(omp.Opts{Maps: []omp.Map{omp.To(v)}}, func(c *omp.Context) {
+			c.StoreI64(v, 0, 7) // CV now stale
+			c.Target(omp.Opts{}, func(k *omp.Context) {
+				if got := k.At("rep.go", 6, "kernel").LoadI64(v, 0); got != 7 {
+					t.Errorf("repaired kernel read = %d, want 7", got)
+				}
+			})
+		})
+	})
+	if a.sink.CountKind(report.USD) != 1 {
+		t.Errorf("%d USD reports, want 1", a.sink.CountKind(report.USD))
+	}
+}
+
+// TestRepairCannotFixUUM: a use of uninitialized memory has no valid copy to
+// transfer; it is reported unrepaired and the read still returns garbage.
+func TestRepairCannotFixUUM(t *testing.T) {
+	a := runRepaired(t, omp.Config{NumThreads: 1}, func(c *omp.Context) {
+		v := c.AllocI64(1, "a")
+		c.StoreI64(v, 0, 5)
+		c.Target(omp.Opts{Maps: []omp.Map{omp.Alloc(v)}}, func(k *omp.Context) {
+			_ = k.At("rep.go", 4, "kernel").LoadI64(v, 0)
+		})
+	})
+	if a.sink.CountKind(report.UUM) != 1 {
+		t.Fatalf("%d UUM reports, want 1", a.sink.CountKind(report.UUM))
+	}
+	if strings.Contains(a.Reports()[0].Detail, "repaired") {
+		t.Error("UUM report falsely claims repair")
+	}
+}
+
+// TestRepairMultiDevice: repair locates the device holding the valid CV via
+// the wide tuple's validity bits.
+func TestRepairMultiDevice(t *testing.T) {
+	a := runRepaired(t, omp.Config{NumDevices: 2, NumThreads: 1}, func(c *omp.Context) {
+		v := c.AllocI64(1, "a")
+		c.StoreI64(v, 0, 1)
+		c.TargetEnterData(omp.Opts{Device: 1, Maps: []omp.Map{omp.To(v)}})
+		c.Target(omp.Opts{Device: 1}, func(k *omp.Context) {
+			k.StoreI64(v, 0, 9)
+		})
+		// Stale host read; the valid CV lives on device 1.
+		if got := c.At("rep.go", 8, "main").LoadI64(v, 0); got != 9 {
+			t.Errorf("repaired read = %d, want 9 (from device 1)", got)
+		}
+		c.TargetExitData(omp.Opts{Device: 1, Maps: []omp.Map{omp.Release(v)}})
+	})
+	if a.sink.CountKind(report.USD) != 1 {
+		t.Errorf("%d USD reports, want 1", a.sink.CountKind(report.USD))
+	}
+}
+
+// TestRepairDisabledByDefault: without AttachRepairer the stale read keeps
+// its stale value.
+func TestRepairDisabledByDefault(t *testing.T) {
+	a := New(Options{})
+	rt := omp.NewRuntime(omp.Config{NumThreads: 1}, a)
+	_ = rt.Run(func(c *omp.Context) error {
+		v := c.AllocI64(1, "a")
+		c.StoreI64(v, 0, 1)
+		c.TargetData(omp.Opts{Maps: []omp.Map{omp.To(v)}}, func(c *omp.Context) {
+			c.Target(omp.Opts{}, func(k *omp.Context) {
+				k.StoreI64(v, 0, 2)
+			})
+			if got := c.At("rep.go", 5, "main").LoadI64(v, 0); got != 1 {
+				t.Errorf("unrepaired read = %d, want stale 1", got)
+			}
+		})
+		return nil
+	})
+	if a.sink.CountKind(report.USD) != 1 {
+		t.Errorf("%d USD reports, want 1", a.sink.CountKind(report.USD))
+	}
+}

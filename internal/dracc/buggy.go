@@ -1,0 +1,473 @@
+package dracc
+
+import (
+	"repro/internal/omp"
+)
+
+// The 16 buggy benchmarks of Table III. Each mirrors a DRACC mapping-bug
+// pattern: a wrong or missing map-type, a truncated or shifted array
+// section, a missing target update, or a premature release. Comments mark
+// the defective clause the way the paper's Fig. 1 does.
+
+func init() {
+	registerUUMBenchmarks()
+	registerBOBenchmarks()
+	registerUSDBenchmarks()
+}
+
+func registerUUMBenchmarks() {
+	// DRACC_OMP_022 — paper Fig. 1: matrix-vector product where the matrix
+	// is mapped alloc instead of to, so the kernel reads an uninitialized CV.
+	register(&Benchmark{
+		ID: 22, Defect: DefectUUM,
+		Brief: "map(alloc:) where map(to:) is needed; kernel reads uninitialized CV (paper Fig. 1)",
+		Run: func(c *omp.Context) {
+			a := c.AllocI64(N, "a")
+			b := c.AllocI64(N*N, "b")
+			out := c.AllocI64(N, "c")
+			for i := 0; i < N; i++ {
+				at(c, 22, 5, "init").StoreI64(a, i, int64(i%7))
+				at(c, 22, 5, "init").StoreI64(out, i, 0)
+			}
+			for i := 0; i < N*N; i++ {
+				at(c, 22, 5, "init").StoreI64(b, i, 1)
+			}
+			c.Target(omp.Opts{
+				Maps: []omp.Map{
+					omp.To(a),
+					omp.Alloc(b), // BUG: mapping type should be "to"
+					omp.ToFrom(out),
+				},
+				Loc: dloc(22, 7, "main"),
+			}, func(k *omp.Context) {
+				k.TeamsDistributeParallelFor(4, N, func(k *omp.Context, i int) {
+					at(k, 22, 16, "kernel")
+					acc := k.LoadI64(out, i)
+					for j := 0; j < N; j++ {
+						acc += k.LoadI64(b, j+i*N) * k.LoadI64(a, j)
+					}
+					k.StoreI64(out, i, acc)
+				})
+			})
+			for i := 0; i < N; i++ {
+				_ = at(c, 22, 20, "main").LoadI64(out, i)
+			}
+		},
+	})
+
+	// DRACC_OMP_024 — map(from:) used for an accumulation kernel that reads
+	// its output buffer before writing it.
+	register(&Benchmark{
+		ID: 24, Defect: DefectUUM,
+		Brief: "map(from:) for a read-modify-write buffer; first kernel read is uninitialized",
+		Run: func(c *omp.Context) {
+			src := c.AllocI64(N, "src")
+			acc := c.AllocI64(N, "acc")
+			for i := 0; i < N; i++ {
+				at(c, 24, 4, "init").StoreI64(src, i, int64(i))
+				at(c, 24, 5, "init").StoreI64(acc, i, 0)
+			}
+			c.Target(omp.Opts{
+				Maps: []omp.Map{
+					omp.To(src),
+					omp.From(acc), // BUG: tofrom needed, acc is read first
+				},
+				Loc: dloc(24, 8, "main"),
+			}, func(k *omp.Context) {
+				k.ParallelFor(N, func(k *omp.Context, i int) {
+					at(k, 24, 12, "kernel")
+					k.StoreI64(acc, i, k.LoadI64(acc, i)+k.LoadI64(src, i))
+				})
+			})
+			for i := 0; i < N; i++ {
+				_ = at(c, 24, 16, "main").LoadI64(acc, i)
+			}
+		},
+	})
+
+	// DRACC_OMP_049 — target enter data with alloc, kernel consumes before
+	// any target update to.
+	register(&Benchmark{
+		ID: 49, Defect: DefectUUM,
+		Brief: "enter data map(alloc:) without a subsequent update to; kernel reads garbage",
+		Run: func(c *omp.Context) {
+			v := c.AllocF64(N, "v")
+			s := c.AllocF64(N, "s")
+			for i := 0; i < N; i++ {
+				at(c, 49, 4, "init").StoreF64(v, i, float64(i))
+				at(c, 49, 4, "init").StoreF64(s, i, 0)
+			}
+			c.TargetEnterData(omp.Opts{
+				Maps: []omp.Map{omp.Alloc(v)}, // BUG: needs map(to:) or an update
+				Loc:  dloc(49, 6, "main"),
+			})
+			c.Target(omp.Opts{Maps: []omp.Map{omp.ToFrom(s)}, Loc: dloc(49, 8, "main")}, func(k *omp.Context) {
+				k.ParallelFor(N, func(k *omp.Context, i int) {
+					at(k, 49, 10, "kernel")
+					k.StoreF64(s, i, k.LoadF64(s, i)+k.LoadF64(v, i))
+				})
+			})
+			c.TargetExitData(omp.Opts{Maps: []omp.Map{omp.Release(v)}, Loc: dloc(49, 13, "main")})
+			for i := 0; i < N; i++ {
+				_ = at(c, 49, 15, "main").LoadF64(s, i)
+			}
+		},
+	})
+
+	// DRACC_OMP_050 — double buffering where only the first buffer gets a
+	// real transfer; the second is alloc'd and consumed.
+	register(&Benchmark{
+		ID: 50, Defect: DefectUUM,
+		Brief: "double buffering with map(to:) for buf0 but map(alloc:) for buf1; kernel reads buf1",
+		Run: func(c *omp.Context) {
+			buf0 := c.AllocI64(N, "buf0")
+			buf1 := c.AllocI64(N, "buf1")
+			out := c.AllocI64(N, "out")
+			for i := 0; i < N; i++ {
+				at(c, 50, 4, "init").StoreI64(buf0, i, int64(i))
+				at(c, 50, 5, "init").StoreI64(buf1, i, int64(2*i))
+				at(c, 50, 6, "init").StoreI64(out, i, 0)
+			}
+			c.Target(omp.Opts{
+				Maps: []omp.Map{
+					omp.To(buf0),
+					omp.Alloc(buf1), // BUG: second buffer never transferred
+					omp.From(out),
+				},
+				Loc: dloc(50, 9, "main"),
+			}, func(k *omp.Context) {
+				k.ParallelFor(N, func(k *omp.Context, i int) {
+					at(k, 50, 13, "kernel")
+					k.StoreI64(out, i, k.LoadI64(buf0, i)+k.LoadI64(buf1, i))
+				})
+			})
+			for i := 0; i < N; i++ {
+				_ = at(c, 50, 17, "main").LoadI64(out, i)
+			}
+		},
+	})
+
+	// DRACC_OMP_051 — reference-count shadowing: the outer target data
+	// creates the CV with alloc, so the inner target's map(to:) finds it
+	// present and — per Table I — performs NO transfer.
+	register(&Benchmark{
+		ID: 51, Defect: DefectUUM,
+		Brief: "outer map(alloc:) shadows inner map(to:): ref counting suppresses the transfer (Table I)",
+		Run: func(c *omp.Context) {
+			v := c.AllocI64(N, "v")
+			s := c.AllocI64(1, "sum")
+			for i := 0; i < N; i++ {
+				at(c, 51, 4, "init").StoreI64(v, i, 1)
+			}
+			at(c, 51, 5, "init").StoreI64(s, 0, 0)
+			c.TargetData(omp.Opts{
+				Maps: []omp.Map{omp.Alloc(v)}, // BUG: pins an uninitialized CV
+				Loc:  dloc(51, 7, "main"),
+			}, func(c *omp.Context) {
+				c.Target(omp.Opts{
+					Maps: []omp.Map{omp.To(v), omp.ToFrom(s)}, // to: is silently skipped
+					Loc:  dloc(51, 9, "main"),
+				}, func(k *omp.Context) {
+					at(k, 51, 11, "kernel")
+					acc := k.LoadI64(s, 0)
+					for i := 0; i < N; i++ {
+						acc += k.LoadI64(v, i)
+					}
+					k.StoreI64(s, 0, acc)
+				})
+			})
+			_ = at(c, 51, 16, "main").LoadI64(s, 0)
+		},
+	})
+}
+
+func registerBOBenchmarks() {
+	// DRACC_OMP_023 — array section covers only the first half; kernel
+	// reads the whole array.
+	register(&Benchmark{
+		ID: 23, Defect: DefectBO,
+		Brief: "map(to: a[0:N/2]) but kernel reads a[0:N]; read overflow past the CV",
+		Run: func(c *omp.Context) {
+			a := c.AllocI64(N, "a")
+			s := c.AllocI64(1, "sum")
+			for i := 0; i < N; i++ {
+				at(c, 23, 4, "init").StoreI64(a, i, 1)
+			}
+			at(c, 23, 5, "init").StoreI64(s, 0, 0)
+			c.Target(omp.Opts{
+				Maps: []omp.Map{
+					omp.ToFrom(s),
+					omp.To(a).Section(0, N/2), // BUG: half the array
+				},
+				Loc: dloc(23, 7, "main"),
+			}, func(k *omp.Context) {
+				at(k, 23, 10, "kernel")
+				acc := k.LoadI64(s, 0)
+				for i := 0; i < N; i++ {
+					acc += k.LoadI64(a, i)
+				}
+				k.StoreI64(s, 0, acc)
+			})
+			_ = at(c, 23, 14, "main").LoadI64(s, 0)
+		},
+	})
+
+	// DRACC_OMP_025 — write overflow: output section too small.
+	register(&Benchmark{
+		ID: 25, Defect: DefectBO,
+		Brief: "map(from: a[0:N/2]) but kernel writes a[0:N]; write overflow past the CV",
+		Run: func(c *omp.Context) {
+			a := c.AllocI64(N, "a")
+			c.Target(omp.Opts{
+				Maps: []omp.Map{omp.From(a).Section(0, N/2)}, // BUG
+				Loc:  dloc(25, 5, "main"),
+			}, func(k *omp.Context) {
+				at(k, 25, 8, "kernel")
+				for i := 0; i < N; i++ {
+					k.StoreI64(a, i, int64(i))
+				}
+			})
+			for i := 0; i < N/2; i++ {
+				_ = at(c, 25, 12, "main").LoadI64(a, i)
+			}
+		},
+	})
+
+	// DRACC_OMP_028 — shifted section: the mapped window starts at N/2 but
+	// the kernel indexes from 0, underflowing the CV.
+	register(&Benchmark{
+		ID: 28, Defect: DefectBO,
+		Brief: "map(to: a[N/2:N]) but kernel indexes from 0; accesses land below the CV",
+		Run: func(c *omp.Context) {
+			a := c.AllocI64(N, "a")
+			s := c.AllocI64(1, "sum")
+			for i := 0; i < N; i++ {
+				at(c, 28, 4, "init").StoreI64(a, i, 2)
+			}
+			at(c, 28, 5, "init").StoreI64(s, 0, 0)
+			c.Target(omp.Opts{
+				Maps: []omp.Map{
+					omp.ToFrom(s),
+					omp.To(a).Section(N/2, N), // BUG: wrong window
+				},
+				Loc: dloc(28, 7, "main"),
+			}, func(k *omp.Context) {
+				at(k, 28, 10, "kernel")
+				acc := k.LoadI64(s, 0)
+				for i := 0; i < N/2; i++ {
+					acc += k.LoadI64(a, i) // translates below the CV base
+				}
+				k.StoreI64(s, 0, acc)
+			})
+			_ = at(c, 28, 14, "main").LoadI64(s, 0)
+		},
+	})
+
+	// DRACC_OMP_029 — off-by-one section length.
+	register(&Benchmark{
+		ID: 29, Defect: DefectBO,
+		Brief: "map(from: a[0:N-1]) off-by-one; kernel writes a[N-1] past the CV",
+		Run: func(c *omp.Context) {
+			a := c.AllocI64(N, "a")
+			c.Target(omp.Opts{
+				Maps: []omp.Map{omp.From(a).Section(0, N-1)}, // BUG: off by one
+				Loc:  dloc(29, 5, "main"),
+			}, func(k *omp.Context) {
+				at(k, 29, 8, "kernel")
+				for i := 0; i <= N-1; i++ {
+					k.StoreI64(a, i, int64(i))
+				}
+			})
+			for i := 0; i < N-1; i++ {
+				_ = at(c, 29, 12, "main").LoadI64(a, i)
+			}
+		},
+	})
+
+	// DRACC_OMP_030 — 2D array mapped with a halved flattened length.
+	register(&Benchmark{
+		ID: 30, Defect: DefectBO,
+		Brief: "NxM matrix mapped as N*M/2 elements; kernel iterates all rows",
+		Run: func(c *omp.Context) {
+			const rows, cols = 8, 8
+			m := c.AllocI64(rows*cols, "m")
+			s := c.AllocI64(1, "sum")
+			for i := 0; i < rows*cols; i++ {
+				at(c, 30, 4, "init").StoreI64(m, i, 1)
+			}
+			at(c, 30, 5, "init").StoreI64(s, 0, 0)
+			c.Target(omp.Opts{
+				Maps: []omp.Map{
+					omp.ToFrom(s),
+					omp.To(m).Section(0, rows*cols/2), // BUG: wrong flattened size
+				},
+				Loc: dloc(30, 7, "main"),
+			}, func(k *omp.Context) {
+				at(k, 30, 10, "kernel")
+				acc := k.LoadI64(s, 0)
+				for i := 0; i < rows; i++ {
+					for j := 0; j < cols; j++ {
+						acc += k.LoadI64(m, i*cols+j)
+					}
+				}
+				k.StoreI64(s, 0, acc)
+			})
+			_ = at(c, 30, 15, "main").LoadI64(s, 0)
+		},
+	})
+
+	// DRACC_OMP_031 — scalar-sized mapping for an array.
+	register(&Benchmark{
+		ID: 31, Defect: DefectBO,
+		Brief: "map(to: a[0:1]) maps one element; kernel loops the whole array",
+		Run: func(c *omp.Context) {
+			a := c.AllocI64(N, "a")
+			s := c.AllocI64(1, "sum")
+			for i := 0; i < N; i++ {
+				at(c, 31, 4, "init").StoreI64(a, i, 3)
+			}
+			at(c, 31, 5, "init").StoreI64(s, 0, 0)
+			c.Target(omp.Opts{
+				Maps: []omp.Map{
+					omp.ToFrom(s),
+					omp.To(a).Section(0, 1), // BUG: scalar mapping for an array
+				},
+				Loc: dloc(31, 7, "main"),
+			}, func(k *omp.Context) {
+				at(k, 31, 10, "kernel")
+				acc := k.LoadI64(s, 0)
+				for i := 0; i < N; i++ {
+					acc += k.LoadI64(a, i)
+				}
+				k.StoreI64(s, 0, acc)
+			})
+			_ = at(c, 31, 14, "main").LoadI64(s, 0)
+		},
+	})
+}
+
+func registerUSDBenchmarks() {
+	// DRACC_OMP_026 — paper Fig. 2 lines 1-5: map(to:) where tofrom is
+	// needed; the host printf reads stale data.
+	register(&Benchmark{
+		ID: 26, Defect: DefectUSD,
+		Brief: "map(to:) where tofrom is needed; host read after the region is stale (paper Fig. 2)",
+		Run: func(c *omp.Context) {
+			a := c.AllocI64(1, "a")
+			at(c, 26, 1, "main").StoreI64(a, 0, 1)
+			c.Target(omp.Opts{
+				Maps: []omp.Map{omp.To(a)}, // BUG: tofrom needed
+				Loc:  dloc(26, 2, "main"),
+			}, func(k *omp.Context) {
+				at(k, 26, 3, "kernel")
+				k.StoreI64(a, 0, k.LoadI64(a, 0)+1)
+			})
+			_ = at(c, 26, 5, "main").LoadI64(a, 0) // printf("a = %d", a)
+		},
+	})
+
+	// DRACC_OMP_027 — missing target update to: host modifies between two
+	// kernels; the second kernel reads the stale CV.
+	register(&Benchmark{
+		ID: 27, Defect: DefectUSD,
+		Brief: "missing `target update to` after a host write; second kernel reads stale CV",
+		Run: func(c *omp.Context) {
+			v := c.AllocI64(N, "v")
+			s := c.AllocI64(1, "sum")
+			for i := 0; i < N; i++ {
+				at(c, 27, 4, "init").StoreI64(v, i, 1)
+			}
+			at(c, 27, 5, "init").StoreI64(s, 0, 0)
+			c.TargetData(omp.Opts{Maps: []omp.Map{omp.To(v), omp.ToFrom(s)}, Loc: dloc(27, 7, "main")}, func(c *omp.Context) {
+				c.Target(omp.Opts{Loc: dloc(27, 8, "main")}, func(k *omp.Context) {
+					at(k, 27, 9, "kernel1")
+					k.StoreI64(s, 0, k.LoadI64(s, 0)+k.LoadI64(v, 0))
+				})
+				for i := 0; i < N; i++ {
+					at(c, 27, 12, "main").StoreI64(v, i, 100) // host update
+				}
+				// BUG: missing c.TargetUpdate(To: v)
+				c.Target(omp.Opts{Loc: dloc(27, 14, "main")}, func(k *omp.Context) {
+					at(k, 27, 15, "kernel2")
+					k.StoreI64(s, 0, k.LoadI64(s, 0)+k.LoadI64(v, 0)) // stale read
+				})
+			})
+			_ = at(c, 27, 18, "main").LoadI64(s, 0)
+		},
+	})
+
+	// DRACC_OMP_032 — missing target update from: host consumes between
+	// kernels without synchronizing.
+	register(&Benchmark{
+		ID: 32, Defect: DefectUSD,
+		Brief: "missing `target update from` before a host read inside a data region",
+		Run: func(c *omp.Context) {
+			v := c.AllocI64(N, "v")
+			for i := 0; i < N; i++ {
+				at(c, 32, 4, "init").StoreI64(v, i, 1)
+			}
+			c.TargetData(omp.Opts{Maps: []omp.Map{omp.ToFrom(v)}, Loc: dloc(32, 6, "main")}, func(c *omp.Context) {
+				c.Target(omp.Opts{Loc: dloc(32, 7, "main")}, func(k *omp.Context) {
+					at(k, 32, 8, "kernel")
+					for i := 0; i < N; i++ {
+						k.StoreI64(v, i, k.LoadI64(v, i)*2)
+					}
+				})
+				// BUG: missing c.TargetUpdate(From: v)
+				_ = at(c, 32, 12, "main").LoadI64(v, 0) // stale host read
+			})
+		},
+	})
+
+	// DRACC_OMP_033 — premature release: exit data uses release where from
+	// is needed, discarding the kernel's result.
+	register(&Benchmark{
+		ID: 33, Defect: DefectUSD,
+		Brief: "exit data map(release:) where map(from:) is needed; device result discarded",
+		Run: func(c *omp.Context) {
+			v := c.AllocI64(N, "v")
+			for i := 0; i < N; i++ {
+				at(c, 33, 4, "init").StoreI64(v, i, int64(i))
+			}
+			c.TargetEnterData(omp.Opts{Maps: []omp.Map{omp.To(v)}, Loc: dloc(33, 6, "main")})
+			c.Target(omp.Opts{Loc: dloc(33, 7, "main")}, func(k *omp.Context) {
+				at(k, 33, 8, "kernel")
+				for i := 0; i < N; i++ {
+					k.StoreI64(v, i, k.LoadI64(v, i)+10)
+				}
+			})
+			c.TargetExitData(omp.Opts{
+				Maps: []omp.Map{omp.Release(v)}, // BUG: from needed
+				Loc:  dloc(33, 11, "main"),
+			})
+			_ = at(c, 33, 13, "main").LoadI64(v, 0) // stale host read
+		},
+	})
+
+	// DRACC_OMP_034 — uninitialized host data transferred to the device:
+	// the kernel-side read manifests as a UUM, but the transfer laundering
+	// hides it from MSan and Valgrind (paper §VI-C discusses exactly this
+	// benchmark). Only the VSM's initialization propagation catches it.
+	register(&Benchmark{
+		ID: 34, Defect: DefectUSD,
+		Brief: "map(to:) of never-initialized host data; kernel-side UUM hidden from MSan/Valgrind by transfer laundering",
+		Run: func(c *omp.Context) {
+			v := c.AllocI64(N, "v")
+			s := c.AllocI64(1, "sum")
+			// BUG: v is never initialized on the host.
+			at(c, 34, 4, "init").StoreI64(s, 0, 0)
+			c.Target(omp.Opts{
+				Maps: []omp.Map{omp.To(v), omp.ToFrom(s)},
+				Loc:  dloc(34, 6, "main"),
+			}, func(k *omp.Context) {
+				at(k, 34, 8, "kernel")
+				acc := k.LoadI64(s, 0)
+				for i := 0; i < N; i++ {
+					acc += k.LoadI64(v, i)
+				}
+				k.StoreI64(s, 0, acc)
+			})
+			_ = at(c, 34, 12, "main").LoadI64(s, 0)
+		},
+	})
+}

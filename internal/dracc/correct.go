@@ -1,0 +1,918 @@
+package dracc
+
+import (
+	"repro/internal/omp"
+)
+
+// The 40 defect-free benchmarks (IDs 1-21, 35-48, 52-56). They cover the
+// same construct surface as the buggy set — map-types, sections, data
+// regions, explicit updates, reference counting, nowait tasks with depend
+// clauses, multiple devices, unified memory — written correctly. The paper
+// reports that none of the five tools produces a false positive on these
+// (§VI-C), which TestDRACCNoFalsePositives verifies for this suite.
+
+func init() {
+	registerCorrectBasics()
+	registerCorrectDataRegions()
+	registerCorrectAsync()
+	registerCorrectAdvanced()
+}
+
+// fillI64 initializes buf on the host.
+func fillI64(c *omp.Context, id int, buf *omp.Buffer, f func(i int) int64) {
+	at(c, id, 2, "init")
+	for i := 0; i < buf.Len(); i++ {
+		c.StoreI64(buf, i, f(i))
+	}
+}
+
+// drainI64 reads every element on the host (the "consume the result" side
+// of each benchmark).
+func drainI64(c *omp.Context, id int, buf *omp.Buffer) {
+	at(c, id, 90, "consume")
+	for i := 0; i < buf.Len(); i++ {
+		_ = c.LoadI64(buf, i)
+	}
+}
+
+func registerCorrectBasics() {
+	register(&Benchmark{
+		ID: 1, Defect: DefectNone,
+		Brief: "vector add with map(to:) inputs and map(from:) output",
+		Run: func(c *omp.Context) {
+			a, b, out := c.AllocI64(N, "a"), c.AllocI64(N, "b"), c.AllocI64(N, "out")
+			fillI64(c, 1, a, func(i int) int64 { return int64(i) })
+			fillI64(c, 1, b, func(i int) int64 { return int64(2 * i) })
+			c.Target(omp.Opts{Maps: []omp.Map{omp.To(a), omp.To(b), omp.From(out)}, Loc: dloc(1, 5, "main")}, func(k *omp.Context) {
+				k.ParallelFor(N, func(k *omp.Context, i int) {
+					at(k, 1, 7, "kernel").StoreI64(out, i, k.LoadI64(a, i)+k.LoadI64(b, i))
+				})
+			})
+			drainI64(c, 1, out)
+		},
+	})
+
+	register(&Benchmark{
+		ID: 2, Defect: DefectNone,
+		Brief: "saxpy with map(tofrom:) accumulator",
+		Run: func(c *omp.Context) {
+			x, y := c.AllocI64(N, "x"), c.AllocI64(N, "y")
+			fillI64(c, 2, x, func(i int) int64 { return int64(i) })
+			fillI64(c, 2, y, func(i int) int64 { return 1 })
+			c.Target(omp.Opts{Maps: []omp.Map{omp.To(x), omp.ToFrom(y)}, Loc: dloc(2, 5, "main")}, func(k *omp.Context) {
+				k.ParallelFor(N, func(k *omp.Context, i int) {
+					at(k, 2, 7, "kernel").StoreI64(y, i, k.LoadI64(y, i)+3*k.LoadI64(x, i))
+				})
+			})
+			drainI64(c, 2, y)
+		},
+	})
+
+	register(&Benchmark{
+		ID: 3, Defect: DefectNone,
+		Brief: "in-place scaling with map(tofrom:)",
+		Run: func(c *omp.Context) {
+			v := c.AllocI64(N, "v")
+			fillI64(c, 3, v, func(i int) int64 { return int64(i) })
+			c.Target(omp.Opts{Maps: []omp.Map{omp.ToFrom(v)}, Loc: dloc(3, 4, "main")}, func(k *omp.Context) {
+				k.ParallelFor(N, func(k *omp.Context, i int) {
+					at(k, 3, 6, "kernel").StoreI64(v, i, k.LoadI64(v, i)*5)
+				})
+			})
+			drainI64(c, 3, v)
+		},
+	})
+
+	register(&Benchmark{
+		ID: 4, Defect: DefectNone,
+		Brief: "sum reduction with a tofrom scalar, sequential kernel loop",
+		Run: func(c *omp.Context) {
+			v, s := c.AllocI64(N, "v"), c.AllocI64(1, "sum")
+			fillI64(c, 4, v, func(i int) int64 { return 1 })
+			at(c, 4, 3, "init").StoreI64(s, 0, 0)
+			c.Target(omp.Opts{Maps: []omp.Map{omp.To(v), omp.ToFrom(s)}, Loc: dloc(4, 5, "main")}, func(k *omp.Context) {
+				at(k, 4, 7, "kernel")
+				acc := k.LoadI64(s, 0)
+				for i := 0; i < N; i++ {
+					acc += k.LoadI64(v, i)
+				}
+				k.StoreI64(s, 0, acc)
+			})
+			_ = at(c, 4, 12, "main").LoadI64(s, 0)
+		},
+	})
+
+	register(&Benchmark{
+		ID: 5, Defect: DefectNone,
+		Brief: "two correct half-array sections processed by separate regions",
+		Run: func(c *omp.Context) {
+			v := c.AllocI64(N, "v")
+			fillI64(c, 5, v, func(i int) int64 { return int64(i) })
+			c.Target(omp.Opts{Maps: []omp.Map{omp.ToFrom(v).Section(0, N/2)}, Loc: dloc(5, 4, "main")}, func(k *omp.Context) {
+				at(k, 5, 6, "kernel1")
+				for i := 0; i < N/2; i++ {
+					k.StoreI64(v, i, k.LoadI64(v, i)+100)
+				}
+			})
+			c.Target(omp.Opts{Maps: []omp.Map{omp.ToFrom(v).Section(N/2, N)}, Loc: dloc(5, 9, "main")}, func(k *omp.Context) {
+				at(k, 5, 11, "kernel2")
+				for i := N / 2; i < N; i++ {
+					k.StoreI64(v, i, k.LoadI64(v, i)+200)
+				}
+			})
+			drainI64(c, 5, v)
+		},
+	})
+
+	register(&Benchmark{
+		ID: 6, Defect: DefectNone,
+		Brief: "map(alloc:) scratch buffer written by the kernel before any read",
+		Run: func(c *omp.Context) {
+			v, scratch := c.AllocI64(N, "v"), c.AllocI64(N, "scratch")
+			fillI64(c, 6, v, func(i int) int64 { return int64(i) })
+			c.Target(omp.Opts{Maps: []omp.Map{omp.ToFrom(v), omp.Alloc(scratch)}, Loc: dloc(6, 4, "main")}, func(k *omp.Context) {
+				at(k, 6, 6, "kernel")
+				for i := 0; i < N; i++ {
+					k.StoreI64(scratch, i, k.LoadI64(v, i)*2) // write before read
+				}
+				for i := 0; i < N; i++ {
+					k.StoreI64(v, i, k.LoadI64(scratch, i)+1)
+				}
+			})
+			drainI64(c, 6, v)
+		},
+	})
+
+	register(&Benchmark{
+		ID: 7, Defect: DefectNone,
+		Brief: "enter/exit data with map(to:) in and map(from:) out",
+		Run: func(c *omp.Context) {
+			v := c.AllocI64(N, "v")
+			fillI64(c, 7, v, func(i int) int64 { return int64(i) })
+			c.TargetEnterData(omp.Opts{Maps: []omp.Map{omp.To(v)}, Loc: dloc(7, 4, "main")})
+			c.Target(omp.Opts{Loc: dloc(7, 5, "main")}, func(k *omp.Context) {
+				at(k, 7, 6, "kernel")
+				for i := 0; i < N; i++ {
+					k.StoreI64(v, i, k.LoadI64(v, i)+7)
+				}
+			})
+			c.TargetExitData(omp.Opts{Maps: []omp.Map{omp.From(v)}, Loc: dloc(7, 9, "main")})
+			drainI64(c, 7, v)
+		},
+	})
+
+	register(&Benchmark{
+		ID: 8, Defect: DefectNone,
+		Brief: "`target update to` after a host write inside a data region (the fix for 027)",
+		Run: func(c *omp.Context) {
+			v, s := c.AllocI64(N, "v"), c.AllocI64(1, "sum")
+			fillI64(c, 8, v, func(i int) int64 { return 1 })
+			at(c, 8, 3, "init").StoreI64(s, 0, 0)
+			c.TargetData(omp.Opts{Maps: []omp.Map{omp.To(v), omp.ToFrom(s)}, Loc: dloc(8, 5, "main")}, func(c *omp.Context) {
+				c.Target(omp.Opts{Loc: dloc(8, 6, "main")}, func(k *omp.Context) {
+					at(k, 8, 7, "kernel1").StoreI64(s, 0, k.LoadI64(s, 0)+k.LoadI64(v, 0))
+				})
+				for i := 0; i < N; i++ {
+					at(c, 8, 10, "main").StoreI64(v, i, 100)
+				}
+				c.TargetUpdate(omp.UpdateOpts{To: []omp.Map{{Buf: v}}, Loc: dloc(8, 12, "main")}) // FIX
+				c.Target(omp.Opts{Loc: dloc(8, 13, "main")}, func(k *omp.Context) {
+					at(k, 8, 14, "kernel2").StoreI64(s, 0, k.LoadI64(s, 0)+k.LoadI64(v, 0))
+				})
+			})
+			_ = at(c, 8, 17, "main").LoadI64(s, 0)
+		},
+	})
+
+	register(&Benchmark{
+		ID: 9, Defect: DefectNone,
+		Brief: "`target update from` before a host read inside a data region (the fix for 032)",
+		Run: func(c *omp.Context) {
+			v := c.AllocI64(N, "v")
+			fillI64(c, 9, v, func(i int) int64 { return 1 })
+			c.TargetData(omp.Opts{Maps: []omp.Map{omp.ToFrom(v)}, Loc: dloc(9, 4, "main")}, func(c *omp.Context) {
+				c.Target(omp.Opts{Loc: dloc(9, 5, "main")}, func(k *omp.Context) {
+					at(k, 9, 6, "kernel")
+					for i := 0; i < N; i++ {
+						k.StoreI64(v, i, k.LoadI64(v, i)*2)
+					}
+				})
+				c.TargetUpdate(omp.UpdateOpts{From: []omp.Map{{Buf: v}}, Loc: dloc(9, 9, "main")}) // FIX
+				_ = at(c, 9, 10, "main").LoadI64(v, 0)
+			})
+			drainI64(c, 9, v)
+		},
+	})
+
+	register(&Benchmark{
+		ID: 10, Defect: DefectNone,
+		Brief: "repeated kernels inside one data region, final copy-back at exit",
+		Run: func(c *omp.Context) {
+			v := c.AllocI64(N, "v")
+			fillI64(c, 10, v, func(i int) int64 { return int64(i) })
+			c.TargetData(omp.Opts{Maps: []omp.Map{omp.ToFrom(v)}, Loc: dloc(10, 4, "main")}, func(c *omp.Context) {
+				for iter := 0; iter < 4; iter++ {
+					c.Target(omp.Opts{Loc: dloc(10, 6, "main")}, func(k *omp.Context) {
+						at(k, 10, 7, "kernel")
+						for i := 0; i < N; i++ {
+							k.StoreI64(v, i, k.LoadI64(v, i)+1)
+						}
+					})
+				}
+			})
+			drainI64(c, 10, v)
+		},
+	})
+
+	register(&Benchmark{
+		ID: 11, Defect: DefectNone,
+		Brief: "nested target inside target data reuses the mapping via reference counting",
+		Run: func(c *omp.Context) {
+			v := c.AllocI64(N, "v")
+			fillI64(c, 11, v, func(i int) int64 { return 2 })
+			c.TargetData(omp.Opts{Maps: []omp.Map{omp.ToFrom(v)}, Loc: dloc(11, 4, "main")}, func(c *omp.Context) {
+				c.Target(omp.Opts{Maps: []omp.Map{omp.ToFrom(v)}, Loc: dloc(11, 5, "main")}, func(k *omp.Context) {
+					at(k, 11, 6, "kernel")
+					for i := 0; i < N; i++ {
+						k.StoreI64(v, i, k.LoadI64(v, i)*3)
+					}
+				})
+			})
+			drainI64(c, 11, v)
+		},
+	})
+
+	register(&Benchmark{
+		ID: 12, Defect: DefectNone,
+		Brief: "byte-granularity processing of a map(tofrom:) buffer",
+		Run: func(c *omp.Context) {
+			v := c.AllocBytes(N, "bytes")
+			at(c, 12, 2, "init")
+			for i := 0; i < N; i++ {
+				c.StoreU8(v, i, uint8(i))
+			}
+			c.Target(omp.Opts{Maps: []omp.Map{omp.ToFrom(v)}, Loc: dloc(12, 5, "main")}, func(k *omp.Context) {
+				at(k, 12, 7, "kernel")
+				for i := 0; i < N; i++ {
+					k.StoreU8(v, i, k.LoadU8(v, i)^0xFF)
+				}
+			})
+			at(c, 12, 10, "consume")
+			for i := 0; i < N; i++ {
+				_ = c.LoadU8(v, i)
+			}
+		},
+	})
+
+	register(&Benchmark{
+		ID: 13, Defect: DefectNone,
+		Brief: "float64 stencil-style kernel with correct halo mapping",
+		Run: func(c *omp.Context) {
+			in, out := c.AllocF64(N, "in"), c.AllocF64(N, "out")
+			at(c, 13, 2, "init")
+			for i := 0; i < N; i++ {
+				c.StoreF64(in, i, float64(i))
+				c.StoreF64(out, i, 0)
+			}
+			c.Target(omp.Opts{Maps: []omp.Map{omp.To(in), omp.ToFrom(out)}, Loc: dloc(13, 5, "main")}, func(k *omp.Context) {
+				at(k, 13, 7, "kernel")
+				for i := 1; i < N-1; i++ {
+					k.StoreF64(out, i, (k.LoadF64(in, i-1)+k.LoadF64(in, i)+k.LoadF64(in, i+1))/3)
+				}
+			})
+			at(c, 13, 10, "consume")
+			for i := 1; i < N-1; i++ {
+				_ = c.LoadF64(out, i)
+			}
+		},
+	})
+
+	register(&Benchmark{
+		ID: 14, Defect: DefectNone,
+		Brief: "small matrix multiply with full, correct 2D mappings",
+		Run: func(c *omp.Context) {
+			const d = 8
+			a, b, o := c.AllocI64(d*d, "A"), c.AllocI64(d*d, "B"), c.AllocI64(d*d, "C")
+			fillI64(c, 14, a, func(i int) int64 { return int64(i % 3) })
+			fillI64(c, 14, b, func(i int) int64 { return int64(i % 5) })
+			fillI64(c, 14, o, func(i int) int64 { return 0 })
+			c.Target(omp.Opts{Maps: []omp.Map{omp.To(a), omp.To(b), omp.ToFrom(o)}, Loc: dloc(14, 5, "main")}, func(k *omp.Context) {
+				k.ParallelFor(d, func(k *omp.Context, i int) {
+					at(k, 14, 7, "kernel")
+					for j := 0; j < d; j++ {
+						var acc int64
+						for l := 0; l < d; l++ {
+							acc += k.LoadI64(a, i*d+l) * k.LoadI64(b, l*d+j)
+						}
+						k.StoreI64(o, i*d+j, acc)
+					}
+				})
+			})
+			drainI64(c, 14, o)
+		},
+	})
+
+	register(&Benchmark{
+		ID: 15, Defect: DefectNone,
+		Brief: "exact off-by-one boundary: map N elements, touch exactly N",
+		Run: func(c *omp.Context) {
+			v := c.AllocI64(N, "v")
+			fillI64(c, 15, v, func(i int) int64 { return int64(i) })
+			c.Target(omp.Opts{Maps: []omp.Map{omp.ToFrom(v).Section(0, N)}, Loc: dloc(15, 4, "main")}, func(k *omp.Context) {
+				at(k, 15, 6, "kernel")
+				for i := 0; i <= N-1; i++ {
+					k.StoreI64(v, i, k.LoadI64(v, i)+1)
+				}
+			})
+			drainI64(c, 15, v)
+		},
+	})
+
+	register(&Benchmark{
+		ID: 16, Defect: DefectNone,
+		Brief: "shifted window mapped and indexed consistently (the fix for 028)",
+		Run: func(c *omp.Context) {
+			v, s := c.AllocI64(N, "v"), c.AllocI64(1, "sum")
+			fillI64(c, 16, v, func(i int) int64 { return 2 })
+			at(c, 16, 3, "init").StoreI64(s, 0, 0)
+			c.Target(omp.Opts{
+				Maps: []omp.Map{omp.ToFrom(s), omp.To(v).Section(N/2, N)},
+				Loc:  dloc(16, 5, "main"),
+			}, func(k *omp.Context) {
+				at(k, 16, 8, "kernel")
+				acc := k.LoadI64(s, 0)
+				for i := N / 2; i < N; i++ { // FIX: index the mapped window
+					acc += k.LoadI64(v, i)
+				}
+				k.StoreI64(s, 0, acc)
+			})
+			_ = at(c, 16, 12, "main").LoadI64(s, 0)
+		},
+	})
+
+	register(&Benchmark{
+		ID: 17, Defect: DefectNone,
+		Brief: "exit data map(delete:) after the result was copied out by `update from`",
+		Run: func(c *omp.Context) {
+			v := c.AllocI64(N, "v")
+			fillI64(c, 17, v, func(i int) int64 { return int64(i) })
+			c.TargetEnterData(omp.Opts{Maps: []omp.Map{omp.To(v)}, Loc: dloc(17, 4, "main")})
+			c.Target(omp.Opts{Loc: dloc(17, 5, "main")}, func(k *omp.Context) {
+				at(k, 17, 6, "kernel")
+				for i := 0; i < N; i++ {
+					k.StoreI64(v, i, k.LoadI64(v, i)*2)
+				}
+			})
+			c.TargetUpdate(omp.UpdateOpts{From: []omp.Map{{Buf: v}}, Loc: dloc(17, 9, "main")})
+			c.TargetExitData(omp.Opts{Maps: []omp.Map{omp.Delete(v)}, Loc: dloc(17, 10, "main")})
+			drainI64(c, 17, v)
+		},
+	})
+
+	register(&Benchmark{
+		ID: 18, Defect: DefectNone,
+		Brief: "int32 elements with correct tofrom mapping",
+		Run: func(c *omp.Context) {
+			v := c.AllocI32(N, "v32")
+			at(c, 18, 2, "init")
+			for i := 0; i < N; i++ {
+				c.StoreI32(v, i, int32(i))
+			}
+			c.Target(omp.Opts{Maps: []omp.Map{omp.ToFrom(v)}, Loc: dloc(18, 5, "main")}, func(k *omp.Context) {
+				at(k, 18, 7, "kernel")
+				for i := 0; i < N; i++ {
+					k.StoreI32(v, i, k.LoadI32(v, i)*2)
+				}
+			})
+			at(c, 18, 10, "consume")
+			for i := 0; i < N; i++ {
+				_ = c.LoadI32(v, i)
+			}
+		},
+	})
+
+	register(&Benchmark{
+		ID: 19, Defect: DefectNone,
+		Brief: "host compute alternating with device compute via paired updates",
+		Run: func(c *omp.Context) {
+			v := c.AllocI64(N, "v")
+			fillI64(c, 19, v, func(i int) int64 { return 1 })
+			c.TargetData(omp.Opts{Maps: []omp.Map{omp.ToFrom(v)}, Loc: dloc(19, 4, "main")}, func(c *omp.Context) {
+				for round := 0; round < 3; round++ {
+					c.Target(omp.Opts{Loc: dloc(19, 6, "main")}, func(k *omp.Context) {
+						at(k, 19, 7, "device")
+						for i := 0; i < N; i++ {
+							k.StoreI64(v, i, k.LoadI64(v, i)+1)
+						}
+					})
+					c.TargetUpdate(omp.UpdateOpts{From: []omp.Map{{Buf: v}}, Loc: dloc(19, 10, "main")})
+					for i := 0; i < N; i++ {
+						at(c, 19, 12, "host").StoreI64(v, i, c.LoadI64(v, i)*2)
+					}
+					c.TargetUpdate(omp.UpdateOpts{To: []omp.Map{{Buf: v}}, Loc: dloc(19, 14, "main")})
+				}
+			})
+			drainI64(c, 19, v)
+		},
+	})
+
+	register(&Benchmark{
+		ID: 20, Defect: DefectNone,
+		Brief: "dot product with sequential accumulation on the device",
+		Run: func(c *omp.Context) {
+			x, y, s := c.AllocI64(N, "x"), c.AllocI64(N, "y"), c.AllocI64(1, "dot")
+			fillI64(c, 20, x, func(i int) int64 { return int64(i) })
+			fillI64(c, 20, y, func(i int) int64 { return int64(i + 1) })
+			at(c, 20, 4, "init").StoreI64(s, 0, 0)
+			c.Target(omp.Opts{Maps: []omp.Map{omp.To(x), omp.To(y), omp.ToFrom(s)}, Loc: dloc(20, 6, "main")}, func(k *omp.Context) {
+				at(k, 20, 8, "kernel")
+				acc := k.LoadI64(s, 0)
+				for i := 0; i < N; i++ {
+					acc += k.LoadI64(x, i) * k.LoadI64(y, i)
+				}
+				k.StoreI64(s, 0, acc)
+			})
+			_ = at(c, 20, 12, "main").LoadI64(s, 0)
+		},
+	})
+
+	register(&Benchmark{
+		ID: 21, Defect: DefectNone,
+		Brief: "per-worker partial sums combined on the host (race-free reduction)",
+		Run: func(c *omp.Context) {
+			const workers = 4
+			v, parts := c.AllocI64(N, "v"), c.AllocI64(workers, "parts")
+			fillI64(c, 21, v, func(i int) int64 { return 1 })
+			fillI64(c, 21, parts, func(i int) int64 { return 0 })
+			c.Target(omp.Opts{Maps: []omp.Map{omp.To(v), omp.ToFrom(parts)}, Loc: dloc(21, 5, "main")}, func(k *omp.Context) {
+				k.ParallelFor(workers, func(k *omp.Context, w int) {
+					at(k, 21, 7, "kernel")
+					chunk := N / workers
+					acc := k.LoadI64(parts, w)
+					for i := w * chunk; i < (w+1)*chunk; i++ {
+						acc += k.LoadI64(v, i)
+					}
+					k.StoreI64(parts, w, acc)
+				})
+			})
+			var total int64
+			at(c, 21, 13, "combine")
+			for w := 0; w < workers; w++ {
+				total += c.LoadI64(parts, w)
+			}
+			_ = total
+		},
+	})
+}
+
+func registerCorrectDataRegions() {
+	register(&Benchmark{
+		ID: 35, Defect: DefectNone,
+		Brief: "float32 triad with correct mappings",
+		Run: func(c *omp.Context) {
+			a, b, o := c.AllocF32(N, "a"), c.AllocF32(N, "b"), c.AllocF32(N, "o")
+			at(c, 35, 2, "init")
+			for i := 0; i < N; i++ {
+				c.StoreF32(a, i, float32(i))
+				c.StoreF32(b, i, 2)
+			}
+			c.Target(omp.Opts{Maps: []omp.Map{omp.To(a), omp.To(b), omp.From(o)}, Loc: dloc(35, 5, "main")}, func(k *omp.Context) {
+				at(k, 35, 7, "kernel")
+				for i := 0; i < N; i++ {
+					k.StoreF32(o, i, k.LoadF32(a, i)+1.5*k.LoadF32(b, i))
+				}
+			})
+			at(c, 35, 10, "consume")
+			for i := 0; i < N; i++ {
+				_ = c.LoadF32(o, i)
+			}
+		},
+	})
+
+	register(&Benchmark{
+		ID: 36, Defect: DefectNone, Devices: 2,
+		Brief: "two devices processing disjoint halves of one array",
+		Run: func(c *omp.Context) {
+			v := c.AllocI64(N, "v")
+			fillI64(c, 36, v, func(i int) int64 { return int64(i) })
+			half := N / 2
+			c.Target(omp.Opts{Device: 0, Maps: []omp.Map{omp.ToFrom(v).Section(0, half)}, Loc: dloc(36, 4, "main")}, func(k *omp.Context) {
+				at(k, 36, 5, "kernel0")
+				for i := 0; i < half; i++ {
+					k.StoreI64(v, i, k.LoadI64(v, i)+100)
+				}
+			})
+			dev1 := 0
+			if c.Runtime().NumDevices() > 1 {
+				dev1 = 1
+			}
+			c.Target(omp.Opts{Device: dev1, Maps: []omp.Map{omp.ToFrom(v).Section(half, N)}, Loc: dloc(36, 9, "main")}, func(k *omp.Context) {
+				at(k, 36, 10, "kernel1")
+				for i := half; i < N; i++ {
+					k.StoreI64(v, i, k.LoadI64(v, i)+200)
+				}
+			})
+			drainI64(c, 36, v)
+		},
+	})
+
+	register(&Benchmark{
+		ID: 37, Defect: DefectNone,
+		Brief: "enter data with paired update to/from across several kernels",
+		Run: func(c *omp.Context) {
+			v := c.AllocI64(N, "v")
+			fillI64(c, 37, v, func(i int) int64 { return 1 })
+			c.TargetEnterData(omp.Opts{Maps: []omp.Map{omp.To(v)}, Loc: dloc(37, 4, "main")})
+			for round := 0; round < 2; round++ {
+				c.Target(omp.Opts{Loc: dloc(37, 6, "main")}, func(k *omp.Context) {
+					at(k, 37, 7, "kernel")
+					for i := 0; i < N; i++ {
+						k.StoreI64(v, i, k.LoadI64(v, i)*2)
+					}
+				})
+			}
+			c.TargetExitData(omp.Opts{Maps: []omp.Map{omp.From(v)}, Loc: dloc(37, 11, "main")})
+			drainI64(c, 37, v)
+		},
+	})
+
+	register(&Benchmark{
+		ID: 38, Defect: DefectNone,
+		Brief: "enter data map(alloc:) followed by `update to` before use (the fix for 049)",
+		Run: func(c *omp.Context) {
+			v, s := c.AllocF64(N, "v"), c.AllocF64(N, "s")
+			at(c, 38, 2, "init")
+			for i := 0; i < N; i++ {
+				c.StoreF64(v, i, float64(i))
+				c.StoreF64(s, i, 0)
+			}
+			c.TargetEnterData(omp.Opts{Maps: []omp.Map{omp.Alloc(v)}, Loc: dloc(38, 5, "main")})
+			c.TargetUpdate(omp.UpdateOpts{To: []omp.Map{{Buf: v}}, Loc: dloc(38, 6, "main")}) // FIX
+			c.Target(omp.Opts{Maps: []omp.Map{omp.ToFrom(s)}, Loc: dloc(38, 7, "main")}, func(k *omp.Context) {
+				at(k, 38, 9, "kernel")
+				for i := 0; i < N; i++ {
+					k.StoreF64(s, i, k.LoadF64(s, i)+k.LoadF64(v, i))
+				}
+			})
+			c.TargetExitData(omp.Opts{Maps: []omp.Map{omp.Release(v)}, Loc: dloc(38, 12, "main")})
+			at(c, 38, 13, "consume")
+			for i := 0; i < N; i++ {
+				_ = c.LoadF64(s, i)
+			}
+		},
+	})
+
+	register(&Benchmark{
+		ID: 39, Defect: DefectNone,
+		Brief: "outer target data map(to:) feeding inner kernels (the fix for 051)",
+		Run: func(c *omp.Context) {
+			v, s := c.AllocI64(N, "v"), c.AllocI64(1, "sum")
+			fillI64(c, 39, v, func(i int) int64 { return 1 })
+			at(c, 39, 3, "init").StoreI64(s, 0, 0)
+			c.TargetData(omp.Opts{Maps: []omp.Map{omp.To(v)}, Loc: dloc(39, 5, "main")}, func(c *omp.Context) {
+				c.Target(omp.Opts{Maps: []omp.Map{omp.ToFrom(s)}, Loc: dloc(39, 6, "main")}, func(k *omp.Context) {
+					at(k, 39, 8, "kernel")
+					acc := k.LoadI64(s, 0)
+					for i := 0; i < N; i++ {
+						acc += k.LoadI64(v, i)
+					}
+					k.StoreI64(s, 0, acc)
+				})
+			})
+			_ = at(c, 39, 13, "main").LoadI64(s, 0)
+		},
+	})
+
+	register(&Benchmark{
+		ID: 40, Defect: DefectNone,
+		Brief: "double buffering with both buffers transferred (the fix for 050)",
+		Run: func(c *omp.Context) {
+			buf0, buf1, out := c.AllocI64(N, "buf0"), c.AllocI64(N, "buf1"), c.AllocI64(N, "out")
+			fillI64(c, 40, buf0, func(i int) int64 { return int64(i) })
+			fillI64(c, 40, buf1, func(i int) int64 { return int64(2 * i) })
+			fillI64(c, 40, out, func(i int) int64 { return 0 })
+			c.Target(omp.Opts{Maps: []omp.Map{omp.To(buf0), omp.To(buf1), omp.From(out)}, Loc: dloc(40, 5, "main")}, func(k *omp.Context) {
+				at(k, 40, 7, "kernel")
+				for i := 0; i < N; i++ {
+					k.StoreI64(out, i, k.LoadI64(buf0, i)+k.LoadI64(buf1, i))
+				}
+			})
+			drainI64(c, 40, out)
+		},
+	})
+
+	register(&Benchmark{
+		ID: 41, Defect: DefectNone,
+		Brief: "map(from:) output fully written by the kernel (the fix for 024)",
+		Run: func(c *omp.Context) {
+			src, acc := c.AllocI64(N, "src"), c.AllocI64(N, "acc")
+			fillI64(c, 41, src, func(i int) int64 { return int64(i) })
+			c.Target(omp.Opts{Maps: []omp.Map{omp.To(src), omp.From(acc)}, Loc: dloc(41, 4, "main")}, func(k *omp.Context) {
+				at(k, 41, 6, "kernel")
+				for i := 0; i < N; i++ {
+					k.StoreI64(acc, i, k.LoadI64(src, i)) // write-only use of acc
+				}
+			})
+			drainI64(c, 41, acc)
+		},
+	})
+
+	register(&Benchmark{
+		ID: 42, Defect: DefectNone,
+		Brief: "matrix-vector product with all inputs mapped to (the fix for 022)",
+		Run: func(c *omp.Context) {
+			a := c.AllocI64(N, "a")
+			b := c.AllocI64(N*N, "b")
+			out := c.AllocI64(N, "c")
+			fillI64(c, 42, a, func(i int) int64 { return int64(i % 7) })
+			fillI64(c, 42, b, func(i int) int64 { return 1 })
+			fillI64(c, 42, out, func(i int) int64 { return 0 })
+			c.Target(omp.Opts{Maps: []omp.Map{omp.To(a), omp.To(b), omp.ToFrom(out)}, Loc: dloc(42, 7, "main")}, func(k *omp.Context) {
+				k.TeamsDistributeParallelFor(4, N, func(k *omp.Context, i int) {
+					at(k, 42, 16, "kernel")
+					acc := k.LoadI64(out, i)
+					for j := 0; j < N; j++ {
+						acc += k.LoadI64(b, j+i*N) * k.LoadI64(a, j)
+					}
+					k.StoreI64(out, i, acc)
+				})
+			})
+			drainI64(c, 42, out)
+		},
+	})
+}
+
+func registerCorrectAsync() {
+	register(&Benchmark{
+		ID: 43, Defect: DefectNone,
+		Brief: "nowait kernel joined by taskwait before the result is consumed",
+		Run: func(c *omp.Context) {
+			v := c.AllocI64(N, "v")
+			fillI64(c, 43, v, func(i int) int64 { return int64(i) })
+			c.TargetData(omp.Opts{Maps: []omp.Map{omp.ToFrom(v)}, Loc: dloc(43, 4, "main")}, func(c *omp.Context) {
+				c.Target(omp.Opts{Nowait: true, Loc: dloc(43, 5, "main")}, func(k *omp.Context) {
+					at(k, 43, 6, "kernel")
+					for i := 0; i < N; i++ {
+						k.StoreI64(v, i, k.LoadI64(v, i)+1)
+					}
+				})
+				at(c, 43, 9, "main").TaskWait()
+			})
+			drainI64(c, 43, v)
+		},
+	})
+
+	register(&Benchmark{
+		ID: 44, Defect: DefectNone,
+		Brief: "chain of nowait kernels ordered by depend(inout:)",
+		Run: func(c *omp.Context) {
+			v := c.AllocI64(N, "v")
+			fillI64(c, 44, v, func(i int) int64 { return 0 })
+			c.TargetData(omp.Opts{Maps: []omp.Map{omp.ToFrom(v)}, Loc: dloc(44, 4, "main")}, func(c *omp.Context) {
+				for step := 0; step < 3; step++ {
+					c.Target(omp.Opts{
+						Nowait:     true,
+						DependsIn:  []*omp.Buffer{v},
+						DependsOut: []*omp.Buffer{v},
+						Loc:        dloc(44, 6, "main"),
+					}, func(k *omp.Context) {
+						at(k, 44, 8, "kernel")
+						for i := 0; i < N; i++ {
+							k.StoreI64(v, i, k.LoadI64(v, i)+1)
+						}
+					})
+				}
+				at(c, 44, 12, "main").TaskWait()
+			})
+			drainI64(c, 44, v)
+		},
+	})
+
+	register(&Benchmark{
+		ID: 45, Defect: DefectNone,
+		Brief: "two independent nowait kernels on disjoint buffers",
+		Run: func(c *omp.Context) {
+			a, b := c.AllocI64(N, "a"), c.AllocI64(N, "b")
+			fillI64(c, 45, a, func(i int) int64 { return 1 })
+			fillI64(c, 45, b, func(i int) int64 { return 2 })
+			c.Target(omp.Opts{Nowait: true, Maps: []omp.Map{omp.ToFrom(a)}, Loc: dloc(45, 4, "main")}, func(k *omp.Context) {
+				at(k, 45, 5, "kernelA")
+				for i := 0; i < N; i++ {
+					k.StoreI64(a, i, k.LoadI64(a, i)*2)
+				}
+			})
+			c.Target(omp.Opts{Nowait: true, Maps: []omp.Map{omp.ToFrom(b)}, Loc: dloc(45, 8, "main")}, func(k *omp.Context) {
+				at(k, 45, 9, "kernelB")
+				for i := 0; i < N; i++ {
+					k.StoreI64(b, i, k.LoadI64(b, i)*3)
+				}
+			})
+			at(c, 45, 12, "main").TaskWait()
+			drainI64(c, 45, a)
+			drainI64(c, 45, b)
+		},
+	})
+
+	register(&Benchmark{
+		ID: 46, Defect: DefectNone,
+		Brief: "producer/consumer nowait pipeline ordered by depend(in:/out:)",
+		Run: func(c *omp.Context) {
+			src, mid, dst := c.AllocI64(N, "src"), c.AllocI64(N, "mid"), c.AllocI64(N, "dst")
+			fillI64(c, 46, src, func(i int) int64 { return int64(i) })
+			fillI64(c, 46, mid, func(i int) int64 { return 0 })
+			fillI64(c, 46, dst, func(i int) int64 { return 0 })
+			c.TargetData(omp.Opts{Maps: []omp.Map{omp.To(src), omp.ToFrom(mid), omp.ToFrom(dst)}, Loc: dloc(46, 5, "main")}, func(c *omp.Context) {
+				c.Target(omp.Opts{
+					Nowait: true, DependsIn: []*omp.Buffer{src}, DependsOut: []*omp.Buffer{mid},
+					Loc: dloc(46, 6, "main"),
+				}, func(k *omp.Context) {
+					at(k, 46, 8, "stage1")
+					for i := 0; i < N; i++ {
+						k.StoreI64(mid, i, k.LoadI64(src, i)*2)
+					}
+				})
+				c.Target(omp.Opts{
+					Nowait: true, DependsIn: []*omp.Buffer{mid}, DependsOut: []*omp.Buffer{dst},
+					Loc: dloc(46, 11, "main"),
+				}, func(k *omp.Context) {
+					at(k, 46, 13, "stage2")
+					for i := 0; i < N; i++ {
+						k.StoreI64(dst, i, k.LoadI64(mid, i)+1)
+					}
+				})
+				at(c, 46, 16, "main").TaskWait()
+			})
+			drainI64(c, 46, dst)
+		},
+	})
+
+	register(&Benchmark{
+		ID: 47, Defect: DefectNone,
+		Brief: "nowait target update from, ordered before host reads by taskwait",
+		Run: func(c *omp.Context) {
+			v := c.AllocI64(N, "v")
+			fillI64(c, 47, v, func(i int) int64 { return 1 })
+			c.TargetData(omp.Opts{Maps: []omp.Map{omp.To(v)}, Loc: dloc(47, 4, "main")}, func(c *omp.Context) {
+				c.Target(omp.Opts{Loc: dloc(47, 5, "main")}, func(k *omp.Context) {
+					at(k, 47, 6, "kernel")
+					for i := 0; i < N; i++ {
+						k.StoreI64(v, i, k.LoadI64(v, i)+41)
+					}
+				})
+				c.TargetUpdate(omp.UpdateOpts{From: []omp.Map{{Buf: v}}, Nowait: true, Loc: dloc(47, 9, "main")})
+				at(c, 47, 10, "main").TaskWait()
+				_ = at(c, 47, 11, "main").LoadI64(v, 0)
+			})
+			drainI64(c, 47, v)
+		},
+	})
+
+	register(&Benchmark{
+		ID: 48, Defect: DefectNone,
+		Brief: "nowait enter data + depend-ordered kernel + synchronous exit data",
+		Run: func(c *omp.Context) {
+			v := c.AllocI64(N, "v")
+			fillI64(c, 48, v, func(i int) int64 { return 5 })
+			c.TargetEnterData(omp.Opts{
+				Maps: []omp.Map{omp.To(v)}, Nowait: true,
+				DependsOut: []*omp.Buffer{v}, Loc: dloc(48, 4, "main"),
+			})
+			c.Target(omp.Opts{
+				Nowait: true, DependsIn: []*omp.Buffer{v}, DependsOut: []*omp.Buffer{v},
+				Loc: dloc(48, 6, "main"),
+			}, func(k *omp.Context) {
+				at(k, 48, 8, "kernel")
+				for i := 0; i < N; i++ {
+					k.StoreI64(v, i, k.LoadI64(v, i)*2)
+				}
+			})
+			at(c, 48, 11, "main").TaskWait()
+			c.TargetExitData(omp.Opts{Maps: []omp.Map{omp.From(v)}, Loc: dloc(48, 12, "main")})
+			drainI64(c, 48, v)
+		},
+	})
+}
+
+func registerCorrectAdvanced() {
+	register(&Benchmark{
+		ID: 52, Defect: DefectNone,
+		Brief: "histogram with per-worker private bins merged on the device",
+		Run: func(c *omp.Context) {
+			const bins = 4
+			const workers = 4
+			data := c.AllocI64(N, "data")
+			priv := c.AllocI64(workers*bins, "priv")
+			hist := c.AllocI64(bins, "hist")
+			fillI64(c, 52, data, func(i int) int64 { return int64(i % bins) })
+			fillI64(c, 52, priv, func(i int) int64 { return 0 })
+			fillI64(c, 52, hist, func(i int) int64 { return 0 })
+			c.Target(omp.Opts{Maps: []omp.Map{omp.To(data), omp.ToFrom(priv), omp.ToFrom(hist)}, Loc: dloc(52, 6, "main")}, func(k *omp.Context) {
+				k.ParallelFor(workers, func(k *omp.Context, w int) {
+					at(k, 52, 8, "count")
+					chunk := N / workers
+					for i := w * chunk; i < (w+1)*chunk; i++ {
+						bin := int(k.LoadI64(data, i)) % bins
+						k.StoreI64(priv, w*bins+bin, k.LoadI64(priv, w*bins+bin)+1)
+					}
+				})
+				at(k, 52, 13, "merge")
+				for b := 0; b < bins; b++ {
+					var acc int64
+					for w := 0; w < workers; w++ {
+						acc += k.LoadI64(priv, w*bins+b)
+					}
+					k.StoreI64(hist, b, acc)
+				}
+			})
+			drainI64(c, 52, hist)
+		},
+	})
+
+	register(&Benchmark{
+		ID: 53, Defect: DefectNone,
+		Brief: "ping-pong between two buffers across kernel launches",
+		Run: func(c *omp.Context) {
+			a, b := c.AllocI64(N, "ping"), c.AllocI64(N, "pong")
+			fillI64(c, 53, a, func(i int) int64 { return int64(i) })
+			fillI64(c, 53, b, func(i int) int64 { return 0 })
+			c.TargetData(omp.Opts{Maps: []omp.Map{omp.ToFrom(a), omp.ToFrom(b)}, Loc: dloc(53, 4, "main")}, func(c *omp.Context) {
+				for round := 0; round < 4; round++ {
+					src, dst := a, b
+					if round%2 == 1 {
+						src, dst = b, a
+					}
+					c.Target(omp.Opts{Loc: dloc(53, 7, "main")}, func(k *omp.Context) {
+						at(k, 53, 8, "kernel")
+						for i := 0; i < N; i++ {
+							k.StoreI64(dst, i, k.LoadI64(src, i)+1)
+						}
+					})
+				}
+			})
+			drainI64(c, 53, a)
+			drainI64(c, 53, b)
+		},
+	})
+
+	register(&Benchmark{
+		ID: 54, Defect: DefectNone,
+		Brief: "strided column updates over a fully mapped matrix",
+		Run: func(c *omp.Context) {
+			const rows, cols = 8, 8
+			m := c.AllocI64(rows*cols, "m")
+			fillI64(c, 54, m, func(i int) int64 { return int64(i) })
+			c.Target(omp.Opts{Maps: []omp.Map{omp.ToFrom(m)}, Loc: dloc(54, 4, "main")}, func(k *omp.Context) {
+				at(k, 54, 6, "kernel")
+				for j := 0; j < cols; j += 2 { // even columns only
+					for i := 0; i < rows; i++ {
+						k.StoreI64(m, i*cols+j, k.LoadI64(m, i*cols+j)*10)
+					}
+				}
+			})
+			drainI64(c, 54, m)
+		},
+	})
+
+	register(&Benchmark{
+		ID: 55, Defect: DefectNone,
+		Brief: "re-entering a data region after full teardown re-creates the CV",
+		Run: func(c *omp.Context) {
+			v := c.AllocI64(N, "v")
+			fillI64(c, 55, v, func(i int) int64 { return 1 })
+			for round := 0; round < 2; round++ {
+				c.TargetData(omp.Opts{Maps: []omp.Map{omp.ToFrom(v)}, Loc: dloc(55, 5, "main")}, func(c *omp.Context) {
+					c.Target(omp.Opts{Loc: dloc(55, 6, "main")}, func(k *omp.Context) {
+						at(k, 55, 7, "kernel")
+						for i := 0; i < N; i++ {
+							k.StoreI64(v, i, k.LoadI64(v, i)+1)
+						}
+					})
+				})
+				// Host validates between rounds; legal because tofrom
+				// copied back at region exit.
+				_ = at(c, 55, 11, "main").LoadI64(v, 0)
+			}
+			drainI64(c, 55, v)
+		},
+	})
+
+	register(&Benchmark{
+		ID: 56, Defect: DefectNone,
+		Brief: "freeing host buffers after their last mapping is torn down",
+		Run: func(c *omp.Context) {
+			v := c.AllocI64(N, "v")
+			o := c.AllocI64(N, "o")
+			fillI64(c, 56, v, func(i int) int64 { return int64(i) })
+			fillI64(c, 56, o, func(i int) int64 { return 0 })
+			c.Target(omp.Opts{Maps: []omp.Map{omp.To(v), omp.ToFrom(o)}, Loc: dloc(56, 4, "main")}, func(k *omp.Context) {
+				at(k, 56, 6, "kernel")
+				for i := 0; i < N; i++ {
+					k.StoreI64(o, i, k.LoadI64(o, i)+k.LoadI64(v, i))
+				}
+			})
+			drainI64(c, 56, o)
+			c.Free(v)
+			c.Free(o)
+		},
+	})
+}

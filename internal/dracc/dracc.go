@@ -1,0 +1,131 @@
+// Package dracc is this repository's reproduction of the DRACC benchmark
+// suite ("Data Race on ACCelerators", Schmitz et al.) used in the paper's
+// precision evaluation (§VI-C, Table III): 56 small OpenMP offloading
+// programs, 16 of which contain a known data mapping issue.
+//
+// The buggy benchmark IDs and their defect classes match the paper's
+// Table III exactly:
+//
+//	22, 24, 49, 50, 51  -> use of uninitialized memory (UUM)
+//	23, 25, 28, 29, 30, 31 -> buffer overflow (BO)
+//	26, 27, 32, 33, 34  -> use of stale data (USD)
+//
+// The remaining 40 benchmarks are correct programs covering the same
+// construct surface; no tool may report anything on them (the paper notes
+// zero false positives across all five tools).
+package dracc
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/omp"
+	"repro/internal/ompt"
+)
+
+// Defect classifies a benchmark's known bug.
+type Defect uint8
+
+// The defect classes of Table III. DefectNone marks a correct benchmark.
+const (
+	DefectNone Defect = iota
+	// DefectUUM: the mapping bug manifests as a use of uninitialized
+	// memory.
+	DefectUUM
+	// DefectBO: the mapping bug manifests as a buffer overflow on the
+	// device.
+	DefectBO
+	// DefectUSD: the mapping bug manifests as a use of stale data.
+	DefectUSD
+)
+
+func (d Defect) String() string {
+	switch d {
+	case DefectNone:
+		return "none"
+	case DefectUUM:
+		return "UUM"
+	case DefectBO:
+		return "BO"
+	case DefectUSD:
+		return "USD"
+	}
+	return fmt.Sprintf("Defect(%d)", uint8(d))
+}
+
+// Benchmark is one DRACC program.
+type Benchmark struct {
+	// ID is the benchmark number; Name renders as DRACC_OMP_<ID>.
+	ID int
+	// Defect is the known bug class (DefectNone for correct benchmarks).
+	Defect Defect
+	// Brief says what the benchmark exercises and, for buggy ones, what is
+	// wrong.
+	Brief string
+	// Devices is the number of devices the benchmark wants (0 means the
+	// harness default of one).
+	Devices int
+	// Run executes the program against the simulated runtime.
+	Run func(c *omp.Context)
+}
+
+// Name returns the DRACC-style benchmark name.
+func (b *Benchmark) Name() string { return fmt.Sprintf("DRACC_OMP_%03d", b.ID) }
+
+// N is the default problem size of the suite's benchmarks; small enough that
+// the full suite runs across six tools in a unit test.
+const N = 32
+
+var registry = map[int]*Benchmark{}
+
+func register(b *Benchmark) {
+	if _, dup := registry[b.ID]; dup {
+		panic(fmt.Sprintf("dracc: duplicate benchmark id %d", b.ID))
+	}
+	registry[b.ID] = b
+}
+
+// All returns every benchmark sorted by ID.
+func All() []*Benchmark {
+	out := make([]*Benchmark, 0, len(registry))
+	for _, b := range registry {
+		out = append(out, b)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Buggy returns the benchmarks with a known defect, sorted by ID.
+func Buggy() []*Benchmark {
+	var out []*Benchmark
+	for _, b := range All() {
+		if b.Defect != DefectNone {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// Correct returns the defect-free benchmarks, sorted by ID.
+func Correct() []*Benchmark {
+	var out []*Benchmark
+	for _, b := range All() {
+		if b.Defect == DefectNone {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// ByID returns the benchmark with the given ID, or nil.
+func ByID(id int) *Benchmark { return registry[id] }
+
+// at positions the context inside benchmark b at the given line.
+func at(c *omp.Context, b, line int, fn string) *omp.Context {
+	return c.At(fmt.Sprintf("dracc_omp_%03d.c", b), line, fn)
+}
+
+// dloc builds a synthetic directive location inside benchmark b.
+func dloc(b, line int, fn string) ompt.SourceLoc {
+	return omp.Loc(fmt.Sprintf("dracc_omp_%03d.c", b), line, fn)
+}

@@ -1,0 +1,188 @@
+package dracc
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/report"
+)
+
+func TestSuiteShape(t *testing.T) {
+	if got := len(All()); got != 56 {
+		t.Errorf("suite has %d benchmarks, want 56", got)
+	}
+	if got := len(Buggy()); got != 16 {
+		t.Errorf("%d buggy benchmarks, want 16", got)
+	}
+	if got := len(Correct()); got != 40 {
+		t.Errorf("%d correct benchmarks, want 40", got)
+	}
+	wantDefects := map[int]Defect{
+		22: DefectUUM, 24: DefectUUM, 49: DefectUUM, 50: DefectUUM, 51: DefectUUM,
+		23: DefectBO, 25: DefectBO, 28: DefectBO, 29: DefectBO, 30: DefectBO, 31: DefectBO,
+		26: DefectUSD, 27: DefectUSD, 32: DefectUSD, 33: DefectUSD, 34: DefectUSD,
+	}
+	for id, want := range wantDefects {
+		b := ByID(id)
+		if b == nil {
+			t.Errorf("benchmark %d missing", id)
+			continue
+		}
+		if b.Defect != want {
+			t.Errorf("%s defect = %v, want %v", b.Name(), b.Defect, want)
+		}
+	}
+	for _, b := range All() {
+		if b.Brief == "" {
+			t.Errorf("%s has no description", b.Name())
+		}
+		if b.Run == nil {
+			t.Errorf("%s has no program", b.Name())
+		}
+	}
+	if ByID(999) != nil {
+		t.Error("ByID(999) returned a benchmark")
+	}
+}
+
+// TestArbalestDetectsAll16: the headline result — ARBALEST reports every
+// known data mapping issue.
+func TestArbalestDetectsAll16(t *testing.T) {
+	for _, b := range Buggy() {
+		r, err := RunBenchmark(b, "arbalest")
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name(), err)
+		}
+		if !r.Detected {
+			t.Errorf("Arbalest missed %s (%s): %s", b.Name(), b.Defect, b.Brief)
+		}
+	}
+}
+
+// TestArbalestReportKindsMatchDefects: the reported anomaly matches the
+// benchmark's defect class (UUM benchmarks produce UUM reports, BO produce
+// buffer overflow reports, USD rows produce stale-access or — for 034's
+// laundered kernel-side case — UUM reports).
+func TestArbalestReportKindsMatchDefects(t *testing.T) {
+	for _, b := range Buggy() {
+		r, err := RunBenchmark(b, "arbalest")
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name(), err)
+		}
+		has := func(k report.Kind) bool {
+			for _, kk := range r.Kinds {
+				if kk == k {
+					return true
+				}
+			}
+			return false
+		}
+		switch b.Defect {
+		case DefectUUM:
+			if !has(report.UUM) {
+				t.Errorf("%s: kinds %v lack UUM", b.Name(), r.Kinds)
+			}
+		case DefectBO:
+			if !has(report.BufferOverflow) {
+				t.Errorf("%s: kinds %v lack buffer overflow", b.Name(), r.Kinds)
+			}
+		case DefectUSD:
+			if !has(report.USD) && !has(report.UUM) {
+				t.Errorf("%s: kinds %v lack USD/UUM", b.Name(), r.Kinds)
+			}
+		}
+	}
+}
+
+// TestDRACCNoFalsePositives: no tool reports anything on the 40 correct
+// benchmarks (paper §VI-C: "none of the five tools report a false positive").
+func TestDRACCNoFalsePositives(t *testing.T) {
+	for _, b := range Correct() {
+		for _, tn := range []string{"arbalest", "valgrind", "archer", "asan", "msan"} {
+			r, err := RunBenchmark(b, tn)
+			if err != nil {
+				t.Fatalf("%s under %s: %v", b.Name(), tn, err)
+			}
+			if r.Detected {
+				for _, rep := range r.Reports {
+					t.Logf("%s report on %s:\n%s", tn, b.Name(), rep)
+				}
+				t.Errorf("%s false positive on %s", tn, b.Name())
+			}
+		}
+	}
+}
+
+// TestTable3Matrix reproduces Table III's overall scores: Arbalest 16/16,
+// Valgrind 6/16, Archer 0/16, ASan 6/16, MSan 5/16.
+func TestTable3Matrix(t *testing.T) {
+	m, err := RunMatrix(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]int{
+		"arbalest": 16,
+		"valgrind": 6,
+		"archer":   0,
+		"asan":     6,
+		"msan":     5,
+	}
+	for tool, wantDetected := range want {
+		d, tot := m.Score(tool)
+		if tot != 16 || d != wantDetected {
+			// Show the per-benchmark detail for the failing tool.
+			for _, b := range Buggy() {
+				r := m.Results[b.ID][tool]
+				t.Logf("%s %s: detected=%t kinds=%v", tool, b.Name(), r.Detected, r.Kinds)
+			}
+			t.Errorf("%s score = %d/%d, want %d/16", tool, d, tot, wantDetected)
+		}
+	}
+	if fps := m.FalsePositives(); len(fps) != 0 {
+		t.Errorf("false positives: %v", fps)
+	}
+	var buf bytes.Buffer
+	if err := m.WriteTable3(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"16/16", "6/16", "0/16", "5/16", "UUM", "BO", "USD"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table III output missing %q:\n%s", want, out)
+		}
+	}
+	t.Logf("\n%s", out)
+}
+
+// TestPerRowDetection pins the full per-row detection pattern of Table III.
+func TestPerRowDetection(t *testing.T) {
+	type rowSpec struct {
+		defect   Defect
+		detector map[string]bool
+	}
+	rows := []rowSpec{
+		{DefectUUM, map[string]bool{"arbalest": true, "valgrind": false, "archer": false, "asan": false, "msan": true}},
+		{DefectBO, map[string]bool{"arbalest": true, "valgrind": true, "archer": false, "asan": true, "msan": false}},
+		{DefectUSD, map[string]bool{"arbalest": true, "valgrind": false, "archer": false, "asan": false, "msan": false}},
+	}
+	for _, row := range rows {
+		for _, b := range Buggy() {
+			if b.Defect != row.defect {
+				continue
+			}
+			for tool, want := range row.detector {
+				r, err := RunBenchmark(b, tool)
+				if err != nil {
+					t.Fatalf("%s/%s: %v", b.Name(), tool, err)
+				}
+				if r.Detected != want {
+					for _, rep := range r.Reports {
+						t.Logf("%s on %s:\n%s", tool, b.Name(), rep)
+					}
+					t.Errorf("%s on %s (%s): detected=%t, want %t", tool, b.Name(), b.Defect, r.Detected, want)
+				}
+			}
+		}
+	}
+}

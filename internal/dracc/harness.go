@@ -1,0 +1,197 @@
+package dracc
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"text/tabwriter"
+
+	"repro/internal/omp"
+	"repro/internal/report"
+	"repro/internal/tools"
+)
+
+// Result is one (benchmark, tool) cell of Table III.
+type Result struct {
+	Benchmark *Benchmark
+	Tool      string
+	// Detected is true when the tool produced at least one report.
+	Detected bool
+	// Kinds are the distinct report kinds produced.
+	Kinds []report.Kind
+	// Reports holds the full diagnostics.
+	Reports []*report.Report
+}
+
+// RunBenchmark executes benchmark b under the named tool and returns the
+// cell result. For ARBALEST the harness applies the paper's Theorem-1
+// procedure: asynchronous compute kernels execute synchronously (ForceSync)
+// while the embedded race detection covers the schedules that forced
+// serialization hides (§IV-E).
+func RunBenchmark(b *Benchmark, toolName string) (*Result, error) {
+	a, err := tools.New(toolName)
+	if err != nil {
+		return nil, err
+	}
+	cfg := omp.Config{
+		NumDevices: b.Devices,
+		NumThreads: 2,
+		ForceSync:  toolName == "arbalest" || toolName == "arbalest-vsm",
+	}
+	rt := omp.NewRuntime(cfg, a)
+	// Buggy benchmarks may fault the simulated runtime (wild device
+	// accesses); that is part of the bug's manifestation, not a harness
+	// error.
+	_ = rt.Run(func(c *omp.Context) error {
+		b.Run(c)
+		return nil
+	})
+	return &Result{
+		Benchmark: b,
+		Tool:      toolName,
+		Detected:  a.Sink().Count() > 0,
+		Kinds:     a.Sink().Kinds(),
+		Reports:   a.Sink().Reports(),
+	}, nil
+}
+
+// Matrix is the full precision-evaluation result: per benchmark, per tool.
+type Matrix struct {
+	Tools   []string
+	Results map[int]map[string]*Result // benchmark ID -> tool -> result
+}
+
+// RunMatrix evaluates every benchmark under every tool (Table III plus the
+// 40-correct-benchmark false-positive check).
+func RunMatrix(toolNames []string) (*Matrix, error) {
+	if len(toolNames) == 0 {
+		toolNames = tools.Names()
+	}
+	m := &Matrix{Tools: toolNames, Results: make(map[int]map[string]*Result)}
+	for _, b := range All() {
+		row := make(map[string]*Result, len(toolNames))
+		for _, tn := range toolNames {
+			r, err := RunBenchmark(b, tn)
+			if err != nil {
+				return nil, fmt.Errorf("dracc: %s under %s: %w", b.Name(), tn, err)
+			}
+			row[tn] = r
+		}
+		m.Results[b.ID] = row
+	}
+	return m, nil
+}
+
+// Score returns detected/total for the named tool over the buggy benchmarks.
+func (m *Matrix) Score(tool string) (detected, total int) {
+	for _, b := range Buggy() {
+		total++
+		if r := m.Results[b.ID][tool]; r != nil && r.Detected {
+			detected++
+		}
+	}
+	return detected, total
+}
+
+// FalsePositives returns the (benchmark, tool) pairs where a tool reported
+// on a correct benchmark.
+func (m *Matrix) FalsePositives() []string {
+	var out []string
+	for _, b := range Correct() {
+		for _, tn := range m.Tools {
+			if r := m.Results[b.ID][tn]; r != nil && r.Detected {
+				out = append(out, fmt.Sprintf("%s/%s", b.Name(), tn))
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// rowOrder mirrors Table III's three defect rows.
+var rowOrder = []struct {
+	defect Defect
+	label  string
+}{
+	{DefectUUM, "UUM"},
+	{DefectBO, "BO"},
+	{DefectUSD, "USD"},
+}
+
+// WriteTable3 renders the evaluation in the layout of the paper's Table III.
+func (m *Matrix) WriteTable3(w io.Writer) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "Benchmark ID\tEffect")
+	for _, tn := range m.Tools {
+		fmt.Fprintf(tw, "\t%s", displayName(tn))
+	}
+	fmt.Fprintln(tw)
+	for _, row := range rowOrder {
+		var ids []string
+		var members []*Benchmark
+		for _, b := range Buggy() {
+			if b.Defect == row.defect {
+				ids = append(ids, fmt.Sprintf("%d", b.ID))
+				members = append(members, b)
+			}
+		}
+		fmt.Fprintf(tw, "%s\t%s", strings.Join(ids, ", "), row.label)
+		for _, tn := range m.Tools {
+			all := true
+			for _, b := range members {
+				if r := m.Results[b.ID][tn]; r == nil || !r.Detected {
+					all = false
+					break
+				}
+			}
+			mark := "-"
+			if all {
+				mark = "Y"
+			} else if anyDetected(m, members, tn) {
+				mark = "partial"
+			}
+			fmt.Fprintf(tw, "\t%s", mark)
+		}
+		fmt.Fprintln(tw)
+	}
+	fmt.Fprintf(tw, "Overall\t")
+	for _, tn := range m.Tools {
+		d, tot := m.Score(tn)
+		fmt.Fprintf(tw, "\t%d/%d", d, tot)
+	}
+	fmt.Fprintln(tw)
+	if fps := m.FalsePositives(); len(fps) > 0 {
+		fmt.Fprintf(tw, "False positives:\t%s\n", strings.Join(fps, ", "))
+	} else {
+		fmt.Fprintf(tw, "False positives:\tnone (all %d correct benchmarks clean)\n", len(Correct()))
+	}
+	return tw.Flush()
+}
+
+func anyDetected(m *Matrix, members []*Benchmark, tool string) bool {
+	for _, b := range members {
+		if r := m.Results[b.ID][tool]; r != nil && r.Detected {
+			return true
+		}
+	}
+	return false
+}
+
+func displayName(tool string) string {
+	switch tool {
+	case "arbalest":
+		return "Arbalest"
+	case "arbalest-vsm":
+		return "Arbalest(VSM)"
+	case "valgrind":
+		return "Valgrind"
+	case "archer":
+		return "Archer"
+	case "asan":
+		return "ASan"
+	case "msan":
+		return "MSan"
+	}
+	return tool
+}

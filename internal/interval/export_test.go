@@ -1,0 +1,4 @@
+package interval
+
+// CheckInvariants exposes the red-black/augmentation validator to tests.
+func (t *Tree[V]) CheckInvariants() error { return t.checkInvariants() }

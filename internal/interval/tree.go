@@ -1,0 +1,546 @@
+// Package interval implements an augmented red-black interval tree.
+//
+// ARBALEST uses an interval tree to relate a corresponding variable's (CV)
+// device address range back to the original variable's (OV) host range, and to
+// detect data-mapping-related buffer overflows: an access whose address stabs
+// no interval — or a different interval than the mapping it was issued
+// against — escapes its CV (paper §IV-D). Lookup is O(log m) in the number of
+// mapped variables m, and a last-lookup cache amortizes repeated stabs into
+// the same mapping (paper §IV-C).
+package interval
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+)
+
+// Interval is a half-open range [Lo, Hi).
+type Interval struct {
+	Lo, Hi uint64
+}
+
+// Contains reports whether p lies in the interval.
+func (iv Interval) Contains(p uint64) bool { return p >= iv.Lo && p < iv.Hi }
+
+// Overlaps reports whether iv and other share at least one point.
+func (iv Interval) Overlaps(other Interval) bool { return iv.Lo < other.Hi && other.Lo < iv.Hi }
+
+// Len returns the length of the interval.
+func (iv Interval) Len() uint64 { return iv.Hi - iv.Lo }
+
+func (iv Interval) String() string { return fmt.Sprintf("[%#x,%#x)", iv.Lo, iv.Hi) }
+
+type color bool
+
+const (
+	red   color = false
+	black color = true
+)
+
+type node[V any] struct {
+	iv                  Interval
+	val                 V
+	maxHi               uint64 // max Hi in this subtree (the augmentation)
+	c                   color
+	left, right, parent *node[V]
+}
+
+// Tree is an interval tree mapping half-open ranges to values of type V.
+// All methods are safe for concurrent use.
+type Tree[V any] struct {
+	mu    sync.RWMutex
+	root  *node[V]
+	size  int
+	cache *node[V] // last successful stab, amortizes repeated lookups
+}
+
+// New returns an empty tree.
+func New[V any]() *Tree[V] { return &Tree[V]{} }
+
+// Len returns the number of intervals in the tree.
+func (t *Tree[V]) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.size
+}
+
+func (n *node[V]) recomputeMax() {
+	m := n.iv.Hi
+	if n.left != nil && n.left.maxHi > m {
+		m = n.left.maxHi
+	}
+	if n.right != nil && n.right.maxHi > m {
+		m = n.right.maxHi
+	}
+	n.maxHi = m
+}
+
+func (t *Tree[V]) rotateLeft(x *node[V]) {
+	y := x.right
+	x.right = y.left
+	if y.left != nil {
+		y.left.parent = x
+	}
+	y.parent = x.parent
+	switch {
+	case x.parent == nil:
+		t.root = y
+	case x == x.parent.left:
+		x.parent.left = y
+	default:
+		x.parent.right = y
+	}
+	y.left = x
+	x.parent = y
+	x.recomputeMax()
+	y.recomputeMax()
+}
+
+func (t *Tree[V]) rotateRight(x *node[V]) {
+	y := x.left
+	x.left = y.right
+	if y.right != nil {
+		y.right.parent = x
+	}
+	y.parent = x.parent
+	switch {
+	case x.parent == nil:
+		t.root = y
+	case x == x.parent.right:
+		x.parent.right = y
+	default:
+		x.parent.left = y
+	}
+	y.right = x
+	x.parent = y
+	x.recomputeMax()
+	y.recomputeMax()
+}
+
+// Insert adds [lo, hi) with value val. It returns an error if the new
+// interval is empty or overlaps an existing one: mapped variables never alias
+// in the runtime, so an overlap indicates a bookkeeping bug in the caller.
+func (t *Tree[V]) Insert(lo, hi uint64, val V) error {
+	if lo >= hi {
+		return fmt.Errorf("interval: empty interval [%#x,%#x)", lo, hi)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+
+	iv := Interval{Lo: lo, Hi: hi}
+	var parent *node[V]
+	cur := t.root
+	for cur != nil {
+		if iv.Overlaps(cur.iv) {
+			return fmt.Errorf("interval: %v overlaps existing %v", iv, cur.iv)
+		}
+		parent = cur
+		if lo < cur.iv.Lo {
+			cur = cur.left
+		} else {
+			cur = cur.right
+		}
+	}
+	n := &node[V]{iv: iv, val: val, maxHi: hi, c: red, parent: parent}
+	switch {
+	case parent == nil:
+		t.root = n
+	case lo < parent.iv.Lo:
+		parent.left = n
+	default:
+		parent.right = n
+	}
+	for p := parent; p != nil; p = p.parent {
+		p.recomputeMax()
+	}
+	t.insertFixup(n)
+	t.size++
+	return nil
+}
+
+func (t *Tree[V]) insertFixup(z *node[V]) {
+	for z.parent != nil && z.parent.c == red {
+		gp := z.parent.parent
+		if z.parent == gp.left {
+			u := gp.right
+			if u != nil && u.c == red {
+				z.parent.c = black
+				u.c = black
+				gp.c = red
+				z = gp
+				continue
+			}
+			if z == z.parent.right {
+				z = z.parent
+				t.rotateLeft(z)
+			}
+			z.parent.c = black
+			gp.c = red
+			t.rotateRight(gp)
+		} else {
+			u := gp.left
+			if u != nil && u.c == red {
+				z.parent.c = black
+				u.c = black
+				gp.c = red
+				z = gp
+				continue
+			}
+			if z == z.parent.left {
+				z = z.parent
+				t.rotateRight(z)
+			}
+			z.parent.c = black
+			gp.c = red
+			t.rotateLeft(gp)
+		}
+	}
+	t.root.c = black
+}
+
+// Delete removes the interval whose low endpoint is lo. It reports whether an
+// interval was removed.
+func (t *Tree[V]) Delete(lo uint64) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+
+	z := t.root
+	for z != nil && z.iv.Lo != lo {
+		if lo < z.iv.Lo {
+			z = z.left
+		} else {
+			z = z.right
+		}
+	}
+	if z == nil {
+		return false
+	}
+	t.cache = nil
+	t.deleteNode(z)
+	t.size--
+	return true
+}
+
+func (t *Tree[V]) minimum(n *node[V]) *node[V] {
+	for n.left != nil {
+		n = n.left
+	}
+	return n
+}
+
+func (t *Tree[V]) transplant(u, v *node[V]) {
+	switch {
+	case u.parent == nil:
+		t.root = v
+	case u == u.parent.left:
+		u.parent.left = v
+	default:
+		u.parent.right = v
+	}
+	if v != nil {
+		v.parent = u.parent
+	}
+}
+
+func (t *Tree[V]) deleteNode(z *node[V]) {
+	y := z
+	yOrigColor := y.c
+	var x *node[V]
+	var xParent *node[V]
+	switch {
+	case z.left == nil:
+		x = z.right
+		xParent = z.parent
+		t.transplant(z, z.right)
+	case z.right == nil:
+		x = z.left
+		xParent = z.parent
+		t.transplant(z, z.left)
+	default:
+		y = t.minimum(z.right)
+		yOrigColor = y.c
+		x = y.right
+		if y.parent == z {
+			xParent = y
+		} else {
+			xParent = y.parent
+			t.transplant(y, y.right)
+			y.right = z.right
+			y.right.parent = y
+		}
+		t.transplant(z, y)
+		y.left = z.left
+		y.left.parent = y
+		y.c = z.c
+	}
+	for p := xParent; p != nil; p = p.parent {
+		p.recomputeMax()
+	}
+	if yOrigColor == black {
+		t.deleteFixup(x, xParent)
+	}
+}
+
+func (t *Tree[V]) deleteFixup(x *node[V], parent *node[V]) {
+	for x != t.root && (x == nil || x.c == black) {
+		if parent == nil {
+			break
+		}
+		if x == parent.left {
+			w := parent.right
+			if w != nil && w.c == red {
+				w.c = black
+				parent.c = red
+				t.rotateLeft(parent)
+				w = parent.right
+			}
+			if w == nil {
+				x = parent
+				parent = x.parent
+				continue
+			}
+			if (w.left == nil || w.left.c == black) && (w.right == nil || w.right.c == black) {
+				w.c = red
+				x = parent
+				parent = x.parent
+			} else {
+				if w.right == nil || w.right.c == black {
+					if w.left != nil {
+						w.left.c = black
+					}
+					w.c = red
+					t.rotateRight(w)
+					w = parent.right
+				}
+				w.c = parent.c
+				parent.c = black
+				if w.right != nil {
+					w.right.c = black
+				}
+				t.rotateLeft(parent)
+				x = t.root
+				parent = nil
+			}
+		} else {
+			w := parent.left
+			if w != nil && w.c == red {
+				w.c = black
+				parent.c = red
+				t.rotateRight(parent)
+				w = parent.left
+			}
+			if w == nil {
+				x = parent
+				parent = x.parent
+				continue
+			}
+			if (w.left == nil || w.left.c == black) && (w.right == nil || w.right.c == black) {
+				w.c = red
+				x = parent
+				parent = x.parent
+			} else {
+				if w.left == nil || w.left.c == black {
+					if w.right != nil {
+						w.right.c = black
+					}
+					w.c = red
+					t.rotateLeft(w)
+					w = parent.left
+				}
+				w.c = parent.c
+				parent.c = black
+				if w.left != nil {
+					w.left.c = black
+				}
+				t.rotateRight(parent)
+				x = t.root
+				parent = nil
+			}
+		}
+	}
+	if x != nil {
+		x.c = black
+	}
+}
+
+// Stab returns the interval containing p and its value. The second result
+// reports whether such an interval exists. A one-entry cache makes repeated
+// stabs into the same interval O(1).
+func (t *Tree[V]) Stab(p uint64) (Interval, V, bool) {
+	t.mu.RLock()
+	if c := t.cache; c != nil && c.iv.Contains(p) {
+		iv, v := c.iv, c.val
+		t.mu.RUnlock()
+		return iv, v, true
+	}
+	n := t.stabNode(p)
+	if n == nil {
+		var zero V
+		t.mu.RUnlock()
+		return Interval{}, zero, false
+	}
+	iv, v := n.iv, n.val
+	t.mu.RUnlock()
+
+	t.mu.Lock()
+	// Re-validate under the write lock: the node may have been deleted.
+	if m := t.stabNode(p); m != nil {
+		t.cache = m
+	}
+	t.mu.Unlock()
+	return iv, v, true
+}
+
+// StabNoCache is Stab without cache maintenance; used by the ablation
+// benchmark that quantifies the cache's effect.
+func (t *Tree[V]) StabNoCache(p uint64) (Interval, V, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	n := t.stabNode(p)
+	if n == nil {
+		var zero V
+		return Interval{}, zero, false
+	}
+	return n.iv, n.val, true
+}
+
+func (t *Tree[V]) stabNode(p uint64) *node[V] {
+	n := t.root
+	for n != nil {
+		if n.iv.Contains(p) {
+			return n
+		}
+		if n.left != nil && n.left.maxHi > p {
+			n = n.left
+		} else if p >= n.iv.Lo {
+			n = n.right
+		} else {
+			return nil
+		}
+	}
+	return nil
+}
+
+// Overlapping returns the values of every interval overlapping [lo, hi), in
+// ascending order of low endpoint.
+func (t *Tree[V]) Overlapping(lo, hi uint64) []V {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	var out []V
+	q := Interval{Lo: lo, Hi: hi}
+	var walk func(n *node[V])
+	walk = func(n *node[V]) {
+		if n == nil || n.maxHi <= lo {
+			return
+		}
+		walk(n.left)
+		if n.iv.Overlaps(q) {
+			out = append(out, n.val)
+		}
+		if n.iv.Lo < hi {
+			walk(n.right)
+		}
+	}
+	walk(t.root)
+	return out
+}
+
+// Each calls fn for every interval in ascending order of low endpoint.
+func (t *Tree[V]) Each(fn func(iv Interval, val V)) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	var walk func(n *node[V])
+	walk = func(n *node[V]) {
+		if n == nil {
+			return
+		}
+		walk(n.left)
+		fn(n.iv, n.val)
+		walk(n.right)
+	}
+	walk(t.root)
+}
+
+// String renders the tree contents for debugging.
+func (t *Tree[V]) String() string {
+	var sb strings.Builder
+	sb.WriteString("interval.Tree{")
+	first := true
+	t.Each(func(iv Interval, val V) {
+		if !first {
+			sb.WriteString(", ")
+		}
+		first = false
+		fmt.Fprintf(&sb, "%v:%v", iv, val)
+	})
+	sb.WriteString("}")
+	return sb.String()
+}
+
+// checkInvariants validates red-black and augmentation invariants; exported
+// for tests via export_test.go.
+func (t *Tree[V]) checkInvariants() error {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if t.root == nil {
+		return nil
+	}
+	if t.root.c != black {
+		return fmt.Errorf("root is red")
+	}
+	_, err := checkNode(t.root)
+	return err
+}
+
+func checkNode[V any](n *node[V]) (blackHeight int, err error) {
+	if n == nil {
+		return 1, nil
+	}
+	if n.c == red {
+		if (n.left != nil && n.left.c == red) || (n.right != nil && n.right.c == red) {
+			return 0, fmt.Errorf("red node %v has red child", n.iv)
+		}
+	}
+	want := n.iv.Hi
+	if n.left != nil {
+		if n.left.parent != n {
+			return 0, fmt.Errorf("bad parent link at %v", n.left.iv)
+		}
+		if n.left.iv.Lo > n.iv.Lo {
+			return 0, fmt.Errorf("BST order violated at %v", n.iv)
+		}
+		if n.left.maxHi > want {
+			want = n.left.maxHi
+		}
+	}
+	if n.right != nil {
+		if n.right.parent != n {
+			return 0, fmt.Errorf("bad parent link at %v", n.right.iv)
+		}
+		if n.right.iv.Lo < n.iv.Lo {
+			return 0, fmt.Errorf("BST order violated at %v", n.iv)
+		}
+		if n.right.maxHi > want {
+			want = n.right.maxHi
+		}
+	}
+	if n.maxHi != want {
+		return 0, fmt.Errorf("maxHi stale at %v: have %#x want %#x", n.iv, n.maxHi, want)
+	}
+	lh, err := checkNode(n.left)
+	if err != nil {
+		return 0, err
+	}
+	rh, err := checkNode(n.right)
+	if err != nil {
+		return 0, err
+	}
+	if lh != rh {
+		return 0, fmt.Errorf("black height mismatch at %v: %d vs %d", n.iv, lh, rh)
+	}
+	if n.c == black {
+		lh++
+	}
+	return lh, nil
+}

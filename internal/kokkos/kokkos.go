@@ -1,0 +1,210 @@
+// Package kokkos is a Kokkos-style frontend over the offloading runtime —
+// the second programming model the paper names as a future ARBALEST target
+// (§VIII).
+//
+// The Kokkos idiom differs from OpenMP/OpenACC data clauses: data lives in
+// Views bound to a memory space, host staging goes through mirror views, and
+// ALL transfers are explicit deep_copy calls. Forgetting a deep_copy is the
+// Kokkos flavour of a data mapping issue: the paper's detector catches it
+// unchanged because Views lower onto the same mapped buffers and deep_copy
+// onto target update transfers.
+package kokkos
+
+import (
+	"fmt"
+
+	"repro/internal/omp"
+	"repro/internal/ompt"
+)
+
+// Space identifies a memory/execution space.
+type Space uint8
+
+// The two spaces of the simulation (Kokkos' HostSpace and a device space).
+const (
+	HostSpace Space = iota
+	DeviceSpace
+)
+
+func (s Space) String() string {
+	if s == HostSpace {
+		return "HostSpace"
+	}
+	return "DeviceSpace"
+}
+
+// Env binds the frontend to a host context, like Kokkos::initialize.
+type Env struct {
+	c      *omp.Context
+	device int
+}
+
+// NewEnv wraps a host context (device 0 is the default execution device).
+func NewEnv(c *omp.Context) *Env { return &Env{c: c} }
+
+// OnDevice selects the device used by DeviceSpace views and kernels.
+func (e *Env) OnDevice(d int) *Env {
+	e.device = d
+	return e
+}
+
+// View is an n-element float64 array bound to a memory space.
+type View struct {
+	env   *Env
+	buf   *omp.Buffer
+	space Space
+	label string
+}
+
+// Label returns the view's label.
+func (v *View) Label() string { return v.label }
+
+// Space returns the view's memory space.
+func (v *View) Space() Space { return v.space }
+
+// Len returns the number of elements.
+func (v *View) Len() int { return v.buf.Len() }
+
+// NewViewF64 allocates an n-element float64 view in the given space. Like
+// Kokkos, device views are NOT initialized and must be filled by a kernel or
+// a deep_copy; reading one first is a detectable mapping issue.
+func (e *Env) NewViewF64(label string, n int, space Space) *View {
+	buf := e.c.AllocF64(n, label)
+	v := &View{env: e, buf: buf, space: space, label: label}
+	if space == DeviceSpace {
+		// The device allocation exists for the view's whole lifetime.
+		e.c.TargetEnterData(omp.Opts{
+			Device: e.device,
+			Maps:   []omp.Map{omp.Alloc(buf)},
+			Loc:    loc(label, "View alloc"),
+		})
+	}
+	return v
+}
+
+// CreateMirror returns a host-space view of the same shape, the staging
+// buffer deep copies flow through (Kokkos::create_mirror_view).
+func (e *Env) CreateMirror(v *View) *View {
+	return e.NewViewF64(v.label+".mirror", v.Len(), HostSpace)
+}
+
+// Free releases the view's storage.
+func (e *Env) Free(v *View) {
+	if v.space == DeviceSpace {
+		e.c.TargetExitData(omp.Opts{
+			Device: e.device,
+			Maps:   []omp.Map{omp.Release(v.buf)},
+			Loc:    loc(v.label, "View free"),
+		})
+	}
+	e.c.Free(v.buf)
+}
+
+// Set writes element i of a HOST view from host code. Calling it on a
+// device view models dereferencing device memory on the host — the runtime
+// routes it to the view's host shadow, and the detector flags the
+// inconsistency on the next conflicting use.
+func (v *View) Set(i int, x float64) { v.env.c.StoreF64(v.buf, i, x) }
+
+// Get reads element i of a HOST view from host code.
+func (v *View) Get(i int) float64 { return v.env.c.LoadF64(v.buf, i) }
+
+// DeepCopy copies src into dst (Kokkos::deep_copy). Supported pairs:
+// host<-host, host<-device, device<-host, device<-device (same device).
+func (e *Env) DeepCopy(dst, src *View) {
+	if dst.Len() != src.Len() {
+		panic(fmt.Sprintf("kokkos: deep_copy length mismatch %d vs %d", dst.Len(), src.Len()))
+	}
+	switch {
+	case dst.space == HostSpace && src.space == HostSpace:
+		for i := 0; i < src.Len(); i++ {
+			dst.Set(i, src.Get(i))
+		}
+	case dst.space == DeviceSpace && src.space == HostSpace:
+		// Stage through dst's host shadow, then update the device.
+		for i := 0; i < src.Len(); i++ {
+			e.c.StoreF64(dst.buf, i, src.Get(i))
+		}
+		e.c.TargetUpdate(omp.UpdateOpts{
+			Device: e.device, To: []omp.Map{{Buf: dst.buf}},
+			Loc: loc(dst.label, "deep_copy to device"),
+		})
+	case dst.space == HostSpace && src.space == DeviceSpace:
+		// Pull the device data into src's host shadow, then copy out.
+		e.c.TargetUpdate(omp.UpdateOpts{
+			Device: e.device, From: []omp.Map{{Buf: src.buf}},
+			Loc: loc(src.label, "deep_copy from device"),
+		})
+		for i := 0; i < src.Len(); i++ {
+			dst.Set(i, e.c.LoadF64(src.buf, i))
+		}
+	default: // device <- device
+		e.ParallelFor("deep_copy", src.Len(), func(k *Kernel, i int) {
+			k.Store(dst, i, k.Load(src, i))
+		})
+	}
+}
+
+// Kernel is the device-side handle passed to functors.
+type Kernel struct {
+	k *omp.Context
+}
+
+// Load reads element i of a device view inside a functor.
+func (k *Kernel) Load(v *View, i int) float64 { return k.k.LoadF64(v.buf, i) }
+
+// Store writes element i of a device view inside a functor.
+func (k *Kernel) Store(v *View, i int, x float64) { k.k.StoreF64(v.buf, i, x) }
+
+// ParallelFor runs functor over [0, n) on the device
+// (Kokkos::parallel_for with the default device execution space).
+func (e *Env) ParallelFor(label string, n int, functor func(k *Kernel, i int)) {
+	e.c.Target(omp.Opts{Device: e.device, Loc: loc(label, "parallel_for")}, func(kc *omp.Context) {
+		kc.At("kokkos.cpp", 1, label)
+		kc.ParallelFor(n, func(kc *omp.Context, i int) {
+			functor(&Kernel{k: kc}, i)
+		})
+	})
+}
+
+// ParallelReduce runs functor over [0, n) on the device, summing the
+// per-iteration contributions into a result returned to the host
+// (Kokkos::parallel_reduce with a Sum reducer). The reduction uses
+// per-worker partials merged through a deep copy, so it is race-free.
+func (e *Env) ParallelReduce(label string, n int, functor func(k *Kernel, i int) float64) float64 {
+	const workers = 4
+	partial := e.NewViewF64(label+".partial", workers, DeviceSpace)
+	e.c.Target(omp.Opts{Device: e.device, Loc: loc(label, "parallel_reduce")}, func(kc *omp.Context) {
+		kc.At("kokkos.cpp", 2, label)
+		kc.ParallelFor(workers, func(kc *omp.Context, w int) {
+			k := &Kernel{k: kc}
+			chunk := (n + workers - 1) / workers
+			lo, hi := w*chunk, (w+1)*chunk
+			if hi > n {
+				hi = n
+			}
+			var acc float64
+			for i := lo; i < hi; i++ {
+				acc += functor(k, i)
+			}
+			k.Store(partial, w, acc)
+		})
+	})
+	host := e.CreateMirror(partial)
+	e.DeepCopy(host, partial)
+	var sum float64
+	for w := 0; w < workers; w++ {
+		sum += host.Get(w)
+	}
+	e.Free(host)
+	e.Free(partial)
+	return sum
+}
+
+// Fence waits for all outstanding asynchronous work (Kokkos::fence). The
+// lowering runs kernels synchronously, so this is a taskwait for symmetry.
+func (e *Env) Fence() { e.c.TaskWait() }
+
+func loc(label, what string) ompt.SourceLoc {
+	return omp.Loc("kokkos.cpp", 0, what+" ["+label+"]")
+}

@@ -1,0 +1,181 @@
+package kokkos_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/kokkos"
+	"repro/internal/omp"
+	"repro/internal/report"
+	"repro/internal/tools"
+)
+
+func run(t *testing.T, body func(e *kokkos.Env)) *tools.ArbalestFull {
+	t.Helper()
+	det := tools.NewArbalestFull(nil)
+	rt := omp.NewRuntime(omp.Config{NumThreads: 4}, det)
+	if err := rt.Run(func(c *omp.Context) error {
+		body(kokkos.NewEnv(c))
+		return nil
+	}); err != nil {
+		t.Logf("runtime fault: %v", err)
+	}
+	return det
+}
+
+func TestViewAxpyRoundTrip(t *testing.T) {
+	det := run(t, func(e *kokkos.Env) {
+		const n = 64
+		x := e.NewViewF64("x", n, kokkos.DeviceSpace)
+		y := e.NewViewF64("y", n, kokkos.DeviceSpace)
+		hx := e.CreateMirror(x)
+		hy := e.CreateMirror(y)
+		for i := 0; i < n; i++ {
+			hx.Set(i, float64(i))
+			hy.Set(i, 1)
+		}
+		e.DeepCopy(x, hx)
+		e.DeepCopy(y, hy)
+		e.ParallelFor("axpy", n, func(k *kokkos.Kernel, i int) {
+			k.Store(y, i, k.Load(y, i)+2*k.Load(x, i))
+		})
+		e.DeepCopy(hy, y)
+		for i := 0; i < n; i++ {
+			if got := hy.Get(i); got != 1+2*float64(i) {
+				t.Fatalf("y[%d] = %v", i, got)
+			}
+		}
+		e.Free(hx)
+		e.Free(hy)
+		e.Free(x)
+		e.Free(y)
+	})
+	if det.Sink().Count() != 0 {
+		for _, r := range det.Sink().Reports() {
+			t.Logf("%s", r)
+		}
+		t.Errorf("%d reports on correct kokkos program", det.Sink().Count())
+	}
+}
+
+// TestMissingDeepCopyDetected: consuming kernel results on the host without
+// the deep_copy back — the Kokkos flavour of the paper's USD bug.
+func TestMissingDeepCopyDetected(t *testing.T) {
+	det := run(t, func(e *kokkos.Env) {
+		const n = 16
+		v := e.NewViewF64("v", n, kokkos.DeviceSpace)
+		h := e.CreateMirror(v)
+		for i := 0; i < n; i++ {
+			h.Set(i, 1)
+		}
+		e.DeepCopy(v, h)
+		e.ParallelFor("scale", n, func(k *kokkos.Kernel, i int) {
+			k.Store(v, i, k.Load(v, i)*7)
+		})
+		// BUG: missing e.DeepCopy(h, v); the host reads the device view's
+		// stale host shadow directly.
+		_ = v.Get(0)
+	})
+	if det.Sink().CountKind(report.USD) == 0 {
+		t.Error("missing deep_copy not reported as stale access")
+	}
+}
+
+// TestUninitializedDeviceViewDetected: reading a fresh device view before
+// any write or deep_copy is a UUM.
+func TestUninitializedDeviceViewDetected(t *testing.T) {
+	det := run(t, func(e *kokkos.Env) {
+		const n = 8
+		v := e.NewViewF64("v", n, kokkos.DeviceSpace)
+		_ = e.ParallelReduce("sum", n, func(k *kokkos.Kernel, i int) float64 {
+			return k.Load(v, i) // BUG: never initialized
+		})
+	})
+	if det.Sink().CountKind(report.UUM) == 0 {
+		t.Error("uninitialized device view not reported as UUM")
+	}
+}
+
+func TestParallelReduce(t *testing.T) {
+	det := run(t, func(e *kokkos.Env) {
+		const n = 100
+		v := e.NewViewF64("v", n, kokkos.DeviceSpace)
+		h := e.CreateMirror(v)
+		for i := 0; i < n; i++ {
+			h.Set(i, float64(i))
+		}
+		e.DeepCopy(v, h)
+		got := e.ParallelReduce("sum", n, func(k *kokkos.Kernel, i int) float64 {
+			return k.Load(v, i)
+		})
+		want := float64(n*(n-1)) / 2
+		if math.Abs(got-want) > 1e-9 {
+			t.Errorf("reduce = %v, want %v", got, want)
+		}
+		e.Free(h)
+		e.Free(v)
+	})
+	if det.Sink().Count() != 0 {
+		t.Errorf("%d reports on correct reduce", det.Sink().Count())
+	}
+}
+
+func TestDeviceToDeviceDeepCopy(t *testing.T) {
+	det := run(t, func(e *kokkos.Env) {
+		const n = 32
+		a := e.NewViewF64("a", n, kokkos.DeviceSpace)
+		b := e.NewViewF64("b", n, kokkos.DeviceSpace)
+		h := e.CreateMirror(a)
+		for i := 0; i < n; i++ {
+			h.Set(i, float64(i))
+		}
+		e.DeepCopy(a, h)
+		e.DeepCopy(b, a) // device -> device
+		hb := e.CreateMirror(b)
+		e.DeepCopy(hb, b)
+		for i := 0; i < n; i++ {
+			if got := hb.Get(i); got != float64(i) {
+				t.Fatalf("b[%d] = %v", i, got)
+			}
+		}
+	})
+	if det.Sink().Count() != 0 {
+		for _, r := range det.Sink().Reports() {
+			t.Logf("%s", r)
+		}
+		t.Errorf("%d reports on device-device copy", det.Sink().Count())
+	}
+}
+
+func TestHostToHostDeepCopy(t *testing.T) {
+	det := run(t, func(e *kokkos.Env) {
+		a := e.NewViewF64("a", 8, kokkos.HostSpace)
+		b := e.NewViewF64("b", 8, kokkos.HostSpace)
+		for i := 0; i < 8; i++ {
+			a.Set(i, 5)
+		}
+		e.DeepCopy(b, a)
+		for i := 0; i < 8; i++ {
+			if b.Get(i) != 5 {
+				t.Fatalf("b[%d] = %v", i, b.Get(i))
+			}
+		}
+	})
+	if det.Sink().Count() != 0 {
+		t.Errorf("%d reports", det.Sink().Count())
+	}
+}
+
+func TestSpaceStringsAndAccessors(t *testing.T) {
+	if kokkos.HostSpace.String() != "HostSpace" || kokkos.DeviceSpace.String() != "DeviceSpace" {
+		t.Error("space names wrong")
+	}
+	_ = run(t, func(e *kokkos.Env) {
+		v := e.NewViewF64("v", 4, kokkos.DeviceSpace)
+		if v.Len() != 4 || v.Label() != "v" || v.Space() != kokkos.DeviceSpace {
+			t.Error("view accessors wrong")
+		}
+		e.Fence()
+		e.Free(v)
+	})
+}

@@ -1,0 +1,61 @@
+package mem
+
+import "math"
+
+// Virtual address universe layout. The host space and each device space get
+// disjoint windows, so any Addr identifies its owning space. These bases are
+// arbitrary but stable; tests rely on them being distinct.
+const (
+	// HostBase is the first address of the host space.
+	HostBase Addr = 0x0000_1000_0000_0000
+	// deviceWindow is the size of each device's address window.
+	deviceWindow Addr = 1 << 36
+	// devicesBase is the first address of device 0's window.
+	devicesBase Addr = 0x0000_2000_0000_0000
+)
+
+// DeviceBase returns the base address of device d's window.
+func DeviceBase(d int) Addr {
+	return devicesBase + Addr(d)*deviceWindow
+}
+
+// SpaceIndexOf classifies an address: it returns -1 for a host address, the
+// device number for a device address, and -2 for an address outside every
+// window.
+func SpaceIndexOf(a Addr) int {
+	if a >= HostBase && a < HostBase+deviceWindow {
+		return -1
+	}
+	if a >= devicesBase {
+		return int((a - devicesBase) / deviceWindow)
+	}
+	return -2
+}
+
+// LoadFloat64 reads an 8-byte IEEE-754 value at addr.
+func (s *Space) LoadFloat64(addr Addr) (float64, error) {
+	bits, err := s.Load(addr, 8)
+	if err != nil {
+		return 0, err
+	}
+	return math.Float64frombits(bits), nil
+}
+
+// StoreFloat64 writes an 8-byte IEEE-754 value at addr.
+func (s *Space) StoreFloat64(addr Addr, v float64) error {
+	return s.Store(addr, 8, math.Float64bits(v))
+}
+
+// LoadFloat32 reads a 4-byte IEEE-754 value at addr.
+func (s *Space) LoadFloat32(addr Addr) (float32, error) {
+	bits, err := s.Load(addr, 4)
+	if err != nil {
+		return 0, err
+	}
+	return math.Float32frombits(uint32(bits)), nil
+}
+
+// StoreFloat32 writes a 4-byte IEEE-754 value at addr.
+func (s *Space) StoreFloat32(addr Addr, v float32) error {
+	return s.Store(addr, 4, uint64(math.Float32bits(v)))
+}

@@ -1,0 +1,365 @@
+// Package mem provides simulated address spaces for the offloading runtime.
+//
+// Every device (including the host) owns one Space. A Space is a flat,
+// byte-addressable region of simulated memory with its own allocator. Spaces
+// occupy disjoint ranges of a shared 64-bit virtual address universe, so an
+// address uniquely identifies both the space and the location within it. This
+// mirrors the paper's separate memory model: a mapped variable's original
+// variable (OV) lives in the host space while its corresponding variable (CV)
+// lives in a device space, and the two can hold inconsistent values.
+package mem
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Addr is an address in the simulated 64-bit virtual address universe.
+type Addr uint64
+
+// WordSize is the access granularity tracked by the analysis tools (the paper
+// applies its state machine at aligned 8-byte granularity).
+const WordSize = 8
+
+// Align rounds a down to the enclosing aligned 8-byte word.
+func (a Addr) Align() Addr { return a &^ (WordSize - 1) }
+
+// Offset returns the byte offset of a within its aligned 8-byte word.
+func (a Addr) Offset() uint64 { return uint64(a) & (WordSize - 1) }
+
+// Block describes one live allocation inside a Space.
+type Block struct {
+	Addr Addr
+	Size uint64
+	Tag  string // debugging label, e.g. the mapped variable's name
+	Seq  uint64 // allocation sequence number within the space
+}
+
+// End returns the first address past the block.
+func (b *Block) End() Addr { return b.Addr + Addr(b.Size) }
+
+// Contains reports whether [addr, addr+size) lies fully inside the block.
+func (b *Block) Contains(addr Addr, size uint64) bool {
+	return addr >= b.Addr && addr+Addr(size) <= b.End()
+}
+
+// AccessError describes an invalid simulated memory access.
+type AccessError struct {
+	Space string
+	Addr  Addr
+	Size  uint64
+	Op    string // "load", "store", "free", "alloc"
+	Why   string
+}
+
+func (e *AccessError) Error() string {
+	return fmt.Sprintf("mem: invalid %s of %d bytes at %#x in space %q: %s",
+		e.Op, e.Size, uint64(e.Addr), e.Space, e.Why)
+}
+
+// Space is one simulated address space.
+//
+// All methods are safe for concurrent use; the data array itself is raced on
+// intentionally only if the simulated program races, which the tools detect at
+// the simulation level rather than crashing the process (loads and stores take
+// the space lock).
+type Space struct {
+	name string
+	base Addr
+	size uint64
+
+	mu     sync.Mutex
+	data   []byte
+	blocks map[Addr]*Block // live allocations by base address
+	frees  []span          // sorted free list
+	seq    uint64
+
+	inUse     uint64 // bytes currently allocated
+	peakInUse uint64 // high-water mark of inUse
+	nAllocs   uint64
+	nFrees    uint64
+}
+
+type span struct {
+	addr Addr
+	size uint64
+}
+
+// NewSpace creates a space named name covering [base, base+capacity).
+// base and capacity must be 8-byte aligned.
+func NewSpace(name string, base Addr, capacity uint64) *Space {
+	if uint64(base)%WordSize != 0 || capacity%WordSize != 0 {
+		panic("mem: NewSpace base and capacity must be 8-byte aligned")
+	}
+	return &Space{
+		name:   name,
+		base:   base,
+		size:   capacity,
+		data:   make([]byte, capacity),
+		blocks: make(map[Addr]*Block),
+		frees:  []span{{addr: base, size: capacity}},
+	}
+}
+
+// Name returns the space's name.
+func (s *Space) Name() string { return s.name }
+
+// Base returns the first address of the space.
+func (s *Space) Base() Addr { return s.base }
+
+// Capacity returns the total size of the space in bytes.
+func (s *Space) Capacity() uint64 { return s.size }
+
+// ContainsAddr reports whether addr lies inside the space's range.
+func (s *Space) ContainsAddr(addr Addr) bool {
+	return addr >= s.base && addr < s.base+Addr(s.size)
+}
+
+// roundUp rounds n up to the next multiple of WordSize.
+func roundUp(n uint64) uint64 {
+	return (n + WordSize - 1) &^ (WordSize - 1)
+}
+
+// Alloc reserves size bytes (rounded up to 8-byte alignment) and returns the
+// base address of the new block. The memory is NOT cleared: it retains
+// whatever bytes previous occupants left behind, mirroring real allocator
+// behaviour that uninitialized-memory detectors rely on.
+func (s *Space) Alloc(size uint64, tag string) (Addr, error) {
+	if size == 0 {
+		size = WordSize
+	}
+	need := roundUp(size)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	for i, f := range s.frees {
+		if f.size < need {
+			continue
+		}
+		addr := f.addr
+		if f.size == need {
+			s.frees = append(s.frees[:i], s.frees[i+1:]...)
+		} else {
+			s.frees[i] = span{addr: f.addr + Addr(need), size: f.size - need}
+		}
+		s.seq++
+		b := &Block{Addr: addr, Size: need, Tag: tag, Seq: s.seq}
+		s.blocks[addr] = b
+		s.inUse += need
+		s.nAllocs++
+		if s.inUse > s.peakInUse {
+			s.peakInUse = s.inUse
+		}
+		return addr, nil
+	}
+	return 0, &AccessError{Space: s.name, Size: size, Op: "alloc",
+		Why: fmt.Sprintf("out of simulated memory (capacity %d, in use %d)", s.size, s.inUse)}
+}
+
+// Free releases the block based at addr.
+func (s *Space) Free(addr Addr) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	b, ok := s.blocks[addr]
+	if !ok {
+		return &AccessError{Space: s.name, Addr: addr, Op: "free", Why: "not a live allocation base"}
+	}
+	delete(s.blocks, addr)
+	s.inUse -= b.Size
+	s.nFrees++
+	s.insertFree(span{addr: b.Addr, size: b.Size})
+	return nil
+}
+
+// insertFree adds sp to the sorted free list, coalescing neighbours.
+// Caller holds s.mu.
+func (s *Space) insertFree(sp span) {
+	i := sort.Search(len(s.frees), func(i int) bool { return s.frees[i].addr >= sp.addr })
+	s.frees = append(s.frees, span{})
+	copy(s.frees[i+1:], s.frees[i:])
+	s.frees[i] = sp
+	// Coalesce with successor.
+	if i+1 < len(s.frees) && s.frees[i].addr+Addr(s.frees[i].size) == s.frees[i+1].addr {
+		s.frees[i].size += s.frees[i+1].size
+		s.frees = append(s.frees[:i+1], s.frees[i+2:]...)
+	}
+	// Coalesce with predecessor.
+	if i > 0 && s.frees[i-1].addr+Addr(s.frees[i-1].size) == s.frees[i].addr {
+		s.frees[i-1].size += s.frees[i].size
+		s.frees = append(s.frees[:i], s.frees[i+1:]...)
+	}
+}
+
+// BlockOf returns the live block containing addr, or nil if addr does not lie
+// inside any live allocation.
+func (s *Space) BlockOf(addr Addr) *Block {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.blockOfLocked(addr)
+}
+
+func (s *Space) blockOfLocked(addr Addr) *Block {
+	// The block map is keyed by base address; a scan is fine because block
+	// counts per space are small (mapped variables, not individual words).
+	for _, b := range s.blocks {
+		if addr >= b.Addr && addr < b.End() {
+			return b
+		}
+	}
+	return nil
+}
+
+// Blocks returns a snapshot of all live allocations, sorted by address.
+func (s *Space) Blocks() []*Block {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Block, 0, len(s.blocks))
+	for _, b := range s.blocks {
+		out = append(out, b)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Addr < out[j].Addr })
+	return out
+}
+
+func (s *Space) check(addr Addr, size uint64, op string) error {
+	if !s.ContainsAddr(addr) || size > s.size || !s.ContainsAddr(addr+Addr(size)-1) {
+		return &AccessError{Space: s.name, Addr: addr, Size: size, Op: op, Why: "outside space range"}
+	}
+	return nil
+}
+
+// index converts an address to an offset into s.data. Caller must have
+// validated the range.
+func (s *Space) index(addr Addr) uint64 { return uint64(addr - s.base) }
+
+// Load reads size (1, 2, 4 or 8) bytes at addr as a little-endian integer.
+func (s *Space) Load(addr Addr, size uint64) (uint64, error) {
+	if err := s.check(addr, size, "load"); err != nil {
+		return 0, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	i := s.index(addr)
+	switch size {
+	case 1:
+		return uint64(s.data[i]), nil
+	case 2:
+		return uint64(binary.LittleEndian.Uint16(s.data[i:])), nil
+	case 4:
+		return uint64(binary.LittleEndian.Uint32(s.data[i:])), nil
+	case 8:
+		return binary.LittleEndian.Uint64(s.data[i:]), nil
+	}
+	return 0, &AccessError{Space: s.name, Addr: addr, Size: size, Op: "load", Why: "unsupported access size"}
+}
+
+// Store writes size (1, 2, 4 or 8) bytes of val at addr, little-endian.
+func (s *Space) Store(addr Addr, size uint64, val uint64) error {
+	if err := s.check(addr, size, "store"); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	i := s.index(addr)
+	switch size {
+	case 1:
+		s.data[i] = byte(val)
+	case 2:
+		binary.LittleEndian.PutUint16(s.data[i:], uint16(val))
+	case 4:
+		binary.LittleEndian.PutUint32(s.data[i:], uint32(val))
+	case 8:
+		binary.LittleEndian.PutUint64(s.data[i:], val)
+	default:
+		return &AccessError{Space: s.name, Addr: addr, Size: size, Op: "store", Why: "unsupported access size"}
+	}
+	return nil
+}
+
+// ReadBytes copies n bytes starting at addr into dst.
+func (s *Space) ReadBytes(addr Addr, dst []byte) error {
+	if err := s.check(addr, uint64(len(dst)), "load"); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	copy(dst, s.data[s.index(addr):])
+	return nil
+}
+
+// WriteBytes copies src into the space starting at addr.
+func (s *Space) WriteBytes(addr Addr, src []byte) error {
+	if err := s.check(addr, uint64(len(src)), "store"); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	copy(s.data[s.index(addr):], src)
+	return nil
+}
+
+// Stats reports allocator statistics for the space. Peak is the high-water
+// mark of live bytes, used by the space-overhead experiment (paper Fig. 9).
+type Stats struct {
+	InUse  uint64
+	Peak   uint64
+	Allocs uint64
+	Frees  uint64
+}
+
+// Stats returns a snapshot of the allocator statistics.
+func (s *Space) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{InUse: s.inUse, Peak: s.peakInUse, Allocs: s.nAllocs, Frees: s.nFrees}
+}
+
+// Copy transfers n bytes from (src, srcAddr) to (dst, dstAddr). It models the
+// runtime-level memcpy used for host<->device transfers. The two spaces may be
+// the same; overlapping same-space copies behave like memmove.
+func Copy(dst *Space, dstAddr Addr, src *Space, srcAddr Addr, n uint64) error {
+	if n == 0 {
+		return nil
+	}
+	if err := src.check(srcAddr, n, "load"); err != nil {
+		return err
+	}
+	if err := dst.check(dstAddr, n, "store"); err != nil {
+		return err
+	}
+	if dst == src {
+		dst.mu.Lock()
+		defer dst.mu.Unlock()
+		copy(dst.data[dst.index(dstAddr):dst.index(dstAddr)+n], src.data[src.index(srcAddr):src.index(srcAddr)+n])
+		return nil
+	}
+	// Lock ordering by base address avoids deadlock for concurrent transfers.
+	first, second := dst, src
+	if src.base < dst.base {
+		first, second = src, dst
+	}
+	first.mu.Lock()
+	defer first.mu.Unlock()
+	second.mu.Lock()
+	defer second.mu.Unlock()
+	copy(dst.data[dst.index(dstAddr):dst.index(dstAddr)+n], src.data[src.index(srcAddr):src.index(srcAddr)+n])
+	return nil
+}
+
+// Fill sets n bytes starting at addr to b (a simulated memset).
+func (s *Space) Fill(addr Addr, n uint64, b byte) error {
+	if err := s.check(addr, n, "store"); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	i := s.index(addr)
+	for j := uint64(0); j < n; j++ {
+		s.data[i+j] = b
+	}
+	return nil
+}

@@ -1,0 +1,421 @@
+package mem
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func newTestSpace(t *testing.T, cap uint64) *Space {
+	t.Helper()
+	return NewSpace("test", HostBase, cap)
+}
+
+func TestAllocBasic(t *testing.T) {
+	s := newTestSpace(t, 1<<16)
+	a, err := s.Alloc(100, "a")
+	if err != nil {
+		t.Fatalf("Alloc: %v", err)
+	}
+	if uint64(a)%WordSize != 0 {
+		t.Errorf("allocation not aligned: %#x", uint64(a))
+	}
+	b := s.BlockOf(a)
+	if b == nil {
+		t.Fatal("BlockOf returned nil for live allocation")
+	}
+	if b.Size != 104 { // 100 rounded to 8
+		t.Errorf("block size = %d, want 104", b.Size)
+	}
+	if b.Tag != "a" {
+		t.Errorf("block tag = %q, want %q", b.Tag, "a")
+	}
+}
+
+func TestAllocZeroSize(t *testing.T) {
+	s := newTestSpace(t, 1<<12)
+	a, err := s.Alloc(0, "zero")
+	if err != nil {
+		t.Fatalf("Alloc(0): %v", err)
+	}
+	if b := s.BlockOf(a); b == nil || b.Size != WordSize {
+		t.Errorf("zero-size alloc should reserve one word, got %+v", b)
+	}
+}
+
+func TestAllocExhaustion(t *testing.T) {
+	s := newTestSpace(t, 64)
+	if _, err := s.Alloc(64, "fill"); err != nil {
+		t.Fatalf("Alloc(64): %v", err)
+	}
+	_, err := s.Alloc(8, "extra")
+	var ae *AccessError
+	if !errors.As(err, &ae) {
+		t.Fatalf("expected AccessError on exhaustion, got %v", err)
+	}
+	if ae.Op != "alloc" {
+		t.Errorf("error op = %q, want alloc", ae.Op)
+	}
+}
+
+func TestFreeAndReuse(t *testing.T) {
+	s := newTestSpace(t, 128)
+	a, _ := s.Alloc(64, "a")
+	b, _ := s.Alloc(64, "b")
+	if err := s.Free(a); err != nil {
+		t.Fatalf("Free(a): %v", err)
+	}
+	if err := s.Free(b); err != nil {
+		t.Fatalf("Free(b): %v", err)
+	}
+	// After coalescing, the full space must be allocatable again.
+	if _, err := s.Alloc(128, "full"); err != nil {
+		t.Fatalf("Alloc after coalesce: %v", err)
+	}
+}
+
+func TestFreeCoalesceMiddle(t *testing.T) {
+	s := newTestSpace(t, 96)
+	a, _ := s.Alloc(32, "a")
+	b, _ := s.Alloc(32, "b")
+	c, _ := s.Alloc(32, "c")
+	// Free in an order that exercises both-side coalescing: a, c, then b.
+	for _, addr := range []Addr{a, c, b} {
+		if err := s.Free(addr); err != nil {
+			t.Fatalf("Free(%#x): %v", uint64(addr), err)
+		}
+	}
+	if _, err := s.Alloc(96, "full"); err != nil {
+		t.Fatalf("Alloc(96) after full coalesce: %v", err)
+	}
+}
+
+func TestDoubleFree(t *testing.T) {
+	s := newTestSpace(t, 64)
+	a, _ := s.Alloc(8, "a")
+	if err := s.Free(a); err != nil {
+		t.Fatalf("first Free: %v", err)
+	}
+	if err := s.Free(a); err == nil {
+		t.Error("double free not rejected")
+	}
+}
+
+func TestFreeUnknownAddr(t *testing.T) {
+	s := newTestSpace(t, 64)
+	if err := s.Free(HostBase + 8); err == nil {
+		t.Error("free of never-allocated address not rejected")
+	}
+}
+
+func TestLoadStoreRoundTrip(t *testing.T) {
+	s := newTestSpace(t, 1<<12)
+	a, _ := s.Alloc(64, "buf")
+	for _, size := range []uint64{1, 2, 4, 8} {
+		val := uint64(0xdeadbeefcafe1234) & (1<<(8*size) - 1)
+		if err := s.Store(a, size, val); err != nil {
+			t.Fatalf("Store size %d: %v", size, err)
+		}
+		got, err := s.Load(a, size)
+		if err != nil {
+			t.Fatalf("Load size %d: %v", size, err)
+		}
+		if got != val {
+			t.Errorf("size %d: got %#x want %#x", size, got, val)
+		}
+	}
+}
+
+func TestLoadOutOfRange(t *testing.T) {
+	s := newTestSpace(t, 64)
+	if _, err := s.Load(HostBase+128, 8); err == nil {
+		t.Error("out-of-range load not rejected")
+	}
+	if _, err := s.Load(HostBase+60, 8); err == nil {
+		t.Error("load straddling end of space not rejected")
+	}
+	if err := s.Store(HostBase-8, 8, 1); err == nil {
+		t.Error("store below base not rejected")
+	}
+}
+
+func TestUnsupportedAccessSize(t *testing.T) {
+	s := newTestSpace(t, 64)
+	a, _ := s.Alloc(16, "a")
+	if _, err := s.Load(a, 3); err == nil {
+		t.Error("load of size 3 not rejected")
+	}
+	if err := s.Store(a, 16, 0); err == nil {
+		t.Error("store of size 16 not rejected")
+	}
+}
+
+func TestReadWriteBytes(t *testing.T) {
+	s := newTestSpace(t, 1<<12)
+	a, _ := s.Alloc(32, "buf")
+	src := []byte("hello, offloading world!")
+	if err := s.WriteBytes(a, src); err != nil {
+		t.Fatalf("WriteBytes: %v", err)
+	}
+	dst := make([]byte, len(src))
+	if err := s.ReadBytes(a, dst); err != nil {
+		t.Fatalf("ReadBytes: %v", err)
+	}
+	if string(dst) != string(src) {
+		t.Errorf("round trip mismatch: %q", dst)
+	}
+}
+
+func TestCopyAcrossSpaces(t *testing.T) {
+	host := NewSpace("host", HostBase, 1<<12)
+	dev := NewSpace("dev0", DeviceBase(0), 1<<12)
+	ha, _ := host.Alloc(64, "ov")
+	da, _ := dev.Alloc(64, "cv")
+	if err := host.Store(ha, 8, 42); err != nil {
+		t.Fatal(err)
+	}
+	if err := Copy(dev, da, host, ha, 8); err != nil {
+		t.Fatalf("Copy H2D: %v", err)
+	}
+	got, _ := dev.Load(da, 8)
+	if got != 42 {
+		t.Errorf("device value = %d, want 42", got)
+	}
+	// Mutate on device, copy back.
+	if err := dev.Store(da, 8, 43); err != nil {
+		t.Fatal(err)
+	}
+	if err := Copy(host, ha, dev, da, 8); err != nil {
+		t.Fatalf("Copy D2H: %v", err)
+	}
+	got, _ = host.Load(ha, 8)
+	if got != 43 {
+		t.Errorf("host value = %d, want 43", got)
+	}
+}
+
+func TestCopySameSpaceOverlap(t *testing.T) {
+	s := newTestSpace(t, 1<<12)
+	a, _ := s.Alloc(32, "buf")
+	for i := uint64(0); i < 16; i++ {
+		if err := s.Store(a+Addr(i), 1, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Overlapping forward copy must behave like memmove.
+	if err := Copy(s, a+4, s, a, 12); err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 12; i++ {
+		got, _ := s.Load(a+4+Addr(i), 1)
+		if got != i {
+			t.Fatalf("byte %d = %d, want %d", i, got, i)
+		}
+	}
+}
+
+func TestCopyBoundsChecked(t *testing.T) {
+	host := NewSpace("host", HostBase, 64)
+	dev := NewSpace("dev0", DeviceBase(0), 64)
+	if err := Copy(dev, DeviceBase(0), host, HostBase, 128); err == nil {
+		t.Error("oversized copy not rejected")
+	}
+	if err := Copy(dev, DeviceBase(0)+32, host, HostBase, 64); err == nil {
+		t.Error("copy past destination end not rejected")
+	}
+}
+
+func TestFill(t *testing.T) {
+	s := newTestSpace(t, 64)
+	a, _ := s.Alloc(16, "buf")
+	if err := s.Fill(a, 16, 0xAB); err != nil {
+		t.Fatal(err)
+	}
+	v, _ := s.Load(a+8, 1)
+	if v != 0xAB {
+		t.Errorf("fill byte = %#x, want 0xAB", v)
+	}
+}
+
+func TestStats(t *testing.T) {
+	s := newTestSpace(t, 256)
+	a, _ := s.Alloc(64, "a")
+	b, _ := s.Alloc(128, "b")
+	st := s.Stats()
+	if st.InUse != 192 || st.Peak != 192 || st.Allocs != 2 {
+		t.Errorf("stats after allocs = %+v", st)
+	}
+	if err := s.Free(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Free(b); err != nil {
+		t.Fatal(err)
+	}
+	st = s.Stats()
+	if st.InUse != 0 || st.Peak != 192 || st.Frees != 2 {
+		t.Errorf("stats after frees = %+v", st)
+	}
+}
+
+func TestAllocRetainsOldBytes(t *testing.T) {
+	// Freshly reused memory keeps stale bytes; UUM detectors rely on the
+	// runtime NOT clearing allocations.
+	s := newTestSpace(t, 64)
+	a, _ := s.Alloc(8, "first")
+	if err := s.Store(a, 8, 0x1122334455667788); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Free(a); err != nil {
+		t.Fatal(err)
+	}
+	b, _ := s.Alloc(8, "second")
+	if b != a {
+		t.Skipf("allocator did not reuse the block (%#x vs %#x)", uint64(b), uint64(a))
+	}
+	got, _ := s.Load(b, 8)
+	if got != 0x1122334455667788 {
+		t.Errorf("reused block was cleared: %#x", got)
+	}
+}
+
+func TestSpaceIndexOf(t *testing.T) {
+	if got := SpaceIndexOf(HostBase + 100); got != -1 {
+		t.Errorf("host addr classified as %d", got)
+	}
+	if got := SpaceIndexOf(DeviceBase(0) + 8); got != 0 {
+		t.Errorf("device 0 addr classified as %d", got)
+	}
+	if got := SpaceIndexOf(DeviceBase(3) + 8); got != 3 {
+		t.Errorf("device 3 addr classified as %d", got)
+	}
+	if got := SpaceIndexOf(0x10); got != -2 {
+		t.Errorf("unmapped addr classified as %d", got)
+	}
+}
+
+func TestAlignOffset(t *testing.T) {
+	a := Addr(0x1003)
+	if a.Align() != 0x1000 {
+		t.Errorf("Align = %#x", uint64(a.Align()))
+	}
+	if a.Offset() != 3 {
+		t.Errorf("Offset = %d", a.Offset())
+	}
+}
+
+func TestFloatRoundTrip(t *testing.T) {
+	s := newTestSpace(t, 64)
+	a, _ := s.Alloc(16, "f")
+	if err := s.StoreFloat64(a, 3.25); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.LoadFloat64(a)
+	if err != nil || got != 3.25 {
+		t.Errorf("float64 round trip = %v, %v", got, err)
+	}
+	if err := s.StoreFloat32(a+8, -1.5); err != nil {
+		t.Fatal(err)
+	}
+	g32, err := s.LoadFloat32(a + 8)
+	if err != nil || g32 != -1.5 {
+		t.Errorf("float32 round trip = %v, %v", g32, err)
+	}
+}
+
+// TestAllocatorNeverOverlapsProperty: random alloc/free sequences never hand
+// out overlapping blocks and never lose bytes.
+func TestAllocatorNeverOverlapsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := NewSpace("prop", HostBase, 1<<16)
+		live := map[Addr]uint64{}
+		for i := 0; i < 200; i++ {
+			if rng.Intn(2) == 0 || len(live) == 0 {
+				sz := uint64(rng.Intn(512) + 1)
+				a, err := s.Alloc(sz, "p")
+				if err != nil {
+					continue // exhaustion is fine
+				}
+				for base, n := range live {
+					if a < base+Addr(n) && base < a+Addr(roundUp(sz)) {
+						t.Logf("overlap: new [%#x,%d) with live [%#x,%d)", uint64(a), sz, uint64(base), n)
+						return false
+					}
+				}
+				live[a] = roundUp(sz)
+			} else {
+				for base := range live {
+					if err := s.Free(base); err != nil {
+						t.Logf("free failed: %v", err)
+						return false
+					}
+					delete(live, base)
+					break
+				}
+			}
+		}
+		var want uint64
+		for _, n := range live {
+			want += n
+		}
+		return s.Stats().InUse == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestLoadStoreProperty: any stored value of any supported size reads back
+// masked to the size.
+func TestLoadStoreProperty(t *testing.T) {
+	s := newTestSpace(t, 1<<12)
+	a, _ := s.Alloc(256, "prop")
+	f := func(off uint16, sizeSel uint8, val uint64) bool {
+		size := uint64(1) << (sizeSel % 4)
+		addr := a + Addr(uint64(off)%(256-size))
+		if err := s.Store(addr, size, val); err != nil {
+			return false
+		}
+		got, err := s.Load(addr, size)
+		if err != nil {
+			return false
+		}
+		mask := uint64(1)<<(8*size) - 1
+		if size == 8 {
+			mask = ^uint64(0)
+		}
+		return got == val&mask
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConcurrentAllocFree(t *testing.T) {
+	s := newTestSpace(t, 1<<20)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var mine []Addr
+			for i := 0; i < 100; i++ {
+				a, err := s.Alloc(64, "c")
+				if err == nil {
+					mine = append(mine, a)
+				}
+			}
+			for _, a := range mine {
+				if err := s.Free(a); err != nil {
+					t.Errorf("concurrent free: %v", err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := s.Stats().InUse; got != 0 {
+		t.Errorf("leaked %d bytes", got)
+	}
+}

@@ -1,0 +1,233 @@
+package mpi
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/mem"
+	"repro/internal/ompt"
+	"repro/internal/report"
+	"repro/internal/vsm"
+)
+
+// Tuple locations used by the checker.
+const (
+	locPrivate = 0
+	locPublic  = 1
+)
+
+// wordState tracks one 8-byte window word: its two-location VSM tuple plus
+// which copies were written in the current RMA epoch (for the
+// conflicting-update check of the separate memory model).
+type wordState struct {
+	t     vsm.Tuple
+	privW bool // private copy written this epoch
+	pubW  bool // public copy written this epoch
+}
+
+// bufState is the checker's view of one rank-local allocation.
+type bufState struct {
+	rank  int
+	tag   string
+	base  mem.Addr
+	words []wordState
+	win   *Win // non-nil once the buffer backs a window
+}
+
+// Checker is the VSM-based data consistency checker for MPI one-sided
+// communication (paper §VII-B). It observes local loads/stores and RMA
+// operations and reports:
+//
+//   - UUM: reading a copy that never received a value (e.g. MPI_Get from a
+//     window whose owner never initialized the memory);
+//   - USD (stale access): reading a copy whose counterpart holds a newer
+//     value without an intervening synchronization (e.g. a local load after
+//     a remote MPI_Put, before the closing fence);
+//   - DataRace (conflicting update): the private and public copies of the
+//     same word both written within one epoch — undefined behaviour in the
+//     separate memory model.
+type Checker struct {
+	unified bool
+	sink    *report.Sink
+
+	mu   sync.Mutex
+	bufs map[*Buf]*bufState
+}
+
+// NewChecker creates a checker for the given window memory model.
+func NewChecker(unified bool) *Checker {
+	return &Checker{
+		unified: unified,
+		sink:    report.NewSink(),
+		bufs:    make(map[*Buf]*bufState),
+	}
+}
+
+// Sink returns the report sink.
+func (c *Checker) Sink() *report.Sink { return c.sink }
+
+// Reports returns the recorded diagnostics.
+func (c *Checker) Reports() []*report.Report { return c.sink.Reports() }
+
+// stateOf lazily registers buffers on first use (all words start invalid
+// and uninitialized, like a fresh allocation).
+func (c *Checker) stateOf(b *Buf) *bufState {
+	st, ok := c.bufs[b]
+	if !ok {
+		st = &bufState{rank: b.rank.id, tag: b.tag, base: b.addr, words: make([]wordState, b.elems)}
+		c.bufs[b] = st
+	}
+	return st
+}
+
+// write applies a write at loc; under the unified model both "copies" are
+// the same storage, so the write validates both locations.
+func (c *Checker) write(t vsm.Tuple, loc int) vsm.Tuple {
+	t = t.Write(loc)
+	if c.unified {
+		t = t.Update(1-loc, loc)
+	}
+	return t
+}
+
+// localAccess checks a load/store through the private copy.
+func (c *Checker) localAccess(b *Buf, i int, write bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := c.stateOf(b)
+	if i < 0 || i >= len(st.words) {
+		return // out-of-range faults are handled by the space itself
+	}
+	w := &st.words[i]
+	if write {
+		w.t = c.write(w.t, locPrivate)
+		w.privW = true
+		return
+	}
+	if k := w.t.Read(locPrivate); k != vsm.NoIssue {
+		c.report(st, i, k, false, "local read through the private copy")
+	}
+}
+
+// rmaAccess checks a Put (write) or Get (read) through the public copy.
+func (c *Checker) rmaAccess(win *Win, target, off, n int, write bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := c.stateOf(win.parts[target].private)
+	for i := off; i < off+n && i < len(st.words); i++ {
+		w := &st.words[i]
+		if write {
+			w.t = c.write(w.t, locPublic)
+			w.pubW = true
+			continue
+		}
+		if k := w.t.Read(locPublic); k != vsm.NoIssue {
+			c.report(st, i, k, true, "MPI_Get through the public copy")
+		}
+	}
+}
+
+// accumulate checks an MPI_Accumulate: a read-modify-write of the public
+// copy. Accumulating into never-initialized memory is a UUM.
+func (c *Checker) accumulate(win *Win, target, off, n int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := c.stateOf(win.parts[target].private)
+	for i := off; i < off+n && i < len(st.words); i++ {
+		w := &st.words[i]
+		if k := w.t.Read(locPublic); k != vsm.NoIssue {
+			c.report(st, i, k, true, "MPI_Accumulate reads the public copy")
+		}
+		w.t = c.write(w.t, locPublic)
+		w.pubW = true
+	}
+}
+
+// winCreate snapshots each private copy into the fresh public copy, leaving
+// the window consistent where the private memory was initialized.
+func (c *Checker) winCreate(win *Win) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, part := range win.parts {
+		st := c.stateOf(part.private)
+		st.win = win
+		for i := range st.words {
+			st.words[i].t = st.words[i].t.Update(locPublic, locPrivate)
+			st.words[i].privW = false
+			st.words[i].pubW = false
+		}
+	}
+}
+
+// fence closes the epoch for one rank's window part: it reports conflicting
+// updates, tells the substrate which direction to reconcile each dirty word
+// (via the callback), and marks the copies consistent.
+func (c *Checker) fence(win *Win, rank int, reconcile func(wordIdx int, pubWins bool)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := c.stateOf(win.parts[rank].private)
+	for i := range st.words {
+		w := &st.words[i]
+		switch {
+		case w.privW && w.pubW:
+			c.reportConflict(st, i)
+			reconcile(i, true) // undefined; the simulation lets the RMA update win
+			w.t = w.t.Update(locPrivate, locPublic)
+		case w.pubW:
+			reconcile(i, true)
+			w.t = w.t.Update(locPrivate, locPublic)
+		case w.privW:
+			reconcile(i, false)
+			w.t = w.t.Update(locPublic, locPrivate)
+		}
+		w.privW = false
+		w.pubW = false
+	}
+}
+
+// winFree destroys the public copies: only the private validity survives.
+func (c *Checker) winFree(win *Win) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, part := range win.parts {
+		st := c.stateOf(part.private)
+		st.win = nil
+		for i := range st.words {
+			st.words[i].t = st.words[i].t.Release(locPublic)
+		}
+	}
+}
+
+func (c *Checker) report(st *bufState, word int, k vsm.IssueKind, public bool, what string) {
+	kind := report.USD
+	if k == vsm.UUM {
+		kind = report.UUM
+	}
+	side := "private"
+	if public {
+		side = "public"
+	}
+	c.sink.Add(&report.Report{
+		Tool:   "Arbalest-MPI",
+		Kind:   kind,
+		Var:    fmt.Sprintf("%s@rank%d[%d]", st.tag, st.rank, word),
+		Addr:   st.base + mem.Addr(word*8),
+		Size:   8,
+		Device: ompt.HostDevice,
+		Detail: fmt.Sprintf("%s: the %s copy does not hold the last write (%s); a synchronization (fence) is missing.", what, side, k),
+	})
+}
+
+func (c *Checker) reportConflict(st *bufState, word int) {
+	c.sink.Add(&report.Report{
+		Tool:   "Arbalest-MPI",
+		Kind:   report.DataRace,
+		Var:    fmt.Sprintf("%s@rank%d[%d]", st.tag, st.rank, word),
+		Addr:   st.base + mem.Addr(word*8),
+		Size:   8,
+		Device: ompt.HostDevice,
+		Write:  true,
+		Detail: "conflicting update: the private and public window copies were both written in the same " +
+			"RMA epoch, which is undefined in MPI's separate memory model.",
+	})
+}

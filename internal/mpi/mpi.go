@@ -1,0 +1,169 @@
+// Package mpi is a simulated MPI-3 one-sided communication (RMA) substrate
+// plus a VSM-based data consistency checker — the paper's §VII-B extension:
+// "the VSM based detection algorithm is still applicable to MPI
+// applications ... to pinpoint data consistency issues".
+//
+// MPI-3 defines two window memory models (Hoefler et al., ref [34] of the
+// paper). In the *separate* model each window has a private copy (touched by
+// local loads/stores) and a public copy (touched by remote Put/Get/
+// Accumulate); synchronization calls (here: fence) reconcile the two, and
+// accessing a location through one copy while the other holds a newer value
+// is a data consistency issue — structurally identical to the OV/CV
+// inconsistency of OpenMP data mappings. In the *unified* model the two
+// copies are the same storage and only ordering violations remain.
+//
+// The substrate runs each rank as a goroutine with its own simulated address
+// space, and the Checker tracks every window word with a two-location
+// vsm.Tuple (location 0 = private copy, location 1 = public copy).
+package mpi
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/mem"
+)
+
+// Config configures a World.
+type Config struct {
+	// Ranks is the number of MPI ranks (default 2).
+	Ranks int
+	// Unified selects the unified window memory model (default separate).
+	Unified bool
+	// MemPerRank sizes each rank's simulated address space (default 1 MiB).
+	MemPerRank uint64
+}
+
+// World is a simulated MPI job.
+type World struct {
+	cfg     Config
+	spaces  []*mem.Space
+	checker *Checker
+
+	mu      sync.Mutex
+	barrier *barrier
+	winSeq  int
+	rendez  map[string]*rendezvous
+
+	faults []error
+}
+
+// NewWorld creates a world with the given configuration. A Checker is always
+// attached; retrieve its reports with World.Checker().
+func NewWorld(cfg Config) *World {
+	if cfg.Ranks <= 0 {
+		cfg.Ranks = 2
+	}
+	if cfg.MemPerRank == 0 {
+		cfg.MemPerRank = 1 << 20
+	}
+	w := &World{
+		cfg:     cfg,
+		barrier: newBarrier(cfg.Ranks),
+		rendez:  make(map[string]*rendezvous),
+		checker: NewChecker(cfg.Unified),
+	}
+	for r := 0; r < cfg.Ranks; r++ {
+		w.spaces = append(w.spaces, mem.NewSpace(fmt.Sprintf("rank%d", r), mem.DeviceBase(r), cfg.MemPerRank))
+	}
+	return w
+}
+
+// Checker returns the attached consistency checker.
+func (w *World) Checker() *Checker { return w.checker }
+
+// NumRanks returns the world's size.
+func (w *World) NumRanks() int { return w.cfg.Ranks }
+
+func (w *World) fault(err error) {
+	if err == nil {
+		return
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.faults = append(w.faults, err)
+}
+
+// Run executes body once per rank, concurrently, and returns the first rank
+// error or simulation fault.
+func (w *World) Run(body func(r *Rank) error) error {
+	errs := make([]error, w.cfg.Ranks)
+	var wg sync.WaitGroup
+	for id := 0; id < w.cfg.Ranks; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			errs[id] = body(&Rank{world: w, id: id, space: w.spaces[id]})
+		}(id)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if len(w.faults) > 0 {
+		return w.faults[0]
+	}
+	return nil
+}
+
+// Rank is one MPI process.
+type Rank struct {
+	world   *World
+	id      int
+	space   *mem.Space
+	collSeq int // per-rank collective-call counter (MPI call-order matching)
+}
+
+// ID returns the rank number.
+func (r *Rank) ID() int { return r.id }
+
+// Size returns the world's size.
+func (r *Rank) Size() int { return r.world.cfg.Ranks }
+
+// Barrier blocks until every rank reaches it (MPI_Barrier).
+func (r *Rank) Barrier() { r.world.barrier.wait() }
+
+// Buf is rank-local memory (float64 elements).
+type Buf struct {
+	rank  *Rank
+	addr  mem.Addr
+	elems int
+	tag   string
+}
+
+// Len returns the number of elements.
+func (b *Buf) Len() int { return b.elems }
+
+// AllocF64 allocates rank-local memory. Like malloc, it is uninitialized.
+func (r *Rank) AllocF64(n int, tag string) *Buf {
+	addr, err := r.space.Alloc(uint64(n)*8, tag)
+	if err != nil {
+		r.world.fault(err)
+		addr, _ = r.space.Alloc(8, tag)
+		n = 1
+	}
+	return &Buf{rank: r, addr: addr, elems: n, tag: tag}
+}
+
+// Store writes element i of local memory. For window-backed memory this is a
+// private-copy access in the separate model.
+func (r *Rank) Store(b *Buf, i int, v float64) {
+	r.world.checker.localAccess(b, i, true)
+	if err := r.space.StoreFloat64(b.addr+mem.Addr(i*8), v); err != nil {
+		r.world.fault(err)
+	}
+}
+
+// Load reads element i of local memory (a private-copy access).
+func (r *Rank) Load(b *Buf, i int) float64 {
+	r.world.checker.localAccess(b, i, false)
+	v, err := r.space.LoadFloat64(b.addr + mem.Addr(i*8))
+	if err != nil {
+		r.world.fault(err)
+	}
+	return v
+}

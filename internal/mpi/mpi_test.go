@@ -1,0 +1,338 @@
+package mpi
+
+import (
+	"testing"
+
+	"repro/internal/report"
+)
+
+// TestPutGetRoundTrip: rank 0 puts, fence, rank 1 reads locally — the
+// canonical correct one-sided exchange, clean under the checker.
+func TestPutGetRoundTrip(t *testing.T) {
+	w := NewWorld(Config{Ranks: 2})
+	err := w.Run(func(r *Rank) error {
+		buf := r.AllocF64(8, "buf")
+		for i := 0; i < 8; i++ {
+			r.Store(buf, i, float64(r.ID()))
+		}
+		win := r.WinCreate(buf)
+		win.Fence(r) // open epoch
+		if r.ID() == 0 {
+			win.Put(r, 1, 0, []float64{42, 43, 44, 45, 46, 47, 48, 49})
+		}
+		win.Fence(r) // close epoch: updates visible
+		if r.ID() == 1 {
+			for i := 0; i < 8; i++ {
+				if got := r.Load(buf, i); got != float64(42+i) {
+					t.Errorf("rank1 buf[%d] = %v, want %v", i, got, 42+i)
+				}
+			}
+		}
+		win.Free(r)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := w.Checker().Sink().Count(); n != 0 {
+		for _, rep := range w.Checker().Reports() {
+			t.Logf("%s", rep)
+		}
+		t.Errorf("%d reports on correct program", n)
+	}
+}
+
+// TestLocalReadAfterPutWithoutFence: the separate-model staleness — rank 1
+// reads its private copy while rank 0's Put only updated the public copy.
+func TestLocalReadAfterPutWithoutFence(t *testing.T) {
+	w := NewWorld(Config{Ranks: 2})
+	err := w.Run(func(r *Rank) error {
+		buf := r.AllocF64(4, "buf")
+		for i := 0; i < 4; i++ {
+			r.Store(buf, i, 1)
+		}
+		win := r.WinCreate(buf)
+		win.Fence(r)
+		if r.ID() == 0 {
+			win.Put(r, 1, 0, []float64{9, 9, 9, 9})
+		}
+		r.Barrier() // order the Put before the read, but with NO fence
+		if r.ID() == 1 {
+			if got := r.Load(buf, 0); got != 1 {
+				t.Errorf("private copy changed without a fence: %v", got)
+			}
+		}
+		win.Fence(r)
+		win.Free(r)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Checker().Sink().CountKind(report.USD) == 0 {
+		t.Error("stale private read after remote Put not reported")
+	}
+}
+
+// TestGetAfterLocalStoreWithoutFence: the mirror case — a remote Get sees
+// the public copy while the owner's local store only touched the private one.
+func TestGetAfterLocalStoreWithoutFence(t *testing.T) {
+	w := NewWorld(Config{Ranks: 2})
+	err := w.Run(func(r *Rank) error {
+		buf := r.AllocF64(4, "buf")
+		for i := 0; i < 4; i++ {
+			r.Store(buf, i, 1)
+		}
+		win := r.WinCreate(buf)
+		win.Fence(r)
+		if r.ID() == 1 {
+			r.Store(buf, 0, 77) // private-only update
+		}
+		r.Barrier()
+		if r.ID() == 0 {
+			got := win.Get(r, 1, 0, 1)
+			if got[0] != 1 {
+				t.Errorf("public copy changed without a fence: %v", got[0])
+			}
+		}
+		win.Fence(r)
+		win.Free(r)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Checker().Sink().CountKind(report.USD) == 0 {
+		t.Error("stale public Get after local store not reported")
+	}
+}
+
+// TestConflictingUpdateDetected: a local store and a remote Put to the same
+// word in one epoch is undefined in the separate model.
+func TestConflictingUpdateDetected(t *testing.T) {
+	w := NewWorld(Config{Ranks: 2})
+	err := w.Run(func(r *Rank) error {
+		buf := r.AllocF64(2, "buf")
+		r.Store(buf, 0, 1)
+		r.Store(buf, 1, 1)
+		win := r.WinCreate(buf)
+		win.Fence(r)
+		if r.ID() == 0 {
+			win.Put(r, 1, 0, []float64{5})
+		}
+		if r.ID() == 1 {
+			r.Store(buf, 0, 6) // same word, same epoch
+		}
+		win.Fence(r)
+		win.Free(r)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Checker().Sink().CountKind(report.DataRace) == 0 {
+		t.Error("conflicting private/public update not reported")
+	}
+}
+
+// TestDisjointWordsSameEpochClean: local store to word 1 and remote Put to
+// word 0 in the same epoch are legal (per-word reconciliation).
+func TestDisjointWordsSameEpochClean(t *testing.T) {
+	w := NewWorld(Config{Ranks: 2})
+	err := w.Run(func(r *Rank) error {
+		buf := r.AllocF64(2, "buf")
+		r.Store(buf, 0, 1)
+		r.Store(buf, 1, 1)
+		win := r.WinCreate(buf)
+		win.Fence(r)
+		if r.ID() == 0 {
+			win.Put(r, 1, 0, []float64{5})
+		}
+		if r.ID() == 1 {
+			r.Store(buf, 1, 6) // different word
+		}
+		win.Fence(r)
+		if r.ID() == 1 {
+			if got := r.Load(buf, 0); got != 5 {
+				t.Errorf("buf[0] = %v, want 5 (RMA update)", got)
+			}
+			if got := r.Load(buf, 1); got != 6 {
+				t.Errorf("buf[1] = %v, want 6 (local update)", got)
+			}
+		}
+		// And the local update must now be publicly visible.
+		r.Barrier()
+		if r.ID() == 0 {
+			if got := win.Get(r, 1, 1, 1); got[0] != 6 {
+				t.Errorf("Get(rank1[1]) = %v, want 6", got[0])
+			}
+		}
+		win.Fence(r)
+		win.Free(r)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := w.Checker().Sink().Count(); n != 0 {
+		for _, rep := range w.Checker().Reports() {
+			t.Logf("%s", rep)
+		}
+		t.Errorf("%d reports on disjoint-word program", n)
+	}
+}
+
+// TestGetFromUninitializedWindow: MPI_Get from a window whose owner never
+// initialized the memory is a UUM.
+func TestGetFromUninitializedWindow(t *testing.T) {
+	w := NewWorld(Config{Ranks: 2})
+	err := w.Run(func(r *Rank) error {
+		buf := r.AllocF64(4, "buf") // never initialized
+		win := r.WinCreate(buf)
+		win.Fence(r)
+		if r.ID() == 0 {
+			_ = win.Get(r, 1, 0, 4)
+		}
+		win.Fence(r)
+		win.Free(r)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Checker().Sink().CountKind(report.UUM) == 0 {
+		t.Error("Get from uninitialized window not reported as UUM")
+	}
+}
+
+// TestAccumulate: fence-separated accumulates from both ranks sum correctly
+// and cleanly.
+func TestAccumulate(t *testing.T) {
+	w := NewWorld(Config{Ranks: 2})
+	err := w.Run(func(r *Rank) error {
+		buf := r.AllocF64(1, "acc")
+		r.Store(buf, 0, 0)
+		win := r.WinCreate(buf)
+		win.Fence(r)
+		// Both ranks accumulate into rank 0's window; MPI_Accumulate is
+		// element-atomic, so this is legal within one epoch.
+		win.Accumulate(r, 0, 0, []float64{float64(r.ID() + 1)})
+		win.Fence(r)
+		if r.ID() == 0 {
+			if got := r.Load(buf, 0); got != 3 {
+				t.Errorf("accumulated value = %v, want 3", got)
+			}
+		}
+		win.Free(r)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := w.Checker().Sink().Count(); n != 0 {
+		t.Errorf("%d reports on accumulate program", n)
+	}
+}
+
+// TestUnifiedModelHidesStalenessButNotConflicts: under the unified window
+// model the Put-then-local-read pattern is well-defined (no staleness), but
+// same-epoch conflicting updates are still reported.
+func TestUnifiedModelHidesStalenessButNotConflicts(t *testing.T) {
+	w := NewWorld(Config{Ranks: 2, Unified: true})
+	err := w.Run(func(r *Rank) error {
+		buf := r.AllocF64(2, "buf")
+		r.Store(buf, 0, 1)
+		r.Store(buf, 1, 1)
+		win := r.WinCreate(buf)
+		win.Fence(r)
+		if r.ID() == 0 {
+			win.Put(r, 1, 0, []float64{9})
+		}
+		r.Barrier()
+		if r.ID() == 1 {
+			if got := r.Load(buf, 0); got != 9 {
+				t.Errorf("unified model: local read = %v, want 9", got)
+			}
+		}
+		win.Fence(r)
+		// Now a genuine conflict: both copies written in one epoch.
+		if r.ID() == 0 {
+			win.Put(r, 1, 1, []float64{5})
+		}
+		if r.ID() == 1 {
+			r.Store(buf, 1, 6)
+		}
+		win.Fence(r)
+		win.Free(r)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Checker().Sink().CountKind(report.USD) != 0 {
+		t.Error("unified model reported staleness")
+	}
+	if w.Checker().Sink().CountKind(report.DataRace) == 0 {
+		t.Error("unified model missed the same-epoch conflict")
+	}
+}
+
+// TestOutOfRangeRMAFaults: RMA outside the window is a simulation fault.
+func TestOutOfRangeRMAFaults(t *testing.T) {
+	w := NewWorld(Config{Ranks: 2})
+	err := w.Run(func(r *Rank) error {
+		buf := r.AllocF64(2, "buf")
+		r.Store(buf, 0, 1)
+		r.Store(buf, 1, 1)
+		win := r.WinCreate(buf)
+		win.Fence(r)
+		if r.ID() == 0 {
+			win.Put(r, 1, 1, []float64{1, 2, 3}) // 2 past the end
+			win.Put(r, 5, 0, []float64{1})       // no such rank
+		}
+		win.Fence(r)
+		win.Free(r)
+		return nil
+	})
+	if err == nil {
+		t.Error("out-of-range RMA did not fault")
+	}
+}
+
+// TestBarrierAndWorldShape covers the small plumbing.
+func TestBarrierAndWorldShape(t *testing.T) {
+	w := NewWorld(Config{})
+	if w.NumRanks() != 2 {
+		t.Errorf("default ranks = %d", w.NumRanks())
+	}
+	counter := make(chan int, 16)
+	err := w.Run(func(r *Rank) error {
+		if r.Size() != 2 {
+			t.Errorf("Size = %d", r.Size())
+		}
+		counter <- r.ID()
+		r.Barrier()
+		counter <- 10 + r.ID()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	close(counter)
+	var pre, post int
+	seen := 0
+	for v := range counter {
+		seen++
+		if v < 10 {
+			pre++
+			if post > 0 {
+				t.Error("a rank passed the barrier before all arrived")
+			}
+		} else {
+			post++
+		}
+	}
+	if seen != 4 || pre != 2 || post != 2 {
+		t.Errorf("barrier accounting: %d events, %d pre, %d post", seen, pre, post)
+	}
+}

@@ -1,0 +1,72 @@
+package mpi
+
+import (
+	"sync"
+
+	"repro/internal/mem"
+)
+
+// Passive-target synchronization (MPI_Win_lock / MPI_Win_unlock /
+// MPI_Win_sync). In the separate memory model, unlock completes the origin's
+// RMA operations on the target's public copy, but the target only observes
+// them in its private copy after it calls Win_sync — the asymmetry that
+// makes passive-target programming a rich source of data consistency bugs
+// (Hoefler et al., the paper's ref [34]).
+
+// lockFor returns (creating on first use) the epoch lock for target's part.
+func (win *Win) lockFor(target int) *sync.Mutex {
+	win.locksMu.Lock()
+	defer win.locksMu.Unlock()
+	if win.locks == nil {
+		win.locks = make(map[int]*sync.Mutex)
+	}
+	l, ok := win.locks[target]
+	if !ok {
+		l = &sync.Mutex{}
+		win.locks[target] = l
+	}
+	return l
+}
+
+// Lock opens a passive-target access epoch on target's window part
+// (MPI_Win_lock with MPI_LOCK_EXCLUSIVE).
+func (win *Win) Lock(r *Rank, target int) {
+	win.lockFor(target).Lock()
+}
+
+// Unlock closes the passive-target epoch (MPI_Win_unlock): the origin's RMA
+// operations are complete at the target's PUBLIC copy when Unlock returns.
+// The target's private copy is NOT synchronized — that requires the target
+// to call Sync (or a collective Fence).
+func (win *Win) Unlock(r *Rank, target int) {
+	win.lockFor(target).Unlock()
+}
+
+// Sync reconciles the calling rank's own private and public copies
+// (MPI_Win_sync). It reports conflicting same-epoch updates exactly like a
+// fence, but involves no other rank and no barrier.
+func (win *Win) Sync(r *Rank) {
+	win.world.checker.fence(win, r.id, func(wordIdx int, pubWins bool) {
+		win.reconcileWord(r.id, wordIdx, pubWins)
+	})
+}
+
+// reconcileWord copies one 8-byte word between a rank's private and public
+// copies in the direction the checker decided.
+func (win *Win) reconcileWord(rank, wordIdx int, pubWins bool) {
+	if win.world.cfg.Unified {
+		return
+	}
+	part := win.parts[rank]
+	priv := part.private.addr + mem.Addr(wordIdx*8)
+	pub := part.public + mem.Addr(wordIdx*8)
+	var err error
+	if pubWins {
+		err = mem.Copy(part.space, priv, part.space, pub, 8)
+	} else {
+		err = mem.Copy(part.space, pub, part.space, priv, 8)
+	}
+	if err != nil {
+		win.world.fault(err)
+	}
+}

@@ -1,0 +1,158 @@
+package mpi
+
+import (
+	"testing"
+
+	"repro/internal/report"
+)
+
+// TestPassiveTargetCorrect: lock/Put/unlock by the origin, then the target
+// Syncs before reading locally — the canonical passive-target pattern,
+// clean.
+func TestPassiveTargetCorrect(t *testing.T) {
+	w := NewWorld(Config{Ranks: 2})
+	err := w.Run(func(r *Rank) error {
+		buf := r.AllocF64(4, "buf")
+		for i := 0; i < 4; i++ {
+			r.Store(buf, i, 1)
+		}
+		win := r.WinCreate(buf)
+		if r.ID() == 0 {
+			win.Lock(r, 1)
+			win.Put(r, 1, 0, []float64{11, 12, 13, 14})
+			win.Unlock(r, 1)
+		}
+		r.Barrier() // order the epoch before the target's sync
+		if r.ID() == 1 {
+			win.Sync(r) // MPI_Win_sync: private copy observes the Put
+			for i := 0; i < 4; i++ {
+				if got := r.Load(buf, i); got != float64(11+i) {
+					t.Errorf("buf[%d] = %v, want %v", i, got, 11+i)
+				}
+			}
+		}
+		r.Barrier()
+		win.Free(r)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := w.Checker().Sink().Count(); n != 0 {
+		for _, rep := range w.Checker().Reports() {
+			t.Logf("%s", rep)
+		}
+		t.Errorf("%d reports on correct passive-target program", n)
+	}
+}
+
+// TestPassiveTargetMissingSync: the target reads locally after the origin's
+// unlock but WITHOUT Win_sync — the private copy is stale and the checker
+// says so.
+func TestPassiveTargetMissingSync(t *testing.T) {
+	w := NewWorld(Config{Ranks: 2})
+	err := w.Run(func(r *Rank) error {
+		buf := r.AllocF64(4, "buf")
+		for i := 0; i < 4; i++ {
+			r.Store(buf, i, 1)
+		}
+		win := r.WinCreate(buf)
+		if r.ID() == 0 {
+			win.Lock(r, 1)
+			win.Put(r, 1, 0, []float64{9, 9, 9, 9})
+			win.Unlock(r, 1)
+		}
+		r.Barrier()
+		if r.ID() == 1 {
+			// BUG: no win.Sync(r).
+			if got := r.Load(buf, 0); got != 1 {
+				t.Errorf("private copy changed without sync: %v", got)
+			}
+		}
+		r.Barrier()
+		if r.ID() == 1 {
+			win.Sync(r) // reconcile before teardown
+		}
+		r.Barrier()
+		win.Free(r)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Checker().Sink().CountKind(report.USD) == 0 {
+		t.Error("stale read without Win_sync not reported")
+	}
+}
+
+// TestLockSerializesEpochs: two origins updating the same target under locks
+// do not conflict — each epoch completes at the public copy before the next
+// opens (accumulate-free exclusive access).
+func TestLockSerializesEpochs(t *testing.T) {
+	w := NewWorld(Config{Ranks: 3})
+	err := w.Run(func(r *Rank) error {
+		buf := r.AllocF64(1, "buf")
+		r.Store(buf, 0, 0)
+		win := r.WinCreate(buf)
+		if r.ID() != 0 {
+			// Ranks 1 and 2 read-modify-write rank 0's window under the lock.
+			for iter := 0; iter < 5; iter++ {
+				win.Lock(r, 0)
+				v := win.Get(r, 0, 0, 1)
+				win.Put(r, 0, 0, []float64{v[0] + 1})
+				win.Unlock(r, 0)
+			}
+		}
+		r.Barrier()
+		if r.ID() == 0 {
+			win.Sync(r)
+			if got := r.Load(buf, 0); got != 10 {
+				t.Errorf("counter = %v, want 10", got)
+			}
+		}
+		r.Barrier()
+		win.Free(r)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := w.Checker().Sink().Count(); n != 0 {
+		for _, rep := range w.Checker().Reports() {
+			t.Logf("%s", rep)
+		}
+		t.Errorf("%d reports on locked counter", n)
+	}
+}
+
+// TestSyncReportsConflicts: Win_sync performs the same conflicting-update
+// check a fence does.
+func TestSyncReportsConflicts(t *testing.T) {
+	w := NewWorld(Config{Ranks: 2})
+	err := w.Run(func(r *Rank) error {
+		buf := r.AllocF64(1, "buf")
+		r.Store(buf, 0, 1)
+		win := r.WinCreate(buf)
+		if r.ID() == 0 {
+			win.Lock(r, 1)
+			win.Put(r, 1, 0, []float64{5})
+			win.Unlock(r, 1)
+		}
+		if r.ID() == 1 {
+			r.Store(buf, 0, 6) // conflicts with the incoming Put
+		}
+		r.Barrier()
+		if r.ID() == 1 {
+			win.Sync(r)
+		}
+		r.Barrier()
+		win.Free(r)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Checker().Sink().CountKind(report.DataRace) == 0 {
+		t.Error("Win_sync missed the conflicting update")
+	}
+}

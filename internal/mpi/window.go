@@ -1,0 +1,225 @@
+package mpi
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/mem"
+)
+
+// barrier is a reusable n-party barrier.
+type barrier struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	n     int
+	count int
+	phase uint64
+}
+
+func newBarrier(n int) *barrier {
+	b := &barrier{n: n}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+func (b *barrier) wait() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	phase := b.phase
+	b.count++
+	if b.count == b.n {
+		b.count = 0
+		b.phase++
+		b.cond.Broadcast()
+		return
+	}
+	for b.phase == phase {
+		b.cond.Wait()
+	}
+}
+
+// rendezvous collects one value per rank for a collective call.
+type rendezvous struct {
+	mu    sync.Mutex
+	bufs  []*Buf
+	count int
+	win   *Win
+	done  chan struct{}
+}
+
+// winPart is one rank's share of a window: the private copy (the exposed
+// buffer itself) and, in the separate memory model, a distinct public copy.
+type winPart struct {
+	private *Buf
+	public  mem.Addr // public copy base (== private base in the unified model)
+	space   *mem.Space
+}
+
+// Win is an RMA window (MPI_Win).
+type Win struct {
+	world *World
+	id    int
+	parts []*winPart
+
+	locksMu sync.Mutex
+	locks   map[int]*sync.Mutex // passive-target epoch locks by rank
+}
+
+// WinCreate collectively creates a window exposing each rank's buf
+// (MPI_Win_create). Every rank must call it in the same collective order.
+// In the separate memory model the runtime allocates a public copy and
+// initializes it from the private copy, leaving the two consistent.
+func (r *Rank) WinCreate(buf *Buf) *Win {
+	w := r.world
+	key := fmt.Sprintf("win-%d", r.collSeqNext())
+
+	w.mu.Lock()
+	rv, ok := w.rendez[key]
+	if !ok {
+		rv = &rendezvous{bufs: make([]*Buf, w.cfg.Ranks), done: make(chan struct{})}
+		w.rendez[key] = rv
+	}
+	w.mu.Unlock()
+
+	rv.mu.Lock()
+	rv.bufs[r.id] = buf
+	rv.count++
+	last := rv.count == w.cfg.Ranks
+	if last {
+		win := &Win{world: w, id: w.winSeq}
+		w.winSeq++
+		for rank, b := range rv.bufs {
+			part := &winPart{private: b, space: w.spaces[rank]}
+			if w.cfg.Unified {
+				part.public = b.addr
+			} else {
+				pub, err := w.spaces[rank].Alloc(uint64(b.elems)*8, b.tag+".pub")
+				if err != nil {
+					w.fault(err)
+					pub = b.addr
+				}
+				part.public = pub
+				if err := mem.Copy(w.spaces[rank], pub, w.spaces[rank], b.addr, uint64(b.elems)*8); err != nil {
+					w.fault(err)
+				}
+			}
+			win.parts = append(win.parts, part)
+		}
+		w.checker.winCreate(win)
+		rv.win = win
+		close(rv.done)
+	}
+	rv.mu.Unlock()
+	<-rv.done
+	return rv.win
+}
+
+// collSeqNext returns this rank's next collective-call sequence number.
+func (r *Rank) collSeqNext() int {
+	n := r.collSeq
+	r.collSeq++
+	return n
+}
+
+// Fence completes the current RMA epoch (MPI_Win_fence): it is collective,
+// and on return every rank's private and public copies are reconciled —
+// unless both were written in the same epoch, which the checker reports as
+// a conflicting update (undefined behaviour in the separate model).
+func (win *Win) Fence(r *Rank) {
+	r.Barrier()
+	// Each rank reconciles its own part exactly once per fence.
+	win.world.checker.fence(win, r.id, func(wordIdx int, pubWins bool) {
+		win.reconcileWord(r.id, wordIdx, pubWins)
+	})
+	r.Barrier()
+}
+
+func (win *Win) checkTarget(target, off, n int, op string) *winPart {
+	if target < 0 || target >= len(win.parts) {
+		win.world.fault(fmt.Errorf("mpi: %s to invalid rank %d", op, target))
+		return nil
+	}
+	part := win.parts[target]
+	if off < 0 || off+n > part.private.elems {
+		win.world.fault(fmt.Errorf("mpi: %s of [%d:%d) outside window of %d elements on rank %d",
+			op, off, off+n, part.private.elems, target))
+		return nil
+	}
+	return part
+}
+
+// Put writes vals into the target rank's public window copy starting at
+// element off (MPI_Put).
+func (win *Win) Put(r *Rank, target, off int, vals []float64) {
+	part := win.checkTarget(target, off, len(vals), "Put")
+	if part == nil {
+		return
+	}
+	win.world.checker.rmaAccess(win, target, off, len(vals), true)
+	for i, v := range vals {
+		if err := part.space.StoreFloat64(part.public+mem.Addr((off+i)*8), v); err != nil {
+			win.world.fault(err)
+		}
+	}
+}
+
+// Get reads n elements from the target rank's public window copy starting at
+// element off (MPI_Get).
+func (win *Win) Get(r *Rank, target, off, n int) []float64 {
+	part := win.checkTarget(target, off, n, "Get")
+	if part == nil {
+		return make([]float64, n)
+	}
+	win.world.checker.rmaAccess(win, target, off, n, false)
+	out := make([]float64, n)
+	for i := range out {
+		v, err := part.space.LoadFloat64(part.public + mem.Addr((off+i)*8))
+		if err != nil {
+			win.world.fault(err)
+		}
+		out[i] = v
+	}
+	return out
+}
+
+// Accumulate adds vals into the target's public copy (MPI_Accumulate with
+// MPI_SUM). Unlike Put, concurrent accumulates to the same location are
+// well-defined in MPI; the substrate serializes them per window part.
+func (win *Win) Accumulate(r *Rank, target, off int, vals []float64) {
+	part := win.checkTarget(target, off, len(vals), "Accumulate")
+	if part == nil {
+		return
+	}
+	win.world.checker.accumulate(win, target, off, len(vals))
+	win.world.mu.Lock() // serialize accumulates (MPI guarantees atomicity per element)
+	defer win.world.mu.Unlock()
+	for i, v := range vals {
+		addr := part.public + mem.Addr((off+i)*8)
+		old, err := part.space.LoadFloat64(addr)
+		if err != nil {
+			win.world.fault(err)
+			continue
+		}
+		if err := part.space.StoreFloat64(addr, old+v); err != nil {
+			win.world.fault(err)
+		}
+	}
+}
+
+// Free releases the window's public copies (MPI_Win_free). Collective.
+func (win *Win) Free(r *Rank) {
+	r.Barrier()
+	if r.id == 0 {
+		win.world.checker.winFree(win)
+		if !win.world.cfg.Unified {
+			for rank, part := range win.parts {
+				if part.public != part.private.addr {
+					if err := win.world.spaces[rank].Free(part.public); err != nil {
+						win.world.fault(err)
+					}
+				}
+			}
+		}
+	}
+	r.Barrier()
+}

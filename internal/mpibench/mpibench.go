@@ -1,0 +1,320 @@
+// Package mpibench is a micro-benchmark suite for the MPI one-sided
+// consistency checker (internal/mpi) — the §VII-B counterpart of what the
+// DRACC suite is for the OpenMP detector: a set of minimal correct and buggy
+// one-sided communication patterns with known verdicts. The buggy patterns
+// are the separate-memory-model pitfalls catalogued by Hoefler et al. (the
+// paper's ref [34]): reading a window copy whose counterpart is newer, and
+// updating both copies of a location in one synchronization epoch.
+package mpibench
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/mpi"
+	"repro/internal/report"
+)
+
+// Benchmark is one two-rank one-sided program.
+type Benchmark struct {
+	// Name identifies the pattern.
+	Name string
+	// Buggy marks programs with a known consistency issue.
+	Buggy bool
+	// Expect is the report kind a buggy program must produce.
+	Expect report.Kind
+	// Brief describes the pattern.
+	Brief string
+	// Ranks is the world size (default 2).
+	Ranks int
+	// Body runs on every rank.
+	Body func(r *mpi.Rank, win *mpi.Win, buf *mpi.Buf)
+	// Elems sizes the window (default 4).
+	Elems int
+}
+
+var registry []*Benchmark
+
+func register(b *Benchmark) { registry = append(registry, b) }
+
+// All returns the suite sorted by name.
+func All() []*Benchmark {
+	out := make([]*Benchmark, len(registry))
+	copy(out, registry)
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Result is one benchmark's outcome.
+type Result struct {
+	Benchmark *Benchmark
+	Detected  bool
+	Kinds     []report.Kind
+	Err       error
+}
+
+// RunBenchmark executes b under a fresh world and checker.
+func RunBenchmark(b *Benchmark) *Result {
+	ranks := b.Ranks
+	if ranks == 0 {
+		ranks = 2
+	}
+	elems := b.Elems
+	if elems == 0 {
+		elems = 4
+	}
+	w := mpi.NewWorld(mpi.Config{Ranks: ranks})
+	err := w.Run(func(r *mpi.Rank) error {
+		buf := r.AllocF64(elems, "w")
+		for i := 0; i < elems; i++ {
+			r.Store(buf, i, float64(r.ID()+1))
+		}
+		win := r.WinCreate(buf)
+		b.Body(r, win, buf)
+		win.Free(r)
+		return nil
+	})
+	return &Result{
+		Benchmark: b,
+		Detected:  w.Checker().Sink().Count() > 0,
+		Kinds:     w.Checker().Sink().Kinds(),
+		Err:       err,
+	}
+}
+
+// RunAll executes the whole suite.
+func RunAll() []*Result {
+	out := make([]*Result, 0, len(registry))
+	for _, b := range All() {
+		out = append(out, RunBenchmark(b))
+	}
+	return out
+}
+
+func init() {
+	// ---- correct patterns ----
+
+	register(&Benchmark{
+		Name:  "fenced-put",
+		Brief: "put inside a fence epoch, target reads after the closing fence",
+		Body: func(r *mpi.Rank, win *mpi.Win, buf *mpi.Buf) {
+			win.Fence(r)
+			if r.ID() == 0 {
+				win.Put(r, 1, 0, []float64{42})
+			}
+			win.Fence(r)
+			if r.ID() == 1 {
+				_ = r.Load(buf, 0)
+			}
+			r.Barrier()
+		},
+	})
+
+	register(&Benchmark{
+		Name:  "fenced-get",
+		Brief: "get inside a fence epoch after the owner's data was exposed",
+		Body: func(r *mpi.Rank, win *mpi.Win, buf *mpi.Buf) {
+			win.Fence(r)
+			if r.ID() == 1 {
+				_ = win.Get(r, 0, 0, 2)
+			}
+			win.Fence(r)
+		},
+	})
+
+	register(&Benchmark{
+		Name:  "accumulate-reduction",
+		Brief: "both ranks accumulate into rank 0's window in one epoch (element-atomic)",
+		Body: func(r *mpi.Rank, win *mpi.Win, buf *mpi.Buf) {
+			win.Fence(r)
+			win.Accumulate(r, 0, 0, []float64{1})
+			win.Fence(r)
+			if r.ID() == 0 {
+				_ = r.Load(buf, 0)
+			}
+			r.Barrier()
+		},
+	})
+
+	register(&Benchmark{
+		Name:  "passive-lock-sync",
+		Brief: "lock/put/unlock by the origin, Win_sync by the target before its read",
+		Body: func(r *mpi.Rank, win *mpi.Win, buf *mpi.Buf) {
+			if r.ID() == 0 {
+				win.Lock(r, 1)
+				win.Put(r, 1, 0, []float64{7})
+				win.Unlock(r, 1)
+			}
+			r.Barrier()
+			if r.ID() == 1 {
+				win.Sync(r)
+				_ = r.Load(buf, 0)
+			}
+			r.Barrier()
+		},
+	})
+
+	register(&Benchmark{
+		Name:  "disjoint-epoch-updates",
+		Brief: "local store and remote put touch different words of one window in one epoch",
+		Body: func(r *mpi.Rank, win *mpi.Win, buf *mpi.Buf) {
+			win.Fence(r)
+			if r.ID() == 0 {
+				win.Put(r, 1, 0, []float64{5})
+			}
+			if r.ID() == 1 {
+				r.Store(buf, 1, 6)
+			}
+			win.Fence(r)
+			if r.ID() == 1 {
+				_ = r.Load(buf, 0)
+				_ = r.Load(buf, 1)
+			}
+			r.Barrier()
+		},
+	})
+
+	register(&Benchmark{
+		Name:  "pingpong",
+		Brief: "alternating fenced exchanges over several rounds",
+		Body: func(r *mpi.Rank, win *mpi.Win, buf *mpi.Buf) {
+			for round := 0; round < 3; round++ {
+				win.Fence(r)
+				src := round % 2
+				if r.ID() == src {
+					win.Put(r, 1-src, 0, []float64{float64(round)})
+				}
+				win.Fence(r)
+				if r.ID() == 1-src {
+					_ = r.Load(buf, 0)
+				}
+				r.Barrier()
+			}
+		},
+	})
+
+	// ---- buggy patterns ----
+
+	register(&Benchmark{
+		Name: "missing-closing-fence", Buggy: true, Expect: report.USD,
+		Brief: "target reads its private copy after a remote put with no closing fence",
+		Body: func(r *mpi.Rank, win *mpi.Win, buf *mpi.Buf) {
+			win.Fence(r)
+			if r.ID() == 0 {
+				win.Put(r, 1, 0, []float64{9})
+			}
+			r.Barrier() // time order only; no memory synchronization
+			if r.ID() == 1 {
+				_ = r.Load(buf, 0) // BUG: stale private copy
+			}
+			win.Fence(r)
+		},
+	})
+
+	register(&Benchmark{
+		Name: "missing-win-sync", Buggy: true, Expect: report.USD,
+		Brief: "passive-target epoch completed by unlock, but the target never calls Win_sync",
+		Body: func(r *mpi.Rank, win *mpi.Win, buf *mpi.Buf) {
+			if r.ID() == 0 {
+				win.Lock(r, 1)
+				win.Put(r, 1, 0, []float64{9})
+				win.Unlock(r, 1)
+			}
+			r.Barrier()
+			if r.ID() == 1 {
+				_ = r.Load(buf, 0) // BUG: no Win_sync
+			}
+			r.Barrier()
+			if r.ID() == 1 {
+				win.Sync(r) // clean up before teardown
+			}
+			r.Barrier()
+		},
+	})
+
+	register(&Benchmark{
+		Name: "stale-get", Buggy: true, Expect: report.USD,
+		Brief: "origin gets the public copy after the owner's un-synchronized local store",
+		Body: func(r *mpi.Rank, win *mpi.Win, buf *mpi.Buf) {
+			win.Fence(r)
+			if r.ID() == 1 {
+				r.Store(buf, 0, 77)
+			}
+			r.Barrier()
+			if r.ID() == 0 {
+				_ = win.Get(r, 1, 0, 1) // BUG: public copy is stale
+			}
+			win.Fence(r)
+		},
+	})
+
+	register(&Benchmark{
+		Name: "same-epoch-conflict", Buggy: true, Expect: report.DataRace,
+		Brief: "local store and remote put hit the same word in one epoch (undefined)",
+		Body: func(r *mpi.Rank, win *mpi.Win, buf *mpi.Buf) {
+			win.Fence(r)
+			if r.ID() == 0 {
+				win.Put(r, 1, 0, []float64{5})
+			}
+			if r.ID() == 1 {
+				r.Store(buf, 0, 6) // BUG: same word, same epoch
+			}
+			win.Fence(r)
+		},
+	})
+
+	register(&Benchmark{
+		Name: "get-uninitialized", Buggy: true, Expect: report.UUM,
+		Brief: "get from a window whose owner never initialized the exposed memory",
+		Ranks: 2, Elems: 4,
+		Body: func(r *mpi.Rank, win *mpi.Win, buf *mpi.Buf) {
+			// Note: RunBenchmark initializes buf, so this pattern exposes a
+			// SECOND, never-initialized buffer through a second window.
+			fresh := r.AllocF64(4, "fresh")
+			w2 := r.WinCreate(fresh)
+			w2.Fence(r)
+			if r.ID() == 0 {
+				_ = w2.Get(r, 1, 0, 4) // BUG: never initialized
+			}
+			w2.Fence(r)
+			w2.Free(r)
+		},
+	})
+
+	register(&Benchmark{
+		Name: "put-then-read-no-epoch-close", Buggy: true, Expect: report.USD,
+		Brief: "three ranks: relay write consumed before the epoch closes",
+		Ranks: 3,
+		Body: func(r *mpi.Rank, win *mpi.Win, buf *mpi.Buf) {
+			win.Fence(r)
+			if r.ID() == 0 {
+				win.Put(r, 2, 0, []float64{1})
+			}
+			r.Barrier()
+			if r.ID() == 2 {
+				_ = r.Load(buf, 0) // BUG: epoch still open
+			}
+			win.Fence(r)
+		},
+	})
+}
+
+// Summary renders pass/fail counts for the suite.
+func Summary(results []*Result) string {
+	var buggyDetected, buggyTotal, cleanOK, cleanTotal int
+	for _, res := range results {
+		if res.Benchmark.Buggy {
+			buggyTotal++
+			if res.Detected {
+				buggyDetected++
+			}
+		} else {
+			cleanTotal++
+			if !res.Detected {
+				cleanOK++
+			}
+		}
+	}
+	return fmt.Sprintf("buggy detected %d/%d, correct clean %d/%d",
+		buggyDetected, buggyTotal, cleanOK, cleanTotal)
+}

@@ -1,0 +1,104 @@
+package mpibench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSuiteShape(t *testing.T) {
+	all := All()
+	if len(all) != 12 {
+		t.Fatalf("suite has %d benchmarks, want 12", len(all))
+	}
+	var buggy, clean int
+	for _, b := range all {
+		if b.Name == "" || b.Brief == "" || b.Body == nil {
+			t.Errorf("incomplete benchmark %+v", b)
+		}
+		if b.Buggy {
+			buggy++
+		} else {
+			clean++
+		}
+	}
+	if buggy != 6 || clean != 6 {
+		t.Errorf("buggy=%d clean=%d, want 6/6", buggy, clean)
+	}
+}
+
+// TestBuggyPatternsDetected: every buggy pattern is reported with the
+// expected kind.
+func TestBuggyPatternsDetected(t *testing.T) {
+	for _, b := range All() {
+		if !b.Buggy {
+			continue
+		}
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			res := RunBenchmark(b)
+			if res.Err != nil {
+				t.Fatalf("world error: %v", res.Err)
+			}
+			if !res.Detected {
+				t.Fatalf("%s not detected", b.Name)
+			}
+			found := false
+			for _, k := range res.Kinds {
+				if k == b.Expect {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("%s kinds %v, want %v among them", b.Name, res.Kinds, b.Expect)
+			}
+		})
+	}
+}
+
+// TestCleanPatternsSilent: no false positives on the correct patterns.
+func TestCleanPatternsSilent(t *testing.T) {
+	for _, b := range All() {
+		if b.Buggy {
+			continue
+		}
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			res := RunBenchmark(b)
+			if res.Err != nil {
+				t.Fatalf("world error: %v", res.Err)
+			}
+			if res.Detected {
+				t.Errorf("%s false positive: kinds %v", b.Name, res.Kinds)
+			}
+		})
+	}
+}
+
+// TestRunAllAndSummary: the suite-level harness.
+func TestRunAllAndSummary(t *testing.T) {
+	results := RunAll()
+	if len(results) != len(All()) {
+		t.Fatalf("%d results", len(results))
+	}
+	s := Summary(results)
+	if !strings.Contains(s, "buggy detected 6/6") || !strings.Contains(s, "correct clean 6/6") {
+		t.Errorf("summary = %q", s)
+	}
+}
+
+// TestStability: run the suite several times — the simulated ranks are
+// concurrent goroutines, and the verdicts must not depend on scheduling.
+func TestStability(t *testing.T) {
+	for round := 0; round < 5; round++ {
+		for _, b := range All() {
+			res := RunBenchmark(b)
+			if res.Err != nil {
+				t.Fatalf("round %d %s: %v", round, b.Name, res.Err)
+			}
+			if res.Detected != b.Buggy {
+				t.Fatalf("round %d %s: detected=%t, want %t (kinds %v)",
+					round, b.Name, res.Detected, b.Buggy, res.Kinds)
+			}
+		}
+	}
+}

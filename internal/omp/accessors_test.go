@@ -1,0 +1,222 @@
+package omp
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ompt"
+)
+
+// TestAllAccessorVariants drives every typed accessor through a full
+// host -> device -> host cycle.
+func TestAllAccessorVariants(t *testing.T) {
+	rt := NewRuntime(Config{NumThreads: 1})
+	err := rt.Run(func(c *Context) error {
+		f64 := c.AllocF64(4, "f64")
+		f32 := c.AllocF32(4, "f32")
+		i64 := c.AllocI64(4, "i64")
+		i32 := c.AllocI32(4, "i32")
+		u8 := c.AllocBytes(8, "u8")
+		for i := 0; i < 4; i++ {
+			c.StoreF64(f64, i, float64(i)+0.5)
+			c.StoreF32(f32, i, float32(i)+0.25)
+			c.StoreI64(i64, i, int64(-i))
+			c.StoreI32(i32, i, int32(i*7))
+		}
+		for i := 0; i < 8; i++ {
+			c.StoreU8(u8, i, uint8(200+i))
+		}
+		c.Target(ompOptsAll(f64, f32, i64, i32, u8), func(k *Context) {
+			for i := 0; i < 4; i++ {
+				k.StoreF64(f64, i, k.LoadF64(f64, i)*2)
+				k.StoreF32(f32, i, k.LoadF32(f32, i)*2)
+				k.StoreI64(i64, i, k.LoadI64(i64, i)*2)
+				k.StoreI32(i32, i, k.LoadI32(i32, i)*2)
+			}
+			for i := 0; i < 8; i++ {
+				k.StoreU8(u8, i, k.LoadU8(u8, i)+1)
+			}
+		})
+		for i := 0; i < 4; i++ {
+			if got := c.LoadF64(f64, i); got != (float64(i)+0.5)*2 {
+				t.Errorf("f64[%d] = %v", i, got)
+			}
+			if got := c.LoadF32(f32, i); got != (float32(i)+0.25)*2 {
+				t.Errorf("f32[%d] = %v", i, got)
+			}
+			if got := c.LoadI64(i64, i); got != int64(-i)*2 {
+				t.Errorf("i64[%d] = %v", i, got)
+			}
+			if got := c.LoadI32(i32, i); got != int32(i*7)*2 {
+				t.Errorf("i32[%d] = %v", i, got)
+			}
+		}
+		for i := 0; i < 8; i++ {
+			if got := c.LoadU8(u8, i); got != uint8(201+i) {
+				t.Errorf("u8[%d] = %v", i, got)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func ompOptsAll(bufs ...*Buffer) Opts {
+	var maps []Map
+	for _, b := range bufs {
+		maps = append(maps, ToFrom(b))
+	}
+	return Opts{Maps: maps}
+}
+
+// TestElemSizeMismatchAllVariants exercises the size guard for every
+// accessor family.
+func TestElemSizeMismatchAllVariants(t *testing.T) {
+	checks := []func(c *Context, wrong *Buffer){
+		func(c *Context, w *Buffer) { _ = c.LoadF64(w, 0) },
+		func(c *Context, w *Buffer) { c.StoreF64(w, 0, 0) },
+		func(c *Context, w *Buffer) { _ = c.LoadI64(w, 0) },
+		func(c *Context, w *Buffer) { c.StoreI64(w, 0, 0) },
+		func(c *Context, w *Buffer) { _ = c.LoadU8(w, 0) },
+		func(c *Context, w *Buffer) { c.StoreU8(w, 0, 0) },
+	}
+	for i, check := range checks {
+		rt := NewRuntime(Config{})
+		err := rt.Run(func(c *Context) error {
+			wrong := c.AllocI32(4, "wrong") // 4-byte elems, mismatching all of the above
+			check(c, wrong)
+			return nil
+		})
+		if err == nil {
+			t.Errorf("check %d: size mismatch not faulted", i)
+		}
+	}
+	// And the 4-byte accessors against an 8-byte buffer.
+	rt := NewRuntime(Config{})
+	err := rt.Run(func(c *Context) error {
+		wrong := c.AllocI64(4, "wrong")
+		_ = c.LoadF32(wrong, 0)
+		c.StoreF32(wrong, 0, 0)
+		_ = c.LoadI32(wrong, 0)
+		c.StoreI32(wrong, 0, 0)
+		return nil
+	})
+	if err == nil {
+		t.Error("4-byte accessors on 8-byte buffer not faulted")
+	}
+}
+
+// TestBufferAndContextMetadata covers the small accessors.
+func TestBufferAndContextMetadata(t *testing.T) {
+	rt := NewRuntime(Config{})
+	_ = rt.Run(func(c *Context) error {
+		b := c.AllocI64(6, "meta")
+		if b.Len() != 6 || b.ElemSize() != 8 || b.Bytes() != 48 || b.Tag() != "meta" {
+			t.Errorf("buffer metadata: %+v", b)
+		}
+		if b.Addr() == 0 {
+			t.Error("zero buffer address")
+		}
+		if !strings.Contains(b.String(), "meta") {
+			t.Errorf("Buffer.String() = %q", b.String())
+		}
+		if c.Runtime() != rt {
+			t.Error("Context.Runtime mismatch")
+		}
+		if c.Device() != ompt.HostDevice {
+			t.Errorf("host context device = %d", c.Device())
+		}
+		if c.TaskID() == 0 || c.ThreadID() == 0 {
+			t.Error("zero task/thread id")
+		}
+		c.At("x.go", 3, "f")
+		if c.Loc().Line != 3 || c.Loc().File != "x.go" {
+			t.Errorf("Loc = %+v", c.Loc())
+		}
+		var kernelDev ompt.DeviceID = -99
+		c.Target(Opts{Maps: []Map{To(b)}}, func(k *Context) {
+			kernelDev = k.Device()
+			_ = k.LoadI64(b, 0)
+		})
+		if kernelDev != 0 {
+			t.Errorf("kernel device = %d", kernelDev)
+		}
+		return nil
+	})
+}
+
+// TestAllocationFailureFaults: exhausting simulated memory records a fault
+// but does not crash.
+func TestAllocationFailureFaults(t *testing.T) {
+	rt := NewRuntime(Config{HostMem: 1 << 12})
+	err := rt.Run(func(c *Context) error {
+		b := c.AllocF64(4096, "too-big") // 32 KiB into a 4 KiB space
+		if b == nil {
+			t.Fatal("fallback buffer missing")
+		}
+		c.StoreF64(b, 0, 1) // fallback buffer is still usable
+		return nil
+	})
+	if err == nil {
+		t.Error("allocation failure not surfaced")
+	}
+}
+
+// TestDeviceAllocationFailureFaults: a mapping too large for device memory.
+func TestDeviceAllocationFailureFaults(t *testing.T) {
+	rt := NewRuntime(Config{DeviceMem: 1 << 12})
+	err := rt.Run(func(c *Context) error {
+		b := c.AllocF64(4096, "big")
+		for i := 0; i < 4096; i++ {
+			c.StoreF64(b, i, 0)
+		}
+		c.Target(Opts{Maps: []Map{To(b)}}, func(k *Context) {})
+		return nil
+	})
+	if err == nil {
+		t.Error("device allocation failure not surfaced")
+	}
+}
+
+// TestMapTypeStrings covers the String methods.
+func TestMapTypeStrings(t *testing.T) {
+	want := map[MapType]string{
+		MapTo: "to", MapFrom: "from", MapToFrom: "tofrom",
+		MapAlloc: "alloc", MapRelease: "release", MapDelete: "delete",
+	}
+	for mt, s := range want {
+		if mt.String() != s {
+			t.Errorf("%d.String() = %q, want %q", mt, mt.String(), s)
+		}
+	}
+}
+
+// TestMappingTranslation covers the OV<->CV translation helpers.
+func TestMappingTranslation(t *testing.T) {
+	m := &Mapping{OV: 1000, CV: 5000, Bytes: 64}
+	if got := m.TranslateToCV(1016); got != 5016 {
+		t.Errorf("TranslateToCV = %d", got)
+	}
+	if got := m.TranslateToOV(5040); got != 1040 {
+		t.Errorf("TranslateToOV = %d", got)
+	}
+	if !m.coversSpan(1000, 64) || m.coversSpan(1000, 65) || m.coversSpan(999, 8) {
+		t.Error("coversSpan wrong")
+	}
+}
+
+// TestFreeOfUnknownBufferFaults covers the Free error path.
+func TestFreeOfUnknownBufferFaults(t *testing.T) {
+	rt := NewRuntime(Config{})
+	err := rt.Run(func(c *Context) error {
+		b := c.AllocI64(2, "b")
+		c.Free(b)
+		c.Free(b) // double free
+		return nil
+	})
+	if err == nil {
+		t.Error("double free not surfaced")
+	}
+}

@@ -1,0 +1,108 @@
+package omp
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+	"repro/internal/ompt"
+)
+
+// Buffer is a host variable or array participating in data mappings: the
+// paper's original variable (OV). Kernels reference the same Buffer; inside a
+// target region accesses are transparently redirected to the corresponding
+// variable (CV) on the executing device, exactly as the compiler rewrites
+// mapped-variable accesses.
+type Buffer struct {
+	rt    *Runtime
+	addr  mem.Addr
+	elems int
+	elem  uint64 // element size in bytes
+	tag   string
+}
+
+// Addr returns the buffer's host base address.
+func (b *Buffer) Addr() mem.Addr { return b.addr }
+
+// Len returns the number of elements.
+func (b *Buffer) Len() int { return b.elems }
+
+// ElemSize returns the element size in bytes.
+func (b *Buffer) ElemSize() uint64 { return b.elem }
+
+// Bytes returns the buffer's total size in bytes.
+func (b *Buffer) Bytes() uint64 { return uint64(b.elems) * b.elem }
+
+// Tag returns the buffer's debugging label.
+func (b *Buffer) Tag() string { return b.tag }
+
+// String implements fmt.Stringer.
+func (b *Buffer) String() string {
+	return fmt.Sprintf("%s[%d x %dB]@%#x", b.tag, b.elems, b.elem, uint64(b.addr))
+}
+
+// elemAddr returns the host address of element i. Out-of-range indexes
+// produce out-of-range addresses on purpose: the buffer overflow bug class
+// depends on the runtime not masking them.
+func (b *Buffer) elemAddr(i int) mem.Addr {
+	return b.addr + mem.Addr(int64(i)*int64(b.elem))
+}
+
+func (rt *Runtime) alloc(elems int, elemSize uint64, tag string, task ompt.TaskID, loc ompt.SourceLoc) (*Buffer, error) {
+	if elems <= 0 {
+		return nil, fmt.Errorf("omp: allocation of %d elements", elems)
+	}
+	addr, err := rt.host.Alloc(uint64(elems)*elemSize, tag)
+	if err != nil {
+		return nil, err
+	}
+	b := &Buffer{rt: rt, addr: addr, elems: elems, elem: elemSize, tag: tag}
+	rt.tools.Alloc(ompt.AllocEvent{Addr: addr, Bytes: uint64(elems) * elemSize, Tag: tag, Task: task, Loc: loc})
+	return b, nil
+}
+
+// AllocF64 allocates a host array of n float64 elements. Like malloc, the
+// storage is NOT initialized.
+func (c *Context) AllocF64(n int, tag string) *Buffer {
+	return c.mustAlloc(n, 8, tag)
+}
+
+// AllocI64 allocates a host array of n int64 elements.
+func (c *Context) AllocI64(n int, tag string) *Buffer {
+	return c.mustAlloc(n, 8, tag)
+}
+
+// AllocI32 allocates a host array of n int32 elements.
+func (c *Context) AllocI32(n int, tag string) *Buffer {
+	return c.mustAlloc(n, 4, tag)
+}
+
+// AllocF32 allocates a host array of n float32 elements.
+func (c *Context) AllocF32(n int, tag string) *Buffer {
+	return c.mustAlloc(n, 4, tag)
+}
+
+// AllocBytes allocates a host array of n bytes.
+func (c *Context) AllocBytes(n int, tag string) *Buffer {
+	return c.mustAlloc(n, 1, tag)
+}
+
+func (c *Context) mustAlloc(n int, elem uint64, tag string) *Buffer {
+	b, err := c.rt.alloc(n, elem, tag, c.task.id, c.loc)
+	if err != nil {
+		c.rt.fault(err)
+		// Return a 1-element placeholder so callers do not nil-deref; the
+		// fault is already recorded and surfaces from Run.
+		addr, _ := c.rt.host.Alloc(elem, tag+"(fallback)")
+		return &Buffer{rt: c.rt, addr: addr, elems: 1, elem: elem, tag: tag}
+	}
+	return b
+}
+
+// Free releases a host buffer.
+func (c *Context) Free(b *Buffer) {
+	if err := c.rt.host.Free(b.addr); err != nil {
+		c.rt.fault(err)
+		return
+	}
+	c.rt.tools.Alloc(ompt.AllocEvent{Free: true, Addr: b.addr, Bytes: b.Bytes(), Tag: b.tag, Task: c.task.id, Loc: c.loc})
+}

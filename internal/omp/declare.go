@@ -1,0 +1,37 @@
+package omp
+
+import (
+	"repro/internal/ompt"
+)
+
+// DeclareTarget marks buffers as `declare target` globals: the runtime maps
+// them implicitly on a device the first time a target region executes there,
+// with an initializing transfer — mirroring how OpenMP implementations
+// allocate and initialize declare-target variables at device load time.
+//
+// The implicit mapping operations are reported to tools with the Implicit
+// flag set. The paper found stock OMPT missing exactly these callbacks
+// ("OMPT does not provide correct mapping information for global variables",
+// §V-A) and proposed adding them; this runtime implements the proposal, and
+// TestStockOMPTGapOnGlobals shows what breaks for a detector without them.
+func (c *Context) DeclareTarget(bufs ...*Buffer) {
+	rt := c.rt
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	rt.declared = append(rt.declared, bufs...)
+}
+
+// ensureDeclared lazily materializes the implicit mappings of declare-target
+// buffers on device d before a kernel runs there.
+func (rt *Runtime) ensureDeclared(d *Device, task ompt.TaskID, loc ompt.SourceLoc) {
+	rt.mu.Lock()
+	declared := make([]*Buffer, len(rt.declared))
+	copy(declared, rt.declared)
+	rt.mu.Unlock()
+	for _, b := range declared {
+		if d.env.lookupExact(b.addr, b.Bytes()) != nil {
+			continue
+		}
+		rt.mapEnter(d, To(b), task, loc, true)
+	}
+}

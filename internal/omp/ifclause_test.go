@@ -1,0 +1,64 @@
+package omp
+
+import "testing"
+
+// TestIfFalseRunsOnHost: with if(false) the region executes on the host, so
+// its writes land in the OVs directly.
+func TestIfFalseRunsOnHost(t *testing.T) {
+	rt := NewRuntime(Config{NumThreads: 1})
+	_ = rt.Run(func(c *Context) error {
+		v := c.AllocI64(2, "v")
+		c.StoreI64(v, 0, 1)
+		c.StoreI64(v, 1, 1)
+		c.Target(Opts{IfFalse: true, Maps: []Map{To(v)}}, func(k *Context) {
+			if k.Device() != -1 {
+				t.Errorf("if(false) kernel ran on device %d", k.Device())
+			}
+			k.StoreI64(v, 0, 5)
+		})
+		// Host-run kernel wrote the OV; map(to:) has no copy-back, so the
+		// value survives.
+		if got := c.LoadI64(v, 0); got != 5 {
+			t.Errorf("v[0] = %d, want 5", got)
+		}
+		return nil
+	})
+}
+
+// TestIfFalseCopyBackClobbers: the classic pitfall — map(tofrom:) with
+// if(false): the host-run kernel updates the OV, then the exit copy-back
+// overwrites it with the stale CV.
+func TestIfFalseCopyBackClobbers(t *testing.T) {
+	rt := NewRuntime(Config{NumThreads: 1})
+	_ = rt.Run(func(c *Context) error {
+		v := c.AllocI64(1, "v")
+		c.StoreI64(v, 0, 1)
+		c.Target(Opts{IfFalse: true, Maps: []Map{ToFrom(v)}}, func(k *Context) {
+			k.StoreI64(v, 0, 5) // writes the OV (host fallback)
+		})
+		// Exit copy-back restored the entry-time CV value: the kernel's
+		// update is lost — deterministically, by the construct's semantics.
+		if got := c.LoadI64(v, 0); got != 1 {
+			t.Errorf("v[0] = %d, want the clobbered 1", got)
+		}
+		return nil
+	})
+}
+
+// TestIfFalseMapsStillApply: the mapping lifecycle (alloc + refcount) runs
+// even though the kernel executes on the host.
+func TestIfFalseMapsStillApply(t *testing.T) {
+	rec := &recorder{}
+	rt := NewRuntime(Config{NumThreads: 1}, rec)
+	_ = rt.Run(func(c *Context) error {
+		v := c.AllocI64(4, "v")
+		for i := 0; i < 4; i++ {
+			c.StoreI64(v, i, 1)
+		}
+		c.Target(Opts{IfFalse: true, Maps: []Map{To(v)}}, func(k *Context) {})
+		return nil
+	})
+	if got := rec.countDataOps(0); got != 1 { // ompt.OpAlloc == 0
+		t.Errorf("%d CV allocations under if(false), want 1", got)
+	}
+}

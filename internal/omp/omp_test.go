@@ -1,0 +1,628 @@
+package omp
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/ompt"
+)
+
+// recorder is a test tool that records every event it sees.
+type recorder struct {
+	ompt.NopTool
+	mu       sync.Mutex
+	dataOps  []ompt.DataOpEvent
+	accesses []ompt.AccessEvent
+	targets  []ompt.TargetEvent
+	syncs    []ompt.SyncEvent
+	allocs   []ompt.AllocEvent
+	inits    []ompt.DeviceInitEvent
+}
+
+func (r *recorder) Name() string { return "recorder" }
+func (r *recorder) OnDeviceInit(e ompt.DeviceInitEvent) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.inits = append(r.inits, e)
+}
+func (r *recorder) OnTargetBegin(e ompt.TargetEvent) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.targets = append(r.targets, e)
+}
+func (r *recorder) OnDataOp(e ompt.DataOpEvent) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.dataOps = append(r.dataOps, e)
+}
+func (r *recorder) OnAccess(e ompt.AccessEvent) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.accesses = append(r.accesses, e)
+}
+func (r *recorder) OnSync(e ompt.SyncEvent) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.syncs = append(r.syncs, e)
+}
+func (r *recorder) OnAlloc(e ompt.AllocEvent) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.allocs = append(r.allocs, e)
+}
+
+func (r *recorder) countDataOps(k ompt.DataOpKind) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	for _, e := range r.dataOps {
+		if e.Kind == k {
+			n++
+		}
+	}
+	return n
+}
+
+func TestTargetToFromRoundTrip(t *testing.T) {
+	rt := NewRuntime(Config{})
+	err := rt.Run(func(c *Context) error {
+		a := c.AllocF64(16, "a")
+		for i := 0; i < 16; i++ {
+			c.StoreF64(a, i, float64(i))
+		}
+		c.Target(Opts{Maps: []Map{ToFrom(a)}}, func(k *Context) {
+			for i := 0; i < 16; i++ {
+				k.StoreF64(a, i, k.LoadF64(a, i)*2)
+			}
+		})
+		for i := 0; i < 16; i++ {
+			if got := c.LoadF64(a, i); got != float64(i)*2 {
+				t.Errorf("a[%d] = %v, want %v", i, got, float64(i)*2)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMapToDoesNotCopyBack(t *testing.T) {
+	rt := NewRuntime(Config{})
+	_ = rt.Run(func(c *Context) error {
+		a := c.AllocI64(4, "a")
+		for i := 0; i < 4; i++ {
+			c.StoreI64(a, i, 1)
+		}
+		c.Target(Opts{Maps: []Map{To(a)}}, func(k *Context) {
+			for i := 0; i < 4; i++ {
+				k.StoreI64(a, i, 99)
+			}
+		})
+		// map(to:) must not copy device writes back: host sees stale 1s,
+		// which is precisely the USD bug class this runtime must allow.
+		for i := 0; i < 4; i++ {
+			if got := c.LoadI64(a, i); got != 1 {
+				t.Errorf("a[%d] = %d, want stale 1", i, got)
+			}
+		}
+		return nil
+	})
+}
+
+func TestMapFromDoesNotCopyIn(t *testing.T) {
+	rt := NewRuntime(Config{})
+	rec := &recorder{}
+	rt2 := NewRuntime(Config{}, rec)
+	_ = rt.Run(func(c *Context) error { return nil })
+	_ = rt2.Run(func(c *Context) error {
+		a := c.AllocI64(4, "a")
+		for i := 0; i < 4; i++ {
+			c.StoreI64(a, i, 7)
+		}
+		c.Target(Opts{Maps: []Map{From(a)}}, func(k *Context) {
+			for i := 0; i < 4; i++ {
+				k.StoreI64(a, i, int64(i))
+			}
+		})
+		for i := 0; i < 4; i++ {
+			if got := c.LoadI64(a, i); got != int64(i) {
+				t.Errorf("a[%d] = %d, want %d", i, got, i)
+			}
+		}
+		return nil
+	})
+	if got := rec.countDataOps(ompt.OpTransferToDevice); got != 0 {
+		t.Errorf("map(from:) performed %d H2D transfers, want 0", got)
+	}
+	if got := rec.countDataOps(ompt.OpTransferFromDevice); got != 1 {
+		t.Errorf("map(from:) performed %d D2H transfers, want 1", got)
+	}
+}
+
+func TestAllocMapLeavesCVUninitialized(t *testing.T) {
+	// The Fig-1 bug: map(alloc:) allocates the CV without a transfer, so a
+	// kernel reading it sees garbage (here: whatever the device allocator
+	// had, i.e. zero bytes of a fresh space, NOT the host's values).
+	rt := NewRuntime(Config{})
+	_ = rt.Run(func(c *Context) error {
+		a := c.AllocI64(4, "a")
+		for i := 0; i < 4; i++ {
+			c.StoreI64(a, i, 42)
+		}
+		var devSaw []int64
+		c.Target(Opts{Maps: []Map{Alloc(a)}}, func(k *Context) {
+			for i := 0; i < 4; i++ {
+				devSaw = append(devSaw, k.LoadI64(a, i))
+			}
+		})
+		for _, v := range devSaw {
+			if v == 42 {
+				t.Error("map(alloc:) leaked host values to the device")
+			}
+		}
+		return nil
+	})
+}
+
+func TestRefCountingSuppressesInnerTransfers(t *testing.T) {
+	rec := &recorder{}
+	rt := NewRuntime(Config{}, rec)
+	_ = rt.Run(func(c *Context) error {
+		a := c.AllocF64(8, "a")
+		for i := 0; i < 8; i++ {
+			c.StoreF64(a, i, 1)
+		}
+		c.TargetData(Opts{Maps: []Map{ToFrom(a)}}, func(c *Context) {
+			// Inner target's map(tofrom:) finds the CV present: per Table I
+			// it must only bump the reference count, with no transfer.
+			c.Target(Opts{Maps: []Map{ToFrom(a)}}, func(k *Context) {
+				k.StoreF64(a, 0, 5)
+			})
+			c.Target(Opts{Maps: []Map{ToFrom(a)}}, func(k *Context) {
+				k.StoreF64(a, 1, 6)
+			})
+		})
+		if got := c.LoadF64(a, 0); got != 5 {
+			t.Errorf("a[0] = %v, want 5", got)
+		}
+		return nil
+	})
+	if got := rec.countDataOps(ompt.OpAlloc); got != 1 {
+		t.Errorf("%d CV allocations, want 1", got)
+	}
+	if got := rec.countDataOps(ompt.OpTransferToDevice); got != 1 {
+		t.Errorf("%d H2D transfers, want 1 (outer only)", got)
+	}
+	if got := rec.countDataOps(ompt.OpTransferFromDevice); got != 1 {
+		t.Errorf("%d D2H transfers, want 1 (outer exit only)", got)
+	}
+	if got := rec.countDataOps(ompt.OpDelete); got != 1 {
+		t.Errorf("%d CV deletions, want 1", got)
+	}
+}
+
+func TestSectionMapping(t *testing.T) {
+	rt := NewRuntime(Config{})
+	_ = rt.Run(func(c *Context) error {
+		a := c.AllocI64(10, "a")
+		for i := 0; i < 10; i++ {
+			c.StoreI64(a, i, int64(i))
+		}
+		// Map only [2, 6); kernel updates exactly that section.
+		c.Target(Opts{Maps: []Map{ToFrom(a).Section(2, 6)}}, func(k *Context) {
+			for i := 2; i < 6; i++ {
+				k.StoreI64(a, i, 100+int64(i))
+			}
+		})
+		for i := 0; i < 10; i++ {
+			want := int64(i)
+			if i >= 2 && i < 6 {
+				want = 100 + int64(i)
+			}
+			if got := c.LoadI64(a, i); got != want {
+				t.Errorf("a[%d] = %d, want %d", i, got, want)
+			}
+		}
+		return nil
+	})
+}
+
+func TestTargetEnterExitData(t *testing.T) {
+	rec := &recorder{}
+	rt := NewRuntime(Config{}, rec)
+	_ = rt.Run(func(c *Context) error {
+		a := c.AllocI64(4, "a")
+		for i := 0; i < 4; i++ {
+			c.StoreI64(a, i, 3)
+		}
+		c.TargetEnterData(Opts{Maps: []Map{To(a)}})
+		if len(rt.Device(0).Mappings()) != 1 {
+			t.Error("mapping absent after enter data")
+		}
+		c.Target(Opts{Maps: []Map{ToFrom(a)}}, func(k *Context) {
+			k.StoreI64(a, 2, 9)
+		})
+		// Still mapped: ref count held by enter data.
+		if len(rt.Device(0).Mappings()) != 1 {
+			t.Error("mapping dropped while enter-data reference held")
+		}
+		// Host must not see the device write yet (no copy-back happened:
+		// the inner tofrom exit only decremented the count).
+		if got := c.LoadI64(a, 2); got != 3 {
+			t.Errorf("host saw %d before exit data, want stale 3", got)
+		}
+		c.TargetExitData(Opts{Maps: []Map{From(a)}})
+		if len(rt.Device(0).Mappings()) != 0 {
+			t.Error("mapping alive after exit data")
+		}
+		if got := c.LoadI64(a, 2); got != 9 {
+			t.Errorf("a[2] = %d after exit data, want 9", got)
+		}
+		return nil
+	})
+}
+
+func TestTargetExitDataDelete(t *testing.T) {
+	rt := NewRuntime(Config{})
+	_ = rt.Run(func(c *Context) error {
+		a := c.AllocI64(4, "a")
+		c.StoreI64(a, 0, 1)
+		c.TargetEnterData(Opts{Maps: []Map{To(a)}})
+		c.TargetEnterData(Opts{Maps: []Map{To(a)}}) // ref = 2
+		c.Target(Opts{Maps: []Map{ToFrom(a)}}, func(k *Context) {
+			k.StoreI64(a, 0, 77)
+		})
+		c.TargetExitData(Opts{Maps: []Map{Delete(a)}}) // forces ref to 0, no copy-back
+		if n := len(rt.Device(0).Mappings()); n != 0 {
+			t.Errorf("%d mappings alive after delete", n)
+		}
+		if got := c.LoadI64(a, 0); got != 1 {
+			t.Errorf("delete copied back: a[0] = %d, want stale 1", got)
+		}
+		return nil
+	})
+}
+
+func TestTargetUpdate(t *testing.T) {
+	rt := NewRuntime(Config{})
+	_ = rt.Run(func(c *Context) error {
+		a := c.AllocI64(4, "a")
+		for i := 0; i < 4; i++ {
+			c.StoreI64(a, i, 1)
+		}
+		c.TargetData(Opts{Maps: []Map{To(a)}}, func(c *Context) {
+			c.Target(Opts{}, func(k *Context) {
+				k.StoreI64(a, 0, 50)
+			})
+			// Without the update, the host would read stale data.
+			c.TargetUpdate(UpdateOpts{From: []Map{{Buf: a}}})
+			if got := c.LoadI64(a, 0); got != 50 {
+				t.Errorf("a[0] after update from = %d, want 50", got)
+			}
+			c.StoreI64(a, 1, 60)
+			c.TargetUpdate(UpdateOpts{To: []Map{{Buf: a}}})
+			var got int64
+			c.Target(Opts{}, func(k *Context) {
+				got = k.LoadI64(a, 1)
+			})
+			if got != 60 {
+				t.Errorf("device a[1] after update to = %d, want 60", got)
+			}
+		})
+		return nil
+	})
+}
+
+func TestTargetUpdateUnmappedIsIgnored(t *testing.T) {
+	rt := NewRuntime(Config{})
+	err := rt.Run(func(c *Context) error {
+		a := c.AllocI64(4, "a")
+		c.StoreI64(a, 0, 1)
+		c.TargetUpdate(UpdateOpts{From: []Map{{Buf: a}}}) // no mapping: no-op
+		if got := c.LoadI64(a, 0); got != 1 {
+			t.Errorf("unmapped update corrupted host data: %d", got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("unmapped target update must not fault: %v", err)
+	}
+}
+
+func TestNowaitAndTaskWait(t *testing.T) {
+	rt := NewRuntime(Config{})
+	_ = rt.Run(func(c *Context) error {
+		a := c.AllocI64(1, "a")
+		c.StoreI64(a, 0, 1)
+		done := make(chan struct{})
+		c.Target(Opts{Maps: []Map{ToFrom(a)}, Nowait: true}, func(k *Context) {
+			<-done // hold the kernel open until the host proves it continued
+			k.StoreI64(a, 0, 2)
+		})
+		close(done) // host reached here while kernel still running
+		c.TaskWait()
+		if got := c.LoadI64(a, 0); got != 2 {
+			t.Errorf("a[0] = %d after taskwait, want 2", got)
+		}
+		return nil
+	})
+}
+
+func TestForceSyncMakesNowaitSynchronous(t *testing.T) {
+	rt := NewRuntime(Config{ForceSync: true})
+	_ = rt.Run(func(c *Context) error {
+		a := c.AllocI64(1, "a")
+		c.StoreI64(a, 0, 1)
+		c.Target(Opts{Maps: []Map{ToFrom(a)}, Nowait: true}, func(k *Context) {
+			k.StoreI64(a, 0, 2)
+		})
+		// No TaskWait: under ForceSync the construct completed already.
+		if got := c.LoadI64(a, 0); got != 2 {
+			t.Errorf("a[0] = %d immediately after forced-sync nowait, want 2", got)
+		}
+		return nil
+	})
+}
+
+func TestDependOrdersNowaitTasks(t *testing.T) {
+	rt := NewRuntime(Config{})
+	for trial := 0; trial < 20; trial++ {
+		_ = rt.Run(func(c *Context) error {
+			a := c.AllocI64(1, "a")
+			c.StoreI64(a, 0, 0)
+			// Chain of dependent nowait kernels must run in order.
+			for step := int64(1); step <= 5; step++ {
+				s := step
+				c.Target(Opts{Maps: []Map{ToFrom(a)}, Nowait: true, DependsIn: []*Buffer{a}, DependsOut: []*Buffer{a}}, func(k *Context) {
+					v := k.LoadI64(a, 0)
+					if v != s-1 {
+						t.Errorf("kernel %d saw %d, want %d", s, v, s-1)
+					}
+					k.StoreI64(a, 0, s)
+				})
+			}
+			c.TaskWait()
+			if got := c.LoadI64(a, 0); got != 5 {
+				t.Errorf("a[0] = %d, want 5", got)
+			}
+			return nil
+		})
+	}
+}
+
+func TestParallelFor(t *testing.T) {
+	rt := NewRuntime(Config{NumThreads: 8})
+	_ = rt.Run(func(c *Context) error {
+		n := 1000
+		a := c.AllocI64(n, "a")
+		c.Target(Opts{Maps: []Map{From(a)}}, func(k *Context) {
+			k.ParallelFor(n, func(k *Context, i int) {
+				k.StoreI64(a, i, int64(i)*3)
+			})
+		})
+		for i := 0; i < n; i++ {
+			if got := c.LoadI64(a, i); got != int64(i)*3 {
+				t.Fatalf("a[%d] = %d, want %d", i, got, i*3)
+			}
+		}
+		return nil
+	})
+}
+
+func TestParallelForSmallN(t *testing.T) {
+	rt := NewRuntime(Config{NumThreads: 8})
+	_ = rt.Run(func(c *Context) error {
+		a := c.AllocI64(3, "a")
+		c.Target(Opts{Maps: []Map{From(a)}}, func(k *Context) {
+			k.ParallelFor(3, func(k *Context, i int) {
+				k.StoreI64(a, i, 1)
+			})
+			k.ParallelFor(0, func(k *Context, i int) {
+				t.Error("body called for n=0")
+			})
+		})
+		sum := int64(0)
+		for i := 0; i < 3; i++ {
+			sum += c.LoadI64(a, i)
+		}
+		if sum != 3 {
+			t.Errorf("sum = %d, want 3", sum)
+		}
+		return nil
+	})
+}
+
+func TestUnifiedMemoryMode(t *testing.T) {
+	rec := &recorder{}
+	rt := NewRuntime(Config{Unified: true}, rec)
+	_ = rt.Run(func(c *Context) error {
+		a := c.AllocI64(4, "a")
+		for i := 0; i < 4; i++ {
+			c.StoreI64(a, i, 5)
+		}
+		// Even with a "wrong" map-type, unified memory makes the device
+		// write visible on the host (paper §III-B).
+		c.Target(Opts{Maps: []Map{To(a)}}, func(k *Context) {
+			k.StoreI64(a, 0, 10)
+		})
+		if got := c.LoadI64(a, 0); got != 10 {
+			t.Errorf("a[0] = %d under unified memory, want 10", got)
+		}
+		return nil
+	})
+	if got := rec.countDataOps(ompt.OpAlloc); got != 0 {
+		t.Errorf("unified mode allocated %d CVs", got)
+	}
+	if got := rec.countDataOps(ompt.OpTransferToDevice) + rec.countDataOps(ompt.OpTransferFromDevice); got != 0 {
+		t.Errorf("unified mode performed %d transfers", got)
+	}
+	if len(rec.inits) != 1 || !rec.inits[0].Unified {
+		t.Error("device init event missing unified flag")
+	}
+}
+
+func TestMultiDevice(t *testing.T) {
+	rt := NewRuntime(Config{NumDevices: 2})
+	_ = rt.Run(func(c *Context) error {
+		a := c.AllocI64(2, "a")
+		c.StoreI64(a, 0, 1)
+		c.StoreI64(a, 1, 1)
+		c.Target(Opts{Device: 0, Maps: []Map{ToFrom(a).Section(0, 1)}}, func(k *Context) {
+			k.StoreI64(a, 0, 100)
+		})
+		c.Target(Opts{Device: 1, Maps: []Map{ToFrom(a).Section(1, 2)}}, func(k *Context) {
+			k.StoreI64(a, 1, 200)
+		})
+		if c.LoadI64(a, 0) != 100 || c.LoadI64(a, 1) != 200 {
+			t.Errorf("multi-device results: %d, %d", c.LoadI64(a, 0), c.LoadI64(a, 1))
+		}
+		return nil
+	})
+	if rt.NumDevices() != 2 {
+		t.Errorf("NumDevices = %d", rt.NumDevices())
+	}
+}
+
+func TestUnmappedDeviceAccessFaults(t *testing.T) {
+	rt := NewRuntime(Config{})
+	err := rt.Run(func(c *Context) error {
+		a := c.AllocI64(4, "a")
+		c.Target(Opts{}, func(k *Context) { // no map clause at all
+			_ = k.LoadI64(a, 0)
+		})
+		return nil
+	})
+	if err == nil {
+		t.Error("device access to unmapped variable did not fault")
+	}
+}
+
+func TestElemSizeMismatchFaults(t *testing.T) {
+	rt := NewRuntime(Config{})
+	err := rt.Run(func(c *Context) error {
+		a := c.AllocI32(4, "a")
+		_ = c.LoadF64(a, 0)
+		return nil
+	})
+	if err == nil {
+		t.Error("elem size mismatch not faulted")
+	}
+}
+
+func TestAccessEventsCarryMetadata(t *testing.T) {
+	rec := &recorder{}
+	rt := NewRuntime(Config{NumThreads: 1}, rec)
+	_ = rt.Run(func(c *Context) error {
+		a := c.AllocI64(2, "payload")
+		c.At("prog.go", 10, "main").StoreI64(a, 0, 1)
+		c.Target(Opts{Maps: []Map{ToFrom(a)}, Loc: Loc("prog.go", 20, "main")}, func(k *Context) {
+			k.At("prog.go", 21, "kernel").StoreI64(a, 1, 2)
+		})
+		return nil
+	})
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	if len(rec.accesses) < 2 {
+		t.Fatalf("recorded %d accesses", len(rec.accesses))
+	}
+	host := rec.accesses[0]
+	if host.Device != ompt.HostDevice || host.Tag != "payload" || host.Loc.Line != 10 {
+		t.Errorf("host access metadata: %+v", host)
+	}
+	var dev *ompt.AccessEvent
+	for i := range rec.accesses {
+		if rec.accesses[i].Device == 0 {
+			dev = &rec.accesses[i]
+			break
+		}
+	}
+	if dev == nil {
+		t.Fatal("no device access recorded")
+	}
+	if mem.SpaceIndexOf(dev.Addr) != 0 {
+		t.Errorf("device access addr %#x not in device space", uint64(dev.Addr))
+	}
+	if dev.Base == 0 || mem.SpaceIndexOf(dev.Base) != 0 {
+		t.Errorf("device access base %#x not a CV base", uint64(dev.Base))
+	}
+	if dev.Loc.Line != 21 {
+		t.Errorf("device access loc: %+v", dev.Loc)
+	}
+}
+
+func TestBufferOverflowTranslationGoesPastCV(t *testing.T) {
+	// Map half of the array, access all of it: the runtime must translate
+	// out-of-section indexes to addresses past the CV (undefined behaviour
+	// territory) instead of masking the bug.
+	rec := &recorder{}
+	rt := NewRuntime(Config{NumThreads: 1}, rec)
+	_ = rt.Run(func(c *Context) error {
+		a := c.AllocI64(8, "a")
+		for i := 0; i < 8; i++ {
+			c.StoreI64(a, i, 1)
+		}
+		c.Target(Opts{Maps: []Map{To(a).Section(0, 4)}}, func(k *Context) {
+			for i := 0; i < 8; i++ {
+				_ = k.LoadI64(a, i)
+			}
+		})
+		return nil
+	})
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	var cvBase mem.Addr
+	for _, e := range rec.dataOps {
+		if e.Kind == ompt.OpAlloc {
+			cvBase = e.DevAddr
+		}
+	}
+	if cvBase == 0 {
+		t.Fatal("no CV allocation observed")
+	}
+	past := 0
+	for _, e := range rec.accesses {
+		if e.Device == 0 && e.Addr >= cvBase+mem.Addr(4*8) {
+			past++
+		}
+	}
+	if past != 4 {
+		t.Errorf("%d device accesses past the CV, want 4", past)
+	}
+}
+
+func TestRunReturnsBodyError(t *testing.T) {
+	rt := NewRuntime(Config{})
+	sentinel := rt.Run(func(c *Context) error { return errSentinel })
+	if sentinel != errSentinel {
+		t.Errorf("Run returned %v", sentinel)
+	}
+}
+
+var errSentinel = &sentinelError{}
+
+type sentinelError struct{}
+
+func (*sentinelError) Error() string { return "sentinel" }
+
+func TestFreeEmitsEvent(t *testing.T) {
+	rec := &recorder{}
+	rt := NewRuntime(Config{}, rec)
+	_ = rt.Run(func(c *Context) error {
+		a := c.AllocI64(4, "a")
+		c.Free(a)
+		return nil
+	})
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	var frees int
+	for _, e := range rec.allocs {
+		if e.Free {
+			frees++
+		}
+	}
+	if frees != 1 {
+		t.Errorf("%d free events, want 1", frees)
+	}
+}

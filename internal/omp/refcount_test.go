@@ -1,0 +1,280 @@
+package omp
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ompt"
+)
+
+// refModel is an executable transcription of paper Table I used as the
+// oracle for the property test: reference count plus whether a CV exists and
+// which value it logically holds.
+type refModel struct {
+	refCount int
+	exists   bool
+	// hostVal / devVal model the logical content (a version counter).
+	hostVal, devVal int
+}
+
+func (m *refModel) enter(t MapType) {
+	switch t {
+	case MapTo, MapToFrom:
+		if !m.exists {
+			m.exists = true
+			m.devVal = m.hostVal // memcpy(CV, OV)
+			m.refCount = 1
+		} else {
+			m.refCount++
+		}
+	case MapFrom, MapAlloc:
+		if !m.exists {
+			m.exists = true
+			m.devVal = -1 // garbage
+			m.refCount = 1
+		} else {
+			m.refCount++
+		}
+	}
+}
+
+func (m *refModel) exit(t MapType) {
+	if !m.exists {
+		return
+	}
+	switch t {
+	case MapDelete:
+		m.refCount = 0
+	default:
+		m.refCount--
+		if m.refCount < 0 {
+			m.refCount = 0
+		}
+	}
+	if m.refCount > 0 {
+		return
+	}
+	if t == MapFrom || t == MapToFrom {
+		m.hostVal = m.devVal // memcpy(OV, CV)
+	}
+	m.exists = false
+}
+
+// TestTableIRefCountingProperty drives random enter/exit sequences through
+// both the runtime and the Table I oracle and checks that CV existence,
+// transfer behaviour, and final host values agree.
+func TestTableIRefCountingProperty(t *testing.T) {
+	enterTypes := []MapType{MapTo, MapToFrom, MapFrom, MapAlloc}
+	exitTypes := []MapType{MapTo, MapToFrom, MapFrom, MapAlloc, MapRelease, MapDelete}
+
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rt := NewRuntime(Config{NumThreads: 1})
+		ok := true
+		err := rt.Run(func(c *Context) error {
+			buf := c.AllocI64(4, "v")
+			model := &refModel{}
+			version := 1
+			for i := 0; i < 4; i++ {
+				c.StoreI64(buf, i, int64(version))
+			}
+			model.hostVal = version
+
+			var entered []MapType // stack of map-types currently entered
+			for step := 0; step < 60; step++ {
+				switch op := rng.Intn(4); {
+				case op == 0 || len(entered) == 0: // enter
+					mt := enterTypes[rng.Intn(len(enterTypes))]
+					c.TargetEnterData(Opts{Maps: []Map{{Buf: buf, Type: mt}}})
+					model.enter(mt)
+					entered = append(entered, mt)
+				case op == 1: // exit with a random legal type
+					mt := exitTypes[rng.Intn(len(exitTypes))]
+					if !model.exists {
+						// Exiting a destroyed mapping is only defined for
+						// release/delete; stay within spec like a correct
+						// program would.
+						mt = MapRelease
+					}
+					c.TargetExitData(Opts{Maps: []Map{{Buf: buf, Type: mt}}})
+					model.exit(mt)
+					entered = entered[:len(entered)-1]
+					if mt == MapDelete {
+						// Delete zeroes the reference count outright.
+						entered = nil
+					}
+				case op == 2 && model.exists: // device write via a kernel
+					version++
+					v := version
+					c.Target(Opts{}, func(k *Context) {
+						for i := 0; i < 4; i++ {
+							k.StoreI64(buf, i, int64(v))
+						}
+					})
+					model.devVal = v
+				default: // host write, then refresh the device view if mapped
+					version++
+					for i := 0; i < 4; i++ {
+						c.StoreI64(buf, i, int64(version))
+					}
+					model.hostVal = version
+					c.TargetUpdate(UpdateOpts{To: []Map{{Buf: buf}}})
+					if model.exists {
+						model.devVal = version
+					}
+				}
+
+				// Invariant: CV existence matches the oracle.
+				live := len(rt.Device(0).Mappings()) == 1
+				if live != model.exists {
+					t.Logf("seed %d step %d: CV exists=%t, oracle=%t", seed, step, live, model.exists)
+					ok = false
+					return nil
+				}
+				// Invariant: the host value matches the oracle's view.
+				if got := c.LoadI64(buf, 0); got != int64(model.hostVal) && model.hostVal != -1 {
+					t.Logf("seed %d step %d: host value %d, oracle %d", seed, step, got, model.hostVal)
+					ok = false
+					return nil
+				}
+			}
+			// Drain any remaining mappings.
+			for range entered {
+				c.TargetExitData(Opts{Maps: []Map{Release(buf)}})
+				model.exit(MapRelease)
+			}
+			return nil
+		})
+		return ok && err == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestExitWithoutEnterFaults: undefined exits are surfaced as faults, while
+// release/delete of an absent mapping are spec-compliant no-ops.
+func TestExitWithoutEnterFaults(t *testing.T) {
+	rt := NewRuntime(Config{})
+	err := rt.Run(func(c *Context) error {
+		v := c.AllocI64(1, "v")
+		c.StoreI64(v, 0, 1)
+		c.TargetExitData(Opts{Maps: []Map{From(v)}}) // undefined: never mapped
+		return nil
+	})
+	if err == nil {
+		t.Error("exit data map(from:) of unmapped variable did not fault")
+	}
+
+	rt2 := NewRuntime(Config{})
+	err = rt2.Run(func(c *Context) error {
+		v := c.AllocI64(1, "v")
+		c.StoreI64(v, 0, 1)
+		c.TargetExitData(Opts{Maps: []Map{Release(v)}}) // no-op per spec
+		c.TargetExitData(Opts{Maps: []Map{Delete(v)}})  // no-op per spec
+		return nil
+	})
+	if err != nil {
+		t.Errorf("release/delete of unmapped variable faulted: %v", err)
+	}
+}
+
+// TestNestedDataRegionsThreeDeep: reference counts survive deep nesting and
+// only the outermost exit transfers.
+func TestNestedDataRegionsThreeDeep(t *testing.T) {
+	rec := &recorder{}
+	rt := NewRuntime(Config{}, rec)
+	_ = rt.Run(func(c *Context) error {
+		v := c.AllocI64(2, "v")
+		c.StoreI64(v, 0, 1)
+		c.StoreI64(v, 1, 1)
+		c.TargetData(Opts{Maps: []Map{ToFrom(v)}}, func(c *Context) {
+			c.TargetData(Opts{Maps: []Map{ToFrom(v)}}, func(c *Context) {
+				c.TargetData(Opts{Maps: []Map{ToFrom(v)}}, func(c *Context) {
+					c.Target(Opts{Maps: []Map{ToFrom(v)}}, func(k *Context) {
+						k.StoreI64(v, 0, 42)
+					})
+				})
+				// Two levels still open: no copy back yet.
+				if got := c.LoadI64(v, 0); got != 1 {
+					t.Errorf("copy-back happened too early: %d", got)
+				}
+			})
+		})
+		if got := c.LoadI64(v, 0); got != 42 {
+			t.Errorf("final value %d, want 42", got)
+		}
+		return nil
+	})
+	if got := rec.countDataOps(ompt.OpTransferToDevice); got != 1 {
+		t.Errorf("%d H2D transfers, want 1", got)
+	}
+	if got := rec.countDataOps(ompt.OpTransferFromDevice); got != 1 {
+		t.Errorf("%d D2H transfers, want 1", got)
+	}
+}
+
+// TestSectionAndWholeArePerSpanEntries: mapping a section and the whole
+// buffer creates two independent reference-counted entries keyed by span.
+func TestSectionAndWholeArePerSpanEntries(t *testing.T) {
+	rt := NewRuntime(Config{})
+	_ = rt.Run(func(c *Context) error {
+		v := c.AllocI64(8, "v")
+		for i := 0; i < 8; i++ {
+			c.StoreI64(v, i, 1)
+		}
+		c.TargetEnterData(Opts{Maps: []Map{To(v).Section(0, 4)}})
+		c.TargetEnterData(Opts{Maps: []Map{To(v).Section(4, 8)}})
+		if got := len(rt.Device(0).Mappings()); got != 2 {
+			t.Errorf("%d mappings, want 2 (per-span entries)", got)
+		}
+		c.TargetExitData(Opts{Maps: []Map{Release(v).Section(0, 4)}})
+		c.TargetExitData(Opts{Maps: []Map{Release(v).Section(4, 8)}})
+		if got := len(rt.Device(0).Mappings()); got != 0 {
+			t.Errorf("%d mappings alive, want 0", got)
+		}
+		return nil
+	})
+}
+
+// TestTargetUpdateNowait: an asynchronous update joined by taskwait behaves
+// like a synchronous one.
+func TestTargetUpdateNowait(t *testing.T) {
+	rt := NewRuntime(Config{})
+	_ = rt.Run(func(c *Context) error {
+		v := c.AllocI64(1, "v")
+		c.StoreI64(v, 0, 1)
+		c.TargetData(Opts{Maps: []Map{To(v)}}, func(c *Context) {
+			c.Target(Opts{}, func(k *Context) { k.StoreI64(v, 0, 7) })
+			c.TargetUpdate(UpdateOpts{From: []Map{{Buf: v}}, Nowait: true})
+			c.TaskWait()
+			if got := c.LoadI64(v, 0); got != 7 {
+				t.Errorf("after nowait update + taskwait: %d, want 7", got)
+			}
+		})
+		return nil
+	})
+}
+
+// TestKernelSeesFirstprivateScalars: plain Go values captured by kernel
+// closures model firstprivate scalars and need no mapping.
+func TestKernelSeesFirstprivateScalars(t *testing.T) {
+	rt := NewRuntime(Config{})
+	_ = rt.Run(func(c *Context) error {
+		v := c.AllocF64(4, "v")
+		for i := 0; i < 4; i++ {
+			c.StoreF64(v, i, 1)
+		}
+		alpha := 2.5 // firstprivate
+		c.Target(Opts{Maps: []Map{ToFrom(v)}}, func(k *Context) {
+			for i := 0; i < 4; i++ {
+				k.StoreF64(v, i, k.LoadF64(v, i)*alpha)
+			}
+		})
+		if got := c.LoadF64(v, 3); got != 2.5 {
+			t.Errorf("v[3] = %v, want 2.5", got)
+		}
+		return nil
+	})
+}

@@ -1,0 +1,208 @@
+// Package omp implements a simulated OpenMP target-offloading runtime.
+//
+// The runtime reproduces the execution model of OpenMP device constructs
+// (paper §II): a host program running in an initial task can offload compute
+// kernels (target regions) to devices, declare data mappings with the
+// reference-counting semantics of map clauses (paper Table I), perform
+// explicit synchronizations with target update, and launch asynchronous
+// kernels with nowait plus depend clauses.
+//
+// Each device owns an independent simulated address space (internal/mem), so
+// a mapped variable's original variable (OV, host storage) and corresponding
+// variable (CV, device storage) are physically distinct and can disagree —
+// the root cause of data mapping issues. A unified-memory mode is also
+// provided, in which devices operate directly on host storage (paper §III-B).
+//
+// Analysis tools observe the runtime through the ompt package: the runtime
+// emits device-init, target, data-op, sync, and per-access events. Programs
+// are written against Context accessors (LoadF64, StoreI64, ...) which stand
+// in for compiler-instrumented loads and stores.
+package omp
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/mem"
+	"repro/internal/ompt"
+)
+
+// Config configures a Runtime.
+type Config struct {
+	// NumDevices is the number of accelerators to create (default 1).
+	NumDevices int
+	// HostMem and DeviceMem size the simulated address spaces in bytes
+	// (defaults 64 MiB each).
+	HostMem   uint64
+	DeviceMem uint64
+	// NumThreads is the number of simulated device threads used by
+	// ParallelFor (default 4).
+	NumThreads int
+	// Unified makes every device share the host address space, modeling
+	// unified memory with on-demand migration (paper §III-B). Map clauses
+	// then allocate no CVs and transfers are no-ops.
+	Unified bool
+	// ForceSync makes nowait constructs execute synchronously. Together
+	// with race-freedom this is the paper's Theorem 1 procedure for
+	// complete detection with asynchronous kernels.
+	ForceSync bool
+}
+
+func (c *Config) fillDefaults() {
+	if c.NumDevices <= 0 {
+		c.NumDevices = 1
+	}
+	if c.HostMem == 0 {
+		c.HostMem = 64 << 20
+	}
+	if c.DeviceMem == 0 {
+		c.DeviceMem = 64 << 20
+	}
+	if c.NumThreads <= 0 {
+		c.NumThreads = 4
+	}
+}
+
+// Device is one simulated accelerator.
+type Device struct {
+	id      ompt.DeviceID
+	space   *mem.Space
+	env     *dataEnv
+	unified bool
+}
+
+// ID returns the device's id.
+func (d *Device) ID() ompt.DeviceID { return d.id }
+
+// Space returns the device's address space (the host space in unified mode).
+func (d *Device) Space() *mem.Space { return d.space }
+
+// Runtime is the simulated offloading runtime.
+type Runtime struct {
+	cfg     Config
+	host    *mem.Space
+	devices []*Device
+	tools   ompt.Dispatcher
+
+	taskSeq   atomic.Uint64
+	threadSeq atomic.Uint32
+
+	mu       sync.Mutex
+	faults   []error
+	declared []*Buffer // declare-target globals (see declare.go)
+
+	// unifiedPages tracks page residency in unified-memory mode (§III-B).
+	unifiedPages *unifiedState
+
+	depMu sync.Mutex
+	deps  map[mem.Addr]*depEntry // keyed by buffer base address
+}
+
+// NewRuntime creates a runtime with the given configuration and registers
+// the provided tools. Tools must be registered at construction so they
+// observe device initialization.
+func NewRuntime(cfg Config, tools ...ompt.Tool) *Runtime {
+	cfg.fillDefaults()
+	rt := &Runtime{
+		cfg:  cfg,
+		host: mem.NewSpace("host", mem.HostBase, cfg.HostMem),
+		deps: make(map[mem.Addr]*depEntry),
+	}
+	if cfg.Unified {
+		rt.unifiedPages = newUnifiedState()
+	}
+	for _, t := range tools {
+		rt.tools.Register(t)
+	}
+	for i := 0; i < cfg.NumDevices; i++ {
+		d := &Device{
+			id:      ompt.DeviceID(i),
+			env:     newDataEnv(),
+			unified: cfg.Unified,
+		}
+		if cfg.Unified {
+			d.space = rt.host
+		} else {
+			d.space = mem.NewSpace(fmt.Sprintf("dev%d", i), mem.DeviceBase(i), cfg.DeviceMem)
+		}
+		rt.devices = append(rt.devices, d)
+		rt.tools.DeviceInit(ompt.DeviceInitEvent{
+			Device:   d.id,
+			Name:     d.space.Name(),
+			Unified:  cfg.Unified,
+			NumSpace: d.space,
+		})
+	}
+	return rt
+}
+
+// Host returns the host address space.
+func (rt *Runtime) Host() *mem.Space { return rt.host }
+
+// Device returns device d.
+func (rt *Runtime) Device(d int) *Device { return rt.devices[d] }
+
+// NumDevices returns the number of devices.
+func (rt *Runtime) NumDevices() int { return len(rt.devices) }
+
+// Unified reports whether the runtime runs in unified-memory mode.
+func (rt *Runtime) Unified() bool { return rt.cfg.Unified }
+
+// ForceSync reports whether nowait constructs are forced synchronous.
+func (rt *Runtime) ForceSync() bool { return rt.cfg.ForceSync }
+
+// Tools returns the tool dispatcher (for tests).
+func (rt *Runtime) Tools() *ompt.Dispatcher { return &rt.tools }
+
+// fault records a simulation-level runtime error (wild access, allocation
+// failure). Faults do not abort the program — real offloading bugs usually
+// corrupt data silently — but are reported by Run.
+func (rt *Runtime) fault(err error) {
+	if err == nil {
+		return
+	}
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	rt.faults = append(rt.faults, err)
+}
+
+// Faults returns the runtime errors recorded so far.
+func (rt *Runtime) Faults() []error {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	out := make([]error, len(rt.faults))
+	copy(out, rt.faults)
+	return out
+}
+
+func (rt *Runtime) newTaskID() ompt.TaskID {
+	return ompt.TaskID(rt.taskSeq.Add(1))
+}
+
+func (rt *Runtime) newThreadID() ompt.ThreadID {
+	return ompt.ThreadID(rt.threadSeq.Add(1))
+}
+
+// Run executes body as the program's initial task on the host. It returns
+// body's error if any, otherwise the first recorded runtime fault.
+func (rt *Runtime) Run(body func(c *Context) error) error {
+	t := &task{
+		rt:     rt,
+		id:     rt.newTaskID(),
+		thread: rt.newThreadID(),
+	}
+	c := &Context{rt: rt, task: t, device: ompt.HostDevice, space: rt.host}
+	rt.tools.Sync(ompt.SyncEvent{Kind: ompt.SyncTaskBegin, Task: t.id, Thread: t.thread})
+	err := body(c)
+	// Implicit barrier at program end: join outstanding children.
+	c.TaskWait()
+	rt.tools.Sync(ompt.SyncEvent{Kind: ompt.SyncTaskEnd, Task: t.id, Thread: t.thread})
+	if err != nil {
+		return err
+	}
+	if fs := rt.Faults(); len(fs) > 0 {
+		return fs[0]
+	}
+	return nil
+}

@@ -1,0 +1,234 @@
+package omp
+
+import (
+	"repro/internal/ompt"
+)
+
+// Opts configures a device directive.
+type Opts struct {
+	// Device selects the target device (default 0).
+	Device int
+	// Maps lists the construct's map clauses.
+	Maps []Map
+	// Nowait makes the construct asynchronous: the encountering task
+	// continues immediately and the construct runs as a deferred target
+	// task (paper §II-B). Honoured for Target, TargetEnterData,
+	// TargetExitData and TargetUpdate.
+	Nowait bool
+	// DependsIn, DependsOut order this construct against other nowait
+	// constructs touching the same buffers (depend(in:...)/depend(out:...)).
+	DependsIn, DependsOut []*Buffer
+	// IfFalse models an if() clause that evaluated to false: the target
+	// region executes on the HOST instead of the device. Crucially, the
+	// map clauses still apply (the OpenMP if clause affects only where the
+	// region runs) — the source of a classic pitfall where the host-run
+	// kernel updates the OVs and the exit copy-back then clobbers them
+	// with stale CVs.
+	IfFalse bool
+	// Loc is the synthetic source location of the directive.
+	Loc ompt.SourceLoc
+}
+
+// Loc builds a SourceLoc.
+func Loc(file string, line int, fn string) ompt.SourceLoc {
+	return ompt.SourceLoc{File: file, Line: line, Func: fn}
+}
+
+// Target offloads body to the selected device as a target region
+// (#pragma omp target). Map-clause entry effects run before the kernel and
+// exit effects after it; with Nowait the whole construct becomes a deferred
+// target task and the caller continues immediately.
+func (c *Context) Target(o Opts, body func(k *Context)) {
+	dev := c.rt.devices[o.Device]
+	t := c.rt.newTask(c.task)
+	c.rt.tools.Sync(ompt.SyncEvent{
+		Kind: ompt.SyncTaskCreate, Task: c.task.id, Child: t.id, Thread: c.task.thread, Loc: o.Loc,
+	})
+	preds := c.rt.resolveDeps(t, o.DependsIn, o.DependsOut)
+	async := o.Nowait && !c.rt.cfg.ForceSync
+
+	run := func() {
+		c.rt.awaitDeps(t, preds, o.Loc)
+		c.rt.tools.Sync(ompt.SyncEvent{Kind: ompt.SyncTaskBegin, Task: t.id, Thread: t.thread, Loc: o.Loc})
+		c.rt.tools.TargetBegin(ompt.TargetEvent{
+			Kind: ompt.KindTarget, Device: dev.id, Task: c.task.id, Target: t.id, Async: o.Nowait, Loc: o.Loc,
+		})
+		c.rt.ensureDeclared(dev, t.id, o.Loc)
+		for _, mp := range o.Maps {
+			c.rt.mapEnter(dev, mp, t.id, o.Loc, false)
+		}
+		kc := &Context{rt: c.rt, task: t, device: dev.id, space: dev.space, dev: dev, loc: o.Loc}
+		if o.IfFalse {
+			// if(false): host-fallback execution — accesses hit the OVs.
+			kc = &Context{rt: c.rt, task: t, device: ompt.HostDevice, space: c.rt.host, loc: o.Loc}
+		}
+		body(kc)
+		// Exit effects run in reverse clause order, matching libomptarget.
+		for i := len(o.Maps) - 1; i >= 0; i-- {
+			c.rt.mapExit(dev, o.Maps[i], t.id, o.Loc)
+		}
+		c.rt.tools.TargetEnd(ompt.TargetEvent{
+			Kind: ompt.KindTarget, Device: dev.id, Task: c.task.id, Target: t.id, Async: o.Nowait, Loc: o.Loc,
+		})
+		c.rt.tools.Sync(ompt.SyncEvent{Kind: ompt.SyncTaskEnd, Task: t.id, Child: t.id, Thread: t.thread, Loc: o.Loc})
+		close(t.done)
+	}
+
+	if async {
+		go run()
+		return
+	}
+	run()
+	// Synchronous construct: the encountering task blocks until the target
+	// task finishes, creating a happens-before edge back to the parent.
+	c.joinChild(t, o.Loc)
+}
+
+// joinChild records completion of a specific child as a happens-before edge
+// into the current task and removes it from the outstanding-children list.
+func (c *Context) joinChild(child *task, loc ompt.SourceLoc) {
+	<-child.done
+	c.task.mu.Lock()
+	for i, x := range c.task.children {
+		if x == child {
+			c.task.children = append(c.task.children[:i], c.task.children[i+1:]...)
+			break
+		}
+	}
+	c.task.mu.Unlock()
+	c.rt.tools.Sync(ompt.SyncEvent{
+		Kind: ompt.SyncDependence, Task: c.task.id, Child: child.id, Thread: c.task.thread, Loc: loc,
+	})
+}
+
+// TargetData establishes the map clauses for the duration of body
+// (#pragma omp target data). body runs on the host, typically launching
+// Target regions that reuse the established mappings through the
+// reference-counting rules of Table I.
+func (c *Context) TargetData(o Opts, body func(c *Context)) {
+	dev := c.rt.devices[o.Device]
+	c.rt.tools.TargetBegin(ompt.TargetEvent{
+		Kind: ompt.KindTargetData, Device: dev.id, Task: c.task.id, Async: false, Loc: o.Loc,
+	})
+	for _, mp := range o.Maps {
+		c.rt.mapEnter(dev, mp, c.task.id, o.Loc, false)
+	}
+	body(c)
+	for i := len(o.Maps) - 1; i >= 0; i-- {
+		c.rt.mapExit(dev, o.Maps[i], c.task.id, o.Loc)
+	}
+	c.rt.tools.TargetEnd(ompt.TargetEvent{
+		Kind: ompt.KindTargetData, Device: dev.id, Task: c.task.id, Async: false, Loc: o.Loc,
+	})
+}
+
+// TargetEnterData applies the entry effects of the map clauses
+// (#pragma omp target enter data). Valid map-types are to and alloc.
+func (c *Context) TargetEnterData(o Opts) {
+	c.runDataConstruct(o, ompt.KindTargetEnterData, func(t *task) {
+		dev := c.rt.devices[o.Device]
+		for _, mp := range o.Maps {
+			c.rt.mapEnter(dev, mp, t.id, o.Loc, false)
+		}
+	})
+}
+
+// TargetExitData applies the exit effects of the map clauses
+// (#pragma omp target exit data). Valid map-types are from, release, delete.
+func (c *Context) TargetExitData(o Opts) {
+	c.runDataConstruct(o, ompt.KindTargetExitData, func(t *task) {
+		dev := c.rt.devices[o.Device]
+		for _, mp := range o.Maps {
+			c.rt.mapExit(dev, mp, t.id, o.Loc)
+		}
+	})
+}
+
+// UpdateOpts configures a target update construct.
+type UpdateOpts struct {
+	Device int
+	// To lists sections to copy host -> device; From device -> host. The
+	// Map entries' Type field is ignored; only the section matters.
+	To, From []Map
+	Nowait   bool
+	// DependsIn/DependsOut order the update against nowait constructs.
+	DependsIn, DependsOut []*Buffer
+	Loc                   ompt.SourceLoc
+}
+
+// TargetUpdate synchronizes OVs and CVs (#pragma omp target update).
+// Reference counting is not applied (paper §II-B); sections whose variable is
+// not currently mapped are ignored, as the specification requires.
+func (c *Context) TargetUpdate(o UpdateOpts) {
+	dev := c.rt.devices[o.Device]
+	t := c.rt.newTask(c.task)
+	c.rt.tools.Sync(ompt.SyncEvent{
+		Kind: ompt.SyncTaskCreate, Task: c.task.id, Child: t.id, Thread: c.task.thread, Loc: o.Loc,
+	})
+	preds := c.rt.resolveDeps(t, o.DependsIn, o.DependsOut)
+	async := o.Nowait && !c.rt.cfg.ForceSync
+
+	run := func() {
+		c.rt.awaitDeps(t, preds, o.Loc)
+		c.rt.tools.Sync(ompt.SyncEvent{Kind: ompt.SyncTaskBegin, Task: t.id, Thread: t.thread, Loc: o.Loc})
+		c.rt.tools.TargetBegin(ompt.TargetEvent{
+			Kind: ompt.KindTargetUpdate, Device: dev.id, Task: c.task.id, Target: t.id, Async: o.Nowait, Loc: o.Loc,
+		})
+		for _, mp := range o.To {
+			ov, bytes := mp.span()
+			if m := dev.env.lookupContaining(ov); m != nil {
+				c.rt.transferToDevice(dev, m, ov, bytes, t.id, o.Loc)
+			}
+		}
+		for _, mp := range o.From {
+			ov, bytes := mp.span()
+			if m := dev.env.lookupContaining(ov); m != nil {
+				c.rt.transferFromDevice(dev, m, ov, bytes, t.id, o.Loc)
+			}
+		}
+		c.rt.tools.TargetEnd(ompt.TargetEvent{
+			Kind: ompt.KindTargetUpdate, Device: dev.id, Task: c.task.id, Target: t.id, Async: o.Nowait, Loc: o.Loc,
+		})
+		c.rt.tools.Sync(ompt.SyncEvent{Kind: ompt.SyncTaskEnd, Task: t.id, Child: t.id, Thread: t.thread, Loc: o.Loc})
+		close(t.done)
+	}
+
+	if async {
+		go run()
+		return
+	}
+	run()
+	c.joinChild(t, o.Loc)
+}
+
+// runDataConstruct factors the shared structure of enter/exit data.
+func (c *Context) runDataConstruct(o Opts, kind ompt.TargetKind, apply func(t *task)) {
+	dev := c.rt.devices[o.Device]
+	t := c.rt.newTask(c.task)
+	c.rt.tools.Sync(ompt.SyncEvent{
+		Kind: ompt.SyncTaskCreate, Task: c.task.id, Child: t.id, Thread: c.task.thread, Loc: o.Loc,
+	})
+	preds := c.rt.resolveDeps(t, o.DependsIn, o.DependsOut)
+	async := o.Nowait && !c.rt.cfg.ForceSync
+
+	run := func() {
+		c.rt.awaitDeps(t, preds, o.Loc)
+		c.rt.tools.Sync(ompt.SyncEvent{Kind: ompt.SyncTaskBegin, Task: t.id, Thread: t.thread, Loc: o.Loc})
+		c.rt.tools.TargetBegin(ompt.TargetEvent{
+			Kind: kind, Device: dev.id, Task: c.task.id, Target: t.id, Async: o.Nowait, Loc: o.Loc,
+		})
+		apply(t)
+		c.rt.tools.TargetEnd(ompt.TargetEvent{
+			Kind: kind, Device: dev.id, Task: c.task.id, Target: t.id, Async: o.Nowait, Loc: o.Loc,
+		})
+		c.rt.tools.Sync(ompt.SyncEvent{Kind: ompt.SyncTaskEnd, Task: t.id, Child: t.id, Thread: t.thread, Loc: o.Loc})
+		close(t.done)
+	}
+
+	if async {
+		go run()
+		return
+	}
+	run()
+	c.joinChild(t, o.Loc)
+}

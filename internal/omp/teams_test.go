@@ -1,0 +1,74 @@
+package omp
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestTeamsDistributeParallelFor(t *testing.T) {
+	rt := NewRuntime(Config{NumThreads: 2})
+	_ = rt.Run(func(c *Context) error {
+		n := 200
+		v := c.AllocI64(n, "v")
+		c.Target(Opts{Maps: []Map{From(v)}}, func(k *Context) {
+			k.TeamsDistributeParallelFor(4, n, func(k *Context, i int) {
+				k.StoreI64(v, i, int64(i)*5)
+			})
+		})
+		for i := 0; i < n; i++ {
+			if got := c.LoadI64(v, i); got != int64(i)*5 {
+				t.Fatalf("v[%d] = %d, want %d", i, got, i*5)
+			}
+		}
+		return nil
+	})
+}
+
+func TestTeamsEdgeCases(t *testing.T) {
+	rt := NewRuntime(Config{NumThreads: 2})
+	_ = rt.Run(func(c *Context) error {
+		v := c.AllocI64(3, "v")
+		c.Target(Opts{Maps: []Map{From(v)}}, func(k *Context) {
+			// More teams than iterations, zero iterations, default teams.
+			k.TeamsDistributeParallelFor(8, 3, func(k *Context, i int) {
+				k.StoreI64(v, i, 1)
+			})
+			k.TeamsDistributeParallelFor(4, 0, func(k *Context, i int) {
+				t.Error("body called for n=0")
+			})
+			k.TeamsDistributeParallelFor(0, 3, func(k *Context, i int) {
+				k.StoreI64(v, i, k.LoadI64(v, i)+1)
+			})
+		})
+		for i := 0; i < 3; i++ {
+			if got := c.LoadI64(v, i); got != 2 {
+				t.Errorf("v[%d] = %d, want 2", i, got)
+			}
+		}
+		return nil
+	})
+}
+
+// TestTeamsCoverageIsExactlyOnce: every iteration executes exactly once even
+// with awkward team/chunk splits.
+func TestTeamsCoverageIsExactlyOnce(t *testing.T) {
+	rt := NewRuntime(Config{NumThreads: 3})
+	_ = rt.Run(func(c *Context) error {
+		n := 97 // prime, to stress chunking
+		var mu sync.Mutex
+		counts := make([]int, n)
+		c.Target(Opts{}, func(k *Context) {
+			k.TeamsDistributeParallelFor(5, n, func(k *Context, i int) {
+				mu.Lock()
+				counts[i]++
+				mu.Unlock()
+			})
+		})
+		for i, got := range counts {
+			if got != 1 {
+				t.Fatalf("iteration %d executed %d times", i, got)
+			}
+		}
+		return nil
+	})
+}

@@ -1,0 +1,83 @@
+package omp
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/mem"
+	"repro/internal/ompt"
+)
+
+// Unified-memory page migration (paper §III-B). Pascal-and-later NVIDIA GPUs
+// implement unified memory with on-demand page migration: touching a page
+// resident on the other side raises a fault and the driver moves the page.
+// The simulation tracks per-page residency and counts migrations, which is
+// what makes unified memory transparent for data-race-free programs — and
+// what the paper points out does NOT remove data mapping issues for racy
+// ones, since migration is not synchronization.
+
+// UnifiedPageSize is the simulated migration granularity.
+const UnifiedPageSize = 4096
+
+// UnifiedStats summarizes unified-memory page traffic.
+type UnifiedStats struct {
+	// PagesTouched is the number of distinct pages with a recorded owner.
+	PagesTouched int
+	// MigrationsToDevice / MigrationsToHost count ownership moves.
+	MigrationsToDevice uint64
+	MigrationsToHost   uint64
+}
+
+// unifiedState tracks page residency. Owners: 0 = untouched, 1 = host,
+// 2+d = device d.
+type unifiedState struct {
+	mu     sync.Mutex
+	owners map[mem.Addr]int32
+
+	toDevice atomic.Uint64
+	toHost   atomic.Uint64
+}
+
+func newUnifiedState() *unifiedState {
+	return &unifiedState{owners: make(map[mem.Addr]int32)}
+}
+
+// touch records an access to addr by the given side and counts a migration
+// if the page was resident elsewhere.
+func (u *unifiedState) touch(addr mem.Addr, device ompt.DeviceID) {
+	page := addr &^ (UnifiedPageSize - 1)
+	owner := int32(1)
+	if device != ompt.HostDevice {
+		owner = 2 + int32(device)
+	}
+	u.mu.Lock()
+	prev := u.owners[page]
+	if prev != owner {
+		u.owners[page] = owner
+		if prev != 0 {
+			// A real migration (not first touch).
+			if owner == 1 {
+				u.toHost.Add(1)
+			} else {
+				u.toDevice.Add(1)
+			}
+		}
+	}
+	u.mu.Unlock()
+}
+
+// UnifiedStats returns the page-migration counters. It is only meaningful
+// for runtimes configured with Unified: true.
+func (rt *Runtime) UnifiedStats() UnifiedStats {
+	if rt.unifiedPages == nil {
+		return UnifiedStats{}
+	}
+	rt.unifiedPages.mu.Lock()
+	touched := len(rt.unifiedPages.owners)
+	rt.unifiedPages.mu.Unlock()
+	return UnifiedStats{
+		PagesTouched:       touched,
+		MigrationsToDevice: rt.unifiedPages.toDevice.Load(),
+		MigrationsToHost:   rt.unifiedPages.toHost.Load(),
+	}
+}

@@ -1,0 +1,71 @@
+package omp
+
+import "testing"
+
+// TestUnifiedPageMigration: alternating host/device touches of one page
+// migrate it back and forth; sequential device sweeps migrate each page
+// once.
+func TestUnifiedPageMigration(t *testing.T) {
+	rt := NewRuntime(Config{Unified: true, NumThreads: 1})
+	_ = rt.Run(func(c *Context) error {
+		// One page worth of data (512 x 8 bytes).
+		v := c.AllocI64(512, "v")
+		for i := 0; i < 512; i++ {
+			c.StoreI64(v, i, 1) // first touch: host owns the page(s)
+		}
+		for round := 0; round < 3; round++ {
+			c.Target(Opts{Maps: []Map{ToFrom(v)}}, func(k *Context) {
+				k.StoreI64(v, 0, 2) // page faults to the device
+			})
+			c.StoreI64(v, 0, 3) // page faults back to the host
+		}
+		return nil
+	})
+	st := rt.UnifiedStats()
+	if st.PagesTouched == 0 {
+		t.Fatal("no pages tracked")
+	}
+	if st.MigrationsToDevice != 3 || st.MigrationsToHost != 3 {
+		t.Errorf("migrations = %d to device, %d to host; want 3 and 3",
+			st.MigrationsToDevice, st.MigrationsToHost)
+	}
+}
+
+// TestUnifiedStatsZeroWhenSeparate: the counters stay empty in the separate
+// memory model.
+func TestUnifiedStatsZeroWhenSeparate(t *testing.T) {
+	rt := NewRuntime(Config{NumThreads: 1})
+	_ = rt.Run(func(c *Context) error {
+		v := c.AllocI64(8, "v")
+		for i := 0; i < 8; i++ {
+			c.StoreI64(v, i, 1)
+		}
+		c.Target(Opts{Maps: []Map{ToFrom(v)}}, func(k *Context) {
+			k.StoreI64(v, 0, 2)
+		})
+		return nil
+	})
+	if st := rt.UnifiedStats(); st != (UnifiedStats{}) {
+		t.Errorf("separate-model stats = %+v", st)
+	}
+}
+
+// TestUnifiedFirstTouchIsNotAMigration: initial population counts pages but
+// no migrations.
+func TestUnifiedFirstTouch(t *testing.T) {
+	rt := NewRuntime(Config{Unified: true, NumThreads: 1})
+	_ = rt.Run(func(c *Context) error {
+		v := c.AllocI64(2048, "v") // 4 pages
+		for i := 0; i < 2048; i++ {
+			c.StoreI64(v, i, 1)
+		}
+		return nil
+	})
+	st := rt.UnifiedStats()
+	if st.MigrationsToDevice+st.MigrationsToHost != 0 {
+		t.Errorf("first touch migrated: %+v", st)
+	}
+	if st.PagesTouched < 4 {
+		t.Errorf("pages touched = %d, want >= 4", st.PagesTouched)
+	}
+}

@@ -1,0 +1,281 @@
+// Package progen generates random OpenMP offloading programs for
+// property-based testing of the detectors.
+//
+// A generated Program is correct by construction: the generator tracks each
+// buffer's logical OV/CV validity while emitting operations and inserts the
+// target update needed before any read that would otherwise observe the
+// invalid side. Running such a program under ARBALEST must produce zero
+// reports (the no-false-positive property, paper §VI-C).
+//
+// Each inserted synchronization is *load-bearing* — it immediately precedes
+// a read that depends on it — so deleting one (Mutate) yields a program with
+// a guaranteed data mapping issue that ARBALEST must report (the
+// no-false-negative property over a whole family of programs, not just the
+// 16 DRACC instances).
+package progen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/omp"
+)
+
+// opKind enumerates the operations a generated program is built from.
+type opKind uint8
+
+const (
+	opHostWrite opKind = iota
+	opHostRead
+	opKernelWrite // device kernel writing every element
+	opKernelRead  // device kernel reading every element
+	opUpdateTo    // target update to (host -> device)
+	opUpdateFrom  // target update from (device -> host)
+)
+
+func (k opKind) String() string {
+	switch k {
+	case opHostWrite:
+		return "host-write"
+	case opHostRead:
+		return "host-read"
+	case opKernelWrite:
+		return "kernel-write"
+	case opKernelRead:
+		return "kernel-read"
+	case opUpdateTo:
+		return "update-to"
+	case opUpdateFrom:
+		return "update-from"
+	}
+	return "?"
+}
+
+// op is one program operation on one buffer.
+type op struct {
+	kind opKind
+	buf  int
+	// loadBearing marks sync ops whose removal guarantees a mapping issue.
+	loadBearing bool
+}
+
+// Program is a generated offloading program.
+type Program struct {
+	NumBufs int
+	Elems   int
+	ops     []op
+	// mapTo[b] records whether buffer b enters its data region with
+	// map(to:) (true) or map(alloc:) (false). The generator only uses
+	// alloc when the first device access is a write.
+	mapTo []bool
+}
+
+// Ops returns a human-readable listing (for debugging failed properties).
+func (p *Program) Ops() []string {
+	out := make([]string, len(p.ops))
+	for i, o := range p.ops {
+		lb := ""
+		if o.loadBearing {
+			lb = " [load-bearing]"
+		}
+		out[i] = fmt.Sprintf("%02d: %s buf%d%s", i, o.kind, o.buf, lb)
+	}
+	return out
+}
+
+// bufModel is the generator's view of one buffer's logical state.
+type bufModel struct {
+	hostValid bool
+	devValid  bool
+	// devTouched records whether any device op has happened (used to pick
+	// map(to:) vs map(alloc:) retrospectively — see firstDevRead).
+	firstDevAccessIsRead  bool
+	firstDevAccessDecided bool
+}
+
+// Generate builds a random correct program with the given shape.
+func Generate(rng *rand.Rand, numBufs, length int) *Program {
+	if numBufs <= 0 {
+		numBufs = 1
+	}
+	p := &Program{NumBufs: numBufs, Elems: 8, mapTo: make([]bool, numBufs)}
+	models := make([]bufModel, numBufs)
+
+	// Every buffer starts host-initialized (emitted by Run, not an op) and
+	// enters the data region with map(to:), so both copies begin valid.
+	// Buffers whose first device access turns out to be a write are
+	// downgraded to map(alloc:) at the end — safe, because nothing read
+	// the entry transfer's data.
+	for b := range models {
+		models[b] = bufModel{hostValid: true, devValid: true}
+	}
+
+	emit := func(o op) { p.ops = append(p.ops, o) }
+
+	for i := 0; i < length; i++ {
+		b := rng.Intn(numBufs)
+		m := &models[b]
+		switch rng.Intn(4) {
+		case 0: // host write
+			emit(op{kind: opHostWrite, buf: b})
+			m.hostValid = true
+			m.devValid = false
+		case 1: // host read: must see a valid OV
+			if !m.hostValid {
+				emit(op{kind: opUpdateFrom, buf: b, loadBearing: true})
+				m.hostValid = true
+			}
+			emit(op{kind: opHostRead, buf: b})
+		case 2: // kernel write
+			if !m.firstDevAccessDecided {
+				m.firstDevAccessDecided = true
+				m.firstDevAccessIsRead = false
+			}
+			emit(op{kind: opKernelWrite, buf: b})
+			m.devValid = true
+			m.hostValid = false
+		case 3: // kernel read: must see a valid CV
+			if !m.firstDevAccessDecided {
+				m.firstDevAccessDecided = true
+				m.firstDevAccessIsRead = true
+			}
+			if !m.devValid {
+				emit(op{kind: opUpdateTo, buf: b, loadBearing: true})
+				m.devValid = true
+			}
+			emit(op{kind: opKernelRead, buf: b})
+		}
+	}
+
+	// Close each buffer with a host read so every state matters; insert the
+	// required update first.
+	for b := range models {
+		m := &models[b]
+		if !m.hostValid {
+			emit(op{kind: opUpdateFrom, buf: b, loadBearing: true})
+			m.hostValid = true
+		}
+		emit(op{kind: opHostRead, buf: b})
+	}
+
+	// Entry map-types: a buffer whose first device access is a read needs
+	// map(to:) (and that entry transfer is load-bearing — see MutateEntry);
+	// write-first buffers are downgraded to map(alloc:); untouched buffers
+	// keep map(to:) harmlessly.
+	for b := range models {
+		m := &models[b]
+		p.mapTo[b] = !m.firstDevAccessDecided || m.firstDevAccessIsRead
+	}
+	return p
+}
+
+// Run executes the program against a runtime context. skip, when >= 0,
+// omits the op at that index (used by Mutate).
+func (p *Program) Run(c *omp.Context, skip int) {
+	bufs := make([]*omp.Buffer, p.NumBufs)
+	maps := make([]omp.Map, p.NumBufs)
+	for b := range bufs {
+		bufs[b] = c.AllocI64(p.Elems, fmt.Sprintf("g%d", b))
+		c.At("gen.go", 1, "init")
+		for i := 0; i < p.Elems; i++ {
+			c.StoreI64(bufs[b], i, int64(b+1))
+		}
+		if p.mapTo[b] {
+			maps[b] = omp.To(bufs[b])
+		} else {
+			maps[b] = omp.Alloc(bufs[b])
+		}
+	}
+	c.TargetData(omp.Opts{Maps: maps, Loc: omp.Loc("gen.go", 2, "main")}, func(c *omp.Context) {
+		for i, o := range p.ops {
+			if i == skip {
+				continue
+			}
+			buf := bufs[o.buf]
+			line := 10 + i
+			switch o.kind {
+			case opHostWrite:
+				c.At("gen.go", line, "host")
+				for e := 0; e < p.Elems; e++ {
+					c.StoreI64(buf, e, int64(i))
+				}
+			case opHostRead:
+				c.At("gen.go", line, "host")
+				for e := 0; e < p.Elems; e++ {
+					_ = c.LoadI64(buf, e)
+				}
+			case opKernelWrite:
+				c.Target(omp.Opts{Loc: omp.Loc("gen.go", line, "main")}, func(k *omp.Context) {
+					k.At("gen.go", line, "kernel")
+					for e := 0; e < p.Elems; e++ {
+						k.StoreI64(buf, e, int64(i))
+					}
+				})
+			case opKernelRead:
+				c.Target(omp.Opts{Loc: omp.Loc("gen.go", line, "main")}, func(k *omp.Context) {
+					k.At("gen.go", line, "kernel")
+					for e := 0; e < p.Elems; e++ {
+						_ = k.LoadI64(buf, e)
+					}
+				})
+			case opUpdateTo:
+				c.TargetUpdate(omp.UpdateOpts{To: []omp.Map{{Buf: buf}}, Loc: omp.Loc("gen.go", line, "main")})
+			case opUpdateFrom:
+				c.TargetUpdate(omp.UpdateOpts{From: []omp.Map{{Buf: buf}}, Loc: omp.Loc("gen.go", line, "main")})
+			}
+		}
+	})
+}
+
+// LoadBearingOps returns the indexes of the synchronizations whose removal
+// guarantees a data mapping issue.
+func (p *Program) LoadBearingOps() []int {
+	var out []int
+	for i, o := range p.ops {
+		if o.loadBearing {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Mutate picks a random load-bearing synchronization and returns its index
+// (to pass as Run's skip argument), or -1 if the program has none.
+func (p *Program) Mutate(rng *rand.Rand) int {
+	lb := p.LoadBearingOps()
+	if len(lb) == 0 {
+		return -1
+	}
+	return lb[rng.Intn(len(lb))]
+}
+
+// MutateEntry flips a read-first buffer's entry mapping from map(to:) to
+// map(alloc:), the Fig. 1 bug class. It returns the buffer index, or -1 if
+// no buffer's entry transfer is load-bearing.
+func (p *Program) MutateEntry(rng *rand.Rand) int {
+	var candidates []int
+	for b := 0; b < p.NumBufs; b++ {
+		if !p.mapTo[b] {
+			continue
+		}
+		// The entry transfer is load-bearing iff some device read happens
+		// before any update-to or kernel write re-validates the CV.
+		for _, o := range p.ops {
+			if o.buf != b {
+				continue
+			}
+			if o.kind == opKernelRead {
+				candidates = append(candidates, b)
+			}
+			if o.kind == opKernelWrite || o.kind == opUpdateTo || o.kind == opKernelRead {
+				break
+			}
+		}
+	}
+	if len(candidates) == 0 {
+		return -1
+	}
+	b := candidates[rng.Intn(len(candidates))]
+	p.mapTo[b] = false
+	return b
+}

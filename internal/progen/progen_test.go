@@ -1,0 +1,120 @@
+package progen_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/omp"
+	"repro/internal/progen"
+	"repro/internal/tools"
+)
+
+// runProgram executes p (skipping op index skip, or -1 for none) under the
+// full ARBALEST configuration and returns the report count.
+func runProgram(t *testing.T, p *progen.Program, skip int) int {
+	t.Helper()
+	det := tools.NewArbalestFull(nil)
+	rt := omp.NewRuntime(omp.Config{NumThreads: 2}, det)
+	if err := rt.Run(func(c *omp.Context) error {
+		p.Run(c, skip)
+		return nil
+	}); err != nil {
+		t.Fatalf("runtime fault on generated program: %v\n%v", err, p.Ops())
+	}
+	return det.Sink().Count()
+}
+
+// TestGeneratedProgramsAreClean: correct-by-construction programs never
+// trigger a report — a randomized no-false-positive property over a much
+// larger program family than DRACC's 40 correct benchmarks.
+func TestGeneratedProgramsAreClean(t *testing.T) {
+	for seed := int64(0); seed < 60; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		p := progen.Generate(rng, 1+rng.Intn(3), 4+rng.Intn(16))
+		if got := runProgram(t, p, -1); got != 0 {
+			t.Errorf("seed %d: %d reports on correct program:\n%v", seed, got, p.Ops())
+		}
+	}
+}
+
+// TestMutantsAreDetected: deleting any load-bearing synchronization from a
+// correct program must produce at least one report — a randomized
+// no-false-negative property.
+func TestMutantsAreDetected(t *testing.T) {
+	mutants := 0
+	for seed := int64(0); seed < 60; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		p := progen.Generate(rng, 1+rng.Intn(3), 4+rng.Intn(16))
+		skip := p.Mutate(rng)
+		if skip < 0 {
+			continue // no sync to delete in this program
+		}
+		mutants++
+		if got := runProgram(t, p, skip); got == 0 {
+			t.Errorf("seed %d: deleting load-bearing op %d went undetected:\n%v", seed, skip, p.Ops())
+		}
+	}
+	if mutants < 20 {
+		t.Errorf("only %d mutants generated; generator too conservative", mutants)
+	}
+}
+
+// TestAllLoadBearingOpsMatter: for a handful of programs, delete EVERY
+// load-bearing op one at a time; each deletion must be detected.
+func TestAllLoadBearingOpsMatter(t *testing.T) {
+	for seed := int64(100); seed < 110; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		p := progen.Generate(rng, 2, 12)
+		for _, idx := range p.LoadBearingOps() {
+			if got := runProgram(t, p, idx); got == 0 {
+				t.Errorf("seed %d: deleting op %d went undetected:\n%v", seed, idx, p.Ops())
+			}
+		}
+	}
+}
+
+// TestEntryMutants: flipping a read-first buffer's map(to:) to map(alloc:)
+// (the Fig. 1 bug class) must be detected.
+func TestEntryMutants(t *testing.T) {
+	flipped := 0
+	for seed := int64(200); seed < 280 && flipped < 10; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		p := progen.Generate(rng, 2, 12)
+		if b := p.MutateEntry(rng); b < 0 {
+			continue
+		}
+		flipped++
+		if got := runProgram(t, p, -1); got == 0 {
+			t.Errorf("seed %d: map(to:)->map(alloc:) flip went undetected:\n%v", seed, p.Ops())
+		}
+	}
+	if flipped == 0 {
+		t.Error("no entry mutants generated")
+	}
+}
+
+// TestBaselinesMissMostMutants documents the Table III gap on the generated
+// family: the removed synchronizations produce staleness, which none of the
+// baseline tools can see.
+func TestBaselinesMissMostMutants(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	p := progen.Generate(rng, 2, 12)
+	skip := p.Mutate(rng)
+	if skip < 0 {
+		t.Skip("no load-bearing op in this program")
+	}
+	for _, name := range []string{"valgrind", "archer", "asan"} {
+		a, err := tools.New(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rt := omp.NewRuntime(omp.Config{NumThreads: 2}, a)
+		_ = rt.Run(func(c *omp.Context) error {
+			p.Run(c, skip)
+			return nil
+		})
+		if a.Sink().Count() != 0 {
+			t.Errorf("%s unexpectedly detected the staleness mutant", name)
+		}
+	}
+}

@@ -1,0 +1,250 @@
+package race
+
+import (
+	"testing"
+
+	"repro/internal/omp"
+	"repro/internal/ompt"
+	"repro/internal/report"
+)
+
+func run(t *testing.T, cfg omp.Config, body func(c *omp.Context)) *Detector {
+	t.Helper()
+	d := New(nil)
+	rt := omp.NewRuntime(cfg, d)
+	if err := rt.Run(func(c *omp.Context) error {
+		body(c)
+		return nil
+	}); err != nil {
+		t.Logf("runtime fault: %v", err)
+	}
+	return d
+}
+
+func TestVCBasics(t *testing.T) {
+	a := VC{1: 3, 2: 5}
+	b := a.Copy()
+	b[1] = 10
+	if a[1] != 3 {
+		t.Error("Copy aliased")
+	}
+	a.Join(VC{1: 7, 3: 2})
+	if a[1] != 7 || a[2] != 5 || a[3] != 2 {
+		t.Errorf("Join result: %v", a)
+	}
+	if !a.HappensBefore(1, 7) || a.HappensBefore(1, 8) {
+		t.Error("HappensBefore wrong")
+	}
+}
+
+// TestNowaitKernelVsExitTransferRaces: the paper Fig. 2 second bug. Without
+// a taskwait before the end of the target data region, the exit transfer
+// (reading the CV) is unordered with the nowait kernel's CV write. The gate
+// makes the kernel write happen first in wall-clock time while leaving the
+// two unordered in the happens-before relation, so the race is reported
+// deterministically.
+func TestNowaitKernelVsExitTransferRaces(t *testing.T) {
+	d := run(t, omp.Config{NumThreads: 1}, func(c *omp.Context) {
+		av := c.AllocI64(1, "a")
+		c.StoreI64(av, 0, 1)
+		gate := make(chan struct{})
+		c.TargetData(omp.Opts{Maps: []omp.Map{omp.ToFrom(av)}}, func(c *omp.Context) {
+			c.Target(omp.Opts{Nowait: true}, func(k *omp.Context) {
+				k.At("xfer.go", 11, "kernel").StoreI64(av, 0, 3)
+				close(gate)
+			})
+			<-gate // hold the region open until the kernel wrote (no HB edge)
+			// BUG: no TaskWait before the region (and its exit transfer) ends.
+		})
+		c.TaskWait()
+	})
+	if d.sink.CountKind(report.DataRace) == 0 {
+		t.Fatal("race between kernel and exit transfer not reported")
+	}
+}
+
+// TestTaskWaitOrdersAccesses: with proper synchronization the same pattern
+// is race-free and the host's post-kernel update survives.
+func TestTaskWaitOrdersAccesses(t *testing.T) {
+	d := run(t, omp.Config{NumThreads: 1}, func(c *omp.Context) {
+		av := c.AllocI64(1, "a")
+		c.StoreI64(av, 0, 1)
+		c.TargetData(omp.Opts{Maps: []omp.Map{omp.ToFrom(av)}}, func(c *omp.Context) {
+			c.Target(omp.Opts{Nowait: true}, func(k *omp.Context) {
+				k.StoreI64(av, 0, 3)
+			})
+			c.TaskWait() // FIX: order the kernel before the host accesses
+			c.TargetUpdate(omp.UpdateOpts{From: []omp.Map{{Buf: av}}})
+			c.StoreI64(av, 0, c.LoadI64(av, 0)+1)
+			c.TargetUpdate(omp.UpdateOpts{To: []omp.Map{{Buf: av}}})
+		})
+		if got := c.LoadI64(av, 0); got != 4 {
+			t.Errorf("a = %d, want 4", got)
+		}
+	})
+	if n := d.sink.Count(); n != 0 {
+		for _, r := range d.Reports() {
+			t.Logf("%s", r)
+		}
+		t.Fatalf("%d false race reports", n)
+	}
+}
+
+// TestSynchronousTargetIsOrdered: a synchronous target region is ordered
+// with everything around it.
+func TestSynchronousTargetIsOrdered(t *testing.T) {
+	d := run(t, omp.Config{NumThreads: 4}, func(c *omp.Context) {
+		av := c.AllocI64(64, "a")
+		for i := 0; i < 64; i++ {
+			c.StoreI64(av, i, 1)
+		}
+		for iter := 0; iter < 3; iter++ {
+			c.Target(omp.Opts{Maps: []omp.Map{omp.ToFrom(av)}}, func(k *omp.Context) {
+				k.ParallelFor(64, func(k *omp.Context, i int) {
+					k.StoreI64(av, i, k.LoadI64(av, i)+1)
+				})
+			})
+		}
+		for i := 0; i < 64; i++ {
+			if got := c.LoadI64(av, i); got != 4 {
+				t.Fatalf("a[%d] = %d", i, got)
+			}
+		}
+	})
+	if n := d.sink.Count(); n != 0 {
+		for _, r := range d.Reports() {
+			t.Logf("%s", r)
+		}
+		t.Fatalf("%d false race reports on synchronous program", n)
+	}
+}
+
+// TestParallelForWorkersRace: two workers writing the same element race.
+func TestParallelForWorkersRace(t *testing.T) {
+	d := run(t, omp.Config{NumThreads: 4}, func(c *omp.Context) {
+		av := c.AllocI64(1, "sum")
+		c.StoreI64(av, 0, 0)
+		c.Target(omp.Opts{Maps: []omp.Map{omp.ToFrom(av)}}, func(k *omp.Context) {
+			k.ParallelFor(100, func(k *omp.Context, i int) {
+				// BUG: unsynchronized reduction.
+				k.StoreI64(av, 0, k.LoadI64(av, 0)+1)
+			})
+		})
+	})
+	if d.sink.CountKind(report.DataRace) == 0 {
+		t.Fatal("unsynchronized reduction not reported")
+	}
+}
+
+// TestParallelForDisjointIsClean: workers writing disjoint elements are
+// race-free.
+func TestParallelForDisjointIsClean(t *testing.T) {
+	d := run(t, omp.Config{NumThreads: 8}, func(c *omp.Context) {
+		n := 256
+		av := c.AllocI64(n, "a")
+		c.Target(omp.Opts{Maps: []omp.Map{omp.From(av)}}, func(k *omp.Context) {
+			k.ParallelFor(n, func(k *omp.Context, i int) {
+				k.StoreI64(av, i, int64(i))
+			})
+		})
+	})
+	if n := d.sink.Count(); n != 0 {
+		for _, r := range d.Reports() {
+			t.Logf("%s", r)
+		}
+		t.Fatalf("%d false race reports on disjoint parallel for", n)
+	}
+}
+
+// TestDependChainsAreOrdered: depend clauses order nowait kernels, so no
+// race is reported even though they all touch the same buffer.
+func TestDependChainsAreOrdered(t *testing.T) {
+	d := run(t, omp.Config{NumThreads: 1}, func(c *omp.Context) {
+		av := c.AllocI64(1, "a")
+		c.StoreI64(av, 0, 0)
+		c.TargetData(omp.Opts{Maps: []omp.Map{omp.ToFrom(av)}}, func(c *omp.Context) {
+			for i := 0; i < 4; i++ {
+				c.Target(omp.Opts{Nowait: true, DependsIn: []*omp.Buffer{av}, DependsOut: []*omp.Buffer{av}}, func(k *omp.Context) {
+					k.StoreI64(av, 0, k.LoadI64(av, 0)+1)
+				})
+			}
+			c.TaskWait()
+		})
+	})
+	if n := d.sink.Count(); n != 0 {
+		t.Fatalf("%d false race reports on depend chain", n)
+	}
+}
+
+// TestTwoIndependentNowaitKernelsSameBufferRace: without depend clauses the
+// same chain races.
+func TestTwoIndependentNowaitKernelsSameBufferRace(t *testing.T) {
+	d := run(t, omp.Config{NumThreads: 1}, func(c *omp.Context) {
+		av := c.AllocI64(1, "a")
+		c.StoreI64(av, 0, 0)
+		gate := make(chan struct{})
+		c.TargetData(omp.Opts{Maps: []omp.Map{omp.ToFrom(av)}}, func(c *omp.Context) {
+			c.Target(omp.Opts{Nowait: true, Loc: omp.Loc("k1.go", 1, "k1")}, func(k *omp.Context) {
+				<-gate
+				k.At("k1.go", 2, "k1").StoreI64(av, 0, 1)
+			})
+			c.Target(omp.Opts{Nowait: true, Loc: omp.Loc("k2.go", 1, "k2")}, func(k *omp.Context) {
+				close(gate)
+				k.At("k2.go", 2, "k2").StoreI64(av, 0, 2)
+			})
+			c.TaskWait()
+		})
+	})
+	if d.sink.CountKind(report.DataRace) == 0 {
+		t.Fatal("unordered nowait kernels not reported")
+	}
+}
+
+// TestTransfersOfDifferentBuffersDoNotConflict guards the transfer-as-access
+// modeling against false sharing between distinct allocations.
+func TestTransfersOfDifferentBuffersDoNotConflict(t *testing.T) {
+	d := run(t, omp.Config{NumThreads: 2}, func(c *omp.Context) {
+		a := c.AllocI64(32, "a")
+		b := c.AllocI64(32, "b")
+		for i := 0; i < 32; i++ {
+			c.StoreI64(a, i, 1)
+			c.StoreI64(b, i, 2)
+		}
+		c.Target(omp.Opts{Nowait: true, Maps: []omp.Map{omp.ToFrom(a)}}, func(k *omp.Context) {
+			k.StoreI64(a, 0, 10)
+		})
+		c.Target(omp.Opts{Nowait: true, Maps: []omp.Map{omp.ToFrom(b)}}, func(k *omp.Context) {
+			k.StoreI64(b, 0, 20)
+		})
+		c.TaskWait()
+	})
+	if n := d.sink.Count(); n != 0 {
+		for _, r := range d.Reports() {
+			t.Logf("%s", r)
+		}
+		t.Fatalf("%d false reports for independent buffers", n)
+	}
+}
+
+func TestShadowBytesGrow(t *testing.T) {
+	d := run(t, omp.Config{NumThreads: 1}, func(c *omp.Context) {
+		a := c.AllocI64(128, "a")
+		for i := 0; i < 128; i++ {
+			c.StoreI64(a, i, 1)
+		}
+	})
+	if d.ShadowBytes() == 0 {
+		t.Error("no shadow accounting")
+	}
+}
+
+func TestToolInterfaceNoops(t *testing.T) {
+	d := New(nil)
+	d.OnDeviceInit(ompt.DeviceInitEvent{})
+	d.OnTargetBegin(ompt.TargetEvent{})
+	d.OnTargetEnd(ompt.TargetEvent{})
+	d.OnAlloc(ompt.AllocEvent{})
+	if d.Name() != "Archer" {
+		t.Errorf("Name = %q", d.Name())
+	}
+}

@@ -1,0 +1,182 @@
+// Package report renders analysis-tool diagnostics in the style of the LLVM
+// sanitizer reports ARBALEST inherits from Archer/ThreadSanitizer (paper
+// Fig. 7): a warning header naming the anomaly, the offending access with
+// its source location, and the allocation that backs the memory.
+package report
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/mem"
+	"repro/internal/ompt"
+)
+
+// Kind classifies a diagnostic.
+type Kind uint8
+
+// The diagnostic kinds produced by the tools in this repository.
+const (
+	// UUM: use of uninitialized memory.
+	UUM Kind = iota
+	// USD: use of stale data — the paper's "stale access".
+	USD
+	// BufferOverflow: a data-mapping-related buffer overflow (paper §IV-D).
+	BufferOverflow
+	// DataRace: conflicting concurrent accesses without happens-before.
+	DataRace
+	// InvalidAccess: access outside any live allocation (memcheck/ASan).
+	InvalidAccess
+)
+
+func (k Kind) String() string {
+	switch k {
+	case UUM:
+		return "use of uninitialized memory"
+	case USD:
+		return "data mapping issue (stale access)"
+	case BufferOverflow:
+		return "data mapping issue (buffer overflow)"
+	case DataRace:
+		return "data race"
+	case InvalidAccess:
+		return "invalid memory access"
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Report is one diagnostic.
+type Report struct {
+	Tool string
+	Kind Kind
+	// Var is the mapped variable's tag.
+	Var string
+	// Addr and Size describe the offending access.
+	Addr  mem.Addr
+	Size  uint64
+	Write bool
+	// Device is where the access executed.
+	Device ompt.DeviceID
+	Thread ompt.ThreadID
+	// Loc is the access's source location.
+	Loc ompt.SourceLoc
+	// Detail carries tool-specific context (VSM state, racing access, ...).
+	Detail string
+	// AllocLoc is the allocation site of the underlying memory, if known.
+	AllocLoc   ompt.SourceLoc
+	AllocBytes uint64
+}
+
+// Key returns a deduplication key: tools report each distinct (kind,
+// variable, location) once, as real sanitizers suppress duplicate reports.
+func (r *Report) Key() string {
+	return fmt.Sprintf("%d|%s|%s", r.Kind, r.Var, r.Loc)
+}
+
+// String renders the report in the TSan-flavoured format of paper Fig. 7.
+func (r *Report) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "==================\n")
+	fmt.Fprintf(&sb, "WARNING: %s: %s\n", r.Tool, r.Kind)
+	rw := "Read"
+	if r.Write {
+		rw = "Write"
+	}
+	where := "main thread"
+	if r.Device != ompt.HostDevice {
+		where = fmt.Sprintf("device %d thread T%d", r.Device, r.Thread)
+	}
+	fmt.Fprintf(&sb, "  %s of size %d at %#x (%s) by %s:\n", rw, r.Size, uint64(r.Addr), r.Var, where)
+	fmt.Fprintf(&sb, "    #0 %s\n", r.Loc)
+	if r.Detail != "" {
+		fmt.Fprintf(&sb, "  %s\n", r.Detail)
+	}
+	if !r.AllocLoc.IsZero() || r.AllocBytes != 0 {
+		fmt.Fprintf(&sb, "  Location is heap block of size %d allocated by main thread:\n", r.AllocBytes)
+		fmt.Fprintf(&sb, "    #0 %s\n", r.AllocLoc)
+	}
+	fmt.Fprintf(&sb, "SUMMARY: %s: %s %s\n", r.Tool, r.Kind, r.Loc)
+	return sb.String()
+}
+
+// Sink collects reports with per-key deduplication. It is safe for
+// concurrent use.
+type Sink struct {
+	mu      sync.Mutex
+	seen    map[string]bool
+	reports []*Report
+}
+
+// NewSink returns an empty sink.
+func NewSink() *Sink {
+	return &Sink{seen: make(map[string]bool)}
+}
+
+// Add records r unless an equivalent report was already recorded. It reports
+// whether r was kept.
+func (s *Sink) Add(r *Report) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	k := r.Key()
+	if s.seen[k] {
+		return false
+	}
+	s.seen[k] = true
+	s.reports = append(s.reports, r)
+	return true
+}
+
+// Reports returns the recorded reports in insertion order.
+func (s *Sink) Reports() []*Report {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Report, len(s.reports))
+	copy(out, s.reports)
+	return out
+}
+
+// Count returns the number of distinct reports.
+func (s *Sink) Count() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.reports)
+}
+
+// CountKind returns the number of reports of kind k.
+func (s *Sink) CountKind(k Kind) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, r := range s.reports {
+		if r.Kind == k {
+			n++
+		}
+	}
+	return n
+}
+
+// Kinds returns the distinct kinds recorded, sorted.
+func (s *Sink) Kinds() []Kind {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	set := map[Kind]bool{}
+	for _, r := range s.reports {
+		set[r.Kind] = true
+	}
+	out := make([]Kind, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Reset clears the sink.
+func (s *Sink) Reset() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.seen = make(map[string]bool)
+	s.reports = nil
+}

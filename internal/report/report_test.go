@@ -1,0 +1,152 @@
+package report
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/ompt"
+)
+
+func sample(kind Kind, varName string, line int) *Report {
+	return &Report{
+		Tool: "Arbalest",
+		Kind: kind,
+		Var:  varName,
+		Addr: 0x1000,
+		Size: 8,
+		Loc:  ompt.SourceLoc{File: "main.c", Line: line, Func: "main"},
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	want := map[Kind]string{
+		UUM:            "use of uninitialized memory",
+		USD:            "data mapping issue (stale access)",
+		BufferOverflow: "data mapping issue (buffer overflow)",
+		DataRace:       "data race",
+		InvalidAccess:  "invalid memory access",
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("%d.String() = %q, want %q", k, k.String(), s)
+		}
+	}
+}
+
+func TestSinkDeduplication(t *testing.T) {
+	s := NewSink()
+	if !s.Add(sample(USD, "a", 5)) {
+		t.Error("first Add rejected")
+	}
+	if s.Add(sample(USD, "a", 5)) {
+		t.Error("duplicate Add accepted")
+	}
+	if !s.Add(sample(USD, "a", 6)) {
+		t.Error("different line rejected")
+	}
+	if !s.Add(sample(UUM, "a", 5)) {
+		t.Error("different kind rejected")
+	}
+	if !s.Add(sample(USD, "b", 5)) {
+		t.Error("different var rejected")
+	}
+	if s.Count() != 4 {
+		t.Errorf("Count = %d, want 4", s.Count())
+	}
+	if s.CountKind(USD) != 3 {
+		t.Errorf("CountKind(USD) = %d, want 3", s.CountKind(USD))
+	}
+	ks := s.Kinds()
+	if len(ks) != 2 || ks[0] != UUM || ks[1] != USD {
+		t.Errorf("Kinds = %v", ks)
+	}
+}
+
+func TestSinkReset(t *testing.T) {
+	s := NewSink()
+	s.Add(sample(USD, "a", 1))
+	s.Reset()
+	if s.Count() != 0 {
+		t.Error("Reset did not clear")
+	}
+	if !s.Add(sample(USD, "a", 1)) {
+		t.Error("Add after Reset rejected as duplicate")
+	}
+}
+
+func TestSinkConcurrent(t *testing.T) {
+	s := NewSink()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				s.Add(sample(USD, "v", g*100+i))
+			}
+		}()
+	}
+	wg.Wait()
+	if s.Count() != 800 {
+		t.Errorf("Count = %d, want 800", s.Count())
+	}
+}
+
+func TestReportRenderingFig7Shape(t *testing.T) {
+	r := &Report{
+		Tool:       "Arbalest",
+		Kind:       USD,
+		Var:        "a0",
+		Addr:       0x7f140a27d000,
+		Size:       4,
+		Device:     ompt.HostDevice,
+		Loc:        ompt.SourceLoc{File: "main.c", Line: 145, Func: "main"},
+		Detail:     "stale read",
+		AllocLoc:   ompt.SourceLoc{File: "main.c", Line: 127, Func: "main"},
+		AllocBytes: 67108864,
+	}
+	out := r.String()
+	for _, want := range []string{
+		"WARNING: Arbalest: data mapping issue (stale access)",
+		"Read of size 4",
+		"main.c:145 in main",
+		"main thread",
+		"heap block of size 67108864",
+		"main.c:127 in main",
+		"SUMMARY: Arbalest",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestReportDeviceThreadRendering(t *testing.T) {
+	r := sample(UUM, "b", 16)
+	r.Device = 0
+	r.Thread = 3
+	r.Write = true
+	out := r.String()
+	if !strings.Contains(out, "Write of size 8") {
+		t.Errorf("write access not rendered:\n%s", out)
+	}
+	if !strings.Contains(out, "device 0 thread T3") {
+		t.Errorf("device thread not rendered:\n%s", out)
+	}
+}
+
+func TestReportsReturnsCopies(t *testing.T) {
+	s := NewSink()
+	s.Add(sample(USD, "a", 1))
+	got := s.Reports()
+	if len(got) != 1 {
+		t.Fatalf("Reports len = %d", len(got))
+	}
+	// Mutating the returned slice must not affect the sink.
+	got[0] = nil
+	if s.Reports()[0] == nil {
+		t.Error("Reports aliases internal storage")
+	}
+}

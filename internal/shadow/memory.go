@@ -1,0 +1,130 @@
+package shadow
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/interval"
+	"repro/internal/mem"
+)
+
+// Memory is a direct-mapped shadow memory.
+//
+// The detector registers one region per mapped variable's OV; Memory
+// allocates a slab with one shadow word per aligned 8-byte application word
+// and resolves addresses to slab slots in O(log m) via an interval tree
+// (m = number of registered regions), exactly the structure the paper
+// describes. Individual shadow words are updated with atomic CAS.
+type Memory struct {
+	mu      sync.Mutex
+	regions *interval.Tree[*Region]
+
+	bytes atomic.Uint64 // current shadow bytes allocated
+	peak  atomic.Uint64 // high-water mark (space-overhead experiment, Fig 9)
+}
+
+// Region is the shadow slab for one registered OV range.
+type Region struct {
+	Lo, Hi mem.Addr // half-open application range, 8-byte aligned
+	Tag    string
+	words  []atomic.Uint64
+}
+
+// NumWords returns the number of shadow words in the region.
+func (r *Region) NumWords() int { return len(r.words) }
+
+// WordAt returns the shadow slot for the aligned application address addr,
+// which must lie inside the region.
+func (r *Region) WordAt(addr mem.Addr) *atomic.Uint64 {
+	idx := (addr.Align() - r.Lo) / mem.WordSize
+	return &r.words[idx]
+}
+
+// EachWord calls fn for every (aligned address, slot) pair in the region.
+func (r *Region) EachWord(fn func(addr mem.Addr, slot *atomic.Uint64)) {
+	for i := range r.words {
+		fn(r.Lo+mem.Addr(i*mem.WordSize), &r.words[i])
+	}
+}
+
+// NewMemory returns an empty shadow memory.
+func NewMemory() *Memory {
+	return &Memory{regions: interval.New[*Region]()}
+}
+
+// Register creates a shadow region covering [lo, lo+size). The bounds are
+// widened to 8-byte alignment. All words start as the zero Word: VSM state
+// invalid, nothing initialized — the paper's initial [Host:0, Accel:0] tuple.
+func (m *Memory) Register(lo mem.Addr, size uint64, tag string) (*Region, error) {
+	alo := lo.Align()
+	ahi := (lo + mem.Addr(size) + mem.WordSize - 1).Align()
+	n := int((ahi - alo) / mem.WordSize)
+	r := &Region{Lo: alo, Hi: ahi, Tag: tag, words: make([]atomic.Uint64, n)}
+	if err := m.regions.Insert(uint64(alo), uint64(ahi), r); err != nil {
+		return nil, fmt.Errorf("shadow: register %q: %w", tag, err)
+	}
+	nb := m.bytes.Add(uint64(n) * 8)
+	for {
+		p := m.peak.Load()
+		if nb <= p || m.peak.CompareAndSwap(p, nb) {
+			break
+		}
+	}
+	return r, nil
+}
+
+// Unregister removes the region starting at lo. It reports whether a region
+// was removed.
+func (m *Memory) Unregister(lo mem.Addr) bool {
+	alo := lo.Align()
+	_, r, ok := m.regions.Stab(uint64(alo))
+	if !ok || r.Lo != alo {
+		return false
+	}
+	if m.regions.Delete(uint64(r.Lo)) {
+		m.bytes.Add(^uint64(uint64(r.NumWords())*8 - 1)) // subtract
+		return true
+	}
+	return false
+}
+
+// RegionOf returns the region containing addr, or nil.
+func (m *Memory) RegionOf(addr mem.Addr) *Region {
+	_, r, ok := m.regions.Stab(uint64(addr))
+	if !ok {
+		return nil
+	}
+	return r
+}
+
+// WordAt returns the shadow slot for addr, or nil if addr is not inside any
+// registered region.
+func (m *Memory) WordAt(addr mem.Addr) *atomic.Uint64 {
+	r := m.RegionOf(addr)
+	if r == nil {
+		return nil
+	}
+	return r.WordAt(addr)
+}
+
+// NumRegions returns the number of registered regions.
+func (m *Memory) NumRegions() int { return m.regions.Len() }
+
+// Bytes returns the shadow bytes currently allocated.
+func (m *Memory) Bytes() uint64 { return m.bytes.Load() }
+
+// PeakBytes returns the high-water mark of shadow bytes.
+func (m *Memory) PeakBytes() uint64 { return m.peak.Load() }
+
+// Update atomically applies fn to the shadow word in slot until the CAS
+// succeeds, returning the old and new values. fn must be pure.
+func Update(slot *atomic.Uint64, fn func(Word) Word) (old, new Word) {
+	for {
+		o := Word(slot.Load())
+		n := fn(o)
+		if o == n || slot.CompareAndSwap(uint64(o), uint64(n)) {
+			return o, n
+		}
+	}
+}

@@ -1,0 +1,253 @@
+package shadow
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mem"
+)
+
+func TestWordBitFieldsIndependent(t *testing.T) {
+	w := Word(0).
+		WithOVValid(true).
+		WithCVInit(true).
+		WithTID(0xABC).
+		WithClock(1<<41 + 7).
+		WithIsWrite(true).
+		WithAccessSize(4).
+		WithOffset(5)
+	if !w.OVValid() || w.CVValid() || w.OVInit() || !w.CVInit() {
+		t.Errorf("valid/init bits wrong: %v", w)
+	}
+	if w.TID() != 0xABC {
+		t.Errorf("TID = %#x", w.TID())
+	}
+	if w.Clock() != 1<<41+7 {
+		t.Errorf("Clock = %d", w.Clock())
+	}
+	if !w.IsWrite() {
+		t.Error("IsWrite lost")
+	}
+	if w.AccessSize() != 4 {
+		t.Errorf("AccessSize = %d", w.AccessSize())
+	}
+	if w.Offset() != 5 {
+		t.Errorf("Offset = %d", w.Offset())
+	}
+}
+
+func TestWordFieldMasking(t *testing.T) {
+	// Overflowing values must not leak into neighbouring fields.
+	w := Word(0).WithTID(MaxTID + 5)
+	if w.Clock() != 0 || w.OVValid() || w.CVValid() {
+		t.Errorf("TID overflow leaked: %v", w)
+	}
+	w = Word(0).WithClock(MaxClock + 9)
+	if w.IsWrite() || w.TID() != 0 {
+		t.Errorf("clock overflow leaked: %v", w)
+	}
+	w = Word(0).WithOffset(15)
+	if w.Offset() != 7 {
+		t.Errorf("offset not masked: %d", w.Offset())
+	}
+}
+
+func TestStateEncoding(t *testing.T) {
+	cases := []struct {
+		ov, cv bool
+		want   State
+	}{
+		{false, false, Invalid},
+		{true, false, HostOnly},
+		{false, true, TargetOnly},
+		{true, true, Consistent},
+	}
+	for _, c := range cases {
+		w := Word(0).WithOVValid(c.ov).WithCVValid(c.cv)
+		if w.State() != c.want {
+			t.Errorf("ov=%t cv=%t => %v, want %v", c.ov, c.cv, w.State(), c.want)
+		}
+		// Round trip through WithState.
+		w2 := Word(0).WithTID(3).WithState(c.want)
+		if w2.State() != c.want || w2.TID() != 3 {
+			t.Errorf("WithState(%v) round trip failed: %v", c.want, w2)
+		}
+	}
+}
+
+func TestStateStrings(t *testing.T) {
+	names := map[State]string{Invalid: "invalid", HostOnly: "host", TargetOnly: "target", Consistent: "consistent"}
+	for s, want := range names {
+		if s.String() != want {
+			t.Errorf("%d.String() = %q, want %q", s, s.String(), want)
+		}
+	}
+}
+
+func TestWordPropertyRoundTrip(t *testing.T) {
+	f := func(ov, cv, ovi, cvi, wr bool, tid uint32, clk uint64, szSel uint8, off uint8) bool {
+		tid &= MaxTID
+		clk &= MaxClock
+		size := uint64(1) << (szSel % 4)
+		o := uint64(off % 8)
+		w := Word(0).
+			WithOVValid(ov).WithCVValid(cv).WithOVInit(ovi).WithCVInit(cvi).
+			WithIsWrite(wr).WithTID(tid).WithClock(clk).WithAccessSize(size).WithOffset(o)
+		return w.OVValid() == ov && w.CVValid() == cv &&
+			w.OVInit() == ovi && w.CVInit() == cvi &&
+			w.IsWrite() == wr && w.TID() == tid && w.Clock() == clk &&
+			w.AccessSize() == size && w.Offset() == o
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMemoryRegister(t *testing.T) {
+	m := NewMemory()
+	base := mem.HostBase + 16
+	r, err := m.Register(base, 100, "arr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 100 bytes from an aligned base covers 13 words.
+	if r.NumWords() != 13 {
+		t.Errorf("NumWords = %d, want 13", r.NumWords())
+	}
+	if m.NumRegions() != 1 {
+		t.Errorf("NumRegions = %d", m.NumRegions())
+	}
+	if got := m.WordAt(base + 50); got == nil {
+		t.Error("WordAt inside region returned nil")
+	}
+	if got := m.WordAt(base + 200); got != nil {
+		t.Error("WordAt outside region returned non-nil")
+	}
+}
+
+func TestMemoryRegisterUnaligned(t *testing.T) {
+	m := NewMemory()
+	base := mem.HostBase + 13 // unaligned
+	r, err := m.Register(base, 10, "odd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Lo != (mem.HostBase + 8) {
+		t.Errorf("Lo = %#x", uint64(r.Lo))
+	}
+	if m.WordAt(base) == nil || m.WordAt(base+9) == nil {
+		t.Error("widened region does not cover requested bytes")
+	}
+}
+
+func TestMemoryUnregister(t *testing.T) {
+	m := NewMemory()
+	base := mem.HostBase
+	if _, err := m.Register(base, 64, "a"); err != nil {
+		t.Fatal(err)
+	}
+	before := m.Bytes()
+	if before == 0 {
+		t.Fatal("no shadow bytes accounted")
+	}
+	if !m.Unregister(base) {
+		t.Fatal("Unregister returned false")
+	}
+	if m.Bytes() != 0 {
+		t.Errorf("bytes after unregister = %d", m.Bytes())
+	}
+	if m.PeakBytes() != before {
+		t.Errorf("peak lost: %d, want %d", m.PeakBytes(), before)
+	}
+	if m.WordAt(base) != nil {
+		t.Error("WordAt alive after unregister")
+	}
+	if m.Unregister(base) {
+		t.Error("double unregister succeeded")
+	}
+}
+
+func TestWordAtDistinctSlots(t *testing.T) {
+	m := NewMemory()
+	base := mem.HostBase
+	if _, err := m.Register(base, 64, "a"); err != nil {
+		t.Fatal(err)
+	}
+	s0 := m.WordAt(base)
+	s1 := m.WordAt(base + 8)
+	sameWord := m.WordAt(base + 3)
+	if s0 == s1 {
+		t.Error("adjacent words share a slot")
+	}
+	if s0 != sameWord {
+		t.Error("bytes within one word map to different slots")
+	}
+}
+
+func TestUpdateCAS(t *testing.T) {
+	m := NewMemory()
+	r, err := m.Register(mem.HostBase, 8, "w")
+	if err != nil {
+		t.Fatal(err)
+	}
+	slot := r.WordAt(mem.HostBase)
+	old, now := Update(slot, func(w Word) Word { return w.WithOVValid(true).WithOVInit(true) })
+	if old != 0 || !now.OVValid() {
+		t.Errorf("Update returned %v -> %v", old, now)
+	}
+	if got := Word(slot.Load()); got != now {
+		t.Errorf("slot = %v, want %v", got, now)
+	}
+}
+
+func TestUpdateConcurrentCounts(t *testing.T) {
+	// Concurrent CAS updates must not lose increments of the clock field.
+	m := NewMemory()
+	r, err := m.Register(mem.HostBase, 8, "w")
+	if err != nil {
+		t.Fatal(err)
+	}
+	slot := r.WordAt(mem.HostBase)
+	const goroutines = 8
+	const perG = 500
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				Update(slot, func(w Word) Word { return w.WithClock(w.Clock() + 1) })
+			}
+		}()
+	}
+	wg.Wait()
+	if got := Word(slot.Load()).Clock(); got != goroutines*perG {
+		t.Errorf("lost updates: clock = %d, want %d", got, goroutines*perG)
+	}
+}
+
+func TestEachWord(t *testing.T) {
+	m := NewMemory()
+	r, err := m.Register(mem.HostBase, 32, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var addrs []mem.Addr
+	r.EachWord(func(a mem.Addr, slot *atomic.Uint64) {
+		addrs = append(addrs, a)
+		slot.Store(uint64(Word(0).WithOVInit(true)))
+	})
+	if len(addrs) != 4 {
+		t.Fatalf("visited %d words, want 4", len(addrs))
+	}
+	for i := 1; i < len(addrs); i++ {
+		if addrs[i] != addrs[i-1]+8 {
+			t.Errorf("non-contiguous walk: %v", addrs)
+		}
+	}
+	if !Word(r.WordAt(mem.HostBase + 8).Load()).OVInit() {
+		t.Error("EachWord slot pointer did not alias region storage")
+	}
+}

@@ -1,0 +1,183 @@
+package specaccel
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+	"time"
+
+	"repro/internal/omp"
+	"repro/internal/tools"
+)
+
+// PerfTools lists the measured configurations in the legend order of the
+// paper's Fig. 8: the uninstrumented baseline plus the five tools.
+func PerfTools() []string {
+	return []string{"native", "arbalest", "archer", "valgrind", "asan", "msan"}
+}
+
+// Measurement is one (workload, tool) data point of Figs. 8 and 9.
+type Measurement struct {
+	Workload string
+	Tool     string
+	// Elapsed is the wall-clock run time.
+	Elapsed time.Duration
+	// Slowdown is Elapsed relative to the native run of the same workload
+	// (1.0 for native itself).
+	Slowdown float64
+	// AppPeakBytes is the application's peak simulated memory (host +
+	// device spaces).
+	AppPeakBytes uint64
+	// ToolPeakBytes is the tool's peak shadow-state footprint (0 for
+	// native).
+	ToolPeakBytes uint64
+	// Reports is the number of diagnostics produced (0 expected: the
+	// performance workloads are correct programs).
+	Reports int
+}
+
+// Run executes workload w once under the named tool configuration and
+// returns the measurement (without Slowdown, which RunFig8 fills in).
+func Run(w *Workload, toolName string, scale, threads int) (*Measurement, error) {
+	var analyzer tools.Analyzer
+	// 8 MiB per space comfortably fits every workload at the scales the
+	// harness uses while keeping runtime construction cheap enough that
+	// testing.B wrappers measure the workload, not the arena allocation.
+	cfg := omp.Config{NumThreads: threads, HostMem: 8 << 20, DeviceMem: 8 << 20}
+	var rt *omp.Runtime
+	if toolName == "native" {
+		rt = omp.NewRuntime(cfg)
+	} else {
+		a, err := tools.New(toolName)
+		if err != nil {
+			return nil, err
+		}
+		analyzer = a
+		rt = omp.NewRuntime(cfg, a)
+	}
+
+	start := time.Now()
+	err := rt.Run(func(c *omp.Context) error { return w.Run(c, scale) })
+	elapsed := time.Since(start)
+	if err != nil {
+		return nil, fmt.Errorf("specaccel: %s under %s: %w", w.Name, toolName, err)
+	}
+
+	m := &Measurement{
+		Workload:     w.Name,
+		Tool:         toolName,
+		Elapsed:      elapsed,
+		AppPeakBytes: rt.Host().Stats().Peak + rt.Device(0).Space().Stats().Peak,
+	}
+	if analyzer != nil {
+		m.ToolPeakBytes = analyzer.ShadowBytes()
+		m.Reports = analyzer.Sink().Count()
+	}
+	return m, nil
+}
+
+// RunFig8 measures every workload under every tool configuration and
+// computes slowdowns relative to native — the data of the paper's Fig. 8.
+func RunFig8(scale, threads int) ([]*Measurement, error) {
+	var out []*Measurement
+	for _, w := range All() {
+		native, err := Run(w, "native", scale, threads)
+		if err != nil {
+			return nil, err
+		}
+		native.Slowdown = 1.0
+		out = append(out, native)
+		for _, tn := range PerfTools()[1:] {
+			m, err := Run(w, tn, scale, threads)
+			if err != nil {
+				return nil, err
+			}
+			m.Slowdown = float64(m.Elapsed) / float64(native.Elapsed)
+			out = append(out, m)
+		}
+	}
+	return out, nil
+}
+
+// WriteFig8 renders the time-overhead series (one row per workload, one
+// column per tool, values are slowdown factors vs native).
+func WriteFig8(w io.Writer, ms []*Measurement) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprint(tw, "Benchmark")
+	for _, tn := range PerfTools() {
+		fmt.Fprintf(tw, "\t%s", tn)
+	}
+	fmt.Fprintln(tw)
+	for _, wl := range All() {
+		fmt.Fprint(tw, wl.Name)
+		for _, tn := range PerfTools() {
+			m := find(ms, wl.Name, tn)
+			if m == nil {
+				fmt.Fprint(tw, "\t-")
+				continue
+			}
+			fmt.Fprintf(tw, "\t%.2fx (%s)", m.Slowdown, m.Elapsed.Round(time.Millisecond))
+		}
+		fmt.Fprintln(tw)
+	}
+	return tw.Flush()
+}
+
+// WriteFig9 renders the space-overhead series (peak memory per workload and
+// tool: application bytes plus tool shadow bytes).
+func WriteFig9(w io.Writer, ms []*Measurement) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprint(tw, "Benchmark")
+	for _, tn := range PerfTools() {
+		fmt.Fprintf(tw, "\t%s", tn)
+	}
+	fmt.Fprintln(tw)
+	for _, wl := range All() {
+		fmt.Fprint(tw, wl.Name)
+		for _, tn := range PerfTools() {
+			m := find(ms, wl.Name, tn)
+			if m == nil {
+				fmt.Fprint(tw, "\t-")
+				continue
+			}
+			fmt.Fprintf(tw, "\t%s", fmtBytes(m.AppPeakBytes+m.ToolPeakBytes))
+		}
+		fmt.Fprintln(tw)
+	}
+	return tw.Flush()
+}
+
+func find(ms []*Measurement, workload, tool string) *Measurement {
+	for _, m := range ms {
+		if m.Workload == workload && m.Tool == tool {
+			return m
+		}
+	}
+	return nil
+}
+
+func fmtBytes(b uint64) string {
+	switch {
+	case b >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(b)/(1<<10))
+	}
+	return fmt.Sprintf("%dB", b)
+}
+
+// WriteCSV dumps the raw measurements (one row per workload/tool cell) for
+// external plotting of Figs. 8 and 9.
+func WriteCSV(w io.Writer, ms []*Measurement) error {
+	if _, err := fmt.Fprintln(w, "workload,tool,elapsed_ns,slowdown,app_peak_bytes,tool_peak_bytes,reports"); err != nil {
+		return err
+	}
+	for _, m := range ms {
+		if _, err := fmt.Fprintf(w, "%s,%s,%d,%.4f,%d,%d,%d\n",
+			m.Workload, m.Tool, m.Elapsed.Nanoseconds(), m.Slowdown,
+			m.AppPeakBytes, m.ToolPeakBytes, m.Reports); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,108 @@
+package specaccel
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/omp"
+)
+
+// 552.pep: the embarrassingly-parallel (EP) kernel — generate pairs of
+// uniform pseudo-random numbers per independent chunk, accept those inside
+// the unit circle, transform them into Gaussian deviates (Marsaglia polar
+// method), and tally per-annulus counts. Host-side work is minimal; almost
+// all time is device compute on per-worker private state, which is why EP
+// shows the lowest instrumentation overhead of the five workloads.
+
+func init() {
+	register(&Workload{
+		Name:  "552.pep",
+		Brief: "embarrassingly parallel Gaussian-deviate generation with per-chunk tallies",
+		Run:   runPep,
+	})
+}
+
+const (
+	pepBins  = 10
+	lcgA     = 6364136223846793005
+	lcgC     = 1442695040888963407
+	lcgScale = 1.0 / (1 << 53)
+)
+
+// lcgNext advances the 64-bit LCG state.
+func lcgNext(s int64) int64 { return s*lcgA + lcgC }
+
+// lcgUniform maps a state to (0,1).
+func lcgUniform(s int64) float64 {
+	return float64(uint64(s)>>11)*lcgScale + 1e-12
+}
+
+func runPep(c *omp.Context, scale int) error {
+	chunks := 8
+	pairsPerChunk := 64 * scale
+
+	seeds := c.AllocI64(chunks, "seeds")
+	counts := c.AllocI64(chunks*pepBins, "counts")
+	sums := c.AllocF64(chunks*2, "sums") // per-chunk sum of |X|, |Y|
+	c.At("ep.c", 15, "init")
+	for ch := 0; ch < chunks; ch++ {
+		c.StoreI64(seeds, ch, int64(ch)*271828183+314159)
+	}
+	for i := 0; i < chunks*pepBins; i++ {
+		c.StoreI64(counts, i, 0)
+	}
+	for i := 0; i < chunks*2; i++ {
+		c.StoreF64(sums, i, 0)
+	}
+
+	c.Target(omp.Opts{
+		Maps: []omp.Map{omp.To(seeds), omp.ToFrom(counts), omp.ToFrom(sums)},
+		Loc:  omp.Loc("ep.c", 30, "main"),
+	}, func(k *omp.Context) {
+		k.At("ep.c", 35, "ep_kernel")
+		k.ParallelFor(chunks, func(k *omp.Context, ch int) {
+			state := k.LoadI64(seeds, ch)
+			var sx, sy float64
+			for p := 0; p < pairsPerChunk; p++ {
+				state = lcgNext(state)
+				u1 := 2*lcgUniform(state) - 1
+				state = lcgNext(state)
+				u2 := 2*lcgUniform(state) - 1
+				t := u1*u1 + u2*u2
+				if t > 1 || t == 0 {
+					continue
+				}
+				f := math.Sqrt(-2 * math.Log(t) / t)
+				gx, gy := u1*f, u2*f
+				sx += math.Abs(gx)
+				sy += math.Abs(gy)
+				bin := int(math.Max(math.Abs(gx), math.Abs(gy)))
+				if bin >= pepBins {
+					bin = pepBins - 1
+				}
+				k.StoreI64(counts, ch*pepBins+bin, k.LoadI64(counts, ch*pepBins+bin)+1)
+			}
+			k.StoreF64(sums, ch*2+0, sx)
+			k.StoreF64(sums, ch*2+1, sy)
+		})
+	})
+
+	// Validation: total accepted pairs equals the bin totals, acceptance
+	// rate must be in a plausible band around pi/4, and sums are finite.
+	c.At("ep.c", 60, "validate")
+	var accepted int64
+	for i := 0; i < chunks*pepBins; i++ {
+		accepted += c.LoadI64(counts, i)
+	}
+	total := int64(chunks * pairsPerChunk)
+	rate := float64(accepted) / float64(total)
+	if rate < 0.5 || rate > 0.95 {
+		return fmt.Errorf("pep: acceptance rate %v implausible (want ~pi/4)", rate)
+	}
+	for ch := 0; ch < chunks; ch++ {
+		if math.IsNaN(c.LoadF64(sums, ch*2)) || math.IsNaN(c.LoadF64(sums, ch*2+1)) {
+			return fmt.Errorf("pep: NaN sums in chunk %d", ch)
+		}
+	}
+	return nil
+}

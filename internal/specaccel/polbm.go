@@ -1,0 +1,98 @@
+package specaccel
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/omp"
+)
+
+// 504.polbm: a lattice-Boltzmann fluid solver. This analogue runs a D2Q5
+// collide-and-stream scheme over an nx × ny torus with two device-resident
+// distribution-function arrays (5 directions per cell) in a ping-pong
+// arrangement — the memory access pattern (gather from neighbours, scattered
+// multi-component writes) that makes LBM a heavyweight instrumentation
+// workload.
+
+func init() {
+	register(&Workload{
+		Name:  "504.polbm",
+		Brief: "D2Q5 lattice-Boltzmann collide-and-stream on a torus",
+		Run:   runPolbm,
+	})
+}
+
+const lbmQ = 5 // rest, +x, -x, +y, -y
+
+var lbmWeights = [lbmQ]float64{1.0 / 3.0, 1.0 / 6.0, 1.0 / 6.0, 1.0 / 6.0, 1.0 / 6.0}
+var lbmCx = [lbmQ]int{0, 1, -1, 0, 0}
+var lbmCy = [lbmQ]int{0, 0, 0, 1, -1}
+
+func lbmIdx(nx int, x, y, q int) int { return (y*nx+x)*lbmQ + q }
+
+func runPolbm(c *omp.Context, scale int) error {
+	nx, ny := 8*scale, 8*scale
+	iters := 4
+	n := nx * ny * lbmQ
+	f0 := c.AllocF64(n, "f0")
+	f1 := c.AllocF64(n, "f1")
+
+	// Initialize to equilibrium with a density bump in the centre.
+	c.At("lbm.c", 30, "init")
+	for y := 0; y < ny; y++ {
+		for x := 0; x < nx; x++ {
+			rho := 1.0
+			if x == nx/2 && y == ny/2 {
+				rho = 2.0
+			}
+			for q := 0; q < lbmQ; q++ {
+				c.StoreF64(f0, lbmIdx(nx, x, y, q), lbmWeights[q]*rho)
+				c.StoreF64(f1, lbmIdx(nx, x, y, q), lbmWeights[q]*rho)
+			}
+		}
+	}
+
+	const omega = 1.2
+	src, dst := f0, f1
+	c.TargetEnterData(omp.Opts{Maps: []omp.Map{omp.To(f0), omp.To(f1)}, Loc: omp.Loc("lbm.c", 50, "main")})
+	for t := 0; t < iters; t++ {
+		s, d := src, dst
+		c.Target(omp.Opts{Loc: omp.Loc("lbm.c", 55, "main")}, func(k *omp.Context) {
+			k.At("lbm.c", 60, "collide_stream")
+			k.ParallelFor(ny, func(k *omp.Context, y int) {
+				for x := 0; x < nx; x++ {
+					// Collide: relax toward local equilibrium.
+					var rho float64
+					for q := 0; q < lbmQ; q++ {
+						rho += k.LoadF64(s, lbmIdx(nx, x, y, q))
+					}
+					for q := 0; q < lbmQ; q++ {
+						cur := k.LoadF64(s, lbmIdx(nx, x, y, q))
+						eq := lbmWeights[q] * rho
+						post := cur + omega*(eq-cur)
+						// Stream: push to the neighbour in direction q.
+						tx := (x + lbmCx[q] + nx) % nx
+						ty := (y + lbmCy[q] + ny) % ny
+						k.StoreF64(d, lbmIdx(nx, tx, ty, q), post)
+					}
+				}
+			})
+		})
+		src, dst = dst, src
+	}
+	c.TargetUpdate(omp.UpdateOpts{From: []omp.Map{{Buf: src}}, Loc: omp.Loc("lbm.c", 75, "main")})
+
+	// Mass conservation check: total density must stay (nx*ny + 1).
+	c.At("lbm.c", 80, "validate")
+	var mass float64
+	for i := 0; i < n; i++ {
+		mass += c.LoadF64(src, i)
+	}
+	c.TargetExitData(omp.Opts{Maps: []omp.Map{omp.Release(f0), omp.Release(f1)}, Loc: omp.Loc("lbm.c", 85, "main")})
+
+	want := float64(nx*ny) + 1.0
+	if math.Abs(mass-want) > 1e-6*want {
+		return fmt.Errorf("polbm: mass %v, want %v (conservation violated)", mass, want)
+	}
+	return nil
+}

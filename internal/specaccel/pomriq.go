@@ -1,0 +1,94 @@
+package specaccel
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/omp"
+)
+
+// 514.pomriq: MRI non-Cartesian reconstruction (the "Q matrix" computation).
+// For every voxel the kernel accumulates cos/sin phase contributions from
+// every k-space sample — a compute-dense O(numX * numK) loop nest with
+// read-only sample arrays and per-voxel output, the classic MRI-Q shape.
+
+func init() {
+	register(&Workload{
+		Name:  "514.pomriq",
+		Brief: "MRI-Q: phase accumulation over k-space samples per voxel",
+		Run:   runPomriq,
+	})
+}
+
+func runPomriq(c *omp.Context, scale int) error {
+	numX := 32 * scale
+	numK := 16 * scale
+
+	kx := c.AllocF64(numK, "kx")
+	ky := c.AllocF64(numK, "ky")
+	kz := c.AllocF64(numK, "kz")
+	phiMag := c.AllocF64(numK, "phiMag")
+	x := c.AllocF64(numX, "x")
+	y := c.AllocF64(numX, "y")
+	z := c.AllocF64(numX, "z")
+	qr := c.AllocF64(numX, "Qr")
+	qi := c.AllocF64(numX, "Qi")
+
+	c.At("mriq.c", 20, "init")
+	for k := 0; k < numK; k++ {
+		c.StoreF64(kx, k, math.Sin(float64(k)))
+		c.StoreF64(ky, k, math.Cos(float64(k)*0.7))
+		c.StoreF64(kz, k, math.Sin(float64(k)*1.3))
+		c.StoreF64(phiMag, k, 1.0/float64(k+1))
+	}
+	for i := 0; i < numX; i++ {
+		c.StoreF64(x, i, float64(i)*0.01)
+		c.StoreF64(y, i, float64(i)*0.02)
+		c.StoreF64(z, i, float64(i)*0.03)
+	}
+
+	c.Target(omp.Opts{
+		Maps: []omp.Map{
+			omp.To(kx), omp.To(ky), omp.To(kz), omp.To(phiMag),
+			omp.To(x), omp.To(y), omp.To(z),
+			omp.From(qr), omp.From(qi),
+		},
+		Loc: omp.Loc("mriq.c", 40, "main"),
+	}, func(k *omp.Context) {
+		k.At("mriq.c", 45, "ComputeQ")
+		k.ParallelFor(numX, func(k *omp.Context, i int) {
+			xi := k.LoadF64(x, i)
+			yi := k.LoadF64(y, i)
+			zi := k.LoadF64(z, i)
+			var sumR, sumI float64
+			for s := 0; s < numK; s++ {
+				phase := 2 * math.Pi * (k.LoadF64(kx, s)*xi + k.LoadF64(ky, s)*yi + k.LoadF64(kz, s)*zi)
+				mag := k.LoadF64(phiMag, s)
+				sumR += mag * math.Cos(phase)
+				sumI += mag * math.Sin(phase)
+			}
+			k.StoreF64(qr, i, sumR)
+			k.StoreF64(qi, i, sumI)
+		})
+	})
+
+	// Validation: voxel 0 has zero coordinates, so every phase is zero and
+	// Qr[0] must equal the harmonic sum of magnitudes while Qi[0] is 0.
+	c.At("mriq.c", 70, "validate")
+	var wantR float64
+	for s := 0; s < numK; s++ {
+		wantR += 1.0 / float64(s+1)
+	}
+	gotR := c.LoadF64(qr, 0)
+	gotI := c.LoadF64(qi, 0)
+	if math.Abs(gotR-wantR) > 1e-9 || math.Abs(gotI) > 1e-9 {
+		return fmt.Errorf("pomriq: Q[0] = (%v, %v), want (%v, 0)", gotR, gotI, wantR)
+	}
+	// And the full result must be finite.
+	for i := 0; i < numX; i++ {
+		if math.IsNaN(c.LoadF64(qr, i)) || math.IsNaN(c.LoadF64(qi, i)) {
+			return fmt.Errorf("pomriq: NaN at voxel %d", i)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,174 @@
+package specaccel
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/mem"
+	"repro/internal/omp"
+)
+
+// 503.postencil: an iterative 7-point 3D stencil (Jacobi relaxation) over an
+// nx × ny × nz grid, ping-ponging between two buffers that stay resident on
+// the device for the whole run.
+
+func init() {
+	register(&Workload{
+		Name:  "503.postencil",
+		Brief: "7-point 3D Jacobi stencil, device-resident ping-pong buffers",
+		Run:   runPostencil,
+	})
+}
+
+func stencilDims(scale int) (nx, ny, nz, iters int) {
+	return 8 * scale, 8 * scale, 4, 4
+}
+
+func idx3(nx, ny int, i, j, k int) int { return (k*ny+j)*nx + i }
+
+// initStencilGrid fills the boundary with 1s and the interior with 0s, the
+// scheme the SPEC benchmark uses.
+func initStencilGrid(c *omp.Context, g *omp.Buffer, nx, ny, nz int) {
+	c.At("main.c", 110, "init")
+	for k := 0; k < nz; k++ {
+		for j := 0; j < ny; j++ {
+			for i := 0; i < nx; i++ {
+				v := 0.0
+				if i == 0 || j == 0 || k == 0 || i == nx-1 || j == ny-1 || k == nz-1 {
+					v = 1.0
+				}
+				c.StoreF64(g, idx3(nx, ny, i, j, k), v)
+			}
+		}
+	}
+}
+
+// stencilKernel computes one Jacobi sweep src -> dst on the device.
+func stencilKernel(k *omp.Context, src, dst *omp.Buffer, nx, ny, nz int) {
+	k.At("kernels.c", 60, "cpu_stencil")
+	k.ParallelFor(nz-2, func(k *omp.Context, kk int) {
+		z := kk + 1
+		for j := 1; j < ny-1; j++ {
+			for i := 1; i < nx-1; i++ {
+				c := k.LoadF64(src, idx3(nx, ny, i, j, z))
+				sum := k.LoadF64(src, idx3(nx, ny, i-1, j, z)) +
+					k.LoadF64(src, idx3(nx, ny, i+1, j, z)) +
+					k.LoadF64(src, idx3(nx, ny, i, j-1, z)) +
+					k.LoadF64(src, idx3(nx, ny, i, j+1, z)) +
+					k.LoadF64(src, idx3(nx, ny, i, j, z-1)) +
+					k.LoadF64(src, idx3(nx, ny, i, j, z+1))
+				k.StoreF64(dst, idx3(nx, ny, i, j, z), (sum+c)/7.0)
+			}
+		}
+	})
+}
+
+func runPostencil(c *omp.Context, scale int) error {
+	nx, ny, nz, iters := stencilDims(scale)
+	n := nx * ny * nz
+	a0 := c.AllocF64(n, "a0")
+	a1 := c.AllocF64(n, "anext")
+	initStencilGrid(c, a0, nx, ny, nz)
+	initStencilGrid(c, a1, nx, ny, nz)
+
+	src, dst := a0, a1
+	c.TargetEnterData(omp.Opts{Maps: []omp.Map{omp.To(a0), omp.To(a1)}, Loc: omp.Loc("main.c", 127, "main")})
+	for t := 0; t < iters; t++ {
+		s, d := src, dst
+		c.Target(omp.Opts{Loc: omp.Loc("main.c", 137, "main")}, func(k *omp.Context) {
+			stencilKernel(k, s, d, nx, ny, nz)
+		})
+		src, dst = dst, src
+	}
+	// Correct version: synchronize the final result back before reading.
+	c.TargetUpdate(omp.UpdateOpts{From: []omp.Map{{Buf: src}}, Loc: omp.Loc("main.c", 143, "main")})
+	sum := 0.0
+	c.At("main.c", 145, "main")
+	for i := 0; i < n; i++ {
+		sum += c.LoadF64(src, i)
+	}
+	c.TargetExitData(omp.Opts{Maps: []omp.Map{omp.Release(a0), omp.Release(a1)}, Loc: omp.Loc("main.c", 150, "main")})
+
+	if math.IsNaN(sum) || sum <= 0 {
+		return fmt.Errorf("postencil: invalid checksum %v", sum)
+	}
+	// Element-wise validation against a pure-Go reference computation of the
+	// same Jacobi sweeps: any transfer or mapping slip shows up as a
+	// mismatch, not just a perturbed checksum.
+	ref := referenceStencil(nx, ny, nz, iters)
+	for i := 0; i < n; i++ {
+		got, err := c.Runtime().Host().LoadFloat64(src.Addr() + mem.Addr(i*8))
+		if err != nil {
+			return err
+		}
+		if math.Abs(got-ref[i]) > 1e-12 {
+			return fmt.Errorf("postencil: element %d = %v, reference %v", i, got, ref[i])
+		}
+	}
+	return nil
+}
+
+// referenceStencil computes the expected result with plain Go slices.
+func referenceStencil(nx, ny, nz, iters int) []float64 {
+	mk := func() []float64 {
+		g := make([]float64, nx*ny*nz)
+		for k := 0; k < nz; k++ {
+			for j := 0; j < ny; j++ {
+				for i := 0; i < nx; i++ {
+					if i == 0 || j == 0 || k == 0 || i == nx-1 || j == ny-1 || k == nz-1 {
+						g[idx3(nx, ny, i, j, k)] = 1.0
+					}
+				}
+			}
+		}
+		return g
+	}
+	src, dst := mk(), mk()
+	for t := 0; t < iters; t++ {
+		for k := 1; k < nz-1; k++ {
+			for j := 1; j < ny-1; j++ {
+				for i := 1; i < nx-1; i++ {
+					sum := src[idx3(nx, ny, i-1, j, k)] + src[idx3(nx, ny, i+1, j, k)] +
+						src[idx3(nx, ny, i, j-1, k)] + src[idx3(nx, ny, i, j+1, k)] +
+						src[idx3(nx, ny, i, j, k-1)] + src[idx3(nx, ny, i, j, k+1)] +
+						src[idx3(nx, ny, i, j, k)]
+					dst[idx3(nx, ny, i, j, k)] = sum / 7.0
+				}
+			}
+		}
+		src, dst = dst, src
+	}
+	return src
+}
+
+// RunPostencilBuggy reproduces the 503.postencil data mapping issue from the
+// SPEC ACCEL changelog (paper Fig. 6): after launching the kernel the host
+// swaps its buffer pointers, and the result is consumed without a
+// `target update from`, so the host output function reads stale data —
+// ARBALEST's Fig. 7 report fires at the read in main.c:145.
+func RunPostencilBuggy(c *omp.Context, scale int) {
+	nx, ny, nz, iters := stencilDims(scale)
+	n := nx * ny * nz
+	a0 := c.AllocF64(n, "a0")
+	a1 := c.AllocF64(n, "anext")
+	initStencilGrid(c, a0, nx, ny, nz)
+	initStencilGrid(c, a1, nx, ny, nz)
+
+	src, dst := a0, a1
+	c.TargetEnterData(omp.Opts{Maps: []omp.Map{omp.To(a0), omp.To(a1)}, Loc: omp.Loc("main.c", 127, "main")})
+	for t := 0; t < iters; t++ {
+		s, d := src, dst
+		c.Target(omp.Opts{Loc: omp.Loc("main.c", 137, "main")}, func(k *omp.Context) {
+			stencilKernel(k, s, d, nx, ny, nz)
+		})
+		src, dst = dst, src // the pointer swap of Fig. 6 line 138
+	}
+	// BUG: no update-from; the output function reads the stale OV.
+	c.At("main.c", 145, "main")
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += c.LoadF64(src, i)
+	}
+	_ = sum
+	c.TargetExitData(omp.Opts{Maps: []omp.Map{omp.Release(a0), omp.Release(a1)}, Loc: omp.Loc("main.c", 150, "main")})
+}

@@ -1,0 +1,53 @@
+// Package specaccel reproduces the performance-evaluation side of the paper
+// (§VI-E/F, Figs. 8 and 9): scaled-down analogues of the five SPEC ACCEL 1.2
+// OpenMP benchmarks the paper measures — 503.postencil (7-point stencil),
+// 504.polbm (lattice-Boltzmann), 514.pomriq (MRI-Q), 552.pep (embarrassingly
+// parallel Gaussian deviates), and 554.pcg (preconditioned conjugate
+// gradient) — plus the 503.postencil pointer-swap data mapping bug from the
+// SPEC changelog that the paper uses as its real-world case study (§VI-D,
+// Figs. 6 and 7).
+//
+// Absolute times are not comparable to the paper's testbed; the harness
+// reports slowdowns relative to the uninstrumented ("native") run so the
+// relative ordering of the tools — the shape of Fig. 8 — can be compared.
+package specaccel
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/omp"
+)
+
+// Workload is one benchmark program.
+type Workload struct {
+	// Name is the SPEC-style identifier, e.g. "503.postencil".
+	Name string
+	// Brief describes the computation.
+	Brief string
+	// Run executes the workload at the given scale (>= 1) and validates
+	// its own output, returning an error on numerical mismatch.
+	Run func(c *omp.Context, scale int) error
+}
+
+var workloads = map[string]*Workload{}
+
+func register(w *Workload) {
+	if _, dup := workloads[w.Name]; dup {
+		panic(fmt.Sprintf("specaccel: duplicate workload %s", w.Name))
+	}
+	workloads[w.Name] = w
+}
+
+// All returns the workloads sorted by name (Fig. 8's x-axis order).
+func All() []*Workload {
+	out := make([]*Workload, 0, len(workloads))
+	for _, w := range workloads {
+		out = append(out, w)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// ByName returns the named workload, or nil.
+func ByName(name string) *Workload { return workloads[name] }

@@ -1,0 +1,183 @@
+package specaccel
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/omp"
+	"repro/internal/report"
+	"repro/internal/tools"
+)
+
+func TestWorkloadRegistry(t *testing.T) {
+	want := []string{"503.postencil", "504.polbm", "514.pomriq", "552.pep", "554.pcg"}
+	all := All()
+	if len(all) != len(want) {
+		t.Fatalf("%d workloads, want %d", len(all), len(want))
+	}
+	for i, name := range want {
+		if all[i].Name != name {
+			t.Errorf("workload[%d] = %s, want %s", i, all[i].Name, name)
+		}
+		if ByName(name) == nil {
+			t.Errorf("ByName(%s) = nil", name)
+		}
+	}
+	if ByName("999.nope") != nil {
+		t.Error("ByName of unknown workload returned non-nil")
+	}
+}
+
+// TestWorkloadsValidateNative: every workload self-validates on an
+// uninstrumented runtime.
+func TestWorkloadsValidateNative(t *testing.T) {
+	for _, w := range All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			rt := omp.NewRuntime(omp.Config{NumThreads: 4})
+			if err := rt.Run(func(c *omp.Context) error { return w.Run(c, 1) }); err != nil {
+				t.Fatalf("%s: %v", w.Name, err)
+			}
+		})
+	}
+}
+
+// TestWorkloadsCleanUnderAllTools: the performance workloads are correct
+// programs; no tool may report on them (otherwise Fig. 8 would be measuring
+// report generation, and the paper's zero-false-positive claim would break).
+func TestWorkloadsCleanUnderAllTools(t *testing.T) {
+	for _, w := range All() {
+		for _, tn := range PerfTools()[1:] {
+			m, err := Run(w, tn, 1, 4)
+			if err != nil {
+				t.Fatalf("%s under %s: %v", w.Name, tn, err)
+			}
+			if m.Reports != 0 {
+				a, _ := tools.New(tn)
+				rt := omp.NewRuntime(omp.Config{NumThreads: 4}, a)
+				_ = rt.Run(func(c *omp.Context) error { return w.Run(c, 1) })
+				for _, r := range a.Sink().Reports() {
+					t.Logf("%s:\n%s", tn, r)
+				}
+				t.Errorf("%s under %s: %d unexpected reports", w.Name, tn, m.Reports)
+			}
+		}
+	}
+}
+
+// TestPostencilCaseStudy reproduces §VI-D: ARBALEST pinpoints the SPEC
+// changelog's pointer-swap bug as a stale access at the output read
+// (main.c:145, paper Fig. 7) while the four baselines stay silent.
+func TestPostencilCaseStudy(t *testing.T) {
+	runBuggy := func(tn string) tools.Analyzer {
+		a, err := tools.New(tn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rt := omp.NewRuntime(omp.Config{NumThreads: 2}, a)
+		_ = rt.Run(func(c *omp.Context) error {
+			RunPostencilBuggy(c, 1)
+			return nil
+		})
+		return a
+	}
+
+	arb := runBuggy("arbalest")
+	if arb.Sink().CountKind(report.USD) == 0 {
+		t.Fatal("Arbalest missed the postencil pointer-swap staleness")
+	}
+	var hit bool
+	for _, r := range arb.Sink().Reports() {
+		if r.Kind == report.USD && r.Loc.File == "main.c" && r.Loc.Line == 145 {
+			hit = true
+			if !strings.Contains(r.String(), "stale access") {
+				t.Errorf("report text lacks the Fig. 7 anomaly name:\n%s", r)
+			}
+		}
+	}
+	if !hit {
+		t.Error("no stale-access report at main.c:145 (the Fig. 7 location)")
+	}
+
+	for _, tn := range []string{"valgrind", "archer", "asan", "msan"} {
+		a := runBuggy(tn)
+		if a.Sink().Count() != 0 {
+			for _, r := range a.Sink().Reports() {
+				t.Logf("%s:\n%s", tn, r)
+			}
+			t.Errorf("%s unexpectedly reported on the postencil case study", tn)
+		}
+	}
+}
+
+// TestFixedPostencilClean: the corrected stencil (with the update-from) is
+// clean under Arbalest.
+func TestFixedPostencilClean(t *testing.T) {
+	m, err := Run(ByName("503.postencil"), "arbalest", 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Reports != 0 {
+		t.Errorf("%d reports on the fixed stencil", m.Reports)
+	}
+}
+
+// TestRunFig8SmallScale: the full Fig. 8 sweep runs and produces sane
+// slowdowns (instrumented >= ~native).
+func TestRunFig8SmallScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full sweep in -short mode")
+	}
+	ms, err := RunFig8(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != len(All())*len(PerfTools()) {
+		t.Fatalf("%d measurements, want %d", len(ms), len(All())*len(PerfTools()))
+	}
+	for _, m := range ms {
+		if m.Tool == "native" {
+			if m.Slowdown != 1.0 {
+				t.Errorf("%s native slowdown = %v", m.Workload, m.Slowdown)
+			}
+			continue
+		}
+		if m.Slowdown <= 0 {
+			t.Errorf("%s under %s: nonpositive slowdown %v", m.Workload, m.Tool, m.Slowdown)
+		}
+		if m.ToolPeakBytes == 0 {
+			t.Errorf("%s under %s: no shadow accounting", m.Workload, m.Tool)
+		}
+	}
+	var b8, b9 bytes.Buffer
+	if err := WriteFig8(&b8, ms); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFig9(&b9, ms); err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range All() {
+		if !strings.Contains(b8.String(), w.Name) || !strings.Contains(b9.String(), w.Name) {
+			t.Errorf("figure output missing %s", w.Name)
+		}
+	}
+	t.Logf("Fig 8 (time overhead):\n%s", b8.String())
+	t.Logf("Fig 9 (space overhead):\n%s", b9.String())
+}
+
+// TestMeasurementAccounting: app memory accounting is nonzero and the fixed
+// workload scales with the scale parameter.
+func TestMeasurementAccounting(t *testing.T) {
+	m1, err := Run(ByName("503.postencil"), "native", 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Run(ByName("503.postencil"), "native", 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1.AppPeakBytes == 0 || m2.AppPeakBytes <= m1.AppPeakBytes {
+		t.Errorf("app peak bytes do not scale: %d -> %d", m1.AppPeakBytes, m2.AppPeakBytes)
+	}
+}

@@ -1,0 +1,140 @@
+// Package tools assembles analysis-tool configurations for the evaluation
+// harnesses: it provides the uniform Analyzer interface over ARBALEST, the
+// Archer-analogue race detector, and the Valgrind/ASan/MSan analogues, plus
+// the composite configuration the paper evaluates (ARBALEST is built on
+// Archer and runs its race detection alongside the VSM analysis, §V).
+package tools
+
+import (
+	"fmt"
+
+	"repro/internal/baselines"
+	"repro/internal/core"
+	"repro/internal/ompt"
+	"repro/internal/race"
+	"repro/internal/report"
+)
+
+// Analyzer is the common surface of every analysis tool in this repository.
+type Analyzer interface {
+	ompt.Tool
+	// Sink returns the tool's report sink.
+	Sink() *report.Sink
+	// ShadowBytes returns the tool's peak shadow-state footprint.
+	ShadowBytes() uint64
+}
+
+// Names lists the tool names accepted by New, in the column order of the
+// paper's Table III.
+func Names() []string {
+	return []string{"arbalest", "valgrind", "archer", "asan", "msan"}
+}
+
+// New creates the named tool. Valid names are "arbalest" (VSM detector plus
+// its embedded Archer race detection), "arbalest-vsm" (VSM only), "archer",
+// "valgrind", "asan", and "msan".
+func New(name string) (Analyzer, error) {
+	switch name {
+	case "arbalest":
+		sink := report.NewSink()
+		return NewArbalestFull(sink), nil
+	case "arbalest-vsm":
+		return core.New(core.Options{}), nil
+	case "archer":
+		return race.New(nil), nil
+	case "valgrind":
+		return baselines.NewMemcheck(nil), nil
+	case "asan":
+		return baselines.NewASan(nil), nil
+	case "msan":
+		return baselines.NewMSan(nil), nil
+	}
+	return nil, fmt.Errorf("tools: unknown tool %q (valid: arbalest, arbalest-vsm, archer, valgrind, asan, msan)", name)
+}
+
+// ArbalestFull is ARBALEST as evaluated in the paper: the VSM-based mapping
+// issue detector running on top of Archer's race detection, sharing one
+// report sink.
+type ArbalestFull struct {
+	vsm  *core.Arbalest
+	race *race.Detector
+	sink *report.Sink
+}
+
+// NewArbalestFull builds the composite with a shared sink (fresh when nil).
+func NewArbalestFull(sink *report.Sink) *ArbalestFull {
+	if sink == nil {
+		sink = report.NewSink()
+	}
+	return &ArbalestFull{
+		vsm:  core.New(core.Options{Sink: sink}),
+		race: race.New(sink),
+		sink: sink,
+	}
+}
+
+// VSM returns the embedded mapping-issue detector.
+func (a *ArbalestFull) VSM() *core.Arbalest { return a.vsm }
+
+// Race returns the embedded race detector.
+func (a *ArbalestFull) Race() *race.Detector { return a.race }
+
+// Name implements ompt.Tool.
+func (a *ArbalestFull) Name() string { return "Arbalest" }
+
+// Sink returns the shared report sink.
+func (a *ArbalestFull) Sink() *report.Sink { return a.sink }
+
+// ShadowBytes sums the two components' shadow state.
+func (a *ArbalestFull) ShadowBytes() uint64 { return a.vsm.ShadowBytes() + a.race.ShadowBytes() }
+
+// OnDeviceInit implements ompt.Tool.
+func (a *ArbalestFull) OnDeviceInit(e ompt.DeviceInitEvent) {
+	a.vsm.OnDeviceInit(e)
+	a.race.OnDeviceInit(e)
+}
+
+// OnTargetBegin implements ompt.Tool.
+func (a *ArbalestFull) OnTargetBegin(e ompt.TargetEvent) {
+	a.vsm.OnTargetBegin(e)
+	a.race.OnTargetBegin(e)
+}
+
+// OnTargetEnd implements ompt.Tool.
+func (a *ArbalestFull) OnTargetEnd(e ompt.TargetEvent) {
+	a.vsm.OnTargetEnd(e)
+	a.race.OnTargetEnd(e)
+}
+
+// OnDataOp implements ompt.Tool.
+func (a *ArbalestFull) OnDataOp(e ompt.DataOpEvent) {
+	a.vsm.OnDataOp(e)
+	a.race.OnDataOp(e)
+}
+
+// OnAccess implements ompt.Tool.
+func (a *ArbalestFull) OnAccess(e ompt.AccessEvent) {
+	a.vsm.OnAccess(e)
+	a.race.OnAccess(e)
+}
+
+// OnSync implements ompt.Tool.
+func (a *ArbalestFull) OnSync(e ompt.SyncEvent) {
+	a.vsm.OnSync(e)
+	a.race.OnSync(e)
+}
+
+// OnAlloc implements ompt.Tool.
+func (a *ArbalestFull) OnAlloc(e ompt.AllocEvent) {
+	a.vsm.OnAlloc(e)
+	a.race.OnAlloc(e)
+}
+
+var (
+	_ Analyzer = (*ArbalestFull)(nil)
+	_ Analyzer = (*core.Arbalest)(nil)
+	_ Analyzer = (*race.Detector)(nil)
+	_ Analyzer = (*baselines.ASan)(nil)
+	_ Analyzer = (*baselines.MSan)(nil)
+	_ Analyzer = (*baselines.Memcheck)(nil)
+)

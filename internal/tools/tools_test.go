@@ -1,0 +1,97 @@
+package tools_test
+
+import (
+	"testing"
+
+	"repro/internal/omp"
+	"repro/internal/report"
+	"repro/internal/tools"
+)
+
+func TestNamesMatchTableIIIColumns(t *testing.T) {
+	want := []string{"arbalest", "valgrind", "archer", "asan", "msan"}
+	got := tools.Names()
+	if len(got) != len(want) {
+		t.Fatalf("Names() = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Names()[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestNewReturnsDistinctInstances(t *testing.T) {
+	a, err := tools.New("arbalest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := tools.New("arbalest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Sink() == b.Sink() {
+		t.Error("two arbalest instances share a sink")
+	}
+}
+
+func TestCompositeRaceAndVSMReportTogether(t *testing.T) {
+	af := tools.NewArbalestFull(nil)
+	rt := omp.NewRuntime(omp.Config{NumThreads: 2}, af)
+	_ = rt.Run(func(c *omp.Context) error {
+		v := c.AllocI64(4, "v")
+		for i := 0; i < 4; i++ {
+			c.StoreI64(v, i, 1)
+		}
+		// A staleness bug (VSM component)...
+		c.Target(omp.Opts{Maps: []omp.Map{omp.To(v)}}, func(k *omp.Context) {
+			k.StoreI64(v, 0, 2)
+		})
+		_ = c.At("t.go", 9, "main").LoadI64(v, 0)
+		// ...and a racy pair of nowait kernels (race component).
+		gate := make(chan struct{})
+		c.TargetData(omp.Opts{Maps: []omp.Map{omp.ToFrom(v)}}, func(c *omp.Context) {
+			c.Target(omp.Opts{Nowait: true, Loc: omp.Loc("t.go", 12, "main")}, func(k *omp.Context) {
+				k.At("t.go", 13, "k1").StoreI64(v, 1, 5)
+				close(gate)
+			})
+			c.Target(omp.Opts{Nowait: true, Loc: omp.Loc("t.go", 15, "main")}, func(k *omp.Context) {
+				<-gate
+				k.At("t.go", 16, "k2").StoreI64(v, 1, 6)
+			})
+			c.TaskWait()
+		})
+		return nil
+	})
+	if af.Sink().CountKind(report.USD) == 0 {
+		t.Error("composite missed the staleness")
+	}
+	if af.Sink().CountKind(report.DataRace) == 0 {
+		t.Error("composite missed the race")
+	}
+}
+
+func TestVSMOnlyVariantHasNoRaceDetection(t *testing.T) {
+	a, err := tools.New("arbalest-vsm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := omp.NewRuntime(omp.Config{NumThreads: 2}, a)
+	_ = rt.Run(func(c *omp.Context) error {
+		v := c.AllocI64(1, "v")
+		c.StoreI64(v, 0, 1)
+		gate := make(chan struct{})
+		c.TargetData(omp.Opts{Maps: []omp.Map{omp.ToFrom(v)}}, func(c *omp.Context) {
+			c.Target(omp.Opts{Nowait: true}, func(k *omp.Context) {
+				k.StoreI64(v, 0, 2)
+				close(gate)
+			})
+			<-gate
+		})
+		c.TaskWait()
+		return nil
+	})
+	if a.Sink().CountKind(report.DataRace) != 0 {
+		t.Error("VSM-only variant reported a race")
+	}
+}

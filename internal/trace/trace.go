@@ -1,0 +1,202 @@
+// Package trace records the runtime's tool-interface event stream and
+// replays it offline.
+//
+// A Recorder is itself an ompt.Tool: registered with a runtime, it captures
+// every event in order. The trace can be serialized to JSON lines, loaded
+// back, and replayed into any set of tools — so a single (possibly
+// expensive) execution can be analyzed by ARBALEST, the race detector, and
+// the baselines afterwards, or shipped elsewhere for inspection. Replaying
+// the same trace is deterministic: the same reports come out every time,
+// which the tests use to cross-check online and offline analysis.
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+
+	"repro/internal/ompt"
+)
+
+// EventKind tags a recorded event.
+type EventKind string
+
+// The recorded event kinds.
+const (
+	KindDeviceInit  EventKind = "device-init"
+	KindTargetBegin EventKind = "target-begin"
+	KindTargetEnd   EventKind = "target-end"
+	KindDataOp      EventKind = "data-op"
+	KindAccess      EventKind = "access"
+	KindSync        EventKind = "sync"
+	KindAlloc       EventKind = "alloc"
+)
+
+// Event is one recorded event. Exactly one payload field is set, selected by
+// Kind. DeviceInit events drop the space handle (it is not serializable and
+// not needed for replay).
+type Event struct {
+	Kind        EventKind         `json:"kind"`
+	Seq         uint64            `json:"seq"`
+	DeviceInit  *deviceInitRecord `json:"deviceInit,omitempty"`
+	TargetBegin *ompt.TargetEvent `json:"targetBegin,omitempty"`
+	TargetEnd   *ompt.TargetEvent `json:"targetEnd,omitempty"`
+	DataOp      *ompt.DataOpEvent `json:"dataOp,omitempty"`
+	Access      *ompt.AccessEvent `json:"access,omitempty"`
+	Sync        *ompt.SyncEvent   `json:"sync,omitempty"`
+	Alloc       *ompt.AllocEvent  `json:"alloc,omitempty"`
+}
+
+// deviceInitRecord is the serializable part of a DeviceInitEvent.
+type deviceInitRecord struct {
+	Device  ompt.DeviceID `json:"device"`
+	Name    string        `json:"name"`
+	Unified bool          `json:"unified"`
+}
+
+// Recorder captures the event stream. It is safe for concurrent use; events
+// from concurrent tasks are recorded in the serialization order the recorder
+// observes, which is one valid interleaving of the execution.
+type Recorder struct {
+	mu     sync.Mutex
+	events []Event
+	seq    uint64
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// Name implements ompt.Tool.
+func (r *Recorder) Name() string { return "trace-recorder" }
+
+func (r *Recorder) add(e Event) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e.Seq = r.seq
+	r.seq++
+	r.events = append(r.events, e)
+}
+
+// OnDeviceInit implements ompt.Tool.
+func (r *Recorder) OnDeviceInit(e ompt.DeviceInitEvent) {
+	r.add(Event{Kind: KindDeviceInit, DeviceInit: &deviceInitRecord{
+		Device: e.Device, Name: e.Name, Unified: e.Unified,
+	}})
+}
+
+// OnTargetBegin implements ompt.Tool.
+func (r *Recorder) OnTargetBegin(e ompt.TargetEvent) {
+	r.add(Event{Kind: KindTargetBegin, TargetBegin: &e})
+}
+
+// OnTargetEnd implements ompt.Tool.
+func (r *Recorder) OnTargetEnd(e ompt.TargetEvent) {
+	r.add(Event{Kind: KindTargetEnd, TargetEnd: &e})
+}
+
+// OnDataOp implements ompt.Tool.
+func (r *Recorder) OnDataOp(e ompt.DataOpEvent) {
+	r.add(Event{Kind: KindDataOp, DataOp: &e})
+}
+
+// OnAccess implements ompt.Tool.
+func (r *Recorder) OnAccess(e ompt.AccessEvent) {
+	r.add(Event{Kind: KindAccess, Access: &e})
+}
+
+// OnSync implements ompt.Tool.
+func (r *Recorder) OnSync(e ompt.SyncEvent) {
+	r.add(Event{Kind: KindSync, Sync: &e})
+}
+
+// OnAlloc implements ompt.Tool.
+func (r *Recorder) OnAlloc(e ompt.AllocEvent) {
+	r.add(Event{Kind: KindAlloc, Alloc: &e})
+}
+
+// Len returns the number of recorded events.
+func (r *Recorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.events)
+}
+
+// Trace returns a snapshot of the recorded events.
+func (r *Recorder) Trace() *Trace {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Event, len(r.events))
+	copy(out, r.events)
+	return &Trace{Events: out}
+}
+
+var _ ompt.Tool = (*Recorder)(nil)
+
+// Trace is a recorded event stream.
+type Trace struct {
+	Events []Event
+}
+
+// Replay drives the trace through the given tools, in recorded order.
+func (t *Trace) Replay(toolList ...ompt.Tool) error {
+	var d ompt.Dispatcher
+	for _, tool := range toolList {
+		d.Register(tool)
+	}
+	for _, e := range t.Events {
+		switch e.Kind {
+		case KindDeviceInit:
+			if e.DeviceInit == nil {
+				return fmt.Errorf("trace: event %d: missing deviceInit payload", e.Seq)
+			}
+			d.DeviceInit(ompt.DeviceInitEvent{
+				Device: e.DeviceInit.Device, Name: e.DeviceInit.Name, Unified: e.DeviceInit.Unified,
+			})
+		case KindTargetBegin:
+			d.TargetBegin(*e.TargetBegin)
+		case KindTargetEnd:
+			d.TargetEnd(*e.TargetEnd)
+		case KindDataOp:
+			d.DataOp(*e.DataOp)
+		case KindAccess:
+			d.Access(*e.Access)
+		case KindSync:
+			d.Sync(*e.Sync)
+		case KindAlloc:
+			d.Alloc(*e.Alloc)
+		default:
+			return fmt.Errorf("trace: event %d: unknown kind %q", e.Seq, e.Kind)
+		}
+	}
+	return nil
+}
+
+// Save writes the trace as JSON lines.
+func (t *Trace) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i := range t.Events {
+		if err := enc.Encode(&t.Events[i]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Load reads a JSON-lines trace.
+func Load(r io.Reader) (*Trace, error) {
+	dec := json.NewDecoder(bufio.NewReader(r))
+	t := &Trace{}
+	for {
+		var e Event
+		if err := dec.Decode(&e); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("trace: %w", err)
+		}
+		t.Events = append(t.Events, e)
+	}
+	return t, nil
+}

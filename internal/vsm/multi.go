@@ -1,0 +1,105 @@
+package vsm
+
+import "fmt"
+
+// Tuple is the (n+1)-tuple generalization of the VSM state for programs
+// using n accelerators (paper §IV-C): one validity bit and one
+// initialization bit per storage location. Location 0 is the host; location
+// d+1 is device d. Up to 64 locations are supported.
+type Tuple struct {
+	Valid uint64 // bit i: location i holds the last write
+	Init  uint64 // bit i: location i was ever initialized
+}
+
+// HostLoc is the host's location index in a Tuple.
+const HostLoc = 0
+
+// DeviceLoc converts a device number to its tuple location index.
+func DeviceLoc(d int) int { return d + 1 }
+
+// MaxLocations is the largest number of storage locations a Tuple tracks.
+const MaxLocations = 64
+
+func bit(loc int) uint64 {
+	if loc < 0 || loc >= MaxLocations {
+		panic(fmt.Sprintf("vsm: location %d out of range", loc))
+	}
+	return 1 << uint(loc)
+}
+
+// ValidAt reports whether location loc holds the last write.
+func (t Tuple) ValidAt(loc int) bool { return t.Valid&bit(loc) != 0 }
+
+// InitAt reports whether location loc was ever initialized.
+func (t Tuple) InitAt(loc int) bool { return t.Init&bit(loc) != 0 }
+
+// Read checks a read at location loc. The tuple is unchanged; the returned
+// kind is NoIssue when loc is valid, otherwise UUM or USD depending on
+// whether loc was ever initialized.
+func (t Tuple) Read(loc int) IssueKind {
+	if t.ValidAt(loc) {
+		return NoIssue
+	}
+	if t.InitAt(loc) {
+		return USD
+	}
+	return UUM
+}
+
+// Write applies a write at location loc: loc becomes the sole valid
+// location and is marked initialized.
+func (t Tuple) Write(loc int) Tuple {
+	return Tuple{Valid: bit(loc), Init: t.Init | bit(loc)}
+}
+
+// Update applies a copy from location src to location dst: dst inherits
+// src's validity and initialization. Copying from an invalid location makes
+// dst invalid — how `host` transitions to `invalid` on update_host in the
+// two-location machine.
+func (t Tuple) Update(dst, src int) Tuple {
+	if t.Valid&bit(src) != 0 {
+		t.Valid |= bit(dst)
+	} else {
+		t.Valid &^= bit(dst)
+	}
+	if t.Init&bit(src) != 0 {
+		t.Init |= bit(dst)
+	} else {
+		t.Init &^= bit(dst)
+	}
+	return t
+}
+
+// Allocate creates fresh storage at location loc: invalid, uninitialized.
+func (t Tuple) Allocate(loc int) Tuple {
+	t.Valid &^= bit(loc)
+	t.Init &^= bit(loc)
+	return t
+}
+
+// Release destroys the storage at location loc (same effect on the tuple as
+// Allocate: loc no longer holds anything).
+func (t Tuple) Release(loc int) Tuple { return t.Allocate(loc) }
+
+// AnyValid reports whether at least one location holds the last write.
+func (t Tuple) AnyValid() bool { return t.Valid != 0 }
+
+// Pack encodes the tuple into a single uint64 for atomic storage: the low 32
+// bits hold validity, the high 32 bits initialization. Panics if a location
+// >= 32 is used (32 locations are ample for the simulation).
+func (t Tuple) Pack() uint64 {
+	if t.Valid>>32 != 0 || t.Init>>32 != 0 {
+		panic("vsm: Pack supports at most 32 locations")
+	}
+	return t.Valid | t.Init<<32
+}
+
+// UnpackTuple reverses Pack.
+func UnpackTuple(v uint64) Tuple {
+	return Tuple{Valid: v & 0xFFFFFFFF, Init: v >> 32}
+}
+
+// String renders the tuple for reports.
+func (t Tuple) String() string {
+	return fmt.Sprintf("{valid:%#x init:%#x}", t.Valid, t.Init)
+}

@@ -1,0 +1,163 @@
+package vsm
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/shadow"
+)
+
+func TestTupleBasics(t *testing.T) {
+	var tp Tuple
+	if tp.Read(HostLoc) != UUM {
+		t.Error("fresh tuple read should be UUM")
+	}
+	tp = tp.Write(HostLoc)
+	if !tp.ValidAt(HostLoc) || !tp.InitAt(HostLoc) {
+		t.Error("write did not set host bits")
+	}
+	if tp.Read(HostLoc) != NoIssue {
+		t.Error("read after write flagged")
+	}
+	// Write on device 1 invalidates host.
+	tp = tp.Write(DeviceLoc(1))
+	if tp.ValidAt(HostLoc) {
+		t.Error("host still valid after device write")
+	}
+	if tp.Read(HostLoc) != USD {
+		t.Error("stale host read should be USD")
+	}
+	if tp.Read(DeviceLoc(0)) != UUM {
+		t.Error("never-touched device read should be UUM")
+	}
+}
+
+func TestTupleUpdatePropagation(t *testing.T) {
+	var tp Tuple
+	tp = tp.Write(HostLoc)
+	tp = tp.Allocate(DeviceLoc(0))
+	tp = tp.Update(DeviceLoc(0), HostLoc) // H2D copy
+	if tp.Read(DeviceLoc(0)) != NoIssue {
+		t.Error("device read after H2D copy flagged")
+	}
+	if tp.Read(HostLoc) != NoIssue {
+		t.Error("host invalidated by H2D copy")
+	}
+	// Copying an invalid location poisons the destination.
+	tp = tp.Write(DeviceLoc(1))           // device1 now sole valid
+	tp = tp.Update(HostLoc, DeviceLoc(0)) // device0 is stale -> host becomes stale
+	if tp.Read(HostLoc) != USD {
+		t.Errorf("host read after stale copy = %v, want USD", tp.Read(HostLoc))
+	}
+}
+
+func TestTupleThreeDevicePipeline(t *testing.T) {
+	// host -> dev0 -> host -> dev1 relay; every read in the relay is legal.
+	var tp Tuple
+	tp = tp.Write(HostLoc)
+	tp = tp.Allocate(DeviceLoc(0))
+	tp = tp.Update(DeviceLoc(0), HostLoc)
+	if tp.Read(DeviceLoc(0)) != NoIssue {
+		t.Fatal("dev0 read flagged")
+	}
+	tp = tp.Write(DeviceLoc(0))
+	tp = tp.Update(HostLoc, DeviceLoc(0))
+	if tp.Read(HostLoc) != NoIssue {
+		t.Fatal("host read flagged after copy-back")
+	}
+	tp = tp.Allocate(DeviceLoc(1))
+	tp = tp.Update(DeviceLoc(1), HostLoc)
+	if tp.Read(DeviceLoc(1)) != NoIssue {
+		t.Fatal("dev1 read flagged")
+	}
+	// But dev0 is now stale relative to its own write? No: dev0 still
+	// holds the last write it made and was the source of the host copy, so
+	// it remains valid.
+	if tp.Read(DeviceLoc(0)) != NoIssue {
+		t.Error("dev0 lost validity without an intervening write")
+	}
+	// A new host write invalidates both devices.
+	tp = tp.Write(HostLoc)
+	if tp.Read(DeviceLoc(0)) != USD || tp.Read(DeviceLoc(1)) != USD {
+		t.Error("devices not invalidated by host write")
+	}
+}
+
+func TestTupleRelease(t *testing.T) {
+	var tp Tuple
+	tp = tp.Write(DeviceLoc(0))
+	tp = tp.Release(DeviceLoc(0))
+	if tp.AnyValid() {
+		t.Error("release of sole valid location should leave nothing valid")
+	}
+	if tp.Read(HostLoc) != UUM {
+		t.Error("host read after losing sole copy should be UUM (host never initialized)")
+	}
+}
+
+func TestTuplePackRoundTrip(t *testing.T) {
+	f := func(valid, init uint32) bool {
+		tp := Tuple{Valid: uint64(valid), Init: uint64(init)}
+		return UnpackTuple(tp.Pack()) == tp
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestTupleMatchesSingleDeviceVSM: property — with one device, the tuple
+// machine agrees with the packed shadow.Word machine on every operation
+// sequence, both in resulting state and in reported issues.
+func TestTupleMatchesSingleDeviceVSM(t *testing.T) {
+	apply := func(tp Tuple, op Op) (Tuple, IssueKind) {
+		switch op {
+		case ReadHost:
+			return tp, tp.Read(HostLoc)
+		case ReadTarget:
+			return tp, tp.Read(DeviceLoc(0))
+		case WriteHost:
+			return tp.Write(HostLoc), NoIssue
+		case WriteTarget:
+			return tp.Write(DeviceLoc(0)), NoIssue
+		case UpdateHost:
+			return tp.Update(HostLoc, DeviceLoc(0)), NoIssue
+		case UpdateTarget:
+			return tp.Update(DeviceLoc(0), HostLoc), NoIssue
+		case Allocate:
+			return tp.Allocate(DeviceLoc(0)), NoIssue
+		case Release:
+			return tp.Release(DeviceLoc(0)), NoIssue
+		}
+		panic("bad op")
+	}
+	f := func(ops []uint8) bool {
+		w := shadow.Word(0)
+		var tp Tuple
+		for _, o := range ops {
+			op := Op(o % 8)
+			var kw, kt IssueKind
+			w, kw = Transition(w, op)
+			tp, kt = apply(tp, op)
+			if kw != kt {
+				return false
+			}
+			if w.OVValid() != tp.ValidAt(HostLoc) || w.CVValid() != tp.ValidAt(DeviceLoc(0)) {
+				return false
+			}
+			if w.OVInit() != tp.InitAt(HostLoc) || w.CVInit() != tp.InitAt(DeviceLoc(0)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTupleString(t *testing.T) {
+	tp := Tuple{Valid: 1, Init: 3}
+	if tp.String() == "" {
+		t.Error("empty String")
+	}
+}

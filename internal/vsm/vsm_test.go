@@ -1,0 +1,249 @@
+package vsm
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/shadow"
+)
+
+func fromState(s shadow.State) shadow.Word {
+	w := shadow.Word(0).WithState(s)
+	// Give plausible init bits: a valid location has necessarily been
+	// initialized.
+	if w.OVValid() {
+		w = w.WithOVInit(true)
+	}
+	if w.CVValid() {
+		w = w.WithCVInit(true)
+	}
+	return w
+}
+
+// TestTransitionTableFig4 checks every edge of the paper's Fig. 4 diagram.
+func TestTransitionTableFig4(t *testing.T) {
+	cases := []struct {
+		start shadow.State
+		op    Op
+		want  shadow.State
+		issue bool
+	}{
+		// invalid
+		{shadow.Invalid, ReadHost, shadow.Invalid, true},
+		{shadow.Invalid, ReadTarget, shadow.Invalid, true},
+		{shadow.Invalid, WriteHost, shadow.HostOnly, false},
+		{shadow.Invalid, WriteTarget, shadow.TargetOnly, false},
+		{shadow.Invalid, UpdateHost, shadow.Invalid, false},
+		{shadow.Invalid, UpdateTarget, shadow.Invalid, false},
+		{shadow.Invalid, Allocate, shadow.Invalid, false},
+		{shadow.Invalid, Release, shadow.Invalid, false},
+		// host
+		{shadow.HostOnly, ReadHost, shadow.HostOnly, false},
+		{shadow.HostOnly, ReadTarget, shadow.HostOnly, true},
+		{shadow.HostOnly, WriteHost, shadow.HostOnly, false},
+		{shadow.HostOnly, WriteTarget, shadow.TargetOnly, false},
+		{shadow.HostOnly, UpdateHost, shadow.Invalid, false}, // OV overwritten by invalid CV
+		{shadow.HostOnly, UpdateTarget, shadow.Consistent, false},
+		{shadow.HostOnly, Allocate, shadow.HostOnly, false},
+		{shadow.HostOnly, Release, shadow.HostOnly, false},
+		// target
+		{shadow.TargetOnly, ReadHost, shadow.TargetOnly, true},
+		{shadow.TargetOnly, ReadTarget, shadow.TargetOnly, false},
+		{shadow.TargetOnly, WriteHost, shadow.HostOnly, false},
+		{shadow.TargetOnly, WriteTarget, shadow.TargetOnly, false},
+		{shadow.TargetOnly, UpdateHost, shadow.Consistent, false},
+		{shadow.TargetOnly, UpdateTarget, shadow.Invalid, false}, // CV overwritten by invalid OV
+		{shadow.TargetOnly, Release, shadow.Invalid, false},      // the two target->invalid edges (§IV-B)
+		// consistent
+		{shadow.Consistent, ReadHost, shadow.Consistent, false},
+		{shadow.Consistent, ReadTarget, shadow.Consistent, false},
+		{shadow.Consistent, WriteHost, shadow.HostOnly, false},
+		{shadow.Consistent, WriteTarget, shadow.TargetOnly, false},
+		{shadow.Consistent, UpdateHost, shadow.Consistent, false},
+		{shadow.Consistent, UpdateTarget, shadow.Consistent, false},
+		{shadow.Consistent, Release, shadow.HostOnly, false},
+	}
+	for _, c := range cases {
+		w, issue := Transition(fromState(c.start), c.op)
+		if w.State() != c.want {
+			t.Errorf("%v --%v--> %v, want %v", c.start, c.op, w.State(), c.want)
+		}
+		if (issue != NoIssue) != c.issue {
+			t.Errorf("%v --%v--> issue %v, want issue=%t", c.start, c.op, issue, c.issue)
+		}
+	}
+}
+
+func TestUUMvsUSDClassification(t *testing.T) {
+	// Fresh word, never written anywhere: reads are UUM.
+	w := shadow.Word(0)
+	if _, k := Transition(w, ReadHost); k != UUM {
+		t.Errorf("read_host of fresh word = %v, want UUM", k)
+	}
+	if _, k := Transition(w, ReadTarget); k != UUM {
+		t.Errorf("read_target of fresh word = %v, want UUM", k)
+	}
+
+	// Host writes, kernel writes (state target), host reads: the OV holds
+	// an old value -> USD.
+	w, _ = Transition(w, WriteHost)
+	w, _ = Transition(w, WriteTarget)
+	if _, k := Transition(w, ReadHost); k != USD {
+		t.Errorf("stale host read = %v, want USD", k)
+	}
+
+	// map(alloc:) scenario (paper Fig 1): host wrote, CV allocated but
+	// never transferred; device read is UUM.
+	w2 := shadow.Word(0)
+	w2, _ = Transition(w2, WriteHost)
+	w2, _ = Transition(w2, Allocate)
+	if _, k := Transition(w2, ReadTarget); k != UUM {
+		t.Errorf("device read of alloc-mapped CV = %v, want UUM", k)
+	}
+}
+
+func TestUpdatePropagatesInitBits(t *testing.T) {
+	// Copy-back of a never-initialized CV poisons the OV: a subsequent
+	// host read is UUM, not USD.
+	w := shadow.Word(0)
+	w, _ = Transition(w, WriteHost) // OV init
+	w, _ = Transition(w, Allocate)
+	w, _ = Transition(w, UpdateHost) // CV(uninit) -> OV
+	if w.State() != shadow.Invalid {
+		t.Fatalf("state after poisoning copy-back = %v", w.State())
+	}
+	if _, k := Transition(w, ReadHost); k != UUM {
+		t.Errorf("read after poisoning copy-back = %v, want UUM", k)
+	}
+}
+
+func TestFig1Sequence(t *testing.T) {
+	// DRACC_OMP_022 (paper Fig 1): b initialized on host, map(alloc:) on
+	// entry, kernel reads b -> UUM at the kernel read.
+	w := shadow.Word(0)
+	w, k := Transition(w, WriteHost)
+	if k != NoIssue {
+		t.Fatal("init write flagged")
+	}
+	w, k = Transition(w, Allocate)
+	if k != NoIssue {
+		t.Fatal("allocate flagged")
+	}
+	if _, k = Transition(w, ReadTarget); k != UUM {
+		t.Errorf("kernel read = %v, want UUM", k)
+	}
+}
+
+func TestFig2StaleReadSequence(t *testing.T) {
+	// Paper Fig 2 lines 2-5: map(to: a), kernel increments a, host reads a
+	// after the region -> USD (the fix is map-type tofrom).
+	w := shadow.Word(0)
+	w, _ = Transition(w, WriteHost)    // int a = 1
+	w, _ = Transition(w, Allocate)     // entry: new CV
+	w, _ = Transition(w, UpdateTarget) // entry: memcpy(CV, OV) for `to`
+	if w.State() != shadow.Consistent {
+		t.Fatalf("after entry: %v", w.State())
+	}
+	w, _ = Transition(w, ReadTarget)  // a += 1 reads
+	w, _ = Transition(w, WriteTarget) // ... and writes
+	w, _ = Transition(w, Release)     // exit for `to`: delete CV, no copy
+	if w.State() != shadow.Invalid {
+		t.Fatalf("after exit: %v (target --release--> invalid)", w.State())
+	}
+	if _, k := Transition(w, ReadHost); k != USD {
+		t.Errorf("host printf read = %v, want USD", k)
+	}
+}
+
+func TestCorrectToFromSequenceIsClean(t *testing.T) {
+	ops := []Op{
+		WriteHost,               // init
+		Allocate,                // entry
+		UpdateTarget,            // to
+		ReadTarget, WriteTarget, // kernel
+		UpdateHost, // exit from
+		Release,
+		ReadHost, // host consumes result
+	}
+	w := shadow.Word(0)
+	for i, op := range ops {
+		var k IssueKind
+		w, k = Transition(w, op)
+		if k != NoIssue {
+			t.Fatalf("op %d (%v) flagged %v", i, op, k)
+		}
+	}
+}
+
+// TestTransitionPreservesMetadata: transitions must not clobber TID, clock,
+// size, offset fields (they are maintained by the detector, not the VSM).
+func TestTransitionPreservesMetadata(t *testing.T) {
+	f := func(tid uint32, clk uint64, opSel uint8) bool {
+		tid &= shadow.MaxTID
+		clk &= shadow.MaxClock
+		op := Op(opSel % 8)
+		w := shadow.Word(0).WithTID(tid).WithClock(clk).WithIsWrite(true).WithAccessSize(4).WithOffset(3)
+		nw, _ := Transition(w, op)
+		return nw.TID() == tid && nw.Clock() == clk && nw.IsWrite() && nw.AccessSize() == 4 && nw.Offset() == 3
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestNoIssueImpliesNoStateLoss: property — after any legal operation
+// sequence ending in a write, a read on the written side never reports.
+func TestWriteThenSameSideReadNeverReports(t *testing.T) {
+	f := func(ops []uint8, hostSide bool) bool {
+		w := shadow.Word(0)
+		for _, o := range ops {
+			w, _ = Transition(w, Op(o%8))
+		}
+		if hostSide {
+			w, _ = Transition(w, WriteHost)
+			_, k := Transition(w, ReadHost)
+			return k == NoIssue
+		}
+		w, _ = Transition(w, WriteTarget)
+		_, k := Transition(w, ReadTarget)
+		return k == NoIssue
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestValidImpliesInit: property — a valid location is always initialized,
+// under every operation sequence.
+func TestValidImpliesInit(t *testing.T) {
+	f := func(ops []uint8) bool {
+		w := shadow.Word(0)
+		for _, o := range ops {
+			w, _ = Transition(w, Op(o%8))
+			if w.OVValid() && !w.OVInit() {
+				return false
+			}
+			if w.CVValid() && !w.CVInit() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOpStrings(t *testing.T) {
+	for op := ReadHost; op <= Release; op++ {
+		if op.String() == "" || op.String()[0] == 'O' {
+			t.Errorf("missing name for op %d", op)
+		}
+	}
+	if !ReadHost.IsRead() || !ReadTarget.IsRead() || WriteHost.IsRead() {
+		t.Error("IsRead wrong")
+	}
+	if NoIssue.String() == "" || UUM.String() == "" || USD.String() == "" {
+		t.Error("IssueKind names empty")
+	}
+}
