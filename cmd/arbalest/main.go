@@ -12,16 +12,22 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/dracc"
 	"repro/internal/omp"
 	"repro/internal/ompt"
+	"repro/internal/service"
 	"repro/internal/specaccel"
 	"repro/internal/tools"
 	"repro/internal/trace"
@@ -34,6 +40,8 @@ func main() {
 	repairFlag := flag.Bool("repair", false, "repair stale accesses on the fly (paper §III-C); implies -tool arbalest-vsm")
 	saveTrace := flag.String("save-trace", "", "record the execution's tool-interface events to this JSON-lines file")
 	replayTrace := flag.String("replay-trace", "", "skip execution: replay a recorded trace file into the chosen tool")
+	jsonOut := flag.Bool("json", false, "emit the result as JSON (the same summary schema arbalestd serves)")
+	submit := flag.String("submit", "", "arbalestd base URL (e.g. http://localhost:8321): record the program's trace and submit it for remote analysis instead of analyzing locally")
 	flag.Parse()
 
 	if *list {
@@ -41,10 +49,13 @@ func main() {
 		return
 	}
 	if *replayTrace != "" {
-		os.Exit(runReplay(*replayTrace, *tool))
+		if *submit != "" {
+			os.Exit(submitTraceFile(*submit, *replayTrace, *tool, *jsonOut))
+		}
+		os.Exit(runReplay(*replayTrace, *tool, *jsonOut))
 	}
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: arbalest [-tool name] [-theorem1] <program>   (see -list)")
+		fmt.Fprintln(os.Stderr, "usage: arbalest [-tool name] [-theorem1] [-submit url] <program>   (see -list)")
 		os.Exit(2)
 	}
 	name := flag.Arg(0)
@@ -57,6 +68,10 @@ func main() {
 
 	if *theorem1 {
 		os.Exit(runTheorem1(name, run))
+	}
+
+	if *submit != "" {
+		os.Exit(submitProgram(*submit, name, run, *tool, *saveTrace, *jsonOut))
 	}
 
 	if *repairFlag {
@@ -94,6 +109,14 @@ func main() {
 		fmt.Printf("trace (%d events) written to %s\n", recorder.Len(), *saveTrace)
 	}
 
+	if *jsonOut {
+		summary := tools.Summarize(a)
+		printJSON(summary)
+		if summary.Issues > 0 {
+			os.Exit(1)
+		}
+		return
+	}
 	reports := a.Sink().Reports()
 	if len(reports) == 0 {
 		fmt.Printf("%s: no issues detected in %s\n", a.Name(), name)
@@ -104,6 +127,13 @@ func main() {
 	}
 	fmt.Printf("%s: %d issue(s) detected in %s\n", a.Name(), len(reports), name)
 	os.Exit(1)
+}
+
+// printJSON writes v to stdout as indented JSON.
+func printJSON(v any) {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
 }
 
 // writeTrace saves a recorded trace to path.
@@ -117,7 +147,7 @@ func writeTrace(path string, rec *trace.Recorder) error {
 }
 
 // runReplay loads a trace file and replays it into the chosen tool.
-func runReplay(path, toolName string) int {
+func runReplay(path, toolName string, jsonOut bool) int {
 	f, err := os.Open(path)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "arbalest:", err)
@@ -138,6 +168,14 @@ func runReplay(path, toolName string) int {
 		fmt.Fprintln(os.Stderr, "arbalest:", err)
 		return 2
 	}
+	if jsonOut {
+		summary := tools.Summarize(a)
+		printJSON(summary)
+		if summary.Issues > 0 {
+			return 1
+		}
+		return 0
+	}
 	reports := a.Sink().Reports()
 	fmt.Printf("replayed %d events from %s under %s\n", len(tr.Events), path, a.Name())
 	for _, r := range reports {
@@ -149,6 +187,127 @@ func runReplay(path, toolName string) int {
 	}
 	fmt.Printf("%s: %d issue(s) detected\n", a.Name(), len(reports))
 	return 1
+}
+
+// submitProgram records name's execution as a trace and pushes it to an
+// arbalestd daemon, closing the record -> submit -> analyze loop. The trace
+// is recorded with the same runtime configuration a local run under toolName
+// would use, so daemon results match one-shot results.
+func submitProgram(baseURL, name string, run func(c *omp.Context), toolName, savePath string, jsonOut bool) int {
+	recorder := trace.NewRecorder()
+	rt := omp.NewRuntime(omp.Config{NumThreads: 4, ForceSync: strings.HasPrefix(toolName, "arbalest")}, recorder)
+	if err := rt.Run(func(c *omp.Context) error {
+		run(c)
+		return nil
+	}); err != nil {
+		fmt.Fprintf(os.Stderr, "note: simulated runtime fault (often part of the bug): %v\n", err)
+	}
+	if savePath != "" {
+		if err := writeTrace(savePath, recorder); err != nil {
+			fmt.Fprintln(os.Stderr, "arbalest:", err)
+			return 1
+		}
+	}
+	return submitTrace(baseURL, recorder.Trace(), toolName, jsonOut)
+}
+
+// submitTraceFile pushes an already-recorded trace file to the daemon.
+func submitTraceFile(baseURL, path, toolName string, jsonOut bool) int {
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "arbalest:", err)
+		return 2
+	}
+	defer f.Close()
+	tr, err := trace.Load(f)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "arbalest:", err)
+		return 2
+	}
+	return submitTrace(baseURL, tr, toolName, jsonOut)
+}
+
+// submitTrace POSTs tr to the daemon, polls the job until it settles, and
+// prints the result.
+func submitTrace(baseURL string, tr *trace.Trace, toolName string, jsonOut bool) int {
+	baseURL = strings.TrimSuffix(baseURL, "/")
+	var buf bytes.Buffer
+	if err := tr.Save(&buf); err != nil {
+		fmt.Fprintln(os.Stderr, "arbalest:", err)
+		return 2
+	}
+	client := &http.Client{Timeout: 30 * time.Second}
+	resp, err := client.Post(baseURL+"/v1/jobs?tool="+toolName, "application/x-ndjson", &buf)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "arbalest: submit:", err)
+		return 2
+	}
+	view, err := decodeJob(resp)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "arbalest: submit:", err)
+		return 2
+	}
+	fmt.Fprintf(os.Stderr, "submitted %d events as %s to %s\n", view.Events, view.ID, baseURL)
+
+	deadline := time.Now().Add(5 * time.Minute)
+	for view.Status != service.StatusDone && view.Status != service.StatusFailed {
+		if time.Now().After(deadline) {
+			fmt.Fprintf(os.Stderr, "arbalest: job %s still %s after 5m; gave up\n", view.ID, view.Status)
+			return 2
+		}
+		time.Sleep(100 * time.Millisecond)
+		resp, err := client.Get(baseURL + "/v1/jobs/" + view.ID)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "arbalest: poll:", err)
+			return 2
+		}
+		if view, err = decodeJob(resp); err != nil {
+			fmt.Fprintln(os.Stderr, "arbalest: poll:", err)
+			return 2
+		}
+	}
+
+	if jsonOut {
+		printJSON(view)
+	} else if view.Status == service.StatusFailed {
+		fmt.Fprintf(os.Stderr, "arbalest: job %s failed: %s\n", view.ID, view.Error)
+	} else {
+		for i := range view.Result.Reports {
+			fmt.Println(&view.Result.Reports[i])
+		}
+		fmt.Printf("%s (remote): %d issue(s) detected\n", view.Result.Tool, view.Result.Issues)
+	}
+	switch {
+	case view.Status == service.StatusFailed:
+		return 2
+	case view.Result != nil && view.Result.Issues > 0:
+		return 1
+	}
+	return 0
+}
+
+// decodeJob reads one JobView from an arbalestd response, surfacing the
+// daemon's error body on non-2xx statuses.
+func decodeJob(resp *http.Response) (service.JobView, error) {
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	if err != nil {
+		return service.JobView{}, err
+	}
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		var e struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(body, &e) == nil && e.Error != "" {
+			return service.JobView{}, fmt.Errorf("%s: %s", resp.Status, e.Error)
+		}
+		return service.JobView{}, fmt.Errorf("%s", resp.Status)
+	}
+	var view service.JobView
+	if err := json.Unmarshal(body, &view); err != nil {
+		return service.JobView{}, err
+	}
+	return view, nil
 }
 
 // runTheorem1 applies the two-hypothesis procedure of paper §IV-E and

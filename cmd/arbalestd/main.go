@@ -1,0 +1,87 @@
+// Command arbalestd is the ARBALEST analysis daemon: it accepts recorded
+// tool-interface traces over HTTP, replays each through a fresh analysis
+// tool on a bounded worker pool, and serves the diagnostics as JSON.
+//
+// Usage:
+//
+//	arbalestd [-addr :8321] [-workers N] [-queue N] [-max-events N]
+//	          [-max-body BYTES] [-timeout DUR]
+//
+// API:
+//
+//	POST /v1/jobs?tool=arbalest   body: JSON-lines trace (trace.Save format)
+//	GET  /v1/jobs                 list jobs
+//	GET  /v1/jobs/<id>            job status + result
+//	GET  /metrics                 counters (Prometheus text format)
+//	GET  /healthz                 liveness
+//
+// Traces are produced by `arbalest -save-trace out.jsonl <program>` and can
+// be pushed directly with `arbalest -submit http://host:8321 <program>` or
+// `curl --data-binary @out.jsonl`.
+//
+// SIGINT/SIGTERM trigger a graceful shutdown: the listener closes, accepted
+// jobs drain, then the process exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", ":8321", "listen address")
+	workers := flag.Int("workers", 0, "replay worker pool size (0 = GOMAXPROCS)")
+	queue := flag.Int("queue", 64, "bounded job-queue size; full queue returns 429")
+	maxEvents := flag.Int("max-events", 1<<20, "per-job trace event limit")
+	maxBody := flag.Int64("max-body", 64<<20, "per-upload body size limit in bytes")
+	timeout := flag.Duration("timeout", 0, "per-job replay timeout (0 = unlimited)")
+	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown drain budget")
+	flag.Parse()
+
+	svc := service.New(service.Config{
+		Workers:       *workers,
+		QueueSize:     *queue,
+		MaxEvents:     *maxEvents,
+		MaxBodyBytes:  *maxBody,
+		ReplayTimeout: *timeout,
+	})
+	svc.Start()
+
+	srv := &http.Server{Addr: *addr, Handler: svc.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	fmt.Printf("arbalestd: listening on %s (%d workers, queue %d)\n",
+		*addr, svc.Config().Workers, svc.Config().QueueSize)
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, "arbalestd:", err)
+			os.Exit(1)
+		}
+	case <-ctx.Done():
+	}
+
+	fmt.Println("arbalestd: shutting down, draining jobs...")
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(drainCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "arbalestd: http shutdown:", err)
+	}
+	if err := svc.Shutdown(drainCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "arbalestd: job drain:", err)
+		os.Exit(1)
+	}
+	fmt.Println("arbalestd: done")
+}

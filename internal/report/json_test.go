@@ -1,0 +1,69 @@
+package report
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"repro/internal/ompt"
+)
+
+// TestKindJSONRoundTrip: every kind marshals to its stable label and back.
+func TestKindJSONRoundTrip(t *testing.T) {
+	for _, k := range []Kind{UUM, USD, BufferOverflow, DataRace, InvalidAccess} {
+		b, err := json.Marshal(k)
+		if err != nil {
+			t.Fatalf("%v: %v", k, err)
+		}
+		if string(b) != `"`+k.Label()+`"` {
+			t.Errorf("%v marshals to %s, want %q", k, b, k.Label())
+		}
+		var back Kind
+		if err := json.Unmarshal(b, &back); err != nil {
+			t.Fatalf("%v: unmarshal: %v", k, err)
+		}
+		if back != k {
+			t.Errorf("round trip %v -> %s -> %v", k, b, back)
+		}
+	}
+}
+
+func TestKindUnmarshalErrors(t *testing.T) {
+	var k Kind
+	if err := json.Unmarshal([]byte(`"NoSuchKind"`), &k); err == nil {
+		t.Error("unknown label accepted")
+	}
+	// The numeric form is accepted for forward compatibility.
+	if err := json.Unmarshal([]byte(`1`), &k); err != nil || k != USD {
+		t.Errorf("numeric form: kind %v err %v, want USD", k, err)
+	}
+}
+
+// TestReportJSONRoundTrip: a fully-populated report survives JSON.
+func TestReportJSONRoundTrip(t *testing.T) {
+	r := Report{
+		Tool:       "Arbalest",
+		Kind:       USD,
+		Var:        "a",
+		Addr:       0xdead00,
+		Size:       8,
+		Write:      false,
+		Device:     0,
+		Thread:     3,
+		Loc:        ompt.SourceLoc{File: "stencil.c", Line: 42, Func: "kernel"},
+		Detail:     "VSM state: target",
+		AllocLoc:   ompt.SourceLoc{File: "main.c", Line: 7, Func: "main"},
+		AllocBytes: 4096,
+	}
+	b, err := json.Marshal(&r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r, back) {
+		t.Errorf("round trip mismatch:\n  in:  %+v\n  out: %+v", r, back)
+	}
+}

@@ -5,6 +5,7 @@
 package report
 
 import (
+	"encoding/json"
 	"fmt"
 	"sort"
 	"strings"
@@ -31,6 +32,60 @@ const (
 	InvalidAccess
 )
 
+// kindLabels are the stable machine-readable names used in JSON; String()
+// keeps the human-readable sanitizer phrasing.
+var kindLabels = map[Kind]string{
+	UUM:            "UUM",
+	USD:            "USD",
+	BufferOverflow: "BufferOverflow",
+	DataRace:       "DataRace",
+	InvalidAccess:  "InvalidAccess",
+}
+
+// Label returns the stable machine-readable name of k ("UUM", "USD",
+// "BufferOverflow", "DataRace", "InvalidAccess").
+func (k Kind) Label() string {
+	if l, ok := kindLabels[k]; ok {
+		return l
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// KindFromLabel resolves a machine-readable kind name back to its Kind.
+func KindFromLabel(s string) (Kind, bool) {
+	for k, l := range kindLabels {
+		if l == s {
+			return k, true
+		}
+	}
+	return 0, false
+}
+
+// MarshalJSON encodes the kind as its stable label string.
+func (k Kind) MarshalJSON() ([]byte, error) {
+	return json.Marshal(k.Label())
+}
+
+// UnmarshalJSON decodes a kind from its label string (also accepting the
+// numeric form for forward compatibility).
+func (k *Kind) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err == nil {
+		kk, ok := KindFromLabel(s)
+		if !ok {
+			return fmt.Errorf("report: unknown kind label %q", s)
+		}
+		*k = kk
+		return nil
+	}
+	var n uint8
+	if err := json.Unmarshal(b, &n); err != nil {
+		return fmt.Errorf("report: kind must be a label string or number: %s", b)
+	}
+	*k = Kind(n)
+	return nil
+}
+
 func (k Kind) String() string {
 	switch k {
 	case UUM:
@@ -47,26 +102,27 @@ func (k Kind) String() string {
 	return fmt.Sprintf("Kind(%d)", uint8(k))
 }
 
-// Report is one diagnostic.
+// Report is one diagnostic. The JSON form is stable: it is what the
+// arbalestd analysis service returns and what `arbalest -json` prints.
 type Report struct {
-	Tool string
-	Kind Kind
+	Tool string `json:"tool"`
+	Kind Kind   `json:"kind"`
 	// Var is the mapped variable's tag.
-	Var string
+	Var string `json:"var,omitempty"`
 	// Addr and Size describe the offending access.
-	Addr  mem.Addr
-	Size  uint64
-	Write bool
+	Addr  mem.Addr `json:"addr"`
+	Size  uint64   `json:"size"`
+	Write bool     `json:"write"`
 	// Device is where the access executed.
-	Device ompt.DeviceID
-	Thread ompt.ThreadID
+	Device ompt.DeviceID `json:"device"`
+	Thread ompt.ThreadID `json:"thread"`
 	// Loc is the access's source location.
-	Loc ompt.SourceLoc
+	Loc ompt.SourceLoc `json:"loc"`
 	// Detail carries tool-specific context (VSM state, racing access, ...).
-	Detail string
+	Detail string `json:"detail,omitempty"`
 	// AllocLoc is the allocation site of the underlying memory, if known.
-	AllocLoc   ompt.SourceLoc
-	AllocBytes uint64
+	AllocLoc   ompt.SourceLoc `json:"allocLoc"`
+	AllocBytes uint64         `json:"allocBytes,omitempty"`
 }
 
 // Key returns a deduplication key: tools report each distinct (kind,

@@ -1,0 +1,105 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+
+	"repro/internal/trace"
+)
+
+// Handler returns the daemon's HTTP API:
+//
+//	POST /v1/jobs?tool=<name>  submit a JSON-lines trace; 202 + job JSON
+//	GET  /v1/jobs              list all jobs
+//	GET  /v1/jobs/{id}         one job, including its result when done
+//	GET  /metrics              counters, Prometheus text format
+//	GET  /healthz              liveness probe
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = w.Write([]byte("ok\n"))
+	})
+	return mux
+}
+
+func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	toolName := r.URL.Query().Get("tool")
+	if toolName == "" {
+		toolName = "arbalest"
+	}
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	tr, err := trace.LoadLimited(body, trace.Limits{
+		MaxEvents: s.cfg.MaxEvents,
+		MaxBytes:  s.cfg.MaxBodyBytes,
+	})
+	if err != nil {
+		s.metrics.jobsRejected.Add(1)
+		var maxErr *http.MaxBytesError
+		status := http.StatusBadRequest
+		if errors.Is(err, trace.ErrTooManyEvents) || errors.Is(err, trace.ErrTooManyBytes) || errors.As(err, &maxErr) {
+			status = http.StatusRequestEntityTooLarge
+		}
+		writeError(w, status, err)
+		return
+	}
+	view, err := s.Submit(toolName, tr)
+	if err != nil {
+		writeError(w, submitStatus(err), err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, view)
+}
+
+// submitStatus maps a Submit error to its HTTP status.
+func submitStatus(err error) int {
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		return http.StatusTooManyRequests
+	case errors.Is(err, ErrShuttingDown):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, ErrTooLarge):
+		return http.StatusRequestEntityTooLarge
+	default: // unknown tool and other validation failures
+		return http.StatusBadRequest
+	}
+}
+
+func (s *Service) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		Jobs []JobView `json:"jobs"`
+	}{Jobs: s.Jobs()})
+}
+
+func (s *Service) handleJob(w http.ResponseWriter, r *http.Request) {
+	view, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, errors.New("service: no such job"))
+		return
+	}
+	writeJSON(w, http.StatusOK, view)
+}
+
+func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.metrics.WriteText(w, s.cfg.Workers)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, struct {
+		Error string `json:"error"`
+	}{Error: err.Error()})
+}

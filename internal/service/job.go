@@ -1,0 +1,73 @@
+package service
+
+import (
+	"time"
+
+	"repro/internal/tools"
+	"repro/internal/trace"
+)
+
+// Status is a job's position in its lifecycle.
+type Status string
+
+// The job lifecycle states. Jobs move pending -> running -> done|failed.
+const (
+	StatusPending Status = "pending"
+	StatusRunning Status = "running"
+	StatusDone    Status = "done"
+	StatusFailed  Status = "failed"
+)
+
+// job is the service's internal mutable record for one submitted trace.
+// All fields are guarded by Service.mu after construction.
+type job struct {
+	id        string
+	tool      string
+	status    Status
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+	events    int
+	tr        *trace.Trace // released (nil) once the job finishes
+	result    *tools.Summary
+	wall      time.Duration
+	errMsg    string
+}
+
+// JobView is the immutable, JSON-serializable snapshot of a job that the
+// service's accessors and HTTP API return.
+type JobView struct {
+	ID        string         `json:"id"`
+	Tool      string         `json:"tool"`
+	Status    Status         `json:"status"`
+	Submitted time.Time      `json:"submitted"`
+	Started   *time.Time     `json:"started,omitempty"`
+	Finished  *time.Time     `json:"finished,omitempty"`
+	Events    int            `json:"events"`
+	WallNanos int64          `json:"wallNanos,omitempty"`
+	Error     string         `json:"error,omitempty"`
+	Result    *tools.Summary `json:"result,omitempty"`
+}
+
+// viewLocked snapshots the job; the caller must hold Service.mu.
+func (j *job) viewLocked() JobView {
+	v := JobView{
+		ID:        j.id,
+		Tool:      j.tool,
+		Status:    j.status,
+		Submitted: j.submitted,
+		Events:    j.events,
+		WallNanos: int64(j.wall),
+		Error:     j.errMsg,
+		Result:    j.result,
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		v.Started = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		v.Finished = &t
+	}
+	return v
+}

@@ -1,0 +1,61 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+)
+
+// Metrics holds the service's operational counters. All fields are updated
+// atomically and may be read while the service is running.
+type Metrics struct {
+	jobsAccepted   atomic.Int64
+	jobsCompleted  atomic.Int64
+	jobsFailed     atomic.Int64
+	jobsRejected   atomic.Int64
+	queueDepth     atomic.Int64
+	eventsReplayed atomic.Int64
+	replayNanos    atomic.Int64
+}
+
+// Snapshot is a point-in-time copy of the counters, JSON-serializable.
+type Snapshot struct {
+	JobsAccepted   int64 `json:"jobsAccepted"`
+	JobsCompleted  int64 `json:"jobsCompleted"`
+	JobsFailed     int64 `json:"jobsFailed"`
+	JobsRejected   int64 `json:"jobsRejected"`
+	QueueDepth     int64 `json:"queueDepth"`
+	EventsReplayed int64 `json:"eventsReplayed"`
+	ReplayNanos    int64 `json:"replayNanos"`
+}
+
+// Snapshot copies the current counter values.
+func (m *Metrics) Snapshot() Snapshot {
+	return Snapshot{
+		JobsAccepted:   m.jobsAccepted.Load(),
+		JobsCompleted:  m.jobsCompleted.Load(),
+		JobsFailed:     m.jobsFailed.Load(),
+		JobsRejected:   m.jobsRejected.Load(),
+		QueueDepth:     m.queueDepth.Load(),
+		EventsReplayed: m.eventsReplayed.Load(),
+		ReplayNanos:    m.replayNanos.Load(),
+	}
+}
+
+// WriteText renders the counters in the Prometheus text exposition style
+// served at GET /metrics. workers is the service's worker-pool size.
+func (m *Metrics) WriteText(w io.Writer, workers int) error {
+	s := m.Snapshot()
+	_, err := fmt.Fprintf(w,
+		"arbalestd_jobs_accepted_total %d\n"+
+			"arbalestd_jobs_completed_total %d\n"+
+			"arbalestd_jobs_failed_total %d\n"+
+			"arbalestd_jobs_rejected_total %d\n"+
+			"arbalestd_queue_depth %d\n"+
+			"arbalestd_workers %d\n"+
+			"arbalestd_events_replayed_total %d\n"+
+			"arbalestd_replay_nanoseconds_total %d\n",
+		s.JobsAccepted, s.JobsCompleted, s.JobsFailed, s.JobsRejected,
+		s.QueueDepth, workers, s.EventsReplayed, s.ReplayNanos)
+	return err
+}

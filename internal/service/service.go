@@ -1,0 +1,271 @@
+// Package service is the arbalestd analysis daemon: a long-running HTTP
+// service that accepts recorded tool-interface traces (the JSON-lines format
+// trace.Save emits), enqueues them on a bounded job queue, replays each
+// through a fresh analyzer on a fixed worker pool, and serves the resulting
+// diagnostics as structured JSON.
+//
+// The paper positions ARBALEST as an on-the-fly detector run over many
+// executions of heterogeneous OpenMP applications; this package supplies the
+// "collect traces at scale, analyze centrally" half of that pipeline. A
+// submission is cheap (parse + enqueue, 429 when the queue is full), the
+// replay work happens on -workers goroutines, and every job's lifecycle and
+// the service's counters are observable over HTTP.
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/tools"
+	"repro/internal/trace"
+)
+
+// Submission errors surfaced by Submit (and mapped to HTTP statuses by the
+// handlers: 429 for ErrQueueFull, 503 for ErrShuttingDown, 413 for
+// ErrTooLarge).
+var (
+	ErrQueueFull    = errors.New("service: job queue full")
+	ErrShuttingDown = errors.New("service: shutting down")
+	ErrTooLarge     = errors.New("service: trace exceeds per-job event limit")
+)
+
+// Config parameterizes a Service. Zero fields take the documented defaults.
+type Config struct {
+	// Workers is the replay worker-pool size (default GOMAXPROCS).
+	Workers int
+	// QueueSize bounds the number of queued-but-not-running jobs
+	// (default 64). A full queue rejects submissions rather than blocking.
+	QueueSize int
+	// MaxEvents caps a single job's trace length (default 1<<20 events).
+	MaxEvents int
+	// MaxBodyBytes caps a single upload's size (default 64 MiB).
+	MaxBodyBytes int64
+	// ReplayTimeout bounds one job's replay wall time; the replay is
+	// canceled via context when it expires (default 0 = unlimited).
+	ReplayTimeout time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueSize <= 0 {
+		c.QueueSize = 64
+	}
+	if c.MaxEvents <= 0 {
+		c.MaxEvents = 1 << 20
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 64 << 20
+	}
+	return c
+}
+
+// Service is the analysis daemon's engine: job store, bounded queue, and
+// worker pool. Create with New, then call Start; submit via Submit or the
+// HTTP handler; stop with Shutdown, which drains accepted jobs.
+type Service struct {
+	cfg     Config
+	metrics Metrics
+	queue   chan *job
+
+	mu     sync.Mutex
+	jobs   map[string]*job
+	order  []string
+	nextID uint64
+	closed bool
+
+	wg      sync.WaitGroup
+	started bool
+
+	// testHookRunning, when set before Start, is called by a worker after
+	// its job enters StatusRunning and before the replay begins. Tests use
+	// it to hold workers in a known state.
+	testHookRunning func(id string)
+}
+
+// New builds a Service with cfg (defaults applied). Call Start to launch the
+// worker pool.
+func New(cfg Config) *Service {
+	cfg = cfg.withDefaults()
+	return &Service{
+		cfg:   cfg,
+		queue: make(chan *job, cfg.QueueSize),
+		jobs:  make(map[string]*job),
+	}
+}
+
+// Config returns the resolved configuration.
+func (s *Service) Config() Config { return s.cfg }
+
+// Metrics returns the service's counters.
+func (s *Service) Metrics() *Metrics { return &s.metrics }
+
+// Start launches the worker pool. It is a no-op if already started.
+func (s *Service) Start() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.started {
+		return
+	}
+	s.started = true
+	s.wg.Add(s.cfg.Workers)
+	for i := 0; i < s.cfg.Workers; i++ {
+		go s.worker()
+	}
+}
+
+// Submit validates the tool name and trace size, then enqueues a job. It
+// never blocks: a full queue fails with ErrQueueFull (HTTP 429) so callers
+// get backpressure instead of latency.
+func (s *Service) Submit(toolName string, tr *trace.Trace) (JobView, error) {
+	if _, err := tools.New(toolName); err != nil {
+		s.metrics.jobsRejected.Add(1)
+		return JobView{}, err
+	}
+	if len(tr.Events) > s.cfg.MaxEvents {
+		s.metrics.jobsRejected.Add(1)
+		return JobView{}, fmt.Errorf("%w: %d events > limit %d", ErrTooLarge, len(tr.Events), s.cfg.MaxEvents)
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.metrics.jobsRejected.Add(1)
+		return JobView{}, ErrShuttingDown
+	}
+	j := &job{
+		id:        fmt.Sprintf("job-%d", s.nextID),
+		tool:      toolName,
+		status:    StatusPending,
+		submitted: time.Now(),
+		events:    len(tr.Events),
+		tr:        tr,
+	}
+	select {
+	case s.queue <- j:
+		s.nextID++
+		s.jobs[j.id] = j
+		s.order = append(s.order, j.id)
+		view := j.viewLocked()
+		s.mu.Unlock()
+		s.metrics.jobsAccepted.Add(1)
+		s.metrics.queueDepth.Add(1)
+		return view, nil
+	default:
+		s.mu.Unlock()
+		s.metrics.jobsRejected.Add(1)
+		return JobView{}, ErrQueueFull
+	}
+}
+
+// Job returns a snapshot of the identified job.
+func (s *Service) Job(id string) (JobView, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return JobView{}, false
+	}
+	return j.viewLocked(), true
+}
+
+// Jobs returns snapshots of every job in submission order.
+func (s *Service) Jobs() []JobView {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]JobView, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.jobs[id].viewLocked())
+	}
+	return out
+}
+
+// Shutdown stops accepting new jobs, drains every already-accepted job
+// (queued and in-flight), and waits for the workers to exit. It returns
+// ctx's error if the drain does not finish in time.
+func (s *Service) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		close(s.queue)
+	}
+	s.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// worker pulls jobs until the queue is closed and drained.
+func (s *Service) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		s.metrics.queueDepth.Add(-1)
+		s.runJob(j)
+	}
+}
+
+// runJob replays one job's trace through a fresh analyzer and records the
+// outcome on the job and the metrics.
+func (s *Service) runJob(j *job) {
+	s.mu.Lock()
+	j.status = StatusRunning
+	j.started = time.Now()
+	tr := j.tr
+	hook := s.testHookRunning
+	s.mu.Unlock()
+	if hook != nil {
+		hook(j.id)
+	}
+
+	var (
+		wall    time.Duration
+		summary *tools.Summary
+	)
+	a, err := tools.New(j.tool)
+	if err == nil {
+		ctx := context.Background()
+		cancel := func() {}
+		if s.cfg.ReplayTimeout > 0 {
+			ctx, cancel = context.WithTimeout(ctx, s.cfg.ReplayTimeout)
+		}
+		start := time.Now()
+		err = tr.ReplayContext(ctx, a)
+		wall = time.Since(start)
+		cancel()
+		s.metrics.replayNanos.Add(int64(wall))
+		if err == nil {
+			s.metrics.eventsReplayed.Add(int64(len(tr.Events)))
+			summary = tools.Summarize(a)
+		}
+	}
+
+	s.mu.Lock()
+	j.finished = time.Now()
+	j.wall = wall
+	j.tr = nil // release the trace's memory; only the summary is kept
+	if err != nil {
+		j.status = StatusFailed
+		j.errMsg = err.Error()
+	} else {
+		j.status = StatusDone
+		j.result = summary
+	}
+	s.mu.Unlock()
+	if err != nil {
+		s.metrics.jobsFailed.Add(1)
+	} else {
+		s.metrics.jobsCompleted.Add(1)
+	}
+}

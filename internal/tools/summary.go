@@ -1,0 +1,38 @@
+package tools
+
+import "repro/internal/report"
+
+// Summary is the JSON-serializable outcome of running an Analyzer over one
+// execution or trace. It is the result schema served by the arbalestd
+// analysis service and printed by `arbalest -json`.
+type Summary struct {
+	// Tool is the analyzer's display name (e.g. "Arbalest").
+	Tool string `json:"tool"`
+	// Issues is the number of distinct diagnostics.
+	Issues int `json:"issues"`
+	// KindCounts maps each diagnostic kind label to its report count.
+	KindCounts map[string]int `json:"kindCounts,omitempty"`
+	// ShadowBytes is the analyzer's peak shadow-state footprint.
+	ShadowBytes uint64 `json:"shadowBytes"`
+	// Reports holds the full diagnostics, in insertion order.
+	Reports []report.Report `json:"reports,omitempty"`
+}
+
+// Summarize captures a's diagnostics and shadow footprint as a Summary.
+func Summarize(a Analyzer) *Summary {
+	reports := a.Sink().Reports()
+	s := &Summary{
+		Tool:        a.Name(),
+		Issues:      len(reports),
+		ShadowBytes: a.ShadowBytes(),
+	}
+	if len(reports) > 0 {
+		s.KindCounts = make(map[string]int)
+		s.Reports = make([]report.Report, 0, len(reports))
+		for _, r := range reports {
+			s.KindCounts[r.Kind.Label()]++
+			s.Reports = append(s.Reports, *r)
+		}
+	}
+	return s
+}

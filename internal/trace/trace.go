@@ -12,6 +12,8 @@ package trace
 
 import (
 	"bufio"
+	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -141,16 +143,35 @@ type Trace struct {
 
 // Replay drives the trace through the given tools, in recorded order.
 func (t *Trace) Replay(toolList ...ompt.Tool) error {
+	return t.ReplayContext(context.Background(), toolList...)
+}
+
+// replayCheckInterval is how many events ReplayContext dispatches between
+// cancellation checks. Checking every event would put an atomic load on the
+// hot path for no benefit; a few hundred events replay in microseconds.
+const replayCheckInterval = 256
+
+// ReplayContext drives the trace through the given tools, in recorded order,
+// stopping early when ctx is canceled or its deadline passes. The returned
+// error wraps ctx.Err() in that case, so errors.Is(err, context.Canceled)
+// and errors.Is(err, context.DeadlineExceeded) work as expected.
+func (t *Trace) ReplayContext(ctx context.Context, toolList ...ompt.Tool) error {
 	var d ompt.Dispatcher
 	for _, tool := range toolList {
 		d.Register(tool)
 	}
-	for _, e := range t.Events {
+	for i := range t.Events {
+		if i%replayCheckInterval == 0 {
+			if err := ctx.Err(); err != nil {
+				return fmt.Errorf("trace: replay canceled at event %d of %d: %w", i, len(t.Events), err)
+			}
+		}
+		e := &t.Events[i]
+		if err := e.validate(); err != nil {
+			return fmt.Errorf("trace: event %d: %w", e.Seq, err)
+		}
 		switch e.Kind {
 		case KindDeviceInit:
-			if e.DeviceInit == nil {
-				return fmt.Errorf("trace: event %d: missing deviceInit payload", e.Seq)
-			}
 			d.DeviceInit(ompt.DeviceInitEvent{
 				Device: e.DeviceInit.Device, Name: e.DeviceInit.Name, Unified: e.DeviceInit.Unified,
 			})
@@ -166,9 +187,34 @@ func (t *Trace) Replay(toolList ...ompt.Tool) error {
 			d.Sync(*e.Sync)
 		case KindAlloc:
 			d.Alloc(*e.Alloc)
-		default:
-			return fmt.Errorf("trace: event %d: unknown kind %q", e.Seq, e.Kind)
 		}
+	}
+	return nil
+}
+
+// validate checks that the event's kind is known and its payload is present.
+func (e *Event) validate() error {
+	ok := false
+	switch e.Kind {
+	case KindDeviceInit:
+		ok = e.DeviceInit != nil
+	case KindTargetBegin:
+		ok = e.TargetBegin != nil
+	case KindTargetEnd:
+		ok = e.TargetEnd != nil
+	case KindDataOp:
+		ok = e.DataOp != nil
+	case KindAccess:
+		ok = e.Access != nil
+	case KindSync:
+		ok = e.Sync != nil
+	case KindAlloc:
+		ok = e.Alloc != nil
+	default:
+		return fmt.Errorf("unknown kind %q", e.Kind)
+	}
+	if !ok {
+		return fmt.Errorf("missing payload for kind %q", e.Kind)
 	}
 	return nil
 }
@@ -185,18 +231,62 @@ func (t *Trace) Save(w io.Writer) error {
 	return bw.Flush()
 }
 
-// Load reads a JSON-lines trace.
+// Limits bounds what LoadLimited will accept. The zero value means
+// "unlimited", preserving Load's historical behavior.
+type Limits struct {
+	// MaxEvents caps the number of events (0 = unlimited).
+	MaxEvents int
+	// MaxBytes caps the total input size in bytes (0 = unlimited).
+	MaxBytes int64
+}
+
+// ErrTooManyEvents is wrapped by LoadLimited when the input exceeds
+// Limits.MaxEvents.
+var ErrTooManyEvents = fmt.Errorf("trace: too many events")
+
+// ErrTooManyBytes is wrapped by LoadLimited when the input exceeds
+// Limits.MaxBytes.
+var ErrTooManyBytes = fmt.Errorf("trace: input too large")
+
+// Load reads a JSON-lines trace without size limits.
 func Load(r io.Reader) (*Trace, error) {
-	dec := json.NewDecoder(bufio.NewReader(r))
+	return LoadLimited(r, Limits{})
+}
+
+// LoadLimited reads a JSON-lines trace one line at a time, validating each
+// event as it is decoded. Malformed input fails with the offending line
+// number; inputs exceeding the limits fail with ErrTooManyEvents or
+// ErrTooManyBytes. Blank lines are skipped.
+func LoadLimited(r io.Reader, lim Limits) (*Trace, error) {
+	br := bufio.NewReader(r)
 	t := &Trace{}
-	for {
-		var e Event
-		if err := dec.Decode(&e); err == io.EOF {
-			break
-		} else if err != nil {
-			return nil, fmt.Errorf("trace: %w", err)
+	var read int64
+	for line := 1; ; line++ {
+		raw, err := br.ReadBytes('\n')
+		read += int64(len(raw))
+		if lim.MaxBytes > 0 && read > lim.MaxBytes {
+			return nil, fmt.Errorf("%w: more than %d bytes", ErrTooManyBytes, lim.MaxBytes)
 		}
-		t.Events = append(t.Events, e)
+		if len(raw) > 0 {
+			if trimmed := bytes.TrimSpace(raw); len(trimmed) > 0 {
+				if lim.MaxEvents > 0 && len(t.Events) >= lim.MaxEvents {
+					return nil, fmt.Errorf("%w: more than %d events (line %d)", ErrTooManyEvents, lim.MaxEvents, line)
+				}
+				var e Event
+				if jerr := json.Unmarshal(trimmed, &e); jerr != nil {
+					return nil, fmt.Errorf("trace: line %d: %w", line, jerr)
+				}
+				if verr := e.validate(); verr != nil {
+					return nil, fmt.Errorf("trace: line %d: %w", line, verr)
+				}
+				t.Events = append(t.Events, e)
+			}
+		}
+		if err == io.EOF {
+			return t, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
 	}
-	return t, nil
 }
