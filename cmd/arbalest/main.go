@@ -13,6 +13,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -27,6 +28,7 @@ import (
 	"repro/internal/dracc"
 	"repro/internal/omp"
 	"repro/internal/ompt"
+	"repro/internal/retry"
 	"repro/internal/service"
 	"repro/internal/specaccel"
 	"repro/internal/tools"
@@ -227,8 +229,13 @@ func submitTraceFile(baseURL, path, toolName string, jsonOut bool) int {
 	return submitTrace(baseURL, tr, toolName, jsonOut)
 }
 
-// submitTrace POSTs tr to the daemon, polls the job until it settles, and
-// prints the result.
+// submitTrace POSTs tr to the daemon with retries, polls the job until it
+// settles, and prints the result. Transient failures (connection errors,
+// 429 queue-full, 503 not-ready) are retried with capped exponential
+// backoff and jitter, honoring any Retry-After the daemon sends; every
+// attempt carries the same Idempotency-Key header, so a retry of an
+// upload the daemon already accepted is deduplicated server-side instead
+// of analyzed twice.
 func submitTrace(baseURL string, tr *trace.Trace, toolName string, jsonOut bool) int {
 	baseURL = strings.TrimSuffix(baseURL, "/")
 	var buf bytes.Buffer
@@ -236,13 +243,34 @@ func submitTrace(baseURL string, tr *trace.Trace, toolName string, jsonOut bool)
 		fmt.Fprintln(os.Stderr, "arbalest:", err)
 		return 2
 	}
+	body := buf.Bytes()
 	client := &http.Client{Timeout: 30 * time.Second}
-	resp, err := client.Post(baseURL+"/v1/jobs?tool="+toolName, "application/x-ndjson", &buf)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "arbalest: submit:", err)
-		return 2
-	}
-	view, err := decodeJob(resp)
+	key := retry.NewKey()
+	var view service.JobView
+	err := retry.Policy{}.Do(context.Background(), func(attempt int) error {
+		if attempt > 0 {
+			fmt.Fprintf(os.Stderr, "arbalest: submit retry %d...\n", attempt)
+		}
+		req, err := http.NewRequest(http.MethodPost, baseURL+"/v1/jobs?tool="+toolName, bytes.NewReader(body))
+		if err != nil {
+			return retry.Permanent(err)
+		}
+		req.Header.Set("Content-Type", "application/x-ndjson")
+		req.Header.Set(retry.IdempotencyHeader, key)
+		resp, err := client.Do(req)
+		if err != nil {
+			return err // connection-level failure: retryable
+		}
+		if retry.StatusRetryable(resp.StatusCode) {
+			after := retry.RetryAfter(resp)
+			_, derr := decodeJob(resp) // drains and closes the body
+			return retry.After(derr, after)
+		}
+		if view, err = decodeJob(resp); err != nil {
+			return retry.Permanent(err) // 4xx validation: retrying won't help
+		}
+		return nil
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "arbalest: submit:", err)
 		return 2

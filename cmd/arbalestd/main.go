@@ -5,7 +5,8 @@
 // Usage:
 //
 //	arbalestd [-addr :8321] [-workers N] [-queue N] [-max-events N]
-//	          [-max-body BYTES] [-timeout DUR]
+//	          [-max-body BYTES] [-timeout DUR] [-spool DIR]
+//	          [-retain-jobs N] [-retain-age DUR]
 //
 // API:
 //
@@ -13,11 +14,18 @@
 //	GET  /v1/jobs                 list jobs
 //	GET  /v1/jobs/<id>            job status + result
 //	GET  /metrics                 counters (Prometheus text format)
-//	GET  /healthz                 liveness
+//	GET  /healthz                 liveness; 503 once shutdown begins
+//	GET  /readyz                  readiness; 503 when the queue is >=90% full
 //
 // Traces are produced by `arbalest -save-trace out.jsonl <program>` and can
 // be pushed directly with `arbalest -submit http://host:8321 <program>` or
 // `curl --data-binary @out.jsonl`.
+//
+// With -spool DIR, every accepted job is write-ahead journaled to DIR
+// before it is acknowledged; on startup the spool is recovered and any
+// job that had not reached a terminal state is re-enqueued exactly once.
+// -retain-jobs and -retain-age bound how much finished-job history stays
+// in memory and on disk.
 //
 // SIGINT/SIGTERM trigger a graceful shutdown: the listener closes, accepted
 // jobs drain, then the process exits.
@@ -28,12 +36,14 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log"
 	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"repro/internal/journal"
 	"repro/internal/service"
 )
 
@@ -45,15 +55,38 @@ func main() {
 	maxBody := flag.Int64("max-body", 64<<20, "per-upload body size limit in bytes")
 	timeout := flag.Duration("timeout", 0, "per-job replay timeout (0 = unlimited)")
 	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown drain budget")
+	spool := flag.String("spool", "", "spool directory for the write-ahead job journal (empty = jobs are in-memory only and lost on crash)")
+	retainJobs := flag.Int("retain-jobs", 1024, "max finished jobs kept in memory and spool (-1 = unlimited)")
+	retainAge := flag.Duration("retain-age", 0, "evict finished jobs older than this (0 = no age limit)")
 	flag.Parse()
 
-	svc := service.New(service.Config{
-		Workers:       *workers,
-		QueueSize:     *queue,
-		MaxEvents:     *maxEvents,
-		MaxBodyBytes:  *maxBody,
-		ReplayTimeout: *timeout,
-	})
+	logger := log.New(os.Stderr, "arbalestd: ", log.LstdFlags)
+
+	cfg := service.Config{
+		Workers:         *workers,
+		QueueSize:       *queue,
+		MaxEvents:       *maxEvents,
+		MaxBodyBytes:    *maxBody,
+		ReplayTimeout:   *timeout,
+		MaxFinishedJobs: *retainJobs,
+		MaxJobAge:       *retainAge,
+		Logger:          logger,
+	}
+	if *spool != "" {
+		jnl, err := journal.Open(*spool)
+		if err != nil {
+			logger.Fatal(err)
+		}
+		cfg.Journal = jnl
+	}
+	svc := service.New(cfg)
+	if cfg.Journal != nil {
+		requeued, err := svc.Recover()
+		if err != nil {
+			logger.Fatalf("recover spool %s: %v", *spool, err)
+		}
+		logger.Printf("recovered spool %s: %d job(s) re-enqueued", *spool, requeued)
+	}
 	svc.Start()
 
 	srv := &http.Server{Addr: *addr, Handler: svc.Handler()}

@@ -1,0 +1,89 @@
+package faultinject
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestDisabledIsNoop(t *testing.T) {
+	Reset()
+	if err := Fire("journal.append"); err != nil {
+		t.Fatalf("disabled point fired: %v", err)
+	}
+}
+
+func TestErrorFault(t *testing.T) {
+	Reset()
+	defer Reset()
+	boom := errors.New("disk gone")
+	Enable("journal.append", Fault{Err: boom})
+	err := Fire("journal.append")
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped %v", err, boom)
+	}
+	if got := Fired("journal.append"); got != 1 {
+		t.Errorf("fired %d, want 1", got)
+	}
+	Disable("journal.append")
+	if err := Fire("journal.append"); err != nil {
+		t.Fatalf("disabled point still fires: %v", err)
+	}
+}
+
+func TestCountBudget(t *testing.T) {
+	Reset()
+	defer Reset()
+	Enable("journal.mark", Fault{Err: errors.New("x"), Count: 2})
+	var n int
+	for i := 0; i < 5; i++ {
+		if Fire("journal.mark") != nil {
+			n++
+		}
+	}
+	if n != 2 {
+		t.Errorf("fired %d times, want 2 (budget)", n)
+	}
+}
+
+func TestPanicFault(t *testing.T) {
+	Reset()
+	defer Reset()
+	Enable("worker.replay", Fault{Panic: "injected crash"})
+	defer func() {
+		if r := recover(); r != "injected crash" {
+			t.Errorf("recovered %v, want injected crash", r)
+		}
+	}()
+	_ = Fire("worker.replay")
+	t.Fatal("Fire did not panic")
+}
+
+func TestDelayFault(t *testing.T) {
+	Reset()
+	defer Reset()
+	Enable("journal.fsync", Fault{Delay: 20 * time.Millisecond})
+	start := time.Now()
+	if err := Fire("journal.fsync"); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 20*time.Millisecond {
+		t.Errorf("returned after %v, want >= 20ms", d)
+	}
+}
+
+func TestProbability(t *testing.T) {
+	Reset()
+	defer Reset()
+	Seed(42)
+	Enable("journal.append", Fault{Err: errors.New("x"), Prob: 0.5})
+	var n int
+	for i := 0; i < 1000; i++ {
+		if Fire("journal.append") != nil {
+			n++
+		}
+	}
+	if n < 400 || n > 600 {
+		t.Errorf("0.5-probability point fired %d/1000 times", n)
+	}
+}

@@ -1,0 +1,329 @@
+// Package journal is arbalestd's write-ahead job journal: a spool
+// directory that makes accepted jobs survive a daemon crash.
+//
+// Each accepted job gets two files under the spool directory:
+//
+//	<id>.trace  the submitted JSON-lines trace, written and fsynced before
+//	            the job is acknowledged (the write-ahead part)
+//	<id>.meta   an append-only JSON-lines log of lifecycle transitions:
+//	            the first line carries the job's identity (tool, events,
+//	            idempotency key, submit time) with status "pending";
+//	            subsequent lines record running/done/failed transitions
+//
+// On startup, Recover scans the spool: jobs whose last recorded status is
+// pending or running are returned with their traces so the service can
+// re-enqueue each exactly once; jobs already done or failed are returned
+// as history (without traces) so job listings and idempotency-key dedup
+// survive the restart. Remove deletes both files when the retention GC
+// evicts a job.
+//
+// Fault points (package faultinject): "journal.append" and "journal.mark"
+// can inject write errors, "journal.fsync" can inject fsync latency.
+package journal
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/trace"
+)
+
+// The lifecycle statuses a journal records. They mirror the service's job
+// states but are kept as plain strings so the journal stays a layer below
+// the service.
+const (
+	StatusPending = "pending"
+	StatusRunning = "running"
+	StatusDone    = "done"
+	StatusFailed  = "failed"
+)
+
+// Entry is one line of a job's meta log. The first line of a file has
+// Status "pending" and carries the job's identity; later lines only need
+// Status plus the terminal fields.
+type Entry struct {
+	ID        string          `json:"id,omitempty"`
+	Tool      string          `json:"tool,omitempty"`
+	Key       string          `json:"key,omitempty"` // idempotency key, optional
+	Events    int             `json:"events,omitempty"`
+	Submitted time.Time       `json:"submitted,omitempty"`
+	Status    string          `json:"status"`
+	Time      time.Time       `json:"time"`
+	Error     string          `json:"error,omitempty"`
+	Result    json.RawMessage `json:"result,omitempty"`
+}
+
+// Record identifies a job at accept time.
+type Record struct {
+	ID        string
+	Tool      string
+	Key       string // idempotency key, "" if the client sent none
+	Events    int
+	Submitted time.Time
+}
+
+// RecoveredJob is one job found in the spool by Recover.
+type RecoveredJob struct {
+	Record
+	// Status is the job's last journaled status. Pending and running jobs
+	// carry a Trace; terminal jobs carry Error/Result instead.
+	Status   string
+	Trace    *trace.Trace
+	Started  time.Time
+	Finished time.Time
+	Error    string
+	Result   json.RawMessage
+}
+
+// Journal persists job traces and lifecycle transitions under one spool
+// directory. Methods are safe for concurrent use on distinct job IDs; the
+// service serializes transitions for a single job by construction (a job
+// is owned by one worker at a time).
+type Journal struct {
+	dir string
+}
+
+// Open creates the spool directory if needed and returns a Journal over
+// it.
+func Open(dir string) (*Journal, error) {
+	if dir == "" {
+		return nil, errors.New("journal: empty spool directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	return &Journal{dir: dir}, nil
+}
+
+// Dir returns the spool directory path.
+func (j *Journal) Dir() string { return j.dir }
+
+func (j *Journal) tracePath(id string) string { return filepath.Join(j.dir, id+".trace") }
+func (j *Journal) metaPath(id string) string  { return filepath.Join(j.dir, id+".meta") }
+
+// Append journals a newly accepted job: the trace first, fsynced, then
+// the initial pending meta entry, fsynced. If any step fails the partial
+// files are removed so a failed accept leaves no spool residue, and the
+// caller must reject the submission — the write-ahead contract is that a
+// job is only acknowledged after Append returns nil.
+func (j *Journal) Append(rec Record, tr *trace.Trace) error {
+	if err := faultinject.Fire("journal.append"); err != nil {
+		return err
+	}
+	if err := j.writeTrace(rec.ID, tr); err != nil {
+		j.removeFiles(rec.ID)
+		return err
+	}
+	first := Entry{
+		ID: rec.ID, Tool: rec.Tool, Key: rec.Key, Events: rec.Events,
+		Submitted: rec.Submitted, Status: StatusPending, Time: rec.Submitted,
+	}
+	if err := j.appendMeta(rec.ID, first); err != nil {
+		j.removeFiles(rec.ID)
+		return err
+	}
+	return nil
+}
+
+// Mark appends a lifecycle transition for the job. errMsg and result are
+// only meaningful for the failed and done statuses respectively. A mark
+// failure is not fatal to the job — the service logs it and continues —
+// but a crash before a terminal mark means the job is re-run on recovery,
+// which is the at-least-once side of the write-ahead design (idempotency
+// keys make the rerun invisible to clients).
+func (j *Journal) Mark(id, status, errMsg string, result json.RawMessage) error {
+	if err := faultinject.Fire("journal.mark"); err != nil {
+		return err
+	}
+	return j.appendMeta(id, Entry{
+		Status: status, Time: time.Now(), Error: errMsg, Result: result,
+	})
+}
+
+// Remove deletes the job's spool files (retention GC).
+func (j *Journal) Remove(id string) error {
+	var firstErr error
+	for _, p := range []string{j.tracePath(id), j.metaPath(id)} {
+		if err := os.Remove(p); err != nil && !errors.Is(err, os.ErrNotExist) && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// Recover scans the spool directory and reconstructs every journaled job
+// from its meta log. Jobs whose last status is pending or running are
+// loaded with their traces (ready to re-enqueue); terminal jobs are
+// returned as history. Jobs with unreadable meta or trace files are
+// skipped and reported in the returned error list — recovery is best
+// effort per job, never all-or-nothing. Results are sorted by ID so
+// replay order is deterministic.
+func (j *Journal) Recover() ([]RecoveredJob, []error) {
+	entries, err := os.ReadDir(j.dir)
+	if err != nil {
+		return nil, []error{fmt.Errorf("journal: %w", err)}
+	}
+	var jobs []RecoveredJob
+	var errs []error
+	for _, de := range entries {
+		name := de.Name()
+		if !strings.HasSuffix(name, ".meta") {
+			continue
+		}
+		id := strings.TrimSuffix(name, ".meta")
+		rj, err := j.recoverOne(id)
+		if err != nil {
+			errs = append(errs, fmt.Errorf("journal: job %s: %w", id, err))
+			continue
+		}
+		jobs = append(jobs, rj)
+	}
+	sort.Slice(jobs, func(a, b int) bool {
+		// Numeric-aware so job-10 sorts after job-9.
+		x, y := jobs[a].ID, jobs[b].ID
+		if len(x) != len(y) {
+			return len(x) < len(y)
+		}
+		return x < y
+	})
+	return jobs, errs
+}
+
+// recoverOne reads one job's meta log and, for non-terminal jobs, its
+// trace.
+func (j *Journal) recoverOne(id string) (RecoveredJob, error) {
+	f, err := os.Open(j.metaPath(id))
+	if err != nil {
+		return RecoveredJob{}, err
+	}
+	defer f.Close()
+
+	var rj RecoveredJob
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 64*1024), 16<<20)
+	line := 0
+	for sc.Scan() {
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		line++
+		var e Entry
+		if err := json.Unmarshal(raw, &e); err != nil {
+			// A torn final line (crash mid-append) is expected: keep the
+			// state reconstructed so far. A torn first line is fatal.
+			if line == 1 {
+				return RecoveredJob{}, fmt.Errorf("meta line 1: %w", err)
+			}
+			break
+		}
+		if line == 1 {
+			if e.ID != id {
+				return RecoveredJob{}, fmt.Errorf("meta identity %q does not match file %q", e.ID, id)
+			}
+			rj.Record = Record{ID: e.ID, Tool: e.Tool, Key: e.Key, Events: e.Events, Submitted: e.Submitted}
+		}
+		rj.Status = e.Status
+		switch e.Status {
+		case StatusRunning:
+			rj.Started = e.Time
+		case StatusDone, StatusFailed:
+			rj.Finished = e.Time
+			rj.Error = e.Error
+			rj.Result = e.Result
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return RecoveredJob{}, err
+	}
+	if line == 0 {
+		return RecoveredJob{}, errors.New("empty meta file")
+	}
+	if rj.Status == StatusPending || rj.Status == StatusRunning {
+		tf, err := os.Open(j.tracePath(id))
+		if err != nil {
+			return RecoveredJob{}, err
+		}
+		defer tf.Close()
+		tr, err := trace.Load(tf)
+		if err != nil {
+			return RecoveredJob{}, err
+		}
+		rj.Trace = tr
+	}
+	return rj, nil
+}
+
+// writeTrace writes and fsyncs the job's trace file.
+func (j *Journal) writeTrace(id string, tr *trace.Trace) error {
+	f, err := os.OpenFile(j.tracePath(id), os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if err := tr.Save(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := j.sync(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// appendMeta appends one fsynced entry line to the job's meta log.
+func (j *Journal) appendMeta(id string, e Entry) error {
+	f, err := os.OpenFile(j.metaPath(id), os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	b, err := json.Marshal(e)
+	if err != nil {
+		f.Close()
+		return err
+	}
+	b = append(b, '\n')
+	if _, err := f.Write(b); err != nil {
+		f.Close()
+		return err
+	}
+	if err := j.sync(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// sync fsyncs f, honoring the injected fsync-latency fault point.
+func (j *Journal) sync(f *os.File) error {
+	if err := faultinject.Fire("journal.fsync"); err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
+// removeFiles best-effort deletes a job's spool files after a failed
+// Append.
+func (j *Journal) removeFiles(id string) {
+	_ = os.Remove(j.tracePath(id))
+	_ = os.Remove(j.metaPath(id))
+}
+
+// Trace re-reads a journaled job's trace from the spool, for tools that
+// want to re-analyze history.
+func (j *Journal) Trace(id string) (*trace.Trace, error) {
+	f, err := os.Open(j.tracePath(id))
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return trace.Load(f)
+}

@@ -5,27 +5,62 @@ import (
 	"errors"
 	"net/http"
 
+	"repro/internal/retry"
 	"repro/internal/trace"
 )
 
 // Handler returns the daemon's HTTP API:
 //
-//	POST /v1/jobs?tool=<name>  submit a JSON-lines trace; 202 + job JSON
+//	POST /v1/jobs?tool=<name>  submit a JSON-lines trace; 202 + job JSON.
+//	                           An Idempotency-Key header makes retried
+//	                           uploads safe: a duplicate returns the
+//	                           original job (200) instead of re-analyzing.
 //	GET  /v1/jobs              list all jobs
 //	GET  /v1/jobs/{id}         one job, including its result when done
 //	GET  /metrics              counters, Prometheus text format
-//	GET  /healthz              liveness probe
+//	GET  /healthz              liveness probe; 503 once shutdown has begun
+//	GET  /readyz               readiness probe; 503 when the queue is >=90%
+//	                           full or the daemon is draining
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs", s.handleList)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		_, _ = w.Write([]byte("ok\n"))
-	})
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	return mux
+}
+
+// handleHealthz is the liveness probe. It turns 503 the moment Shutdown
+// begins so load balancers stop routing here while accepted jobs drain.
+func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if s.Draining() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		_, _ = w.Write([]byte("draining\n"))
+		return
+	}
+	_, _ = w.Write([]byte("ok\n"))
+}
+
+// handleReadyz is the readiness probe: graceful degradation for load
+// balancers. It answers 503 while draining and when the job queue is at
+// least 90% full, so traffic sheds before submissions start bouncing
+// with 429s.
+func (s *Service) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if s.Draining() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		_, _ = w.Write([]byte("draining\n"))
+		return
+	}
+	if depth, capacity := s.QueueFullness(); capacity > 0 && 10*depth >= 9*capacity {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		_, _ = w.Write([]byte("overloaded\n"))
+		return
+	}
+	_, _ = w.Write([]byte("ok\n"))
 }
 
 func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
@@ -39,21 +74,36 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		MaxBytes:  s.cfg.MaxBodyBytes,
 	})
 	if err != nil {
-		s.metrics.jobsRejected.Add(1)
+		// Submit was never reached, so this is the one place this
+		// rejection is counted.
+		s.countRejected()
 		var maxErr *http.MaxBytesError
 		status := http.StatusBadRequest
 		if errors.Is(err, trace.ErrTooManyEvents) || errors.Is(err, trace.ErrTooManyBytes) || errors.As(err, &maxErr) {
 			status = http.StatusRequestEntityTooLarge
 		}
-		writeError(w, status, err)
+		s.writeError(w, status, err)
 		return
 	}
-	view, err := s.Submit(toolName, tr)
+	view, duplicate, err := s.SubmitKeyed(toolName, r.Header.Get(retry.IdempotencyHeader), tr)
 	if err != nil {
-		writeError(w, submitStatus(err), err)
+		status := submitStatus(err)
+		if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
+			// Give retrying clients a backoff floor instead of letting
+			// them hammer a full queue.
+			w.Header().Set("Retry-After", "1")
+		}
+		s.writeError(w, status, err)
 		return
 	}
-	writeJSON(w, http.StatusAccepted, view)
+	status := http.StatusAccepted
+	if duplicate {
+		// The key matched an already-accepted job: acknowledge it
+		// without re-enqueuing anything.
+		w.Header().Set("Idempotency-Replayed", "true")
+		status = http.StatusOK
+	}
+	s.writeJSON(w, status, view)
 }
 
 // submitStatus maps a Submit error to its HTTP status.
@@ -61,7 +111,7 @@ func submitStatus(err error) int {
 	switch {
 	case errors.Is(err, ErrQueueFull):
 		return http.StatusTooManyRequests
-	case errors.Is(err, ErrShuttingDown):
+	case errors.Is(err, ErrShuttingDown), errors.Is(err, ErrJournal):
 		return http.StatusServiceUnavailable
 	case errors.Is(err, ErrTooLarge):
 		return http.StatusRequestEntityTooLarge
@@ -71,7 +121,7 @@ func submitStatus(err error) int {
 }
 
 func (s *Service) handleList(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, struct {
+	s.writeJSON(w, http.StatusOK, struct {
 		Jobs []JobView `json:"jobs"`
 	}{Jobs: s.Jobs()})
 }
@@ -79,27 +129,34 @@ func (s *Service) handleList(w http.ResponseWriter, r *http.Request) {
 func (s *Service) handleJob(w http.ResponseWriter, r *http.Request) {
 	view, ok := s.Job(r.PathValue("id"))
 	if !ok {
-		writeError(w, http.StatusNotFound, errors.New("service: no such job"))
+		s.writeError(w, http.StatusNotFound, errors.New("service: no such job"))
 		return
 	}
-	writeJSON(w, http.StatusOK, view)
+	s.writeJSON(w, http.StatusOK, view)
 }
 
 func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	_ = s.metrics.WriteText(w, s.cfg.Workers)
+	if err := s.metrics.WriteText(w, s.cfg.Workers); err != nil {
+		s.cfg.Logger.Printf("http: write /metrics: %v", err)
+	}
 }
 
-func writeJSON(w http.ResponseWriter, status int, v any) {
+// writeJSON encodes v as the response body. Encode failures after the
+// header is out can't change the status anymore, but they are logged
+// rather than dropped so a truncated response is visible in operation.
+func (s *Service) writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	_ = enc.Encode(v)
+	if err := enc.Encode(v); err != nil {
+		s.cfg.Logger.Printf("http: encode response (status %d): %v", status, err)
+	}
 }
 
-func writeError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, struct {
+func (s *Service) writeError(w http.ResponseWriter, status int, err error) {
+	s.writeJSON(w, status, struct {
 		Error string `json:"error"`
 	}{Error: err.Error()})
 }

@@ -23,6 +23,7 @@ const (
 type job struct {
 	id        string
 	tool      string
+	key       string // idempotency key, "" if none
 	status    Status
 	submitted time.Time
 	started   time.Time

@@ -9,36 +9,51 @@ import (
 // Metrics holds the service's operational counters. All fields are updated
 // atomically and may be read while the service is running.
 type Metrics struct {
-	jobsAccepted   atomic.Int64
-	jobsCompleted  atomic.Int64
-	jobsFailed     atomic.Int64
-	jobsRejected   atomic.Int64
-	queueDepth     atomic.Int64
-	eventsReplayed atomic.Int64
-	replayNanos    atomic.Int64
+	jobsAccepted     atomic.Int64
+	jobsCompleted    atomic.Int64
+	jobsFailed       atomic.Int64
+	jobsRejected     atomic.Int64
+	jobsPanicked     atomic.Int64
+	jobsRecovered    atomic.Int64
+	jobsEvicted      atomic.Int64
+	jobsDeduplicated atomic.Int64
+	journalErrors    atomic.Int64
+	queueDepth       atomic.Int64
+	eventsReplayed   atomic.Int64
+	replayNanos      atomic.Int64
 }
 
 // Snapshot is a point-in-time copy of the counters, JSON-serializable.
 type Snapshot struct {
-	JobsAccepted   int64 `json:"jobsAccepted"`
-	JobsCompleted  int64 `json:"jobsCompleted"`
-	JobsFailed     int64 `json:"jobsFailed"`
-	JobsRejected   int64 `json:"jobsRejected"`
-	QueueDepth     int64 `json:"queueDepth"`
-	EventsReplayed int64 `json:"eventsReplayed"`
-	ReplayNanos    int64 `json:"replayNanos"`
+	JobsAccepted     int64 `json:"jobsAccepted"`
+	JobsCompleted    int64 `json:"jobsCompleted"`
+	JobsFailed       int64 `json:"jobsFailed"`
+	JobsRejected     int64 `json:"jobsRejected"`
+	JobsPanicked     int64 `json:"jobsPanicked"`
+	JobsRecovered    int64 `json:"jobsRecovered"`
+	JobsEvicted      int64 `json:"jobsEvicted"`
+	JobsDeduplicated int64 `json:"jobsDeduplicated"`
+	JournalErrors    int64 `json:"journalErrors"`
+	QueueDepth       int64 `json:"queueDepth"`
+	EventsReplayed   int64 `json:"eventsReplayed"`
+	ReplayNanos      int64 `json:"replayNanos"`
 }
 
 // Snapshot copies the current counter values.
 func (m *Metrics) Snapshot() Snapshot {
 	return Snapshot{
-		JobsAccepted:   m.jobsAccepted.Load(),
-		JobsCompleted:  m.jobsCompleted.Load(),
-		JobsFailed:     m.jobsFailed.Load(),
-		JobsRejected:   m.jobsRejected.Load(),
-		QueueDepth:     m.queueDepth.Load(),
-		EventsReplayed: m.eventsReplayed.Load(),
-		ReplayNanos:    m.replayNanos.Load(),
+		JobsAccepted:     m.jobsAccepted.Load(),
+		JobsCompleted:    m.jobsCompleted.Load(),
+		JobsFailed:       m.jobsFailed.Load(),
+		JobsRejected:     m.jobsRejected.Load(),
+		JobsPanicked:     m.jobsPanicked.Load(),
+		JobsRecovered:    m.jobsRecovered.Load(),
+		JobsEvicted:      m.jobsEvicted.Load(),
+		JobsDeduplicated: m.jobsDeduplicated.Load(),
+		JournalErrors:    m.journalErrors.Load(),
+		QueueDepth:       m.queueDepth.Load(),
+		EventsReplayed:   m.eventsReplayed.Load(),
+		ReplayNanos:      m.replayNanos.Load(),
 	}
 }
 
@@ -51,11 +66,17 @@ func (m *Metrics) WriteText(w io.Writer, workers int) error {
 			"arbalestd_jobs_completed_total %d\n"+
 			"arbalestd_jobs_failed_total %d\n"+
 			"arbalestd_jobs_rejected_total %d\n"+
+			"arbalestd_jobs_panicked_total %d\n"+
+			"arbalestd_jobs_recovered_total %d\n"+
+			"arbalestd_jobs_evicted_total %d\n"+
+			"arbalestd_jobs_deduplicated_total %d\n"+
+			"arbalestd_journal_errors_total %d\n"+
 			"arbalestd_queue_depth %d\n"+
 			"arbalestd_workers %d\n"+
 			"arbalestd_events_replayed_total %d\n"+
 			"arbalestd_replay_nanoseconds_total %d\n",
 		s.JobsAccepted, s.JobsCompleted, s.JobsFailed, s.JobsRejected,
-		s.QueueDepth, workers, s.EventsReplayed, s.ReplayNanos)
+		s.JobsPanicked, s.JobsRecovered, s.JobsEvicted, s.JobsDeduplicated,
+		s.JournalErrors, s.QueueDepth, workers, s.EventsReplayed, s.ReplayNanos)
 	return err
 }

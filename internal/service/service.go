@@ -10,27 +10,54 @@
 // submission is cheap (parse + enqueue, 429 when the queue is full), the
 // replay work happens on -workers goroutines, and every job's lifecycle and
 // the service's counters are observable over HTTP.
+//
+// # Durability and fault tolerance
+//
+// With a journal configured (Config.Journal), every accepted job is
+// journaled to a spool directory before it is acknowledged: the trace
+// first, then each lifecycle transition. After a crash, Recover replays
+// the journal — jobs that never reached a terminal state are re-enqueued
+// exactly once, terminal jobs come back as history. Analyzer panics are
+// confined to the job that caused them: the job fails with the panic
+// value and a stack fragment while the worker and its pool survive.
+// Retention limits (Config.MaxFinishedJobs, Config.MaxJobAge) garbage-
+// collect finished jobs and their spool files so neither the in-memory
+// job map nor the spool directory grows without bound. Clients may send
+// an idempotency key with a submission; a retried upload carrying the
+// same key is deduplicated to the original job instead of analyzed
+// twice.
 package service
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"log"
 	"runtime"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
+	"repro/internal/faultinject"
+	"repro/internal/journal"
 	"repro/internal/tools"
 	"repro/internal/trace"
 )
 
 // Submission errors surfaced by Submit (and mapped to HTTP statuses by the
-// handlers: 429 for ErrQueueFull, 503 for ErrShuttingDown, 413 for
-// ErrTooLarge).
+// handlers: 429 for ErrQueueFull, 503 for ErrShuttingDown and ErrJournal,
+// 413 for ErrTooLarge).
 var (
 	ErrQueueFull    = errors.New("service: job queue full")
 	ErrShuttingDown = errors.New("service: shutting down")
 	ErrTooLarge     = errors.New("service: trace exceeds per-job event limit")
+	// ErrJournal wraps a write-ahead journal failure on the accept path.
+	// The submission was not accepted; retrying (with the same
+	// idempotency key) is safe.
+	ErrJournal = errors.New("service: journal write failed")
 )
 
 // Config parameterizes a Service. Zero fields take the documented defaults.
@@ -47,6 +74,20 @@ type Config struct {
 	// ReplayTimeout bounds one job's replay wall time; the replay is
 	// canceled via context when it expires (default 0 = unlimited).
 	ReplayTimeout time.Duration
+	// Journal, when non-nil, write-ahead journals every accepted job to
+	// its spool directory and makes Recover possible. Nil keeps jobs
+	// in-memory only.
+	Journal *journal.Journal
+	// MaxFinishedJobs bounds how many terminal (done/failed) jobs are
+	// retained in memory and in the spool; the oldest-finished are
+	// evicted past the limit (default 1024, negative = unlimited).
+	MaxFinishedJobs int
+	// MaxJobAge, when positive, evicts terminal jobs whose finish time
+	// is older than this (checked when jobs finish and on submissions).
+	MaxJobAge time.Duration
+	// Logger receives operational warnings (journal mark failures,
+	// response-encode errors, recovery problems). Nil discards them.
+	Logger *log.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -62,22 +103,31 @@ func (c Config) withDefaults() Config {
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 64 << 20
 	}
+	if c.MaxFinishedJobs == 0 {
+		c.MaxFinishedJobs = 1024
+	}
+	if c.Logger == nil {
+		c.Logger = log.New(io.Discard, "", 0)
+	}
 	return c
 }
 
 // Service is the analysis daemon's engine: job store, bounded queue, and
-// worker pool. Create with New, then call Start; submit via Submit or the
-// HTTP handler; stop with Shutdown, which drains accepted jobs.
+// worker pool. Create with New, then (optionally) Recover, then Start;
+// submit via Submit or the HTTP handler; stop with Shutdown, which drains
+// accepted jobs.
 type Service struct {
 	cfg     Config
 	metrics Metrics
-	queue   chan *job
 
-	mu     sync.Mutex
-	jobs   map[string]*job
-	order  []string
-	nextID uint64
-	closed bool
+	mu        sync.Mutex
+	queue     chan *job
+	jobs      map[string]*job
+	order     []string
+	keys      map[string]string // idempotency key -> job id
+	nextID    uint64
+	closed    bool
+	recovered bool
 
 	wg      sync.WaitGroup
 	started bool
@@ -96,6 +146,7 @@ func New(cfg Config) *Service {
 		cfg:   cfg,
 		queue: make(chan *job, cfg.QueueSize),
 		jobs:  make(map[string]*job),
+		keys:  make(map[string]string),
 	}
 }
 
@@ -104,6 +155,115 @@ func (s *Service) Config() Config { return s.cfg }
 
 // Metrics returns the service's counters.
 func (s *Service) Metrics() *Metrics { return &s.metrics }
+
+// Draining reports whether Shutdown has begun; the health endpoint turns
+// 503 once it has, so load balancers stop routing to this instance.
+func (s *Service) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
+
+// QueueFullness returns queued jobs and queue capacity; the readiness
+// endpoint degrades to 503 when the queue is nearly full.
+func (s *Service) QueueFullness() (depth, capacity int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.queue), cap(s.queue)
+}
+
+// Recover replays the configured journal's spool directory into the
+// service: terminal jobs are restored as history (results and errors
+// intact), and every job that never reached a terminal state is
+// re-enqueued exactly once for analysis. It must be called after New and
+// before Start, at most once, and returns the number of re-enqueued jobs.
+// Per-job journal damage (a corrupt meta file, a missing trace) is
+// logged and skipped, never fatal: one bad spool entry must not keep the
+// daemon down.
+func (s *Service) Recover() (int, error) {
+	if s.cfg.Journal == nil {
+		return 0, errors.New("service: no journal configured")
+	}
+	recovered, errs := s.cfg.Journal.Recover()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.started {
+		return 0, errors.New("service: Recover must be called before Start")
+	}
+	if s.recovered {
+		return 0, errors.New("service: Recover called twice")
+	}
+	s.recovered = true
+	for _, err := range errs {
+		s.metrics.journalErrors.Add(1)
+		s.cfg.Logger.Printf("recovery: %v", err)
+	}
+
+	// Grow the queue if the backlog from the previous life exceeds the
+	// configured capacity: recovery must never drop an accepted job.
+	pending := 0
+	for _, rj := range recovered {
+		if rj.Status == journal.StatusPending || rj.Status == journal.StatusRunning {
+			pending++
+		}
+	}
+	if spare := cap(s.queue) - len(s.queue); pending > spare {
+		grown := make(chan *job, cap(s.queue)+pending-spare)
+		for len(s.queue) > 0 {
+			grown <- <-s.queue
+		}
+		s.queue = grown
+	}
+
+	requeued := 0
+	for _, rj := range recovered {
+		if _, exists := s.jobs[rj.ID]; exists {
+			continue
+		}
+		j := &job{
+			id:        rj.ID,
+			tool:      rj.Tool,
+			key:       rj.Key,
+			submitted: rj.Submitted,
+			started:   rj.Started,
+			events:    rj.Events,
+		}
+		switch rj.Status {
+		case journal.StatusDone:
+			j.status = StatusDone
+			j.finished = rj.Finished
+			if len(rj.Result) > 0 {
+				var sum tools.Summary
+				if err := json.Unmarshal(rj.Result, &sum); err == nil {
+					j.result = &sum
+				} else {
+					s.cfg.Logger.Printf("recovery: job %s: result unmarshal: %v", rj.ID, err)
+				}
+			}
+		case journal.StatusFailed:
+			j.status = StatusFailed
+			j.finished = rj.Finished
+			j.errMsg = rj.Error
+		default: // pending or running: back to the queue, exactly once
+			j.status = StatusPending
+			j.started = time.Time{}
+			j.tr = rj.Trace
+			s.queue <- j
+			requeued++
+			s.metrics.jobsRecovered.Add(1)
+			s.metrics.queueDepth.Add(1)
+		}
+		s.jobs[j.id] = j
+		s.order = append(s.order, j.id)
+		if j.key != "" {
+			s.keys[j.key] = j.id
+		}
+		if n, err := strconv.ParseUint(strings.TrimPrefix(rj.ID, "job-"), 10, 64); err == nil && n >= s.nextID {
+			s.nextID = n + 1
+		}
+	}
+	return requeued, nil
+}
 
 // Start launches the worker pool. It is a no-op if already started.
 func (s *Service) Start() {
@@ -123,44 +283,86 @@ func (s *Service) Start() {
 // never blocks: a full queue fails with ErrQueueFull (HTTP 429) so callers
 // get backpressure instead of latency.
 func (s *Service) Submit(toolName string, tr *trace.Trace) (JobView, error) {
+	view, _, err := s.SubmitKeyed(toolName, "", tr)
+	return view, err
+}
+
+// SubmitKeyed is Submit with an optional idempotency key. When key is
+// non-empty and a live job was already accepted under it, that job's view
+// is returned with duplicate=true and nothing new is enqueued — this is
+// what makes client-side retry of an upload safe. With a journal
+// configured, the job is durably journaled before it is acknowledged.
+func (s *Service) SubmitKeyed(toolName, key string, tr *trace.Trace) (view JobView, duplicate bool, err error) {
 	if _, err := tools.New(toolName); err != nil {
-		s.metrics.jobsRejected.Add(1)
-		return JobView{}, err
+		s.countRejected()
+		return JobView{}, false, err
 	}
 	if len(tr.Events) > s.cfg.MaxEvents {
-		s.metrics.jobsRejected.Add(1)
-		return JobView{}, fmt.Errorf("%w: %d events > limit %d", ErrTooLarge, len(tr.Events), s.cfg.MaxEvents)
+		s.countRejected()
+		return JobView{}, false, fmt.Errorf("%w: %d events > limit %d", ErrTooLarge, len(tr.Events), s.cfg.MaxEvents)
 	}
 	s.mu.Lock()
+	defer s.mu.Unlock()
 	if s.closed {
-		s.mu.Unlock()
-		s.metrics.jobsRejected.Add(1)
-		return JobView{}, ErrShuttingDown
+		s.countRejected()
+		return JobView{}, false, ErrShuttingDown
+	}
+	if key != "" {
+		if id, ok := s.keys[key]; ok {
+			if j, ok := s.jobs[id]; ok {
+				s.metrics.jobsDeduplicated.Add(1)
+				return j.viewLocked(), true, nil
+			}
+			// The original was evicted by retention GC; treat the
+			// resubmission as new work.
+			delete(s.keys, key)
+		}
+	}
+	// Workers only ever drain the queue, and submissions all hold s.mu,
+	// so a capacity check here cannot race with another sender: the send
+	// below never blocks.
+	if len(s.queue) == cap(s.queue) {
+		s.countRejected()
+		return JobView{}, false, ErrQueueFull
 	}
 	j := &job{
 		id:        fmt.Sprintf("job-%d", s.nextID),
 		tool:      toolName,
+		key:       key,
 		status:    StatusPending,
 		submitted: time.Now(),
 		events:    len(tr.Events),
 		tr:        tr,
 	}
-	select {
-	case s.queue <- j:
-		s.nextID++
-		s.jobs[j.id] = j
-		s.order = append(s.order, j.id)
-		view := j.viewLocked()
-		s.mu.Unlock()
-		s.metrics.jobsAccepted.Add(1)
-		s.metrics.queueDepth.Add(1)
-		return view, nil
-	default:
-		s.mu.Unlock()
-		s.metrics.jobsRejected.Add(1)
-		return JobView{}, ErrQueueFull
+	if s.cfg.Journal != nil {
+		// Write-ahead: the job is journaled (trace + pending mark,
+		// fsynced) before it is acknowledged or enqueued, so a crash
+		// after this point cannot lose it.
+		if jerr := s.cfg.Journal.Append(journal.Record{
+			ID: j.id, Tool: j.tool, Key: j.key, Events: j.events, Submitted: j.submitted,
+		}, tr); jerr != nil {
+			s.metrics.journalErrors.Add(1)
+			s.countRejected()
+			return JobView{}, false, fmt.Errorf("%w: %v", ErrJournal, jerr)
+		}
 	}
+	s.nextID++
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	if key != "" {
+		s.keys[key] = j.id
+	}
+	s.queue <- j
+	s.metrics.jobsAccepted.Add(1)
+	s.metrics.queueDepth.Add(1)
+	s.gcLocked(time.Now())
+	return j.viewLocked(), false, nil
 }
+
+// countRejected is the single place submission rejections are counted, so
+// no code path can double-count one rejection (the HTTP layer counts
+// body/parse failures through it too, before Submit is ever reached).
+func (s *Service) countRejected() { s.metrics.jobsRejected.Add(1) }
 
 // Job returns a snapshot of the identified job.
 func (s *Service) Job(id string) (JobView, bool) {
@@ -193,7 +395,11 @@ func (s *Service) Shutdown(ctx context.Context) error {
 		s.closed = true
 		close(s.queue)
 	}
+	started := s.started
 	s.mu.Unlock()
+	if !started {
+		return nil
+	}
 	done := make(chan struct{})
 	go func() {
 		s.wg.Wait()
@@ -216,8 +422,23 @@ func (s *Service) worker() {
 	}
 }
 
+// mark journals a lifecycle transition, logging (never failing the job
+// on) journal errors: the in-memory state is already correct, and a lost
+// terminal mark only means the job is re-analyzed after a crash.
+func (s *Service) mark(id, status, errMsg string, result json.RawMessage) {
+	if s.cfg.Journal == nil {
+		return
+	}
+	if err := s.cfg.Journal.Mark(id, status, errMsg, result); err != nil {
+		s.metrics.journalErrors.Add(1)
+		s.cfg.Logger.Printf("journal: mark %s %s: %v", id, status, err)
+	}
+}
+
 // runJob replays one job's trace through a fresh analyzer and records the
-// outcome on the job and the metrics.
+// outcome on the job and the metrics. An analyzer panic is confined to
+// this job: it is recovered, recorded as the job's failure with a stack
+// fragment, and the worker goes on to its next job.
 func (s *Service) runJob(j *job) {
 	s.mu.Lock()
 	j.status = StatusRunning
@@ -225,6 +446,7 @@ func (s *Service) runJob(j *job) {
 	tr := j.tr
 	hook := s.testHookRunning
 	s.mu.Unlock()
+	s.mark(j.id, journal.StatusRunning, "", nil)
 	if hook != nil {
 		hook(j.id)
 	}
@@ -233,8 +455,23 @@ func (s *Service) runJob(j *job) {
 		wall    time.Duration
 		summary *tools.Summary
 	)
-	a, err := tools.New(j.tool)
-	if err == nil {
+	err := func() (err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				s.metrics.jobsPanicked.Add(1)
+				err = fmt.Errorf("analyzer panicked: %v\n%s", r, stackFragment())
+			}
+		}()
+		if err := faultinject.Fire("worker.slow"); err != nil {
+			return err
+		}
+		if err := faultinject.Fire("worker.replay"); err != nil {
+			return err
+		}
+		a, err := tools.New(j.tool)
+		if err != nil {
+			return err
+		}
 		ctx := context.Background()
 		cancel := func() {}
 		if s.cfg.ReplayTimeout > 0 {
@@ -245,9 +482,18 @@ func (s *Service) runJob(j *job) {
 		wall = time.Since(start)
 		cancel()
 		s.metrics.replayNanos.Add(int64(wall))
-		if err == nil {
-			s.metrics.eventsReplayed.Add(int64(len(tr.Events)))
-			summary = tools.Summarize(a)
+		if err != nil {
+			return err
+		}
+		s.metrics.eventsReplayed.Add(int64(len(tr.Events)))
+		summary = tools.Summarize(a)
+		return nil
+	}()
+
+	var resultJSON json.RawMessage
+	if err == nil && summary != nil {
+		if b, merr := json.Marshal(summary); merr == nil {
+			resultJSON = b
 		}
 	}
 
@@ -262,10 +508,95 @@ func (s *Service) runJob(j *job) {
 		j.status = StatusDone
 		j.result = summary
 	}
+	now := j.finished
+	s.gcLocked(now)
 	s.mu.Unlock()
 	if err != nil {
 		s.metrics.jobsFailed.Add(1)
+		s.mark(j.id, journal.StatusFailed, err.Error(), nil)
 	} else {
 		s.metrics.jobsCompleted.Add(1)
+		s.mark(j.id, journal.StatusDone, "", resultJSON)
 	}
+}
+
+// stackFragment captures a bounded slice of the panicking goroutine's
+// stack for the job's error message.
+func stackFragment() string {
+	buf := make([]byte, 4096)
+	n := runtime.Stack(buf, false)
+	frag := string(buf[:n])
+	// Keep the panic site readable without shipping pages of runtime
+	// frames into every job view.
+	if lines := strings.SplitAfter(frag, "\n"); len(lines) > 12 {
+		frag = strings.Join(lines[:12], "") + "\t...\n"
+	}
+	return frag
+}
+
+// GC applies the retention policy immediately (it also runs as jobs
+// finish and on submissions). It reports how many jobs were evicted.
+func (s *Service) GC() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.gcLocked(time.Now())
+}
+
+// gcLocked evicts terminal jobs beyond MaxFinishedJobs (oldest-finished
+// first) or older than MaxJobAge, along with their spool files and
+// idempotency keys. The caller must hold s.mu.
+func (s *Service) gcLocked(now time.Time) int {
+	maxJobs := s.cfg.MaxFinishedJobs
+	if maxJobs < 0 && s.cfg.MaxJobAge <= 0 {
+		return 0
+	}
+	finished := 0
+	for _, id := range s.order {
+		if j := s.jobs[id]; j.status == StatusDone || j.status == StatusFailed {
+			finished++
+		}
+	}
+	evicted := 0
+	// s.order is submission order; finished jobs encountered first are
+	// the oldest, so one pass evicts in the right order.
+	excess := 0
+	if maxJobs >= 0 {
+		excess = finished - maxJobs
+	}
+	if excess <= 0 && s.cfg.MaxJobAge <= 0 {
+		return 0
+	}
+	keep := s.order[:0]
+	for _, id := range s.order {
+		j := s.jobs[id]
+		terminal := j.status == StatusDone || j.status == StatusFailed
+		evict := false
+		if terminal {
+			if excess > 0 {
+				evict = true
+				excess--
+			} else if s.cfg.MaxJobAge > 0 && !j.finished.IsZero() && now.Sub(j.finished) > s.cfg.MaxJobAge {
+				evict = true
+			}
+		}
+		if !evict {
+			keep = append(keep, id)
+			continue
+		}
+		delete(s.jobs, id)
+		if j.key != "" {
+			delete(s.keys, j.key)
+		}
+		if s.cfg.Journal != nil {
+			if err := s.cfg.Journal.Remove(id); err != nil {
+				s.cfg.Logger.Printf("journal: remove %s: %v", id, err)
+			}
+		}
+		evicted++
+	}
+	s.order = keep
+	if evicted > 0 {
+		s.metrics.jobsEvicted.Add(int64(evicted))
+	}
+	return evicted
 }
