@@ -178,24 +178,37 @@ func BenchmarkGranularityAblation(b *testing.B) {
 }
 
 // BenchmarkArbalestPerAccess isolates the detector's per-access cost
-// (shadow lookup + VSM transition + CAS) on a tight host loop.
+// (shadow lookup + VSM transition + CAS) on a tight host loop. The
+// stats-off and stats-on variants bound the telemetry overhead: with
+// collection disabled the instrumented paths are nil-checked no-ops, so
+// the two stats-off cells must match within noise.
 func BenchmarkArbalestPerAccess(b *testing.B) {
-	a := core.New(core.Options{})
-	rt := omp.NewRuntime(omp.Config{NumThreads: 1}, a)
-	if err := rt.Run(func(c *omp.Context) error {
-		buf := c.AllocF64(1024, "hot")
-		for i := 0; i < 1024; i++ {
-			c.StoreF64(buf, i, 1)
+	run := func(b *testing.B, enableStats bool) {
+		a := core.New(core.Options{})
+		if enableStats {
+			a.EnableStats()
 		}
-		b.ResetTimer()
-		for i := 0; i < b.N; i++ {
-			c.StoreF64(buf, i%1024, float64(i))
+		rt := omp.NewRuntime(omp.Config{NumThreads: 1}, a)
+		if err := rt.Run(func(c *omp.Context) error {
+			buf := c.AllocF64(1024, "hot")
+			for i := 0; i < 1024; i++ {
+				c.StoreF64(buf, i, 1)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c.StoreF64(buf, i%1024, float64(i))
+			}
+			return nil
+		}); err != nil {
+			b.Fatal(err)
 		}
-		return nil
-	}); err != nil {
-		b.Fatal(err)
+		if got := a.Sink().Count(); got != 0 {
+			b.Fatalf("%d unexpected reports", got)
+		}
+		if enableStats && a.AnalyzerStats().TreeLookups() == 0 {
+			b.Fatal("stats enabled but no lookups recorded")
+		}
 	}
-	if got := a.Sink().Count(); got != 0 {
-		b.Fatalf("%d unexpected reports", got)
-	}
+	b.Run("stats-off", func(b *testing.B) { run(b, false) })
+	b.Run("stats-on", func(b *testing.B) { run(b, true) })
 }

@@ -31,6 +31,7 @@ import (
 	"repro/internal/retry"
 	"repro/internal/service"
 	"repro/internal/specaccel"
+	"repro/internal/telemetry"
 	"repro/internal/tools"
 	"repro/internal/trace"
 )
@@ -44,8 +45,14 @@ func main() {
 	replayTrace := flag.String("replay-trace", "", "skip execution: replay a recorded trace file into the chosen tool")
 	jsonOut := flag.Bool("json", false, "emit the result as JSON (the same summary schema arbalestd serves)")
 	submit := flag.String("submit", "", "arbalestd base URL (e.g. http://localhost:8321): record the program's trace and submit it for remote analysis instead of analyzing locally")
+	version := flag.Bool("version", false, "print build info and exit")
 	flag.Parse()
 
+	if *version {
+		bi := telemetry.Version()
+		fmt.Printf("arbalest %s %s\n", bi.Version, bi.GoVersion)
+		return
+	}
 	if *list {
 		listPrograms()
 		return

@@ -6,14 +6,17 @@
 //
 //	arbalestd [-addr :8321] [-workers N] [-queue N] [-max-events N]
 //	          [-max-body BYTES] [-timeout DUR] [-spool DIR]
-//	          [-retain-jobs N] [-retain-age DUR]
+//	          [-retain-jobs N] [-retain-age DUR] [-debug-addr ADDR]
+//	          [-analyzer-stats] [-version]
 //
 // API:
 //
 //	POST /v1/jobs?tool=arbalest   body: JSON-lines trace (trace.Save format)
 //	GET  /v1/jobs                 list jobs
 //	GET  /v1/jobs/<id>            job status + result
-//	GET  /metrics                 counters (Prometheus text format)
+//	GET  /v1/jobs/<id>/trace      per-job span tree (also at /jobs/<id>/trace)
+//	GET  /metrics                 telemetry registry (Prometheus text format)
+//	GET  /version                 build info (version, Go version)
 //	GET  /healthz                 liveness; 503 once shutdown begins
 //	GET  /readyz                  readiness; 503 when the queue is >=90% full
 //
@@ -27,6 +30,9 @@
 // -retain-jobs and -retain-age bound how much finished-job history stays
 // in memory and on disk.
 //
+// With -debug-addr, a second HTTP listener (intended to stay private)
+// serves net/http/pprof under /debug/pprof/ and expvar under /debug/vars.
+//
 // SIGINT/SIGTERM trigger a graceful shutdown: the listener closes, accepted
 // jobs drain, then the process exits.
 package main
@@ -34,10 +40,12 @@ package main
 import (
 	"context"
 	"errors"
+	"expvar"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -45,6 +53,7 @@ import (
 
 	"repro/internal/journal"
 	"repro/internal/service"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -58,9 +67,22 @@ func main() {
 	spool := flag.String("spool", "", "spool directory for the write-ahead job journal (empty = jobs are in-memory only and lost on crash)")
 	retainJobs := flag.Int("retain-jobs", 1024, "max finished jobs kept in memory and spool (-1 = unlimited)")
 	retainAge := flag.Duration("retain-age", 0, "evict finished jobs older than this (0 = no age limit)")
+	debugAddr := flag.String("debug-addr", "", "private listen address for pprof and expvar (empty = disabled)")
+	analyzerStats := flag.Bool("analyzer-stats", true, "collect per-job analyzer-level telemetry (VSM transitions, CAS retries, interval lookups)")
+	version := flag.Bool("version", false, "print build info and exit")
 	flag.Parse()
 
-	logger := log.New(os.Stderr, "arbalestd: ", log.LstdFlags)
+	if *version {
+		bi := telemetry.Version()
+		fmt.Printf("arbalestd %s %s\n", bi.Version, bi.GoVersion)
+		return
+	}
+
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	fatal := func(msg string, args ...any) {
+		logger.Error(msg, args...)
+		os.Exit(1)
+	}
 
 	cfg := service.Config{
 		Workers:         *workers,
@@ -71,11 +93,12 @@ func main() {
 		MaxFinishedJobs: *retainJobs,
 		MaxJobAge:       *retainAge,
 		Logger:          logger,
+		AnalyzerStats:   *analyzerStats,
 	}
 	if *spool != "" {
 		jnl, err := journal.Open(*spool)
 		if err != nil {
-			logger.Fatal(err)
+			fatal("open spool failed", "spool", *spool, "err", err)
 		}
 		cfg.Journal = jnl
 	}
@@ -83,11 +106,20 @@ func main() {
 	if cfg.Journal != nil {
 		requeued, err := svc.Recover()
 		if err != nil {
-			logger.Fatalf("recover spool %s: %v", *spool, err)
+			fatal("spool recovery failed", "spool", *spool, "err", err)
 		}
-		logger.Printf("recovered spool %s: %d job(s) re-enqueued", *spool, requeued)
+		logger.Info("spool recovered", "spool", *spool, "requeued", requeued)
 	}
 	svc.Start()
+
+	if *debugAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*debugAddr, debugHandler()); err != nil {
+				logger.Error("debug listener failed", "addr", *debugAddr, "err", err)
+			}
+		}()
+		logger.Info("debug endpoints up", "addr", *debugAddr)
+	}
 
 	srv := &http.Server{Addr: *addr, Handler: svc.Handler()}
 	errc := make(chan error, 1)
@@ -117,4 +149,18 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Println("arbalestd: done")
+}
+
+// debugHandler builds the private diagnostics mux: pprof profiles and the
+// expvar JSON dump. Registered on a dedicated mux (not the API mux or
+// http.DefaultServeMux) so profiling never leaks onto the public listener.
+func debugHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	return mux
 }

@@ -29,6 +29,7 @@ import (
 	"repro/internal/ompt"
 	"repro/internal/report"
 	"repro/internal/shadow"
+	"repro/internal/telemetry"
 	"repro/internal/vsm"
 )
 
@@ -62,6 +63,12 @@ type Options struct {
 	Granularity Granularity
 	// Sink receives reports; a fresh sink is created when nil.
 	Sink *report.Sink
+	// Stats, when non-nil, receives analyzer-level telemetry: VSM state
+	// transitions per (from, to) pair, shadow-word CAS retries, and
+	// interval-tree lookups. Nil (the default) disables collection; the
+	// hot paths then pay only a nil check. EnableStats attaches a fresh
+	// collector after construction.
+	Stats *telemetry.AnalyzerStats
 }
 
 // cvEntry is one live CV range in the interval tree.
@@ -111,6 +118,10 @@ type Arbalest struct {
 	repairer Repairer
 
 	accessCount atomic.Uint64
+
+	// stats, when non-nil, collects analyzer-level telemetry. Set at
+	// construction (Options.Stats) or via EnableStats before replay.
+	stats *telemetry.AnalyzerStats
 }
 
 // New creates a detector.
@@ -118,7 +129,7 @@ func New(opts Options) *Arbalest {
 	if opts.Sink == nil {
 		opts.Sink = report.NewSink()
 	}
-	return &Arbalest{
+	a := &Arbalest{
 		opts:      opts,
 		sink:      opts.Sink,
 		shadowMem: shadow.NewMemory(),
@@ -127,8 +138,26 @@ func New(opts Options) *Arbalest {
 		unified:   make(map[ompt.DeviceID]bool),
 		wideWords: make(map[mem.Addr]*atomic.Uint64),
 		byteWords: make(map[mem.Addr]*atomic.Uint64),
+		stats:     opts.Stats,
 	}
+	a.shadowMem.SetStats(a.stats)
+	return a
 }
+
+// EnableStats attaches (creating if needed) a telemetry collector and
+// returns it. It must be called before the detector sees events — the
+// service enables stats on a fresh analyzer before replay begins.
+func (a *Arbalest) EnableStats() *telemetry.AnalyzerStats {
+	if a.stats == nil {
+		a.stats = telemetry.NewAnalyzerStats()
+		a.shadowMem.SetStats(a.stats)
+	}
+	return a.stats
+}
+
+// AnalyzerStats returns the attached telemetry collector, nil when stats
+// are disabled.
+func (a *Arbalest) AnalyzerStats() *telemetry.AnalyzerStats { return a.stats }
 
 // Name implements ompt.Tool.
 func (a *Arbalest) Name() string { return "Arbalest" }
@@ -290,11 +319,13 @@ func (a *Arbalest) OnAccess(e ompt.AccessEvent) {
 // or a different interval than the base pointer it was issued against
 // (paper §IV-D).
 func (a *Arbalest) resolveDevice(e ompt.AccessEvent) (*cvEntry, bool) {
+	a.stats.RecordTreeLookup()
 	_, entry, ok := a.cvTree.Stab(uint64(e.Addr))
 	if !ok {
 		return nil, true
 	}
 	if e.Base != 0 {
+		a.stats.RecordTreeLookup()
 		_, baseEntry, baseOK := a.cvTree.Stab(uint64(e.Base))
 		if !baseOK || baseEntry != entry {
 			return entry, true
@@ -373,8 +404,10 @@ func (a *Arbalest) apply(ovAddr mem.Addr, size uint64, dev ompt.DeviceID, devLoc
 		nw = nw.WithTID(uint32(e.Thread)).WithClock(clk).
 			WithIsWrite(e.Write).WithAccessSize(size).WithOffset(ovAddr.Offset())
 		if slot.CompareAndSwap(uint64(old), uint64(nw)) {
+			vsm.RecordTransition(a.stats, old, nw)
 			return issue, old
 		}
+		a.stats.RecordCASRetry()
 	}
 }
 
@@ -398,11 +431,13 @@ func (a *Arbalest) applyBytes(ovAddr mem.Addr, size uint64, op vsm.Op, e ompt.Ac
 			nw = nw.WithTID(uint32(e.Thread)).WithClock(clk).
 				WithIsWrite(e.Write).WithAccessSize(1).WithOffset((ovAddr + mem.Addr(b)).Offset())
 			if slot.CompareAndSwap(uint64(old), uint64(nw)) {
+				vsm.RecordTransition(a.stats, old, nw)
 				if issue != vsm.NoIssue && worst == vsm.NoIssue {
 					worst, prior = issue, old
 				}
 				break
 			}
+			a.stats.RecordCASRetry()
 		}
 	}
 	return worst, prior
@@ -439,6 +474,7 @@ func (a *Arbalest) applyWide(ovAddr mem.Addr, devLoc int, op vsm.Op) vsm.IssueKi
 		if slot.CompareAndSwap(old, t.Pack()) {
 			return issue
 		}
+		a.stats.RecordCASRetry()
 	}
 }
 
@@ -467,8 +503,10 @@ func (a *Arbalest) applyRange(hostAddr mem.Addr, bytes uint64, dev ompt.DeviceID
 				old := shadow.Word(slot.Load())
 				nw, _ := vsm.Transition(old, op)
 				if slot.CompareAndSwap(uint64(old), uint64(nw)) {
+					vsm.RecordTransition(a.stats, old, nw)
 					break
 				}
+				a.stats.RecordCASRetry()
 			}
 		}
 		return
@@ -492,8 +530,10 @@ func (a *Arbalest) applyOne(ovAddr mem.Addr, devLoc int, op vsm.Op) {
 		old := shadow.Word(slot.Load())
 		nw, _ := vsm.Transition(old, op)
 		if slot.CompareAndSwap(uint64(old), uint64(nw)) {
+			vsm.RecordTransition(a.stats, old, nw)
 			return
 		}
+		a.stats.RecordCASRetry()
 	}
 }
 

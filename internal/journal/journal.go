@@ -181,7 +181,7 @@ func (j *Journal) Recover() ([]RecoveredJob, []error) {
 		id := strings.TrimSuffix(name, ".meta")
 		rj, err := j.recoverOne(id)
 		if err != nil {
-			errs = append(errs, fmt.Errorf("journal: job %s: %w", id, err))
+			errs = append(errs, &JobError{ID: id, Err: err})
 			continue
 		}
 		jobs = append(jobs, rj)
@@ -196,6 +196,20 @@ func (j *Journal) Recover() ([]RecoveredJob, []error) {
 	})
 	return jobs, errs
 }
+
+// JobError is a recovery failure scoped to one spooled job, so callers
+// can log the job id as a structured attribute. Its message matches the
+// historical "journal: job <id>: <cause>" format.
+type JobError struct {
+	ID  string
+	Err error
+}
+
+// Error implements error.
+func (e *JobError) Error() string { return fmt.Sprintf("journal: job %s: %v", e.ID, e.Err) }
+
+// Unwrap exposes the cause to errors.Is/As.
+func (e *JobError) Unwrap() error { return e.Err }
 
 // recoverOne reads one job's meta log and, for non-terminal jobs, its
 // trace.

@@ -4,8 +4,10 @@ import (
 	"encoding/json"
 	"errors"
 	"net/http"
+	"time"
 
 	"repro/internal/retry"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -17,7 +19,12 @@ import (
 //	                           original job (200) instead of re-analyzing.
 //	GET  /v1/jobs              list all jobs
 //	GET  /v1/jobs/{id}         one job, including its result when done
-//	GET  /metrics              counters, Prometheus text format
+//	GET  /v1/jobs/{id}/trace   the job's span tree (accept -> parse ->
+//	                           journal -> queue -> replay -> summarize);
+//	                           also served at /jobs/{id}/trace
+//	GET  /metrics              full telemetry registry, Prometheus text
+//	                           format with # HELP/# TYPE
+//	GET  /version              daemon build info (version, Go version)
 //	GET  /healthz              liveness probe; 503 once shutdown has begun
 //	GET  /readyz               readiness probe; 503 when the queue is >=90%
 //	                           full or the daemon is draining
@@ -26,7 +33,10 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs", s.handleList)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleJobTrace)
+	mux.HandleFunc("GET /jobs/{id}/trace", s.handleJobTrace)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /version", s.handleVersion)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	return mux
@@ -64,6 +74,7 @@ func (s *Service) handleReadyz(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	accepted := time.Now()
 	toolName := r.URL.Query().Get("tool")
 	if toolName == "" {
 		toolName = "arbalest"
@@ -73,6 +84,8 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		MaxEvents: s.cfg.MaxEvents,
 		MaxBytes:  s.cfg.MaxBodyBytes,
 	})
+	parseDur := time.Since(accepted)
+	s.metrics.parseSeconds.ObserveDuration(parseDur)
 	if err != nil {
 		// Submit was never reached, so this is the one place this
 		// rejection is counted.
@@ -85,7 +98,12 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, status, err)
 		return
 	}
-	view, duplicate, err := s.SubmitKeyed(toolName, r.Header.Get(retry.IdempotencyHeader), tr)
+	view, duplicate, err := s.SubmitTrace(SubmitOptions{
+		Tool:          toolName,
+		Key:           r.Header.Get(retry.IdempotencyHeader),
+		Start:         accepted,
+		ParseDuration: parseDur,
+	}, tr)
 	if err != nil {
 		status := submitStatus(err)
 		if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
@@ -135,10 +153,30 @@ func (s *Service) handleJob(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, view)
 }
 
+// handleJobTrace serves one job's span tree. A job restored from the
+// journal as history has no in-memory span; that answers 404 with a
+// distinct message so callers can tell it from an unknown job id.
+func (s *Service) handleJobTrace(w http.ResponseWriter, r *http.Request) {
+	span, ok := s.JobTrace(r.PathValue("id"))
+	if !ok {
+		s.writeError(w, http.StatusNotFound, errors.New("service: no such job"))
+		return
+	}
+	if span == nil {
+		s.writeError(w, http.StatusNotFound, errors.New("service: job has no trace (recovered from journal)"))
+		return
+	}
+	s.writeJSON(w, http.StatusOK, span)
+}
+
+func (s *Service) handleVersion(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, http.StatusOK, telemetry.Version())
+}
+
 func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	if err := s.metrics.WriteText(w, s.cfg.Workers); err != nil {
-		s.cfg.Logger.Printf("http: write /metrics: %v", err)
+		s.cfg.Logger.Error("write /metrics failed", "phase", "http", "err", err)
 	}
 }
 
@@ -151,7 +189,7 @@ func (s *Service) writeJSON(w http.ResponseWriter, status int, v any) {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(v); err != nil {
-		s.cfg.Logger.Printf("http: encode response (status %d): %v", status, err)
+		s.cfg.Logger.Error("encode response failed", "phase", "http", "status", status, "err", err)
 	}
 }
 

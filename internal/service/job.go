@@ -3,6 +3,7 @@ package service
 import (
 	"time"
 
+	"repro/internal/telemetry"
 	"repro/internal/tools"
 	"repro/internal/trace"
 )
@@ -33,6 +34,13 @@ type job struct {
 	result    *tools.Summary
 	wall      time.Duration
 	errMsg    string
+
+	// enqueued is when the job entered the queue (zero for restored
+	// history); the queue-wait histogram observes pickup minus this.
+	enqueued time.Time
+	// span is the job's trace tree, built under Service.mu and served as
+	// a Clone. Nil for jobs restored from the journal as history.
+	span *telemetry.Span
 }
 
 // JobView is the immutable, JSON-serializable snapshot of a job that the
@@ -48,6 +56,8 @@ type JobView struct {
 	WallNanos int64          `json:"wallNanos,omitempty"`
 	Error     string         `json:"error,omitempty"`
 	Result    *tools.Summary `json:"result,omitempty"`
+	// Trace is the job's span tree (nil for jobs recovered as history).
+	Trace *telemetry.Span `json:"trace,omitempty"`
 }
 
 // viewLocked snapshots the job; the caller must hold Service.mu.
@@ -61,6 +71,7 @@ func (j *job) viewLocked() JobView {
 		WallNanos: int64(j.wall),
 		Error:     j.errMsg,
 		Result:    j.result,
+		Trace:     j.span.Clone(),
 	}
 	if !j.started.IsZero() {
 		t := j.started

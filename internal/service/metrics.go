@@ -1,27 +1,91 @@
 package service
 
 import (
-	"fmt"
 	"io"
-	"sync/atomic"
+
+	"repro/internal/telemetry"
+	"repro/internal/tools"
 )
 
-// Metrics holds the service's operational counters. All fields are updated
-// atomically and may be read while the service is running.
+// Metrics is the service's metric surface, backed by a telemetry.Registry
+// rendered at GET /metrics in the Prometheus text exposition format (with
+// # HELP/# TYPE lines). Counter and gauge updates are single atomic
+// operations; histograms observe with one atomic add plus a CAS on the
+// running sum.
 type Metrics struct {
-	jobsAccepted     atomic.Int64
-	jobsCompleted    atomic.Int64
-	jobsFailed       atomic.Int64
-	jobsRejected     atomic.Int64
-	jobsPanicked     atomic.Int64
-	jobsRecovered    atomic.Int64
-	jobsEvicted      atomic.Int64
-	jobsDeduplicated atomic.Int64
-	journalErrors    atomic.Int64
-	queueDepth       atomic.Int64
-	eventsReplayed   atomic.Int64
-	replayNanos      atomic.Int64
+	reg *telemetry.Registry
+
+	jobsAccepted     *telemetry.Counter
+	jobsCompleted    *telemetry.Counter
+	jobsFailed       *telemetry.Counter
+	jobsRejected     *telemetry.Counter
+	jobsPanicked     *telemetry.Counter
+	jobsRecovered    *telemetry.Counter
+	jobsEvicted      *telemetry.Counter
+	jobsDeduplicated *telemetry.Counter
+	journalErrors    *telemetry.Counter
+	eventsReplayed   *telemetry.Counter
+	replayNanos      *telemetry.Counter
+	queueDepth       *telemetry.Gauge
+	workers          *telemetry.Gauge
+
+	queueWait     *telemetry.Histogram
+	parseSeconds  *telemetry.Histogram
+	replaySeconds *telemetry.Histogram
+	jobSeconds    *telemetry.Histogram
+
+	vsmTransitions  *telemetry.CounterVec
+	casRetries      *telemetry.Counter
+	intervalLookups *telemetry.Counter
 }
+
+// newMetrics builds the registry with every family registered up front, so
+// /metrics always exposes the full schema (zero-valued until first use).
+func newMetrics() *Metrics {
+	reg := telemetry.NewRegistry()
+	m := &Metrics{
+		reg: reg,
+
+		jobsAccepted:     reg.Counter("arbalestd_jobs_accepted_total", "Jobs accepted onto the queue."),
+		jobsCompleted:    reg.Counter("arbalestd_jobs_completed_total", "Jobs that finished analysis successfully."),
+		jobsFailed:       reg.Counter("arbalestd_jobs_failed_total", "Jobs that finished with an error (including panics and timeouts)."),
+		jobsRejected:     reg.Counter("arbalestd_jobs_rejected_total", "Submissions rejected before acceptance (validation, limits, full queue, journal failure)."),
+		jobsPanicked:     reg.Counter("arbalestd_jobs_panicked_total", "Jobs whose analyzer panicked; the panic was confined to the job."),
+		jobsRecovered:    reg.Counter("arbalestd_jobs_recovered_total", "Jobs re-enqueued from the journal spool on startup."),
+		jobsEvicted:      reg.Counter("arbalestd_jobs_evicted_total", "Finished jobs evicted by the retention policy."),
+		jobsDeduplicated: reg.Counter("arbalestd_jobs_deduplicated_total", "Submissions answered from an existing job via idempotency key."),
+		journalErrors:    reg.Counter("arbalestd_journal_errors_total", "Write-ahead journal failures (append, mark, recovery)."),
+		eventsReplayed:   reg.Counter("arbalestd_events_replayed_total", "Trace events replayed through analyzers."),
+		replayNanos: reg.Counter("arbalestd_replay_nanoseconds_total",
+			"DEPRECATED: total replay wall time in nanoseconds; superseded by arbalestd_replay_duration_seconds and kept for one release."),
+		queueDepth: reg.Gauge("arbalestd_queue_depth", "Jobs queued but not yet running."),
+		workers:    reg.Gauge("arbalestd_workers", "Replay worker-pool size."),
+
+		queueWait: reg.Histogram("arbalestd_queue_wait_seconds",
+			"Time jobs spent queued before a worker picked them up.", telemetry.DurationBuckets),
+		parseSeconds: reg.Histogram("arbalestd_parse_duration_seconds",
+			"Time spent parsing uploaded traces (successful and failed).", telemetry.DurationBuckets),
+		replaySeconds: reg.Histogram("arbalestd_replay_duration_seconds",
+			"Replay wall time per job.", telemetry.DurationBuckets),
+		jobSeconds: reg.Histogram("arbalestd_job_duration_seconds",
+			"End-to-end job time from accept to terminal state.", telemetry.DurationBuckets),
+
+		vsmTransitions: reg.CounterVec("arbalestd_vsm_transitions_total",
+			"VSM state transitions applied during replays, by (from, to) state.", "from", "to"),
+		casRetries: reg.Counter("arbalestd_shadow_cas_retries_total",
+			"Failed compare-and-swap attempts on shadow words during replays."),
+		intervalLookups: reg.Counter("arbalestd_interval_lookups_total",
+			"Interval-tree stabs performed during replays."),
+	}
+	bi := telemetry.Version()
+	reg.GaugeVec("arbalestd_build_info",
+		"Build information; value is always 1.", "goversion", "version").
+		With(bi.GoVersion, bi.Version).Set(1)
+	return m
+}
+
+// Registry exposes the underlying telemetry registry (tests and embedders).
+func (m *Metrics) Registry() *telemetry.Registry { return m.reg }
 
 // Snapshot is a point-in-time copy of the counters, JSON-serializable.
 type Snapshot struct {
@@ -42,41 +106,37 @@ type Snapshot struct {
 // Snapshot copies the current counter values.
 func (m *Metrics) Snapshot() Snapshot {
 	return Snapshot{
-		JobsAccepted:     m.jobsAccepted.Load(),
-		JobsCompleted:    m.jobsCompleted.Load(),
-		JobsFailed:       m.jobsFailed.Load(),
-		JobsRejected:     m.jobsRejected.Load(),
-		JobsPanicked:     m.jobsPanicked.Load(),
-		JobsRecovered:    m.jobsRecovered.Load(),
-		JobsEvicted:      m.jobsEvicted.Load(),
-		JobsDeduplicated: m.jobsDeduplicated.Load(),
-		JournalErrors:    m.journalErrors.Load(),
-		QueueDepth:       m.queueDepth.Load(),
-		EventsReplayed:   m.eventsReplayed.Load(),
-		ReplayNanos:      m.replayNanos.Load(),
+		JobsAccepted:     int64(m.jobsAccepted.Value()),
+		JobsCompleted:    int64(m.jobsCompleted.Value()),
+		JobsFailed:       int64(m.jobsFailed.Value()),
+		JobsRejected:     int64(m.jobsRejected.Value()),
+		JobsPanicked:     int64(m.jobsPanicked.Value()),
+		JobsRecovered:    int64(m.jobsRecovered.Value()),
+		JobsEvicted:      int64(m.jobsEvicted.Value()),
+		JobsDeduplicated: int64(m.jobsDeduplicated.Value()),
+		JournalErrors:    int64(m.journalErrors.Value()),
+		QueueDepth:       m.queueDepth.Value(),
+		EventsReplayed:   int64(m.eventsReplayed.Value()),
+		ReplayNanos:      int64(m.replayNanos.Value()),
 	}
 }
 
-// WriteText renders the counters in the Prometheus text exposition style
-// served at GET /metrics. workers is the service's worker-pool size.
+// WriteText renders the full registry in the Prometheus text exposition
+// format served at GET /metrics. workers is the service's worker-pool size.
 func (m *Metrics) WriteText(w io.Writer, workers int) error {
-	s := m.Snapshot()
-	_, err := fmt.Fprintf(w,
-		"arbalestd_jobs_accepted_total %d\n"+
-			"arbalestd_jobs_completed_total %d\n"+
-			"arbalestd_jobs_failed_total %d\n"+
-			"arbalestd_jobs_rejected_total %d\n"+
-			"arbalestd_jobs_panicked_total %d\n"+
-			"arbalestd_jobs_recovered_total %d\n"+
-			"arbalestd_jobs_evicted_total %d\n"+
-			"arbalestd_jobs_deduplicated_total %d\n"+
-			"arbalestd_journal_errors_total %d\n"+
-			"arbalestd_queue_depth %d\n"+
-			"arbalestd_workers %d\n"+
-			"arbalestd_events_replayed_total %d\n"+
-			"arbalestd_replay_nanoseconds_total %d\n",
-		s.JobsAccepted, s.JobsCompleted, s.JobsFailed, s.JobsRejected,
-		s.JobsPanicked, s.JobsRecovered, s.JobsEvicted, s.JobsDeduplicated,
-		s.JournalErrors, s.QueueDepth, workers, s.EventsReplayed, s.ReplayNanos)
-	return err
+	m.workers.Set(int64(workers))
+	return m.reg.WritePrometheus(w)
+}
+
+// recordJobStats folds one finished job's analyzer-level telemetry into the
+// service-wide labeled counters. st may be nil (stats disabled).
+func (m *Metrics) recordJobStats(st *tools.Stats) {
+	if st == nil {
+		return
+	}
+	for _, t := range st.VSMTransitions {
+		m.vsmTransitions.With(t.From, t.To).Add(t.Count)
+	}
+	m.casRetries.Add(st.ShadowCASRetries)
+	m.intervalLookups.Add(st.IntervalLookups)
 }

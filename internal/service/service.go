@@ -26,6 +26,15 @@
 // an idempotency key with a submission; a retried upload carrying the
 // same key is deduplicated to the original job instead of analyzed
 // twice.
+//
+// # Observability
+//
+// Every job carries a span tree (accept -> parse -> journal -> queue ->
+// replay -> summarize) served at GET /v1/jobs/{id}/trace and embedded in
+// the job JSON; GET /metrics exposes the full telemetry registry in
+// Prometheus text format, including latency histograms and analyzer-level
+// VSM statistics aggregated across jobs. Operational logging goes through
+// a structured log/slog logger with job_id, tool, and phase attributes.
 package service
 
 import (
@@ -34,7 +43,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"runtime"
 	"strconv"
 	"strings"
@@ -43,6 +52,7 @@ import (
 
 	"repro/internal/faultinject"
 	"repro/internal/journal"
+	"repro/internal/telemetry"
 	"repro/internal/tools"
 	"repro/internal/trace"
 )
@@ -85,9 +95,17 @@ type Config struct {
 	// MaxJobAge, when positive, evicts terminal jobs whose finish time
 	// is older than this (checked when jobs finish and on submissions).
 	MaxJobAge time.Duration
-	// Logger receives operational warnings (journal mark failures,
-	// response-encode errors, recovery problems). Nil discards them.
-	Logger *log.Logger
+	// Logger receives structured operational logging (journal mark
+	// failures, analyzer panics, recovery problems); every job-scoped
+	// line carries job_id, tool, and phase attributes. Nil discards.
+	Logger *slog.Logger
+	// AnalyzerStats, when true, enables per-job analyzer-level telemetry
+	// (VSM state transitions, shadow CAS retries, interval-tree lookups)
+	// on analyzers that support it. The counts appear in each job's
+	// result and aggregate into the /metrics registry. Off by default:
+	// the instrumented paths are nil-checked atomics with no measurable
+	// overhead when disabled, but collection itself is opt-in.
+	AnalyzerStats bool
 }
 
 func (c Config) withDefaults() Config {
@@ -107,7 +125,7 @@ func (c Config) withDefaults() Config {
 		c.MaxFinishedJobs = 1024
 	}
 	if c.Logger == nil {
-		c.Logger = log.New(io.Discard, "", 0)
+		c.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
 	return c
 }
@@ -118,7 +136,7 @@ func (c Config) withDefaults() Config {
 // accepted jobs.
 type Service struct {
 	cfg     Config
-	metrics Metrics
+	metrics *Metrics
 
 	mu        sync.Mutex
 	queue     chan *job
@@ -143,10 +161,11 @@ type Service struct {
 func New(cfg Config) *Service {
 	cfg = cfg.withDefaults()
 	return &Service{
-		cfg:   cfg,
-		queue: make(chan *job, cfg.QueueSize),
-		jobs:  make(map[string]*job),
-		keys:  make(map[string]string),
+		cfg:     cfg,
+		metrics: newMetrics(),
+		queue:   make(chan *job, cfg.QueueSize),
+		jobs:    make(map[string]*job),
+		keys:    make(map[string]string),
 	}
 }
 
@@ -154,7 +173,13 @@ func New(cfg Config) *Service {
 func (s *Service) Config() Config { return s.cfg }
 
 // Metrics returns the service's counters.
-func (s *Service) Metrics() *Metrics { return &s.metrics }
+func (s *Service) Metrics() *Metrics { return s.metrics }
+
+// jobLogger returns the configured logger scoped to one job, so every line
+// it emits carries the job_id and tool attributes.
+func (s *Service) jobLogger(j *job) *slog.Logger {
+	return s.cfg.Logger.With("job_id", j.id, "tool", j.tool)
+}
 
 // Draining reports whether Shutdown has begun; the health endpoint turns
 // 503 once it has, so load balancers stop routing to this instance.
@@ -195,8 +220,13 @@ func (s *Service) Recover() (int, error) {
 	}
 	s.recovered = true
 	for _, err := range errs {
-		s.metrics.journalErrors.Add(1)
-		s.cfg.Logger.Printf("recovery: %v", err)
+		s.metrics.journalErrors.Inc()
+		l := s.cfg.Logger.With("phase", "recovery")
+		var je *journal.JobError
+		if errors.As(err, &je) {
+			l = l.With("job_id", je.ID)
+		}
+		l.Error("journal recovery error", "err", err)
 	}
 
 	// Grow the queue if the backlog from the previous life exceeds the
@@ -237,7 +267,8 @@ func (s *Service) Recover() (int, error) {
 				if err := json.Unmarshal(rj.Result, &sum); err == nil {
 					j.result = &sum
 				} else {
-					s.cfg.Logger.Printf("recovery: job %s: result unmarshal: %v", rj.ID, err)
+					s.jobLogger(j).Error("recovered result unmarshal failed",
+						"phase", "recovery", "err", err)
 				}
 			}
 		case journal.StatusFailed:
@@ -248,10 +279,12 @@ func (s *Service) Recover() (int, error) {
 			j.status = StatusPending
 			j.started = time.Time{}
 			j.tr = rj.Trace
+			j.enqueued = time.Now()
 			s.queue <- j
 			requeued++
-			s.metrics.jobsRecovered.Add(1)
+			s.metrics.jobsRecovered.Inc()
 			s.metrics.queueDepth.Add(1)
+			s.jobLogger(j).Info("job re-enqueued from journal", "phase", "recovery")
 		}
 		s.jobs[j.id] = j
 		s.order = append(s.order, j.id)
@@ -283,7 +316,7 @@ func (s *Service) Start() {
 // never blocks: a full queue fails with ErrQueueFull (HTTP 429) so callers
 // get backpressure instead of latency.
 func (s *Service) Submit(toolName string, tr *trace.Trace) (JobView, error) {
-	view, _, err := s.SubmitKeyed(toolName, "", tr)
+	view, _, err := s.SubmitTrace(SubmitOptions{Tool: toolName}, tr)
 	return view, err
 }
 
@@ -293,7 +326,33 @@ func (s *Service) Submit(toolName string, tr *trace.Trace) (JobView, error) {
 // what makes client-side retry of an upload safe. With a journal
 // configured, the job is durably journaled before it is acknowledged.
 func (s *Service) SubmitKeyed(toolName, key string, tr *trace.Trace) (view JobView, duplicate bool, err error) {
-	if _, err := tools.New(toolName); err != nil {
+	return s.SubmitTrace(SubmitOptions{Tool: toolName, Key: key}, tr)
+}
+
+// SubmitOptions carries a submission's metadata, including the timing the
+// caller observed before Submit was reached, so the job's span tree can
+// start at request arrival rather than at enqueue.
+type SubmitOptions struct {
+	// Tool is the analyzer name (see tools.Names).
+	Tool string
+	// Key is the optional idempotency key.
+	Key string
+	// Start is when the request was first seen (zero = now). It becomes
+	// the root span's start time.
+	Start time.Time
+	// ParseDuration is how long the caller spent parsing the trace before
+	// submission; non-zero adds a "parse" child span.
+	ParseDuration time.Duration
+}
+
+// SubmitTrace is the full submission entry point: Submit and SubmitKeyed
+// delegate to it. It builds the job's span tree (root "job" with parse,
+// journal, and queue children; the worker adds replay and summarize).
+func (s *Service) SubmitTrace(opts SubmitOptions, tr *trace.Trace) (view JobView, duplicate bool, err error) {
+	if opts.Start.IsZero() {
+		opts.Start = time.Now()
+	}
+	if _, err := tools.New(opts.Tool); err != nil {
 		s.countRejected()
 		return JobView{}, false, err
 	}
@@ -307,15 +366,15 @@ func (s *Service) SubmitKeyed(toolName, key string, tr *trace.Trace) (view JobVi
 		s.countRejected()
 		return JobView{}, false, ErrShuttingDown
 	}
-	if key != "" {
-		if id, ok := s.keys[key]; ok {
+	if opts.Key != "" {
+		if id, ok := s.keys[opts.Key]; ok {
 			if j, ok := s.jobs[id]; ok {
-				s.metrics.jobsDeduplicated.Add(1)
+				s.metrics.jobsDeduplicated.Inc()
 				return j.viewLocked(), true, nil
 			}
 			// The original was evicted by retention GC; treat the
 			// resubmission as new work.
-			delete(s.keys, key)
+			delete(s.keys, opts.Key)
 		}
 	}
 	// Workers only ever drain the queue, and submissions all hold s.mu,
@@ -327,21 +386,30 @@ func (s *Service) SubmitKeyed(toolName, key string, tr *trace.Trace) (view JobVi
 	}
 	j := &job{
 		id:        fmt.Sprintf("job-%d", s.nextID),
-		tool:      toolName,
-		key:       key,
+		tool:      opts.Tool,
+		key:       opts.Key,
 		status:    StatusPending,
 		submitted: time.Now(),
 		events:    len(tr.Events),
 		tr:        tr,
+		span:      telemetry.NewSpan("job", opts.Start),
+	}
+	j.span.SetCount("events", int64(j.events))
+	if opts.ParseDuration > 0 {
+		ps := j.span.StartChild("parse", opts.Start)
+		ps.EndAt(opts.Start.Add(opts.ParseDuration))
 	}
 	if s.cfg.Journal != nil {
 		// Write-ahead: the job is journaled (trace + pending mark,
 		// fsynced) before it is acknowledged or enqueued, so a crash
 		// after this point cannot lose it.
-		if jerr := s.cfg.Journal.Append(journal.Record{
+		js := j.span.StartChild("journal", time.Time{})
+		jerr := s.cfg.Journal.Append(journal.Record{
 			ID: j.id, Tool: j.tool, Key: j.key, Events: j.events, Submitted: j.submitted,
-		}, tr); jerr != nil {
-			s.metrics.journalErrors.Add(1)
+		}, tr)
+		js.EndAt(time.Time{})
+		if jerr != nil {
+			s.metrics.journalErrors.Inc()
 			s.countRejected()
 			return JobView{}, false, fmt.Errorf("%w: %v", ErrJournal, jerr)
 		}
@@ -349,11 +417,13 @@ func (s *Service) SubmitKeyed(toolName, key string, tr *trace.Trace) (view JobVi
 	s.nextID++
 	s.jobs[j.id] = j
 	s.order = append(s.order, j.id)
-	if key != "" {
-		s.keys[key] = j.id
+	if opts.Key != "" {
+		s.keys[opts.Key] = j.id
 	}
+	j.enqueued = time.Now()
+	j.span.StartChild("queue", j.enqueued)
 	s.queue <- j
-	s.metrics.jobsAccepted.Add(1)
+	s.metrics.jobsAccepted.Inc()
 	s.metrics.queueDepth.Add(1)
 	s.gcLocked(time.Now())
 	return j.viewLocked(), false, nil
@@ -362,7 +432,7 @@ func (s *Service) SubmitKeyed(toolName, key string, tr *trace.Trace) (view JobVi
 // countRejected is the single place submission rejections are counted, so
 // no code path can double-count one rejection (the HTTP layer counts
 // body/parse failures through it too, before Submit is ever reached).
-func (s *Service) countRejected() { s.metrics.jobsRejected.Add(1) }
+func (s *Service) countRejected() { s.metrics.jobsRejected.Inc() }
 
 // Job returns a snapshot of the identified job.
 func (s *Service) Job(id string) (JobView, bool) {
@@ -373,6 +443,19 @@ func (s *Service) Job(id string) (JobView, bool) {
 		return JobView{}, false
 	}
 	return j.viewLocked(), true
+}
+
+// JobTrace returns a deep copy of the identified job's span tree, or
+// (nil, true) for a job that has none (jobs recovered from the journal
+// lose their in-memory spans).
+func (s *Service) JobTrace(id string) (*telemetry.Span, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return nil, false
+	}
+	return j.span.Clone(), true
 }
 
 // Jobs returns snapshots of every job in submission order.
@@ -425,40 +508,50 @@ func (s *Service) worker() {
 // mark journals a lifecycle transition, logging (never failing the job
 // on) journal errors: the in-memory state is already correct, and a lost
 // terminal mark only means the job is re-analyzed after a crash.
-func (s *Service) mark(id, status, errMsg string, result json.RawMessage) {
+func (s *Service) mark(j *job, status, errMsg string, result json.RawMessage) {
 	if s.cfg.Journal == nil {
 		return
 	}
-	if err := s.cfg.Journal.Mark(id, status, errMsg, result); err != nil {
-		s.metrics.journalErrors.Add(1)
-		s.cfg.Logger.Printf("journal: mark %s %s: %v", id, status, err)
+	if err := s.cfg.Journal.Mark(j.id, status, errMsg, result); err != nil {
+		s.metrics.journalErrors.Inc()
+		s.jobLogger(j).Error("journal mark failed", "phase", status, "err", err)
 	}
 }
 
 // runJob replays one job's trace through a fresh analyzer and records the
-// outcome on the job and the metrics. An analyzer panic is confined to
-// this job: it is recovered, recorded as the job's failure with a stack
-// fragment, and the worker goes on to its next job.
+// outcome on the job, its span tree, and the metrics. An analyzer panic is
+// confined to this job: it is recovered, recorded as the job's failure with
+// a stack fragment, and the worker goes on to its next job.
 func (s *Service) runJob(j *job) {
 	s.mu.Lock()
 	j.status = StatusRunning
 	j.started = time.Now()
+	if qs := j.span.Child("queue"); qs != nil {
+		qs.EndAt(j.started)
+	}
+	if !j.enqueued.IsZero() {
+		s.metrics.queueWait.ObserveDuration(j.started.Sub(j.enqueued))
+	}
 	tr := j.tr
 	hook := s.testHookRunning
 	s.mu.Unlock()
-	s.mark(j.id, journal.StatusRunning, "", nil)
+	s.mark(j, journal.StatusRunning, "", nil)
 	if hook != nil {
 		hook(j.id)
 	}
 
 	var (
-		wall    time.Duration
-		summary *tools.Summary
+		replayStart time.Time
+		wall        time.Duration
+		sumStart    time.Time
+		sumDur      time.Duration
+		summary     *tools.Summary
 	)
 	err := func() (err error) {
 		defer func() {
 			if r := recover(); r != nil {
-				s.metrics.jobsPanicked.Add(1)
+				s.metrics.jobsPanicked.Inc()
+				s.jobLogger(j).Error("analyzer panicked", "phase", "replay", "panic", fmt.Sprint(r))
 				err = fmt.Errorf("analyzer panicked: %v\n%s", r, stackFragment())
 			}
 		}()
@@ -472,21 +565,29 @@ func (s *Service) runJob(j *job) {
 		if err != nil {
 			return err
 		}
+		if s.cfg.AnalyzerStats {
+			if sp, ok := a.(tools.StatsProvider); ok {
+				sp.EnableStats()
+			}
+		}
 		ctx := context.Background()
 		cancel := func() {}
 		if s.cfg.ReplayTimeout > 0 {
 			ctx, cancel = context.WithTimeout(ctx, s.cfg.ReplayTimeout)
 		}
-		start := time.Now()
+		replayStart = time.Now()
 		err = tr.ReplayContext(ctx, a)
-		wall = time.Since(start)
+		wall = time.Since(replayStart)
 		cancel()
-		s.metrics.replayNanos.Add(int64(wall))
+		s.metrics.replayNanos.Add(uint64(wall))
+		s.metrics.replaySeconds.ObserveDuration(wall)
 		if err != nil {
 			return err
 		}
-		s.metrics.eventsReplayed.Add(int64(len(tr.Events)))
+		s.metrics.eventsReplayed.Add(uint64(len(tr.Events)))
+		sumStart = time.Now()
 		summary = tools.Summarize(a)
+		sumDur = time.Since(sumStart)
 		return nil
 	}()
 
@@ -508,15 +609,34 @@ func (s *Service) runJob(j *job) {
 		j.status = StatusDone
 		j.result = summary
 	}
+	if j.span != nil {
+		if !replayStart.IsZero() {
+			rs := j.span.StartChild("replay", replayStart)
+			rs.EndAt(replayStart.Add(wall))
+			rs.SetCount("events", int64(j.events))
+		}
+		if !sumStart.IsZero() {
+			ss := j.span.StartChild("summarize", sumStart)
+			ss.EndAt(sumStart.Add(sumDur))
+			if summary != nil {
+				ss.SetCount("issues", int64(summary.Issues))
+			}
+		}
+		j.span.EndAt(j.finished)
+	}
+	s.metrics.jobSeconds.ObserveDuration(j.finished.Sub(j.submitted))
 	now := j.finished
 	s.gcLocked(now)
 	s.mu.Unlock()
 	if err != nil {
-		s.metrics.jobsFailed.Add(1)
-		s.mark(j.id, journal.StatusFailed, err.Error(), nil)
+		s.metrics.jobsFailed.Inc()
+		s.mark(j, journal.StatusFailed, err.Error(), nil)
 	} else {
-		s.metrics.jobsCompleted.Add(1)
-		s.mark(j.id, journal.StatusDone, "", resultJSON)
+		s.metrics.jobsCompleted.Inc()
+		if summary != nil {
+			s.metrics.recordJobStats(summary.Stats)
+		}
+		s.mark(j, journal.StatusDone, "", resultJSON)
 	}
 }
 
@@ -589,14 +709,14 @@ func (s *Service) gcLocked(now time.Time) int {
 		}
 		if s.cfg.Journal != nil {
 			if err := s.cfg.Journal.Remove(id); err != nil {
-				s.cfg.Logger.Printf("journal: remove %s: %v", id, err)
+				s.jobLogger(j).Error("journal remove failed", "phase", "gc", "err", err)
 			}
 		}
 		evicted++
 	}
 	s.order = keep
 	if evicted > 0 {
-		s.metrics.jobsEvicted.Add(int64(evicted))
+		s.metrics.jobsEvicted.Add(uint64(evicted))
 	}
 	return evicted
 }

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/interval"
 	"repro/internal/mem"
+	"repro/internal/telemetry"
 )
 
 // Memory is a direct-mapped shadow memory.
@@ -22,6 +23,10 @@ type Memory struct {
 
 	bytes atomic.Uint64 // current shadow bytes allocated
 	peak  atomic.Uint64 // high-water mark (space-overhead experiment, Fig 9)
+
+	// stats, when non-nil, counts interval-tree lookups. Set once via
+	// SetStats before the memory sees concurrent traffic.
+	stats *telemetry.AnalyzerStats
 }
 
 // Region is the shadow slab for one registered OV range.
@@ -89,8 +94,14 @@ func (m *Memory) Unregister(lo mem.Addr) bool {
 	return false
 }
 
+// SetStats attaches a telemetry collector that counts this memory's
+// interval-tree lookups. It must be called before the memory sees
+// concurrent traffic (the detector enables stats before replay starts).
+func (m *Memory) SetStats(s *telemetry.AnalyzerStats) { m.stats = s }
+
 // RegionOf returns the region containing addr, or nil.
 func (m *Memory) RegionOf(addr mem.Addr) *Region {
+	m.stats.RecordTreeLookup()
 	_, r, ok := m.regions.Stab(uint64(addr))
 	if !ok {
 		return nil

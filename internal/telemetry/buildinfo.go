@@ -1,0 +1,31 @@
+package telemetry
+
+import (
+	"runtime"
+	"runtime/debug"
+)
+
+// BuildInfo identifies the running binary: the module version the binary
+// was built from and the Go toolchain that built it. It is the payload of
+// arbalestd's GET /version endpoint, the value set of the
+// arbalestd_build_info metric, and what `arbalest -version` prints.
+type BuildInfo struct {
+	Version   string `json:"version"`
+	GoVersion string `json:"goVersion"`
+}
+
+// Version reads the binary's build information. Binaries built outside a
+// module context report version "unknown"; development builds report
+// "(devel)".
+func Version() BuildInfo {
+	bi := BuildInfo{Version: "unknown", GoVersion: runtime.Version()}
+	if info, ok := debug.ReadBuildInfo(); ok {
+		if info.Main.Version != "" {
+			bi.Version = info.Main.Version
+		}
+		if info.GoVersion != "" {
+			bi.GoVersion = info.GoVersion
+		}
+	}
+	return bi
+}

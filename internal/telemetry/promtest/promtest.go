@@ -1,0 +1,385 @@
+// Package promtest is a minimal Prometheus text-exposition-format parser
+// used by tests to validate /metrics payloads end-to-end: every line must
+// parse, # HELP and # TYPE must precede a family's samples, histogram
+// bucket counts must be cumulative, and _count/_sum must be consistent
+// with the +Inf bucket. It is intentionally small — just enough of the
+// 0.0.4 format to round-trip what the telemetry registry emits.
+package promtest
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Sample is one parsed sample line.
+type Sample struct {
+	// Name is the full sample name, including _bucket/_sum/_count
+	// suffixes for histogram series.
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// Family is one metric family: the # HELP/# TYPE header plus its samples.
+type Family struct {
+	Name    string
+	Help    string
+	Type    string
+	Samples []Sample
+}
+
+// Parse parses a full text-exposition payload. It fails on any line that
+// is neither a well-formed comment nor a well-formed sample, on samples
+// appearing before their family's # HELP/# TYPE header, on duplicate
+// family declarations, and on # TYPE following samples of the family.
+func Parse(text string) ([]Family, error) {
+	var fams []Family
+	byName := make(map[string]*Family)
+	var current *Family
+	for i, line := range strings.Split(text, "\n") {
+		lineNo := i + 1
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(line, "# HELP "):
+			rest := strings.TrimPrefix(line, "# HELP ")
+			name, help, ok := strings.Cut(rest, " ")
+			if !ok || name == "" {
+				return nil, fmt.Errorf("line %d: malformed HELP: %q", lineNo, line)
+			}
+			if _, dup := byName[name]; dup {
+				return nil, fmt.Errorf("line %d: duplicate family %q", lineNo, name)
+			}
+			fams = append(fams, Family{Name: name, Help: help})
+			current = &fams[len(fams)-1]
+			byName[name] = current
+		case strings.HasPrefix(line, "# TYPE "):
+			rest := strings.TrimPrefix(line, "# TYPE ")
+			parts := strings.Fields(rest)
+			if len(parts) != 2 {
+				return nil, fmt.Errorf("line %d: malformed TYPE: %q", lineNo, line)
+			}
+			name, typ := parts[0], parts[1]
+			f, ok := byName[name]
+			if !ok {
+				return nil, fmt.Errorf("line %d: TYPE for %q precedes its HELP", lineNo, name)
+			}
+			if f.Type != "" {
+				return nil, fmt.Errorf("line %d: duplicate TYPE for %q", lineNo, name)
+			}
+			if len(f.Samples) > 0 {
+				return nil, fmt.Errorf("line %d: TYPE for %q follows its samples", lineNo, name)
+			}
+			switch typ {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				return nil, fmt.Errorf("line %d: unknown type %q", lineNo, typ)
+			}
+			f.Type = typ
+		case strings.HasPrefix(line, "#"):
+			// Other comments are legal and ignored.
+		default:
+			s, err := parseSample(line)
+			if err != nil {
+				return nil, fmt.Errorf("line %d: %w", lineNo, err)
+			}
+			f := familyOf(byName, s.Name)
+			if f == nil {
+				return nil, fmt.Errorf("line %d: sample %q has no preceding # HELP/# TYPE", lineNo, s.Name)
+			}
+			if f.Type == "" {
+				return nil, fmt.Errorf("line %d: sample %q precedes its # TYPE", lineNo, s.Name)
+			}
+			if current == nil || f.Name != current.Name {
+				return nil, fmt.Errorf("line %d: sample %q outside its family block", lineNo, s.Name)
+			}
+			f.Samples = append(f.Samples, s)
+		}
+	}
+	return fams, nil
+}
+
+// familyOf resolves a sample name to its family, stripping histogram
+// suffixes when the base family is a histogram.
+func familyOf(byName map[string]*Family, sample string) *Family {
+	if f, ok := byName[sample]; ok {
+		return f
+	}
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		if base, ok := strings.CutSuffix(sample, suffix); ok {
+			if f, ok := byName[base]; ok && f.Type == "histogram" {
+				return f
+			}
+		}
+	}
+	return nil
+}
+
+// parseSample parses `name{label="value",...} value`.
+func parseSample(line string) (Sample, error) {
+	s := Sample{Labels: map[string]string{}}
+	rest := line
+	nameEnd := strings.IndexAny(rest, "{ ")
+	if nameEnd <= 0 {
+		return s, fmt.Errorf("malformed sample: %q", line)
+	}
+	s.Name = rest[:nameEnd]
+	if !validName(s.Name) {
+		return s, fmt.Errorf("invalid metric name %q", s.Name)
+	}
+	rest = rest[nameEnd:]
+	if rest[0] == '{' {
+		labels, tail, err := parseLabels(rest)
+		if err != nil {
+			return s, err
+		}
+		s.Labels = labels
+		rest = tail
+	}
+	rest = strings.TrimSpace(rest)
+	v, err := parseValue(rest)
+	if err != nil {
+		return s, fmt.Errorf("bad value in %q: %w", line, err)
+	}
+	s.Value = v
+	return s, nil
+}
+
+func validName(name string) bool {
+	for i, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return name != ""
+}
+
+// parseLabels consumes a {k="v",...} block and returns the remainder.
+func parseLabels(rest string) (map[string]string, string, error) {
+	labels := map[string]string{}
+	rest = rest[1:] // consume '{'
+	for {
+		rest = strings.TrimLeft(rest, " ")
+		if rest == "" {
+			return nil, "", fmt.Errorf("unterminated label block")
+		}
+		if rest[0] == '}' {
+			return labels, rest[1:], nil
+		}
+		eq := strings.Index(rest, "=")
+		if eq <= 0 {
+			return nil, "", fmt.Errorf("malformed label in %q", rest)
+		}
+		key := strings.TrimSpace(rest[:eq])
+		if !validName(key) {
+			return nil, "", fmt.Errorf("invalid label name %q", key)
+		}
+		rest = rest[eq+1:]
+		if rest == "" || rest[0] != '"' {
+			return nil, "", fmt.Errorf("label %q value not quoted", key)
+		}
+		val, tail, err := parseQuoted(rest)
+		if err != nil {
+			return nil, "", fmt.Errorf("label %q: %w", key, err)
+		}
+		if _, dup := labels[key]; dup {
+			return nil, "", fmt.Errorf("duplicate label %q", key)
+		}
+		labels[key] = val
+		rest = tail
+		if strings.HasPrefix(rest, ",") {
+			rest = rest[1:]
+		}
+	}
+}
+
+// parseQuoted consumes a double-quoted string with \\, \", and \n escapes.
+func parseQuoted(rest string) (string, string, error) {
+	var sb strings.Builder
+	for i := 1; i < len(rest); i++ {
+		switch rest[i] {
+		case '\\':
+			if i+1 >= len(rest) {
+				return "", "", fmt.Errorf("dangling escape")
+			}
+			i++
+			switch rest[i] {
+			case '\\':
+				sb.WriteByte('\\')
+			case '"':
+				sb.WriteByte('"')
+			case 'n':
+				sb.WriteByte('\n')
+			default:
+				return "", "", fmt.Errorf("unknown escape \\%c", rest[i])
+			}
+		case '"':
+			return sb.String(), rest[i+1:], nil
+		default:
+			sb.WriteByte(rest[i])
+		}
+	}
+	return "", "", fmt.Errorf("unterminated quoted string")
+}
+
+func parseValue(v string) (float64, error) {
+	switch v {
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(v, 64)
+}
+
+// Validate parses text and applies the structural checks: every family
+// has a type, histogram buckets are cumulative and ordered by le, the
+// +Inf bucket equals _count, and _sum/_count are present exactly once per
+// histogram series.
+func Validate(text string) ([]Family, error) {
+	fams, err := Parse(text)
+	if err != nil {
+		return nil, err
+	}
+	for i := range fams {
+		f := &fams[i]
+		if f.Type == "" {
+			return nil, fmt.Errorf("family %q has no # TYPE", f.Name)
+		}
+		if f.Type == "histogram" {
+			if err := validateHistogram(f); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return fams, nil
+}
+
+// histSeries accumulates one histogram series (one base label set).
+type histSeries struct {
+	buckets  map[float64]float64 // le -> cumulative count
+	sum      float64
+	sumSeen  int
+	countVal float64
+	countN   int
+}
+
+func validateHistogram(f *Family) error {
+	series := map[string]*histSeries{}
+	get := func(labels map[string]string) *histSeries {
+		key := baseLabelKey(labels)
+		s, ok := series[key]
+		if !ok {
+			s = &histSeries{buckets: map[float64]float64{}}
+			series[key] = s
+		}
+		return s
+	}
+	for _, s := range f.Samples {
+		switch s.Name {
+		case f.Name + "_bucket":
+			le, ok := s.Labels["le"]
+			if !ok {
+				return fmt.Errorf("%s: bucket sample without le label", f.Name)
+			}
+			bound, err := parseValue(le)
+			if err != nil {
+				return fmt.Errorf("%s: bad le %q: %w", f.Name, le, err)
+			}
+			hs := get(s.Labels)
+			if _, dup := hs.buckets[bound]; dup {
+				return fmt.Errorf("%s: duplicate bucket le=%q", f.Name, le)
+			}
+			hs.buckets[bound] = s.Value
+		case f.Name + "_sum":
+			hs := get(s.Labels)
+			hs.sum = s.Value
+			hs.sumSeen++
+		case f.Name + "_count":
+			hs := get(s.Labels)
+			hs.countVal = s.Value
+			hs.countN++
+		default:
+			return fmt.Errorf("%s: unexpected histogram sample %q", f.Name, s.Name)
+		}
+	}
+	for key, hs := range series {
+		if hs.sumSeen != 1 || hs.countN != 1 {
+			return fmt.Errorf("%s{%s}: want exactly one _sum and _count, got %d and %d",
+				f.Name, key, hs.sumSeen, hs.countN)
+		}
+		inf, ok := hs.buckets[math.Inf(1)]
+		if !ok {
+			return fmt.Errorf("%s{%s}: missing +Inf bucket", f.Name, key)
+		}
+		if inf != hs.countVal {
+			return fmt.Errorf("%s{%s}: +Inf bucket %v != _count %v", f.Name, key, inf, hs.countVal)
+		}
+		bounds := make([]float64, 0, len(hs.buckets))
+		for b := range hs.buckets {
+			bounds = append(bounds, b)
+		}
+		sort.Float64s(bounds)
+		prev := -1.0
+		for _, b := range bounds {
+			if c := hs.buckets[b]; c < prev {
+				return fmt.Errorf("%s{%s}: bucket le=%v count %v not cumulative", f.Name, key, b, c)
+			} else {
+				prev = c
+			}
+		}
+	}
+	return nil
+}
+
+// baseLabelKey is a stable key over the labels minus le.
+func baseLabelKey(labels map[string]string) string {
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		if k == "le" {
+			continue
+		}
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sb strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&sb, "%s=%q,", k, labels[k])
+	}
+	return sb.String()
+}
+
+// Find returns the first sample with the given name (full name, including
+// any histogram suffix) whose labels are a superset of want, or false.
+func Find(fams []Family, name string, want map[string]string) (Sample, bool) {
+	for _, f := range fams {
+		for _, s := range f.Samples {
+			if s.Name != name {
+				continue
+			}
+			match := true
+			for k, v := range want {
+				if s.Labels[k] != v {
+					match = false
+					break
+				}
+			}
+			if match {
+				return s, true
+			}
+		}
+	}
+	return Sample{}, false
+}

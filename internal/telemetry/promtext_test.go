@@ -1,0 +1,95 @@
+package telemetry_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/telemetry"
+	"repro/internal/telemetry/promtest"
+)
+
+// TestPrometheusRoundTrip renders a registry exercising every metric kind
+// and feeds the payload through the test-local Prometheus parser: every
+// line must parse, HELP/TYPE must precede samples, histogram buckets must
+// be cumulative with +Inf == _count.
+func TestPrometheusRoundTrip(t *testing.T) {
+	r := telemetry.NewRegistry()
+	r.Counter("rt_jobs_total", "Jobs.").Add(12)
+	r.Gauge("rt_depth", "Depth.").Set(-3)
+	h := r.Histogram("rt_wait_seconds", "Wait.", telemetry.DurationBuckets)
+	for i := 0; i < 100; i++ {
+		h.ObserveDuration(time.Duration(i) * time.Millisecond)
+	}
+	cv := r.CounterVec("rt_moves_total", "Moves by (from, to).", "from", "to")
+	cv.With("host", "target").Add(5)
+	cv.With("invalid", "host").Inc()
+	hv := r.HistogramVec("rt_op_seconds", "Op latency by kind.", []float64{0.01, 0.1, 1}, "kind")
+	hv.With("parse").Observe(0.05)
+	hv.With("replay").Observe(0.5)
+	hv.With("replay").Observe(2)
+	gv := r.GaugeVec("rt_build_info", "Build info.", "goversion", "version")
+	gv.With("go1.22", "v0.0.1").Set(1)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	fams, err := promtest.Validate(sb.String())
+	if err != nil {
+		t.Fatalf("payload failed validation: %v\n%s", err, sb.String())
+	}
+	if len(fams) != 6 {
+		t.Fatalf("got %d families, want 6", len(fams))
+	}
+
+	if s, ok := promtest.Find(fams, "rt_jobs_total", nil); !ok || s.Value != 12 {
+		t.Fatalf("rt_jobs_total = %+v, %v", s, ok)
+	}
+	if s, ok := promtest.Find(fams, "rt_depth", nil); !ok || s.Value != -3 {
+		t.Fatalf("rt_depth = %+v, %v", s, ok)
+	}
+	if s, ok := promtest.Find(fams, "rt_wait_seconds_count", nil); !ok || s.Value != 100 {
+		t.Fatalf("rt_wait_seconds_count = %+v, %v", s, ok)
+	}
+	if s, ok := promtest.Find(fams, "rt_moves_total", map[string]string{"from": "host", "to": "target"}); !ok || s.Value != 5 {
+		t.Fatalf("rt_moves_total{host,target} = %+v, %v", s, ok)
+	}
+	if s, ok := promtest.Find(fams, "rt_op_seconds_count", map[string]string{"kind": "replay"}); !ok || s.Value != 2 {
+		t.Fatalf("rt_op_seconds_count{replay} = %+v, %v", s, ok)
+	}
+	if s, ok := promtest.Find(fams, "rt_op_seconds_bucket", map[string]string{"kind": "replay", "le": "+Inf"}); !ok || s.Value != 2 {
+		t.Fatalf("rt_op_seconds_bucket{replay,+Inf} = %+v, %v", s, ok)
+	}
+	if _, ok := promtest.Find(fams, "rt_build_info", map[string]string{"goversion": "go1.22", "version": "v0.0.1"}); !ok {
+		t.Fatal("rt_build_info series missing")
+	}
+}
+
+// TestParserRejectsMalformed pins down that the parser actually enforces
+// the invariants the round-trip test relies on.
+func TestParserRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"sample without header": "orphan_total 1\n",
+		"TYPE before HELP":      "# TYPE x counter\nx 1\n",
+		"missing TYPE":          "# HELP x Help.\nx 1\n",
+		"bad value":             "# HELP x H.\n# TYPE x counter\nx banana\n",
+		"unterminated labels":   "# HELP x H.\n# TYPE x counter\nx{a=\"b\" 1\n",
+		"duplicate family":      "# HELP x H.\n# TYPE x counter\nx 1\n# HELP x H.\n",
+	}
+	for name, payload := range cases {
+		if _, err := promtest.Validate(payload); err == nil {
+			t.Errorf("%s: Validate accepted %q", name, payload)
+		}
+	}
+}
+
+func TestVersion(t *testing.T) {
+	bi := telemetry.Version()
+	if bi.Version == "" || bi.GoVersion == "" {
+		t.Fatalf("empty build info: %+v", bi)
+	}
+	if !strings.HasPrefix(bi.GoVersion, "go") {
+		t.Fatalf("odd go version: %q", bi.GoVersion)
+	}
+}

@@ -1,0 +1,197 @@
+package telemetry
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_ops_total", "Ops.")
+	g := r.Gauge("test_depth", "Depth.")
+
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	g.Set(7)
+	g.Add(-3)
+	if got := g.Value(); got != 4 {
+		t.Fatalf("gauge = %d, want 4", got)
+	}
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# HELP test_ops_total Ops.",
+		"# TYPE test_ops_total counter",
+		"test_ops_total 5",
+		"# TYPE test_depth gauge",
+		"test_depth 4",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dup_total", "First.")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("second registration of dup_total did not panic")
+		}
+	}()
+	r.Counter("dup_total", "Second.")
+}
+
+func TestHistogramObserve(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_seconds", "Latency.", []float64{0.1, 1, 10})
+
+	for _, v := range []float64{0.05, 0.5, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	if got := h.Count(); got != 5 {
+		t.Fatalf("count = %d, want 5", got)
+	}
+	if got, want := h.Sum(), 0.05+0.5+0.5+5+50; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("sum = %v, want %v", got, want)
+	}
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE test_seconds histogram",
+		`test_seconds_bucket{le="0.1"} 1`,
+		`test_seconds_bucket{le="1"} 3`,
+		`test_seconds_bucket{le="10"} 4`,
+		`test_seconds_bucket{le="+Inf"} 5`,
+		"test_seconds_count 5",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHistogramObserveDuration(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_dur_seconds", "D.", DurationBuckets)
+	h.ObserveDuration(1500 * time.Millisecond)
+	if got := h.Count(); got != 1 {
+		t.Fatalf("count = %d, want 1", got)
+	}
+	if got := h.Sum(); math.Abs(got-1.5) > 1e-9 {
+		t.Fatalf("sum = %v, want 1.5", got)
+	}
+}
+
+func TestVecSeriesAndEscaping(t *testing.T) {
+	r := NewRegistry()
+	cv := r.CounterVec("test_moves_total", "Moves.", "from", "to")
+	cv.With("host", "target").Add(3)
+	cv.With("target", "host").Inc()
+	cv.With("host", "target").Inc() // same series: one sample, value 4
+
+	gv := r.GaugeVec("test_info", "Info with \"quotes\" and \\ slash.", "label")
+	gv.With("a\"b\\c\nd").Set(1)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`test_moves_total{from="host",to="target"} 4`,
+		`test_moves_total{from="target",to="host"} 1`,
+		`test_info{label="a\"b\\c\nd"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Count(out, "test_moves_total{") != 2 {
+		t.Errorf("want exactly 2 test_moves_total series:\n%s", out)
+	}
+}
+
+func TestVecWrongCardinalityPanics(t *testing.T) {
+	r := NewRegistry()
+	cv := r.CounterVec("test_bad_total", "Bad.", "a", "b")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("With(one value) on a two-label vec did not panic")
+		}
+	}()
+	cv.With("only-one")
+}
+
+// TestConcurrentRegistry hammers every metric kind from many goroutines
+// while a reader renders the registry; run under -race this is the
+// lock-freedom check for the hot path.
+func TestConcurrentRegistry(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("conc_ops_total", "Ops.")
+	g := r.Gauge("conc_depth", "Depth.")
+	h := r.Histogram("conc_seconds", "Latency.", DurationBuckets)
+	cv := r.CounterVec("conc_moves_total", "Moves.", "from", "to")
+
+	const goroutines = 8
+	const iters = 2000
+	var wg sync.WaitGroup
+	wg.Add(goroutines + 1)
+	for i := 0; i < goroutines; i++ {
+		go func(i int) {
+			defer wg.Done()
+			for k := 0; k < iters; k++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(k%7) * 0.01)
+				cv.With("host", "target").Inc()
+			}
+		}(i)
+	}
+	go func() {
+		defer wg.Done()
+		for k := 0; k < 50; k++ {
+			var sb strings.Builder
+			if err := r.WritePrometheus(&sb); err != nil {
+				t.Errorf("WritePrometheus: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+
+	if got := c.Value(); got != goroutines*iters {
+		t.Fatalf("counter = %d, want %d", got, goroutines*iters)
+	}
+	if got := h.Count(); got != goroutines*iters {
+		t.Fatalf("histogram count = %d, want %d", got, goroutines*iters)
+	}
+	if got := cv.With("host", "target").Value(); got != goroutines*iters {
+		t.Fatalf("vec counter = %d, want %d", got, goroutines*iters)
+	}
+}
+
+func TestBadBucketsPanic(t *testing.T) {
+	r := NewRegistry()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-increasing buckets did not panic")
+		}
+	}()
+	r.Histogram("test_bad_seconds", "Bad.", []float64{1, 1})
+}

@@ -1,0 +1,106 @@
+package telemetry
+
+import "time"
+
+// Span is one node of a job's trace tree: a named wall-clock interval with
+// optional event counts and child spans. The service builds one tree per
+// analysis job (root "job", children "parse", "journal", "queue", "replay",
+// "summarize") and serves it at GET /v1/jobs/{id}/trace.
+//
+// A Span is not internally synchronized: the owner builds children fully
+// before attaching them and serves readers a Clone, which is how the
+// service uses it (all attachments happen under the service mutex).
+type Span struct {
+	Name          string           `json:"name"`
+	Start         time.Time        `json:"start"`
+	DurationNanos int64            `json:"durationNanos"`
+	Counts        map[string]int64 `json:"counts,omitempty"`
+	Children      []*Span          `json:"children,omitempty"`
+}
+
+// NewSpan starts a span at the given time (time.Now() when zero).
+func NewSpan(name string, start time.Time) *Span {
+	if start.IsZero() {
+		start = time.Now()
+	}
+	return &Span{Name: name, Start: start}
+}
+
+// StartChild creates, attaches, and returns a child span starting at the
+// given time (time.Now() when zero).
+func (s *Span) StartChild(name string, start time.Time) *Span {
+	c := NewSpan(name, start)
+	s.Children = append(s.Children, c)
+	return c
+}
+
+// EndAt closes the span at the given time (time.Now() when zero). Ending a
+// span before its start clamps the duration to zero.
+func (s *Span) EndAt(at time.Time) {
+	if at.IsZero() {
+		at = time.Now()
+	}
+	if d := at.Sub(s.Start); d > 0 {
+		s.DurationNanos = int64(d)
+	} else {
+		s.DurationNanos = 0
+	}
+}
+
+// SetCount attaches a named event count (e.g. events replayed, issues
+// found) to the span.
+func (s *Span) SetCount(key string, v int64) {
+	if s.Counts == nil {
+		s.Counts = make(map[string]int64)
+	}
+	s.Counts[key] = v
+}
+
+// Duration returns the span's recorded wall time.
+func (s *Span) Duration() time.Duration { return time.Duration(s.DurationNanos) }
+
+// ChildrenNanos sums the direct children's durations; the consistency
+// checks assert it never exceeds the parent's duration once closed.
+func (s *Span) ChildrenNanos() int64 {
+	var sum int64
+	for _, c := range s.Children {
+		sum += c.DurationNanos
+	}
+	return sum
+}
+
+// Child returns the first direct child with the given name, or nil. It is
+// nil-safe: a nil span has no children.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	for _, c := range s.Children {
+		if c.Name == name {
+			return c
+		}
+	}
+	return nil
+}
+
+// Clone deep-copies the span tree. It is nil-safe and is what the service
+// hands to concurrent readers while the original is still being built.
+func (s *Span) Clone() *Span {
+	if s == nil {
+		return nil
+	}
+	out := &Span{Name: s.Name, Start: s.Start, DurationNanos: s.DurationNanos}
+	if len(s.Counts) > 0 {
+		out.Counts = make(map[string]int64, len(s.Counts))
+		for k, v := range s.Counts {
+			out.Counts[k] = v
+		}
+	}
+	if len(s.Children) > 0 {
+		out.Children = make([]*Span, len(s.Children))
+		for i, c := range s.Children {
+			out.Children[i] = c.Clone()
+		}
+	}
+	return out
+}

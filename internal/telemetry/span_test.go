@@ -1,0 +1,131 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+func TestSpanTree(t *testing.T) {
+	t0 := time.Now()
+	root := NewSpan("job", t0)
+	p := root.StartChild("parse", t0)
+	p.EndAt(t0.Add(10 * time.Millisecond))
+	q := root.StartChild("queue", t0.Add(10*time.Millisecond))
+	q.EndAt(t0.Add(25 * time.Millisecond))
+	rp := root.StartChild("replay", t0.Add(25*time.Millisecond))
+	rp.SetCount("events", 42)
+	rp.EndAt(t0.Add(95 * time.Millisecond))
+	root.EndAt(t0.Add(100 * time.Millisecond))
+
+	if got := root.Duration(); got != 100*time.Millisecond {
+		t.Fatalf("root duration = %v, want 100ms", got)
+	}
+	if got := root.ChildrenNanos(); got > root.DurationNanos {
+		t.Fatalf("children sum %d exceeds root %d", got, root.DurationNanos)
+	}
+	if c := root.Child("replay"); c == nil || c.Counts["events"] != 42 {
+		t.Fatalf("replay child lookup failed: %+v", c)
+	}
+	if root.Child("nope") != nil {
+		t.Fatal("Child returned a span for an unknown name")
+	}
+}
+
+func TestSpanEndBeforeStartClamps(t *testing.T) {
+	t0 := time.Now()
+	s := NewSpan("x", t0)
+	s.EndAt(t0.Add(-time.Second))
+	if s.DurationNanos != 0 {
+		t.Fatalf("negative duration not clamped: %d", s.DurationNanos)
+	}
+}
+
+func TestSpanCloneIsDeep(t *testing.T) {
+	t0 := time.Now()
+	root := NewSpan("job", t0)
+	c := root.StartChild("replay", t0)
+	c.SetCount("events", 1)
+	root.EndAt(t0.Add(time.Millisecond))
+
+	cp := root.Clone()
+	c.SetCount("events", 999)
+	root.StartChild("late", t0)
+
+	if cp.Child("replay").Counts["events"] != 1 {
+		t.Fatal("clone shares child counts with the original")
+	}
+	if cp.Child("late") != nil {
+		t.Fatal("clone shares the children slice with the original")
+	}
+	var nilSpan *Span
+	if nilSpan.Clone() != nil {
+		t.Fatal("nil Clone should return nil")
+	}
+	if nilSpan.Child("x") != nil {
+		t.Fatal("nil Child should return nil")
+	}
+}
+
+func TestSpanJSONRoundTrip(t *testing.T) {
+	t0 := time.Now().UTC().Truncate(time.Microsecond)
+	root := NewSpan("job", t0)
+	root.StartChild("replay", t0).EndAt(t0.Add(time.Millisecond))
+	root.EndAt(t0.Add(2 * time.Millisecond))
+
+	b, err := json.Marshal(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Span
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != "job" || len(back.Children) != 1 || back.Children[0].Name != "replay" {
+		t.Fatalf("round trip lost structure: %+v", back)
+	}
+	if back.DurationNanos != root.DurationNanos {
+		t.Fatalf("duration %d != %d", back.DurationNanos, root.DurationNanos)
+	}
+}
+
+func TestAnalyzerStatsNilSafe(t *testing.T) {
+	var s *AnalyzerStats
+	// Every recording method must be a no-op on nil: this is the whole
+	// zero-overhead-when-disabled mechanism.
+	s.RecordTransition(0, 1)
+	s.RecordCASRetry()
+	s.RecordTreeLookup()
+	if s.Enabled() {
+		t.Fatal("nil stats report Enabled")
+	}
+	if s.TransitionCount(0, 1) != 0 || s.CASRetries() != 0 || s.TreeLookups() != 0 {
+		t.Fatal("nil stats report nonzero counts")
+	}
+}
+
+func TestAnalyzerStatsCounts(t *testing.T) {
+	s := NewAnalyzerStats()
+	s.RecordTransition(1, 3) // host -> consistent
+	s.RecordTransition(1, 3)
+	s.RecordTransition(3, 2) // consistent -> target
+	s.RecordCASRetry()
+	s.RecordTreeLookup()
+	s.RecordTreeLookup()
+
+	if got := s.TransitionCount(1, 3); got != 2 {
+		t.Fatalf("TransitionCount(1,3) = %d, want 2", got)
+	}
+	if got := s.TransitionCount(3, 2); got != 1 {
+		t.Fatalf("TransitionCount(3,2) = %d, want 1", got)
+	}
+	if got := s.TransitionCount(0, 0); got != 0 {
+		t.Fatalf("TransitionCount(0,0) = %d, want 0", got)
+	}
+	if s.CASRetries() != 1 || s.TreeLookups() != 2 {
+		t.Fatalf("retries/lookups = %d/%d, want 1/2", s.CASRetries(), s.TreeLookups())
+	}
+	if !s.Enabled() {
+		t.Fatal("non-nil stats should report Enabled")
+	}
+}

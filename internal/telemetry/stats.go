@@ -1,0 +1,79 @@
+package telemetry
+
+import "sync/atomic"
+
+// NumVSMStates is the number of variable-state-machine states (invalid,
+// host, target, consistent — shadow.State). AnalyzerStats counts
+// transitions as a NumVSMStates x NumVSMStates matrix indexed by the
+// packed state values, so it needs no dependency on the shadow package.
+const NumVSMStates = 4
+
+// AnalyzerStats collects detector-level counters: VSM state transitions
+// per (from, to) pair, shadow-word CAS retries, and interval-tree lookups.
+//
+// Every method is safe to call on a nil receiver and does nothing there —
+// the detector hot paths carry a possibly-nil *AnalyzerStats and call it
+// unconditionally, so disabled stats cost one predictable branch per
+// record point and no atomic traffic (verified by the bench_test.go
+// disabled/enabled deltas).
+type AnalyzerStats struct {
+	transitions [NumVSMStates * NumVSMStates]atomic.Uint64
+	casRetries  atomic.Uint64
+	treeLookups atomic.Uint64
+}
+
+// NewAnalyzerStats returns a zeroed collector.
+func NewAnalyzerStats() *AnalyzerStats { return &AnalyzerStats{} }
+
+// Enabled reports whether the collector is live (non-nil).
+func (s *AnalyzerStats) Enabled() bool { return s != nil }
+
+// RecordTransition counts one VSM transition from state from to state to.
+// Out-of-range states are ignored.
+func (s *AnalyzerStats) RecordTransition(from, to uint8) {
+	if s == nil || from >= NumVSMStates || to >= NumVSMStates {
+		return
+	}
+	s.transitions[int(from)*NumVSMStates+int(to)].Add(1)
+}
+
+// RecordCASRetry counts one failed compare-and-swap on a shadow word.
+func (s *AnalyzerStats) RecordCASRetry() {
+	if s == nil {
+		return
+	}
+	s.casRetries.Add(1)
+}
+
+// RecordTreeLookup counts one interval-tree stab.
+func (s *AnalyzerStats) RecordTreeLookup() {
+	if s == nil {
+		return
+	}
+	s.treeLookups.Add(1)
+}
+
+// TransitionCount returns the recorded count for (from, to); zero on a nil
+// receiver or out-of-range states.
+func (s *AnalyzerStats) TransitionCount(from, to uint8) uint64 {
+	if s == nil || from >= NumVSMStates || to >= NumVSMStates {
+		return 0
+	}
+	return s.transitions[int(from)*NumVSMStates+int(to)].Load()
+}
+
+// CASRetries returns the recorded CAS-retry count (zero on nil).
+func (s *AnalyzerStats) CASRetries() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.casRetries.Load()
+}
+
+// TreeLookups returns the recorded interval-tree lookup count (zero on nil).
+func (s *AnalyzerStats) TreeLookups() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.treeLookups.Load()
+}

@@ -1,0 +1,103 @@
+package tools_test
+
+import (
+	"testing"
+
+	"repro/internal/omp"
+	"repro/internal/tools"
+)
+
+// runMapped drives a small mapped-region workload (alloc, host init, map
+// to device, kernel store, map back) through the analyzer, enough to move
+// shadow words through several VSM states.
+func runMapped(t *testing.T, a tools.Analyzer) {
+	t.Helper()
+	rt := omp.NewRuntime(omp.Config{NumThreads: 2, ForceSync: true}, a)
+	err := rt.Run(func(c *omp.Context) error {
+		v := c.AllocI64(8, "v")
+		for i := 0; i < 8; i++ {
+			c.StoreI64(v, i, int64(i))
+		}
+		c.Target(omp.Opts{Maps: []omp.Map{omp.ToFrom(v)}}, func(k *omp.Context) {
+			for i := 0; i < 8; i++ {
+				k.StoreI64(v, i, 2*k.LoadI64(v, i))
+			}
+		})
+		for i := 0; i < 8; i++ {
+			_ = c.LoadI64(v, i)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSummaryStatsEnabled: with stats enabled before the run, the summary
+// carries a populated analyzer-stats block whose transition names use the
+// paper's state vocabulary.
+func TestSummaryStatsEnabled(t *testing.T) {
+	af := tools.NewArbalestFull(nil)
+	if af.EnableStats() == nil {
+		t.Fatal("EnableStats returned nil")
+	}
+	runMapped(t, af)
+
+	sum := tools.Summarize(af)
+	if sum.Stats == nil {
+		t.Fatal("summary has no stats despite EnableStats")
+	}
+	st := sum.Stats
+	if st.Accesses == 0 {
+		t.Error("stats recorded zero accesses")
+	}
+	if st.IntervalLookups == 0 {
+		t.Error("stats recorded zero interval lookups")
+	}
+	if len(st.VSMTransitions) == 0 {
+		t.Fatal("stats recorded zero VSM transitions")
+	}
+	valid := map[string]bool{"invalid": true, "host": true, "target": true, "consistent": true}
+	var total uint64
+	for _, tr := range st.VSMTransitions {
+		if !valid[tr.From] || !valid[tr.To] {
+			t.Errorf("transition uses non-VSM state names: %+v", tr)
+		}
+		if tr.Count == 0 {
+			t.Errorf("zero-count transition emitted: %+v", tr)
+		}
+		total += tr.Count
+	}
+	// Host init, to-device map, kernel stores, from-device map: the word
+	// states must have moved at least once per word.
+	if total < 8 {
+		t.Errorf("only %d transitions for an 8-word mapped workload", total)
+	}
+}
+
+// TestSummaryStatsDisabled: without EnableStats the summary carries no
+// stats block and AnalyzerStats stays nil (the zero-overhead mode).
+func TestSummaryStatsDisabled(t *testing.T) {
+	af := tools.NewArbalestFull(nil)
+	runMapped(t, af)
+	if af.AnalyzerStats() != nil {
+		t.Fatal("AnalyzerStats non-nil without EnableStats")
+	}
+	if sum := tools.Summarize(af); sum.Stats != nil {
+		t.Fatalf("summary has stats without EnableStats: %+v", sum.Stats)
+	}
+}
+
+// TestEnableStatsIdempotent: enabling twice keeps the same collector, so
+// counts are never split across instances.
+func TestEnableStatsIdempotent(t *testing.T) {
+	af := tools.NewArbalestFull(nil)
+	first := af.EnableStats()
+	if second := af.EnableStats(); second != first {
+		t.Fatal("EnableStats replaced the collector")
+	}
+	runMapped(t, af)
+	if af.AnalyzerStats() != first {
+		t.Fatal("AnalyzerStats returned a different collector")
+	}
+}

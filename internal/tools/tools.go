@@ -13,6 +13,7 @@ import (
 	"repro/internal/ompt"
 	"repro/internal/race"
 	"repro/internal/report"
+	"repro/internal/telemetry"
 )
 
 // Analyzer is the common surface of every analysis tool in this repository.
@@ -75,6 +76,17 @@ func NewArbalestFull(sink *report.Sink) *ArbalestFull {
 
 // VSM returns the embedded mapping-issue detector.
 func (a *ArbalestFull) VSM() *core.Arbalest { return a.vsm }
+
+// EnableStats implements StatsProvider by enabling collection on the VSM
+// component (the race detector is not instrumented).
+func (a *ArbalestFull) EnableStats() *telemetry.AnalyzerStats { return a.vsm.EnableStats() }
+
+// AnalyzerStats implements StatsProvider.
+func (a *ArbalestFull) AnalyzerStats() *telemetry.AnalyzerStats { return a.vsm.AnalyzerStats() }
+
+// AccessCount returns the number of instrumented accesses the VSM
+// component analyzed.
+func (a *ArbalestFull) AccessCount() uint64 { return a.vsm.AccessCount() }
 
 // Race returns the embedded race detector.
 func (a *ArbalestFull) Race() *race.Detector { return a.race }

@@ -21,6 +21,7 @@ import (
 	"fmt"
 
 	"repro/internal/shadow"
+	"repro/internal/telemetry"
 )
 
 // Op is a VSM operation.
@@ -158,3 +159,15 @@ func Transition(w shadow.Word, op Op) (shadow.Word, IssueKind) {
 // IsRead reports whether op is one of the two read operations, the only ones
 // that can manifest an issue.
 func (o Op) IsRead() bool { return o == ReadHost || o == ReadTarget }
+
+// RecordTransition records the (from, to) state pair of an applied
+// transition on stats. The detector calls it once per *successful* CAS so
+// retried iterations never double-count. The indexes are the packed
+// shadow.State values, so telemetry's transition matrix maps 1:1 onto the
+// paper's Fig. 4 states. A nil stats costs one branch and decodes no
+// states, which keeps the disabled hot path free of measurable overhead.
+func RecordTransition(stats *telemetry.AnalyzerStats, from, to shadow.Word) {
+	if stats != nil {
+		stats.RecordTransition(uint8(from.State()), uint8(to.State()))
+	}
+}
