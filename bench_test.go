@@ -17,6 +17,8 @@
 package repro_test
 
 import (
+	"context"
+	"flag"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -28,8 +30,15 @@ import (
 	"repro/internal/shadow"
 	"repro/internal/specaccel"
 	"repro/internal/tools"
+	"repro/internal/trace"
 	"repro/internal/vsm"
 )
+
+// benchWorkers selects the parallel-replay shard count for the
+// */arbalest-replay cells of BenchmarkFig8 (pass after -args, e.g.
+// `go test -bench Fig8 -args -workers 4`). The cells produce identical
+// reports at any setting; only wall clock changes.
+var benchWorkers = flag.Int("workers", 1, "parallel-replay shard count for the arbalest-replay benchmark cells")
 
 // BenchmarkTable3 runs the 16 buggy DRACC benchmarks under each tool: the
 // per-tool analysis cost of regenerating Table III.
@@ -68,7 +77,34 @@ func BenchmarkFig8(b *testing.B) {
 				}
 			})
 		}
+		w := w
+		// Offline-analysis cell: replay a recorded trace of the workload
+		// through ARBALEST with -workers analysis shards. Comparing this
+		// cell across -workers settings measures the parallel replay
+		// engine's speedup (reports are identical by construction).
+		b.Run(w.Name+"/arbalest-replay", func(b *testing.B) {
+			tr := recordBenchTrace(b, w)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				a := tools.NewArbalestFull(nil)
+				if _, err := tr.ReplayParallel(context.Background(), *benchWorkers, a); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
+}
+
+// recordBenchTrace records one execution of w at benchmark scale, outside
+// the timed region, for the replay cells.
+func recordBenchTrace(b *testing.B, w *specaccel.Workload) *trace.Trace {
+	b.Helper()
+	rec := trace.NewRecorder()
+	rt := omp.NewRuntime(omp.Config{NumThreads: benchThreads, HostMem: 8 << 20, DeviceMem: 8 << 20}, rec)
+	if err := rt.Run(func(c *omp.Context) error { return w.Run(c, benchScale) }); err != nil {
+		b.Fatal(err)
+	}
+	return rec.Trace()
 }
 
 // BenchmarkFig9 reports the peak-memory metric of the space-overhead figure

@@ -5,6 +5,7 @@
 // Usage:
 //
 //	arbalest [-tool arbalest] [-list] <program>
+//	arbalest -replay-trace FILE [-workers N] [-tool arbalest] [-json]
 //
 // where <program> is a DRACC benchmark name or ID (e.g. DRACC_OMP_022 or
 // 22), a SPEC-ACCEL workload name (e.g. 503.postencil), or
@@ -43,6 +44,7 @@ func main() {
 	repairFlag := flag.Bool("repair", false, "repair stale accesses on the fly (paper §III-C); implies -tool arbalest-vsm")
 	saveTrace := flag.String("save-trace", "", "record the execution's tool-interface events to this JSON-lines file")
 	replayTrace := flag.String("replay-trace", "", "skip execution: replay a recorded trace file into the chosen tool")
+	replayWorkers := flag.Int("workers", 1, "parallel-analysis shard count for -replay-trace (1 = sequential, 0 = GOMAXPROCS); findings are identical at any setting")
 	jsonOut := flag.Bool("json", false, "emit the result as JSON (the same summary schema arbalestd serves)")
 	submit := flag.String("submit", "", "arbalestd base URL (e.g. http://localhost:8321): record the program's trace and submit it for remote analysis instead of analyzing locally")
 	version := flag.Bool("version", false, "print build info and exit")
@@ -61,7 +63,7 @@ func main() {
 		if *submit != "" {
 			os.Exit(submitTraceFile(*submit, *replayTrace, *tool, *jsonOut))
 		}
-		os.Exit(runReplay(*replayTrace, *tool, *jsonOut))
+		os.Exit(runReplay(*replayTrace, *tool, *replayWorkers, *jsonOut))
 	}
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: arbalest [-tool name] [-theorem1] [-submit url] <program>   (see -list)")
@@ -155,25 +157,23 @@ func writeTrace(path string, rec *trace.Recorder) error {
 	return rec.Trace().Save(f)
 }
 
-// runReplay loads a trace file and replays it into the chosen tool.
-func runReplay(path, toolName string, jsonOut bool) int {
+// runReplay streams a trace file into the chosen tool: decode and analysis
+// run pipelined, and with workers > 1 the access analysis is epoch-sharded
+// across that many goroutines (identical findings, shorter wall clock).
+func runReplay(path, toolName string, workers int, jsonOut bool) int {
 	f, err := os.Open(path)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "arbalest:", err)
 		return 2
 	}
 	defer f.Close()
-	tr, err := trace.Load(f)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "arbalest:", err)
-		return 2
-	}
 	a, err := tools.New(toolName)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "arbalest:", err)
 		return 2
 	}
-	if err := tr.Replay(a); err != nil {
+	stats, err := trace.ReplayStream(context.Background(), f, trace.Limits{}, workers, a)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "arbalest:", err)
 		return 2
 	}
@@ -186,7 +186,8 @@ func runReplay(path, toolName string, jsonOut bool) int {
 		return 0
 	}
 	reports := a.Sink().Reports()
-	fmt.Printf("replayed %d events from %s under %s\n", len(tr.Events), path, a.Name())
+	fmt.Printf("replayed %d events from %s under %s (%d shard(s), %d epoch(s))\n",
+		stats.Events, path, a.Name(), stats.Workers, stats.Epochs)
 	for _, r := range reports {
 		fmt.Println(r)
 	}

@@ -4,10 +4,14 @@
 //
 // Usage:
 //
-//	arbalestd [-addr :8321] [-workers N] [-queue N] [-max-events N]
-//	          [-max-body BYTES] [-timeout DUR] [-spool DIR]
+//	arbalestd [-addr :8321] [-workers N] [-replay-workers N] [-queue N]
+//	          [-max-events N] [-max-body BYTES] [-timeout DUR] [-spool DIR]
 //	          [-retain-jobs N] [-retain-age DUR] [-debug-addr ADDR]
 //	          [-analyzer-stats] [-version]
+//
+// -workers sizes the job pool (how many traces analyze concurrently);
+// -replay-workers sets the per-job analysis fan-out (epoch-sharded parallel
+// replay, 1 = sequential). Findings are identical either way.
 //
 // API:
 //
@@ -59,6 +63,7 @@ import (
 func main() {
 	addr := flag.String("addr", ":8321", "listen address")
 	workers := flag.Int("workers", 0, "replay worker pool size (0 = GOMAXPROCS)")
+	replayWorkers := flag.Int("replay-workers", 1, "per-job parallel-analysis shard count (1 = sequential, 0 = GOMAXPROCS)")
 	queue := flag.Int("queue", 64, "bounded job-queue size; full queue returns 429")
 	maxEvents := flag.Int("max-events", 1<<20, "per-job trace event limit")
 	maxBody := flag.Int64("max-body", 64<<20, "per-upload body size limit in bytes")
@@ -84,8 +89,15 @@ func main() {
 		os.Exit(1)
 	}
 
+	// The flag exposes 0 as "GOMAXPROCS"; in Config that spelling is
+	// negative (0 keeps the historical sequential default).
+	rw := *replayWorkers
+	if rw == 0 {
+		rw = -1
+	}
 	cfg := service.Config{
 		Workers:         *workers,
+		ReplayWorkers:   rw,
 		QueueSize:       *queue,
 		MaxEvents:       *maxEvents,
 		MaxBodyBytes:    *maxBody,

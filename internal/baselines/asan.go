@@ -72,7 +72,7 @@ func (a *ASan) OnAccess(e ompt.AccessEvent) {
 	if b != nil {
 		detail = fmt.Sprintf("Access straddles the end of the %d-byte block %q.", b.bytes, b.tag)
 	}
-	a.sink.Add(&report.Report{
+	a.sink.AddAt(e.Clock, &report.Report{
 		Tool:   a.Name(),
 		Kind:   report.InvalidAccess,
 		Var:    e.Tag,

@@ -117,7 +117,7 @@ func (v *Memcheck) OnAccess(e ompt.AccessEvent) {
 		if b != nil {
 			detail = fmt.Sprintf("Invalid access %d bytes past a block of size %d.", uint64(e.Addr-b.base)-b.bytes+e.Size, b.bytes)
 		}
-		v.sink.Add(&report.Report{
+		v.sink.AddAt(e.Clock, &report.Report{
 			Tool:   v.Name(),
 			Kind:   report.InvalidAccess,
 			Var:    e.Tag,
@@ -138,7 +138,7 @@ func (v *Memcheck) OnAccess(e ompt.AccessEvent) {
 	// V-bit check: only host memory has meaningful V bits here, and — as in
 	// real memcheck — a use of uninitialized data is reported at the load.
 	if mem.SpaceIndexOf(e.Addr) == -1 && !b.allDefined(e.Addr, e.Size) {
-		v.sink.Add(&report.Report{
+		v.sink.AddAt(e.Clock, &report.Report{
 			Tool:       v.Name(),
 			Kind:       report.UUM,
 			Var:        e.Tag,

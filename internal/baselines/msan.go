@@ -89,7 +89,7 @@ func (m *MSan) OnAccess(e ompt.AccessEvent) {
 	if b.allDefined(e.Addr, e.Size) {
 		return
 	}
-	m.sink.Add(&report.Report{
+	m.sink.AddAt(e.Clock, &report.Report{
 		Tool:       m.Name(),
 		Kind:       report.UUM,
 		Var:        e.Tag,

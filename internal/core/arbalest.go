@@ -21,6 +21,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -97,9 +98,21 @@ type Arbalest struct {
 	shadowMem *shadow.Memory
 	cvTree    *interval.Tree[*cvEntry]
 
+	// cvSnap is an immutable snapshot of the live CV ranges, rebuilt and
+	// atomically published on every mapping mutation (OnDataOp). The access
+	// hot path resolves CV -> OV against the snapshot with two binary
+	// searches and no lock, so concurrent replay workers never serialize on
+	// resolution (paper §IV-C's lock-free claim, extended to the lookup
+	// structure). cvTree remains the mutation-side source of truth (overlap
+	// checking, repair's Each traversal).
+	cvSnap atomic.Pointer[cvIndex]
+
+	// unifiedSnap is the copy-on-write set of unified-memory devices,
+	// published by OnDeviceInit and read lock-free by OnAccess.
+	unifiedSnap atomic.Pointer[map[ompt.DeviceID]bool]
+
 	mu      sync.Mutex
 	allocs  map[mem.Addr]allocInfo
-	unified map[ompt.DeviceID]bool
 	devices int
 
 	// multi-device mode: a packed vsm.Tuple per aligned word, used instead
@@ -135,13 +148,47 @@ func New(opts Options) *Arbalest {
 		shadowMem: shadow.NewMemory(),
 		cvTree:    interval.New[*cvEntry](),
 		allocs:    make(map[mem.Addr]allocInfo),
-		unified:   make(map[ompt.DeviceID]bool),
 		wideWords: make(map[mem.Addr]*atomic.Uint64),
 		byteWords: make(map[mem.Addr]*atomic.Uint64),
 		stats:     opts.Stats,
 	}
+	a.cvSnap.Store(&cvIndex{})
+	empty := map[ompt.DeviceID]bool{}
+	a.unifiedSnap.Store(&empty)
 	a.shadowMem.SetStats(a.stats)
 	return a
+}
+
+// cvIndex is an immutable sorted-by-CV-base view of the live CV ranges.
+// Readers binary-search it lock-free; mutations build a fresh one.
+type cvIndex struct {
+	los     []uint64 // sorted CV range starts
+	his     []uint64 // matching CV range ends (half-open)
+	entries []*cvEntry
+}
+
+// stab returns the entry whose CV range contains p, or nil. Live CV ranges
+// never overlap (cvTree.Insert enforces it), so the candidate is unique.
+func (ix *cvIndex) stab(p uint64) *cvEntry {
+	i := sort.Search(len(ix.los), func(i int) bool { return ix.los[i] > p })
+	if i == 0 || p >= ix.his[i-1] {
+		return nil
+	}
+	return ix.entries[i-1]
+}
+
+// publishCV rebuilds the CV snapshot from cvTree and atomically publishes
+// it. Called from OnDataOp after every tree mutation; mapping operations are
+// orders of magnitude rarer than accesses, so the rebuild is cheap where it
+// matters.
+func (a *Arbalest) publishCV() {
+	ix := &cvIndex{}
+	a.cvTree.Each(func(iv interval.Interval, e *cvEntry) {
+		ix.los = append(ix.los, iv.Lo)
+		ix.his = append(ix.his, iv.Hi)
+		ix.entries = append(ix.entries, e)
+	})
+	a.cvSnap.Store(ix)
 }
 
 // EnableStats attaches (creating if needed) a telemetry collector and
@@ -188,7 +235,13 @@ func (a *Arbalest) AccessCount() uint64 { return a.accessCount.Load() }
 func (a *Arbalest) OnDeviceInit(e ompt.DeviceInitEvent) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	a.unified[e.Device] = e.Unified
+	old := *a.unifiedSnap.Load()
+	next := make(map[ompt.DeviceID]bool, len(old)+1)
+	for k, v := range old {
+		next[k] = v
+	}
+	next[e.Device] = e.Unified
+	a.unifiedSnap.Store(&next)
 	a.devices++
 	if a.devices > 1 {
 		a.multi.Store(true)
@@ -222,11 +275,14 @@ func (a *Arbalest) OnDataOp(e ompt.DataOpEvent) {
 	case ompt.OpAlloc:
 		entry := &cvEntry{tag: e.Tag, ov: e.HostAddr, cv: e.DevAddr, bytes: e.Bytes, device: e.Device}
 		if err := a.cvTree.Insert(uint64(e.DevAddr), uint64(e.DevAddr)+e.Bytes, entry); err == nil {
+			a.publishCV()
 			a.applyRange(e.HostAddr, e.Bytes, e.Device, vsm.Allocate)
 		}
 	case ompt.OpDelete:
 		a.applyRange(e.HostAddr, e.Bytes, e.Device, vsm.Release)
-		a.cvTree.Delete(uint64(e.DevAddr))
+		if a.cvTree.Delete(uint64(e.DevAddr)) {
+			a.publishCV()
+		}
 	case ompt.OpTransferToDevice:
 		a.applyRange(e.HostAddr, e.Bytes, e.Device, vsm.UpdateTarget)
 	case ompt.OpTransferFromDevice:
@@ -254,6 +310,27 @@ func (a *Arbalest) nextClock(tid ompt.ThreadID) uint64 {
 	return v.(*atomic.Uint64).Add(1)
 }
 
+// clockFor returns the scalar clock to stamp into shadow metadata for e:
+// the replay-assigned clock when present (deterministic across dispatch
+// orders), else the live per-thread counter (online execution).
+func (a *Arbalest) clockFor(e ompt.AccessEvent) uint64 {
+	if e.Clock != 0 {
+		return e.Clock
+	}
+	return a.nextClock(e.Thread)
+}
+
+// RequiresSequentialReplay reports whether the detector's configuration
+// rules out parallel access dispatch. Word granularity keys every shadow
+// slot by the access's canonical aligned word, which is exactly what the
+// replay engine shards by, so accesses to the same slot stay ordered. Region
+// granularity folds a whole mapped variable into one slot and byte
+// granularity lets one access span two canonical words — either way a slot
+// can be shared across shards, so those modes force sequential replay.
+func (a *Arbalest) RequiresSequentialReplay() bool {
+	return a.opts.Granularity != GranularityWord
+}
+
 // OnAccess implements ompt.Tool: the per-access analysis (paper §IV).
 func (a *Arbalest) OnAccess(e ompt.AccessEvent) {
 	a.accessCount.Add(1)
@@ -263,10 +340,7 @@ func (a *Arbalest) OnAccess(e ompt.AccessEvent) {
 	devLoc := vsm.HostLoc
 
 	if !hostSide {
-		a.mu.Lock()
-		uni := a.unified[e.Device]
-		a.mu.Unlock()
-		if uni {
+		if (*a.unifiedSnap.Load())[e.Device] {
 			// Unified memory: device accesses operate on the shared
 			// storage directly; they behave as host-side operations for
 			// the VSM, and mapping issues can only arise from data races
@@ -317,17 +391,18 @@ func (a *Arbalest) OnAccess(e ompt.AccessEvent) {
 // resolveDevice maps a device access to its CV entry. The second result is
 // true when the access escaped its mapping: its address stabs no interval,
 // or a different interval than the base pointer it was issued against
-// (paper §IV-D).
+// (paper §IV-D). Resolution reads the immutable CV snapshot — no lock, no
+// shared cache line — so concurrent replay workers never serialize here.
 func (a *Arbalest) resolveDevice(e ompt.AccessEvent) (*cvEntry, bool) {
+	ix := a.cvSnap.Load()
 	a.stats.RecordTreeLookup()
-	_, entry, ok := a.cvTree.Stab(uint64(e.Addr))
-	if !ok {
+	entry := ix.stab(uint64(e.Addr))
+	if entry == nil {
 		return nil, true
 	}
 	if e.Base != 0 {
 		a.stats.RecordTreeLookup()
-		_, baseEntry, baseOK := a.cvTree.Stab(uint64(e.Base))
-		if !baseOK || baseEntry != entry {
+		if ix.stab(uint64(e.Base)) != entry {
 			return entry, true
 		}
 	}
@@ -397,7 +472,7 @@ func (a *Arbalest) apply(ovAddr mem.Addr, size uint64, dev ompt.DeviceID, devLoc
 	if slot == nil {
 		return vsm.NoIssue, 0
 	}
-	clk := a.nextClock(e.Thread)
+	clk := a.clockFor(e)
 	for {
 		old := shadow.Word(slot.Load())
 		nw, issue := vsm.Transition(old, op)
@@ -417,7 +492,7 @@ func (a *Arbalest) applyBytes(ovAddr mem.Addr, size uint64, op vsm.Op, e ompt.Ac
 	if size == 0 {
 		size = 1
 	}
-	clk := a.nextClock(e.Thread)
+	clk := a.clockFor(e)
 	worst := vsm.NoIssue
 	var prior shadow.Word
 	for b := uint64(0); b < size; b++ {
@@ -572,7 +647,7 @@ func (a *Arbalest) reportIssue(issue vsm.IssueKind, ovAddr mem.Addr, prior shado
 	if repaired {
 		detail += " The runtime repaired this access by issuing the missing transfer (§III-C)."
 	}
-	a.sink.Add(&report.Report{
+	a.sink.AddAt(e.Clock, &report.Report{
 		Tool:       a.Name(),
 		Kind:       kind,
 		Var:        e.Tag,
@@ -589,7 +664,7 @@ func (a *Arbalest) reportIssue(issue vsm.IssueKind, ovAddr mem.Addr, prior shado
 }
 
 func (a *Arbalest) reportOverflow(e ompt.AccessEvent) {
-	a.sink.Add(&report.Report{
+	a.sink.AddAt(e.Clock, &report.Report{
 		Tool:   a.Name(),
 		Kind:   report.BufferOverflow,
 		Var:    e.Tag,

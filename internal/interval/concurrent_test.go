@@ -1,0 +1,64 @@
+package interval
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestConcurrentStab hammers Stab from many goroutines — with interleaved
+// inserts and deletes mutating the tree — to verify the atomic last-lookup
+// cache under the race detector: concurrent readers refresh the cache while
+// holding only the read lock, and Delete clears it before a node leaves the
+// tree, so no stale or racy node is ever returned.
+func TestConcurrentStab(t *testing.T) {
+	const (
+		mappings = 64
+		span     = 1024
+		readers  = 8
+		stabs    = 20000
+	)
+	tr := New[int]()
+	for i := 0; i < mappings; i++ {
+		lo := uint64(i) * span
+		if err := tr.Insert(lo, lo+span, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var wg sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		r := r
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < stabs; i++ {
+				// Mix cache-friendly sweeps with cache-hostile hops.
+				p := uint64((i + r*7919) % (mappings * span))
+				if i%2 == 0 {
+					p = uint64(i % span) // repeated stabs into mapping 0
+				}
+				iv, v, ok := tr.Stab(p)
+				if ok && !iv.Contains(p) {
+					t.Errorf("stab(%#x) returned non-containing interval %v (val %d)", p, iv, v)
+					return
+				}
+			}
+		}()
+	}
+	// A writer churns the high half of the address space while the readers
+	// run, forcing cache invalidations to race with cache refreshes.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 2000; i++ {
+			lo := uint64(mappings+i%8) * span
+			_ = tr.Insert(lo, lo+span, -1)
+			tr.Delete(lo)
+		}
+	}()
+	wg.Wait()
+
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

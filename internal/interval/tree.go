@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 // Interval is a half-open range [Lo, Hi).
@@ -49,10 +50,17 @@ type node[V any] struct {
 // Tree is an interval tree mapping half-open ranges to values of type V.
 // All methods are safe for concurrent use.
 type Tree[V any] struct {
-	mu    sync.RWMutex
-	root  *node[V]
-	size  int
-	cache *node[V] // last successful stab, amortizes repeated lookups
+	mu   sync.RWMutex
+	root *node[V]
+	size int
+	// cache holds the last successfully stabbed node, amortizing repeated
+	// lookups into the same interval. It is an atomic pointer so concurrent
+	// Stab calls — which hold only the read lock — can refresh it without a
+	// write-lock upgrade or a data race. A node's iv and val never change
+	// after insertion, so reading a cached node needs no further
+	// synchronization; Delete clears the cache under the write lock before
+	// the node leaves the tree.
+	cache atomic.Pointer[node[V]]
 }
 
 // New returns an empty tree.
@@ -216,7 +224,7 @@ func (t *Tree[V]) Delete(lo uint64) bool {
 	if z == nil {
 		return false
 	}
-	t.cache = nil
+	t.cache.Store(nil)
 	t.deleteNode(z)
 	t.size--
 	return true
@@ -366,30 +374,23 @@ func (t *Tree[V]) deleteFixup(x *node[V], parent *node[V]) {
 
 // Stab returns the interval containing p and its value. The second result
 // reports whether such an interval exists. A one-entry cache makes repeated
-// stabs into the same interval O(1).
+// stabs into the same interval O(1). Concurrent stabs share the cache
+// without serializing: it is refreshed with an atomic store while still
+// holding the read lock, which excludes Delete (the only operation that
+// could invalidate the node being published).
 func (t *Tree[V]) Stab(p uint64) (Interval, V, bool) {
 	t.mu.RLock()
-	if c := t.cache; c != nil && c.iv.Contains(p) {
-		iv, v := c.iv, c.val
-		t.mu.RUnlock()
-		return iv, v, true
+	defer t.mu.RUnlock()
+	if c := t.cache.Load(); c != nil && c.iv.Contains(p) {
+		return c.iv, c.val, true
 	}
 	n := t.stabNode(p)
 	if n == nil {
 		var zero V
-		t.mu.RUnlock()
 		return Interval{}, zero, false
 	}
-	iv, v := n.iv, n.val
-	t.mu.RUnlock()
-
-	t.mu.Lock()
-	// Re-validate under the write lock: the node may have been deleted.
-	if m := t.stabNode(p); m != nil {
-		t.cache = m
-	}
-	t.mu.Unlock()
-	return iv, v, true
+	t.cache.Store(n)
+	return n.iv, n.val, true
 }
 
 // StabNoCache is Stab without cache maintenance; used by the ablation

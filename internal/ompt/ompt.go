@@ -155,6 +155,11 @@ type DataOpEvent struct {
 	Bytes    uint64
 	Implicit bool // implicit mapping (e.g. global variable at device init)
 	Loc      SourceLoc
+	// Clock, when nonzero, is the replay-assigned scalar clock of this
+	// operation (see AccessEvent.Clock). Tools that emit reports from data
+	// operations use it to order those reports against access-driven ones.
+	// Zero during online execution; never serialized.
+	Clock uint64 `json:"-"`
 }
 
 // AccessEvent reports one application memory access, standing in for the
@@ -174,6 +179,13 @@ type AccessEvent struct {
 	// Tag names the accessed variable for bug reports.
 	Tag string
 	Loc SourceLoc
+	// Clock, when nonzero, is a replay-assigned scalar clock for this
+	// access (derived from the trace sequence number). Tools that stamp
+	// access metadata into shadow state use it instead of a live
+	// per-thread counter, so parallel and sequential replays of the same
+	// trace record identical metadata regardless of dispatch order. It is
+	// zero during online (non-replay) execution and is never serialized.
+	Clock uint64 `json:"-"`
 }
 
 // SyncEvent reports a synchronization point.

@@ -57,13 +57,24 @@ type accessRecord struct {
 	loc    ompt.SourceLoc
 	device ompt.DeviceID
 	thread ompt.ThreadID
+	// seq is the replay-assigned event clock (0 online), used to order
+	// deduplicated race reports deterministically across dispatch orders.
+	seq uint64
 }
 
 // cell holds the race-detection state of one aligned word: the last write
 // epoch plus the set of reads since that write (the FastTrack read set).
+//
+// The read set is a slice, not a map: almost every word has at most one
+// concurrent reader at a time, reads that happen-before the incoming read
+// are discarded (any write racing with a discarded read also races with the
+// read that superseded it, so no race is lost), and the backing array is
+// reused across the write that clears the set. That keeps the per-access
+// hot path free of map assignments and map churn — allocation pressure
+// here is what bounds parallel replay scaling.
 type cell struct {
 	write accessRecord
-	reads map[ompt.TaskID]accessRecord
+	reads []accessRecord
 }
 
 const numShards = 64
@@ -86,8 +97,13 @@ type taskClock struct {
 type Detector struct {
 	sink *report.Sink
 
-	mu    sync.Mutex
-	live  map[ompt.TaskID]*taskClock
+	// live maps task id -> *taskClock. A sync.Map keeps the per-access
+	// clock lookup lock-free: taskClockOf is on the hot path of every
+	// instrumented access, and a plain mutex-guarded map serializes all
+	// replay workers through one cache line.
+	live sync.Map
+
+	mu    sync.Mutex // serializes OnSync and guards ended
 	ended map[ompt.TaskID]VC
 
 	shards [numShards]shard
@@ -100,7 +116,6 @@ func New(sink *report.Sink) *Detector {
 	}
 	d := &Detector{
 		sink:  sink,
-		live:  make(map[ompt.TaskID]*taskClock),
 		ended: make(map[ompt.TaskID]VC),
 	}
 	for i := range d.shards {
@@ -128,8 +143,10 @@ func (d *Detector) ShadowBytes() uint64 {
 		n += uint64(len(d.shards[i].cells)) * 96
 		d.shards[i].mu.Unlock()
 	}
+	liveCount := 0
+	d.live.Range(func(_, _ any) bool { liveCount++; return true })
 	d.mu.Lock()
-	n += uint64(len(d.live)+len(d.ended)) * 48
+	n += uint64(liveCount+len(d.ended)) * 48
 	d.mu.Unlock()
 	return n
 }
@@ -162,14 +179,12 @@ func (d *Detector) clearRange(addr mem.Addr, bytes uint64) {
 }
 
 // clockOf returns the live clock of task, creating it at epoch 1 if needed.
-// Caller holds d.mu.
 func (d *Detector) clockOf(task ompt.TaskID) *taskClock {
-	tc, ok := d.live[task]
-	if !ok {
-		tc = &taskClock{vc: VC{task: 1}}
-		d.live[task] = tc
+	if tc, ok := d.live.Load(task); ok {
+		return tc.(*taskClock)
 	}
-	return tc
+	tc, _ := d.live.LoadOrStore(task, &taskClock{vc: VC{task: 1}})
+	return tc.(*taskClock)
 }
 
 // OnSync implements ompt.Tool: builds the happens-before relation.
@@ -184,7 +199,7 @@ func (d *Detector) OnSync(e ompt.SyncEvent) {
 		child[e.Child] = 1
 		parent.vc[e.Task]++ // later parent ops are NOT ordered before the child
 		parent.mu.Unlock()
-		d.live[e.Child] = &taskClock{vc: child}
+		d.live.Store(e.Child, &taskClock{vc: child})
 	case ompt.SyncTaskBegin:
 		d.clockOf(e.Task)
 	case ompt.SyncTaskEnd:
@@ -206,10 +221,8 @@ func (d *Detector) OnSync(e ompt.SyncEvent) {
 }
 
 // taskClockOf fetches the clock handle for task (creating it if the access
-// raced ahead of its task-begin event).
+// raced ahead of its task-begin event). Lock-free on the common hit path.
 func (d *Detector) taskClockOf(task ompt.TaskID) *taskClock {
-	d.mu.Lock()
-	defer d.mu.Unlock()
 	return d.clockOf(task)
 }
 
@@ -221,7 +234,7 @@ func shardOf(addr mem.Addr) int {
 func (d *Detector) OnAccess(e ompt.AccessEvent) {
 	d.check(e.Addr.Align(), accessRecord{
 		task: e.Task, write: e.Write, tag: e.Tag, loc: e.Loc,
-		device: e.Device, thread: e.Thread,
+		device: e.Device, thread: e.Thread, seq: e.Clock,
 	})
 }
 
@@ -245,10 +258,10 @@ func (d *Detector) OnDataOp(e ompt.DataOpEvent) {
 	}
 	for off := uint64(0); off < e.Bytes; off += mem.WordSize {
 		d.check((readBase + mem.Addr(off)).Align(), accessRecord{
-			task: e.Task, write: false, tag: e.Tag, loc: e.Loc, device: e.Device,
+			task: e.Task, write: false, tag: e.Tag, loc: e.Loc, device: e.Device, seq: e.Clock,
 		})
 		d.check((writeBase + mem.Addr(off)).Align(), accessRecord{
-			task: e.Task, write: true, tag: e.Tag, loc: e.Loc, device: e.Device,
+			task: e.Task, write: true, tag: e.Tag, loc: e.Loc, device: e.Device, seq: e.Clock,
 		})
 	}
 }
@@ -264,7 +277,7 @@ func (d *Detector) check(addr mem.Addr, rec accessRecord) {
 	defer s.mu.Unlock()
 	c, ok := s.cells[addr]
 	if !ok {
-		c = &cell{reads: make(map[ompt.TaskID]accessRecord)}
+		c = &cell{}
 		s.cells[addr] = c
 	}
 
@@ -278,24 +291,30 @@ func (d *Detector) check(addr mem.Addr, rec accessRecord) {
 			d.report(addr, rec, c.write)
 		}
 		// read-write races?
-		for _, r := range c.reads {
-			if r.task != rec.task && !hb(r.task, r.clock) {
-				d.report(addr, rec, r)
+		for i := range c.reads {
+			if r := &c.reads[i]; r.task != rec.task && !hb(r.task, r.clock) {
+				d.report(addr, rec, *r)
 			}
 		}
 		tc.mu.RUnlock()
 		c.write = rec
-		if len(c.reads) > 0 {
-			c.reads = make(map[ompt.TaskID]accessRecord)
-		}
+		c.reads = c.reads[:0] // reuse the backing array for the next read set
 		return
 	}
 	// write-read race?
 	if c.write.task != 0 && c.write.task != rec.task && !hb(c.write.task, c.write.clock) {
 		d.report(addr, rec, c.write)
 	}
+	// Discard reads ordered before this one (a same-task prior read always
+	// is); what remains are genuinely concurrent readers, then this read.
+	kept := c.reads[:0]
+	for i := range c.reads {
+		if r := &c.reads[i]; !hb(r.task, r.clock) {
+			kept = append(kept, *r)
+		}
+	}
 	tc.mu.RUnlock()
-	c.reads[rec.task] = rec
+	c.reads = append(kept, rec)
 }
 
 func (d *Detector) report(addr mem.Addr, cur, prev accessRecord) {
@@ -313,7 +332,7 @@ func (d *Detector) report(addr mem.Addr, cur, prev accessRecord) {
 		// clauses instead of leaving them concurrent.
 		detail += fmt.Sprintf(" Suggested fix: add depend(inout: %s) to the racing nowait constructs, or join them with a taskwait.", cur.tag)
 	}
-	d.sink.Add(&report.Report{
+	d.sink.AddAt(cur.seq, &report.Report{
 		Tool:   d.Name(),
 		Kind:   report.DataRace,
 		Var:    cur.tag,

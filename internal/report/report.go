@@ -161,35 +161,73 @@ func (r *Report) String() string {
 // concurrent use.
 type Sink struct {
 	mu      sync.Mutex
-	seen    map[string]bool
+	seen    map[string]int // key -> index into reports
 	reports []*Report
+	// seqs[i] is the replay clock the i-th report arrived with (0 when it
+	// came through Add, i.e. online). AddAt keeps the smallest-clock report
+	// per key, so replays that dispatch accesses out of order converge on
+	// exactly the report a sequential replay would have kept.
+	seqs   []uint64
+	sorted bool // true once any nonzero seq was recorded
 }
 
 // NewSink returns an empty sink.
 func NewSink() *Sink {
-	return &Sink{seen: make(map[string]bool)}
+	return &Sink{seen: make(map[string]int)}
 }
 
 // Add records r unless an equivalent report was already recorded. It reports
 // whether r was kept.
 func (s *Sink) Add(r *Report) bool {
+	return s.AddAt(0, r)
+}
+
+// AddAt records r with an ordering clock (a replay sequence number; 0 means
+// "no clock", Add's behavior). When a report with the same key already
+// exists and both carry clocks, the smaller clock wins — duplicate keys keep
+// the report of the earliest access in trace order regardless of the order
+// the sink saw them, which makes parallel replay's surviving reports
+// identical to sequential replay's. It reports whether r is now the kept
+// report for its key.
+func (s *Sink) AddAt(seq uint64, r *Report) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	k := r.Key()
-	if s.seen[k] {
+	if seq != 0 {
+		s.sorted = true
+	}
+	if idx, ok := s.seen[k]; ok {
+		if seq != 0 && s.seqs[idx] != 0 && seq < s.seqs[idx] {
+			s.reports[idx] = r
+			s.seqs[idx] = seq
+			return true
+		}
 		return false
 	}
-	s.seen[k] = true
+	s.seen[k] = len(s.reports)
 	s.reports = append(s.reports, r)
+	s.seqs = append(s.seqs, seq)
 	return true
 }
 
-// Reports returns the recorded reports in insertion order.
+// Reports returns the recorded reports. Reports carrying replay clocks come
+// back in trace order (insertion order otherwise), so sequential and
+// parallel replays of one trace render identical listings.
 func (s *Sink) Reports() []*Report {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	out := make([]*Report, len(s.reports))
 	copy(out, s.reports)
+	if s.sorted {
+		idx := make([]int, len(out))
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.SliceStable(idx, func(a, b int) bool { return s.seqs[idx[a]] < s.seqs[idx[b]] })
+		for i, j := range idx {
+			out[i] = s.reports[j]
+		}
+	}
 	return out
 }
 
@@ -233,6 +271,8 @@ func (s *Sink) Kinds() []Kind {
 func (s *Sink) Reset() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.seen = make(map[string]bool)
+	s.seen = make(map[string]int)
 	s.reports = nil
+	s.seqs = nil
+	s.sorted = false
 }

@@ -7,6 +7,10 @@ import (
 	"repro/internal/tools"
 )
 
+// ShardBuckets is the bucket layout for the replay-shard histogram:
+// powers of two spanning 1 (sequential) through a large worker pool.
+var ShardBuckets = []float64{1, 2, 4, 8, 16, 32, 64}
+
 // Metrics is the service's metric surface, backed by a telemetry.Registry
 // rendered at GET /metrics in the Prometheus text exposition format (with
 // # HELP/# TYPE lines). Counter and gauge updates are single atomic
@@ -25,7 +29,6 @@ type Metrics struct {
 	jobsDeduplicated *telemetry.Counter
 	journalErrors    *telemetry.Counter
 	eventsReplayed   *telemetry.Counter
-	replayNanos      *telemetry.Counter
 	queueDepth       *telemetry.Gauge
 	workers          *telemetry.Gauge
 
@@ -33,6 +36,7 @@ type Metrics struct {
 	parseSeconds  *telemetry.Histogram
 	replaySeconds *telemetry.Histogram
 	jobSeconds    *telemetry.Histogram
+	replayShards  *telemetry.Histogram
 
 	vsmTransitions  *telemetry.CounterVec
 	casRetries      *telemetry.Counter
@@ -56,10 +60,8 @@ func newMetrics() *Metrics {
 		jobsDeduplicated: reg.Counter("arbalestd_jobs_deduplicated_total", "Submissions answered from an existing job via idempotency key."),
 		journalErrors:    reg.Counter("arbalestd_journal_errors_total", "Write-ahead journal failures (append, mark, recovery)."),
 		eventsReplayed:   reg.Counter("arbalestd_events_replayed_total", "Trace events replayed through analyzers."),
-		replayNanos: reg.Counter("arbalestd_replay_nanoseconds_total",
-			"DEPRECATED: total replay wall time in nanoseconds; superseded by arbalestd_replay_duration_seconds and kept for one release."),
-		queueDepth: reg.Gauge("arbalestd_queue_depth", "Jobs queued but not yet running."),
-		workers:    reg.Gauge("arbalestd_workers", "Replay worker-pool size."),
+		queueDepth:       reg.Gauge("arbalestd_queue_depth", "Jobs queued but not yet running."),
+		workers:          reg.Gauge("arbalestd_workers", "Replay worker-pool size."),
 
 		queueWait: reg.Histogram("arbalestd_queue_wait_seconds",
 			"Time jobs spent queued before a worker picked them up.", telemetry.DurationBuckets),
@@ -69,6 +71,8 @@ func newMetrics() *Metrics {
 			"Replay wall time per job.", telemetry.DurationBuckets),
 		jobSeconds: reg.Histogram("arbalestd_job_duration_seconds",
 			"End-to-end job time from accept to terminal state.", telemetry.DurationBuckets),
+		replayShards: reg.Histogram("arbalestd_replay_shards",
+			"Replay analysis shards (worker goroutines) used per job; 1 means sequential dispatch.", ShardBuckets),
 
 		vsmTransitions: reg.CounterVec("arbalestd_vsm_transitions_total",
 			"VSM state transitions applied during replays, by (from, to) state.", "from", "to"),
@@ -100,7 +104,6 @@ type Snapshot struct {
 	JournalErrors    int64 `json:"journalErrors"`
 	QueueDepth       int64 `json:"queueDepth"`
 	EventsReplayed   int64 `json:"eventsReplayed"`
-	ReplayNanos      int64 `json:"replayNanos"`
 }
 
 // Snapshot copies the current counter values.
@@ -117,7 +120,6 @@ func (m *Metrics) Snapshot() Snapshot {
 		JournalErrors:    int64(m.journalErrors.Value()),
 		QueueDepth:       m.queueDepth.Value(),
 		EventsReplayed:   int64(m.eventsReplayed.Value()),
-		ReplayNanos:      int64(m.replayNanos.Value()),
 	}
 }
 

@@ -72,8 +72,15 @@ var (
 
 // Config parameterizes a Service. Zero fields take the documented defaults.
 type Config struct {
-	// Workers is the replay worker-pool size (default GOMAXPROCS).
+	// Workers is the replay worker-pool size — how many jobs analyze
+	// concurrently (default GOMAXPROCS).
 	Workers int
+	// ReplayWorkers is the per-job analysis fan-out: each replay shards
+	// its access events across this many goroutines (epoch-sharded, see
+	// trace.ReplayParallel). 0 defaults to 1 (sequential dispatch, the
+	// historical behavior); negative means GOMAXPROCS. Findings are
+	// identical to sequential replay regardless of the setting.
+	ReplayWorkers int
 	// QueueSize bounds the number of queued-but-not-running jobs
 	// (default 64). A full queue rejects submissions rather than blocking.
 	QueueSize int
@@ -111,6 +118,9 @@ type Config struct {
 func (c Config) withDefaults() Config {
 	if c.Workers <= 0 {
 		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.ReplayWorkers == 0 {
+		c.ReplayWorkers = 1
 	}
 	if c.QueueSize <= 0 {
 		c.QueueSize = 64
@@ -546,6 +556,7 @@ func (s *Service) runJob(j *job) {
 		sumStart    time.Time
 		sumDur      time.Duration
 		summary     *tools.Summary
+		rstats      trace.ReplayStats
 	)
 	err := func() (err error) {
 		defer func() {
@@ -576,11 +587,11 @@ func (s *Service) runJob(j *job) {
 			ctx, cancel = context.WithTimeout(ctx, s.cfg.ReplayTimeout)
 		}
 		replayStart = time.Now()
-		err = tr.ReplayContext(ctx, a)
+		rstats, err = tools.Replay(ctx, tr, a, tools.Options{Parallelism: s.cfg.ReplayWorkers})
 		wall = time.Since(replayStart)
 		cancel()
-		s.metrics.replayNanos.Add(uint64(wall))
 		s.metrics.replaySeconds.ObserveDuration(wall)
+		s.metrics.replayShards.Observe(float64(rstats.Workers))
 		if err != nil {
 			return err
 		}
@@ -614,6 +625,9 @@ func (s *Service) runJob(j *job) {
 			rs := j.span.StartChild("replay", replayStart)
 			rs.EndAt(replayStart.Add(wall))
 			rs.SetCount("events", int64(j.events))
+			rs.SetCount("shards", int64(rstats.Workers))
+			rs.SetCount("epochs", int64(rstats.Epochs))
+			rs.SetCount("maxEpochAccesses", int64(rstats.MaxEpochAccesses))
 		}
 		if !sumStart.IsZero() {
 			ss := j.span.StartChild("summarize", sumStart)

@@ -109,8 +109,11 @@ func TestEndToEndTelemetry(t *testing.T) {
 	if _, ok := promtest.Find(fams, "arbalestd_shadow_cas_retries_total", nil); !ok {
 		t.Error("shadow_cas_retries_total missing")
 	}
-	if _, ok := promtest.Find(fams, "arbalestd_replay_nanoseconds_total", nil); !ok {
-		t.Error("deprecated replay_nanoseconds_total dropped before its removal release")
+	if _, ok := promtest.Find(fams, "arbalestd_replay_nanoseconds_total", nil); ok {
+		t.Error("deprecated replay_nanoseconds_total still exposed after its removal release")
+	}
+	if s, ok := promtest.Find(fams, "arbalestd_replay_shards_count", nil); !ok || s.Value != 1 {
+		t.Errorf("replay_shards_count = %+v (found %v), want 1", s, ok)
 	}
 	bi := telemetry.Version()
 	if _, ok := promtest.Find(fams, "arbalestd_build_info",

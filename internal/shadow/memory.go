@@ -2,6 +2,7 @@ package shadow
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -18,8 +19,15 @@ import (
 // (m = number of registered regions), exactly the structure the paper
 // describes. Individual shadow words are updated with atomic CAS.
 type Memory struct {
-	mu      sync.Mutex
+	mu      sync.Mutex // serializes Register/Unregister and index rebuilds
 	regions *interval.Tree[*Region]
+
+	// index is an immutable sorted snapshot of the registered regions,
+	// rebuilt and atomically published on every Register/Unregister. The
+	// per-access RegionOf lookup binary-searches it with no lock at all —
+	// registrations happen at allocation events, which are barriers during
+	// replay and rare online, so readers never see a torn view.
+	index atomic.Pointer[regionIndex]
 
 	bytes atomic.Uint64 // current shadow bytes allocated
 	peak  atomic.Uint64 // high-water mark (space-overhead experiment, Fig 9)
@@ -53,9 +61,39 @@ func (r *Region) EachWord(fn func(addr mem.Addr, slot *atomic.Uint64)) {
 	}
 }
 
+// regionIndex is an immutable sorted-by-Lo view of the registered regions.
+type regionIndex struct {
+	los     []uint64
+	his     []uint64
+	regions []*Region
+}
+
+// find returns the region containing p, or nil. Regions never overlap.
+func (ix *regionIndex) find(p uint64) *Region {
+	i := sort.Search(len(ix.los), func(i int) bool { return ix.los[i] > p })
+	if i == 0 || p >= ix.his[i-1] {
+		return nil
+	}
+	return ix.regions[i-1]
+}
+
 // NewMemory returns an empty shadow memory.
 func NewMemory() *Memory {
-	return &Memory{regions: interval.New[*Region]()}
+	m := &Memory{regions: interval.New[*Region]()}
+	m.index.Store(&regionIndex{})
+	return m
+}
+
+// publish rebuilds the lookup snapshot from the region tree. Caller holds
+// m.mu.
+func (m *Memory) publish() {
+	ix := &regionIndex{}
+	m.regions.Each(func(iv interval.Interval, r *Region) {
+		ix.los = append(ix.los, iv.Lo)
+		ix.his = append(ix.his, iv.Hi)
+		ix.regions = append(ix.regions, r)
+	})
+	m.index.Store(ix)
 }
 
 // Register creates a shadow region covering [lo, lo+size). The bounds are
@@ -66,9 +104,13 @@ func (m *Memory) Register(lo mem.Addr, size uint64, tag string) (*Region, error)
 	ahi := (lo + mem.Addr(size) + mem.WordSize - 1).Align()
 	n := int((ahi - alo) / mem.WordSize)
 	r := &Region{Lo: alo, Hi: ahi, Tag: tag, words: make([]atomic.Uint64, n)}
+	m.mu.Lock()
 	if err := m.regions.Insert(uint64(alo), uint64(ahi), r); err != nil {
+		m.mu.Unlock()
 		return nil, fmt.Errorf("shadow: register %q: %w", tag, err)
 	}
+	m.publish()
+	m.mu.Unlock()
 	nb := m.bytes.Add(uint64(n) * 8)
 	for {
 		p := m.peak.Load()
@@ -83,11 +125,14 @@ func (m *Memory) Register(lo mem.Addr, size uint64, tag string) (*Region, error)
 // was removed.
 func (m *Memory) Unregister(lo mem.Addr) bool {
 	alo := lo.Align()
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	_, r, ok := m.regions.Stab(uint64(alo))
 	if !ok || r.Lo != alo {
 		return false
 	}
 	if m.regions.Delete(uint64(r.Lo)) {
+		m.publish()
 		m.bytes.Add(^uint64(uint64(r.NumWords())*8 - 1)) // subtract
 		return true
 	}
@@ -99,14 +144,11 @@ func (m *Memory) Unregister(lo mem.Addr) bool {
 // concurrent traffic (the detector enables stats before replay starts).
 func (m *Memory) SetStats(s *telemetry.AnalyzerStats) { m.stats = s }
 
-// RegionOf returns the region containing addr, or nil.
+// RegionOf returns the region containing addr, or nil. The lookup reads the
+// immutable snapshot — no lock — so concurrent accesses scale.
 func (m *Memory) RegionOf(addr mem.Addr) *Region {
 	m.stats.RecordTreeLookup()
-	_, r, ok := m.regions.Stab(uint64(addr))
-	if !ok {
-		return nil
-	}
-	return r
+	return m.index.Load().find(uint64(addr))
 }
 
 // WordAt returns the shadow slot for addr, or nil if addr is not inside any

@@ -1,0 +1,393 @@
+// Parallel replay: epoch-sharded analysis.
+//
+// The paper's Theorem 1 observes that in a data-race-free execution the
+// instrumented accesses between two synchronization points commute — the
+// analysis reaches the same verdict whichever order they are applied in.
+// That commutativity is exactly the license to analyze them concurrently:
+// the engine here splits the event stream into epochs at ordering barriers
+// (every non-access event kind), fans one epoch's accesses out to a worker
+// pool, and waits for the pool to drain before dispatching the barrier
+// event. Accesses are sharded by their canonical aligned word — the host
+// (OV) word the analysis will resolve the access to — so two accesses that
+// touch the same shadow state always land on the same worker, in trace
+// order. Executions that are NOT data-race-free therefore still replay
+// deterministically: racing accesses share a canonical word, share a shard,
+// and are applied in trace order, which is the order sequential replay uses.
+//
+// The fan-out is scan-and-filter rather than scatter: every worker receives
+// the same epoch slice (no copying, no per-batch buffers) and dispatches
+// only the accesses whose canonical word hashes to its shard index. Hashing
+// an event costs a few nanoseconds while analyzing it costs hundreds, so
+// the redundant scans are noise, and the handoff cost per epoch is one
+// channel send per worker. Epochs too small to amortize those wake-ups are
+// dispatched inline on the caller.
+package trace
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/mem"
+	"repro/internal/ompt"
+)
+
+// SequentialReplayer is implemented by tools whose configuration cannot
+// accept out-of-order access dispatch (for example ARBALEST in region or
+// byte granularity, where one analysis slot spans several canonical words).
+// ReplayParallel degrades to sequential dispatch when any registered tool
+// reports true.
+type SequentialReplayer interface {
+	RequiresSequentialReplay() bool
+}
+
+// ReplayStats describes what one replay did.
+type ReplayStats struct {
+	// Events is the number of events dispatched.
+	Events uint64
+	// Accesses is the number of access events among them.
+	Accesses uint64
+	// Epochs is the number of barrier-delimited epochs that contained at
+	// least one access (the fan-out opportunities).
+	Epochs uint64
+	// MaxEpochAccesses is the largest access count in any single epoch.
+	MaxEpochAccesses uint64
+	// Workers is the effective worker count used (1 = sequential dispatch).
+	Workers int
+}
+
+// EffectiveWorkers resolves a requested worker count against the registered
+// tools: n <= 0 means GOMAXPROCS, and any tool that requires sequential
+// replay forces 1.
+func EffectiveWorkers(n int, toolList ...ompt.Tool) int {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	for _, tool := range toolList {
+		if sr, ok := tool.(SequentialReplayer); ok && sr.RequiresSequentialReplay() {
+			return 1
+		}
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// ReplayParallel drives the trace through the given tools using up to
+// workers concurrent analysis goroutines (0 = GOMAXPROCS). It produces the
+// same findings as ReplayContext — reports, kind counts, shadow metadata —
+// in the same rendered order; only wall-clock time differs. A panic in a
+// tool callback on a worker goroutine is re-raised on the calling goroutine
+// once the pool quiesces, so callers' recover-based isolation (the service's
+// per-job panic handling) keeps working.
+func (t *Trace) ReplayParallel(ctx context.Context, workers int, toolList ...ompt.Tool) (ReplayStats, error) {
+	workers = EffectiveWorkers(workers, toolList...)
+	var d ompt.Dispatcher
+	for _, tool := range toolList {
+		d.Register(tool)
+	}
+	if workers == 1 {
+		return t.replaySequential(ctx, &d)
+	}
+
+	eng := newReplayEngine(&d, workers)
+	defer eng.stop()
+	events := t.Events
+	i := 0
+	for i < len(events) {
+		if err := ctx.Err(); err != nil {
+			eng.barrier()
+			return eng.stats, fmt.Errorf("trace: replay canceled at event %d of %d: %w", i, len(events), err)
+		}
+		if events[i].Kind == KindAccess {
+			// The epoch is the maximal run of consecutive accesses; it is
+			// handed to the pool as a sub-slice of Events, uncopied.
+			j := i
+			for j < len(events) && events[j].Kind == KindAccess {
+				if events[j].Access == nil {
+					eng.barrier()
+					return eng.stats, payloadErr(&events[j])
+				}
+				j++
+			}
+			eng.dispatchRun(events[i:j], false)
+			i = j
+			continue
+		}
+		eng.barrier()
+		eng.observe(&events[i])
+		eng.stats.Events++
+		if err := dispatchEvent(eng.d, &events[i]); err != nil {
+			return eng.stats, err
+		}
+		i++
+	}
+	eng.barrier()
+	return eng.stats, nil
+}
+
+// replaySequential is the workers==1 path: same dispatch as ReplayContext,
+// but it also gathers ReplayStats so callers observe a uniform result shape.
+func (t *Trace) replaySequential(ctx context.Context, d *ompt.Dispatcher) (ReplayStats, error) {
+	st := ReplayStats{Workers: 1}
+	var epoch uint64
+	for i := range t.Events {
+		if i%replayCheckInterval == 0 {
+			if err := ctx.Err(); err != nil {
+				return st, fmt.Errorf("trace: replay canceled at event %d of %d: %w", i, len(t.Events), err)
+			}
+		}
+		e := &t.Events[i]
+		if e.Kind == KindAccess {
+			st.Accesses++
+			epoch++
+		} else if epoch > 0 {
+			st.Epochs++
+			if epoch > st.MaxEpochAccesses {
+				st.MaxEpochAccesses = epoch
+			}
+			epoch = 0
+		}
+		if err := dispatchEvent(d, e); err != nil {
+			return st, err
+		}
+		st.Events++
+	}
+	if epoch > 0 {
+		st.Epochs++
+		if epoch > st.MaxEpochAccesses {
+			st.MaxEpochAccesses = epoch
+		}
+	}
+	return st, nil
+}
+
+// inlineEpochFactor scales the inline-dispatch threshold: an epoch shorter
+// than workers*inlineEpochFactor accesses is dispatched on the caller, since
+// waking every worker costs more than the fan-out would save.
+const inlineEpochFactor = 64
+
+// workerPanic wraps a panic captured on a replay worker so it can be
+// re-raised on the caller with the original value preserved for existing
+// recover sites.
+type workerPanic struct {
+	val any
+}
+
+// replayEngine is the epoch-sharded fan-out machinery behind ReplayParallel.
+type replayEngine struct {
+	d       *ompt.Dispatcher
+	workers int
+
+	chans []chan []Event // per-shard run queues
+
+	inflight sync.WaitGroup // one count per (run, worker) pair in flight
+	exited   sync.WaitGroup // worker goroutine lifetimes
+	stopped  bool
+
+	panicMu  sync.Mutex
+	panicVal *workerPanic
+
+	// cv mirrors the detector's CV -> OV resolution so accesses can be
+	// sharded by the host word the analysis will attribute them to. It is
+	// maintained from DataOp barrier events, which are processed in trace
+	// order on the caller goroutine while the pool is drained, so workers
+	// never observe it mid-update.
+	cvLos []uint64
+	cvHis []uint64
+	cvOvs []mem.Addr
+
+	// unified marks devices whose accesses address host storage directly.
+	unified map[ompt.DeviceID]bool
+
+	stats         ReplayStats
+	epochAccesses uint64
+	fanned        bool // this epoch already has runs on the pool
+}
+
+func newReplayEngine(d *ompt.Dispatcher, workers int) *replayEngine {
+	e := &replayEngine{
+		d:       d,
+		workers: workers,
+		chans:   make([]chan []Event, workers),
+		unified: make(map[ompt.DeviceID]bool),
+	}
+	e.stats.Workers = workers
+	for i := range e.chans {
+		// Capacity lets the caller queue a few runs ahead (the streaming
+		// path chunks large epochs) without unbounded buffering.
+		e.chans[i] = make(chan []Event, 4)
+		e.exited.Add(1)
+		go e.worker(i, e.chans[i])
+	}
+	return e
+}
+
+func (e *replayEngine) worker(shard int, ch chan []Event) {
+	defer e.exited.Done()
+	for run := range ch {
+		e.runSlice(shard, run)
+	}
+}
+
+// runSlice scans one epoch run and dispatches the accesses belonging to this
+// worker's shard, converting a tool panic into a recorded failure instead of
+// crashing the process; the caller re-raises it at the next barrier.
+func (e *replayEngine) runSlice(shard int, run []Event) {
+	defer e.inflight.Done()
+	defer func() {
+		if r := recover(); r != nil {
+			e.panicMu.Lock()
+			if e.panicVal == nil {
+				e.panicVal = &workerPanic{val: r}
+			}
+			e.panicMu.Unlock()
+		}
+	}()
+	e.panicMu.Lock()
+	dead := e.panicVal != nil
+	e.panicMu.Unlock()
+	if dead {
+		return // a tool already panicked; stop feeding it events
+	}
+	for i := range run {
+		ev := &run[i]
+		if e.shardOf(ev.Access) == shard {
+			e.d.Access(accessWithClock(ev))
+		}
+	}
+}
+
+// dispatchRun routes one run of consecutive access events (every Access
+// payload already validated non-nil). Small epochs dispatch inline on the
+// caller; larger ones are sent — the same slice — to every worker, each of
+// which filters by shard. forceFan pins mid-epoch chunks from the streaming
+// path onto the pool: once part of an epoch is on the workers, the rest of
+// it must follow, or same-word accesses could interleave across goroutines.
+func (e *replayEngine) dispatchRun(run []Event, forceFan bool) {
+	if len(run) == 0 {
+		return
+	}
+	n := uint64(len(run))
+	e.stats.Events += n
+	e.stats.Accesses += n
+	e.epochAccesses += n
+	if !forceFan && !e.fanned && len(run) < e.workers*inlineEpochFactor {
+		for i := range run {
+			e.d.Access(accessWithClock(&run[i]))
+		}
+		return
+	}
+	e.fanned = true
+	e.inflight.Add(e.workers)
+	for _, ch := range e.chans {
+		ch <- run
+	}
+}
+
+// barrier waits for the pool to drain and re-raises any worker panic on the
+// caller goroutine, then closes out the current epoch's accounting.
+func (e *replayEngine) barrier() {
+	e.inflight.Wait()
+	e.fanned = false
+	e.panicMu.Lock()
+	p := e.panicVal
+	e.panicMu.Unlock()
+	if p != nil {
+		e.stop()
+		panic(p.val)
+	}
+	if e.epochAccesses > 0 {
+		e.stats.Epochs++
+		if e.epochAccesses > e.stats.MaxEpochAccesses {
+			e.stats.MaxEpochAccesses = e.epochAccesses
+		}
+		e.epochAccesses = 0
+	}
+}
+
+// stop shuts the worker pool down. Idempotent. Queued runs still drain
+// (workers keep counting inflight down), so a subsequent barrier is safe.
+func (e *replayEngine) stop() {
+	if e.stopped {
+		return
+	}
+	e.stopped = true
+	for _, ch := range e.chans {
+		close(ch)
+	}
+	e.exited.Wait()
+}
+
+// observe folds a barrier event into the engine's CV/unified mirror.
+func (e *replayEngine) observe(ev *Event) {
+	switch ev.Kind {
+	case KindDeviceInit:
+		if ev.DeviceInit != nil {
+			e.unified[ev.DeviceInit.Device] = ev.DeviceInit.Unified
+		}
+	case KindDataOp:
+		if ev.DataOp == nil {
+			return
+		}
+		switch op := ev.DataOp; op.Kind {
+		case ompt.OpAlloc:
+			e.insertCV(uint64(op.DevAddr), uint64(op.DevAddr)+op.Bytes, op.HostAddr)
+		case ompt.OpDelete:
+			e.deleteCV(uint64(op.DevAddr))
+		}
+	}
+}
+
+func (e *replayEngine) insertCV(lo, hi uint64, ov mem.Addr) {
+	i := sort.Search(len(e.cvLos), func(j int) bool { return e.cvLos[j] >= lo })
+	if i < len(e.cvLos) && e.cvLos[i] == lo {
+		return // duplicate CV base: mirror the detector, which keeps the first
+	}
+	e.cvLos = append(e.cvLos, 0)
+	e.cvHis = append(e.cvHis, 0)
+	e.cvOvs = append(e.cvOvs, 0)
+	copy(e.cvLos[i+1:], e.cvLos[i:])
+	copy(e.cvHis[i+1:], e.cvHis[i:])
+	copy(e.cvOvs[i+1:], e.cvOvs[i:])
+	e.cvLos[i] = lo
+	e.cvHis[i] = hi
+	e.cvOvs[i] = ov
+}
+
+func (e *replayEngine) deleteCV(lo uint64) {
+	i := sort.Search(len(e.cvLos), func(j int) bool { return e.cvLos[j] >= lo })
+	if i >= len(e.cvLos) || e.cvLos[i] != lo {
+		return
+	}
+	e.cvLos = append(e.cvLos[:i], e.cvLos[i+1:]...)
+	e.cvHis = append(e.cvHis[:i], e.cvHis[i+1:]...)
+	e.cvOvs = append(e.cvOvs[:i], e.cvOvs[i+1:]...)
+}
+
+// canonicalWord returns the aligned host word the analysis will resolve this
+// access to: the raw word for host-side and unified-memory accesses, the
+// OV-translated word for device accesses inside a live CV range, and the raw
+// word for device accesses outside every mapping (those touch no shadow
+// state — they only produce overflow reports, which the sink orders by
+// replay clock regardless of shard).
+func (e *replayEngine) canonicalWord(a *ompt.AccessEvent) mem.Addr {
+	if a.Device == ompt.HostDevice || e.unified[a.Device] {
+		return a.Addr.Align()
+	}
+	p := uint64(a.Addr)
+	i := sort.Search(len(e.cvLos), func(i int) bool { return e.cvLos[i] > p })
+	if i == 0 || p >= e.cvHis[i-1] {
+		return a.Addr.Align()
+	}
+	return (e.cvOvs[i-1] + (a.Addr - mem.Addr(e.cvLos[i-1]))).Align()
+}
+
+func (e *replayEngine) shardOf(a *ompt.AccessEvent) int {
+	w := uint64(e.canonicalWord(a)) >> 3
+	w *= 0x9E3779B97F4A7C15 // Fibonacci hash: spread contiguous words across shards
+	return int((w >> 33) % uint64(e.workers))
+}

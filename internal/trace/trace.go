@@ -12,7 +12,6 @@ package trace
 
 import (
 	"bufio"
-	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
@@ -155,6 +154,11 @@ const replayCheckInterval = 256
 // stopping early when ctx is canceled or its deadline passes. The returned
 // error wraps ctx.Err() in that case, so errors.Is(err, context.Canceled)
 // and errors.Is(err, context.DeadlineExceeded) work as expected.
+//
+// Events are validated when a trace is loaded (LoadLimited) or decoded
+// (Stream); the hot loop here only carries a nil-payload guard via
+// dispatchEvent, so a hand-built malformed Trace still fails cleanly
+// instead of panicking.
 func (t *Trace) ReplayContext(ctx context.Context, toolList ...ompt.Tool) error {
 	var d ompt.Dispatcher
 	for _, tool := range toolList {
@@ -166,30 +170,76 @@ func (t *Trace) ReplayContext(ctx context.Context, toolList ...ompt.Tool) error 
 				return fmt.Errorf("trace: replay canceled at event %d of %d: %w", i, len(t.Events), err)
 			}
 		}
-		e := &t.Events[i]
-		if err := e.validate(); err != nil {
-			return fmt.Errorf("trace: event %d: %w", e.Seq, err)
-		}
-		switch e.Kind {
-		case KindDeviceInit:
-			d.DeviceInit(ompt.DeviceInitEvent{
-				Device: e.DeviceInit.Device, Name: e.DeviceInit.Name, Unified: e.DeviceInit.Unified,
-			})
-		case KindTargetBegin:
-			d.TargetBegin(*e.TargetBegin)
-		case KindTargetEnd:
-			d.TargetEnd(*e.TargetEnd)
-		case KindDataOp:
-			d.DataOp(*e.DataOp)
-		case KindAccess:
-			d.Access(*e.Access)
-		case KindSync:
-			d.Sync(*e.Sync)
-		case KindAlloc:
-			d.Alloc(*e.Alloc)
+		if err := dispatchEvent(&d, &t.Events[i]); err != nil {
+			return err
 		}
 	}
 	return nil
+}
+
+// dispatchEvent sends one event through the dispatcher. The switch's nil
+// checks are the only per-event validation left on the replay hot path:
+// full validation happens once, at load/decode time.
+func dispatchEvent(d *ompt.Dispatcher, e *Event) error {
+	switch e.Kind {
+	case KindAccess: // by far the most frequent kind: checked first
+		if e.Access == nil {
+			return payloadErr(e)
+		}
+		d.Access(accessWithClock(e))
+	case KindDeviceInit:
+		if e.DeviceInit == nil {
+			return payloadErr(e)
+		}
+		d.DeviceInit(ompt.DeviceInitEvent{
+			Device: e.DeviceInit.Device, Name: e.DeviceInit.Name, Unified: e.DeviceInit.Unified,
+		})
+	case KindTargetBegin:
+		if e.TargetBegin == nil {
+			return payloadErr(e)
+		}
+		d.TargetBegin(*e.TargetBegin)
+	case KindTargetEnd:
+		if e.TargetEnd == nil {
+			return payloadErr(e)
+		}
+		d.TargetEnd(*e.TargetEnd)
+	case KindDataOp:
+		if e.DataOp == nil {
+			return payloadErr(e)
+		}
+		op := *e.DataOp
+		op.Clock = e.Seq + 1
+		d.DataOp(op)
+	case KindSync:
+		if e.Sync == nil {
+			return payloadErr(e)
+		}
+		d.Sync(*e.Sync)
+	case KindAlloc:
+		if e.Alloc == nil {
+			return payloadErr(e)
+		}
+		d.Alloc(*e.Alloc)
+	default:
+		return fmt.Errorf("trace: event %d: unknown kind %q", e.Seq, e.Kind)
+	}
+	return nil
+}
+
+func payloadErr(e *Event) error {
+	return fmt.Errorf("trace: event %d: missing payload for kind %q", e.Seq, e.Kind)
+}
+
+// accessWithClock copies the event's access payload and stamps the
+// replay-assigned scalar clock (the trace sequence number, shifted so zero
+// keeps meaning "unset"). Every replay path — sequential and parallel —
+// stamps the same value, which is what makes their recorded shadow
+// metadata, and therefore their reports, byte-identical.
+func accessWithClock(e *Event) ompt.AccessEvent {
+	a := *e.Access
+	a.Clock = e.Seq + 1
+	return a
 }
 
 // validate checks that the event's kind is known and its payload is present.
@@ -253,40 +303,18 @@ func Load(r io.Reader) (*Trace, error) {
 	return LoadLimited(r, Limits{})
 }
 
-// LoadLimited reads a JSON-lines trace one line at a time, validating each
-// event as it is decoded. Malformed input fails with the offending line
+// LoadLimited reads a JSON-lines trace, validating each event as it is
+// decoded (see Stream). Malformed input fails with the offending line
 // number; inputs exceeding the limits fail with ErrTooManyEvents or
 // ErrTooManyBytes. Blank lines are skipped.
 func LoadLimited(r io.Reader, lim Limits) (*Trace, error) {
-	br := bufio.NewReader(r)
 	t := &Trace{}
-	var read int64
-	for line := 1; ; line++ {
-		raw, err := br.ReadBytes('\n')
-		read += int64(len(raw))
-		if lim.MaxBytes > 0 && read > lim.MaxBytes {
-			return nil, fmt.Errorf("%w: more than %d bytes", ErrTooManyBytes, lim.MaxBytes)
-		}
-		if len(raw) > 0 {
-			if trimmed := bytes.TrimSpace(raw); len(trimmed) > 0 {
-				if lim.MaxEvents > 0 && len(t.Events) >= lim.MaxEvents {
-					return nil, fmt.Errorf("%w: more than %d events (line %d)", ErrTooManyEvents, lim.MaxEvents, line)
-				}
-				var e Event
-				if jerr := json.Unmarshal(trimmed, &e); jerr != nil {
-					return nil, fmt.Errorf("trace: line %d: %w", line, jerr)
-				}
-				if verr := e.validate(); verr != nil {
-					return nil, fmt.Errorf("trace: line %d: %w", line, verr)
-				}
-				t.Events = append(t.Events, e)
-			}
-		}
-		if err == io.EOF {
-			return t, nil
-		}
-		if err != nil {
-			return nil, fmt.Errorf("trace: line %d: %w", line, err)
-		}
+	err := Stream(r, lim, func(batch []Event) error {
+		t.Events = append(t.Events, batch...)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	return t, nil
 }
