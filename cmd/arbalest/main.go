@@ -43,6 +43,7 @@ func main() {
 	theorem1 := flag.Bool("theorem1", false, "run the paper's Theorem 1 procedure (race check on the async schedule + VSM with forced-synchronous kernels)")
 	repairFlag := flag.Bool("repair", false, "repair stale accesses on the fly (paper §III-C); implies -tool arbalest-vsm")
 	saveTrace := flag.String("save-trace", "", "record the execution's tool-interface events to this JSON-lines file")
+	framed := flag.Bool("framed", false, "write -save-trace in the CRC32C-framed binary format (corruption-detecting; replay and submit auto-detect either format)")
 	replayTrace := flag.String("replay-trace", "", "skip execution: replay a recorded trace file into the chosen tool")
 	replayWorkers := flag.Int("workers", 1, "parallel-analysis shard count for -replay-trace (1 = sequential, 0 = GOMAXPROCS); findings are identical at any setting")
 	jsonOut := flag.Bool("json", false, "emit the result as JSON (the same summary schema arbalestd serves)")
@@ -82,7 +83,7 @@ func main() {
 	}
 
 	if *submit != "" {
-		os.Exit(submitProgram(*submit, name, run, *tool, *saveTrace, *jsonOut))
+		os.Exit(submitProgram(*submit, name, run, *tool, *saveTrace, *framed, *jsonOut))
 	}
 
 	if *repairFlag {
@@ -113,7 +114,7 @@ func main() {
 	}
 
 	if recorder != nil {
-		if err := writeTrace(*saveTrace, recorder); err != nil {
+		if err := writeTrace(*saveTrace, recorder, *framed); err != nil {
 			fmt.Fprintln(os.Stderr, "arbalest:", err)
 			os.Exit(1)
 		}
@@ -147,13 +148,18 @@ func printJSON(v any) {
 	_ = enc.Encode(v)
 }
 
-// writeTrace saves a recorded trace to path.
-func writeTrace(path string, rec *trace.Recorder) error {
+// writeTrace saves a recorded trace to path, framed (CRC32C-checked binary)
+// or as JSON lines. Readers auto-detect the format, so the choice only
+// affects corruption detection and size on disk.
+func writeTrace(path string, rec *trace.Recorder, framed bool) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
+	if framed {
+		return rec.Trace().SaveFramed(f)
+	}
 	return rec.Trace().Save(f)
 }
 
@@ -203,7 +209,7 @@ func runReplay(path, toolName string, workers int, jsonOut bool) int {
 // arbalestd daemon, closing the record -> submit -> analyze loop. The trace
 // is recorded with the same runtime configuration a local run under toolName
 // would use, so daemon results match one-shot results.
-func submitProgram(baseURL, name string, run func(c *omp.Context), toolName, savePath string, jsonOut bool) int {
+func submitProgram(baseURL, name string, run func(c *omp.Context), toolName, savePath string, framed, jsonOut bool) int {
 	recorder := trace.NewRecorder()
 	rt := omp.NewRuntime(omp.Config{NumThreads: 4, ForceSync: strings.HasPrefix(toolName, "arbalest")}, recorder)
 	if err := rt.Run(func(c *omp.Context) error {
@@ -213,7 +219,7 @@ func submitProgram(baseURL, name string, run func(c *omp.Context), toolName, sav
 		fmt.Fprintf(os.Stderr, "note: simulated runtime fault (often part of the bug): %v\n", err)
 	}
 	if savePath != "" {
-		if err := writeTrace(savePath, recorder); err != nil {
+		if err := writeTrace(savePath, recorder, framed); err != nil {
 			fmt.Fprintln(os.Stderr, "arbalest:", err)
 			return 1
 		}

@@ -6,7 +6,8 @@
 //
 //	arbalestd [-addr :8321] [-workers N] [-replay-workers N] [-queue N]
 //	          [-max-events N] [-max-body BYTES] [-timeout DUR] [-spool DIR]
-//	          [-retain-jobs N] [-retain-age DUR] [-debug-addr ADDR]
+//	          [-retain-jobs N] [-retain-age DUR] [-checkpoint-every N]
+//	          [-job-stall-timeout DUR] [-debug-addr ADDR]
 //	          [-analyzer-stats] [-version]
 //
 // -workers sizes the job pool (how many traces analyze concurrently);
@@ -32,7 +33,13 @@
 // before it is acknowledged; on startup the spool is recovered and any
 // job that had not reached a terminal state is re-enqueued exactly once.
 // -retain-jobs and -retain-age bound how much finished-job history stays
-// in memory and on disk.
+// in memory and on disk. -checkpoint-every N additionally checkpoints each
+// replay's analyzer state into the spool roughly every N events, so a job
+// interrupted by a crash resumes from its last checkpoint instead of
+// replaying from scratch (findings are identical either way).
+// -job-stall-timeout arms a watchdog that cancels replays whose progress
+// heartbeats stop advancing and retries them once sequentially from their
+// freshest checkpoint.
 //
 // With -debug-addr, a second HTTP listener (intended to stay private)
 // serves net/http/pprof under /debug/pprof/ and expvar under /debug/vars.
@@ -72,6 +79,8 @@ func main() {
 	spool := flag.String("spool", "", "spool directory for the write-ahead job journal (empty = jobs are in-memory only and lost on crash)")
 	retainJobs := flag.Int("retain-jobs", 1024, "max finished jobs kept in memory and spool (-1 = unlimited)")
 	retainAge := flag.Duration("retain-age", 0, "evict finished jobs older than this (0 = no age limit)")
+	checkpointEvery := flag.Uint64("checkpoint-every", 0, "checkpoint analyzer state into the spool roughly every N events, enabling crash resume (0 = disabled; needs -spool)")
+	stallTimeout := flag.Duration("job-stall-timeout", 0, "cancel and retry a replay that makes no progress for this long (0 = no watchdog)")
 	debugAddr := flag.String("debug-addr", "", "private listen address for pprof and expvar (empty = disabled)")
 	analyzerStats := flag.Bool("analyzer-stats", true, "collect per-job analyzer-level telemetry (VSM transitions, CAS retries, interval lookups)")
 	version := flag.Bool("version", false, "print build info and exit")
@@ -104,8 +113,13 @@ func main() {
 		ReplayTimeout:   *timeout,
 		MaxFinishedJobs: *retainJobs,
 		MaxJobAge:       *retainAge,
+		CheckpointEvery: *checkpointEvery,
+		StallTimeout:    *stallTimeout,
 		Logger:          logger,
 		AnalyzerStats:   *analyzerStats,
+	}
+	if *checkpointEvery > 0 && *spool == "" {
+		fatal("-checkpoint-every requires -spool (checkpoints live in the spool directory)")
 	}
 	if *spool != "" {
 		jnl, err := journal.Open(*spool)

@@ -7,11 +7,19 @@
 //
 // The registered point names used by this repository:
 //
-//	journal.append  error on the write-ahead append (job accept path)
-//	journal.mark    error on a lifecycle transition append
-//	journal.fsync   delay before a journal fsync (slow-disk simulation)
-//	worker.replay   panic or delay inside a worker's replay (analyzer crash,
-//	                slow worker)
+//	journal.append      error on the write-ahead append (job accept path)
+//	journal.mark        error on a lifecycle transition append
+//	journal.fsync       delay before a journal fsync (slow-disk simulation)
+//	journal.checkpoint  error or delay on an analyzer-state checkpoint write
+//	                    (full-disk or slow-disk simulation; a delay here also
+//	                    wedges the replay for stall-watchdog scenarios)
+//	worker.slow         delay before a worker starts its replay
+//	worker.replay       panic or delay inside a worker's replay (analyzer
+//	                    crash, slow worker)
+//	worker.crash        fired after a checkpoint is durably written; an
+//	                    armed error simulates a hard crash (the worker
+//	                    goroutine exits without unwinding, leaving the job
+//	                    "running" in the journal exactly as SIGKILL would)
 package faultinject
 
 import (

@@ -1,0 +1,43 @@
+package interval
+
+import "fmt"
+
+// Span is one interval/value pair captured by Snapshot.
+type Span[V any] struct {
+	Iv  Interval `json:"iv"`
+	Val V        `json:"val"`
+}
+
+// Snapshot returns the tree's contents in ascending order of low endpoint.
+// The result is deterministic for a given set of intervals, which keeps
+// serialized checkpoints stable across insertion orders.
+func (t *Tree[V]) Snapshot() []Span[V] {
+	out := make([]Span[V], 0, t.Len())
+	t.Each(func(iv Interval, val V) {
+		out = append(out, Span[V]{Iv: iv, Val: val})
+	})
+	return out
+}
+
+// Clear removes every interval from the tree.
+func (t *Tree[V]) Clear() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.cache.Store(nil)
+	t.root = nil
+	t.size = 0
+}
+
+// RestoreSpans replaces the tree's contents with the given spans (checkpoint
+// restore). Overlapping or empty spans are rejected with the tree cleared,
+// since a partially restored tree is worse than an empty one.
+func (t *Tree[V]) RestoreSpans(spans []Span[V]) error {
+	t.Clear()
+	for _, s := range spans {
+		if err := t.Insert(s.Iv.Lo, s.Iv.Hi, s.Val); err != nil {
+			t.Clear()
+			return fmt.Errorf("interval: restore: %w", err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,210 @@
+package journal
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/trace"
+)
+
+// TestMidFileCorruptLineSkipped: a corrupt line in the middle of a meta log
+// must not mask the transitions after it — otherwise a bit flip could
+// resurrect a finished job as pending and re-run it.
+func TestMidFileCorruptLineSkipped(t *testing.T) {
+	j := mustOpen(t)
+	if err := j.Append(Record{ID: "job-0", Tool: "arbalest", Submitted: time.Now()}, sampleTrace(2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Mark("job-0", StatusRunning, "", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Mark("job-0", StatusDone, "", json.RawMessage(`{"issues":0}`)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Flip a byte inside line 2 (the running mark).
+	path := filepath.Join(j.Dir(), "job-0.meta")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.SplitAfter(data, []byte("\n"))
+	if len(lines) < 3 {
+		t.Fatalf("meta has %d lines, want >= 3", len(lines))
+	}
+	lines[1][len(lines[1])/2] ^= 0x20
+	if err := os.WriteFile(path, bytes.Join(lines, nil), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	jobs, stats, errs := j.Recover()
+	if len(errs) != 0 {
+		t.Fatalf("recover errors: %v", errs)
+	}
+	if len(jobs) != 1 || jobs[0].Status != StatusDone {
+		t.Fatalf("recovered %+v, want one done job", jobs)
+	}
+	if stats.TruncatedRecords != 1 {
+		t.Errorf("TruncatedRecords = %d, want 1", stats.TruncatedRecords)
+	}
+}
+
+// TestTornTrailingRecordTruncatedOnce: the first recovery counts the torn
+// tail and physically truncates it off the file, so a second recovery is
+// clean.
+func TestTornTrailingRecordTruncatedOnce(t *testing.T) {
+	j := mustOpen(t)
+	if err := j.Append(Record{ID: "job-0", Tool: "arbalest", Submitted: time.Now()}, sampleTrace(2)); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(j.Dir(), "job-0.meta")
+	before, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`c2 0bad00 {"status":"do`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	jobs, stats, errs := j.Recover()
+	if len(errs) != 0 || len(jobs) != 1 || jobs[0].Status != StatusPending {
+		t.Fatalf("first recover: jobs %+v errs %v", jobs, errs)
+	}
+	if stats.TruncatedRecords != 1 {
+		t.Errorf("first recover TruncatedRecords = %d, want 1", stats.TruncatedRecords)
+	}
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(after, before) {
+		t.Errorf("meta not truncated back to %d bytes (now %d)", len(before), len(after))
+	}
+
+	_, stats, errs = j.Recover()
+	if len(errs) != 0 || stats.TruncatedRecords != 0 {
+		t.Errorf("second recover: errs %v TruncatedRecords %d, want clean", errs, stats.TruncatedRecords)
+	}
+}
+
+// TestCheckpointRoundTripAndRecovery covers the checkpoint sidecar: write,
+// read back, attach on Recover, and drop-with-count when the file is
+// corrupt — a bad checkpoint must cost a re-run from zero, never a wrong
+// resume.
+func TestCheckpointRoundTripAndRecovery(t *testing.T) {
+	j := mustOpen(t)
+	tr := sampleTrace(3)
+	if err := j.Append(Record{ID: "job-0", Tool: "arbalest", Submitted: time.Now()}, tr); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Mark("job-0", StatusRunning, "", nil); err != nil {
+		t.Fatal(err)
+	}
+	ck := &trace.Checkpoint{
+		JobID:     "job-0",
+		Tool:      "arbalest",
+		NextEvent: 2,
+		Events:    uint64(len(tr.Events)),
+		Created:   time.Now(),
+		State:     json.RawMessage(`{"vsm":{}}`),
+	}
+	if err := j.WriteCheckpoint(ck); err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := j.ReadCheckpoint("job-0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NextEvent != ck.NextEvent || got.Tool != ck.Tool || !bytes.Equal(got.State, ck.State) {
+		t.Errorf("read back %+v, want %+v", got, ck)
+	}
+	if _, err := j.ReadCheckpoint("job-none"); !errors.Is(err, os.ErrNotExist) {
+		t.Errorf("missing checkpoint: err %v, want ErrNotExist", err)
+	}
+
+	jobs, stats, errs := j.Recover()
+	if len(errs) != 0 || len(jobs) != 1 {
+		t.Fatalf("recover: jobs %+v errs %v", jobs, errs)
+	}
+	if jobs[0].Checkpoint == nil || jobs[0].Checkpoint.NextEvent != 2 {
+		t.Fatalf("recovered checkpoint %+v, want NextEvent 2", jobs[0].Checkpoint)
+	}
+	if stats.DroppedCheckpoints != 0 {
+		t.Errorf("DroppedCheckpoints = %d, want 0", stats.DroppedCheckpoints)
+	}
+
+	// Corrupt the checkpoint: recovery must drop it (counted), delete the
+	// file, and still hand the job back for a from-scratch re-run.
+	ckptPath := filepath.Join(j.Dir(), "job-0.ckpt")
+	data, err := os.ReadFile(ckptPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-2] ^= 0x04
+	if err := os.WriteFile(ckptPath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	jobs, stats, errs = j.Recover()
+	if len(errs) != 0 || len(jobs) != 1 || jobs[0].Checkpoint != nil {
+		t.Fatalf("corrupt-checkpoint recover: jobs %+v errs %v, want one job with nil checkpoint", jobs, errs)
+	}
+	if stats.DroppedCheckpoints != 1 {
+		t.Errorf("DroppedCheckpoints = %d, want 1", stats.DroppedCheckpoints)
+	}
+	if _, err := os.Stat(ckptPath); !errors.Is(err, os.ErrNotExist) {
+		t.Errorf("corrupt checkpoint file not deleted: stat err %v", err)
+	}
+
+	// RemoveCheckpoint tolerates absence.
+	if err := j.RemoveCheckpoint("job-0"); err != nil {
+		t.Errorf("RemoveCheckpoint after drop: %v", err)
+	}
+}
+
+// TestCorruptSpoolTraceIsPerJobError: a bit flip in one job's framed trace
+// file fails that job with a structured corruption error and leaves every
+// other job recoverable.
+func TestCorruptSpoolTraceIsPerJobError(t *testing.T) {
+	j := mustOpen(t)
+	for _, id := range []string{"job-0", "job-1"} {
+		if err := j.Append(Record{ID: id, Tool: "arbalest", Submitted: time.Now()}, sampleTrace(3)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	path := filepath.Join(j.Dir(), "job-0.trace")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x01
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	jobs, _, errs := j.Recover()
+	if len(jobs) != 1 || jobs[0].ID != "job-1" {
+		t.Fatalf("recovered %+v, want only job-1", jobs)
+	}
+	if len(errs) != 1 {
+		t.Fatalf("recover errors %v, want exactly one", errs)
+	}
+	var je *JobError
+	if !errors.As(errs[0], &je) || je.ID != "job-0" {
+		t.Fatalf("error %v, want *JobError for job-0", errs[0])
+	}
+	var ce *trace.CorruptionError
+	if !errors.As(errs[0], &ce) {
+		t.Fatalf("error %v does not unwrap to *trace.CorruptionError", errs[0])
+	}
+}

@@ -1,0 +1,60 @@
+package journal
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// FuzzJournalRecovery feeds arbitrary bytes to the spool recovery path as a
+// job's meta file. Recover must never panic, and any job it does hand back
+// for re-enqueue (pending or running) must carry a usable trace.
+func FuzzJournalRecovery(f *testing.F) {
+	// Build a real meta file — append, run, done — and seed with it plus
+	// truncated and legacy variants.
+	seedDir := f.TempDir()
+	j, err := Open(seedDir)
+	if err != nil {
+		f.Fatal(err)
+	}
+	rec := Record{ID: "job-0", Tool: "arbalest", Key: "k", Events: 4, Submitted: time.Unix(1754000000, 0)}
+	if err := j.Append(rec, sampleTrace(3)); err != nil {
+		f.Fatal(err)
+	}
+	if err := j.Mark("job-0", StatusRunning, "", nil); err != nil {
+		f.Fatal(err)
+	}
+	if err := j.Mark("job-0", StatusDone, "", json.RawMessage(`{"issues":0}`)); err != nil {
+		f.Fatal(err)
+	}
+	meta, err := os.ReadFile(filepath.Join(seedDir, "job-0.meta"))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(meta)
+	f.Add(meta[:len(meta)-4])                                  // torn final record
+	f.Add([]byte(`{"id":"job-0","tool":"arbalest"}` + "\n"))   // legacy bare-JSON line
+	f.Add([]byte("c2 deadbeef {\"id\":\"job-0\"}\n" + "\n\n")) // bad CRC + blank lines
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, "job-0.meta"), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		jj, err := Open(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs, _, _ := jj.Recover()
+		for _, rj := range jobs {
+			if rj.Status == StatusPending || rj.Status == StatusRunning {
+				if rj.Trace == nil {
+					t.Fatalf("recovered %s job %q with no trace", rj.Status, rj.ID)
+				}
+			}
+		}
+	})
+}

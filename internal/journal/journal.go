@@ -1,31 +1,46 @@
 // Package journal is arbalestd's write-ahead job journal: a spool
 // directory that makes accepted jobs survive a daemon crash.
 //
-// Each accepted job gets two files under the spool directory:
+// Each accepted job gets up to three files under the spool directory:
 //
-//	<id>.trace  the submitted JSON-lines trace, written and fsynced before
-//	            the job is acknowledged (the write-ahead part)
-//	<id>.meta   an append-only JSON-lines log of lifecycle transitions:
-//	            the first line carries the job's identity (tool, events,
-//	            idempotency key, submit time) with status "pending";
-//	            subsequent lines record running/done/failed transitions
+//	<id>.trace  the submitted trace in the CRC32C-framed encoding, written
+//	            and fsynced before the job is acknowledged (the write-ahead
+//	            part)
+//	<id>.meta   an append-only log of lifecycle transitions: the first line
+//	            carries the job's identity (tool, events, idempotency key,
+//	            submit time) with status "pending"; subsequent lines record
+//	            running/done/failed transitions. Each line is CRC-framed:
+//	            "c2 <crc32c-hex8> <json>\n" (bare legacy JSON lines are
+//	            still accepted on read)
+//	<id>.ckpt   the job's latest replay checkpoint (trace.Checkpoint),
+//	            written atomically at epoch boundaries while the job runs
 //
 // On startup, Recover scans the spool: jobs whose last recorded status is
-// pending or running are returned with their traces so the service can
-// re-enqueue each exactly once; jobs already done or failed are returned
-// as history (without traces) so job listings and idempotency-key dedup
-// survive the restart. Remove deletes both files when the retention GC
-// evicts a job.
+// pending or running are returned with their traces — and their latest
+// valid checkpoint, when one exists — so the service can re-enqueue each
+// exactly once and resume from where the crash cut it off; jobs already
+// done or failed are returned as history (without traces) so job listings
+// and idempotency-key dedup survive the restart. Remove deletes all three
+// files when the retention GC evicts a job.
+//
+// Corruption tolerance: a torn trailing meta line (crash mid-append) is
+// truncated off and counted, not fatal; a corrupt line in the middle of a
+// meta log (bit rot) is skipped and counted, so the entries after it still
+// apply; a corrupt checkpoint is dropped and counted — the job re-runs
+// from the trace, which is always correct, just slower.
 //
 // Fault points (package faultinject): "journal.append" and "journal.mark"
-// can inject write errors, "journal.fsync" can inject fsync latency.
+// can inject write errors, "journal.fsync" can inject fsync latency, and
+// "journal.checkpoint" can inject checkpoint-write errors or latency.
 package journal
 
 import (
-	"bufio"
+	"bytes"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"os"
 	"path/filepath"
 	"sort"
@@ -81,6 +96,22 @@ type RecoveredJob struct {
 	Finished time.Time
 	Error    string
 	Result   json.RawMessage
+	// Checkpoint is the job's latest valid replay checkpoint, nil when none
+	// was written or the file failed its CRC check (then the job simply
+	// re-runs from event zero).
+	Checkpoint *trace.Checkpoint
+}
+
+// RecoverStats counts the corruption Recover repaired while scanning the
+// spool. The service folds these into its metrics.
+type RecoverStats struct {
+	// TruncatedRecords is the number of torn or corrupt meta lines dropped:
+	// torn trailing lines are truncated off the file, corrupt mid-file
+	// lines are skipped.
+	TruncatedRecords int
+	// DroppedCheckpoints is the number of checkpoint files discarded
+	// because they failed CRC or sanity checks.
+	DroppedCheckpoints int
 }
 
 // Journal persists job traces and lifecycle transitions under one spool
@@ -108,6 +139,7 @@ func (j *Journal) Dir() string { return j.dir }
 
 func (j *Journal) tracePath(id string) string { return filepath.Join(j.dir, id+".trace") }
 func (j *Journal) metaPath(id string) string  { return filepath.Join(j.dir, id+".meta") }
+func (j *Journal) ckptPath(id string) string  { return filepath.Join(j.dir, id+".ckpt") }
 
 // Append journals a newly accepted job: the trace first, fsynced, then
 // the initial pending meta entry, fsynced. If any step fails the partial
@@ -151,7 +183,7 @@ func (j *Journal) Mark(id, status, errMsg string, result json.RawMessage) error 
 // Remove deletes the job's spool files (retention GC).
 func (j *Journal) Remove(id string) error {
 	var firstErr error
-	for _, p := range []string{j.tracePath(id), j.metaPath(id)} {
+	for _, p := range []string{j.tracePath(id), j.metaPath(id), j.ckptPath(id)} {
 		if err := os.Remove(p); err != nil && !errors.Is(err, os.ErrNotExist) && firstErr == nil {
 			firstErr = err
 		}
@@ -159,17 +191,44 @@ func (j *Journal) Remove(id string) error {
 	return firstErr
 }
 
+// WriteCheckpoint atomically persists the job's latest replay checkpoint,
+// replacing any previous one. Honors the "journal.checkpoint" fault point.
+func (j *Journal) WriteCheckpoint(ck *trace.Checkpoint) error {
+	if err := faultinject.Fire("journal.checkpoint"); err != nil {
+		return err
+	}
+	return ck.WriteFile(j.ckptPath(ck.JobID))
+}
+
+// ReadCheckpoint loads the job's checkpoint. os.ErrNotExist when none was
+// written; *trace.CorruptionError when the file fails its CRC check.
+func (j *Journal) ReadCheckpoint(id string) (*trace.Checkpoint, error) {
+	return trace.ReadCheckpointFile(j.ckptPath(id))
+}
+
+// RemoveCheckpoint deletes the job's checkpoint file, if any (terminal
+// jobs no longer need one).
+func (j *Journal) RemoveCheckpoint(id string) error {
+	if err := os.Remove(j.ckptPath(id)); err != nil && !errors.Is(err, os.ErrNotExist) {
+		return err
+	}
+	return nil
+}
+
 // Recover scans the spool directory and reconstructs every journaled job
 // from its meta log. Jobs whose last status is pending or running are
-// loaded with their traces (ready to re-enqueue); terminal jobs are
-// returned as history. Jobs with unreadable meta or trace files are
-// skipped and reported in the returned error list — recovery is best
-// effort per job, never all-or-nothing. Results are sorted by ID so
-// replay order is deterministic.
-func (j *Journal) Recover() ([]RecoveredJob, []error) {
+// loaded with their traces (ready to re-enqueue) and their latest valid
+// checkpoint; terminal jobs are returned as history. Jobs with unreadable
+// meta or trace files are skipped and reported in the returned error
+// list — recovery is best effort per job, never all-or-nothing — and the
+// corruption repaired along the way (torn meta lines truncated, corrupt
+// checkpoints dropped) is counted in RecoverStats. Results are sorted by
+// ID so replay order is deterministic.
+func (j *Journal) Recover() ([]RecoveredJob, RecoverStats, []error) {
+	var stats RecoverStats
 	entries, err := os.ReadDir(j.dir)
 	if err != nil {
-		return nil, []error{fmt.Errorf("journal: %w", err)}
+		return nil, stats, []error{fmt.Errorf("journal: %w", err)}
 	}
 	var jobs []RecoveredJob
 	var errs []error
@@ -179,7 +238,7 @@ func (j *Journal) Recover() ([]RecoveredJob, []error) {
 			continue
 		}
 		id := strings.TrimSuffix(name, ".meta")
-		rj, err := j.recoverOne(id)
+		rj, err := j.recoverOne(id, &stats)
 		if err != nil {
 			errs = append(errs, &JobError{ID: id, Err: err})
 			continue
@@ -194,7 +253,7 @@ func (j *Journal) Recover() ([]RecoveredJob, []error) {
 		}
 		return x < y
 	})
-	return jobs, errs
+	return jobs, stats, errs
 }
 
 // JobError is a recovery failure scoped to one spooled job, so callers
@@ -211,34 +270,106 @@ func (e *JobError) Error() string { return fmt.Sprintf("journal: job %s: %v", e.
 // Unwrap exposes the cause to errors.Is/As.
 func (e *JobError) Unwrap() error { return e.Err }
 
+// metaCRC is the CRC32C table framing meta lines.
+var metaCRC = crc32.MakeTable(crc32.Castagnoli)
+
+// metaFramePrefix opens a CRC-framed meta line: "c2 <crc32c-hex8> <json>".
+const metaFramePrefix = "c2 "
+
+// frameMetaLine wraps one marshaled entry in the CRC frame, newline
+// included.
+func frameMetaLine(payload []byte) []byte {
+	out := make([]byte, 0, len(metaFramePrefix)+8+1+len(payload)+1)
+	out = append(out, metaFramePrefix...)
+	var sum [4]byte
+	crc := crc32.Checksum(payload, metaCRC)
+	sum[0], sum[1], sum[2], sum[3] = byte(crc>>24), byte(crc>>16), byte(crc>>8), byte(crc)
+	out = hex.AppendEncode(out, sum[:])
+	out = append(out, ' ')
+	out = append(out, payload...)
+	return append(out, '\n')
+}
+
+// parseMetaLine decodes one meta line into an Entry. CRC-framed lines are
+// verified; bare JSON lines (the pre-framing format) are accepted as-is. A
+// false result means the line is torn or corrupt.
+func parseMetaLine(raw []byte) (Entry, bool) {
+	var e Entry
+	payload := raw
+	if bytes.HasPrefix(raw, []byte(metaFramePrefix)) {
+		rest := raw[len(metaFramePrefix):]
+		if len(rest) < 9 || rest[8] != ' ' {
+			return Entry{}, false
+		}
+		sum, err := hex.DecodeString(string(rest[:8]))
+		if err != nil {
+			return Entry{}, false
+		}
+		payload = rest[9:]
+		want := uint32(sum[0])<<24 | uint32(sum[1])<<16 | uint32(sum[2])<<8 | uint32(sum[3])
+		if crc32.Checksum(payload, metaCRC) != want {
+			return Entry{}, false
+		}
+	}
+	if err := json.Unmarshal(payload, &e); err != nil {
+		return Entry{}, false
+	}
+	return e, true
+}
+
 // recoverOne reads one job's meta log and, for non-terminal jobs, its
-// trace.
-func (j *Journal) recoverOne(id string) (RecoveredJob, error) {
-	f, err := os.Open(j.metaPath(id))
+// trace and latest checkpoint. Torn or corrupt meta lines are repaired in
+// place: a bad trailing line (crash mid-append) is truncated off the file,
+// and a bad mid-file line is skipped so the entries after it still apply —
+// both are counted in stats.TruncatedRecords. Only an unreadable first
+// line is fatal, since without it the job has no identity.
+func (j *Journal) recoverOne(id string, stats *RecoverStats) (RecoveredJob, error) {
+	path := j.metaPath(id)
+	data, err := os.ReadFile(path)
 	if err != nil {
 		return RecoveredJob{}, err
 	}
-	defer f.Close()
 
 	var rj RecoveredJob
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 64*1024), 16<<20)
 	line := 0
-	for sc.Scan() {
-		raw := sc.Bytes()
-		if len(raw) == 0 {
+	var off int64 // byte offset of the line being parsed
+	for len(data) > 0 {
+		var raw []byte
+		nl := bytes.IndexByte(data, '\n')
+		lineLen := int64(nl) + 1
+		if nl < 0 {
+			raw, data = data, nil
+			lineLen = int64(len(raw))
+		} else {
+			raw, data = data[:nl], data[nl+1:]
+		}
+		if len(bytes.TrimSpace(raw)) == 0 {
+			off += lineLen
 			continue
 		}
 		line++
-		var e Entry
-		if err := json.Unmarshal(raw, &e); err != nil {
-			// A torn final line (crash mid-append) is expected: keep the
-			// state reconstructed so far. A torn first line is fatal.
+		e, ok := parseMetaLine(raw)
+		if !ok {
 			if line == 1 {
-				return RecoveredJob{}, fmt.Errorf("meta line 1: %w", err)
+				return RecoveredJob{}, fmt.Errorf("meta line 1 is torn or corrupt")
 			}
-			break
+			stats.TruncatedRecords++
+			if len(bytes.TrimSpace(data)) == 0 {
+				// Torn trailing record (crash mid-append): cut it off so the
+				// next recovery — and any other reader — sees a clean log.
+				if terr := os.Truncate(path, off); terr != nil {
+					return RecoveredJob{}, fmt.Errorf("truncating torn meta record: %w", terr)
+				}
+				break
+			}
+			// Corrupt line with valid records after it (bit rot): skip it
+			// but keep applying the later transitions, so a corrupt
+			// mid-file line cannot silently resurrect an already-finished
+			// job.
+			off += lineLen
+			continue
 		}
+		off += lineLen
 		if line == 1 {
 			if e.ID != id {
 				return RecoveredJob{}, fmt.Errorf("meta identity %q does not match file %q", e.ID, id)
@@ -255,9 +386,6 @@ func (j *Journal) recoverOne(id string) (RecoveredJob, error) {
 			rj.Result = e.Result
 		}
 	}
-	if err := sc.Err(); err != nil {
-		return RecoveredJob{}, err
-	}
 	if line == 0 {
 		return RecoveredJob{}, errors.New("empty meta file")
 	}
@@ -272,17 +400,28 @@ func (j *Journal) recoverOne(id string) (RecoveredJob, error) {
 			return RecoveredJob{}, err
 		}
 		rj.Trace = tr
+		// A checkpoint is an optimization, never a requirement: a corrupt
+		// one is dropped (and deleted, so it cannot fail again next boot)
+		// and the job re-runs from the trace.
+		if ck, err := j.ReadCheckpoint(id); err == nil {
+			rj.Checkpoint = ck
+		} else if !errors.Is(err, os.ErrNotExist) {
+			stats.DroppedCheckpoints++
+			_ = os.Remove(j.ckptPath(id))
+		}
 	}
 	return rj, nil
 }
 
-// writeTrace writes and fsyncs the job's trace file.
+// writeTrace writes and fsyncs the job's trace file in the CRC32C-framed
+// encoding, so later corruption of the spool is detected at read time
+// instead of silently mis-parsing.
 func (j *Journal) writeTrace(id string, tr *trace.Trace) error {
 	f, err := os.OpenFile(j.tracePath(id), os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return err
 	}
-	if err := tr.Save(f); err != nil {
+	if err := tr.SaveFramed(f); err != nil {
 		f.Close()
 		return err
 	}
@@ -293,7 +432,8 @@ func (j *Journal) writeTrace(id string, tr *trace.Trace) error {
 	return f.Close()
 }
 
-// appendMeta appends one fsynced entry line to the job's meta log.
+// appendMeta appends one fsynced CRC-framed entry line to the job's meta
+// log.
 func (j *Journal) appendMeta(id string, e Entry) error {
 	f, err := os.OpenFile(j.metaPath(id), os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
 	if err != nil {
@@ -304,7 +444,7 @@ func (j *Journal) appendMeta(id string, e Entry) error {
 		f.Close()
 		return err
 	}
-	b = append(b, '\n')
+	b = frameMetaLine(b)
 	if _, err := f.Write(b); err != nil {
 		f.Close()
 		return err

@@ -40,7 +40,7 @@ func TestAppendRecoverRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	jobs, errs := j.Recover()
+	jobs, _, errs := j.Recover()
 	if len(errs) != 0 {
 		t.Fatalf("recover errors: %v", errs)
 	}
@@ -70,7 +70,7 @@ func TestLifecycleTransitions(t *testing.T) {
 	}
 
 	// Last status running => still recovered with a trace.
-	jobs, _ := j.Recover()
+	jobs, _, _ := j.Recover()
 	if len(jobs) != 1 || jobs[0].Status != StatusRunning || jobs[0].Trace == nil {
 		t.Fatalf("running job recovered as %+v", jobs)
 	}
@@ -79,7 +79,7 @@ func TestLifecycleTransitions(t *testing.T) {
 	if err := j.Mark("job-0", StatusDone, "", result); err != nil {
 		t.Fatal(err)
 	}
-	jobs, errs := j.Recover()
+	jobs, _, errs := j.Recover()
 	if len(errs) != 0 {
 		t.Fatalf("recover errors: %v", errs)
 	}
@@ -105,7 +105,7 @@ func TestFailedJobKeepsError(t *testing.T) {
 	if err := j.Mark("job-7", StatusFailed, "analyzer panicked: boom", nil); err != nil {
 		t.Fatal(err)
 	}
-	jobs, _ := j.Recover()
+	jobs, _, _ := j.Recover()
 	if len(jobs) != 1 || jobs[0].Status != StatusFailed || jobs[0].Error != "analyzer panicked: boom" {
 		t.Fatalf("failed job recovered as %+v", jobs)
 	}
@@ -119,7 +119,7 @@ func TestRemove(t *testing.T) {
 	if err := j.Remove("job-0"); err != nil {
 		t.Fatal(err)
 	}
-	if jobs, errs := j.Recover(); len(jobs) != 0 || len(errs) != 0 {
+	if jobs, _, errs := j.Recover(); len(jobs) != 0 || len(errs) != 0 {
 		t.Fatalf("after remove: jobs %v errs %v, want none", jobs, errs)
 	}
 	// Removing again is a no-op, not an error.
@@ -143,7 +143,7 @@ func TestTornFinalLineIsTolerated(t *testing.T) {
 	}
 	f.Close()
 
-	jobs, errs := j.Recover()
+	jobs, _, errs := j.Recover()
 	if len(errs) != 0 {
 		t.Fatalf("recover errors: %v", errs)
 	}
@@ -157,7 +157,7 @@ func TestCorruptFirstLineReported(t *testing.T) {
 	if err := os.WriteFile(filepath.Join(j.Dir(), "job-9.meta"), []byte("garbage\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	jobs, errs := j.Recover()
+	jobs, _, errs := j.Recover()
 	if len(jobs) != 0 || len(errs) != 1 {
 		t.Fatalf("corrupt meta: jobs %v errs %v, want 0 jobs 1 error", jobs, errs)
 	}
@@ -170,7 +170,7 @@ func TestRecoverOrderIsNumericAware(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	jobs, _ := j.Recover()
+	jobs, _, _ := j.Recover()
 	var ids []string
 	for _, rj := range jobs {
 		ids = append(ids, rj.ID)
@@ -193,7 +193,7 @@ func TestAppendFaultLeavesNoResidue(t *testing.T) {
 		t.Fatal("append succeeded under injected fault")
 	}
 	faultinject.Reset()
-	if jobs, errs := j.Recover(); len(jobs) != 0 || len(errs) != 0 {
+	if jobs, _, errs := j.Recover(); len(jobs) != 0 || len(errs) != 0 {
 		t.Fatalf("residue after failed append: jobs %v errs %v", jobs, errs)
 	}
 }

@@ -1,0 +1,129 @@
+package race
+
+import (
+	"sort"
+
+	"repro/internal/mem"
+	"repro/internal/ompt"
+)
+
+// AccessState is the serializable form of one recorded access epoch.
+type AccessState struct {
+	Task   ompt.TaskID    `json:"task"`
+	Clock  uint64         `json:"clock"`
+	Write  bool           `json:"write"`
+	Tag    string         `json:"tag,omitempty"`
+	Loc    ompt.SourceLoc `json:"loc"`
+	Device ompt.DeviceID  `json:"device"`
+	Thread ompt.ThreadID  `json:"thread"`
+	Seq    uint64         `json:"seq,omitempty"`
+}
+
+// CellState is the race state of one aligned word: the last write plus the
+// concurrent read set.
+type CellState struct {
+	Addr  mem.Addr      `json:"addr"`
+	Write AccessState   `json:"write"`
+	Reads []AccessState `json:"reads,omitempty"`
+}
+
+// TaskVC pairs a task with its vector clock.
+type TaskVC struct {
+	Task ompt.TaskID `json:"task"`
+	VC   VC          `json:"vc"`
+}
+
+// State is the serializable form of a Detector, captured at a replay
+// checkpoint. Slices are sorted (by task id, by address) so the encoding is
+// deterministic.
+type State struct {
+	Live  []TaskVC    `json:"live,omitempty"`
+	Ended []TaskVC    `json:"ended,omitempty"`
+	Cells []CellState `json:"cells,omitempty"`
+}
+
+func toAccessState(r accessRecord) AccessState {
+	return AccessState{
+		Task: r.task, Clock: r.clock, Write: r.write, Tag: r.tag,
+		Loc: r.loc, Device: r.device, Thread: r.thread, Seq: r.seq,
+	}
+}
+
+func fromAccessState(a AccessState) accessRecord {
+	return accessRecord{
+		task: a.Task, clock: a.Clock, write: a.Write, tag: a.Tag,
+		loc: a.Loc, device: a.Device, thread: a.Thread, seq: a.Seq,
+	}
+}
+
+// Snapshot captures the detector's full happens-before state: live and
+// ended task clocks plus every word's last-write/read-set cell. The sink is
+// NOT included — the harness shares one sink across tools and serializes it
+// once.
+func (d *Detector) Snapshot() State {
+	var st State
+	d.mu.Lock()
+	d.live.Range(func(k, v any) bool {
+		tc := v.(*taskClock)
+		tc.mu.RLock()
+		st.Live = append(st.Live, TaskVC{Task: k.(ompt.TaskID), VC: tc.vc.Copy()})
+		tc.mu.RUnlock()
+		return true
+	})
+	for t, vc := range d.ended {
+		st.Ended = append(st.Ended, TaskVC{Task: t, VC: vc.Copy()})
+	}
+	d.mu.Unlock()
+	sort.Slice(st.Live, func(i, j int) bool { return st.Live[i].Task < st.Live[j].Task })
+	sort.Slice(st.Ended, func(i, j int) bool { return st.Ended[i].Task < st.Ended[j].Task })
+
+	for i := range d.shards {
+		s := &d.shards[i]
+		s.mu.Lock()
+		for addr, c := range s.cells {
+			cs := CellState{Addr: addr, Write: toAccessState(c.write)}
+			for _, r := range c.reads {
+				cs.Reads = append(cs.Reads, toAccessState(r))
+			}
+			st.Cells = append(st.Cells, cs)
+		}
+		s.mu.Unlock()
+	}
+	sort.Slice(st.Cells, func(i, j int) bool { return st.Cells[i].Addr < st.Cells[j].Addr })
+	return st
+}
+
+// Restore replaces the detector's state with a snapshot. The sink is left
+// untouched (restored separately by the harness).
+func (d *Detector) Restore(st State) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.live.Range(func(k, _ any) bool {
+		d.live.Delete(k)
+		return true
+	})
+	for _, t := range st.Live {
+		d.live.Store(t.Task, &taskClock{vc: t.VC.Copy()})
+	}
+	d.ended = make(map[ompt.TaskID]VC, len(st.Ended))
+	for _, t := range st.Ended {
+		d.ended[t.Task] = t.VC.Copy()
+	}
+	for i := range d.shards {
+		s := &d.shards[i]
+		s.mu.Lock()
+		s.cells = make(map[mem.Addr]*cell)
+		s.mu.Unlock()
+	}
+	for _, cs := range st.Cells {
+		c := &cell{write: fromAccessState(cs.Write)}
+		for _, r := range cs.Reads {
+			c.reads = append(c.reads, fromAccessState(r))
+		}
+		s := &d.shards[shardOf(cs.Addr)]
+		s.mu.Lock()
+		s.cells[cs.Addr] = c
+		s.mu.Unlock()
+	}
+	return nil
+}

@@ -1,0 +1,51 @@
+package report
+
+import "fmt"
+
+// SinkState is the serializable form of a Sink, captured at a replay
+// checkpoint. Reports keep their insertion order and per-report replay
+// clocks, so a restored sink renders exactly the same listing — including
+// the min-seq dedup behavior for reports that arrive after the restore.
+type SinkState struct {
+	Reports []*Report `json:"reports"`
+	Seqs    []uint64  `json:"seqs"`
+}
+
+// Snapshot captures the sink's current contents.
+func (s *Sink) Snapshot() SinkState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := SinkState{
+		Reports: make([]*Report, len(s.reports)),
+		Seqs:    make([]uint64, len(s.seqs)),
+	}
+	copy(st.Reports, s.reports)
+	copy(st.Seqs, s.seqs)
+	return st
+}
+
+// Restore replaces the sink's contents with a snapshot, rebuilding the
+// dedup index from the report keys.
+func (s *Sink) Restore(st SinkState) error {
+	if len(st.Reports) != len(st.Seqs) {
+		return fmt.Errorf("report: sink state has %d reports but %d seqs", len(st.Reports), len(st.Seqs))
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.seen = make(map[string]int, len(st.Reports))
+	s.reports = make([]*Report, len(st.Reports))
+	s.seqs = make([]uint64, len(st.Seqs))
+	copy(s.reports, st.Reports)
+	copy(s.seqs, st.Seqs)
+	s.sorted = false
+	for i, r := range s.reports {
+		if r == nil {
+			return fmt.Errorf("report: sink state has nil report at index %d", i)
+		}
+		s.seen[r.Key()] = i
+		if s.seqs[i] != 0 {
+			s.sorted = true
+		}
+	}
+	return nil
+}

@@ -90,6 +90,12 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		// Submit was never reached, so this is the one place this
 		// rejection is counted.
 		s.countRejected()
+		var ce *trace.CorruptionError
+		if errors.As(err, &ce) {
+			// A framed upload failed its CRC or framing checks; the error
+			// already carries the byte offset and reason for the client.
+			s.metrics.traceCorruption.Inc()
+		}
 		var maxErr *http.MaxBytesError
 		status := http.StatusBadRequest
 		if errors.Is(err, trace.ErrTooManyEvents) || errors.Is(err, trace.ErrTooManyBytes) || errors.As(err, &maxErr) {

@@ -38,6 +38,11 @@ type job struct {
 	// enqueued is when the job entered the queue (zero for restored
 	// history); the queue-wait histogram observes pickup minus this.
 	enqueued time.Time
+	// ckpt is the job's freshest analyzer-state checkpoint: attached at
+	// recovery from the spool, advanced as the replay writes new ones,
+	// cleared when the job reaches a terminal state. A watchdog retry
+	// resumes from it.
+	ckpt *trace.Checkpoint
 	// span is the job's trace tree, built under Service.mu and served as
 	// a Clone. Nil for jobs restored from the journal as history.
 	span *telemetry.Span

@@ -32,11 +32,20 @@ type Metrics struct {
 	queueDepth       *telemetry.Gauge
 	workers          *telemetry.Gauge
 
-	queueWait     *telemetry.Histogram
-	parseSeconds  *telemetry.Histogram
-	replaySeconds *telemetry.Histogram
-	jobSeconds    *telemetry.Histogram
-	replayShards  *telemetry.Histogram
+	checkpointsWritten  *telemetry.Counter
+	checkpointsRestored *telemetry.Counter
+	checkpointErrors    *telemetry.Counter
+	jobsStalled         *telemetry.Counter
+	watchdogRetries     *telemetry.Counter
+	journalTruncated    *telemetry.Counter
+	traceCorruption     *telemetry.Counter
+
+	queueWait       *telemetry.Histogram
+	parseSeconds    *telemetry.Histogram
+	replaySeconds   *telemetry.Histogram
+	jobSeconds      *telemetry.Histogram
+	replayShards    *telemetry.Histogram
+	checkpointBytes *telemetry.Histogram
 
 	vsmTransitions  *telemetry.CounterVec
 	casRetries      *telemetry.Counter
@@ -63,6 +72,14 @@ func newMetrics() *Metrics {
 		queueDepth:       reg.Gauge("arbalestd_queue_depth", "Jobs queued but not yet running."),
 		workers:          reg.Gauge("arbalestd_workers", "Replay worker-pool size."),
 
+		checkpointsWritten:  reg.Counter("arbalestd_checkpoints_written_total", "Analyzer-state checkpoints durably written to the spool at epoch boundaries."),
+		checkpointsRestored: reg.Counter("arbalestd_checkpoints_restored_total", "Replays resumed from a spooled checkpoint instead of starting from scratch."),
+		checkpointErrors:    reg.Counter("arbalestd_checkpoint_errors_total", "Checkpoints that failed to serialize or write, plus corrupt checkpoints dropped at recovery."),
+		jobsStalled:         reg.Counter("arbalestd_jobs_stalled_total", "Replays canceled by the watchdog after their progress heartbeats stopped advancing."),
+		watchdogRetries:     reg.Counter("arbalestd_watchdog_retries_total", "Stalled replays retried sequentially from their freshest checkpoint."),
+		journalTruncated:    reg.Counter("arbalestd_journal_truncated_records_total", "Torn or corrupt journal meta records dropped during recovery."),
+		traceCorruption:     reg.Counter("arbalestd_trace_corruption_total", "Uploads rejected because a framed trace failed its CRC or framing checks."),
+
 		queueWait: reg.Histogram("arbalestd_queue_wait_seconds",
 			"Time jobs spent queued before a worker picked them up.", telemetry.DurationBuckets),
 		parseSeconds: reg.Histogram("arbalestd_parse_duration_seconds",
@@ -73,6 +90,8 @@ func newMetrics() *Metrics {
 			"End-to-end job time from accept to terminal state.", telemetry.DurationBuckets),
 		replayShards: reg.Histogram("arbalestd_replay_shards",
 			"Replay analysis shards (worker goroutines) used per job; 1 means sequential dispatch.", ShardBuckets),
+		checkpointBytes: reg.Histogram("arbalestd_checkpoint_bytes",
+			"Serialized analyzer-state size per checkpoint, in bytes.", telemetry.SizeBuckets),
 
 		vsmTransitions: reg.CounterVec("arbalestd_vsm_transitions_total",
 			"VSM state transitions applied during replays, by (from, to) state.", "from", "to"),
@@ -104,6 +123,13 @@ type Snapshot struct {
 	JournalErrors    int64 `json:"journalErrors"`
 	QueueDepth       int64 `json:"queueDepth"`
 	EventsReplayed   int64 `json:"eventsReplayed"`
+
+	CheckpointsWritten  int64 `json:"checkpointsWritten"`
+	CheckpointsRestored int64 `json:"checkpointsRestored"`
+	CheckpointErrors    int64 `json:"checkpointErrors"`
+	JobsStalled         int64 `json:"jobsStalled"`
+	WatchdogRetries     int64 `json:"watchdogRetries"`
+	JournalTruncated    int64 `json:"journalTruncated"`
 }
 
 // Snapshot copies the current counter values.
@@ -120,6 +146,13 @@ func (m *Metrics) Snapshot() Snapshot {
 		JournalErrors:    int64(m.journalErrors.Value()),
 		QueueDepth:       m.queueDepth.Value(),
 		EventsReplayed:   int64(m.eventsReplayed.Value()),
+
+		CheckpointsWritten:  int64(m.checkpointsWritten.Value()),
+		CheckpointsRestored: int64(m.checkpointsRestored.Value()),
+		CheckpointErrors:    int64(m.checkpointErrors.Value()),
+		JobsStalled:         int64(m.jobsStalled.Value()),
+		WatchdogRetries:     int64(m.watchdogRetries.Value()),
+		JournalTruncated:    int64(m.journalTruncated.Value()),
 	}
 }
 

@@ -6,6 +6,8 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"strings"
 	"sync"
 	"testing"
@@ -259,7 +261,7 @@ func TestRetentionGCEvictsOldestFinished(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	recovered, errs := jnl2.Recover()
+	recovered, _, errs := jnl2.Recover()
 	if len(errs) != 0 {
 		t.Fatalf("recover errors: %v", errs)
 	}
@@ -432,11 +434,18 @@ func TestChaosFaultInjection(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s := New(Config{Workers: 8, QueueSize: 256, Journal: jnl, MaxFinishedJobs: -1})
+	// CheckpointEvery and StallTimeout run the full durability machinery
+	// under the same chaos: checkpoint writes that fail at 10% are
+	// non-fatal by design, and a spuriously tripped watchdog self-heals
+	// through its sequential retry — either way every job must still reach
+	// a terminal state exactly once.
+	s := New(Config{Workers: 8, QueueSize: 256, Journal: jnl, MaxFinishedJobs: -1,
+		CheckpointEvery: 1024, StallTimeout: 10 * time.Second})
 	s.Start()
 
 	faultinject.Enable("journal.append", faultinject.Fault{Err: errors.New("chaos: spool write error"), Prob: 0.15})
 	faultinject.Enable("journal.fsync", faultinject.Fault{Delay: 100 * time.Microsecond, Prob: 0.20})
+	faultinject.Enable("journal.checkpoint", faultinject.Fault{Err: errors.New("chaos: checkpoint write error"), Prob: 0.10})
 	faultinject.Enable("worker.replay", faultinject.Fault{Panic: "chaos: injected analyzer crash", Prob: 0.12})
 	faultinject.Enable("worker.slow", faultinject.Fault{Delay: 2 * time.Millisecond, Prob: 0.15})
 
@@ -513,6 +522,9 @@ func TestChaosFaultInjection(t *testing.T) {
 	if m.JobsPanicked == 0 || m.JournalErrors == 0 {
 		t.Errorf("metrics %+v: expected panics and journal errors under chaos", m)
 	}
+	if m.CheckpointsWritten == 0 {
+		t.Errorf("metrics %+v: checkpointing never ran under chaos", m)
+	}
 
 	// Crash simulation part 1: a new life over the same spool finds the
 	// whole history terminal — nothing is re-run, nothing duplicated.
@@ -547,6 +559,20 @@ func TestChaosFaultInjection(t *testing.T) {
 		crashKeys[key] = view.ID
 	}
 
+	// The crash also corrupts one job's spooled trace (a bit flip, as bad
+	// sectors do). CRC framing must confine the damage to that one job:
+	// recovery skips it with a per-job error and re-enqueues the rest.
+	corruptID := crashKeys["crash-0"]
+	tracePath := filepath.Join(dir, corruptID+".trace")
+	raw, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0x01
+	if err := os.WriteFile(tracePath, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
 	jnl3, err := journal.Open(dir)
 	if err != nil {
 		t.Fatal(err)
@@ -556,26 +582,35 @@ func TestChaosFaultInjection(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if requeued != k {
-		t.Fatalf("post-crash recovery re-enqueued %d jobs, want %d", requeued, k)
+	if requeued != k-1 {
+		t.Fatalf("post-crash recovery re-enqueued %d jobs, want %d (one corrupt)", requeued, k-1)
+	}
+	if m := s3.Metrics().Snapshot(); m.JournalErrors == 0 {
+		t.Errorf("metrics %+v: corrupted spool trace not reported", m)
 	}
 	s3.Start()
-	all := waitAllTerminal(t, s3, n+k)
-	if len(all) != n+k {
-		t.Fatalf("final history holds %d jobs, want %d", len(all), n+k)
+	all := waitAllTerminal(t, s3, n+k-1)
+	if len(all) != n+k-1 {
+		t.Fatalf("final history holds %d jobs, want %d", len(all), n+k-1)
 	}
 	finalSeen := make(map[string]int)
 	for _, v := range all {
 		finalSeen[v.ID]++
 	}
 	for key, id := range crashKeys {
+		if id == corruptID {
+			if finalSeen[id] != 0 {
+				t.Errorf("corrupted job %s resurfaced %d times", id, finalSeen[id])
+			}
+			continue
+		}
 		if finalSeen[id] != 1 {
 			t.Errorf("crashed job %s (key %s) seen %d times after recovery", id, key, finalSeen[id])
 		}
 	}
 	shutdownOrFail(t, s3)
 	m3 := s3.Metrics().Snapshot()
-	if m3.JobsRecovered != k || m3.JobsCompleted+m3.JobsFailed != k {
-		t.Errorf("recovery metrics %+v, want %d recovered and run exactly once", m3, k)
+	if m3.JobsRecovered != k-1 || m3.JobsCompleted+m3.JobsFailed != k-1 {
+		t.Errorf("recovery metrics %+v, want %d recovered and run exactly once", m3, k-1)
 	}
 }

@@ -91,6 +91,19 @@ type Config struct {
 	// ReplayTimeout bounds one job's replay wall time; the replay is
 	// canceled via context when it expires (default 0 = unlimited).
 	ReplayTimeout time.Duration
+	// CheckpointEvery, when positive and a Journal is configured, asks
+	// each replay to checkpoint the analyzer's state roughly every this
+	// many events (taken at the next epoch boundary, where the analysis
+	// pool is drained). After a crash, Recover resumes such jobs from
+	// their freshest checkpoint instead of replaying from scratch. Only
+	// analyzers implementing tools.Checkpointer participate; the rest
+	// re-run from the start as before. 0 disables checkpointing.
+	CheckpointEvery uint64
+	// StallTimeout, when positive, arms a per-job watchdog: a replay
+	// whose progress heartbeats stop advancing for this long is canceled
+	// and retried once sequentially from its freshest checkpoint; if the
+	// retry stalls too, the job fails. 0 disables the watchdog.
+	StallTimeout time.Duration
 	// Journal, when non-nil, write-ahead journals every accepted job to
 	// its spool directory and makes Recover possible. Nil keeps jobs
 	// in-memory only.
@@ -219,7 +232,7 @@ func (s *Service) Recover() (int, error) {
 	if s.cfg.Journal == nil {
 		return 0, errors.New("service: no journal configured")
 	}
-	recovered, errs := s.cfg.Journal.Recover()
+	recovered, rstats, errs := s.cfg.Journal.Recover()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.started {
@@ -229,6 +242,16 @@ func (s *Service) Recover() (int, error) {
 		return 0, errors.New("service: Recover called twice")
 	}
 	s.recovered = true
+	if rstats.TruncatedRecords > 0 {
+		s.metrics.journalTruncated.Add(uint64(rstats.TruncatedRecords))
+		s.cfg.Logger.Warn("journal recovery dropped torn or corrupt meta records",
+			"phase", "recovery", "records", rstats.TruncatedRecords)
+	}
+	if rstats.DroppedCheckpoints > 0 {
+		s.metrics.checkpointErrors.Add(uint64(rstats.DroppedCheckpoints))
+		s.cfg.Logger.Warn("journal recovery dropped corrupt checkpoints; affected jobs replay from scratch",
+			"phase", "recovery", "checkpoints", rstats.DroppedCheckpoints)
+	}
 	for _, err := range errs {
 		s.metrics.journalErrors.Inc()
 		l := s.cfg.Logger.With("phase", "recovery")
@@ -289,12 +312,18 @@ func (s *Service) Recover() (int, error) {
 			j.status = StatusPending
 			j.started = time.Time{}
 			j.tr = rj.Trace
+			j.ckpt = rj.Checkpoint
 			j.enqueued = time.Now()
 			s.queue <- j
 			requeued++
 			s.metrics.jobsRecovered.Inc()
 			s.metrics.queueDepth.Add(1)
-			s.jobLogger(j).Info("job re-enqueued from journal", "phase", "recovery")
+			if j.ckpt != nil {
+				s.jobLogger(j).Info("job re-enqueued from journal with checkpoint",
+					"phase", "recovery", "resume_event", j.ckpt.NextEvent)
+			} else {
+				s.jobLogger(j).Info("job re-enqueued from journal", "phase", "recovery")
+			}
 		}
 		s.jobs[j.id] = j
 		s.order = append(s.order, j.id)
@@ -528,10 +557,18 @@ func (s *Service) mark(j *job, status, errMsg string, result json.RawMessage) {
 	}
 }
 
+// errStalled marks a replay whose progress heartbeats stopped advancing for
+// longer than Config.StallTimeout. runJob retries such a job once,
+// sequentially, from its freshest checkpoint.
+var errStalled = errors.New("service: replay stalled: no progress within the stall timeout")
+
 // runJob replays one job's trace through a fresh analyzer and records the
 // outcome on the job, its span tree, and the metrics. An analyzer panic is
 // confined to this job: it is recovered, recorded as the job's failure with
-// a stack fragment, and the worker goes on to its next job.
+// a stack fragment, and the worker goes on to its next job. A job carrying
+// a checkpoint (from a previous life of the daemon) resumes from it; with
+// Config.StallTimeout set, a watchdog cancels replays whose heartbeats stop
+// and retries them once sequentially.
 func (s *Service) runJob(j *job) {
 	s.mu.Lock()
 	j.status = StatusRunning
@@ -543,6 +580,7 @@ func (s *Service) runJob(j *job) {
 		s.metrics.queueWait.ObserveDuration(j.started.Sub(j.enqueued))
 	}
 	tr := j.tr
+	ckpt := j.ckpt
 	hook := s.testHookRunning
 	s.mu.Unlock()
 	s.mark(j, journal.StatusRunning, "", nil)
@@ -558,7 +596,7 @@ func (s *Service) runJob(j *job) {
 		summary     *tools.Summary
 		rstats      trace.ReplayStats
 	)
-	err := func() (err error) {
+	attempt := func(workers int, ck *trace.Checkpoint) (err error) {
 		defer func() {
 			if r := recover(); r != nil {
 				s.metrics.jobsPanicked.Inc()
@@ -581,26 +619,88 @@ func (s *Service) runJob(j *job) {
 				sp.EnableStats()
 			}
 		}
-		ctx := context.Background()
-		cancel := func() {}
-		if s.cfg.ReplayTimeout > 0 {
-			ctx, cancel = context.WithTimeout(ctx, s.cfg.ReplayTimeout)
+
+		// Resume from the checkpoint when the analyzer supports it and the
+		// checkpoint matches this job's trace. A checkpoint that fails
+		// validation or restore is discarded and the replay starts from
+		// scratch: a checkpoint is an optimization, never a requirement.
+		var start uint64
+		if ck != nil && ck.Tool == j.tool && ck.NextEvent <= uint64(len(tr.Events)) {
+			if cp, ok := a.(tools.Checkpointer); ok {
+				if rerr := cp.RestoreState(ck.State); rerr != nil {
+					s.metrics.checkpointErrors.Inc()
+					s.jobLogger(j).Error("checkpoint restore failed; replaying from scratch",
+						"phase", "replay", "err", rerr)
+					// The failed restore may have half-applied; start clean.
+					if a, err = tools.New(j.tool); err != nil {
+						return err
+					}
+					if s.cfg.AnalyzerStats {
+						if sp, ok := a.(tools.StatsProvider); ok {
+							sp.EnableStats()
+						}
+					}
+				} else {
+					start = ck.NextEvent
+					s.metrics.checkpointsRestored.Inc()
+					s.jobLogger(j).Info("resuming from checkpoint",
+						"phase", "replay", "resume_event", start, "events", len(tr.Events))
+				}
+			}
 		}
+
+		base := context.Background()
+		cancelTimeout := func() {}
+		if s.cfg.ReplayTimeout > 0 {
+			base, cancelTimeout = context.WithTimeout(base, s.cfg.ReplayTimeout)
+		}
+		defer cancelTimeout()
+		ctx, cancel := context.WithCancelCause(base)
+		defer cancel(nil)
+
+		opts := trace.DurableOptions{
+			Workers:    workers,
+			StartEvent: start,
+			Progress:   trace.NewReplayProgress(),
+		}
+		if cp, ok := a.(tools.Checkpointer); ok && s.cfg.Journal != nil && s.cfg.CheckpointEvery > 0 {
+			opts.CheckpointEvery = s.cfg.CheckpointEvery
+			opts.Checkpoint = s.checkpointFunc(ctx, j, cp, uint64(len(tr.Events)))
+		}
+
 		replayStart = time.Now()
-		rstats, err = tools.Replay(ctx, tr, a, tools.Options{Parallelism: s.cfg.ReplayWorkers})
+		if s.cfg.StallTimeout > 0 {
+			rstats, err = s.replayWithWatchdog(ctx, cancel, j, tr, opts, a)
+		} else {
+			rstats, err = tr.ReplayDurable(ctx, opts, a)
+		}
 		wall = time.Since(replayStart)
-		cancel()
 		s.metrics.replaySeconds.ObserveDuration(wall)
 		s.metrics.replayShards.Observe(float64(rstats.Workers))
 		if err != nil {
 			return err
 		}
-		s.metrics.eventsReplayed.Add(uint64(len(tr.Events)))
+		s.metrics.eventsReplayed.Add(uint64(len(tr.Events)) - start)
 		sumStart = time.Now()
 		summary = tools.Summarize(a)
 		sumDur = time.Since(sumStart)
 		return nil
-	}()
+	}
+
+	err := attempt(s.cfg.ReplayWorkers, ckpt)
+	if errors.Is(err, errStalled) {
+		s.metrics.watchdogRetries.Inc()
+		s.mu.Lock()
+		retryCkpt := j.ckpt // freshest: the stalled attempt may have advanced it
+		s.mu.Unlock()
+		var resume uint64
+		if retryCkpt != nil {
+			resume = retryCkpt.NextEvent
+		}
+		s.jobLogger(j).Warn("retrying stalled replay sequentially",
+			"phase", "replay", "resume_event", resume)
+		err = attempt(1, retryCkpt)
+	}
 
 	var resultJSON json.RawMessage
 	if err == nil && summary != nil {
@@ -612,7 +712,8 @@ func (s *Service) runJob(j *job) {
 	s.mu.Lock()
 	j.finished = time.Now()
 	j.wall = wall
-	j.tr = nil // release the trace's memory; only the summary is kept
+	j.tr = nil   // release the trace's memory; only the summary is kept
+	j.ckpt = nil // terminal: the checkpoint (and its spool file) are obsolete
 	if err != nil {
 		j.status = StatusFailed
 		j.errMsg = err.Error()
@@ -651,6 +752,140 @@ func (s *Service) runJob(j *job) {
 			s.metrics.recordJobStats(summary.Stats)
 		}
 		s.mark(j, journal.StatusDone, "", resultJSON)
+	}
+	if s.cfg.Journal != nil {
+		if rerr := s.cfg.Journal.RemoveCheckpoint(j.id); rerr != nil {
+			s.jobLogger(j).Error("checkpoint remove failed", "phase", "gc", "err", rerr)
+		}
+	}
+}
+
+// checkpointFunc builds the ReplayDurable checkpoint callback for one job:
+// serialize the analyzer at the (drained) epoch boundary, write the frame
+// into the spool, and remember the checkpoint on the job so a watchdog
+// retry resumes from it. Serialization and spool failures are counted and
+// logged but never fail the replay — a checkpoint is an optimization. A
+// canceled context (watchdog, timeout) aborts the replay instead of
+// writing a checkpoint the cancellation has already outdated.
+func (s *Service) checkpointFunc(ctx context.Context, j *job, cp tools.Checkpointer, events uint64) func(uint64) error {
+	return func(next uint64) error {
+		if cause := context.Cause(ctx); cause != nil {
+			return cause
+		}
+		raw, err := cp.CheckpointState()
+		if err != nil {
+			s.metrics.checkpointErrors.Inc()
+			s.jobLogger(j).Error("checkpoint serialize failed", "phase", "replay", "err", err)
+			return nil
+		}
+		ck := &trace.Checkpoint{
+			JobID:     j.id,
+			Tool:      j.tool,
+			NextEvent: next,
+			Events:    events,
+			Created:   time.Now(),
+			State:     raw,
+		}
+		if err := s.cfg.Journal.WriteCheckpoint(ck); err != nil {
+			s.metrics.checkpointErrors.Inc()
+			s.jobLogger(j).Error("checkpoint write failed", "phase", "replay", "err", err)
+			return nil
+		}
+		s.metrics.checkpointsWritten.Inc()
+		s.metrics.checkpointBytes.Observe(float64(len(raw)))
+		s.mu.Lock()
+		// Monotone: an abandoned (stalled) attempt racing a watchdog retry
+		// must never regress the freshest checkpoint.
+		if j.ckpt == nil || ck.NextEvent >= j.ckpt.NextEvent {
+			j.ckpt = ck
+		}
+		s.mu.Unlock()
+		if err := faultinject.Fire("worker.crash"); err != nil {
+			// Simulated hard crash: exit the goroutine without unwinding, so
+			// the journal keeps the job "running" exactly as SIGKILL would
+			// and the next Recover resumes it from the checkpoint above.
+			s.jobLogger(j).Error("fault injection: crashing after checkpoint", "phase", "replay", "err", err)
+			runtime.Goexit()
+		}
+		return nil
+	}
+}
+
+// replayWithWatchdog runs the replay on a child goroutine while sampling
+// its progress heartbeats. If no heartbeat lands for Config.StallTimeout
+// the replay is canceled with errStalled; a replay that then fails to
+// acknowledge the cancellation within a further stall timeout is abandoned
+// (its goroutine parks until the analyzer code returns, if ever) so the
+// worker can move on. A panic on the replay goroutine is re-raised here so
+// runJob's panic confinement sees it unchanged.
+func (s *Service) replayWithWatchdog(ctx context.Context, cancel context.CancelCauseFunc, j *job, tr *trace.Trace, opts trace.DurableOptions, a tools.Analyzer) (trace.ReplayStats, error) {
+	type result struct {
+		stats    trace.ReplayStats
+		err      error
+		panicked bool
+		panicVal any
+	}
+	resCh := make(chan result, 1)
+	go func() {
+		var res result
+		defer func() { resCh <- res }()
+		defer func() {
+			if r := recover(); r != nil {
+				res.panicked = true
+				res.panicVal = r
+			}
+		}()
+		res.stats, res.err = tr.ReplayDurable(ctx, opts, a)
+	}()
+
+	interval := s.cfg.StallTimeout / 4
+	if interval <= 0 {
+		interval = time.Millisecond
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	lastSum := opts.Progress.Sum()
+	lastBeat := time.Now()
+	for {
+		select {
+		case res := <-resCh:
+			if res.panicked {
+				panic(res.panicVal)
+			}
+			return res.stats, res.err
+		case <-ticker.C:
+			if sum := opts.Progress.Sum(); sum != lastSum {
+				lastSum, lastBeat = sum, time.Now()
+				continue
+			}
+			if time.Since(lastBeat) < s.cfg.StallTimeout {
+				continue
+			}
+			// Stalled: no event was dispatched anywhere in the engine for a
+			// full stall timeout.
+			s.metrics.jobsStalled.Inc()
+			s.jobLogger(j).Warn("replay made no progress; canceling",
+				"phase", "replay", "events_done", lastSum, "stall_timeout", s.cfg.StallTimeout)
+			cancel(errStalled)
+			select {
+			case res := <-resCh:
+				if res.panicked {
+					panic(res.panicVal)
+				}
+				if res.err == nil {
+					// The replay finished in a race with the cancellation.
+					return res.stats, nil
+				}
+				return res.stats, fmt.Errorf("%w (%v)", errStalled, res.err)
+			case <-time.After(s.cfg.StallTimeout):
+				// The replay never reached a cancellation check: a worker is
+				// wedged inside analyzer code. Abandon the goroutine — the
+				// buffered channel lets it exit whenever it wakes up.
+				s.jobLogger(j).Error("stalled replay did not acknowledge cancellation; abandoning it",
+					"phase", "replay")
+				return trace.ReplayStats{}, errStalled
+			}
+		}
 	}
 }
 

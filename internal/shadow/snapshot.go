@@ -1,0 +1,81 @@
+package shadow
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/interval"
+	"repro/internal/mem"
+)
+
+// RegionState is the serializable form of one shadow region: its bounds,
+// tag, and the raw value of every shadow word.
+type RegionState struct {
+	Lo    mem.Addr `json:"lo"`
+	Hi    mem.Addr `json:"hi"`
+	Tag   string   `json:"tag"`
+	Words []uint64 `json:"words"`
+}
+
+// MemoryState is the serializable form of a Memory, captured at a replay
+// checkpoint (an epoch barrier, so no shadow word is mid-update).
+type MemoryState struct {
+	Regions []RegionState `json:"regions"`
+	Peak    uint64        `json:"peak"`
+}
+
+// Snapshot captures the full shadow state: every registered region with its
+// word values, plus the peak-bytes high-water mark. Regions come back in
+// ascending address order.
+func (m *Memory) Snapshot() MemoryState {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st := MemoryState{Peak: m.peak.Load()}
+	m.regions.Each(func(_ interval.Interval, r *Region) {
+		rs := RegionState{Lo: r.Lo, Hi: r.Hi, Tag: r.Tag, Words: make([]uint64, len(r.words))}
+		for i := range r.words {
+			rs.Words[i] = r.words[i].Load()
+		}
+		st.Regions = append(st.Regions, rs)
+	})
+	return st
+}
+
+// Restore replaces the shadow state with a snapshot: regions are rebuilt
+// with their saved word values and the lock-free lookup index republished.
+func (m *Memory) Restore(st MemoryState) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	tree := interval.New[*Region]()
+	var total uint64
+	for _, rs := range st.Regions {
+		if rs.Lo >= rs.Hi || rs.Lo != rs.Lo.Align() || rs.Hi != rs.Hi.Align() {
+			return fmt.Errorf("shadow: restore: bad region bounds [%#x,%#x)", uint64(rs.Lo), uint64(rs.Hi))
+		}
+		if want := int((rs.Hi - rs.Lo) / mem.WordSize); want != len(rs.Words) {
+			return fmt.Errorf("shadow: restore: region %q has %d words, bounds need %d", rs.Tag, len(rs.Words), want)
+		}
+		r := &Region{Lo: rs.Lo, Hi: rs.Hi, Tag: rs.Tag, words: makeWords(rs.Words)}
+		if err := tree.Insert(uint64(rs.Lo), uint64(rs.Hi), r); err != nil {
+			return fmt.Errorf("shadow: restore: %w", err)
+		}
+		total += uint64(len(rs.Words)) * 8
+	}
+	m.regions = tree
+	m.publish()
+	m.bytes.Store(total)
+	m.peak.Store(st.Peak)
+	if total > st.Peak {
+		m.peak.Store(total)
+	}
+	return nil
+}
+
+// makeWords builds a shadow slab preloaded with the given word values.
+func makeWords(vals []uint64) []atomic.Uint64 {
+	words := make([]atomic.Uint64, len(vals))
+	for i, v := range vals {
+		words[i].Store(v)
+	}
+	return words
+}

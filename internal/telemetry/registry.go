@@ -310,6 +310,13 @@ var DurationBuckets = []float64{
 	1e-2, 2.5e-2, 5e-2, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60,
 }
 
+// SizeBuckets is the default bucket layout for byte-size histograms:
+// 256 B up to 1 GiB, in powers of four.
+var SizeBuckets = []float64{
+	256, 1 << 10, 4 << 10, 16 << 10, 64 << 10, 256 << 10,
+	1 << 20, 4 << 20, 16 << 20, 64 << 20, 256 << 20, 1 << 30,
+}
+
 // Histogram is a fixed-bucket histogram. Observations are counted in the
 // first bucket whose upper bound is >= the value; values above every bound
 // land in the implicit +Inf bucket.

@@ -1,0 +1,58 @@
+package tools
+
+import (
+	"encoding/json"
+
+	"repro/internal/core"
+	"repro/internal/race"
+	"repro/internal/report"
+)
+
+// Checkpointer is implemented by analyzers whose full analysis state can be
+// serialized at an epoch boundary and restored into a fresh instance of the
+// same tool. The service checkpoints only analyzers that implement it; the
+// rest simply re-run from scratch after a crash, as before.
+type Checkpointer interface {
+	// CheckpointState serializes the analyzer's state. Must only be called
+	// at an epoch barrier (no access dispatch in flight).
+	CheckpointState() (json.RawMessage, error)
+	// RestoreState loads state captured by CheckpointState into a freshly
+	// constructed analyzer of the same tool.
+	RestoreState(json.RawMessage) error
+}
+
+// arbalestFullState composes the component snapshots: the VSM detector and
+// race detector serialize their analysis state without the report sink, and
+// the shared sink is serialized exactly once.
+type arbalestFullState struct {
+	VSM  core.State       `json:"vsm"`
+	Race race.State       `json:"race"`
+	Sink report.SinkState `json:"sink"`
+}
+
+// CheckpointState implements Checkpointer.
+func (a *ArbalestFull) CheckpointState() (json.RawMessage, error) {
+	st := arbalestFullState{
+		VSM:  a.vsm.Snapshot(),
+		Race: a.race.Snapshot(),
+		Sink: a.sink.Snapshot(),
+	}
+	return json.Marshal(st)
+}
+
+// RestoreState implements Checkpointer.
+func (a *ArbalestFull) RestoreState(raw json.RawMessage) error {
+	var st arbalestFullState
+	if err := json.Unmarshal(raw, &st); err != nil {
+		return err
+	}
+	if err := a.vsm.Restore(st.VSM); err != nil {
+		return err
+	}
+	if err := a.race.Restore(st.Race); err != nil {
+		return err
+	}
+	return a.sink.Restore(st.Sink)
+}
+
+var _ Checkpointer = (*ArbalestFull)(nil)

@@ -25,7 +25,6 @@ package trace
 
 import (
 	"context"
-	"fmt"
 	"runtime"
 	"sort"
 	"sync"
@@ -82,87 +81,10 @@ func EffectiveWorkers(n int, toolList ...ompt.Tool) int {
 // in the same rendered order; only wall-clock time differs. A panic in a
 // tool callback on a worker goroutine is re-raised on the calling goroutine
 // once the pool quiesces, so callers' recover-based isolation (the service's
-// per-job panic handling) keeps working.
+// per-job panic handling) keeps working. It is ReplayDurable without
+// checkpoints, resume, or heartbeats.
 func (t *Trace) ReplayParallel(ctx context.Context, workers int, toolList ...ompt.Tool) (ReplayStats, error) {
-	workers = EffectiveWorkers(workers, toolList...)
-	var d ompt.Dispatcher
-	for _, tool := range toolList {
-		d.Register(tool)
-	}
-	if workers == 1 {
-		return t.replaySequential(ctx, &d)
-	}
-
-	eng := newReplayEngine(&d, workers)
-	defer eng.stop()
-	events := t.Events
-	i := 0
-	for i < len(events) {
-		if err := ctx.Err(); err != nil {
-			eng.barrier()
-			return eng.stats, fmt.Errorf("trace: replay canceled at event %d of %d: %w", i, len(events), err)
-		}
-		if events[i].Kind == KindAccess {
-			// The epoch is the maximal run of consecutive accesses; it is
-			// handed to the pool as a sub-slice of Events, uncopied.
-			j := i
-			for j < len(events) && events[j].Kind == KindAccess {
-				if events[j].Access == nil {
-					eng.barrier()
-					return eng.stats, payloadErr(&events[j])
-				}
-				j++
-			}
-			eng.dispatchRun(events[i:j], false)
-			i = j
-			continue
-		}
-		eng.barrier()
-		eng.observe(&events[i])
-		eng.stats.Events++
-		if err := dispatchEvent(eng.d, &events[i]); err != nil {
-			return eng.stats, err
-		}
-		i++
-	}
-	eng.barrier()
-	return eng.stats, nil
-}
-
-// replaySequential is the workers==1 path: same dispatch as ReplayContext,
-// but it also gathers ReplayStats so callers observe a uniform result shape.
-func (t *Trace) replaySequential(ctx context.Context, d *ompt.Dispatcher) (ReplayStats, error) {
-	st := ReplayStats{Workers: 1}
-	var epoch uint64
-	for i := range t.Events {
-		if i%replayCheckInterval == 0 {
-			if err := ctx.Err(); err != nil {
-				return st, fmt.Errorf("trace: replay canceled at event %d of %d: %w", i, len(t.Events), err)
-			}
-		}
-		e := &t.Events[i]
-		if e.Kind == KindAccess {
-			st.Accesses++
-			epoch++
-		} else if epoch > 0 {
-			st.Epochs++
-			if epoch > st.MaxEpochAccesses {
-				st.MaxEpochAccesses = epoch
-			}
-			epoch = 0
-		}
-		if err := dispatchEvent(d, e); err != nil {
-			return st, err
-		}
-		st.Events++
-	}
-	if epoch > 0 {
-		st.Epochs++
-		if epoch > st.MaxEpochAccesses {
-			st.MaxEpochAccesses = epoch
-		}
-	}
-	return st, nil
+	return t.ReplayDurable(ctx, DurableOptions{Workers: workers}, toolList...)
 }
 
 // inlineEpochFactor scales the inline-dispatch threshold: an epoch shorter
@@ -181,6 +103,14 @@ type workerPanic struct {
 type replayEngine struct {
 	d       *ompt.Dispatcher
 	workers int
+
+	// ctx is the replay's context; workers poll it so a canceled job stops
+	// dispatching within one check interval instead of draining the epoch.
+	ctx context.Context
+
+	// prog, when non-nil, receives heartbeats from workers and the caller
+	// (see ReplayProgress; its methods are nil-safe).
+	prog *ReplayProgress
 
 	chans []chan []Event // per-shard run queues
 
@@ -208,10 +138,12 @@ type replayEngine struct {
 	fanned        bool // this epoch already has runs on the pool
 }
 
-func newReplayEngine(d *ompt.Dispatcher, workers int) *replayEngine {
+func newReplayEngine(ctx context.Context, d *ompt.Dispatcher, workers int, prog *ReplayProgress) *replayEngine {
 	e := &replayEngine{
 		d:       d,
 		workers: workers,
+		ctx:     ctx,
+		prog:    prog,
 		chans:   make([]chan []Event, workers),
 		unified: make(map[ompt.DeviceID]bool),
 	}
@@ -253,12 +185,24 @@ func (e *replayEngine) runSlice(shard int, run []Event) {
 	if dead {
 		return // a tool already panicked; stop feeding it events
 	}
+	n := 0
 	for i := range run {
 		ev := &run[i]
 		if e.shardOf(ev.Access) == shard {
 			e.d.Access(accessWithClock(ev))
+			n++
+			if n%replayCheckInterval == 0 {
+				e.prog.Beat(shard, replayCheckInterval)
+				if e.ctx != nil && e.ctx.Err() != nil {
+					// Canceled mid-epoch: stop dispatching. The run still
+					// counts down inflight (deferred above), so the caller's
+					// barrier proceeds and observes ctx.Err itself.
+					return
+				}
+			}
 		}
 	}
+	e.prog.Beat(shard, uint64(n%replayCheckInterval))
 }
 
 // dispatchRun routes one run of consecutive access events (every Access
@@ -279,6 +223,7 @@ func (e *replayEngine) dispatchRun(run []Event, forceFan bool) {
 		for i := range run {
 			e.d.Access(accessWithClock(&run[i]))
 		}
+		e.prog.Add(n)
 		return
 	}
 	e.fanned = true

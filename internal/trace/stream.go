@@ -28,13 +28,29 @@ const streamChanCap = 4
 // decode and analysis instead of waiting for the next barrier).
 const streamEpochChunk = 4096
 
-// Stream incrementally decodes a JSON-lines trace, calling emit with each
-// batch of fully validated events. Events passed to emit are never touched
-// again by the decoder, so emit may retain the slice. Malformed input fails
-// with the offending line number; inputs exceeding lim fail with
-// ErrTooManyEvents or ErrTooManyBytes. Blank lines are skipped.
+// Stream incrementally decodes a trace, calling emit with each batch of
+// fully validated events. Events passed to emit are never touched again by
+// the decoder, so emit may retain the slice. Both trace encodings are
+// accepted: the decoder sniffs the first bytes and dispatches to the
+// CRC32C-framed decoder (SaveFramed's output, failures reported as
+// *CorruptionError with a byte offset) or the JSON-lines decoder (Save's
+// output, failures reported with the offending line number). Inputs
+// exceeding lim fail with ErrTooManyEvents or ErrTooManyBytes.
 func Stream(r io.Reader, lim Limits, emit func(batch []Event) error) error {
 	br := bufio.NewReaderSize(r, 64<<10)
+	// A JSON line opens with '{' (or whitespace), so the magic is an
+	// unambiguous discriminator. Peek errors (including an input shorter
+	// than the magic) fall through to the JSON-lines path, which handles
+	// empty and truncated input with its historical errors.
+	if head, err := br.Peek(len(traceMagic)); err == nil && bytes.Equal(head, traceMagic) {
+		return decodeFramed(br, lim, emit)
+	}
+	return streamJSONLines(br, lim, emit)
+}
+
+// streamJSONLines is the JSON-lines decode loop behind Stream. Blank lines
+// are skipped.
+func streamJSONLines(br *bufio.Reader, lim Limits, emit func(batch []Event) error) error {
 	var read int64
 	count := 0
 	batch := make([]Event, 0, streamBatchSize)
@@ -153,7 +169,7 @@ func ReplayStream(ctx context.Context, r io.Reader, lim Limits, workers int, too
 			}
 		}
 	} else {
-		eng := newReplayEngine(&d, workers)
+		eng := newReplayEngine(ctx, &d, workers, nil)
 		// Access runs are copied out of the decoder's batches into an epoch
 		// chunk buffer, since one epoch usually spans many decode batches.
 		// Full chunks fan out to the pool immediately — analysis overlaps
