@@ -6,6 +6,8 @@
 //
 //	arbalest [-tool arbalest] [-list] <program>
 //	arbalest -replay-trace FILE [-workers N] [-tool arbalest] [-json]
+//	arbalest -submit URL <program>     record, upload, poll a batch job
+//	arbalest -stream URL <program>     record and stream live to a session
 //
 // where <program> is a DRACC benchmark name or ID (e.g. DRACC_OMP_022 or
 // 22), a SPEC-ACCEL workload name (e.g. 503.postencil), or
@@ -48,6 +50,7 @@ func main() {
 	replayWorkers := flag.Int("workers", 1, "parallel-analysis shard count for -replay-trace (1 = sequential, 0 = GOMAXPROCS); findings are identical at any setting")
 	jsonOut := flag.Bool("json", false, "emit the result as JSON (the same summary schema arbalestd serves)")
 	submit := flag.String("submit", "", "arbalestd base URL (e.g. http://localhost:8321): record the program's trace and submit it for remote analysis instead of analyzing locally")
+	streamURL := flag.String("stream", "", "arbalestd base URL: stream the program's trace live to an analysis session as framed chunks (resumable; see internal/stream)")
 	version := flag.Bool("version", false, "print build info and exit")
 	flag.Parse()
 
@@ -63,6 +66,9 @@ func main() {
 	if *replayTrace != "" {
 		if *submit != "" {
 			os.Exit(submitTraceFile(*submit, *replayTrace, *tool, *jsonOut))
+		}
+		if *streamURL != "" {
+			os.Exit(streamTraceFile(*streamURL, *replayTrace, *tool, *jsonOut))
 		}
 		os.Exit(runReplay(*replayTrace, *tool, *replayWorkers, *jsonOut))
 	}
@@ -84,6 +90,9 @@ func main() {
 
 	if *submit != "" {
 		os.Exit(submitProgram(*submit, name, run, *tool, *saveTrace, *framed, *jsonOut))
+	}
+	if *streamURL != "" {
+		os.Exit(streamProgram(*streamURL, name, run, *tool, *jsonOut))
 	}
 
 	if *repairFlag {

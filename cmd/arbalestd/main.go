@@ -8,6 +8,8 @@
 //	          [-max-events N] [-max-body BYTES] [-timeout DUR] [-spool DIR]
 //	          [-retain-jobs N] [-retain-age DUR] [-checkpoint-every N]
 //	          [-job-stall-timeout DUR] [-debug-addr ADDR]
+//	          [-max-streams N] [-stream-max-bytes BYTES]
+//	          [-stream-idle-timeout DUR] [-stream-read-timeout DUR]
 //	          [-analyzer-stats] [-version]
 //
 // -workers sizes the job pool (how many traces analyze concurrently);
@@ -24,6 +26,19 @@
 //	GET  /version                 build info (version, Go version)
 //	GET  /healthz                 liveness; 503 once shutdown begins
 //	GET  /readyz                  readiness; 503 when the queue is >=90% full
+//	                              or streaming sessions are saturated
+//
+// Live streaming ingestion (see internal/stream): a client opens a session
+// with POST /v1/streams, ships CRC32C-framed event chunks to
+// /v1/streams/<id>/events while the traced program runs, reads findings
+// mid-stream from /v1/streams/<id>/findings (long-poll with ?since=&wait=),
+// and finishes with /v1/streams/<id>/close. `arbalest -stream URL <program>`
+// drives this end to end. -max-streams caps concurrent sessions,
+// -stream-max-bytes budgets each one, and idle or stalled sessions are
+// evicted after -stream-idle-timeout / -stream-read-timeout. With -spool,
+// live sessions survive a daemon crash: they are rebuilt from their
+// spooled bytes (and checkpoint, with -checkpoint-every) and the client
+// resumes from the acknowledged event count.
 //
 // Traces are produced by `arbalest -save-trace out.jsonl <program>` and can
 // be pushed directly with `arbalest -submit http://host:8321 <program>` or
@@ -82,6 +97,10 @@ func main() {
 	checkpointEvery := flag.Uint64("checkpoint-every", 0, "checkpoint analyzer state into the spool roughly every N events, enabling crash resume (0 = disabled; needs -spool)")
 	stallTimeout := flag.Duration("job-stall-timeout", 0, "cancel and retry a replay that makes no progress for this long (0 = no watchdog)")
 	debugAddr := flag.String("debug-addr", "", "private listen address for pprof and expvar (empty = disabled)")
+	maxStreams := flag.Int("max-streams", 256, "max concurrently live streaming sessions; at the cap new streams get 429 and /readyz degrades (-1 = unlimited)")
+	streamMaxBytes := flag.Int64("stream-max-bytes", 256<<20, "per-stream wire-byte budget; a session exceeding it is evicted (-1 = unlimited)")
+	streamIdleTimeout := flag.Duration("stream-idle-timeout", 5*time.Minute, "evict live streams with no ingest activity for this long (-1s = never)")
+	streamReadTimeout := flag.Duration("stream-read-timeout", time.Minute, "evict a stream whose attached ingest request stalls between chunks for this long (-1s = never)")
 	analyzerStats := flag.Bool("analyzer-stats", true, "collect per-job analyzer-level telemetry (VSM transitions, CAS retries, interval lookups)")
 	version := flag.Bool("version", false, "print build info and exit")
 	flag.Parse()
@@ -117,6 +136,11 @@ func main() {
 		StallTimeout:    *stallTimeout,
 		Logger:          logger,
 		AnalyzerStats:   *analyzerStats,
+
+		MaxStreams:        *maxStreams,
+		StreamMaxBytes:    *streamMaxBytes,
+		StreamIdleTimeout: *streamIdleTimeout,
+		StreamReadTimeout: *streamReadTimeout,
 	}
 	if *checkpointEvery > 0 && *spool == "" {
 		fatal("-checkpoint-every requires -spool (checkpoints live in the spool directory)")

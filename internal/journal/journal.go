@@ -317,20 +317,19 @@ func parseMetaLine(raw []byte) (Entry, bool) {
 	return e, true
 }
 
-// recoverOne reads one job's meta log and, for non-terminal jobs, its
-// trace and latest checkpoint. Torn or corrupt meta lines are repaired in
-// place: a bad trailing line (crash mid-append) is truncated off the file,
-// and a bad mid-file line is skipped so the entries after it still apply —
-// both are counted in stats.TruncatedRecords. Only an unreadable first
-// line is fatal, since without it the job has no identity.
-func (j *Journal) recoverOne(id string, stats *RecoverStats) (RecoveredJob, error) {
-	path := j.metaPath(id)
+// readMetaLog reads and repairs one meta log, returning its valid entries
+// in order. Torn or corrupt lines are repaired in place: a bad trailing
+// line (crash mid-append) is truncated off the file, and a bad mid-file
+// line is skipped so the entries after it still apply — both are counted
+// in stats.TruncatedRecords. Only an unreadable first line is fatal, since
+// without it the record has no identity. Shared by job (.meta) and stream
+// (.smeta) recovery.
+func readMetaLog(path string, stats *RecoverStats) ([]Entry, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
-		return RecoveredJob{}, err
+		return nil, err
 	}
-
-	var rj RecoveredJob
+	var entries []Entry
 	line := 0
 	var off int64 // byte offset of the line being parsed
 	for len(data) > 0 {
@@ -351,26 +350,44 @@ func (j *Journal) recoverOne(id string, stats *RecoverStats) (RecoveredJob, erro
 		e, ok := parseMetaLine(raw)
 		if !ok {
 			if line == 1 {
-				return RecoveredJob{}, fmt.Errorf("meta line 1 is torn or corrupt")
+				return nil, fmt.Errorf("meta line 1 is torn or corrupt")
 			}
 			stats.TruncatedRecords++
 			if len(bytes.TrimSpace(data)) == 0 {
 				// Torn trailing record (crash mid-append): cut it off so the
 				// next recovery — and any other reader — sees a clean log.
 				if terr := os.Truncate(path, off); terr != nil {
-					return RecoveredJob{}, fmt.Errorf("truncating torn meta record: %w", terr)
+					return nil, fmt.Errorf("truncating torn meta record: %w", terr)
 				}
 				break
 			}
 			// Corrupt line with valid records after it (bit rot): skip it
 			// but keep applying the later transitions, so a corrupt
 			// mid-file line cannot silently resurrect an already-finished
-			// job.
+			// record.
 			off += lineLen
 			continue
 		}
 		off += lineLen
-		if line == 1 {
+		entries = append(entries, e)
+	}
+	if line == 0 {
+		return nil, errors.New("empty meta file")
+	}
+	return entries, nil
+}
+
+// recoverOne reads one job's meta log and, for non-terminal jobs, its
+// trace and latest checkpoint.
+func (j *Journal) recoverOne(id string, stats *RecoverStats) (RecoveredJob, error) {
+	entries, err := readMetaLog(j.metaPath(id), stats)
+	if err != nil {
+		return RecoveredJob{}, err
+	}
+
+	var rj RecoveredJob
+	for i, e := range entries {
+		if i == 0 {
 			if e.ID != id {
 				return RecoveredJob{}, fmt.Errorf("meta identity %q does not match file %q", e.ID, id)
 			}
@@ -385,9 +402,6 @@ func (j *Journal) recoverOne(id string, stats *RecoverStats) (RecoveredJob, erro
 			rj.Error = e.Error
 			rj.Result = e.Result
 		}
-	}
-	if line == 0 {
-		return RecoveredJob{}, errors.New("empty meta file")
 	}
 	if rj.Status == StatusPending || rj.Status == StatusRunning {
 		tf, err := os.Open(j.tracePath(id))
@@ -435,7 +449,13 @@ func (j *Journal) writeTrace(id string, tr *trace.Trace) error {
 // appendMeta appends one fsynced CRC-framed entry line to the job's meta
 // log.
 func (j *Journal) appendMeta(id string, e Entry) error {
-	f, err := os.OpenFile(j.metaPath(id), os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+	return j.appendMetaFile(j.metaPath(id), e)
+}
+
+// appendMetaFile appends one fsynced CRC-framed entry line to the given
+// meta log (job .meta or stream .smeta).
+func (j *Journal) appendMetaFile(path string, e Entry) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,176 @@
+package journal
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"testing"
+	"time"
+
+	"repro/internal/trace"
+)
+
+func TestStreamAppendRecoverRoundTrip(t *testing.T) {
+	j := mustOpen(t)
+	rec := Record{ID: "stream-0", Tool: "arbalest", Submitted: time.Now()}
+	w, err := j.AppendStream(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var spool bytes.Buffer
+	if err := sampleTrace(3).SaveFramed(&spool); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Write(spool.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := w.Size(); err != nil || n != int64(spool.Len()) {
+		t.Fatalf("spool size %d (%v), want %d", n, err, spool.Len())
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	streams, _, errs := j.RecoverStreams()
+	if len(errs) != 0 {
+		t.Fatalf("recover errors: %v", errs)
+	}
+	if len(streams) != 1 {
+		t.Fatalf("recovered %d streams, want 1", len(streams))
+	}
+	got := streams[0]
+	if got.ID != "stream-0" || got.Tool != "arbalest" {
+		t.Errorf("recovered record %+v, want %+v", got.Record, rec)
+	}
+	if got.Status != StatusLive {
+		t.Errorf("status %q, want live", got.Status)
+	}
+	if !bytes.Equal(got.Bytes, spool.Bytes()) {
+		t.Errorf("recovered %d spool bytes, want %d", len(got.Bytes), spool.Len())
+	}
+	// Jobs and streams do not see each other's records.
+	if jobs, _, _ := j.Recover(); len(jobs) != 0 {
+		t.Errorf("job recovery found %d records in a stream-only spool", len(jobs))
+	}
+}
+
+func TestStreamTerminalMarks(t *testing.T) {
+	j := mustOpen(t)
+	for _, tc := range []struct {
+		id, status string
+	}{
+		{"stream-0", StatusDone},
+		{"stream-1", StatusFailed},
+		{"stream-2", StatusEvicted},
+	} {
+		w, err := j.AppendStream(Record{ID: tc.id, Tool: "arbalest", Submitted: time.Now()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		w.Close()
+		res := json.RawMessage(`{"events":9}`)
+		if err := j.MarkStream(tc.id, tc.status, "why", res); err != nil {
+			t.Fatal(err)
+		}
+	}
+	streams, _, errs := j.RecoverStreams()
+	if len(errs) != 0 {
+		t.Fatalf("recover errors: %v", errs)
+	}
+	if len(streams) != 3 {
+		t.Fatalf("recovered %d streams, want 3", len(streams))
+	}
+	for i, want := range []string{StatusDone, StatusFailed, StatusEvicted} {
+		if streams[i].Status != want {
+			t.Errorf("stream %d status %q, want %q", i, streams[i].Status, want)
+		}
+		if streams[i].Bytes != nil {
+			t.Errorf("terminal stream %d still carries %d spool bytes", i, len(streams[i].Bytes))
+		}
+		if streams[i].Error != "why" {
+			t.Errorf("stream %d error %q, want \"why\"", i, streams[i].Error)
+		}
+	}
+}
+
+func TestStreamCheckpointRoundTrip(t *testing.T) {
+	j := mustOpen(t)
+	w, err := j.AppendStream(Record{ID: "stream-0", Tool: "arbalest", Submitted: time.Now()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	ck := &trace.Checkpoint{JobID: "stream-0", Tool: "arbalest", NextEvent: 4, Events: 4, State: json.RawMessage(`{"x":1}`)}
+	if err := j.WriteCheckpoint(ck); err != nil {
+		t.Fatal(err)
+	}
+	streams, _, errs := j.RecoverStreams()
+	if len(errs) != 0 || len(streams) != 1 {
+		t.Fatalf("recover: %d streams, errs %v", len(streams), errs)
+	}
+	if streams[0].Checkpoint == nil || streams[0].Checkpoint.NextEvent != 4 {
+		t.Fatalf("recovered checkpoint %+v, want NextEvent 4", streams[0].Checkpoint)
+	}
+}
+
+func TestStreamTornMetaTailTruncated(t *testing.T) {
+	j := mustOpen(t)
+	w, err := j.AppendStream(Record{ID: "stream-0", Tool: "arbalest", Submitted: time.Now()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	if err := j.MarkStream("stream-0", StatusDone, "", nil); err != nil {
+		t.Fatal(err)
+	}
+	// Tear the terminal mark: the session must recover live again.
+	path := j.smetaPath("stream-0")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)-7], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	streams, stats, errs := j.RecoverStreams()
+	if len(errs) != 0 || len(streams) != 1 {
+		t.Fatalf("recover: %d streams, errs %v", len(streams), errs)
+	}
+	if streams[0].Status != StatusLive {
+		t.Errorf("status %q after torn terminal mark, want live", streams[0].Status)
+	}
+	if stats.TruncatedRecords != 1 {
+		t.Errorf("TruncatedRecords %d, want 1", stats.TruncatedRecords)
+	}
+}
+
+func TestStreamTruncateAndRemove(t *testing.T) {
+	j := mustOpen(t)
+	w, err := j.AppendStream(Record{ID: "stream-0", Tool: "arbalest", Submitted: time.Now()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Write([]byte("0123456789")); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	if err := j.TruncateStreamBytes("stream-0", 4); err != nil {
+		t.Fatal(err)
+	}
+	streams, _, _ := j.RecoverStreams()
+	if len(streams) != 1 || string(streams[0].Bytes) != "0123" {
+		t.Fatalf("spool after truncate = %q, want \"0123\"", streams[0].Bytes)
+	}
+	if err := j.RemoveStream("stream-0"); err != nil {
+		t.Fatal(err)
+	}
+	if streams, _, _ := j.RecoverStreams(); len(streams) != 0 {
+		t.Fatalf("recovered %d streams after remove", len(streams))
+	}
+	if _, err := os.Stat(j.sbytesPath("stream-0")); !os.IsNotExist(err) {
+		t.Errorf("sbytes survives RemoveStream: %v", err)
+	}
+}

@@ -22,12 +22,29 @@ import (
 //	GET  /v1/jobs/{id}/trace   the job's span tree (accept -> parse ->
 //	                           journal -> queue -> replay -> summarize);
 //	                           also served at /jobs/{id}/trace
+//	POST   /v1/streams                 open a live ingestion session;
+//	                                   201 + session JSON, 429 at the cap
+//	GET    /v1/streams                 list sessions
+//	GET    /v1/streams/{id}            one session (Events is the resume
+//	                                   cursor: the sequence number to send
+//	                                   next)
+//	POST   /v1/streams/{id}/events     ship framed event chunks; the body is
+//	                                   a complete framed stream, decoded and
+//	                                   analyzed as it arrives. One request
+//	                                   at a time per session; duplicates
+//	                                   are skipped by sequence number
+//	GET    /v1/streams/{id}/findings   findings from ?since= on; ?wait=
+//	                                   long-polls until one arrives
+//	POST   /v1/streams/{id}/close      finish cleanly; 200 + summary
+//	                                   (idempotent)
+//	DELETE /v1/streams/{id}            abort and discard journal state
 //	GET  /metrics              full telemetry registry, Prometheus text
 //	                           format with # HELP/# TYPE
 //	GET  /version              daemon build info (version, Go version)
 //	GET  /healthz              liveness probe; 503 once shutdown has begun
 //	GET  /readyz               readiness probe; 503 when the queue is >=90%
-//	                           full or the daemon is draining
+//	                           full, streams are saturated, or the daemon
+//	                           is draining
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
@@ -35,6 +52,13 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleJobTrace)
 	mux.HandleFunc("GET /jobs/{id}/trace", s.handleJobTrace)
+	mux.HandleFunc("POST /v1/streams", s.handleStreamOpen)
+	mux.HandleFunc("GET /v1/streams", s.handleStreamList)
+	mux.HandleFunc("GET /v1/streams/{id}", s.handleStreamGet)
+	mux.HandleFunc("POST /v1/streams/{id}/events", s.handleStreamEvents)
+	mux.HandleFunc("GET /v1/streams/{id}/findings", s.handleStreamFindings)
+	mux.HandleFunc("POST /v1/streams/{id}/close", s.handleStreamClose)
+	mux.HandleFunc("DELETE /v1/streams/{id}", s.handleStreamAbort)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /version", s.handleVersion)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -68,6 +92,11 @@ func (s *Service) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	if depth, capacity := s.QueueFullness(); capacity > 0 && 10*depth >= 9*capacity {
 		w.WriteHeader(http.StatusServiceUnavailable)
 		_, _ = w.Write([]byte("overloaded\n"))
+		return
+	}
+	if s.hub.Saturated() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		_, _ = w.Write([]byte("streams saturated\n"))
 		return
 	}
 	_, _ = w.Write([]byte("ok\n"))

@@ -52,6 +52,7 @@ import (
 
 	"repro/internal/faultinject"
 	"repro/internal/journal"
+	"repro/internal/stream"
 	"repro/internal/telemetry"
 	"repro/internal/tools"
 	"repro/internal/trace"
@@ -126,6 +127,20 @@ type Config struct {
 	// the instrumented paths are nil-checked atomics with no measurable
 	// overhead when disabled, but collection itself is opt-in.
 	AnalyzerStats bool
+	// MaxStreams caps concurrently live streaming ingestion sessions
+	// (default 256, negative = unlimited). At the cap, POST /v1/streams
+	// answers 429 and /readyz degrades to 503.
+	MaxStreams int
+	// StreamMaxBytes is each streaming session's wire-byte budget (default
+	// 256 MiB, negative = unlimited); a session that exceeds it is evicted.
+	StreamMaxBytes int64
+	// StreamIdleTimeout evicts live streaming sessions with no ingest
+	// activity for this long (default 5m, negative disables).
+	StreamIdleTimeout time.Duration
+	// StreamReadTimeout bounds how long an attached ingest request may go
+	// between body chunks before the session is evicted as a slow consumer
+	// (default 1m, negative disables).
+	StreamReadTimeout time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -147,6 +162,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxFinishedJobs == 0 {
 		c.MaxFinishedJobs = 1024
 	}
+	if c.StreamReadTimeout == 0 {
+		c.StreamReadTimeout = time.Minute
+	}
 	if c.Logger == nil {
 		c.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
@@ -160,6 +178,7 @@ func (c Config) withDefaults() Config {
 type Service struct {
 	cfg     Config
 	metrics *Metrics
+	hub     *stream.Hub
 
 	mu        sync.Mutex
 	queue     chan *job
@@ -183,13 +202,27 @@ type Service struct {
 // worker pool.
 func New(cfg Config) *Service {
 	cfg = cfg.withDefaults()
-	return &Service{
+	svc := &Service{
 		cfg:     cfg,
 		metrics: newMetrics(),
 		queue:   make(chan *job, cfg.QueueSize),
 		jobs:    make(map[string]*job),
 		keys:    make(map[string]string),
 	}
+	// The stream hub shares the service's registry so /metrics exposes job
+	// and stream families side by side (one hub per registry).
+	svc.hub = stream.NewHub(stream.Config{
+		Registry:        svc.metrics.reg,
+		Journal:         cfg.Journal,
+		MaxStreams:      cfg.MaxStreams,
+		MaxBytes:        cfg.StreamMaxBytes,
+		MaxEvents:       cfg.MaxEvents,
+		IdleTimeout:     cfg.StreamIdleTimeout,
+		CheckpointEvery: cfg.CheckpointEvery,
+		Logger:          cfg.Logger,
+		AnalyzerStats:   cfg.AnalyzerStats,
+	})
+	return svc
 }
 
 // Config returns the resolved configuration.
@@ -197,6 +230,9 @@ func (s *Service) Config() Config { return s.cfg }
 
 // Metrics returns the service's counters.
 func (s *Service) Metrics() *Metrics { return s.metrics }
+
+// Streams returns the live streaming-ingestion hub.
+func (s *Service) Streams() *stream.Hub { return s.hub }
 
 // jobLogger returns the configured logger scoped to one job, so every line
 // it emits carries the job_id and tool attributes.
@@ -231,6 +267,14 @@ func (s *Service) QueueFullness() (depth, capacity int) {
 func (s *Service) Recover() (int, error) {
 	if s.cfg.Journal == nil {
 		return 0, errors.New("service: no journal configured")
+	}
+	// Streaming sessions recover alongside jobs: live ones are rebuilt from
+	// their checkpoint plus spooled bytes and stay open for client resume.
+	// Stream damage is logged, never fatal to job recovery.
+	if n, err := s.hub.Recover(); err != nil {
+		s.cfg.Logger.Error("stream recovery failed", "phase", "recovery", "err", err)
+	} else if n > 0 {
+		s.cfg.Logger.Info("recovered live streaming sessions", "phase", "recovery", "sessions", n)
 	}
 	recovered, rstats, errs := s.cfg.Journal.Recover()
 	s.mu.Lock()
@@ -349,6 +393,7 @@ func (s *Service) Start() {
 	for i := 0; i < s.cfg.Workers; i++ {
 		go s.worker()
 	}
+	s.hub.Start()
 }
 
 // Submit validates the tool name and trace size, then enqueues a job. It
@@ -520,6 +565,7 @@ func (s *Service) Shutdown(ctx context.Context) error {
 	started := s.started
 	s.mu.Unlock()
 	if !started {
+		s.hub.Close()
 		return nil
 	}
 	done := make(chan struct{})
@@ -529,8 +575,10 @@ func (s *Service) Shutdown(ctx context.Context) error {
 	}()
 	select {
 	case <-done:
+		s.hub.Close()
 		return nil
 	case <-ctx.Done():
+		s.hub.Close()
 		return ctx.Err()
 	}
 }

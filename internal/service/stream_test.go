@@ -1,0 +1,735 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/journal"
+	"repro/internal/stream"
+	"repro/internal/telemetry/promtest"
+	"repro/internal/tools"
+	"repro/internal/trace"
+)
+
+// frameStreamBody encodes tr.Events[from:] as one framed ingest request
+// body: the wire header plus one CRC32C frame per event.
+func frameStreamBody(t testing.TB, tr *trace.Trace, from int) []byte {
+	t.Helper()
+	body := trace.StreamHeader()
+	var err error
+	for i := from; i < len(tr.Events); i++ {
+		if body, err = trace.AppendEventFrame(body, &tr.Events[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return body
+}
+
+func decodeStreamView(t testing.TB, resp *http.Response) stream.View {
+	t.Helper()
+	defer resp.Body.Close()
+	var v stream.View
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatalf("decode stream view: %v", err)
+	}
+	return v
+}
+
+// openStream opens a session over HTTP and fails the test on any non-201.
+func openStream(t testing.TB, client *http.Client, base, tool string) stream.View {
+	t.Helper()
+	resp, err := client.Post(base+"/v1/streams?tool="+tool, "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusCreated {
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		t.Fatalf("open stream: status %d: %s", resp.StatusCode, body)
+	}
+	return decodeStreamView(t, resp)
+}
+
+// getStreamView fetches a session's current view (the resume cursor).
+func getStreamView(client *http.Client, url string) (stream.View, int, error) {
+	resp, err := client.Get(url)
+	if err != nil {
+		return stream.View{}, 0, err
+	}
+	defer resp.Body.Close()
+	var v stream.View
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		return stream.View{}, resp.StatusCode, err
+	}
+	return v, resp.StatusCode, nil
+}
+
+// renderedSummary renders a summary's reports to strings for comparison.
+func renderedSummary(sum *tools.Summary) []string {
+	out := make([]string, len(sum.Reports))
+	for i := range sum.Reports {
+		out[i] = sum.Reports[i].String()
+	}
+	return out
+}
+
+// TestStreamHTTPLifecycle drives one session through the full happy path
+// over HTTP — open, chunked upload, mid-stream findings, long-poll wakeup,
+// idempotent close — and requires the streamed result to match the CLI's
+// one-shot batch replay of the same trace.
+func TestStreamHTTPLifecycle(t *testing.T) {
+	tr := recordTrace(t, 22)
+	want := oneShot(t, tr, "arbalest")
+
+	s := New(Config{Workers: 1})
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+	client := srv.Client()
+
+	view := openStream(t, client, srv.URL, "arbalest")
+	if view.Status != stream.StatusLive || view.Events != 0 {
+		t.Fatalf("fresh session: %+v", view)
+	}
+	url := srv.URL + "/v1/streams/" + view.ID
+
+	// Park a long-poller on the empty findings cursor before any event
+	// arrives; the upload below must wake it with the first report.
+	pollDone := make(chan stream.FindingsView, 1)
+	go func() {
+		resp, err := client.Get(url + "/findings?since=0&wait=10s")
+		var fv stream.FindingsView
+		if err == nil {
+			_ = json.NewDecoder(resp.Body).Decode(&fv)
+			resp.Body.Close()
+		}
+		pollDone <- fv
+	}()
+
+	resp, err := client.Post(url+"/events", "application/octet-stream", bytes.NewReader(frameStreamBody(t, tr, 0)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	uploaded := decodeStreamView(t, resp)
+	if uploaded.Events != uint64(len(tr.Events)) {
+		t.Fatalf("uploaded view acknowledges %d events, want %d", uploaded.Events, len(tr.Events))
+	}
+	if uploaded.Findings != want.Issues {
+		t.Fatalf("mid-stream findings %d, want %d (batch)", uploaded.Findings, want.Issues)
+	}
+
+	select {
+	case fv := <-pollDone:
+		if len(fv.Reports) == 0 {
+			t.Fatalf("long-poller woke with no reports: %+v", fv)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("long-poller never woke")
+	}
+
+	// Findings with a cursor pick up from where the poller left off.
+	resp, err = client.Get(url + fmt.Sprintf("/findings?since=%d", want.Issues))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tail stream.FindingsView
+	if err := json.NewDecoder(resp.Body).Decode(&tail); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(tail.Reports) != 0 || tail.Next != want.Issues {
+		t.Fatalf("tail page: %+v, want empty with next=%d", tail, want.Issues)
+	}
+
+	// Close twice: both succeed, both carry the settled summary.
+	for i := 0; i < 2; i++ {
+		resp, err := client.Post(url+"/close", "application/json", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("close #%d: status %d", i+1, resp.StatusCode)
+		}
+		closed := decodeStreamView(t, resp)
+		if closed.Status != stream.StatusDone || closed.Result == nil {
+			t.Fatalf("close #%d: %+v", i+1, closed)
+		}
+		got := renderedSummary(closed.Result)
+		if len(got) != want.Issues {
+			t.Fatalf("close #%d: %d findings, want %d", i+1, len(got), want.Issues)
+		}
+		for j, w := range renderedSummary(want) {
+			if got[j] != w {
+				t.Fatalf("close #%d: report %d differs\nstreamed: %s\nbatch:    %s", i+1, j, got[j], w)
+			}
+		}
+	}
+
+	// A list includes the settled session; events on it now conflict.
+	resp, err = client.Get(srv.URL + "/v1/streams")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var list struct {
+		Streams []stream.View `json:"streams"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(list.Streams) != 1 || list.Streams[0].ID != view.ID {
+		t.Fatalf("stream list: %+v", list.Streams)
+	}
+	resp, err = client.Post(url+"/events", "application/octet-stream", bytes.NewReader(frameStreamBody(t, tr, 0)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("events on settled session: status %d, want 409", resp.StatusCode)
+	}
+}
+
+// TestStreamHTTPValidation covers the endpoint's rejection surface: unknown
+// ids, bad cursors, bad tools, and DELETE semantics.
+func TestStreamHTTPValidation(t *testing.T) {
+	s := New(Config{Workers: 1})
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+	client := srv.Client()
+
+	for _, req := range []struct {
+		method, path string
+		wantStatus   int
+	}{
+		{"GET", "/v1/streams/nope", http.StatusNotFound},
+		{"POST", "/v1/streams/nope/events", http.StatusNotFound},
+		{"GET", "/v1/streams/nope/findings", http.StatusNotFound},
+		{"POST", "/v1/streams/nope/close", http.StatusNotFound},
+		{"DELETE", "/v1/streams/nope", http.StatusNotFound},
+		{"POST", "/v1/streams?tool=no-such-tool", http.StatusBadRequest},
+	} {
+		hr, err := http.NewRequest(req.method, srv.URL+req.path, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := client.Do(hr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != req.wantStatus {
+			t.Errorf("%s %s: status %d, want %d", req.method, req.path, resp.StatusCode, req.wantStatus)
+		}
+	}
+
+	view := openStream(t, client, srv.URL, "arbalest")
+	url := srv.URL + "/v1/streams/" + view.ID
+	for _, q := range []string{"?since=-1", "?since=x", "?wait=banana", "?wait=-2s"} {
+		resp, err := client.Get(url + "/findings" + q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("findings%s: status %d, want 400", q, resp.StatusCode)
+		}
+	}
+
+	// An empty events body is a liveness probe, not corruption.
+	resp, err := client.Post(url+"/events", "application/octet-stream", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := decodeStreamView(t, resp); v.Status != stream.StatusLive || v.Events != 0 {
+		t.Fatalf("after empty body: %+v", v)
+	}
+
+	// DELETE aborts; the view survives as failed history.
+	hr, _ := http.NewRequest(http.MethodDelete, url, nil)
+	resp, err = client.Do(hr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := decodeStreamView(t, resp); v.Status != stream.StatusFailed {
+		t.Fatalf("aborted session: %+v", v)
+	}
+}
+
+// TestStreamHTTPCorruption checks that a bit-flipped frame fails the
+// session with 400 and the corruption counter, and the daemon keeps
+// serving.
+func TestStreamHTTPCorruption(t *testing.T) {
+	tr := recordTrace(t, 22)
+	s := New(Config{Workers: 1})
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+	client := srv.Client()
+
+	view := openStream(t, client, srv.URL, "arbalest")
+	body := frameStreamBody(t, tr, 0)
+	body[len(body)/2] ^= 0x40
+	resp, err := client.Post(srv.URL+"/v1/streams/"+view.ID+"/events", "application/octet-stream", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("corrupt upload: status %d, want 400", resp.StatusCode)
+	}
+	v, _, err := getStreamView(client, srv.URL+"/v1/streams/"+view.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Status != stream.StatusFailed {
+		t.Fatalf("session %s after corruption, want failed", v.Status)
+	}
+	fams := scrapeMetrics(t, client, srv.URL)
+	if smp, ok := promtest.Find(fams, "arbalestd_stream_corruption_total", nil); !ok || smp.Value != 1 {
+		t.Fatalf("corruption counter: %+v found=%v, want 1", smp, ok)
+	}
+}
+
+// TestStreamHTTPBudgetEviction checks the per-stream byte budget: an upload
+// that exceeds it gets 413 and the session is evicted with the "budget"
+// reason label.
+func TestStreamHTTPBudgetEviction(t *testing.T) {
+	tr := recordTrace(t, 22)
+	body := frameStreamBody(t, tr, 0)
+	s := New(Config{Workers: 1, StreamMaxBytes: int64(len(body) / 2)})
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+	client := srv.Client()
+
+	view := openStream(t, client, srv.URL, "arbalest")
+	resp, err := client.Post(srv.URL+"/v1/streams/"+view.ID+"/events", "application/octet-stream", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("over-budget upload: status %d, want 413", resp.StatusCode)
+	}
+	v, _, err := getStreamView(client, srv.URL+"/v1/streams/"+view.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Status != stream.StatusEvicted {
+		t.Fatalf("session %s after budget breach, want evicted", v.Status)
+	}
+	fams := scrapeMetrics(t, client, srv.URL)
+	if smp, ok := promtest.Find(fams, "arbalestd_streams_evicted_total", map[string]string{"reason": "budget"}); !ok || smp.Value != 1 {
+		t.Fatalf("evicted{budget}: %+v found=%v, want 1", smp, ok)
+	}
+}
+
+// TestStreamHTTPSlowConsumer holds a connection open without sending and
+// checks the rolling read deadline evicts the session with 408 and the
+// "slow" reason label.
+func TestStreamHTTPSlowConsumer(t *testing.T) {
+	s := New(Config{Workers: 1, StreamReadTimeout: 100 * time.Millisecond})
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+	client := srv.Client()
+
+	view := openStream(t, client, srv.URL, "arbalest")
+	pr, pw := io.Pipe()
+	defer pw.Close()
+	go func() {
+		// One valid header, then silence: a consumer that stalls mid-stream.
+		_, _ = pw.Write(trace.StreamHeader())
+	}()
+	resp, err := client.Post(srv.URL+"/v1/streams/"+view.ID+"/events", "application/octet-stream", pr)
+	if err != nil {
+		t.Fatalf("stalled upload should get a response, not a transport error: %v", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestTimeout {
+		t.Fatalf("stalled upload: status %d, want 408", resp.StatusCode)
+	}
+	v, _, err := getStreamView(client, srv.URL+"/v1/streams/"+view.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Status != stream.StatusEvicted {
+		t.Fatalf("session %s after stall, want evicted", v.Status)
+	}
+	fams := scrapeMetrics(t, client, srv.URL)
+	if smp, ok := promtest.Find(fams, "arbalestd_streams_evicted_total", map[string]string{"reason": "slow"}); !ok || smp.Value != 1 {
+		t.Fatalf("evicted{slow}: %+v found=%v, want 1", smp, ok)
+	}
+}
+
+// TestStreamHTTPSaturation checks the admission cap end to end: 429 with a
+// Retry-After floor at the cap, /readyz degraded while saturated, both
+// recovering when a slot frees.
+func TestStreamHTTPSaturation(t *testing.T) {
+	s := New(Config{Workers: 1, MaxStreams: 1})
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+	client := srv.Client()
+
+	view := openStream(t, client, srv.URL, "arbalest")
+	resp, err := client.Post(srv.URL+"/v1/streams?tool=arbalest", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("open at cap: status %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without a Retry-After floor")
+	}
+	readyz := func() (int, string) {
+		resp, err := client.Get(srv.URL + "/readyz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode, string(body)
+	}
+	if code, body := readyz(); code != http.StatusServiceUnavailable || body != "streams saturated\n" {
+		t.Fatalf("readyz at cap: %d %q", code, body)
+	}
+	resp, err = client.Post(srv.URL+"/v1/streams/"+view.ID+"/close", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if code, body := readyz(); code != http.StatusOK || body != "ok\n" {
+		t.Fatalf("readyz after close: %d %q", code, body)
+	}
+	openStream(t, client, srv.URL, "arbalest")
+}
+
+// scrapeMetrics fetches /metrics and runs it through the promtest
+// structural validator.
+func scrapeMetrics(t testing.TB, client *http.Client, base string) []promtest.Family {
+	t.Helper()
+	resp, err := client.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fams, err := promtest.Validate(string(body))
+	if err != nil {
+		t.Fatalf("metrics payload failed validation: %v", err)
+	}
+	return fams
+}
+
+// TestStreamConcurrentChaos is the subsystem's load-and-failure proof: over
+// 100 concurrent low-rate streams upload the same trace in slices while a
+// faultinject point severs requests mid-body at random. Every client
+// resumes from the acknowledged cursor and must still converge to the batch
+// findings; afterwards the metrics must account for every session exactly
+// once, a batch of deliberately abandoned sessions must be evicted as idle,
+// and checkpoints must have been cut along the way. Run under -race this is
+// also the subsystem's data-race sweep.
+func TestStreamConcurrentChaos(t *testing.T) {
+	tr := recordTrace(t, 22)
+	// The point here is concurrency, resume, and exactly-once accounting,
+	// not analysis depth (full-trace equivalence is covered elsewhere). A
+	// prefix keeps 100+ race-instrumented streams inside the deadline; it
+	// must extend past the sync cluster near index 1100 so checkpoint
+	// barriers still occur.
+	if len(tr.Events) > 1200 {
+		tr.Events = tr.Events[:1200]
+	}
+	want := oneShot(t, tr, "arbalest")
+	total := uint64(len(tr.Events))
+
+	jnl, err := journal.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Start is deliberately deferred until after the upload phase so the
+	// idle janitor cannot race the chaos retries; eviction is then asserted
+	// on its own terms below.
+	s := New(Config{
+		Workers:           1,
+		Journal:           jnl,
+		CheckpointEvery:   8,
+		StreamIdleTimeout: time.Second,
+	})
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	faultinject.Reset()
+	faultinject.Seed(7)
+	faultinject.Enable("stream.read", faultinject.Fault{
+		Err: errors.New("chaos: simulated disconnect"), Prob: 0.25, Count: 250,
+	})
+	defer faultinject.Reset()
+
+	const nStreams = 104
+	sliceLen := len(tr.Events)/3 + 1
+	var wg sync.WaitGroup
+	errs := make(chan error, nStreams)
+	for i := 0; i < nStreams; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Each worker gets its own client: chaos aborts poison pooled
+			// connections, and isolation keeps retries independent.
+			client := &http.Client{Timeout: time.Minute}
+			view, err := func() (stream.View, error) {
+				resp, err := client.Post(srv.URL+"/v1/streams?tool=arbalest", "application/json", nil)
+				if err != nil {
+					return stream.View{}, err
+				}
+				defer resp.Body.Close()
+				if resp.StatusCode != http.StatusCreated {
+					body, _ := io.ReadAll(resp.Body)
+					return stream.View{}, fmt.Errorf("open: %d: %s", resp.StatusCode, body)
+				}
+				var v stream.View
+				return v, json.NewDecoder(resp.Body).Decode(&v)
+			}()
+			if err != nil {
+				errs <- err
+				return
+			}
+			url := srv.URL + "/v1/streams/" + view.ID
+
+			// Upload in slices, resuming from the acknowledged cursor after
+			// every chaos disconnect. Over-sending is safe: duplicates are
+			// skipped by sequence number.
+			deadline := time.Now().Add(150 * time.Second)
+			for {
+				v, _, gerr := getStreamView(client, url)
+				if gerr != nil {
+					errs <- fmt.Errorf("%s: cursor fetch: %w", view.ID, gerr)
+					return
+				}
+				if v.Status != stream.StatusLive {
+					errs <- fmt.Errorf("%s: went %s mid-upload: %s", view.ID, v.Status, v.Error)
+					return
+				}
+				if v.Events == total {
+					break
+				}
+				if time.Now().After(deadline) {
+					errs <- fmt.Errorf("%s: upload did not converge, at %d/%d", view.ID, v.Events, total)
+					return
+				}
+				end := min(int(v.Events)+sliceLen, len(tr.Events))
+				body := trace.StreamHeader()
+				var ferr error
+				for j := int(v.Events); j < end; j++ {
+					if body, ferr = trace.AppendEventFrame(body, &tr.Events[j]); ferr != nil {
+						errs <- ferr
+						return
+					}
+				}
+				resp, perr := client.Post(url+"/events", "application/octet-stream", bytes.NewReader(body))
+				if perr != nil {
+					continue // severed mid-body; re-fetch the cursor and resume
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+
+			for attempt := 0; ; attempt++ {
+				resp, cerr := client.Post(url+"/close", "application/json", nil)
+				if cerr != nil {
+					if attempt > 20 {
+						errs <- fmt.Errorf("%s: close never succeeded: %w", view.ID, cerr)
+						return
+					}
+					continue
+				}
+				final := stream.View{}
+				derr := json.NewDecoder(resp.Body).Decode(&final)
+				resp.Body.Close()
+				if derr != nil || resp.StatusCode != http.StatusOK {
+					errs <- fmt.Errorf("%s: close: status %d, %v", view.ID, resp.StatusCode, derr)
+					return
+				}
+				if final.Status != stream.StatusDone || final.Events != total || final.Result == nil || final.Result.Issues != want.Issues {
+					errs <- fmt.Errorf("%s: settled wrong: %+v", view.ID, final)
+					return
+				}
+				return
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+	if faultinject.Fired("stream.read") == 0 {
+		t.Fatal("chaos point never fired; the test proved nothing about disconnects")
+	}
+	faultinject.Reset()
+
+	// Phase two: abandoned sessions. Open a handful, feed them nothing, and
+	// let the janitor (started only now) evict them as idle.
+	client := srv.Client()
+	const nIdle = 4
+	for i := 0; i < nIdle; i++ {
+		openStream(t, client, srv.URL, "arbalest")
+	}
+	s.Start()
+	defer shutdownOrFail(t, s)
+	evictDeadline := time.Now().Add(30 * time.Second)
+	for {
+		fams := scrapeMetrics(t, client, srv.URL)
+		smp, _ := promtest.Find(fams, "arbalestd_streams_evicted_total", map[string]string{"reason": "idle"})
+		if smp.Value == nIdle {
+			break
+		}
+		if time.Now().After(evictDeadline) {
+			t.Fatalf("evicted{idle} stuck at %v, want %d", smp.Value, nIdle)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+
+	// The ledger must balance exactly once per session: every chaos stream
+	// completed, every abandoned stream evicted, nothing failed, nothing
+	// still live, no corruption — and every applied event counted exactly
+	// once despite all the duplicate resends.
+	fams := scrapeMetrics(t, client, srv.URL)
+	for name, want := range map[string]float64{
+		"arbalestd_streams_active":          0,
+		"arbalestd_streams_opened_total":    nStreams + nIdle,
+		"arbalestd_streams_completed_total": nStreams,
+		"arbalestd_streams_failed_total":    0,
+		"arbalestd_stream_corruption_total": 0,
+		"arbalestd_stream_events_total":     float64(nStreams) * float64(total),
+	} {
+		smp, ok := promtest.Find(fams, name, nil)
+		if !ok || smp.Value != want {
+			t.Errorf("%s = %v (found=%v), want %v", name, smp.Value, ok, want)
+		}
+	}
+	if smp, ok := promtest.Find(fams, "arbalestd_stream_checkpoints_written_total", nil); !ok || smp.Value == 0 {
+		t.Error("no checkpoints were cut during the chaos run")
+	}
+	if smp, ok := promtest.Find(fams, "arbalestd_stream_bytes_total", nil); !ok || smp.Value == 0 {
+		t.Error("stream byte counter did not move")
+	}
+	if smp, ok := promtest.Find(fams, "arbalestd_stream_chunk_decode_seconds_count", nil); !ok || smp.Value == 0 {
+		t.Error("chunk decode histogram saw no observations")
+	}
+}
+
+// TestStreamHTTPDaemonRecovery kills a daemon with a live, checkpointed
+// session mid-stream and boots a new one over the same spool: the session
+// must come back live at its acknowledged cursor, accept the client's
+// resumed upload, and settle with findings identical to batch replay.
+func TestStreamHTTPDaemonRecovery(t *testing.T) {
+	dir := t.TempDir()
+	tr := recordTrace(t, 22)
+	want := oneShot(t, tr, "arbalest")
+
+	jnl1, err := journal.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The first daemon is never started or shut down: the test drops it on
+	// the floor mid-session, exactly like a SIGKILL.
+	s1 := New(Config{Workers: 1, Journal: jnl1, CheckpointEvery: 4})
+	srv1 := httptest.NewServer(s1.Handler())
+	client := &http.Client{Timeout: time.Minute}
+
+	view := openStream(t, client, srv1.URL, "arbalest")
+	half := len(tr.Events) / 2
+	body := trace.StreamHeader()
+	for i := 0; i < half; i++ {
+		if body, err = trace.AppendEventFrame(body, &tr.Events[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	resp, err := client.Post(srv1.URL+"/v1/streams/"+view.ID+"/events", "application/octet-stream", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := decodeStreamView(t, resp); v.Events != uint64(half) {
+		t.Fatalf("first daemon acknowledged %d events, want %d", v.Events, half)
+	}
+	srv1.Close() // the kill
+
+	jnl2, err := journal.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2 := New(Config{Workers: 1, Journal: jnl2, CheckpointEvery: 4})
+	if _, err := s2.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	s2.Start()
+	defer shutdownOrFail(t, s2)
+	srv2 := httptest.NewServer(s2.Handler())
+	defer srv2.Close()
+	url := srv2.URL + "/v1/streams/" + view.ID
+
+	v, code, err := getStreamView(client, url)
+	if err != nil || code != http.StatusOK {
+		t.Fatalf("recovered session fetch: %d, %v", code, err)
+	}
+	if v.Status != stream.StatusLive || v.Events != uint64(half) {
+		t.Fatalf("recovered session: %+v, want live at event %d", v, half)
+	}
+	if v.ResumedFrom == 0 {
+		t.Fatal("recovered session does not record its checkpoint resume point")
+	}
+
+	// The client resumes from the acknowledged cursor (over-sending the
+	// whole stream would work too; the suffix is what -stream sends).
+	resp, err = client.Post(url+"/events", "application/octet-stream", bytes.NewReader(frameStreamBody(t, tr, int(v.Events))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := decodeStreamView(t, resp); v.Events != uint64(len(tr.Events)) {
+		t.Fatalf("resumed upload acknowledged %d events, want %d", v.Events, len(tr.Events))
+	}
+	resp, err = client.Post(url+"/close", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := decodeStreamView(t, resp)
+	if final.Status != stream.StatusDone || final.Result == nil {
+		t.Fatalf("resumed session settled wrong: %+v", final)
+	}
+	got := renderedSummary(final.Result)
+	wantReports := renderedSummary(want)
+	if len(got) != len(wantReports) {
+		t.Fatalf("resumed session: %d findings, batch has %d\ngot: %q\nwant: %q", len(got), len(wantReports), got, wantReports)
+	}
+	for i := range wantReports {
+		if got[i] != wantReports[i] {
+			t.Fatalf("resumed finding %d differs\nstreamed: %s\nbatch:    %s", i, got[i], wantReports[i])
+		}
+	}
+	fams := scrapeMetrics(t, client, srv2.URL)
+	if smp, ok := promtest.Find(fams, "arbalestd_streams_recovered_total", nil); !ok || smp.Value != 1 {
+		t.Fatalf("recovered counter: %+v found=%v, want 1", smp, ok)
+	}
+}

@@ -310,6 +310,14 @@ var DurationBuckets = []float64{
 	1e-2, 2.5e-2, 5e-2, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60,
 }
 
+// FineDurationBuckets is the bucket layout for very fast operations —
+// per-chunk stream decode, lock acquisition — where DurationBuckets' 1µs
+// floor would lump everything into the first two buckets: 100ns up to 1s.
+var FineDurationBuckets = []float64{
+	1e-7, 2.5e-7, 5e-7, 1e-6, 2.5e-6, 5e-6, 1e-5, 2.5e-5, 5e-5,
+	1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3, 1e-2, 0.1, 1,
+}
+
 // SizeBuckets is the default bucket layout for byte-size histograms:
 // 256 B up to 1 GiB, in powers of four.
 var SizeBuckets = []float64{

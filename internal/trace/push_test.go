@@ -1,0 +1,195 @@
+package trace_test
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// pushAll feeds data to dec in fixed-size chunks, collecting decoded events.
+func pushAll(t *testing.T, dec *trace.PushDecoder, data []byte, chunkSize int) ([]trace.Event, error) {
+	t.Helper()
+	var got []trace.Event
+	emit := func(e *trace.Event) error {
+		got = append(got, *e)
+		return nil
+	}
+	for off := 0; off < len(data); off += chunkSize {
+		end := off + chunkSize
+		if end > len(data) {
+			end = len(data)
+		}
+		if err := dec.Push(data[off:end], emit); err != nil {
+			return got, err
+		}
+	}
+	return got, dec.Finish()
+}
+
+// TestPushDecoderChunkBoundaries: the decoder produces the identical event
+// sequence regardless of how the byte stream is split into chunks — down to
+// one byte at a time — and reports full consumption afterward.
+func TestPushDecoderChunkBoundaries(t *testing.T) {
+	tr := richTrace(t)
+	data := framedBytes(t, tr)
+	for _, chunk := range []int{1, 2, 3, 7, 64, 4096, len(data)} {
+		dec := trace.NewPushDecoder(trace.Limits{})
+		got, err := pushAll(t, dec, data, chunk)
+		if err != nil {
+			t.Fatalf("chunk=%d: %v", chunk, err)
+		}
+		if len(got) != len(tr.Events) {
+			t.Fatalf("chunk=%d: decoded %d events, want %d", chunk, len(got), len(tr.Events))
+		}
+		for i := range got {
+			if got[i].Seq != tr.Events[i].Seq || got[i].Kind != tr.Events[i].Kind {
+				t.Fatalf("chunk=%d: event %d is (%q,%d), want (%q,%d)",
+					chunk, i, got[i].Kind, got[i].Seq, tr.Events[i].Kind, tr.Events[i].Seq)
+			}
+		}
+		if dec.Offset() != int64(len(data)) {
+			t.Fatalf("chunk=%d: offset %d after full decode, want %d", chunk, dec.Offset(), len(data))
+		}
+		if dec.Pending() != 0 {
+			t.Fatalf("chunk=%d: %d pending bytes after full decode", chunk, dec.Pending())
+		}
+		if dec.Events() != len(tr.Events) {
+			t.Fatalf("chunk=%d: Events()=%d, want %d", chunk, dec.Events(), len(tr.Events))
+		}
+	}
+}
+
+// TestPushDecoderCorruption mirrors the pull decoder's corruption table: every
+// mutation fails with a *CorruptionError and poisons the decoder.
+func TestPushDecoderCorruption(t *testing.T) {
+	pristine := framedBytes(t, richTrace(t))
+	const fileHeader = 8
+
+	cases := []struct {
+		name       string
+		input      func() []byte
+		wantReason string
+	}{
+		{"bit-flip-in-payload", func() []byte {
+			d := bytes.Clone(pristine)
+			d[fileHeader+8+2] ^= 0x40
+			return d
+		}, "checksum mismatch"},
+		{"torn-final-frame", func() []byte {
+			return pristine[:len(pristine)-3]
+		}, "torn final frame"},
+		{"torn-frame-header", func() []byte {
+			return pristine[:fileHeader+3]
+		}, "torn final frame"},
+		{"short-header", func() []byte {
+			return pristine[:5]
+		}, "short header"},
+		{"bad-magic", func() []byte {
+			d := bytes.Clone(pristine)
+			d[0] ^= 0xff
+			return d
+		}, "bad magic"},
+		{"unsupported-version", func() []byte {
+			d := bytes.Clone(pristine)
+			d[4] = 9
+			return d
+		}, "unsupported version"},
+		{"oversized-frame-length", func() []byte {
+			d := bytes.Clone(pristine)
+			binary.LittleEndian.PutUint32(d[fileHeader:fileHeader+4], trace.MaxFramePayload+1)
+			return d
+		}, "exceeds limit"},
+	}
+	for _, tc := range cases {
+		tc := tc
+		for _, chunk := range []int{1, 13, 1 << 20} {
+			dec := trace.NewPushDecoder(trace.Limits{})
+			_, err := pushAll(t, dec, tc.input(), chunk)
+			if err == nil {
+				t.Fatalf("%s chunk=%d: corrupted input decoded without error", tc.name, chunk)
+			}
+			var ce *trace.CorruptionError
+			if !errors.As(err, &ce) {
+				t.Fatalf("%s chunk=%d: error %v (%T) is not a *CorruptionError", tc.name, chunk, err, err)
+			}
+			if !strings.Contains(ce.Reason, tc.wantReason) {
+				t.Errorf("%s chunk=%d: reason %q does not mention %q", tc.name, chunk, ce.Reason, tc.wantReason)
+			}
+			// Poisoned: later pushes return the same error.
+			if perr := dec.Push([]byte{0}, func(*trace.Event) error { return nil }); !errors.Is(perr, err) && perr != err {
+				t.Errorf("%s chunk=%d: push after failure returned %v, want sticky %v", tc.name, chunk, perr, err)
+			}
+		}
+	}
+}
+
+// TestPushDecoderLimits: sentinel limit errors match the pull decoder's.
+func TestPushDecoderLimits(t *testing.T) {
+	data := framedBytes(t, richTrace(t))
+
+	dec := trace.NewPushDecoder(trace.Limits{MaxEvents: 1})
+	if _, err := pushAll(t, dec, data, 256); !errors.Is(err, trace.ErrTooManyEvents) {
+		t.Errorf("MaxEvents=1: got %v, want ErrTooManyEvents", err)
+	}
+	dec = trace.NewPushDecoder(trace.Limits{MaxBytes: 64})
+	if _, err := pushAll(t, dec, data, 256); !errors.Is(err, trace.ErrTooManyBytes) {
+		t.Errorf("MaxBytes=64: got %v, want ErrTooManyBytes", err)
+	}
+}
+
+// TestPushDecoderOffsetTracksFrames: mid-stream, Offset points at the start
+// of the first unconsumed frame — the truncation point a spool repair needs.
+func TestPushDecoderOffsetTracksFrames(t *testing.T) {
+	data := framedBytes(t, richTrace(t))
+	// Cut mid-way through the byte stream; the decoder must report an offset
+	// on a frame boundary, with Pending covering the difference.
+	cut := len(data) / 2
+	dec := trace.NewPushDecoder(trace.Limits{})
+	n1 := 0
+	if err := dec.Push(data[:cut], func(*trace.Event) error { n1++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if dec.Offset()+int64(dec.Pending()) != int64(cut) {
+		t.Fatalf("offset %d + pending %d != pushed %d", dec.Offset(), dec.Pending(), cut)
+	}
+	resumeAt := dec.Offset()
+	if err := dec.Push(data[cut:], func(*trace.Event) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if err := dec.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	total := dec.Events()
+
+	// A fresh decoder over header + data[resumeAt:] must decode exactly the
+	// events the first pass had not yet consumed at the cut.
+	hdr := []byte("ARBT\x01\x00\x00\x00")
+	dec2 := trace.NewPushDecoder(trace.Limits{})
+	if err := dec2.Push(append(append([]byte{}, hdr...), data[resumeAt:]...), func(*trace.Event) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if err := dec2.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if dec2.Events() != total-n1 {
+		t.Fatalf("suffix redecode produced %d events, want %d (total %d, first pass %d)",
+			dec2.Events(), total-n1, total, n1)
+	}
+}
+
+// TestPushDecoderEmitErrorIsSticky: a failing emit poisons the decoder.
+func TestPushDecoderEmitErrorIsSticky(t *testing.T) {
+	data := framedBytes(t, richTrace(t))
+	boom := errors.New("boom")
+	dec := trace.NewPushDecoder(trace.Limits{})
+	if err := dec.Push(data, func(*trace.Event) error { return boom }); !errors.Is(err, boom) {
+		t.Fatalf("push returned %v, want emit error", err)
+	}
+	if err := dec.Finish(); !errors.Is(err, boom) {
+		t.Fatalf("finish returned %v, want sticky emit error", err)
+	}
+}
