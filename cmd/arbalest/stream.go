@@ -195,13 +195,27 @@ func frameEvents(tr *trace.Trace, from uint64) ([]byte, error) {
 	return buf, nil
 }
 
-// getStream fetches the session's current view (the resume cursor).
+// getStream fetches the session's current view (the resume cursor). Its
+// errors are classified for the enclosing retry loop exactly like the open
+// and upload requests: 429/503/5xx honor the daemon's Retry-After (the
+// resume fetch lands precisely when the daemon is restarting or shedding —
+// the moment a server-directed delay matters most), while other non-2xx
+// answers (e.g. the session is gone) are permanent.
 func getStream(client *http.Client, streamURL string) (stream.View, error) {
 	resp, err := client.Get(streamURL)
 	if err != nil {
-		return stream.View{}, err
+		return stream.View{}, err // connection-level failure: retryable
 	}
-	return decodeStream(resp)
+	if retry.StatusRetryable(resp.StatusCode) {
+		after := retry.RetryAfter(resp)
+		_, derr := decodeStream(resp)
+		return stream.View{}, retry.After(derr, after)
+	}
+	view, err := decodeStream(resp)
+	if err != nil && (resp.StatusCode < 200 || resp.StatusCode > 299) {
+		return stream.View{}, retry.Permanent(err)
+	}
+	return view, err
 }
 
 // decodeStream reads one stream.View from an arbalestd response, surfacing

@@ -1,0 +1,94 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/retry"
+	"repro/internal/stream"
+)
+
+// TestGetStreamHonorsRetryAfter: the resume-cursor fetch classifies a 503
+// as retryable and carries the daemon's Retry-After into the backoff, so
+// the enclosing retry loop sleeps the server-directed delay instead of its
+// own (much shorter) exponential schedule.
+func TestGetStreamHonorsRetryAfter(t *testing.T) {
+	var calls atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			w.Header().Set("Retry-After", "2")
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			_, _ = w.Write([]byte(`{"error":"daemon restarting"}`))
+			return
+		}
+		_ = json.NewEncoder(w).Encode(stream.View{ID: "s1", Status: stream.StatusLive, Events: 7})
+	}))
+	defer srv.Close()
+
+	var slept []time.Duration
+	p := retry.Policy{
+		MaxAttempts: 3,
+		BaseDelay:   time.Millisecond,
+		MaxDelay:    2 * time.Millisecond,
+		Budget:      time.Minute,
+		Sleep:       func(d time.Duration) { slept = append(slept, d) },
+	}
+	var view stream.View
+	err := p.Do(context.Background(), func(int) error {
+		v, gerr := getStream(srv.Client(), srv.URL)
+		if gerr == nil {
+			view = v
+		}
+		return gerr
+	})
+	if err != nil {
+		t.Fatalf("getStream never recovered: %v", err)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Fatalf("server saw %d calls, want 2 (one 503, one success)", got)
+	}
+	if view.Events != 7 {
+		t.Fatalf("resume cursor = %d, want 7", view.Events)
+	}
+	if len(slept) != 1 {
+		t.Fatalf("retry slept %d times, want 1 (%v)", len(slept), slept)
+	}
+	if slept[0] < 2*time.Second {
+		t.Fatalf("slept %v, want >= the server's Retry-After of 2s", slept[0])
+	}
+}
+
+// TestGetStreamGoneIsPermanent: a 404 (the session was evicted) must not be
+// retried — the error is permanent and the loop stops after one attempt.
+func TestGetStreamGoneIsPermanent(t *testing.T) {
+	var calls atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusNotFound)
+		_, _ = w.Write([]byte(`{"error":"no such stream"}`))
+	}))
+	defer srv.Close()
+
+	p := retry.Policy{
+		MaxAttempts: 4,
+		BaseDelay:   time.Millisecond,
+		Sleep:       func(time.Duration) {},
+	}
+	err := p.Do(context.Background(), func(int) error {
+		_, gerr := getStream(srv.Client(), srv.URL)
+		return gerr
+	})
+	if err == nil {
+		t.Fatal("a 404 resume fetch must fail")
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("server saw %d calls, want 1 (permanent errors are not retried)", got)
+	}
+}

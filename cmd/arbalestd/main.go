@@ -11,10 +11,26 @@
 //	          [-max-streams N] [-stream-max-bytes BYTES]
 //	          [-stream-idle-timeout DUR] [-stream-read-timeout DUR]
 //	          [-analyzer-stats] [-version]
+//	          [-role standalone|coordinator|worker] [-coordinator-url URL]
+//	          [-lease-ttl DUR] [-worker-id ID] [-poll-wait DUR]
 //
 // -workers sizes the job pool (how many traces analyze concurrently);
 // -replay-workers sets the per-job analysis fan-out (epoch-sharded parallel
 // replay, 1 = sequential). Findings are identical either way.
+//
+// # Distributed operation
+//
+// -role coordinator serves the normal API plus /v1/fleet/, leasing each
+// accepted job to a registered analysis worker; with zero live workers it
+// degrades to inline execution, so a coordinator alone behaves like a
+// standalone daemon. Leases last -lease-ttl without a heartbeat, then the
+// job is rescheduled from its freshest streamed checkpoint; every lease
+// carries a fencing token so a partitioned worker that comes back cannot
+// corrupt the rescheduled job. -role worker runs the agent side: it
+// registers with -coordinator-url, long-polls leases for -poll-wait,
+// replays each job while streaming epoch-barrier checkpoints back, and
+// posts the result. Workers hold no durable state and may be killed at
+// any time. See README "Distributed operation".
 //
 // API:
 //
@@ -77,6 +93,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/dist"
 	"repro/internal/journal"
 	"repro/internal/service"
 	"repro/internal/telemetry"
@@ -102,6 +119,11 @@ func main() {
 	streamIdleTimeout := flag.Duration("stream-idle-timeout", 5*time.Minute, "evict live streams with no ingest activity for this long (-1s = never)")
 	streamReadTimeout := flag.Duration("stream-read-timeout", time.Minute, "evict a stream whose attached ingest request stalls between chunks for this long (-1s = never)")
 	analyzerStats := flag.Bool("analyzer-stats", true, "collect per-job analyzer-level telemetry (VSM transitions, CAS retries, interval lookups)")
+	role := flag.String("role", "standalone", "process role: standalone (one-process daemon), coordinator (serves the API and leases jobs to workers), worker (analysis agent for a coordinator)")
+	coordinatorURL := flag.String("coordinator-url", "", "coordinator base URL (required with -role worker)")
+	leaseTTL := flag.Duration("lease-ttl", 15*time.Second, "coordinator: lease duration without a heartbeat before a job is rescheduled")
+	workerID := flag.String("worker-id", "", "worker: unique worker id (default host-pid)")
+	pollWait := flag.Duration("poll-wait", 5*time.Second, "worker: lease long-poll duration")
 	version := flag.Bool("version", false, "print build info and exit")
 	flag.Parse()
 
@@ -123,6 +145,19 @@ func main() {
 	if rw == 0 {
 		rw = -1
 	}
+
+	switch *role {
+	case "standalone", "coordinator":
+	case "worker":
+		if *coordinatorURL == "" {
+			fatal("-role worker requires -coordinator-url")
+		}
+		runWorker(logger, *coordinatorURL, *workerID, *pollWait, rw, *checkpointEvery)
+		return
+	default:
+		fatal("unknown -role (want standalone, coordinator, or worker)", "role", *role)
+	}
+
 	cfg := service.Config{
 		Workers:         *workers,
 		ReplayWorkers:   rw,
@@ -141,6 +176,8 @@ func main() {
 		StreamMaxBytes:    *streamMaxBytes,
 		StreamIdleTimeout: *streamIdleTimeout,
 		StreamReadTimeout: *streamReadTimeout,
+
+		ExternalDispatch: *role == "coordinator",
 	}
 	if *checkpointEvery > 0 && *spool == "" {
 		fatal("-checkpoint-every requires -spool (checkpoints live in the spool directory)")
@@ -162,6 +199,31 @@ func main() {
 	}
 	svc.Start()
 
+	var coord *dist.Coordinator
+	handler := http.Handler(svc.Handler())
+	if *role == "coordinator" {
+		ccfg := dist.CoordinatorConfig{
+			Backend:  svc,
+			LeaseTTL: *leaseTTL,
+			Registry: svc.Metrics().Registry(),
+			Logger:   logger,
+		}
+		if cfg.Journal != nil {
+			ccfg.Fleet = cfg.Journal.Fleet()
+		}
+		var err error
+		coord, err = dist.NewCoordinator(ccfg)
+		if err != nil {
+			fatal("coordinator init failed", "err", err)
+		}
+		coord.Start()
+		mux := http.NewServeMux()
+		mux.Handle("/v1/fleet/", coord.Handler())
+		mux.Handle("/", handler)
+		handler = mux
+		logger.Info("fleet coordinator up", "lease_ttl", *leaseTTL)
+	}
+
 	if *debugAddr != "" {
 		go func() {
 			if err := http.ListenAndServe(*debugAddr, debugHandler()); err != nil {
@@ -171,7 +233,7 @@ func main() {
 		logger.Info("debug endpoints up", "addr", *debugAddr)
 	}
 
-	srv := &http.Server{Addr: *addr, Handler: svc.Handler()}
+	srv := &http.Server{Addr: *addr, Handler: handler}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
 	fmt.Printf("arbalestd: listening on %s (%d workers, queue %d)\n",
@@ -198,7 +260,41 @@ func main() {
 		fmt.Fprintln(os.Stderr, "arbalestd: job drain:", err)
 		os.Exit(1)
 	}
+	if coord != nil {
+		if err := coord.Shutdown(drainCtx); err != nil {
+			fmt.Fprintln(os.Stderr, "arbalestd: coordinator drain:", err)
+			os.Exit(1)
+		}
+	}
 	fmt.Println("arbalestd: done")
+}
+
+// runWorker runs the fleet analysis agent until SIGINT/SIGTERM (or until a
+// fault-injected crash kills it, in chaos tests).
+func runWorker(logger *slog.Logger, coordinatorURL, id string, pollWait time.Duration, replayWorkers int, checkpointEvery uint64) {
+	if id == "" {
+		host, err := os.Hostname()
+		if err != nil {
+			host = "worker"
+		}
+		id = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+	w := dist.NewWorker(dist.WorkerConfig{
+		ID:              id,
+		CoordinatorURL:  coordinatorURL,
+		PollWait:        pollWait,
+		ReplayWorkers:   replayWorkers,
+		CheckpointEvery: checkpointEvery,
+		Logger:          logger,
+	})
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	fmt.Printf("arbalestd: worker %s serving coordinator %s\n", id, coordinatorURL)
+	if err := w.Run(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "arbalestd: worker:", err)
+		os.Exit(1)
+	}
+	fmt.Println("arbalestd: worker done")
 }
 
 // debugHandler builds the private diagnostics mux: pprof profiles and the

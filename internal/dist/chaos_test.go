@@ -1,0 +1,107 @@
+// Fleet chaos smoke: two respawning workers process a continuous job flow
+// while probabilistic faults kill workers at checkpoint barriers and sever
+// heartbeats. After the storm every submitted job must be done exactly once
+// with findings byte-identical to a single-process replay.
+//
+// The default run is a few seconds so `go test ./internal/dist/` stays
+// cheap; CI sets ARBALEST_FLEET_CHAOS_MS=30000 for the long soak.
+package dist_test
+
+import (
+	"context"
+	"errors"
+	"os"
+	"strconv"
+	"testing"
+	"time"
+
+	"repro/internal/dracc"
+	"repro/internal/faultinject"
+	"repro/internal/service"
+	"repro/internal/tools"
+	"repro/internal/trace"
+)
+
+func chaosDuration() time.Duration {
+	if ms := os.Getenv("ARBALEST_FLEET_CHAOS_MS"); ms != "" {
+		if n, err := strconv.Atoi(ms); err == nil && n > 0 {
+			return time.Duration(n) * time.Millisecond
+		}
+	}
+	return 2 * time.Second
+}
+
+func TestFleetChaosSmoke(t *testing.T) {
+	faultinject.Reset()
+	defer faultinject.Reset()
+
+	// Pre-record a rotation of benchmarks and their ground-truth findings.
+	type bench struct {
+		tr   *trace.Trace
+		want *tools.Summary
+	}
+	var rotation []bench
+	for i, b := range dracc.All() {
+		if i >= 8 {
+			break
+		}
+		tr := recordTrace(t, b.ID)
+		rotation = append(rotation, bench{tr: tr, want: oneShot(t, tr, "arbalest")})
+	}
+
+	f := newFleet(t, nil, 150*time.Millisecond, 5*time.Second, false)
+	ctx, cancel := context.WithCancel(context.Background())
+	wg := startWorkers(ctx, f.srv.URL, 2, 1, true)
+	defer wg.Wait()
+	defer cancel()
+	f.waitMetric("arbalestd_fleet_workers", 2, 5*time.Second)
+
+	// 10% of checkpoint barriers kill the worker; 10% of heartbeats are
+	// lost; 5% of lease RPCs answer 503 (exercising the retry path).
+	faultinject.Seed(42)
+	faultinject.Enable("dist.worker.crash", faultinject.Fault{Err: errors.New("chaos: kill"), Prob: 0.1})
+	faultinject.Enable("dist.heartbeat", faultinject.Fault{Err: errors.New("chaos: partition"), Prob: 0.1})
+	faultinject.Enable("dist.lease", faultinject.Fault{Err: errors.New("chaos: coordinator hiccup"), Prob: 0.05})
+
+	type submitted struct {
+		id   string
+		want *tools.Summary
+	}
+	var jobs []submitted
+	deadline := time.Now().Add(chaosDuration())
+	for i := 0; time.Now().Before(deadline); i++ {
+		// Throttle: keep the in-flight window small so the queue never
+		// rejects and the drain below stays bounded.
+		settled := int(f.svc.Metrics().Snapshot().JobsCompleted)
+		if len(jobs)-settled >= 8 {
+			time.Sleep(10 * time.Millisecond)
+			continue
+		}
+		b := rotation[i%len(rotation)]
+		v, err := f.svc.Submit("arbalest", b.tr)
+		if err != nil {
+			t.Fatalf("submit during chaos: %v", err)
+		}
+		jobs = append(jobs, submitted{id: v.ID, want: b.want})
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Storm over: disarm everything and let the fleet drain.
+	faultinject.Reset()
+	for _, j := range jobs {
+		got := f.waitSettled(j.id)
+		if got.Status != service.StatusDone {
+			t.Fatalf("job %s: status %s (%s)", j.id, got.Status, got.Error)
+		}
+		assertSameFindings(t, "chaos job "+j.id, got.Result, j.want)
+	}
+	if done := int(f.svc.Metrics().Snapshot().JobsCompleted); done != len(jobs) {
+		t.Fatalf("jobs completed = %d, want exactly %d (exactly-once violated)", done, len(jobs))
+	}
+	t.Logf("chaos smoke: %d jobs, %v leases granted, %v expired, %v rescheduled, %v fenced writes",
+		len(jobs),
+		f.metric("arbalestd_fleet_leases_granted_total"),
+		f.metric("arbalestd_fleet_leases_expired_total"),
+		f.metric("arbalestd_fleet_jobs_rescheduled_total"),
+		f.metric("arbalestd_fleet_fenced_writes_total"))
+}

@@ -1,0 +1,96 @@
+// Package dist splits arbalestd into a fault-tolerant coordinator/worker
+// fleet.
+//
+// The coordinator owns everything durable — job admission, the write-ahead
+// journal, results — and leases analysis work to N remote workers over
+// HTTP. Workers are expected to die: a lease lasts one TTL and stays alive
+// only while the worker heartbeats; when heartbeats stop, the coordinator
+// expires the lease and reschedules the job onto the next worker, which
+// resumes from the freshest epoch-barrier checkpoint the dead worker
+// streamed back. Because checkpoints are taken at drained epoch barriers
+// (trace.ReplayDurable), a resumed replay produces findings byte-identical
+// to an uninterrupted single-process run at any fan-out — the Theorem 1
+// commutativity argument is per-epoch, so a handoff at an epoch boundary
+// changes which machine applies each epoch but not the analysis (DESIGN.md
+// §5.8).
+//
+// # Fencing
+//
+// Every lease carries a fencing token, monotone per job and write-ahead
+// persisted (journal.FleetLog) before the grant. Every worker write —
+// heartbeat, checkpoint, result — quotes its token, and the coordinator
+// accepts a write only from the holder of the job's current lease with the
+// exact current token. A partitioned worker that comes back after its lease
+// expired is a zombie: its delayed writes quote a stale token, are rejected
+// with 409, and are counted (arbalestd_fleet_fenced_writes_total), so a
+// rescheduled job can never be corrupted by its previous owner. Tokens
+// survive coordinator restarts, so the guarantee holds across the
+// coordinator's own crashes too.
+//
+// # Degradation
+//
+// With zero live workers the coordinator runs jobs inline through the same
+// service engine, so a standalone arbalestd (or a fleet that lost every
+// worker) keeps working — distribution is an optimization, never a
+// requirement.
+package dist
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+
+	"repro/internal/trace"
+)
+
+// JobSpec identifies one leasable analysis job.
+type JobSpec struct {
+	// ID is the job's service identifier ("job-N").
+	ID string `json:"id"`
+	// Tool is the analyzer to run (tools.New name).
+	Tool string `json:"tool"`
+	// Events is the trace length, for progress accounting.
+	Events int `json:"events"`
+}
+
+// Backend is the coordinator's seam into the job engine; *service.Service
+// implements it. The coordinator owns dispatch policy (lease vs inline) and
+// the lease table; the backend owns the job store, the journal, and the
+// metrics the single-process daemon already had.
+type Backend interface {
+	// DequeueJob blocks for the next accepted job, returning ok=false when
+	// ctx is canceled or the queue is closed and drained.
+	DequeueJob(ctx context.Context) (JobSpec, bool)
+	// RunJobInline analyzes the job on the calling goroutine using the
+	// single-process replay path (panic confinement, watchdog, local
+	// checkpoints included).
+	RunJobInline(id string)
+	// MarkJobRunning transitions the job to running state on behalf of a
+	// remote worker, journaling the transition. It returns false if the job
+	// no longer exists or is already terminal (the lease should be
+	// abandoned, not granted).
+	MarkJobRunning(id, worker string) bool
+	// StoreRemoteCheckpoint ingests a checkpoint streamed back by a worker:
+	// monotone per job (a stale checkpoint is dropped, not an error) and
+	// spooled through the journal so it survives a coordinator restart.
+	StoreRemoteCheckpoint(ck *trace.Checkpoint) error
+	// CompleteRemote records a remote job's terminal state exactly once:
+	// errMsg=="" means done with the given summary JSON, otherwise failed.
+	// A job already terminal returns an error (the write lost the race).
+	CompleteRemote(id, errMsg string, result json.RawMessage) error
+	// FreshCheckpoint returns the job's newest ingested checkpoint, nil if
+	// none — what a rescheduled worker resumes from.
+	FreshCheckpoint(id string) *trace.Checkpoint
+	// TraceFramed serializes the job's trace in the CRC-framed wire format
+	// for a worker to fetch.
+	TraceFramed(id string) ([]byte, error)
+}
+
+// ErrFenced is the coordinator's verdict on a write quoting a stale or
+// foreign fencing token: the sender's lease is gone and the job belongs to
+// someone else (or to nobody). Mapped to HTTP 409; permanent, never retried.
+var ErrFenced = errors.New("dist: lease fenced: stale or foreign token")
+
+// ErrNoJob marks lease or write requests naming a job the coordinator does
+// not hold. Mapped to HTTP 404.
+var ErrNoJob = errors.New("dist: no such job")

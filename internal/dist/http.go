@@ -1,0 +1,190 @@
+// Fleet HTTP protocol. All endpoints live under /v1/fleet/ and are mounted
+// next to the service API on the coordinator's listener:
+//
+//	POST /v1/fleet/workers                    register {worker} -> {leaseTtlMillis}
+//	POST /v1/fleet/lease?worker=W&waitMillis=N long-poll a lease; 200 grant or 204
+//	POST /v1/fleet/jobs/{id}/heartbeat        {worker, token}; 204 or 409 fenced
+//	GET  /v1/fleet/jobs/{id}/trace            CRC-framed trace bytes
+//	GET  /v1/fleet/jobs/{id}/checkpoint?worker=W&token=T  encoded checkpoint or 204
+//	POST /v1/fleet/jobs/{id}/checkpoint?worker=W&token=T  encoded checkpoint body
+//	POST /v1/fleet/jobs/{id}/result           {worker, token, error, result}
+//
+// Fencing rejections are 409 Conflict — permanent from the sender's point
+// of view (retry.StatusRetryable treats only 408/429/5xx as retryable), so
+// a fenced worker abandons the job instead of hammering the coordinator.
+package dist
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/trace"
+)
+
+// maxCheckpointBody bounds a posted checkpoint (matches the trace frame
+// payload cap with headroom for framing).
+const maxCheckpointBody = int64(trace.MaxFramePayload) + 4096
+
+// Handler returns the coordinator's fleet API. Mount it at /v1/fleet/.
+func (c *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/fleet/workers", c.handleRegister)
+	mux.HandleFunc("POST /v1/fleet/lease", c.handleLease)
+	mux.HandleFunc("POST /v1/fleet/jobs/{id}/heartbeat", c.handleHeartbeat)
+	mux.HandleFunc("GET /v1/fleet/jobs/{id}/trace", c.handleTrace)
+	mux.HandleFunc("GET /v1/fleet/jobs/{id}/checkpoint", c.handleGetCheckpoint)
+	mux.HandleFunc("POST /v1/fleet/jobs/{id}/checkpoint", c.handlePostCheckpoint)
+	mux.HandleFunc("POST /v1/fleet/jobs/{id}/result", c.handleResult)
+	return mux
+}
+
+// registerRequest is the body of POST /v1/fleet/workers.
+type registerRequest struct {
+	Worker string `json:"worker"`
+}
+
+// registerResponse answers a registration.
+type registerResponse struct {
+	LeaseTTLMillis int64 `json:"leaseTtlMillis"`
+}
+
+// writeRequest is the body of heartbeat and result posts.
+type writeRequest struct {
+	Worker string `json:"worker"`
+	Token  uint64 `json:"token"`
+	// Error and Result carry a result post's terminal state.
+	Error  string          `json:"error,omitempty"`
+	Result json.RawMessage `json:"result,omitempty"`
+}
+
+func httpError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, ErrFenced):
+		http.Error(w, err.Error(), http.StatusConflict)
+	case errors.Is(err, ErrNoJob):
+		http.Error(w, err.Error(), http.StatusNotFound)
+	default:
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+	}
+}
+
+func (c *Coordinator) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var req registerRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<16)).Decode(&req); err != nil || req.Worker == "" {
+		http.Error(w, "dist: register needs a worker id", http.StatusBadRequest)
+		return
+	}
+	ttl, err := c.Register(req.Worker)
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(registerResponse{LeaseTTLMillis: ttl.Milliseconds()})
+}
+
+func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
+	worker := r.URL.Query().Get("worker")
+	if worker == "" {
+		http.Error(w, "dist: lease needs a worker id", http.StatusBadRequest)
+		return
+	}
+	wait := 10 * time.Second
+	if ms := r.URL.Query().Get("waitMillis"); ms != "" {
+		n, err := strconv.ParseInt(ms, 10, 64)
+		if err != nil || n < 0 || n > 60_000 {
+			http.Error(w, "dist: bad waitMillis", http.StatusBadRequest)
+			return
+		}
+		wait = time.Duration(n) * time.Millisecond
+	}
+	grant, err := c.Lease(r.Context(), worker, wait)
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	if grant == nil {
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(grant)
+}
+
+func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	var req writeRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<16)).Decode(&req); err != nil || req.Worker == "" {
+		http.Error(w, "dist: heartbeat needs worker and token", http.StatusBadRequest)
+		return
+	}
+	if err := c.Heartbeat(r.PathValue("id"), req.Worker, req.Token); err != nil {
+		httpError(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (c *Coordinator) handleTrace(w http.ResponseWriter, r *http.Request) {
+	data, err := c.cfg.Backend.TraceFramed(r.PathValue("id"))
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	_, _ = w.Write(data)
+}
+
+func (c *Coordinator) handleGetCheckpoint(w http.ResponseWriter, r *http.Request) {
+	data, err := c.FreshCheckpointEncoded(r.PathValue("id"))
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	if data == nil {
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	_, _ = w.Write(data)
+}
+
+func (c *Coordinator) handlePostCheckpoint(w http.ResponseWriter, r *http.Request) {
+	worker := r.URL.Query().Get("worker")
+	token, terr := strconv.ParseUint(r.URL.Query().Get("token"), 10, 64)
+	if worker == "" || terr != nil {
+		http.Error(w, "dist: checkpoint post needs worker and token", http.StatusBadRequest)
+		return
+	}
+	data, err := io.ReadAll(io.LimitReader(r.Body, maxCheckpointBody))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if err := c.ReceiveCheckpoint(worker, token, data); err != nil {
+		var corrupt *trace.CorruptionError
+		if errors.As(err, &corrupt) {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		httpError(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (c *Coordinator) handleResult(w http.ResponseWriter, r *http.Request) {
+	var req writeRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 64<<20)).Decode(&req); err != nil || req.Worker == "" {
+		http.Error(w, "dist: result needs worker and token", http.StatusBadRequest)
+		return
+	}
+	if err := c.ReceiveResult(r.PathValue("id"), req.Worker, req.Token, req.Error, req.Result); err != nil {
+		httpError(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}

@@ -1,0 +1,482 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/url"
+	"strconv"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/retry"
+	"repro/internal/tools"
+	"repro/internal/trace"
+)
+
+// WorkerConfig parameterizes a worker agent.
+type WorkerConfig struct {
+	// ID names this worker to the coordinator (required, unique per
+	// process).
+	ID string
+	// CoordinatorURL is the coordinator's base URL (required).
+	CoordinatorURL string
+	// PollWait is the lease long-poll duration (default 5s).
+	PollWait time.Duration
+	// ReplayWorkers is the per-job analysis fan-out (default 1).
+	ReplayWorkers int
+	// CheckpointEvery asks the replay to stream a checkpoint to the
+	// coordinator roughly every this many events, at epoch boundaries
+	// (default 4096; 0 keeps the default, negative disables).
+	CheckpointEvery uint64
+	// Client is the HTTP client (default http.DefaultClient).
+	Client *http.Client
+	// Retry shapes worker->coordinator RPC retries. The zero value uses
+	// the package defaults (4 attempts, exponential backoff, full jitter,
+	// 30s budget).
+	Retry retry.Policy
+	// Logger receives operational logging. Nil discards.
+	Logger *slog.Logger
+}
+
+func (c WorkerConfig) withDefaults() WorkerConfig {
+	if c.PollWait <= 0 {
+		c.PollWait = 5 * time.Second
+	}
+	if c.ReplayWorkers == 0 {
+		c.ReplayWorkers = 1
+	}
+	if c.CheckpointEvery == 0 {
+		c.CheckpointEvery = 4096
+	}
+	if c.Client == nil {
+		c.Client = http.DefaultClient
+	}
+	if c.Logger == nil {
+		c.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	return c
+}
+
+// Worker is the fleet's analysis agent: it registers with the coordinator,
+// long-polls for leases, replays each leased job's trace while streaming
+// epoch-barrier checkpoints and heartbeats back, and posts the terminal
+// result. It holds no durable state of its own — a worker that dies loses
+// nothing the coordinator cannot reschedule.
+type Worker struct {
+	cfg WorkerConfig
+	ttl time.Duration // lease TTL learned at registration
+}
+
+// NewWorker builds a worker agent.
+func NewWorker(cfg WorkerConfig) *Worker {
+	return &Worker{cfg: cfg.withDefaults()}
+}
+
+// Per-job abort causes. None of them are reported to the coordinator: a
+// fenced or partitioned worker has lost the right to speak for the job,
+// and a crashed one is simulating sudden death.
+var (
+	// errWorkerCrash simulates the worker process dying mid-job (the
+	// "dist.worker.crash" fault point): Run returns and the job is left
+	// for the coordinator's lease expiry to reschedule.
+	errWorkerCrash = errors.New("dist: worker crashed (fault injection)")
+	// errFencedLocal is the worker-side reaction to a 409: abandon the job.
+	errFencedLocal = errors.New("dist: lease lost (fenced by coordinator)")
+	// errPartitioned is the worker-side reaction to heartbeats failing for
+	// longer than one lease TTL: the coordinator has certainly expired the
+	// lease, so stop burning CPU on a job someone else now owns.
+	errPartitioned = errors.New("dist: partitioned from coordinator longer than the lease TTL")
+)
+
+// Run registers and processes leases until ctx is canceled or a simulated
+// crash (fault injection) kills the agent. The returned error is nil on
+// clean shutdown and on simulated death — dying is part of a worker's
+// contract, not a failure.
+func (w *Worker) Run(ctx context.Context) error {
+	if err := w.register(ctx); err != nil {
+		return fmt.Errorf("dist: worker %s: register: %w", w.cfg.ID, err)
+	}
+	w.cfg.Logger.Info("worker registered", "worker", w.cfg.ID, "lease_ttl", w.ttl)
+	for ctx.Err() == nil {
+		grant, err := w.lease(ctx)
+		if err != nil {
+			// Coordinator unreachable past the retry budget: back off one
+			// poll interval and try again; the coordinator may be
+			// restarting.
+			w.cfg.Logger.Warn("lease poll failed", "worker", w.cfg.ID, "err", err)
+			select {
+			case <-time.After(w.cfg.PollWait):
+			case <-ctx.Done():
+			}
+			continue
+		}
+		if grant == nil {
+			continue // long poll expired with no work
+		}
+		if err := w.runJob(ctx, grant); errors.Is(err, errWorkerCrash) {
+			w.cfg.Logger.Error("worker crashing (fault injection)", "worker", w.cfg.ID, "job_id", grant.Job.ID)
+			return nil
+		}
+	}
+	return nil
+}
+
+// runJob analyzes one leased job. Errors are terminal for the lease, not
+// the worker: a replay failure is posted as the job's failed result, while
+// fencing, partition, and simulated crashes abandon the job silently.
+func (w *Worker) runJob(ctx context.Context, grant *LeaseGrant) error {
+	jobID, token := grant.Job.ID, grant.Token
+	log := w.cfg.Logger.With("worker", w.cfg.ID, "job_id", jobID, "token", token)
+
+	// The replay context dies with the lease: a fenced heartbeat or a
+	// partition longer than the TTL cancels the job mid-phase. Heartbeats
+	// start immediately — before the trace fetch and state restore — so a
+	// slow setup (large trace, loaded host) cannot silently outlive the
+	// lease before the first beat ever lands.
+	rctx, cancel := context.WithCancelCause(ctx)
+	defer cancel(nil)
+	hbDone := make(chan struct{})
+	go w.heartbeatLoop(rctx, cancel, hbDone, jobID, token)
+	defer func() { cancel(nil); <-hbDone }()
+
+	tr, err := w.fetchTrace(rctx, jobID)
+	if err != nil {
+		log.Error("trace fetch failed; abandoning lease", "err", err)
+		return nil // the lease will expire and the job reschedule
+	}
+	ck, err := w.fetchCheckpoint(rctx, jobID, token)
+	if err != nil {
+		log.Warn("checkpoint fetch failed; replaying from scratch", "err", err)
+	}
+
+	a, err := tools.New(grant.Job.Tool)
+	if err != nil {
+		return w.postResult(ctx, jobID, token, err.Error(), nil)
+	}
+	var start uint64
+	cp, canCheckpoint := a.(tools.Checkpointer)
+	if ck != nil && canCheckpoint && ck.Tool == grant.Job.Tool && ck.NextEvent <= uint64(len(tr.Events)) {
+		if rerr := cp.RestoreState(ck.State); rerr != nil {
+			log.Error("checkpoint restore failed; replaying from scratch", "err", rerr)
+			if a, err = tools.New(grant.Job.Tool); err != nil {
+				return w.postResult(ctx, jobID, token, err.Error(), nil)
+			}
+			cp, canCheckpoint = a.(tools.Checkpointer)
+		} else {
+			start = ck.NextEvent
+			log.Info("resuming from handed-off checkpoint", "resume_event", start, "events", len(tr.Events))
+		}
+	}
+
+	opts := trace.DurableOptions{
+		Workers:    w.cfg.ReplayWorkers,
+		StartEvent: start,
+		Progress:   trace.NewReplayProgress(),
+	}
+	crashed := false
+	if canCheckpoint && w.cfg.CheckpointEvery > 0 {
+		opts.CheckpointEvery = w.cfg.CheckpointEvery
+		opts.Checkpoint = func(next uint64) error {
+			if cause := context.Cause(rctx); cause != nil {
+				return cause
+			}
+			if err := faultinject.Fire("dist.worker.slow"); err != nil {
+				return err
+			}
+			state, serr := cp.CheckpointState()
+			if serr != nil {
+				log.Error("checkpoint serialize failed", "err", serr)
+				return nil // checkpoints are an optimization
+			}
+			wck := &trace.Checkpoint{
+				JobID:     jobID,
+				Tool:      grant.Job.Tool,
+				NextEvent: next,
+				Events:    uint64(len(tr.Events)),
+				Created:   time.Now(),
+				State:     state,
+			}
+			if perr := w.postCheckpoint(rctx, wck, token); perr != nil {
+				if isFenced(perr) {
+					return errFencedLocal
+				}
+				log.Warn("checkpoint post failed; continuing", "err", perr)
+			}
+			if err := faultinject.Fire("dist.worker.crash"); err != nil {
+				crashed = true
+				return errWorkerCrash
+			}
+			return nil
+		}
+	}
+
+	_, rerr := tr.ReplayDurable(rctx, opts, a)
+	cancel(nil)
+	<-hbDone
+	if crashed || errors.Is(rerr, errWorkerCrash) {
+		return errWorkerCrash
+	}
+	if cause := context.Cause(rctx); cause != nil &&
+		(errors.Is(cause, errFencedLocal) || errors.Is(cause, errPartitioned)) {
+		log.Warn("abandoning job", "cause", cause)
+		return nil
+	}
+	if errors.Is(rerr, errFencedLocal) {
+		log.Warn("abandoning job", "cause", rerr)
+		return nil
+	}
+	if rerr != nil {
+		if perr := w.postResult(ctx, jobID, token, rerr.Error(), nil); perr != nil && !isFenced(perr) {
+			log.Error("failed-result post failed", "err", perr)
+		}
+		return nil
+	}
+	summary := tools.Summarize(a)
+	resultJSON, merr := json.Marshal(summary)
+	if merr != nil {
+		resultJSON = nil
+	}
+	if perr := w.postResult(ctx, jobID, token, "", resultJSON); perr != nil && !isFenced(perr) {
+		log.Error("result post failed; lease will expire and the job reschedule", "err", perr)
+		return nil
+	}
+	log.Info("job completed", "issues", summary.Issues)
+	return nil
+}
+
+// heartbeatLoop extends the lease every TTL/3, beating once immediately on
+// entry so the setup phase (trace fetch, checkpoint restore) is covered
+// from the moment the lease is held. A 409 means the lease is gone — cancel
+// the replay with errFencedLocal. Heartbeats failing (without a verdict)
+// for longer than one TTL mean the coordinator has expired the lease on its
+// side: cancel with errPartitioned so a partitioned worker stops analyzing
+// a job it no longer owns instead of looping forever. The "dist.heartbeat"
+// fault point simulates the partition by failing the send.
+func (w *Worker) heartbeatLoop(ctx context.Context, cancel context.CancelCauseFunc, done chan<- struct{}, jobID string, token uint64) {
+	defer close(done)
+	interval := w.ttl / 3
+	if interval <= 0 {
+		interval = time.Second
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	var failingSince time.Time
+	for {
+		err := faultinject.Fire("dist.heartbeat")
+		if err == nil {
+			err = w.postHeartbeat(ctx, jobID, token)
+		}
+		switch {
+		case err == nil:
+			failingSince = time.Time{}
+		case isFenced(err):
+			cancel(errFencedLocal)
+			return
+		default:
+			if failingSince.IsZero() {
+				failingSince = time.Now()
+			}
+			if time.Since(failingSince) > w.ttl {
+				cancel(errPartitioned)
+				return
+			}
+		}
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+		}
+	}
+}
+
+// --- coordinator RPCs (all via internal/retry) ---
+
+// httpStatusError is a non-2xx coordinator answer.
+type httpStatusError struct {
+	status int
+	body   string
+}
+
+func (e *httpStatusError) Error() string {
+	return fmt.Sprintf("dist: coordinator answered %d: %s", e.status, e.body)
+}
+
+func isFenced(err error) bool {
+	var se *httpStatusError
+	return errors.As(err, &se) && se.status == http.StatusConflict
+}
+
+// doJSON performs one retried request against the coordinator. A retryable
+// status (429/503/5xx) honors Retry-After; other non-2xx statuses are
+// permanent. Success bodies are discarded unless out is non-nil.
+func (w *Worker) doJSON(ctx context.Context, method, path string, query url.Values, body []byte, contentType string, out any) error {
+	return w.doJSONPolicy(ctx, w.cfg.Retry, method, path, query, body, contentType, out)
+}
+
+func (w *Worker) doJSONPolicy(ctx context.Context, policy retry.Policy, method, path string, query url.Values, body []byte, contentType string, out any) error {
+	u := w.cfg.CoordinatorURL + path
+	if len(query) > 0 {
+		u += "?" + query.Encode()
+	}
+	return policy.Do(ctx, func(int) error {
+		req, err := http.NewRequestWithContext(ctx, method, u, bytes.NewReader(body))
+		if err != nil {
+			return retry.Permanent(err)
+		}
+		if contentType != "" {
+			req.Header.Set("Content-Type", contentType)
+		}
+		resp, err := w.cfg.Client.Do(req)
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode >= 300 {
+			msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
+			serr := &httpStatusError{status: resp.StatusCode, body: string(bytes.TrimSpace(msg))}
+			if !retry.StatusRetryable(resp.StatusCode) {
+				return retry.Permanent(serr)
+			}
+			return retry.After(serr, retry.RetryAfter(resp))
+		}
+		if out != nil && resp.StatusCode != http.StatusNoContent {
+			if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+func (w *Worker) register(ctx context.Context) error {
+	body, _ := json.Marshal(registerRequest{Worker: w.cfg.ID})
+	var resp registerResponse
+	if err := w.doJSON(ctx, http.MethodPost, "/v1/fleet/workers", nil, body, "application/json", &resp); err != nil {
+		return err
+	}
+	w.ttl = time.Duration(resp.LeaseTTLMillis) * time.Millisecond
+	if w.ttl <= 0 {
+		w.ttl = 15 * time.Second
+	}
+	return nil
+}
+
+func (w *Worker) lease(ctx context.Context) (*LeaseGrant, error) {
+	q := url.Values{
+		"worker":     {w.cfg.ID},
+		"waitMillis": {strconv.FormatInt(w.cfg.PollWait.Milliseconds(), 10)},
+	}
+	var grant LeaseGrant
+	err := w.doJSON(ctx, http.MethodPost, "/v1/fleet/lease", q, nil, "", &grant)
+	if err != nil {
+		return nil, err
+	}
+	if grant.Job.ID == "" {
+		return nil, nil // 204: nothing pending
+	}
+	return &grant, nil
+}
+
+func (w *Worker) fetchTrace(ctx context.Context, jobID string) (*trace.Trace, error) {
+	u := w.cfg.CoordinatorURL + "/v1/fleet/jobs/" + url.PathEscape(jobID) + "/trace"
+	var tr *trace.Trace
+	err := w.cfg.Retry.Do(ctx, func(int) error {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+		if err != nil {
+			return retry.Permanent(err)
+		}
+		resp, err := w.cfg.Client.Do(req)
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
+			serr := &httpStatusError{status: resp.StatusCode, body: string(bytes.TrimSpace(msg))}
+			if !retry.StatusRetryable(resp.StatusCode) {
+				return retry.Permanent(serr)
+			}
+			return retry.After(serr, retry.RetryAfter(resp))
+		}
+		t, lerr := trace.Load(resp.Body)
+		if lerr != nil {
+			return lerr
+		}
+		tr = t
+		return nil
+	})
+	return tr, err
+}
+
+func (w *Worker) fetchCheckpoint(ctx context.Context, jobID string, token uint64) (*trace.Checkpoint, error) {
+	u := w.cfg.CoordinatorURL + "/v1/fleet/jobs/" + url.PathEscape(jobID) + "/checkpoint?" + url.Values{
+		"worker": {w.cfg.ID},
+		"token":  {strconv.FormatUint(token, 10)},
+	}.Encode()
+	var ck *trace.Checkpoint
+	err := w.cfg.Retry.Do(ctx, func(int) error {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+		if err != nil {
+			return retry.Permanent(err)
+		}
+		resp, err := w.cfg.Client.Do(req)
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		switch {
+		case resp.StatusCode == http.StatusNoContent:
+			return nil
+		case resp.StatusCode != http.StatusOK:
+			msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
+			serr := &httpStatusError{status: resp.StatusCode, body: string(bytes.TrimSpace(msg))}
+			if !retry.StatusRetryable(resp.StatusCode) {
+				return retry.Permanent(serr)
+			}
+			return retry.After(serr, retry.RetryAfter(resp))
+		}
+		data, rerr := io.ReadAll(io.LimitReader(resp.Body, maxCheckpointBody))
+		if rerr != nil {
+			return rerr
+		}
+		c, derr := trace.DecodeCheckpoint(data)
+		if derr != nil {
+			return retry.Permanent(derr) // corrupt on the wire won't improve
+		}
+		ck = c
+		return nil
+	})
+	return ck, err
+}
+
+func (w *Worker) postHeartbeat(ctx context.Context, jobID string, token uint64) error {
+	body, _ := json.Marshal(writeRequest{Worker: w.cfg.ID, Token: token})
+	// Heartbeats are time-critical and repeat on their own schedule: one
+	// attempt each, no backoff (the heartbeat loop itself is the retry).
+	p := w.cfg.Retry
+	p.MaxAttempts = 1
+	return w.doJSONPolicy(ctx, p, http.MethodPost, "/v1/fleet/jobs/"+url.PathEscape(jobID)+"/heartbeat", nil, body, "application/json", nil)
+}
+
+func (w *Worker) postCheckpoint(ctx context.Context, ck *trace.Checkpoint, token uint64) error {
+	data, err := ck.Encode()
+	if err != nil {
+		return err
+	}
+	q := url.Values{
+		"worker": {w.cfg.ID},
+		"token":  {strconv.FormatUint(token, 10)},
+	}
+	return w.doJSON(ctx, http.MethodPost, "/v1/fleet/jobs/"+url.PathEscape(ck.JobID)+"/checkpoint", q, data, "application/octet-stream", nil)
+}
+
+func (w *Worker) postResult(ctx context.Context, jobID string, token uint64, errMsg string, result json.RawMessage) error {
+	body, _ := json.Marshal(writeRequest{Worker: w.cfg.ID, Token: token, Error: errMsg, Result: result})
+	return w.doJSON(ctx, http.MethodPost, "/v1/fleet/jobs/"+url.PathEscape(jobID)+"/result", nil, body, "application/json", nil)
+}

@@ -20,6 +20,18 @@
 //	                    armed error simulates a hard crash (the worker
 //	                    goroutine exits without unwinding, leaving the job
 //	                    "running" in the journal exactly as SIGKILL would)
+//	journal.fleet       error on a fleet-log append (fencing-token or
+//	                    worker-registration write-ahead record)
+//	dist.lease          error inside the coordinator's register/lease
+//	                    handlers (mapped to 503; workers retry with backoff)
+//	dist.heartbeat      error in the worker agent before a heartbeat send —
+//	                    simulates a network partition severing heartbeats
+//	                    while the worker keeps computing
+//	dist.worker.slow    delay inside a remote worker's checkpoint callback
+//	                    (slow worker; lets a lease expire mid-job)
+//	dist.worker.crash   fired in a remote worker after a checkpoint posts;
+//	                    an armed error makes the whole worker agent exit as
+//	                    if the process died, leaving the lease to expire
 package faultinject
 
 import (

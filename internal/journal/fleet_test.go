@@ -1,0 +1,152 @@
+package journal_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/journal"
+)
+
+func openJournal(t *testing.T, dir string) *journal.Journal {
+	t.Helper()
+	j, err := journal.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return j
+}
+
+// TestFleetLogRecoverFoldsMaxTokens: recovery keeps the highest token ever
+// issued per job and the deduplicated worker set.
+func TestFleetLogRecoverFoldsMaxTokens(t *testing.T) {
+	dir := t.TempDir()
+	fl := openJournal(t, dir).Fleet()
+
+	for _, rec := range []struct {
+		job   string
+		token uint64
+	}{{"job-a", 1}, {"job-b", 7}, {"job-a", 2}, {"job-a", 3}} {
+		if err := fl.RecordToken(rec.job, rec.token); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := fl.RecordWorker("w1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fl.RecordWorker("w2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fl.RecordWorker("w1"); err != nil {
+		t.Fatal(err)
+	}
+
+	st, err := fl.RecoverFleet(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Tokens["job-a"] != 3 || st.Tokens["job-b"] != 7 || len(st.Tokens) != 2 {
+		t.Fatalf("tokens = %v, want job-a:3 job-b:7", st.Tokens)
+	}
+	if len(st.Workers) != 2 || st.Workers[0] != "w1" || st.Workers[1] != "w2" {
+		t.Fatalf("workers = %v, want [w1 w2]", st.Workers)
+	}
+}
+
+// TestFleetLogMissingIsEmpty: a spool with no fleet log recovers to an
+// empty state without error.
+func TestFleetLogMissingIsEmpty(t *testing.T) {
+	fl := openJournal(t, t.TempDir()).Fleet()
+	st, err := fl.RecoverFleet(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Tokens) != 0 || len(st.Workers) != 0 {
+		t.Fatalf("empty spool recovered %v / %v", st.Tokens, st.Workers)
+	}
+}
+
+// TestFleetLogToleratesTornAndCorruptLines: a crash mid-append (torn
+// trailing line) and bit rot (bad CRC) drop only the damaged lines, counted
+// in RecoverStats, and recovery compacts the file so a second recovery is
+// clean.
+func TestFleetLogToleratesTornAndCorruptLines(t *testing.T) {
+	dir := t.TempDir()
+	fl := openJournal(t, dir).Fleet()
+	if err := fl.RecordToken("job-a", 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := fl.RecordWorker("w1"); err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(dir, "fleet.meta")
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One mid-file line with a wrong checksum, then a torn trailing line.
+	if _, err := f.WriteString("c2 deadbeef {\"kind\":\"token\",\"job\":\"job-x\",\"token\":9}\n"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString("c2 0123ab"); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	var stats journal.RecoverStats
+	st, err := fl.RecoverFleet(&stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Tokens["job-a"] != 4 || len(st.Tokens) != 1 {
+		t.Fatalf("tokens = %v, want only job-a:4 (corrupt line must not count)", st.Tokens)
+	}
+	if stats.TruncatedRecords != 2 {
+		t.Fatalf("truncated records = %d, want 2", stats.TruncatedRecords)
+	}
+
+	// Compaction rewrote the log: recovering again is clean and identical.
+	var stats2 journal.RecoverStats
+	st2, err := fl.RecoverFleet(&stats2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats2.TruncatedRecords != 0 {
+		t.Fatalf("post-compaction recovery still dropped %d lines", stats2.TruncatedRecords)
+	}
+	if st2.Tokens["job-a"] != 4 || len(st2.Workers) != 1 || st2.Workers[0] != "w1" {
+		t.Fatalf("post-compaction state = %v / %v", st2.Tokens, st2.Workers)
+	}
+}
+
+// TestFleetLogAppendSurvivesAcrossOpens: tokens recorded by one journal
+// life are visible to the next, the property coordinator fencing rests on.
+func TestFleetLogAppendSurvivesAcrossOpens(t *testing.T) {
+	dir := t.TempDir()
+	fl1 := openJournal(t, dir).Fleet()
+	if err := fl1.RecordToken("job-a", 2); err != nil {
+		t.Fatal(err)
+	}
+
+	fl2 := openJournal(t, dir).Fleet()
+	st, err := fl2.RecoverFleet(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Tokens["job-a"] != 2 {
+		t.Fatalf("tokens across lives = %v, want job-a:2", st.Tokens)
+	}
+
+	// The next life continues the sequence and recovery still folds max.
+	if err := fl2.RecordToken("job-a", 3); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := fl2.RecoverFleet(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.Tokens["job-a"] != 3 {
+		t.Fatalf("tokens after continuation = %v, want job-a:3", st2.Tokens)
+	}
+}

@@ -45,6 +45,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/faultinject"
@@ -118,8 +119,21 @@ type RecoverStats struct {
 // directory. Methods are safe for concurrent use on distinct job IDs; the
 // service serializes transitions for a single job by construction (a job
 // is owned by one worker at a time).
+//
+// The journal additionally tracks whether the spool is writable: any append,
+// mark, or checkpoint write failure (ENOSPC, a yanked disk, an injected
+// fault) flips an unwritable flag, and Writable probes the directory before
+// reporting healthy again. The daemon's /readyz degrades to 503 while the
+// spool is unwritable, so load balancers shed traffic from an instance that
+// can no longer honor the write-ahead contract — each individual failure
+// still fails only the job or session that hit it, never the process.
 type Journal struct {
 	dir string
+
+	// writable is false after a spool write failure until a probe write
+	// succeeds. Stored inverted (0 = writable) so the zero value of the
+	// field matches a freshly opened, healthy journal.
+	unwritable atomic.Bool
 }
 
 // Open creates the spool directory if needed and returns a Journal over
@@ -141,6 +155,53 @@ func (j *Journal) tracePath(id string) string { return filepath.Join(j.dir, id+"
 func (j *Journal) metaPath(id string) string  { return filepath.Join(j.dir, id+".meta") }
 func (j *Journal) ckptPath(id string) string  { return filepath.Join(j.dir, id+".ckpt") }
 
+// noteWrite records the outcome of a spool write: a failure marks the spool
+// unwritable (readiness degrades), a success marks it healthy again.
+func (j *Journal) noteWrite(err error) {
+	j.unwritable.Store(err != nil)
+}
+
+// Writable reports whether the spool directory is accepting writes. While
+// the unwritable flag is set, each call attempts a small probe write (the
+// probe honors the "journal.append" fault point, so an injected disk-full
+// fault keeps the journal unhealthy exactly like a real full disk would);
+// the flag clears as soon as a probe lands. The common healthy path is one
+// atomic load.
+func (j *Journal) Writable() bool {
+	if !j.unwritable.Load() {
+		return true
+	}
+	if err := j.probe(); err != nil {
+		return false
+	}
+	j.unwritable.Store(false)
+	return true
+}
+
+// probe attempts a tiny write-sync-remove cycle in the spool directory.
+func (j *Journal) probe() error {
+	if err := faultinject.Fire("journal.append"); err != nil {
+		return err
+	}
+	path := filepath.Join(j.dir, ".probe")
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write([]byte("ok")); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Remove(path)
+}
+
 // Append journals a newly accepted job: the trace first, fsynced, then
 // the initial pending meta entry, fsynced. If any step fails the partial
 // files are removed so a failed accept leaves no spool residue, and the
@@ -148,6 +209,7 @@ func (j *Journal) ckptPath(id string) string  { return filepath.Join(j.dir, id+"
 // job is only acknowledged after Append returns nil.
 func (j *Journal) Append(rec Record, tr *trace.Trace) error {
 	if err := faultinject.Fire("journal.append"); err != nil {
+		j.noteWrite(err)
 		return err
 	}
 	if err := j.writeTrace(rec.ID, tr); err != nil {
@@ -173,6 +235,7 @@ func (j *Journal) Append(rec Record, tr *trace.Trace) error {
 // keys make the rerun invisible to clients).
 func (j *Journal) Mark(id, status, errMsg string, result json.RawMessage) error {
 	if err := faultinject.Fire("journal.mark"); err != nil {
+		j.noteWrite(err)
 		return err
 	}
 	return j.appendMeta(id, Entry{
@@ -195,9 +258,12 @@ func (j *Journal) Remove(id string) error {
 // replacing any previous one. Honors the "journal.checkpoint" fault point.
 func (j *Journal) WriteCheckpoint(ck *trace.Checkpoint) error {
 	if err := faultinject.Fire("journal.checkpoint"); err != nil {
+		j.noteWrite(err)
 		return err
 	}
-	return ck.WriteFile(j.ckptPath(ck.JobID))
+	err := ck.WriteFile(j.ckptPath(ck.JobID))
+	j.noteWrite(err)
+	return err
 }
 
 // ReadCheckpoint loads the job's checkpoint. os.ErrNotExist when none was
@@ -290,27 +356,38 @@ func frameMetaLine(payload []byte) []byte {
 	return append(out, '\n')
 }
 
+// parseFramedPayload verifies one CRC-framed meta line and returns its
+// payload. Bare lines without the frame prefix (the pre-framing format) are
+// returned as-is. A false result means the frame is torn or corrupt.
+func parseFramedPayload(raw []byte) ([]byte, bool) {
+	if !bytes.HasPrefix(raw, []byte(metaFramePrefix)) {
+		return raw, true
+	}
+	rest := raw[len(metaFramePrefix):]
+	if len(rest) < 9 || rest[8] != ' ' {
+		return nil, false
+	}
+	sum, err := hex.DecodeString(string(rest[:8]))
+	if err != nil {
+		return nil, false
+	}
+	payload := rest[9:]
+	want := uint32(sum[0])<<24 | uint32(sum[1])<<16 | uint32(sum[2])<<8 | uint32(sum[3])
+	if crc32.Checksum(payload, metaCRC) != want {
+		return nil, false
+	}
+	return payload, true
+}
+
 // parseMetaLine decodes one meta line into an Entry. CRC-framed lines are
 // verified; bare JSON lines (the pre-framing format) are accepted as-is. A
 // false result means the line is torn or corrupt.
 func parseMetaLine(raw []byte) (Entry, bool) {
-	var e Entry
-	payload := raw
-	if bytes.HasPrefix(raw, []byte(metaFramePrefix)) {
-		rest := raw[len(metaFramePrefix):]
-		if len(rest) < 9 || rest[8] != ' ' {
-			return Entry{}, false
-		}
-		sum, err := hex.DecodeString(string(rest[:8]))
-		if err != nil {
-			return Entry{}, false
-		}
-		payload = rest[9:]
-		want := uint32(sum[0])<<24 | uint32(sum[1])<<16 | uint32(sum[2])<<8 | uint32(sum[3])
-		if crc32.Checksum(payload, metaCRC) != want {
-			return Entry{}, false
-		}
+	payload, ok := parseFramedPayload(raw)
+	if !ok {
+		return Entry{}, false
 	}
+	var e Entry
 	if err := json.Unmarshal(payload, &e); err != nil {
 		return Entry{}, false
 	}
@@ -430,7 +507,8 @@ func (j *Journal) recoverOne(id string, stats *RecoverStats) (RecoveredJob, erro
 // writeTrace writes and fsyncs the job's trace file in the CRC32C-framed
 // encoding, so later corruption of the spool is detected at read time
 // instead of silently mis-parsing.
-func (j *Journal) writeTrace(id string, tr *trace.Trace) error {
+func (j *Journal) writeTrace(id string, tr *trace.Trace) (err error) {
+	defer func() { j.noteWrite(err) }()
 	f, err := os.OpenFile(j.tracePath(id), os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return err
@@ -454,7 +532,8 @@ func (j *Journal) appendMeta(id string, e Entry) error {
 
 // appendMetaFile appends one fsynced CRC-framed entry line to the given
 // meta log (job .meta or stream .smeta).
-func (j *Journal) appendMetaFile(path string, e Entry) error {
+func (j *Journal) appendMetaFile(path string, e Entry) (err error) {
+	defer func() { j.noteWrite(err) }()
 	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
 	if err != nil {
 		return err

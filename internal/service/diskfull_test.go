@@ -1,0 +1,99 @@
+package service
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/faultinject"
+)
+
+// TestDiskFullFailsJobNotDaemon simulates the spool disk filling up: the
+// submission that hits the write failure is rejected (that job alone
+// fails), the daemon keeps serving, /readyz degrades to 503 while the spool
+// is unwritable, the failure is counted per-op in journal_errors_total, and
+// everything heals once space returns.
+func TestDiskFullFailsJobNotDaemon(t *testing.T) {
+	faultinject.Reset()
+	defer faultinject.Reset()
+
+	jnl := newJournal(t)
+	s := New(Config{Workers: 1, QueueSize: 8, Journal: jnl})
+	s.Start()
+	defer shutdownOrFail(t, s)
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	tr := recordTrace(t, 22)
+	want := oneShot(t, tr, "arbalest")
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+
+	if code, _ := get("/readyz"); code != http.StatusOK {
+		t.Fatalf("readyz before fault: %d, want 200", code)
+	}
+
+	// The disk fills up.
+	faultinject.Enable("journal.append", faultinject.Fault{Err: errors.New("no space left on device")})
+
+	resp := postTrace(t, srv.URL, "arbalest", tr)
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("submit on full disk: %d, want 503", resp.StatusCode)
+	}
+
+	// Only that submission failed; the daemon itself stays up...
+	if code, _ := get("/healthz"); code != http.StatusOK {
+		t.Fatalf("healthz on full disk: %d, want 200", code)
+	}
+	// ...but readiness reports the unwritable spool.
+	code, body := get("/readyz")
+	if code != http.StatusServiceUnavailable || !strings.Contains(body, "journal spool unwritable") {
+		t.Fatalf("readyz on full disk: %d %q, want 503 mentioning the spool", code, body)
+	}
+	// The failure is attributed per-op on /metrics.
+	if _, body := get("/metrics"); !strings.Contains(body, `arbalestd_journal_errors_total{op="append"} 1`) {
+		t.Fatalf("metrics missing the per-op journal error count:\n%s", body)
+	}
+	if s.Metrics().Snapshot().JournalErrors != 1 {
+		t.Fatalf("snapshot journal errors = %d, want 1", s.Metrics().Snapshot().JournalErrors)
+	}
+
+	// Space returns: readiness heals (the probe rechecks the spool) and a
+	// fresh submission runs end to end.
+	faultinject.Disable("journal.append")
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if code, _ := get("/readyz"); code == http.StatusOK {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("readyz never healed after the disk fault cleared")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	resp = postTrace(t, srv.URL, "arbalest", tr)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit after heal: %d, want 202", resp.StatusCode)
+	}
+	v := decodeView(t, resp)
+	got := waitSettled(t, s, v.ID)
+	if got.Status != StatusDone {
+		t.Fatalf("post-heal job: status %s (%s)", got.Status, got.Error)
+	}
+	assertSameFindings(t, "post-heal job", got.Result, want)
+}

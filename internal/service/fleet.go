@@ -1,0 +1,217 @@
+// Fleet backend: the dist.Backend seam the coordinator drives.
+//
+// With Config.ExternalDispatch set, Start launches no inline workers and
+// the coordinator (internal/dist) becomes the only consumer of the job
+// queue. The methods here give it exactly the pieces runJob owns in the
+// single-process daemon — the running transition, checkpoint custody, and
+// the terminal bookkeeping — so a job finished by a remote worker is
+// indistinguishable (journal marks, metrics, retention, span-free like a
+// recovered job) from one finished inline.
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"repro/internal/dist"
+	"repro/internal/journal"
+	"repro/internal/tools"
+	"repro/internal/trace"
+)
+
+// DequeueJob hands the next accepted job to the coordinator, blocking until
+// one arrives. ok=false means ctx was canceled or the service is shutting
+// down with the queue drained.
+func (s *Service) DequeueJob(ctx context.Context) (dist.JobSpec, bool) {
+	select {
+	case j, ok := <-s.queue:
+		if !ok {
+			return dist.JobSpec{}, false
+		}
+		s.metrics.queueDepth.Add(-1)
+		s.mu.Lock()
+		spec := dist.JobSpec{ID: j.id, Tool: j.tool, Events: j.events}
+		s.mu.Unlock()
+		return spec, true
+	case <-ctx.Done():
+		return dist.JobSpec{}, false
+	}
+}
+
+// RunJobInline analyzes the job on the calling goroutine through the
+// single-process path (degraded mode: zero live workers).
+func (s *Service) RunJobInline(id string) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	if !ok || j.status == StatusDone || j.status == StatusFailed {
+		s.mu.Unlock()
+		return
+	}
+	s.mu.Unlock()
+	s.runJob(j)
+}
+
+// MarkJobRunning transitions the job to running for a remote lease holder,
+// journaling the transition. False means the job is gone or already
+// terminal and the lease must not be granted.
+func (s *Service) MarkJobRunning(id, worker string) bool {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	if !ok || j.status == StatusDone || j.status == StatusFailed {
+		s.mu.Unlock()
+		return false
+	}
+	// A re-lease after expiry arrives with the job already running; keep
+	// the original start time so queue-wait isn't counted twice.
+	if j.status != StatusRunning {
+		j.status = StatusRunning
+		j.started = time.Now()
+		if qs := j.span.Child("queue"); qs != nil {
+			qs.EndAt(j.started)
+		}
+		if !j.enqueued.IsZero() {
+			s.metrics.queueWait.ObserveDuration(j.started.Sub(j.enqueued))
+		}
+	}
+	hook := s.testHookRunning
+	s.mu.Unlock()
+	s.mark(j, journal.StatusRunning, "", nil)
+	if hook != nil {
+		hook(id)
+	}
+	return true
+}
+
+// StoreRemoteCheckpoint ingests a worker's epoch-barrier checkpoint:
+// monotone per job (stale ones are dropped silently — the analysis moved
+// on) and spooled through the journal so a coordinator restart resumes
+// remote jobs from it.
+func (s *Service) StoreRemoteCheckpoint(ck *trace.Checkpoint) error {
+	s.mu.Lock()
+	j, ok := s.jobs[ck.JobID]
+	if !ok {
+		s.mu.Unlock()
+		return dist.ErrNoJob
+	}
+	if j.status == StatusDone || j.status == StatusFailed {
+		s.mu.Unlock()
+		return nil // terminal: the checkpoint is obsolete, not an error
+	}
+	if j.ckpt != nil && ck.NextEvent < j.ckpt.NextEvent {
+		s.mu.Unlock()
+		return nil
+	}
+	j.ckpt = ck
+	s.mu.Unlock()
+	if s.cfg.Journal != nil {
+		if err := s.cfg.Journal.WriteCheckpoint(ck); err != nil {
+			// The in-memory copy still serves rescheduling within this
+			// coordinator life; only restart durability is degraded.
+			s.metrics.checkpointErrors.Inc()
+			s.metrics.journalError("checkpoint")
+			s.jobLogger(j).Error("remote checkpoint spool failed", "phase", "fleet", "err", err)
+		}
+	}
+	s.metrics.checkpointsWritten.Inc()
+	s.metrics.checkpointBytes.Observe(float64(len(ck.State)))
+	return nil
+}
+
+// CompleteRemote records a remote job's terminal state exactly once,
+// mirroring runJob's epilogue: result/error, journal mark, metrics,
+// retention GC, checkpoint removal. A second completion (a zombie's result
+// racing the rescheduled run) fails with an error instead of overwriting.
+func (s *Service) CompleteRemote(id, errMsg string, result json.RawMessage) error {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	if !ok {
+		s.mu.Unlock()
+		return dist.ErrNoJob
+	}
+	if j.status == StatusDone || j.status == StatusFailed {
+		s.mu.Unlock()
+		return fmt.Errorf("dist backend: job %s already terminal (%s)", id, j.status)
+	}
+	j.finished = time.Now()
+	if !j.started.IsZero() {
+		j.wall = j.finished.Sub(j.started)
+	}
+	events := j.events
+	j.tr = nil
+	j.ckpt = nil
+	var summary *tools.Summary
+	if errMsg != "" {
+		j.status = StatusFailed
+		j.errMsg = errMsg
+	} else {
+		j.status = StatusDone
+		if len(result) > 0 {
+			var sum tools.Summary
+			if err := json.Unmarshal(result, &sum); err == nil {
+				summary = &sum
+				j.result = summary
+			} else {
+				s.jobLogger(j).Error("remote result unmarshal failed", "phase", "fleet", "err", err)
+			}
+		}
+	}
+	if j.span != nil {
+		j.span.EndAt(j.finished)
+	}
+	s.metrics.jobSeconds.ObserveDuration(j.finished.Sub(j.submitted))
+	s.gcLocked(j.finished)
+	s.mu.Unlock()
+
+	if errMsg != "" {
+		s.metrics.jobsFailed.Inc()
+		s.mark(j, journal.StatusFailed, errMsg, nil)
+	} else {
+		s.metrics.jobsCompleted.Inc()
+		s.metrics.eventsReplayed.Add(uint64(events))
+		if summary != nil {
+			s.metrics.recordJobStats(summary.Stats)
+		}
+		s.mark(j, journal.StatusDone, "", result)
+	}
+	if s.cfg.Journal != nil {
+		if rerr := s.cfg.Journal.RemoveCheckpoint(id); rerr != nil {
+			s.metrics.journalError("remove")
+			s.jobLogger(j).Error("checkpoint remove failed", "phase", "gc", "err", rerr)
+		}
+	}
+	return nil
+}
+
+// FreshCheckpoint returns the job's newest checkpoint, nil when it must
+// replay from scratch.
+func (s *Service) FreshCheckpoint(id string) *trace.Checkpoint {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if j, ok := s.jobs[id]; ok {
+		return j.ckpt
+	}
+	return nil
+}
+
+// TraceFramed serializes the job's trace in the CRC-framed wire format for
+// a worker to fetch.
+func (s *Service) TraceFramed(id string) ([]byte, error) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	var tr *trace.Trace
+	if ok {
+		tr = j.tr
+	}
+	s.mu.Unlock()
+	if !ok || tr == nil {
+		return nil, dist.ErrNoJob
+	}
+	var buf bytes.Buffer
+	if err := tr.SaveFramed(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}

@@ -79,9 +79,11 @@ func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleReadyz is the readiness probe: graceful degradation for load
-// balancers. It answers 503 while draining and when the job queue is at
-// least 90% full, so traffic sheds before submissions start bouncing
-// with 429s.
+// balancers. It answers 503 while draining, when the job queue is at
+// least 90% full (so traffic sheds before submissions start bouncing
+// with 429s), and when the journal spool is unwritable (disk full,
+// permissions): every accept would fail its write-ahead append anyway,
+// so the instance sheds until a spool probe succeeds again.
 func (s *Service) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	if s.Draining() {
@@ -97,6 +99,11 @@ func (s *Service) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	if s.hub.Saturated() {
 		w.WriteHeader(http.StatusServiceUnavailable)
 		_, _ = w.Write([]byte("streams saturated\n"))
+		return
+	}
+	if s.cfg.Journal != nil && !s.cfg.Journal.Writable() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		_, _ = w.Write([]byte("journal spool unwritable\n"))
 		return
 	}
 	_, _ = w.Write([]byte("ok\n"))

@@ -27,7 +27,11 @@ type Metrics struct {
 	jobsRecovered    *telemetry.Counter
 	jobsEvicted      *telemetry.Counter
 	jobsDeduplicated *telemetry.Counter
-	journalErrors    *telemetry.Counter
+	journalErrors    *telemetry.CounterVec
+	// journalErrorsAll sums journalErrors across ops. It is not registered —
+	// the labeled family is the scrape surface — but keeps Snapshot (and the
+	// JSON stats endpoint) a single atomic read.
+	journalErrorsAll telemetry.Counter
 	eventsReplayed   *telemetry.Counter
 	queueDepth       *telemetry.Gauge
 	workers          *telemetry.Gauge
@@ -67,7 +71,8 @@ func newMetrics() *Metrics {
 		jobsRecovered:    reg.Counter("arbalestd_jobs_recovered_total", "Jobs re-enqueued from the journal spool on startup."),
 		jobsEvicted:      reg.Counter("arbalestd_jobs_evicted_total", "Finished jobs evicted by the retention policy."),
 		jobsDeduplicated: reg.Counter("arbalestd_jobs_deduplicated_total", "Submissions answered from an existing job via idempotency key."),
-		journalErrors:    reg.Counter("arbalestd_journal_errors_total", "Write-ahead journal failures (append, mark, recovery)."),
+		journalErrors: reg.CounterVec("arbalestd_journal_errors_total",
+			"Write-ahead journal failures by operation (append, mark, checkpoint, remove, recover, fleet). Each failure is scoped to one job or session; the daemon stays up.", "op"),
 		eventsReplayed:   reg.Counter("arbalestd_events_replayed_total", "Trace events replayed through analyzers."),
 		queueDepth:       reg.Gauge("arbalestd_queue_depth", "Jobs queued but not yet running."),
 		workers:          reg.Gauge("arbalestd_workers", "Replay worker-pool size."),
@@ -143,7 +148,7 @@ func (m *Metrics) Snapshot() Snapshot {
 		JobsRecovered:    int64(m.jobsRecovered.Value()),
 		JobsEvicted:      int64(m.jobsEvicted.Value()),
 		JobsDeduplicated: int64(m.jobsDeduplicated.Value()),
-		JournalErrors:    int64(m.journalErrors.Value()),
+		JournalErrors:    int64(m.journalErrorsAll.Value()),
 		QueueDepth:       m.queueDepth.Value(),
 		EventsReplayed:   int64(m.eventsReplayed.Value()),
 
@@ -161,6 +166,13 @@ func (m *Metrics) Snapshot() Snapshot {
 func (m *Metrics) WriteText(w io.Writer, workers int) error {
 	m.workers.Set(int64(workers))
 	return m.reg.WritePrometheus(w)
+}
+
+// journalError counts one journal write failure under its operation label
+// and in the unlabeled snapshot sum.
+func (m *Metrics) journalError(op string) {
+	m.journalErrors.With(op).Inc()
+	m.journalErrorsAll.Inc()
 }
 
 // recordJobStats folds one finished job's analyzer-level telemetry into the

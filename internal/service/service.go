@@ -44,6 +44,7 @@ import (
 	"fmt"
 	"io"
 	"log/slog"
+	"math/rand/v2"
 	"runtime"
 	"strconv"
 	"strings"
@@ -141,6 +142,13 @@ type Config struct {
 	// between body chunks before the session is evicted as a slow consumer
 	// (default 1m, negative disables).
 	StreamReadTimeout time.Duration
+	// ExternalDispatch, when true, keeps Start from launching the inline
+	// worker pool: accepted jobs stay on the queue for an external
+	// dispatcher (the fleet coordinator, via dist.Backend) that decides
+	// per job whether to lease it to a remote worker or run it inline.
+	// Everything else — admission, journaling, recovery, retention — is
+	// unchanged.
+	ExternalDispatch bool
 }
 
 func (c Config) withDefaults() Config {
@@ -297,7 +305,7 @@ func (s *Service) Recover() (int, error) {
 			"phase", "recovery", "checkpoints", rstats.DroppedCheckpoints)
 	}
 	for _, err := range errs {
-		s.metrics.journalErrors.Inc()
+		s.metrics.journalError("recover")
 		l := s.cfg.Logger.With("phase", "recovery")
 		var je *journal.JobError
 		if errors.As(err, &je) {
@@ -389,9 +397,11 @@ func (s *Service) Start() {
 		return
 	}
 	s.started = true
-	s.wg.Add(s.cfg.Workers)
-	for i := 0; i < s.cfg.Workers; i++ {
-		go s.worker()
+	if !s.cfg.ExternalDispatch {
+		s.wg.Add(s.cfg.Workers)
+		for i := 0; i < s.cfg.Workers; i++ {
+			go s.worker()
+		}
 	}
 	s.hub.Start()
 }
@@ -493,7 +503,7 @@ func (s *Service) SubmitTrace(opts SubmitOptions, tr *trace.Trace) (view JobView
 		}, tr)
 		js.EndAt(time.Time{})
 		if jerr != nil {
-			s.metrics.journalErrors.Inc()
+			s.metrics.journalError("append")
 			s.countRejected()
 			return JobView{}, false, fmt.Errorf("%w: %v", ErrJournal, jerr)
 		}
@@ -600,7 +610,7 @@ func (s *Service) mark(j *job, status, errMsg string, result json.RawMessage) {
 		return
 	}
 	if err := s.cfg.Journal.Mark(j.id, status, errMsg, result); err != nil {
-		s.metrics.journalErrors.Inc()
+		s.metrics.journalError("mark")
 		s.jobLogger(j).Error("journal mark failed", "phase", status, "err", err)
 	}
 }
@@ -745,8 +755,10 @@ func (s *Service) runJob(j *job) {
 		if retryCkpt != nil {
 			resume = retryCkpt.NextEvent
 		}
+		delay := watchdogRetryDelay(s.cfg.StallTimeout)
 		s.jobLogger(j).Warn("retrying stalled replay sequentially",
-			"phase", "replay", "resume_event", resume)
+			"phase", "replay", "resume_event", resume, "delay", delay)
+		time.Sleep(delay)
 		err = attempt(1, retryCkpt)
 	}
 
@@ -803,9 +815,22 @@ func (s *Service) runJob(j *job) {
 	}
 	if s.cfg.Journal != nil {
 		if rerr := s.cfg.Journal.RemoveCheckpoint(j.id); rerr != nil {
+			s.metrics.journalError("remove")
 			s.jobLogger(j).Error("checkpoint remove failed", "phase", "gc", "err", rerr)
 		}
 	}
+}
+
+// watchdogRetryDelay is the full-jitter pause before a stalled replay's
+// sequential retry: uniform in [0, StallTimeout/2]. Stalls usually share a
+// cause (an overloaded disk, a CPU-starved host, a slow shared dependency),
+// so a fleet of jobs whose watchdogs all fired together must not retry in
+// lockstep and re-create the very contention that stalled them.
+func watchdogRetryDelay(stall time.Duration) time.Duration {
+	if stall <= 0 {
+		return 0
+	}
+	return time.Duration(rand.Int64N(int64(stall/2) + 1))
 }
 
 // checkpointFunc builds the ReplayDurable checkpoint callback for one job:
@@ -836,6 +861,7 @@ func (s *Service) checkpointFunc(ctx context.Context, j *job, cp tools.Checkpoin
 		}
 		if err := s.cfg.Journal.WriteCheckpoint(ck); err != nil {
 			s.metrics.checkpointErrors.Inc()
+			s.metrics.journalError("checkpoint")
 			s.jobLogger(j).Error("checkpoint write failed", "phase", "replay", "err", err)
 			return nil
 		}

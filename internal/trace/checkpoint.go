@@ -92,10 +92,40 @@ func readFrame(r io.Reader, off int64) ([]byte, int64, error) {
 	return payload, off + frameHeaderSize + int64(length), nil
 }
 
+// Encode serializes the checkpoint into the framed on-disk layout (header,
+// metadata frame, state frame). The same bytes WriteFile persists are also
+// the fleet protocol's wire format: a worker posts Encode's output to the
+// coordinator, which verifies it with DecodeCheckpoint before ingesting.
+func (ck *Checkpoint) Encode() ([]byte, error) {
+	meta, err := json.Marshal(ck)
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	buf.Grow(len(checkpointMagic) + 4 + 2*frameHeaderSize + len(meta) + len(ck.State))
+	hdr := make([]byte, len(checkpointMagic)+4)
+	copy(hdr, checkpointMagic)
+	hdr[4] = checkpointVersion
+	buf.Write(hdr)
+	if err := writeFrame(&buf, meta); err != nil {
+		return nil, err
+	}
+	if err := writeFrame(&buf, ck.State); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeCheckpoint parses and CRC-verifies checkpoint bytes produced by
+// Encode. Corruption anywhere is a *CorruptionError with the byte offset.
+func DecodeCheckpoint(data []byte) (*Checkpoint, error) {
+	return decodeCheckpoint(bytes.NewReader(data))
+}
+
 // WriteFile durably writes the checkpoint to path: temp file in the same
 // directory, fsync, atomic rename, directory fsync.
 func (ck *Checkpoint) WriteFile(path string) error {
-	meta, err := json.Marshal(ck)
+	encoded, err := ck.Encode()
 	if err != nil {
 		return err
 	}
@@ -110,20 +140,7 @@ func (ck *Checkpoint) WriteFile(path string) error {
 		os.Remove(tmpName)
 		return err
 	}
-	bw := bufio.NewWriter(tmp)
-	hdr := make([]byte, len(checkpointMagic)+4)
-	copy(hdr, checkpointMagic)
-	hdr[4] = checkpointVersion
-	if _, err := bw.Write(hdr); err != nil {
-		return fail(err)
-	}
-	if err := writeFrame(bw, meta); err != nil {
-		return fail(err)
-	}
-	if err := writeFrame(bw, ck.State); err != nil {
-		return fail(err)
-	}
-	if err := bw.Flush(); err != nil {
+	if _, err := tmp.Write(encoded); err != nil {
 		return fail(err)
 	}
 	if err := tmp.Sync(); err != nil {
@@ -154,8 +171,11 @@ func ReadCheckpointFile(path string) (*Checkpoint, error) {
 		return nil, err
 	}
 	defer f.Close()
-	br := bufio.NewReaderSize(f, 64<<10)
+	return decodeCheckpoint(bufio.NewReaderSize(f, 64<<10))
+}
 
+// decodeCheckpoint reads the framed checkpoint layout from r.
+func decodeCheckpoint(br io.Reader) (*Checkpoint, error) {
 	var off int64
 	hdr := make([]byte, len(checkpointMagic)+4)
 	if _, err := io.ReadFull(br, hdr); err != nil {
