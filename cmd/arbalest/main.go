@@ -8,6 +8,12 @@
 //	arbalest -replay-trace FILE [-workers N] [-tool arbalest] [-json]
 //	arbalest -submit URL <program>     record, upload, poll a batch job
 //	arbalest -stream URL <program>     record and stream live to a session
+//	arbalest -fleet-status URL         print the daemon's federated fleet
+//	                                   status (workers, leases, latencies)
+//
+// Uploads carry a W3C traceparent header, so every submitted job and stream
+// is one distributed trace on the daemon (GET /v1/traces/<id>); the trace
+// id is printed alongside the job/session id.
 //
 // where <program> is a DRACC benchmark name or ID (e.g. DRACC_OMP_022 or
 // 22), a SPEC-ACCEL workload name (e.g. 503.postencil), or
@@ -51,6 +57,7 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit the result as JSON (the same summary schema arbalestd serves)")
 	submit := flag.String("submit", "", "arbalestd base URL (e.g. http://localhost:8321): record the program's trace and submit it for remote analysis instead of analyzing locally")
 	streamURL := flag.String("stream", "", "arbalestd base URL: stream the program's trace live to an analysis session as framed chunks (resumable; see internal/stream)")
+	fleetStatusURL := flag.String("fleet-status", "", "arbalestd base URL: print the federated fleet status (/v1/fleet/status) and exit")
 	version := flag.Bool("version", false, "print build info and exit")
 	flag.Parse()
 
@@ -62,6 +69,9 @@ func main() {
 	if *list {
 		listPrograms()
 		return
+	}
+	if *fleetStatusURL != "" {
+		os.Exit(fleetStatus(*fleetStatusURL, *jsonOut))
 	}
 	if *replayTrace != "" {
 		if *submit != "" {
@@ -269,6 +279,9 @@ func submitTrace(baseURL string, tr *trace.Trace, toolName string, jsonOut bool)
 	body := buf.Bytes()
 	client := &http.Client{Timeout: 30 * time.Second}
 	key := retry.NewKey()
+	// One trace per upload, shared by every retry attempt (like the
+	// idempotency key): the daemon parents the job's span tree under it.
+	tc := telemetry.NewTraceContext()
 	var view service.JobView
 	err := retry.Policy{}.Do(context.Background(), func(attempt int) error {
 		if attempt > 0 {
@@ -280,6 +293,7 @@ func submitTrace(baseURL string, tr *trace.Trace, toolName string, jsonOut bool)
 		}
 		req.Header.Set("Content-Type", "application/x-ndjson")
 		req.Header.Set(retry.IdempotencyHeader, key)
+		tc.Inject(req.Header)
 		resp, err := client.Do(req)
 		if err != nil {
 			return err // connection-level failure: retryable
@@ -298,7 +312,11 @@ func submitTrace(baseURL string, tr *trace.Trace, toolName string, jsonOut bool)
 		fmt.Fprintln(os.Stderr, "arbalest: submit:", err)
 		return 2
 	}
-	fmt.Fprintf(os.Stderr, "submitted %d events as %s to %s\n", view.Events, view.ID, baseURL)
+	if view.TraceID != "" {
+		fmt.Fprintf(os.Stderr, "submitted %d events as %s to %s (trace %s)\n", view.Events, view.ID, baseURL, view.TraceID)
+	} else {
+		fmt.Fprintf(os.Stderr, "submitted %d events as %s to %s\n", view.Events, view.ID, baseURL)
+	}
 
 	deadline := time.Now().Add(5 * time.Minute)
 	for view.Status != service.StatusDone && view.Status != service.StatusFailed {

@@ -24,6 +24,7 @@ import (
 	"repro/internal/omp"
 	"repro/internal/retry"
 	"repro/internal/stream"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -65,13 +66,22 @@ func streamTrace(baseURL string, tr *trace.Trace, toolName string, jsonOut bool)
 	ctx := context.Background()
 
 	// Open the session. 429 (saturated) and 503 (starting up, draining) are
-	// retried with capped exponential backoff, honoring Retry-After.
+	// retried with capped exponential backoff, honoring Retry-After. The
+	// open carries a fresh traceparent (one per session, shared by retries)
+	// so the whole session — across resumes — is one trace on the daemon.
+	tc := telemetry.NewTraceContext()
 	var view stream.View
 	err := retry.Policy{}.Do(ctx, func(attempt int) error {
 		if attempt > 0 {
 			fmt.Fprintf(os.Stderr, "arbalest: stream open retry %d...\n", attempt)
 		}
-		resp, err := client.Post(baseURL+"/v1/streams?tool="+toolName, "application/json", nil)
+		req, err := http.NewRequest(http.MethodPost, baseURL+"/v1/streams?tool="+toolName, nil)
+		if err != nil {
+			return retry.Permanent(err)
+		}
+		req.Header.Set("Content-Type", "application/json")
+		tc.Inject(req.Header)
+		resp, err := client.Do(req)
 		if err != nil {
 			return err // connection-level failure: retryable
 		}
@@ -89,7 +99,11 @@ func streamTrace(baseURL string, tr *trace.Trace, toolName string, jsonOut bool)
 		fmt.Fprintln(os.Stderr, "arbalest: stream open:", err)
 		return 2
 	}
-	fmt.Fprintf(os.Stderr, "streaming %d events as %s to %s\n", len(tr.Events), view.ID, baseURL)
+	if view.TraceID != "" {
+		fmt.Fprintf(os.Stderr, "streaming %d events as %s to %s (trace %s)\n", len(tr.Events), view.ID, baseURL, view.TraceID)
+	} else {
+		fmt.Fprintf(os.Stderr, "streaming %d events as %s to %s\n", len(tr.Events), view.ID, baseURL)
+	}
 
 	// Upload. Each attempt asks the session where it stands (View.Events)
 	// and re-frames the trace from there, so a retry after a mid-body

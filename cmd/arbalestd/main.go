@@ -11,6 +11,7 @@
 //	          [-max-streams N] [-stream-max-bytes BYTES]
 //	          [-stream-idle-timeout DUR] [-stream-read-timeout DUR]
 //	          [-analyzer-stats] [-version]
+//	          [-trace-capacity N] [-trace-sample F]
 //	          [-role standalone|coordinator|worker] [-coordinator-url URL]
 //	          [-lease-ttl DUR] [-worker-id ID] [-poll-wait DUR]
 //
@@ -32,12 +33,33 @@
 // posts the result. Workers hold no durable state and may be killed at
 // any time. See README "Distributed operation".
 //
+// # Distributed tracing
+//
+// Every accepted job and stream carries a W3C trace context (a
+// client-supplied traceparent header is honored); the coordinator forwards
+// it inside each lease grant and workers ship their span trees back
+// piggybacked on heartbeats and results, so a job analyzed across several
+// processes — including a crash-mid-epoch reschedule — reads as one merged
+// tree at GET /v1/traces/<id>. -trace-capacity bounds the in-memory trace
+// store, -trace-sample head-samples new traces, and log lines on traced
+// paths carry trace_id/span_id for correlation. See README "Distributed
+// tracing & fleet status".
+//
 // API:
 //
 //	POST /v1/jobs?tool=arbalest   body: JSON-lines trace (trace.Save format)
 //	GET  /v1/jobs                 list jobs
 //	GET  /v1/jobs/<id>            job status + result
 //	GET  /v1/jobs/<id>/trace      per-job span tree (also at /jobs/<id>/trace)
+//	GET  /v1/traces               list stored distributed traces
+//	GET  /v1/traces/<id>          one merged cross-process trace tree
+//	                              (?format=otlp for OTLP/JSON)
+//	GET  /v1/traces/export        every stored trace as one OTLP/JSON export
+//	GET  /v1/fleet/status         federated fleet status (worker liveness,
+//	                              lease/fencing counters, queue depths,
+//	                              span-derived job latencies); standalone
+//	                              daemons report the inline pool as one
+//	                              synthetic worker
 //	GET  /metrics                 telemetry registry (Prometheus text format)
 //	GET  /version                 build info (version, Go version)
 //	GET  /healthz                 liveness; 503 once shutdown begins
@@ -119,6 +141,8 @@ func main() {
 	streamIdleTimeout := flag.Duration("stream-idle-timeout", 5*time.Minute, "evict live streams with no ingest activity for this long (-1s = never)")
 	streamReadTimeout := flag.Duration("stream-read-timeout", time.Minute, "evict a stream whose attached ingest request stalls between chunks for this long (-1s = never)")
 	analyzerStats := flag.Bool("analyzer-stats", true, "collect per-job analyzer-level telemetry (VSM transitions, CAS retries, interval lookups)")
+	traceCapacity := flag.Int("trace-capacity", 0, "bounded in-memory trace store size in traces (0 = default 512, -1 = tracing disabled)")
+	traceSample := flag.Float64("trace-sample", 1.0, "head-based sampling fraction for new traces (1 = record everything)")
 	role := flag.String("role", "standalone", "process role: standalone (one-process daemon), coordinator (serves the API and leases jobs to workers), worker (analysis agent for a coordinator)")
 	coordinatorURL := flag.String("coordinator-url", "", "coordinator base URL (required with -role worker)")
 	leaseTTL := flag.Duration("lease-ttl", 15*time.Second, "coordinator: lease duration without a heartbeat before a job is rescheduled")
@@ -133,7 +157,9 @@ func main() {
 		return
 	}
 
-	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	// The correlating wrapper stamps trace_id/span_id onto every log line
+	// whose context carries a trace, so logs join against /v1/traces/{id}.
+	logger := slog.New(telemetry.NewCorrelatingHandler(slog.NewTextHandler(os.Stderr, nil)))
 	fatal := func(msg string, args ...any) {
 		logger.Error(msg, args...)
 		os.Exit(1)
@@ -171,6 +197,8 @@ func main() {
 		StallTimeout:    *stallTimeout,
 		Logger:          logger,
 		AnalyzerStats:   *analyzerStats,
+		TraceCapacity:   *traceCapacity,
+		TraceSampleRate: *traceSample,
 
 		MaxStreams:        *maxStreams,
 		StreamMaxBytes:    *streamMaxBytes,
@@ -217,8 +245,13 @@ func main() {
 			fatal("coordinator init failed", "err", err)
 		}
 		coord.Start()
+		svc.SetFleetSource(coord)
 		mux := http.NewServeMux()
 		mux.Handle("/v1/fleet/", coord.Handler())
+		// /v1/fleet/status is the service's federated view, not a fleet
+		// protocol endpoint; the exact pattern outranks the prefix mount so
+		// it must be routed back to the service explicitly.
+		mux.Handle("GET /v1/fleet/status", handler)
 		mux.Handle("/", handler)
 		handler = mux
 		logger.Info("fleet coordinator up", "lease_ttl", *leaseTTL)

@@ -98,6 +98,26 @@ func TestFleetChaosSmoke(t *testing.T) {
 	if done := int(f.svc.Metrics().Snapshot().JobsCompleted); done != len(jobs) {
 		t.Fatalf("jobs completed = %d, want exactly %d (exactly-once violated)", done, len(jobs))
 	}
+
+	// The trace store must come out of the storm bounded: every job was
+	// traced (default capacity, sample 1.0), workers crashed mid-shipment,
+	// zombies were fenced — none of it may leak traces past the ring's
+	// capacity or grow a tree past the per-trace merge caps.
+	ts := f.svc.Traces()
+	if ts.Len() > ts.Capacity() {
+		t.Fatalf("trace store holds %d traces, capacity %d", ts.Len(), ts.Capacity())
+	}
+	if len(jobs) <= ts.Capacity() && ts.Len() != len(jobs) {
+		t.Errorf("trace store holds %d traces, want one per job (%d)", ts.Len(), len(jobs))
+	}
+	// A legitimate fleet trace is a few dozen spans even with retries; the
+	// merge caps guarantee 64 subtrees x bounded phases. Use the hard cap.
+	for _, sum := range ts.List() {
+		if sum.Spans > 2048 {
+			t.Errorf("trace %s ballooned to %d spans", sum.TraceID, sum.Spans)
+		}
+	}
+
 	t.Logf("chaos smoke: %d jobs, %v leases granted, %v expired, %v rescheduled, %v fenced writes",
 		len(jobs),
 		f.metric("arbalestd_fleet_leases_granted_total"),

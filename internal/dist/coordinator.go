@@ -5,6 +5,7 @@ import (
 	"io"
 	"log/slog"
 	"runtime"
+	"sort"
 	"sync"
 	"time"
 
@@ -70,6 +71,10 @@ type LeaseGrant struct {
 	Token uint64  `json:"token"`
 	// TTLMillis is the lease TTL; the worker must heartbeat well inside it.
 	TTLMillis int64 `json:"ttlMillis"`
+	// Traceparent carries the job's distributed trace context (the lease
+	// span opened for this grant); the worker parents its local spans under
+	// it. Empty when the job is untraced or the backend has no TraceSink.
+	Traceparent string `json:"traceparent,omitempty"`
 }
 
 // Coordinator owns the lease table and dispatch policy for a worker fleet.
@@ -79,11 +84,11 @@ type Coordinator struct {
 	m   *fleetMetrics
 
 	mu      sync.Mutex
-	pending []JobSpec             // jobs awaiting a lease, oldest first
-	leases  map[string]*lease     // job id -> active lease
-	tokens  map[string]uint64     // job id -> newest issued fencing token
-	workers map[string]time.Time  // worker id -> last contact
-	notify  chan struct{}         // closed and replaced when pending gains work
+	pending []JobSpec            // jobs awaiting a lease, oldest first
+	leases  map[string]*lease    // job id -> active lease
+	tokens  map[string]uint64    // job id -> newest issued fencing token
+	workers map[string]time.Time // worker id -> last contact
+	notify  chan struct{}        // closed and replaced when pending gains work
 	closed  bool
 	// graceUntil holds recovered jobs for re-lease (instead of running them
 	// inline) until previously-registered workers have had time to
@@ -165,6 +170,15 @@ func (c *Coordinator) Shutdown(ctx context.Context) error {
 	case <-ctx.Done():
 		return ctx.Err()
 	}
+}
+
+// traceSink returns the backend's optional tracing seam, nil when the
+// backend does not trace. Calls into the sink acquire the backend's own
+// lock; the established lock order is c.mu before the backend's (see
+// grantLocked's MarkJobRunning), so calling the sink under c.mu is safe.
+func (c *Coordinator) traceSink() TraceSink {
+	sink, _ := c.cfg.Backend.(TraceSink)
+	return sink
 }
 
 // wakeLocked signals every goroutine parked on the notify channel. Callers
@@ -320,9 +334,19 @@ func (c *Coordinator) grantLocked(workerID string) (*LeaseGrant, error) {
 			deadline: time.Now().Add(c.cfg.LeaseTTL),
 		}
 		c.m.leasesGranted.Inc()
-		c.cfg.Logger.Info("lease granted",
-			"job_id", spec.ID, "worker", workerID, "token", token)
-		return &LeaseGrant{Job: spec, Token: token, TTLMillis: c.cfg.LeaseTTL.Milliseconds()}, nil
+		grant := &LeaseGrant{Job: spec, Token: token, TTLMillis: c.cfg.LeaseTTL.Milliseconds()}
+		if sink := c.traceSink(); sink != nil {
+			grant.Traceparent = sink.StartLeaseSpan(spec.ID, workerID, token)
+		}
+		if tc, ok := telemetry.ParseTraceparent(grant.Traceparent); ok {
+			c.cfg.Logger.Info("lease granted",
+				"job_id", spec.ID, "worker", workerID, "token", token,
+				"trace_id", tc.TraceID, "span_id", tc.SpanID)
+		} else {
+			c.cfg.Logger.Info("lease granted",
+				"job_id", spec.ID, "worker", workerID, "token", token)
+		}
+		return grant, nil
 	}
 	return nil, nil
 }
@@ -336,22 +360,34 @@ func (c *Coordinator) checkLeaseLocked(jobID, workerID string, token uint64, op 
 		c.m.fencedWrites.With(op).Inc()
 		c.cfg.Logger.Warn("fenced write rejected",
 			"job_id", jobID, "worker", workerID, "token", token, "op", op)
+		if sink := c.traceSink(); sink != nil {
+			sink.RecordFenced(jobID, workerID, op, token)
+		}
 		return ErrFenced
 	}
 	return nil
 }
 
-// Heartbeat extends the named lease. A stale token is fenced: the sender
-// lost the job and must abandon it.
-func (c *Coordinator) Heartbeat(jobID, workerID string, token uint64) error {
+// Heartbeat extends the named lease, merging any worker span snapshots
+// piggybacked on the beat into the job's trace. A stale token is fenced:
+// the sender lost the job and must abandon it, and its spans are rejected
+// wholesale — fenced observability data never reaches the trace either
+// (DESIGN.md §5.9).
+func (c *Coordinator) Heartbeat(jobID, workerID string, token uint64, spans []*telemetry.Span) error {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if err := c.checkLeaseLocked(jobID, workerID, token, "heartbeat"); err != nil {
+		c.mu.Unlock()
 		return err
 	}
 	c.leases[jobID].deadline = time.Now().Add(c.cfg.LeaseTTL)
 	c.workers[workerID] = time.Now()
 	c.m.heartbeats.Inc()
+	c.mu.Unlock()
+	if len(spans) > 0 {
+		if sink := c.traceSink(); sink != nil {
+			sink.MergeLeaseSpans(jobID, token, spans)
+		}
+	}
 	return nil
 }
 
@@ -381,7 +417,7 @@ func (c *Coordinator) ReceiveCheckpoint(workerID string, token uint64, data []by
 // ReceiveResult records the named lease holder's terminal result exactly
 // once and releases the lease. A stale token is fenced: the job was
 // rescheduled and its result belongs to the new holder.
-func (c *Coordinator) ReceiveResult(jobID, workerID string, token uint64, errMsg string, result []byte) error {
+func (c *Coordinator) ReceiveResult(jobID, workerID string, token uint64, errMsg string, result []byte, spans []*telemetry.Span) error {
 	c.mu.Lock()
 	if err := c.checkLeaseLocked(jobID, workerID, token, "result"); err != nil {
 		c.mu.Unlock()
@@ -393,6 +429,12 @@ func (c *Coordinator) ReceiveResult(jobID, workerID string, token uint64, errMsg
 	delete(c.leases, jobID)
 	c.workers[workerID] = time.Now()
 	c.mu.Unlock()
+	if sink := c.traceSink(); sink != nil {
+		if len(spans) > 0 {
+			sink.MergeLeaseSpans(jobID, token, spans)
+		}
+		sink.CloseLeaseSpan(jobID, token, errMsg)
+	}
 	if err := c.cfg.Backend.CompleteRemote(jobID, errMsg, result); err != nil {
 		return err
 	}
@@ -445,12 +487,14 @@ func (c *Coordinator) janitorLoop() {
 func (c *Coordinator) janitorOnce(now time.Time) {
 	c.mu.Lock()
 	var resched []JobSpec
+	var expired []*lease
 	for id, l := range c.leases {
 		if now.After(l.deadline) {
 			delete(c.leases, id)
 			c.m.leasesExpired.Inc()
 			c.m.jobsRescheduled.Inc()
 			resched = append(resched, l.spec)
+			expired = append(expired, l)
 			resume := uint64(0)
 			if ck := c.cfg.Backend.FreshCheckpoint(id); ck != nil {
 				resume = ck.NextEvent
@@ -477,6 +521,13 @@ func (c *Coordinator) janitorOnce(now time.Time) {
 		c.cfg.Logger.Warn("no live workers; draining pending jobs inline", "jobs", len(inline))
 	}
 	c.mu.Unlock()
+	if sink := c.traceSink(); sink != nil {
+		// Close expired leases' spans with an error so a rescheduled job's
+		// trace shows the failed attempt, not a silently vanished subtree.
+		for _, l := range expired {
+			sink.CloseLeaseSpan(l.spec.ID, l.token, "lease expired: heartbeats stopped")
+		}
+	}
 	for _, spec := range inline {
 		c.runInline(spec)
 	}
@@ -500,4 +551,44 @@ func (c *Coordinator) Stats() Stats {
 		Pending:     len(c.pending),
 		Leased:      len(c.leases),
 	}
+}
+
+// FleetSnapshot assembles the coordinator's contribution to
+// GET /v1/fleet/status: every registered worker with liveness and current
+// lease count, queue pressure, and the cumulative dispatch counters.
+func (c *Coordinator) FleetSnapshot() FleetSnapshot {
+	now := time.Now()
+	c.mu.Lock()
+	leasesByWorker := make(map[string]int, len(c.workers))
+	for _, l := range c.leases {
+		leasesByWorker[l.worker]++
+	}
+	snap := FleetSnapshot{
+		Workers: make([]WorkerInfo, 0, len(c.workers)),
+		Pending: len(c.pending),
+		Leased:  len(c.leases),
+	}
+	for id, seen := range c.workers {
+		snap.Workers = append(snap.Workers, WorkerInfo{
+			ID:       id,
+			LastSeen: seen,
+			Live:     now.Sub(seen) <= c.cfg.WorkerTTL,
+			Leases:   leasesByWorker[id],
+		})
+	}
+	c.mu.Unlock()
+	sort.Slice(snap.Workers, func(i, j int) bool { return snap.Workers[i].ID < snap.Workers[j].ID })
+	var fenced int64
+	for _, op := range []string{"heartbeat", "checkpoint", "result"} {
+		fenced += int64(c.m.fencedWrites.With(op).Value())
+	}
+	snap.Counters = FleetCounters{
+		LeasesGranted:   int64(c.m.leasesGranted.Value()),
+		LeasesExpired:   int64(c.m.leasesExpired.Value()),
+		Heartbeats:      int64(c.m.heartbeats.Value()),
+		FencedWrites:    fenced,
+		JobsRescheduled: int64(c.m.jobsRescheduled.Value()),
+		JobsInline:      int64(c.m.jobsInline.Value()),
+	}
+	return snap
 }

@@ -39,7 +39,9 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"time"
 
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -84,6 +86,69 @@ type Backend interface {
 	// TraceFramed serializes the job's trace in the CRC-framed wire format
 	// for a worker to fetch.
 	TraceFramed(id string) ([]byte, error)
+}
+
+// TraceSink is the optional distributed-tracing seam on a Backend,
+// discovered by type assertion so implementing it is never required. The
+// coordinator uses it to keep one span tree per job across the fleet:
+// a lease opens a span on the job's trace (whose context the grant carries
+// to the worker), worker span shipments merge under that lease span, and
+// lease expiry, fencing rejections, and results close it out.
+//
+// Everything flowing through this seam is observability-only: merged spans
+// land in the job's trace tree and the trace store, never in job state,
+// checkpoints, or terminal bookkeeping — which is why span shipping cannot
+// violate lease fencing or exactly-once completion (DESIGN.md §5.9).
+type TraceSink interface {
+	// StartLeaseSpan opens a "lease" span on the job's trace for the grant
+	// (worker, token) and returns the traceparent the worker should parent
+	// its spans under. Empty means the job is untraced; the grant then
+	// carries no context and the worker skips span work entirely.
+	StartLeaseSpan(jobID, worker string, token uint64) string
+	// MergeLeaseSpans merges a worker's span-tree snapshots under the lease
+	// span for (jobID, token). Shipments are idempotent: a span re-shipped
+	// with the same span ID replaces its previous snapshot.
+	MergeLeaseSpans(jobID string, token uint64, spans []*telemetry.Span)
+	// CloseLeaseSpan ends the lease span for (jobID, token); a non-empty
+	// errMsg (lease expiry, failed result) marks it failed.
+	CloseLeaseSpan(jobID string, token uint64, errMsg string)
+	// RecordFenced attaches an error span for a write rejected by the
+	// fencing token, so zombie writes are visible in the job's trace.
+	RecordFenced(jobID, worker, op string, token uint64)
+}
+
+// WorkerInfo is one worker's row in a FleetSnapshot.
+type WorkerInfo struct {
+	// ID is the worker's self-chosen identity.
+	ID string `json:"id"`
+	// LastSeen is the worker's most recent contact (register, lease poll,
+	// heartbeat, checkpoint, or result).
+	LastSeen time.Time `json:"lastSeen"`
+	// Live reports whether LastSeen is within the worker TTL.
+	Live bool `json:"live"`
+	// Leases is how many jobs the worker currently holds.
+	Leases int `json:"leases"`
+}
+
+// FleetCounters are the coordinator's cumulative dispatch counters,
+// snapshotted for /v1/fleet/status.
+type FleetCounters struct {
+	LeasesGranted   int64 `json:"leasesGranted"`
+	LeasesExpired   int64 `json:"leasesExpired"`
+	Heartbeats      int64 `json:"heartbeats"`
+	FencedWrites    int64 `json:"fencedWrites"`
+	JobsRescheduled int64 `json:"jobsRescheduled"`
+	JobsInline      int64 `json:"jobsInline"`
+}
+
+// FleetSnapshot is the coordinator's point-in-time contribution to
+// GET /v1/fleet/status: the worker table, lease pressure, and counters.
+// The service adds queue depth and span-derived latencies on top.
+type FleetSnapshot struct {
+	Workers  []WorkerInfo  `json:"workers"`
+	Pending  int           `json:"pending"`
+	Leased   int           `json:"leased"`
+	Counters FleetCounters `json:"counters"`
 }
 
 // ErrFenced is the coordinator's verdict on a write quoting a stale or

@@ -31,6 +31,7 @@ import (
 	"repro/internal/omp"
 	"repro/internal/retry"
 	"repro/internal/service"
+	"repro/internal/telemetry"
 	"repro/internal/tools"
 	"repro/internal/trace"
 )
@@ -122,8 +123,11 @@ func newFleet(t *testing.T, jnl *journal.Journal, leaseTTL, workerTTL time.Durat
 		t.Fatal(err)
 	}
 	coord.Start()
+	svc.SetFleetSource(coord)
 	mux := http.NewServeMux()
 	mux.Handle("/v1/fleet/", coord.Handler())
+	// Exact pattern outranks the prefix mount — same routing as arbalestd.
+	mux.Handle("GET /v1/fleet/status", svc.Handler())
 	mux.Handle("/", svc.Handler())
 	f := &fleet{t: t, svc: svc, coord: coord, srv: httptest.NewServer(mux)}
 	t.Cleanup(f.close)
@@ -605,5 +609,187 @@ func TestZeroWorkersRunsInline(t *testing.T) {
 	assertSameFindings(t, "inline degradation", got.Result, want)
 	if n := f.metric("arbalestd_fleet_jobs_inline_total"); n < 1 {
 		t.Fatalf("inline jobs = %v, want >= 1", n)
+	}
+}
+
+// getTrace fetches the merged span tree at GET /v1/traces/{id}, or nil on
+// 404.
+func getTrace(t *testing.T, url, traceID string) *telemetry.Span {
+	t.Helper()
+	resp, err := http.Get(url + "/v1/traces/" + traceID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/traces/%s: status %d", traceID, resp.StatusCode)
+	}
+	var root telemetry.Span
+	if err := json.NewDecoder(resp.Body).Decode(&root); err != nil {
+		t.Fatal(err)
+	}
+	return &root
+}
+
+// spansNamed collects root's direct children with the given name.
+func spansNamed(root *telemetry.Span, name string) []*telemetry.Span {
+	var out []*telemetry.Span
+	for _, c := range root.Children {
+		if c.Name == name {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// TestFleetTracePropagation is the tracing acceptance test: a job rescheduled
+// across two workers by a crash-mid-epoch fault must read as ONE trace at
+// GET /v1/traces/{id} — the client's trace id, the coordinator's job root,
+// both lease grants (the crashed one closed with an error, the retry clean),
+// both workers' fetch/restore/replay phase spans shipped over heartbeats,
+// and the zombie's fenced write — and the federated fleet status must expose
+// the same story in its counters and span-derived latency digest.
+func TestFleetTracePropagation(t *testing.T) {
+	faultinject.Reset()
+	defer faultinject.Reset()
+	tr := recordTrace(t, 22)
+	want := oneShot(t, tr, "arbalest")
+
+	f := newFleet(t, nil, 100*time.Millisecond, 30*time.Second, false)
+	ctx, cancel := context.WithCancel(context.Background())
+	wg := startWorkers(ctx, f.srv.URL, 2, 1, true)
+	defer wg.Wait()
+	defer cancel()
+	f.waitMetric("arbalestd_fleet_workers", 2, 5*time.Second)
+
+	// The first lease holder dies right after its first checkpoint posts —
+	// after the span shipment that rides the same checkpoint, so the dead
+	// worker's phases are already on the coordinator.
+	faultinject.Enable("dist.worker.crash", faultinject.Fault{
+		Err: errors.New("chaos: simulated worker death"), Count: 1,
+	})
+
+	// Submit with a client-minted traceparent: the whole fleet execution
+	// must join the caller's trace.
+	client := telemetry.NewTraceContext()
+	v, _, err := f.svc.SubmitTrace(service.SubmitOptions{
+		Tool: "arbalest", Traceparent: client.Traceparent(),
+	}, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.TraceID != client.TraceID {
+		t.Fatalf("job joined trace %s, client sent %s", v.TraceID, client.TraceID)
+	}
+	got := f.waitSettled(v.ID)
+	if got.Status != service.StatusDone {
+		t.Fatalf("job %s: status %s (%s)", v.ID, got.Status, got.Error)
+	}
+	assertSameFindings(t, "traced crash-reschedule", got.Result, want)
+	if faultinject.Fired("dist.worker.crash") == 0 {
+		t.Fatal("worker crash never fired; nothing was rescheduled")
+	}
+
+	// The zombie wakes up: a checkpoint under the dead lease's token must be
+	// fenced (409) and leave a visible mark in the trace.
+	ck := &trace.Checkpoint{
+		JobID: v.ID, Tool: "arbalest", NextEvent: 1,
+		Events: uint64(len(tr.Events)), Created: time.Now(),
+		State: json.RawMessage(`{}`),
+	}
+	ckData, err := ck.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ckURL := fmt.Sprintf("%s/v1/fleet/jobs/%s/checkpoint?worker=w-zombie&token=1", f.srv.URL, v.ID)
+	if code := rawPost(t, ckURL, "application/octet-stream", ckData); code != http.StatusConflict {
+		t.Fatalf("zombie checkpoint: status %d, want 409", code)
+	}
+
+	// Everything above lands in one merged tree. The lease close and final
+	// merge happen inside the result/expiry handlers the job settled
+	// through, so the tree is complete by now — no polling.
+	root := getTrace(t, f.srv.URL, client.TraceID)
+	if root == nil {
+		t.Fatalf("trace %s not found", client.TraceID)
+	}
+	if root.Name != "job" || root.TraceID != client.TraceID || root.ParentID != client.SpanID {
+		t.Fatalf("root = %s trace %s parent %s; want job under client span %s",
+			root.Name, root.TraceID, root.ParentID, client.SpanID)
+	}
+	var walk func(*telemetry.Span)
+	walk = func(sp *telemetry.Span) {
+		if sp.TraceID != client.TraceID {
+			t.Errorf("span %s carries trace %s; the tree must be ONE trace %s", sp.Name, sp.TraceID, client.TraceID)
+		}
+		for _, c := range sp.Children {
+			walk(c)
+		}
+	}
+	walk(root)
+
+	leases := spansNamed(root, "lease")
+	if len(leases) < 2 {
+		t.Fatalf("%d lease span(s), want >= 2 (original + retry after crash)", len(leases))
+	}
+	workers := map[string]bool{}
+	var failed, clean int
+	for _, ls := range leases {
+		workers[ls.Attrs["worker"]] = true
+		if ls.Status == "error" {
+			failed++
+		} else if ls.Status == "ok" {
+			clean++
+		}
+		ws := spansNamed(ls, "worker")
+		if len(ws) != 1 {
+			t.Fatalf("lease %s (worker %s): %d worker subtree(s), want 1", ls.SpanID, ls.Attrs["worker"], len(ws))
+		}
+		for _, phase := range []string{"fetch", "restore", "replay"} {
+			if ws[0].Find(phase) == nil {
+				t.Errorf("lease %s (worker %s): no %q span shipped", ls.SpanID, ls.Attrs["worker"], phase)
+			}
+		}
+	}
+	if len(workers) < 2 {
+		t.Errorf("leases span workers %v, want two distinct holders", workers)
+	}
+	if failed < 1 || clean < 1 {
+		t.Errorf("lease statuses: %d failed, %d clean; want the crashed lease marked error and the retry ok", failed, clean)
+	}
+
+	fenced := spansNamed(root, "fenced")
+	if len(fenced) != 1 {
+		t.Fatalf("%d fenced span(s), want exactly 1", len(fenced))
+	}
+	if fenced[0].Status != "error" || fenced[0].Attrs["op"] != "checkpoint" || fenced[0].Attrs["worker"] != "w-zombie" {
+		t.Errorf("fenced span = status %s attrs %v", fenced[0].Status, fenced[0].Attrs)
+	}
+
+	// Federation: the fleet status endpoint aggregates the same execution.
+	resp, err := http.Get(f.srv.URL + "/v1/fleet/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st service.FleetStatus
+	if derr := json.NewDecoder(resp.Body).Decode(&st); derr != nil {
+		t.Fatal(derr)
+	}
+	resp.Body.Close()
+	if st.Role != "coordinator" {
+		t.Errorf("fleet role = %q, want coordinator", st.Role)
+	}
+	if len(st.Workers) < 2 {
+		t.Errorf("fleet status lists %d workers, want >= 2", len(st.Workers))
+	}
+	if st.Counters.FencedWrites < 1 || st.Counters.JobsRescheduled < 1 || st.Counters.LeasesExpired < 1 {
+		t.Errorf("counters %+v missed the crash story", st.Counters)
+	}
+	if st.JobLatency == nil || st.JobLatency.Count < 1 || st.JobLatency.P99Nanos < st.JobLatency.P50Nanos {
+		t.Errorf("span-derived job latency digest = %+v", st.JobLatency)
 	}
 }

@@ -22,6 +22,7 @@ import (
 	"strconv"
 	"time"
 
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -59,7 +60,17 @@ type writeRequest struct {
 	// Error and Result carry a result post's terminal state.
 	Error  string          `json:"error,omitempty"`
 	Result json.RawMessage `json:"result,omitempty"`
+	// Spans piggybacks snapshots of the worker's span tree for the lease,
+	// merged into the job's trace on the coordinator. Observability-only:
+	// the coordinator never derives job state from it, and a fenced write
+	// drops it wholesale (DESIGN.md §5.9).
+	Spans []*telemetry.Span `json:"spans,omitempty"`
 }
+
+// maxHeartbeatBody bounds a heartbeat post. Larger than the pre-tracing
+// 64 KiB because beats now carry span snapshots; the worker's span tree is
+// depth- and fan-out-bounded, so 1 MiB is generous.
+const maxHeartbeatBody = int64(1 << 20)
 
 func httpError(w http.ResponseWriter, err error) {
 	switch {
@@ -117,11 +128,11 @@ func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
 
 func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
 	var req writeRequest
-	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<16)).Decode(&req); err != nil || req.Worker == "" {
+	if err := json.NewDecoder(io.LimitReader(r.Body, maxHeartbeatBody)).Decode(&req); err != nil || req.Worker == "" {
 		http.Error(w, "dist: heartbeat needs worker and token", http.StatusBadRequest)
 		return
 	}
-	if err := c.Heartbeat(r.PathValue("id"), req.Worker, req.Token); err != nil {
+	if err := c.Heartbeat(r.PathValue("id"), req.Worker, req.Token, req.Spans); err != nil {
 		httpError(w, err)
 		return
 	}
@@ -182,7 +193,7 @@ func (c *Coordinator) handleResult(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "dist: result needs worker and token", http.StatusBadRequest)
 		return
 	}
-	if err := c.ReceiveResult(r.PathValue("id"), req.Worker, req.Token, req.Error, req.Result); err != nil {
+	if err := c.ReceiveResult(r.PathValue("id"), req.Worker, req.Token, req.Error, req.Result, req.Spans); err != nil {
 		httpError(w, err)
 		return
 	}

@@ -11,10 +11,12 @@ import (
 	"net/http"
 	"net/url"
 	"strconv"
+	"sync"
 	"time"
 
 	"repro/internal/faultinject"
 	"repro/internal/retry"
+	"repro/internal/telemetry"
 	"repro/internal/tools"
 	"repro/internal/trace"
 )
@@ -78,6 +80,101 @@ func NewWorker(cfg WorkerConfig) *Worker {
 	return &Worker{cfg: cfg.withDefaults()}
 }
 
+// workerTrace is the worker's local span tree for one lease: a "worker"
+// root parented under the lease span whose context the grant carried, with
+// one child per phase (fetch, restore, replay, result). The worker holds no
+// durable trace state — it ships Clone snapshots back piggybacked on every
+// heartbeat and on the result post, and the coordinator merges the freshest
+// snapshot of each span into the job's trace. An extra beat fires right
+// after every checkpoint post, so when a worker dies mid-replay the spans
+// up to its last durable checkpoint are already on the coordinator.
+//
+// The mutex covers every span in the tree: runJob mutates phases while the
+// heartbeat goroutine snapshots, so both go through these methods.
+type workerTrace struct {
+	mu   sync.Mutex
+	root *telemetry.Span
+}
+
+// newWorkerTrace builds the tree from a grant's traceparent, nil (tracing
+// off, every method a no-op) when the grant carries none or the trace is
+// unsampled.
+func newWorkerTrace(traceparent, workerID string) *workerTrace {
+	tc, ok := telemetry.ParseTraceparent(traceparent)
+	if !ok || !tc.Sampled {
+		return nil
+	}
+	root := telemetry.NewSpan("worker", time.Now())
+	root.Identify(telemetry.TraceContext{TraceID: tc.TraceID, SpanID: telemetry.NewSpanID(), Sampled: true}, tc.SpanID)
+	root.SetAttr("worker", workerID)
+	return &workerTrace{root: root}
+}
+
+// context returns the root's trace context for log correlation.
+func (wt *workerTrace) context() telemetry.TraceContext {
+	if wt == nil {
+		return telemetry.TraceContext{}
+	}
+	return wt.root.Context()
+}
+
+// begin opens a phase span under the root.
+func (wt *workerTrace) begin(name string) *telemetry.Span {
+	if wt == nil {
+		return nil
+	}
+	wt.mu.Lock()
+	defer wt.mu.Unlock()
+	return wt.root.StartChild(name, time.Time{})
+}
+
+// end closes a phase span, recording err as its failure when non-nil.
+func (wt *workerTrace) end(s *telemetry.Span, err error) {
+	if wt == nil || s == nil {
+		return
+	}
+	wt.mu.Lock()
+	if err != nil {
+		s.SetError(err.Error())
+	}
+	s.EndAt(time.Time{})
+	wt.mu.Unlock()
+}
+
+// setCount annotates a phase span with a named count.
+func (wt *workerTrace) setCount(s *telemetry.Span, key string, v int64) {
+	if wt == nil || s == nil {
+		return
+	}
+	wt.mu.Lock()
+	s.SetCount(key, v)
+	wt.mu.Unlock()
+}
+
+// finish closes the root (errMsg marks it failed) before the result ships.
+func (wt *workerTrace) finish(errMsg string) {
+	if wt == nil {
+		return
+	}
+	wt.mu.Lock()
+	if errMsg != "" {
+		wt.root.SetError(errMsg)
+	}
+	wt.root.EndAt(time.Time{})
+	wt.mu.Unlock()
+}
+
+// snapshot returns an immutable copy of the tree for shipping, nil when
+// tracing is off.
+func (wt *workerTrace) snapshot() []*telemetry.Span {
+	if wt == nil {
+		return nil
+	}
+	wt.mu.Lock()
+	defer wt.mu.Unlock()
+	return []*telemetry.Span{wt.root.Clone()}
+}
+
 // Per-job abort causes. None of them are reported to the coordinator: a
 // fenced or partitioned worker has lost the right to speak for the job,
 // and a crashed one is simulating sudden death.
@@ -132,7 +229,17 @@ func (w *Worker) Run(ctx context.Context) error {
 // fencing, partition, and simulated crashes abandon the job silently.
 func (w *Worker) runJob(ctx context.Context, grant *LeaseGrant) error {
 	jobID, token := grant.Job.ID, grant.Token
-	log := w.cfg.Logger.With("worker", w.cfg.ID, "job_id", jobID, "token", token)
+	wt := newWorkerTrace(grant.Traceparent, w.cfg.ID)
+	log := telemetry.LoggerWithTrace(
+		w.cfg.Logger.With("worker", w.cfg.ID, "job_id", jobID, "token", token),
+		wt.context())
+
+	// postFinal closes the worker span tree and posts the terminal result
+	// with the final span snapshot piggybacked.
+	postFinal := func(errMsg string, result json.RawMessage) error {
+		wt.finish(errMsg)
+		return w.postResult(ctx, jobID, token, errMsg, result, wt.snapshot())
+	}
 
 	// The replay context dies with the lease: a fenced heartbeat or a
 	// partition longer than the TTL cancels the job mid-phase. Heartbeats
@@ -142,14 +249,19 @@ func (w *Worker) runJob(ctx context.Context, grant *LeaseGrant) error {
 	rctx, cancel := context.WithCancelCause(ctx)
 	defer cancel(nil)
 	hbDone := make(chan struct{})
-	go w.heartbeatLoop(rctx, cancel, hbDone, jobID, token)
+	go w.heartbeatLoop(rctx, cancel, hbDone, jobID, token, wt)
 	defer func() { cancel(nil); <-hbDone }()
 
+	fetchSpan := wt.begin("fetch")
 	tr, err := w.fetchTrace(rctx, jobID)
+	wt.end(fetchSpan, err)
 	if err != nil {
 		log.Error("trace fetch failed; abandoning lease", "err", err)
 		return nil // the lease will expire and the job reschedule
 	}
+	wt.setCount(fetchSpan, "events", int64(len(tr.Events)))
+
+	restoreSpan := wt.begin("restore")
 	ck, err := w.fetchCheckpoint(rctx, jobID, token)
 	if err != nil {
 		log.Warn("checkpoint fetch failed; replaying from scratch", "err", err)
@@ -157,7 +269,8 @@ func (w *Worker) runJob(ctx context.Context, grant *LeaseGrant) error {
 
 	a, err := tools.New(grant.Job.Tool)
 	if err != nil {
-		return w.postResult(ctx, jobID, token, err.Error(), nil)
+		wt.end(restoreSpan, err)
+		return postFinal(err.Error(), nil)
 	}
 	var start uint64
 	cp, canCheckpoint := a.(tools.Checkpointer)
@@ -165,7 +278,8 @@ func (w *Worker) runJob(ctx context.Context, grant *LeaseGrant) error {
 		if rerr := cp.RestoreState(ck.State); rerr != nil {
 			log.Error("checkpoint restore failed; replaying from scratch", "err", rerr)
 			if a, err = tools.New(grant.Job.Tool); err != nil {
-				return w.postResult(ctx, jobID, token, err.Error(), nil)
+				wt.end(restoreSpan, err)
+				return postFinal(err.Error(), nil)
 			}
 			cp, canCheckpoint = a.(tools.Checkpointer)
 		} else {
@@ -173,6 +287,8 @@ func (w *Worker) runJob(ctx context.Context, grant *LeaseGrant) error {
 			log.Info("resuming from handed-off checkpoint", "resume_event", start, "events", len(tr.Events))
 		}
 	}
+	wt.setCount(restoreSpan, "resume_event", int64(start))
+	wt.end(restoreSpan, nil)
 
 	opts := trace.DurableOptions{
 		Workers:    w.cfg.ReplayWorkers,
@@ -180,6 +296,7 @@ func (w *Worker) runJob(ctx context.Context, grant *LeaseGrant) error {
 		Progress:   trace.NewReplayProgress(),
 	}
 	crashed := false
+	var replaySpan *telemetry.Span
 	if canCheckpoint && w.cfg.CheckpointEvery > 0 {
 		opts.CheckpointEvery = w.cfg.CheckpointEvery
 		opts.Checkpoint = func(next uint64) error {
@@ -208,6 +325,13 @@ func (w *Worker) runJob(ctx context.Context, grant *LeaseGrant) error {
 				}
 				log.Warn("checkpoint post failed; continuing", "err", perr)
 			}
+			// Ship the span tree right behind the durable checkpoint: if the
+			// worker dies after this point (the very next statement in the
+			// fault-injected case), the trace already shows how far it got.
+			wt.setCount(replaySpan, "checkpoint_event", int64(next))
+			if hb := wt.snapshot(); hb != nil {
+				_ = w.postHeartbeat(rctx, jobID, token, hb)
+			}
 			if err := faultinject.Fire("dist.worker.crash"); err != nil {
 				crashed = true
 				return errWorkerCrash
@@ -216,12 +340,15 @@ func (w *Worker) runJob(ctx context.Context, grant *LeaseGrant) error {
 		}
 	}
 
+	replaySpan = wt.begin("replay")
+	wt.setCount(replaySpan, "start_event", int64(start))
 	_, rerr := tr.ReplayDurable(rctx, opts, a)
 	cancel(nil)
 	<-hbDone
 	if crashed || errors.Is(rerr, errWorkerCrash) {
 		return errWorkerCrash
 	}
+	wt.end(replaySpan, rerr)
 	if cause := context.Cause(rctx); cause != nil &&
 		(errors.Is(cause, errFencedLocal) || errors.Is(cause, errPartitioned)) {
 		log.Warn("abandoning job", "cause", cause)
@@ -232,7 +359,7 @@ func (w *Worker) runJob(ctx context.Context, grant *LeaseGrant) error {
 		return nil
 	}
 	if rerr != nil {
-		if perr := w.postResult(ctx, jobID, token, rerr.Error(), nil); perr != nil && !isFenced(perr) {
+		if perr := postFinal(rerr.Error(), nil); perr != nil && !isFenced(perr) {
 			log.Error("failed-result post failed", "err", perr)
 		}
 		return nil
@@ -242,7 +369,8 @@ func (w *Worker) runJob(ctx context.Context, grant *LeaseGrant) error {
 	if merr != nil {
 		resultJSON = nil
 	}
-	if perr := w.postResult(ctx, jobID, token, "", resultJSON); perr != nil && !isFenced(perr) {
+	wt.setCount(replaySpan, "issues", int64(summary.Issues))
+	if perr := postFinal("", resultJSON); perr != nil && !isFenced(perr) {
 		log.Error("result post failed; lease will expire and the job reschedule", "err", perr)
 		return nil
 	}
@@ -258,7 +386,7 @@ func (w *Worker) runJob(ctx context.Context, grant *LeaseGrant) error {
 // side: cancel with errPartitioned so a partitioned worker stops analyzing
 // a job it no longer owns instead of looping forever. The "dist.heartbeat"
 // fault point simulates the partition by failing the send.
-func (w *Worker) heartbeatLoop(ctx context.Context, cancel context.CancelCauseFunc, done chan<- struct{}, jobID string, token uint64) {
+func (w *Worker) heartbeatLoop(ctx context.Context, cancel context.CancelCauseFunc, done chan<- struct{}, jobID string, token uint64, wt *workerTrace) {
 	defer close(done)
 	interval := w.ttl / 3
 	if interval <= 0 {
@@ -270,7 +398,7 @@ func (w *Worker) heartbeatLoop(ctx context.Context, cancel context.CancelCauseFu
 	for {
 		err := faultinject.Fire("dist.heartbeat")
 		if err == nil {
-			err = w.postHeartbeat(ctx, jobID, token)
+			err = w.postHeartbeat(ctx, jobID, token, wt.snapshot())
 		}
 		switch {
 		case err == nil:
@@ -455,8 +583,8 @@ func (w *Worker) fetchCheckpoint(ctx context.Context, jobID string, token uint64
 	return ck, err
 }
 
-func (w *Worker) postHeartbeat(ctx context.Context, jobID string, token uint64) error {
-	body, _ := json.Marshal(writeRequest{Worker: w.cfg.ID, Token: token})
+func (w *Worker) postHeartbeat(ctx context.Context, jobID string, token uint64, spans []*telemetry.Span) error {
+	body, _ := json.Marshal(writeRequest{Worker: w.cfg.ID, Token: token, Spans: spans})
 	// Heartbeats are time-critical and repeat on their own schedule: one
 	// attempt each, no backoff (the heartbeat loop itself is the retry).
 	p := w.cfg.Retry
@@ -476,7 +604,7 @@ func (w *Worker) postCheckpoint(ctx context.Context, ck *trace.Checkpoint, token
 	return w.doJSON(ctx, http.MethodPost, "/v1/fleet/jobs/"+url.PathEscape(ck.JobID)+"/checkpoint", q, data, "application/octet-stream", nil)
 }
 
-func (w *Worker) postResult(ctx context.Context, jobID string, token uint64, errMsg string, result json.RawMessage) error {
-	body, _ := json.Marshal(writeRequest{Worker: w.cfg.ID, Token: token, Error: errMsg, Result: result})
+func (w *Worker) postResult(ctx context.Context, jobID string, token uint64, errMsg string, result json.RawMessage, spans []*telemetry.Span) error {
+	body, _ := json.Marshal(writeRequest{Worker: w.cfg.ID, Token: token, Error: errMsg, Result: result, Spans: spans})
 	return w.doJSON(ctx, http.MethodPost, "/v1/fleet/jobs/"+url.PathEscape(jobID)+"/result", nil, body, "application/json", nil)
 }

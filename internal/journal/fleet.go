@@ -39,7 +39,7 @@ type FleetEntry struct {
 	Job   string `json:"job,omitempty"`
 	Token uint64 `json:"token,omitempty"`
 	// Worker records a registration (Kind "worker").
-	Worker string `json:"worker,omitempty"`
+	Worker string    `json:"worker,omitempty"`
 	Time   time.Time `json:"time"`
 }
 

@@ -76,6 +76,7 @@ func (s *Service) MarkJobRunning(id, worker string) bool {
 			s.metrics.queueWait.ObserveDuration(j.started.Sub(j.enqueued))
 		}
 	}
+	s.publishTraceLocked(j)
 	hook := s.testHookRunning
 	s.mu.Unlock()
 	s.mark(j, journal.StatusRunning, "", nil)
@@ -159,8 +160,12 @@ func (s *Service) CompleteRemote(id, errMsg string, result json.RawMessage) erro
 		}
 	}
 	if j.span != nil {
+		if errMsg != "" {
+			j.span.SetError(errMsg)
+		}
 		j.span.EndAt(j.finished)
 	}
+	s.publishTraceLocked(j)
 	s.metrics.jobSeconds.ObserveDuration(j.finished.Sub(j.submitted))
 	s.gcLocked(j.finished)
 	s.mu.Unlock()

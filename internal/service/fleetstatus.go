@@ -1,0 +1,133 @@
+// Federated fleet status: GET /v1/fleet/status aggregates per-worker
+// liveness, lease and fencing counters, queue depths, and span-derived job
+// latencies into one view. In coordinator mode the worker table comes from
+// the coordinator (SetFleetSource); in standalone mode the endpoint
+// degrades gracefully by reporting the inline worker pool as one synthetic
+// worker, so dashboards and the arbalest -fleet-status client work against
+// any role.
+package service
+
+import (
+	"net/http"
+	"sort"
+	"time"
+
+	"repro/internal/dist"
+)
+
+// FleetSource supplies the coordinator's point-in-time fleet view;
+// *dist.Coordinator implements it.
+type FleetSource interface {
+	FleetSnapshot() dist.FleetSnapshot
+}
+
+// SetFleetSource wires the coordinator into GET /v1/fleet/status. Call it
+// before serving traffic (the daemon does, right after building the
+// coordinator); nil keeps the standalone synthesis.
+func (s *Service) SetFleetSource(src FleetSource) {
+	s.mu.Lock()
+	s.fleetSource = src
+	s.mu.Unlock()
+}
+
+// LatencySummary is a percentile digest over recorded trace durations.
+type LatencySummary struct {
+	// Count is how many closed traces the digest covers.
+	Count    int   `json:"count"`
+	P50Nanos int64 `json:"p50Nanos"`
+	P99Nanos int64 `json:"p99Nanos"`
+}
+
+// FleetStatus is the body of GET /v1/fleet/status.
+type FleetStatus struct {
+	// Role is "coordinator" when a fleet source is wired, else "standalone".
+	Role string `json:"role"`
+	// Workers is the fleet's worker table. Standalone daemons report one
+	// synthetic "inline-pool" worker covering the in-process replay pool.
+	Workers []dist.WorkerInfo `json:"workers"`
+	// Pending and Leased are fleet queue pressure (standalone: Pending is
+	// the job queue depth, Leased the jobs currently running inline).
+	Pending int `json:"pending"`
+	Leased  int `json:"leased"`
+	// QueueDepth/QueueCapacity are the service's admission queue.
+	QueueDepth    int `json:"queueDepth"`
+	QueueCapacity int `json:"queueCapacity"`
+	// Counters are the coordinator's cumulative dispatch counters (zero in
+	// standalone mode, which has no dispatcher).
+	Counters dist.FleetCounters `json:"counters"`
+	// Traces is how many traces the store currently holds.
+	Traces int `json:"traces"`
+	// JobLatency digests the durations of closed job traces in the store
+	// (p50/p99); nil until at least one traced job finished.
+	JobLatency *LatencySummary `json:"jobLatency,omitempty"`
+}
+
+// FleetStatus assembles the federated status view.
+func (s *Service) FleetStatus() FleetStatus {
+	s.mu.Lock()
+	src := s.fleetSource
+	depth, capacity := len(s.queue), cap(s.queue)
+	running := 0
+	for _, j := range s.jobs {
+		if j.status == StatusRunning {
+			running++
+		}
+	}
+	s.mu.Unlock()
+
+	st := FleetStatus{
+		QueueDepth:    depth,
+		QueueCapacity: capacity,
+		Traces:        s.traces.Len(),
+		JobLatency:    latencySummary(s.traces.DurationsByName("job")),
+	}
+	if src != nil {
+		snap := src.FleetSnapshot()
+		st.Role = "coordinator"
+		st.Workers = snap.Workers
+		st.Pending = snap.Pending
+		st.Leased = snap.Leased
+		st.Counters = snap.Counters
+		return st
+	}
+	// Standalone: no coordinator, no lease table — report the inline replay
+	// pool as one synthetic always-live worker so fleet tooling sees the
+	// same shape everywhere.
+	st.Role = "standalone"
+	st.Workers = []dist.WorkerInfo{{
+		ID:       "inline-pool",
+		LastSeen: time.Now(),
+		Live:     true,
+		Leases:   running,
+	}}
+	st.Pending = depth
+	st.Leased = running
+	return st
+}
+
+// latencySummary digests sorted durations into p50/p99, nil when empty.
+func latencySummary(durations []int64) *LatencySummary {
+	if len(durations) == 0 {
+		return nil
+	}
+	sort.Slice(durations, func(i, j int) bool { return durations[i] < durations[j] })
+	return &LatencySummary{
+		Count:    len(durations),
+		P50Nanos: percentile(durations, 50),
+		P99Nanos: percentile(durations, 99),
+	}
+}
+
+// percentile picks the nearest-rank percentile from sorted values.
+func percentile(sorted []int64, p int) int64 {
+	idx := (len(sorted)*p + 99) / 100
+	if idx > 0 {
+		idx--
+	}
+	return sorted[idx]
+}
+
+// handleFleetStatus serves GET /v1/fleet/status.
+func (s *Service) handleFleetStatus(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, http.StatusOK, s.FleetStatus())
+}

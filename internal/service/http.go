@@ -22,6 +22,16 @@ import (
 //	GET  /v1/jobs/{id}/trace   the job's span tree (accept -> parse ->
 //	                           journal -> queue -> replay -> summarize);
 //	                           also served at /jobs/{id}/trace
+//	GET  /v1/traces            list stored distributed traces (summaries)
+//	GET  /v1/traces/{id}       one merged trace tree, spanning every
+//	                           process that touched the job or stream
+//	                           (?format=otlp for OTLP/JSON)
+//	GET  /v1/traces/export     every stored trace as one OTLP/JSON export
+//	GET  /v1/fleet/status      federated fleet status: worker liveness,
+//	                           lease/fencing counters, queue depths, and
+//	                           span-derived job latencies; standalone
+//	                           daemons report the inline pool as one
+//	                           synthetic worker
 //	POST   /v1/streams                 open a live ingestion session;
 //	                                   201 + session JSON, 429 at the cap
 //	GET    /v1/streams                 list sessions
@@ -52,6 +62,10 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleJobTrace)
 	mux.HandleFunc("GET /jobs/{id}/trace", s.handleJobTrace)
+	mux.HandleFunc("GET /v1/traces", s.handleTraces)
+	mux.HandleFunc("GET /v1/traces/export", s.handleTracesExport)
+	mux.HandleFunc("GET /v1/traces/{id}", s.handleTraceGet)
+	mux.HandleFunc("GET /v1/fleet/status", s.handleFleetStatus)
 	mux.HandleFunc("POST /v1/streams", s.handleStreamOpen)
 	mux.HandleFunc("GET /v1/streams", s.handleStreamList)
 	mux.HandleFunc("GET /v1/streams/{id}", s.handleStreamGet)
@@ -145,6 +159,7 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		Key:           r.Header.Get(retry.IdempotencyHeader),
 		Start:         accepted,
 		ParseDuration: parseDur,
+		Traceparent:   r.Header.Get(telemetry.TraceparentHeader),
 	}, tr)
 	if err != nil {
 		status := submitStatus(err)

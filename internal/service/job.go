@@ -46,6 +46,14 @@ type job struct {
 	// span is the job's trace tree, built under Service.mu and served as
 	// a Clone. Nil for jobs restored from the journal as history.
 	span *telemetry.Span
+	// tc is the job's distributed trace context, stamped at admission
+	// (zero for untraced, unsampled, or recovered jobs) and immutable once
+	// the job is published.
+	tc telemetry.TraceContext
+	// leaseSpans maps fencing token -> the "lease" child span opened when
+	// the coordinator granted that lease; worker span shipments merge under
+	// the entry matching their token.
+	leaseSpans map[uint64]*telemetry.Span
 }
 
 // JobView is the immutable, JSON-serializable snapshot of a job that the
@@ -63,6 +71,9 @@ type JobView struct {
 	Result    *tools.Summary `json:"result,omitempty"`
 	// Trace is the job's span tree (nil for jobs recovered as history).
 	Trace *telemetry.Span `json:"trace,omitempty"`
+	// TraceID is the job's distributed trace id, usable against
+	// GET /v1/traces/{id}; empty for untraced or unsampled jobs.
+	TraceID string `json:"traceId,omitempty"`
 }
 
 // viewLocked snapshots the job; the caller must hold Service.mu.
@@ -77,6 +88,9 @@ func (j *job) viewLocked() JobView {
 		Error:     j.errMsg,
 		Result:    j.result,
 		Trace:     j.span.Clone(),
+	}
+	if j.span != nil {
+		v.TraceID = j.span.TraceID
 	}
 	if !j.started.IsZero() {
 		t := j.started

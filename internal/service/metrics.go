@@ -73,9 +73,9 @@ func newMetrics() *Metrics {
 		jobsDeduplicated: reg.Counter("arbalestd_jobs_deduplicated_total", "Submissions answered from an existing job via idempotency key."),
 		journalErrors: reg.CounterVec("arbalestd_journal_errors_total",
 			"Write-ahead journal failures by operation (append, mark, checkpoint, remove, recover, fleet). Each failure is scoped to one job or session; the daemon stays up.", "op"),
-		eventsReplayed:   reg.Counter("arbalestd_events_replayed_total", "Trace events replayed through analyzers."),
-		queueDepth:       reg.Gauge("arbalestd_queue_depth", "Jobs queued but not yet running."),
-		workers:          reg.Gauge("arbalestd_workers", "Replay worker-pool size."),
+		eventsReplayed: reg.Counter("arbalestd_events_replayed_total", "Trace events replayed through analyzers."),
+		queueDepth:     reg.Gauge("arbalestd_queue_depth", "Jobs queued but not yet running."),
+		workers:        reg.Gauge("arbalestd_workers", "Replay worker-pool size."),
 
 		checkpointsWritten:  reg.Counter("arbalestd_checkpoints_written_total", "Analyzer-state checkpoints durably written to the spool at epoch boundaries."),
 		checkpointsRestored: reg.Counter("arbalestd_checkpoints_restored_total", "Replays resumed from a spooled checkpoint instead of starting from scratch."),

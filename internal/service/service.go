@@ -149,6 +149,17 @@ type Config struct {
 	// Everything else — admission, journaling, recovery, retention — is
 	// unchanged.
 	ExternalDispatch bool
+	// TraceCapacity bounds the in-memory distributed-trace store served at
+	// GET /v1/traces (0 = telemetry.DefaultTraceCapacity). Negative
+	// disables distributed tracing entirely: jobs and streams get no trace
+	// identity, lease grants carry no traceparent, and the traced code
+	// paths reduce to nil checks.
+	TraceCapacity int
+	// TraceSampleRate is the head-based sampling fraction for new traces
+	// (<=0 or >=1 records every trace). The verdict is made once at
+	// admission and propagated in the trace context, so every process
+	// handling the job agrees.
+	TraceSampleRate float64
 }
 
 func (c Config) withDefaults() Config {
@@ -187,6 +198,13 @@ type Service struct {
 	cfg     Config
 	metrics *Metrics
 	hub     *stream.Hub
+	// traces is the bounded distributed-trace store (nil when
+	// Config.TraceCapacity is negative: tracing disabled).
+	traces *telemetry.TraceStore
+	// fleetSource, when set (SetFleetSource), contributes the coordinator's
+	// worker table to GET /v1/fleet/status; nil means standalone mode and
+	// the handler synthesizes the inline pool as one worker.
+	fleetSource FleetSource
 
 	mu        sync.Mutex
 	queue     chan *job
@@ -217,10 +235,15 @@ func New(cfg Config) *Service {
 		jobs:    make(map[string]*job),
 		keys:    make(map[string]string),
 	}
+	if cfg.TraceCapacity >= 0 {
+		svc.traces = telemetry.NewTraceStore(cfg.TraceCapacity, cfg.TraceSampleRate, svc.metrics.reg)
+	}
 	// The stream hub shares the service's registry so /metrics exposes job
-	// and stream families side by side (one hub per registry).
+	// and stream families side by side (one hub per registry), and the
+	// trace store so stream sessions land next to job traces.
 	svc.hub = stream.NewHub(stream.Config{
 		Registry:        svc.metrics.reg,
+		Traces:          svc.traces,
 		Journal:         cfg.Journal,
 		MaxStreams:      cfg.MaxStreams,
 		MaxBytes:        cfg.StreamMaxBytes,
@@ -242,10 +265,16 @@ func (s *Service) Metrics() *Metrics { return s.metrics }
 // Streams returns the live streaming-ingestion hub.
 func (s *Service) Streams() *stream.Hub { return s.hub }
 
+// Traces returns the bounded distributed-trace store, nil when tracing is
+// disabled (Config.TraceCapacity < 0).
+func (s *Service) Traces() *telemetry.TraceStore { return s.traces }
+
 // jobLogger returns the configured logger scoped to one job, so every line
-// it emits carries the job_id and tool attributes.
+// it emits carries the job_id and tool attributes — plus trace_id/span_id
+// when the job is traced, which is what joins log lines against
+// GET /v1/traces/{trace_id}.
 func (s *Service) jobLogger(j *job) *slog.Logger {
-	return s.cfg.Logger.With("job_id", j.id, "tool", j.tool)
+	return telemetry.LoggerWithTrace(s.cfg.Logger.With("job_id", j.id, "tool", j.tool), j.tc)
 }
 
 // Draining reports whether Shutdown has begun; the health endpoint turns
@@ -437,6 +466,11 @@ type SubmitOptions struct {
 	// ParseDuration is how long the caller spent parsing the trace before
 	// submission; non-zero adds a "parse" child span.
 	ParseDuration time.Duration
+	// Traceparent, when it parses as a W3C traceparent header, joins the
+	// job to the client's distributed trace (the client's span becomes the
+	// job span's parent and its sampling verdict is honored). Empty or
+	// malformed, the service mints a fresh trace subject to head sampling.
+	Traceparent string
 }
 
 // SubmitTrace is the full submission entry point: Submit and SubmitKeyed
@@ -488,6 +522,19 @@ func (s *Service) SubmitTrace(opts SubmitOptions, tr *trace.Trace) (view JobView
 		tr:        tr,
 		span:      telemetry.NewSpan("job", opts.Start),
 	}
+	if s.traces != nil {
+		if ptc, ok := telemetry.ParseTraceparent(opts.Traceparent); ok {
+			// Client-supplied context: join its trace under its span, keeping
+			// its sampling verdict so every process agrees.
+			j.tc = telemetry.TraceContext{TraceID: ptc.TraceID, SpanID: telemetry.NewSpanID(), Sampled: ptc.Sampled}
+			if j.tc.Sampled {
+				j.span.Identify(j.tc, ptc.SpanID)
+			}
+		} else if s.traces.Admit() {
+			j.tc = telemetry.NewTraceContext()
+			j.span.Identify(j.tc, "")
+		}
+	}
 	j.span.SetCount("events", int64(j.events))
 	if opts.ParseDuration > 0 {
 		ps := j.span.StartChild("parse", opts.Start)
@@ -520,6 +567,7 @@ func (s *Service) SubmitTrace(opts SubmitOptions, tr *trace.Trace) (view JobView
 	s.metrics.jobsAccepted.Inc()
 	s.metrics.queueDepth.Add(1)
 	s.gcLocked(time.Now())
+	s.publishTraceLocked(j)
 	return j.viewLocked(), false, nil
 }
 
@@ -655,12 +703,54 @@ func (s *Service) runJob(j *job) {
 		rstats      trace.ReplayStats
 	)
 	attempt := func(workers int, ck *trace.Checkpoint) (err error) {
+		// Each attempt gets its own replay span, closed in the deferred
+		// epilogue below no matter how the attempt ends — success, failure,
+		// watchdog cancellation, or panic. A job retried after a stall thus
+		// shows one failed replay span per lost attempt instead of silently
+		// dropping them from the tree.
+		attemptStart := time.Now()
+		var rs *telemetry.Span
+		s.mu.Lock()
+		if j.span != nil {
+			rs = j.span.StartChild("replay", attemptStart)
+		}
+		s.mu.Unlock()
 		defer func() {
 			if r := recover(); r != nil {
 				s.metrics.jobsPanicked.Inc()
 				s.jobLogger(j).Error("analyzer panicked", "phase", "replay", "panic", fmt.Sprint(r))
 				err = fmt.Errorf("analyzer panicked: %v\n%s", r, stackFragment())
+				// The panic skipped the wall measurement; take it here so the
+				// job view doesn't report zero replay time. A replayStart left
+				// over from an earlier attempt is stale — re-anchor.
+				if replayStart.Before(attemptStart) {
+					replayStart = attemptStart
+				}
+				wall = time.Since(replayStart)
 			}
+			s.mu.Lock()
+			if rs != nil {
+				rs.SetCount("events", int64(j.events))
+				rs.SetCount("shards", int64(rstats.Workers))
+				rs.SetCount("epochs", int64(rstats.Epochs))
+				rs.SetCount("maxEpochAccesses", int64(rstats.MaxEpochAccesses))
+				if err != nil {
+					rs.SetError(err.Error())
+				}
+				if !replayStart.Before(attemptStart) {
+					// This attempt reached the replay: anchor the span to the
+					// measured interval so its duration equals the wall time
+					// the job view reports, exactly.
+					rs.Start = replayStart
+					rs.EndAt(replayStart.Add(wall))
+				} else {
+					// Failed before the replay began (bad tool, fault
+					// injection): the span covers the attempt itself.
+					rs.EndAt(time.Time{})
+				}
+			}
+			s.publishTraceLocked(j)
+			s.mu.Unlock()
 		}()
 		if err := faultinject.Fire("worker.slow"); err != nil {
 			return err
@@ -782,14 +872,6 @@ func (s *Service) runJob(j *job) {
 		j.result = summary
 	}
 	if j.span != nil {
-		if !replayStart.IsZero() {
-			rs := j.span.StartChild("replay", replayStart)
-			rs.EndAt(replayStart.Add(wall))
-			rs.SetCount("events", int64(j.events))
-			rs.SetCount("shards", int64(rstats.Workers))
-			rs.SetCount("epochs", int64(rstats.Epochs))
-			rs.SetCount("maxEpochAccesses", int64(rstats.MaxEpochAccesses))
-		}
 		if !sumStart.IsZero() {
 			ss := j.span.StartChild("summarize", sumStart)
 			ss.EndAt(sumStart.Add(sumDur))
@@ -797,8 +879,12 @@ func (s *Service) runJob(j *job) {
 				ss.SetCount("issues", int64(summary.Issues))
 			}
 		}
+		if err != nil {
+			j.span.SetError(err.Error())
+		}
 		j.span.EndAt(j.finished)
 	}
+	s.publishTraceLocked(j)
 	s.metrics.jobSeconds.ObserveDuration(j.finished.Sub(j.submitted))
 	now := j.finished
 	s.gcLocked(now)
@@ -1029,6 +1115,11 @@ func (s *Service) gcLocked(now time.Time) int {
 		delete(s.jobs, id)
 		if j.key != "" {
 			delete(s.keys, j.key)
+		}
+		// Trace retention never outlives job retention: the evicted job's
+		// trace leaves the store with it.
+		if j.span != nil && j.span.TraceID != "" {
+			s.traces.Remove(j.span.TraceID)
 		}
 		if s.cfg.Journal != nil {
 			if err := s.cfg.Journal.Remove(id); err != nil {

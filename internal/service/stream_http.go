@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/faultinject"
 	"repro/internal/stream"
+	"repro/internal/telemetry"
 )
 
 // maxFindingsWait caps the ?wait= long-poll on the findings endpoint so a
@@ -40,7 +41,7 @@ func (s *Service) handleStreamOpen(w http.ResponseWriter, r *http.Request) {
 	if toolName == "" {
 		toolName = "arbalest"
 	}
-	view, err := s.hub.Open(toolName)
+	view, err := s.hub.Open(toolName, r.Header.Get(telemetry.TraceparentHeader))
 	if err != nil {
 		status := streamStatus(err)
 		if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {

@@ -1,0 +1,52 @@
+// The queryable trace API over the daemon's bounded trace store:
+//
+//	GET /v1/traces             list stored traces (summaries, oldest first)
+//	GET /v1/traces/{id}        one merged trace tree (?format=otlp for the
+//	                           OTLP/JSON encoding of just that trace)
+//	GET /v1/traces/export      every stored trace as one OTLP/JSON
+//	                           ExportTraceServiceRequest, for collectors
+//
+// With tracing disabled (Config.TraceCapacity < 0) the listing is empty and
+// lookups answer 404 — the endpoints stay mounted so clients need no
+// capability probe.
+package service
+
+import (
+	"errors"
+	"net/http"
+
+	"repro/internal/telemetry"
+)
+
+// otlpServiceName is the resource service.name exported traces claim.
+const otlpServiceName = "arbalestd"
+
+// handleTraces serves GET /v1/traces.
+func (s *Service) handleTraces(w http.ResponseWriter, r *http.Request) {
+	list := s.traces.List()
+	if list == nil {
+		list = []telemetry.TraceSummary{}
+	}
+	s.writeJSON(w, http.StatusOK, struct {
+		Traces []telemetry.TraceSummary `json:"traces"`
+	}{Traces: list})
+}
+
+// handleTraceGet serves GET /v1/traces/{id}.
+func (s *Service) handleTraceGet(w http.ResponseWriter, r *http.Request) {
+	root := s.traces.Get(r.PathValue("id"))
+	if root == nil {
+		s.writeError(w, http.StatusNotFound, errors.New("service: no such trace"))
+		return
+	}
+	if r.URL.Query().Get("format") == "otlp" {
+		s.writeJSON(w, http.StatusOK, telemetry.OTLP(otlpServiceName, []*telemetry.Span{root}))
+		return
+	}
+	s.writeJSON(w, http.StatusOK, root)
+}
+
+// handleTracesExport serves GET /v1/traces/export.
+func (s *Service) handleTracesExport(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, http.StatusOK, telemetry.OTLP(otlpServiceName, s.traces.Roots()))
+}

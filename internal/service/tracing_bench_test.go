@@ -1,0 +1,81 @@
+// BenchmarkServiceReplay measures the full submit-to-settled path with
+// tracing enabled vs disabled. CI's trace-overhead gate compares the two
+// in-run — same binary, same machine, interleaved — so the assertion
+// ("tracing costs nothing measurable on the replay hot path; disabling it
+// restores the pre-tracing baseline") never depends on cross-machine
+// nanosecond comparisons.
+package service
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/dracc"
+	"repro/internal/omp"
+	"repro/internal/trace"
+)
+
+// benchRecordTrace records DRACC benchmark id for benchmarking.
+func benchRecordTrace(b *testing.B, id int) *trace.Trace {
+	b.Helper()
+	bench := dracc.ByID(id)
+	if bench == nil {
+		b.Fatalf("no DRACC benchmark %d", id)
+	}
+	rec := trace.NewRecorder()
+	rt := omp.NewRuntime(omp.Config{NumDevices: bench.Devices, NumThreads: 2, ForceSync: true}, rec)
+	_ = rt.Run(func(c *omp.Context) error {
+		bench.Run(c)
+		return nil
+	})
+	return rec.Trace()
+}
+
+func benchServiceReplay(b *testing.B, traceCapacity int) {
+	tr := benchRecordTrace(b, 22)
+	s := New(Config{Workers: 1, QueueSize: 64, TraceCapacity: traceCapacity})
+	s.Start()
+	b.Cleanup(func() { shutdownOrFailB(b, s) })
+	b.ReportAllocs()
+	b.ResetTimer()
+	var replayNanos int64
+	for i := 0; i < b.N; i++ {
+		v, err := s.Submit("arbalest", tr)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for {
+			jv, ok := s.Job(v.ID)
+			if !ok {
+				b.Fatalf("job %s disappeared", v.ID)
+			}
+			if jv.Status == StatusDone {
+				replayNanos += jv.WallNanos
+				break
+			}
+			if jv.Status == StatusFailed {
+				b.Fatalf("job failed: %s", jv.Error)
+			}
+			time.Sleep(50 * time.Microsecond)
+		}
+	}
+	// The replay wall as the job itself measured it: the hot path alone,
+	// without submit/queue/poll scheduling noise — what the CI overhead
+	// gate compares.
+	b.ReportMetric(float64(replayNanos)/float64(b.N), "replay-ns/op")
+}
+
+func shutdownOrFailB(b *testing.B, s *Service) {
+	b.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		b.Fatalf("shutdown: %v", err)
+	}
+}
+
+func BenchmarkServiceReplay(b *testing.B) {
+	b.Run("tracing-on", func(b *testing.B) { benchServiceReplay(b, 0) })
+	b.Run("tracing-off", func(b *testing.B) { benchServiceReplay(b, -1) })
+}

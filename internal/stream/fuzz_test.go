@@ -54,7 +54,7 @@ func FuzzStreamSession(f *testing.F) {
 	f.Fuzz(func(t *testing.T, data []byte, chunk uint8) {
 		h := NewHub(Config{Registry: telemetry.NewRegistry(), MaxEvents: 4096, MaxBytes: 1 << 20})
 		defer h.Close()
-		v, err := h.Open("arbalest")
+		v, err := h.Open("arbalest", "")
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -96,7 +96,7 @@ func FuzzStreamSession(f *testing.F) {
 
 		// The accept loop must survive whatever just happened: a fresh
 		// session on the same hub analyzes a clean stream end to end.
-		v2, err := h.Open("arbalest")
+		v2, err := h.Open("arbalest", "")
 		if err != nil {
 			t.Fatal(err)
 		}

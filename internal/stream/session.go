@@ -11,9 +11,15 @@ import (
 	"repro/internal/journal"
 	"repro/internal/ompt"
 	"repro/internal/report"
+	"repro/internal/telemetry"
 	"repro/internal/tools"
 	"repro/internal/trace"
 )
+
+// maxIngestSpans caps "ingest" child spans per session: long sessions ship
+// many chunked requests and the trace must stay bounded. Requests past the
+// cap still advance the root span's progress counts.
+const maxIngestSpans = 32
 
 // Status is a session's position in its lifecycle. Sessions are born live
 // and reach exactly one terminal state: done (client closed cleanly),
@@ -68,6 +74,15 @@ type Session struct {
 	finished   time.Time
 	errMsg     string
 	summary    *tools.Summary
+	// tc and span are the session's distributed-tracing identity: a root
+	// "stream" span whose snapshots are published to the hub's trace store.
+	// Both are assigned once before the session is published and never
+	// reassigned, so reading the pointer and the identity fields outside
+	// s.mu (logging, hub GC) is safe; the span's mutable interior is only
+	// touched under s.mu or before publication.
+	tc     telemetry.TraceContext
+	span   *telemetry.Span
+	ingest *telemetry.Span
 }
 
 func newSession(h *Hub, id, tool string, a tools.Analyzer) *Session {
@@ -85,6 +100,106 @@ func newSession(h *Hub, id, tool string, a tools.Analyzer) *Session {
 
 // ID returns the session's identifier.
 func (s *Session) ID() string { return s.id }
+
+// attachTrace gives a newly opened session its distributed-tracing
+// identity. A parseable sampled traceparent joins the caller's trace (the
+// session's root "stream" span becomes a child of the caller's span); an
+// unsampled one keeps the session untraced, honoring the caller's verdict;
+// no traceparent mints a fresh trace subject to the store's head sampling.
+// Runs before the session is published.
+func (s *Session) attachTrace(traceparent string) {
+	if s.hub.cfg.Traces == nil {
+		return
+	}
+	parentID := ""
+	if ptc, ok := telemetry.ParseTraceparent(traceparent); ok {
+		if !ptc.Sampled {
+			return
+		}
+		s.tc = telemetry.TraceContext{TraceID: ptc.TraceID, SpanID: telemetry.NewSpanID(), Sampled: true}
+		parentID = ptc.SpanID
+	} else if s.hub.cfg.Traces.Admit() {
+		s.tc = telemetry.NewTraceContext()
+	} else {
+		return
+	}
+	s.span = telemetry.NewSpan("stream", s.created)
+	s.span.SetAttr("tool", s.tool)
+	s.span.SetAttr("stream_id", s.id)
+	s.span.Identify(s.tc, parentID)
+}
+
+// restoreTrace rejoins a recovered session to the trace it was opened
+// under: Record.Key round-trips the session's own traceparent through the
+// stream meta file, so the resumed session keeps the same trace and span
+// IDs and its published snapshots replace the pre-crash tree — one trace
+// across the crash. The sampling verdict rode along in the flags, so
+// recovery never re-rolls the head-sampling dice. Only our own identity is
+// journaled; a parent link to an external caller's span does not survive
+// the crash, which costs the resumed root its ParentID and nothing else.
+func (s *Session) restoreTrace(key string) {
+	if s.hub.cfg.Traces == nil {
+		return
+	}
+	ptc, ok := telemetry.ParseTraceparent(key)
+	if !ok || !ptc.Sampled {
+		return
+	}
+	s.tc = ptc
+	s.span = telemetry.NewSpan("stream", s.created)
+	s.span.SetAttr("tool", s.tool)
+	s.span.SetAttr("stream_id", s.id)
+	s.span.Identify(s.tc, "")
+}
+
+// traceKey is the session's own traceparent for journal persistence, ""
+// when untraced.
+func (s *Session) traceKey() string {
+	if !s.tc.Valid() {
+		return ""
+	}
+	return s.tc.Traceparent()
+}
+
+// publishTraceLocked snapshots the span tree into the trace store with the
+// session's progress counts stamped on the root. The caller holds s.mu or
+// owns a session that is not yet published (open, recovery).
+func (s *Session) publishTraceLocked() {
+	if s.hub.cfg.Traces == nil || s.span == nil || s.span.TraceID == "" {
+		return
+	}
+	s.span.SetCount("events", int64(s.events))
+	s.span.SetCount("bytes", s.bytes)
+	s.hub.cfg.Traces.Put(s.span.TraceID, s.span.Clone())
+}
+
+// publishTrace is publishTraceLocked behind the session lock.
+func (s *Session) publishTrace() {
+	s.mu.Lock()
+	s.publishTraceLocked()
+	s.mu.Unlock()
+}
+
+// endTraceLocked closes the session's root span from the settled terminal
+// state and publishes the final snapshot. Locking contract as
+// publishTraceLocked.
+func (s *Session) endTraceLocked() {
+	if s.span == nil || s.span.TraceID == "" {
+		return
+	}
+	if s.ingest != nil {
+		s.ingest.EndAt(time.Time{})
+		s.ingest = nil
+	}
+	if s.errMsg != "" {
+		s.span.SetError(s.errMsg)
+	}
+	if s.summary != nil {
+		s.span.SetCount("issues", int64(s.summary.Issues))
+	}
+	s.span.EndAt(s.finished)
+	s.publishTraceLocked()
+}
 
 // View is the immutable, JSON-serializable snapshot of a session served by
 // the HTTP API.
@@ -104,6 +219,9 @@ type View struct {
 	Finished    *time.Time     `json:"finished,omitempty"`
 	Error       string         `json:"error,omitempty"`
 	Result      *tools.Summary `json:"result,omitempty"`
+	// TraceID names the session's distributed trace at GET /v1/traces/{id};
+	// empty when the session is untraced.
+	TraceID string `json:"traceId,omitempty"`
 }
 
 // View snapshots the session.
@@ -130,6 +248,9 @@ func (s *Session) viewLocked() View {
 	if !s.finished.IsZero() {
 		t := s.finished
 		v.Finished = &t
+	}
+	if s.span != nil {
+		v.TraceID = s.span.TraceID
 	}
 	return v
 }
@@ -197,6 +318,9 @@ func (s *Session) StartIngest() error {
 	s.busy = true
 	s.dec = trace.NewPushDecoder(trace.Limits{})
 	s.lastActive = time.Now()
+	if s.span != nil && len(s.span.Children) < maxIngestSpans {
+		s.ingest = s.span.StartChild("ingest", time.Time{})
+	}
 	return nil
 }
 
@@ -208,6 +332,15 @@ func (s *Session) EndIngest() {
 	s.busy = false
 	s.dec = nil
 	s.lastActive = time.Now()
+	if s.ingest != nil {
+		// The counts are the session's cumulative position as the request
+		// detached, so consecutive ingest spans read as a progress series.
+		s.ingest.SetCount("events", int64(s.events))
+		s.ingest.SetCount("bytes", s.bytes)
+		s.ingest.EndAt(time.Time{})
+		s.ingest = nil
+		s.publishTraceLocked()
+	}
 	s.mu.Unlock()
 }
 
@@ -350,6 +483,10 @@ func (s *Session) checkpointLocked(boundary uint64) {
 	}
 	s.lastCkpt = boundary
 	s.hub.metrics.checkpoints.Inc()
+	if s.span != nil {
+		s.span.SetCount("checkpoint_event", int64(boundary))
+		s.publishTraceLocked()
+	}
 }
 
 // replaySpool re-feeds a recovered session's spooled bytes through a fresh
@@ -413,6 +550,7 @@ func (s *Session) Finalize() (View, error) {
 	s.summary = sum
 	s.status = StatusDone
 	s.finished = time.Now()
+	s.endTraceLocked()
 	s.notifyLocked()
 	s.releaseSpoolLocked()
 	v := s.viewLocked()
@@ -469,6 +607,7 @@ func (s *Session) finish(status Status, errMsg string, sum *tools.Summary) bool 
 	s.errMsg = errMsg
 	s.summary = sum
 	s.finished = time.Now()
+	s.endTraceLocked()
 	s.notifyLocked()
 	s.releaseSpoolLocked()
 	s.mu.Unlock()
@@ -502,10 +641,10 @@ func (s *Session) releaseSpoolLocked() {
 // replay-clock order and the list only appends while the session lives, so
 // cursors from earlier reads stay valid.
 type FindingsView struct {
-	ID     string          `json:"id"`
-	Status Status          `json:"status"`
-	Since  int             `json:"since"`
-	Next   int             `json:"next"`
+	ID      string          `json:"id"`
+	Status  Status          `json:"status"`
+	Since   int             `json:"since"`
+	Next    int             `json:"next"`
 	Reports []report.Report `json:"reports"`
 }
 

@@ -95,6 +95,10 @@ type Config struct {
 	Logger *slog.Logger
 	// AnalyzerStats enables analyzer-level telemetry on capable analyzers.
 	AnalyzerStats bool
+	// Traces, when non-nil, receives snapshots of every session's span tree
+	// so stream traces land in the same queryable store as job traces. Nil
+	// disables stream tracing.
+	Traces *telemetry.TraceStore
 }
 
 func (c Config) withDefaults() Config {
@@ -148,14 +152,23 @@ func NewHub(cfg Config) *Hub {
 	}
 }
 
-// sessionLogger scopes the configured logger to one session.
+// sessionLogger scopes the configured logger to one session, stamping the
+// session's trace identity into every line for log/trace correlation. s.tc
+// is written once before the session is published and never reassigned, so
+// reading it here without s.mu is safe.
 func (h *Hub) sessionLogger(s *Session) *slog.Logger {
-	return h.cfg.Logger.With("stream_id", s.id, "tool", s.tool)
+	return telemetry.LoggerWithTrace(h.cfg.Logger.With("stream_id", s.id, "tool", s.tool), s.tc)
 }
 
 // Open admits a new session for the named tool. It fails with ErrSaturated
 // at the admission cap and ErrDraining once Close has begun.
-func (h *Hub) Open(tool string) (View, error) {
+//
+// traceparent, when it parses as a W3C trace context, makes the session a
+// child of the caller's trace; otherwise a fresh trace is minted subject to
+// the store's head sampling. The session's own traceparent is journaled
+// write-ahead (Record.Key), so a daemon crash and recovery resumes the SAME
+// trace — chunked uploads, the crash, and the resumed feed read as one tree.
+func (h *Hub) Open(tool, traceparent string) (View, error) {
 	a, err := tools.New(tool)
 	if err != nil {
 		return View{}, err
@@ -175,11 +188,14 @@ func (h *Hub) Open(tool string) (View, error) {
 	}
 	id := fmt.Sprintf("stream-%d", h.nextID)
 	s := newSession(h, id, tool, a)
+	s.attachTrace(traceparent)
 	if h.cfg.Journal != nil {
 		// Write-ahead: the session is journaled (live mark plus the spool's
-		// framed-format header, fsynced) before it is acknowledged.
+		// framed-format header, fsynced) before it is acknowledged. Key
+		// carries the session's own traceparent so recovery rejoins the
+		// trace under the same IDs.
 		w, err := h.cfg.Journal.AppendStream(journal.Record{
-			ID: id, Tool: tool, Submitted: s.created,
+			ID: id, Tool: tool, Submitted: s.created, Key: s.traceKey(),
 		})
 		if err != nil {
 			return View{}, fmt.Errorf("stream: journal: %w", err)
@@ -201,6 +217,7 @@ func (h *Hub) Open(tool string) (View, error) {
 	h.metrics.opened.Inc()
 	h.metrics.active.Set(int64(h.live))
 	h.gcLocked()
+	s.publishTrace()
 	return s.View(), nil
 }
 
@@ -362,6 +379,11 @@ func (h *Hub) gcLocked() {
 		if excess > 0 && s.terminal() {
 			excess--
 			delete(h.sessions, id)
+			// Trace retention follows session retention: when the session
+			// leaves memory and spool, its trace leaves the store.
+			if h.cfg.Traces != nil && s.span != nil && s.span.TraceID != "" {
+				h.cfg.Traces.Remove(s.span.TraceID)
+			}
 			if h.cfg.Journal != nil {
 				if err := h.cfg.Journal.RemoveStream(id); err != nil {
 					h.sessionLogger(s).Error("journal stream remove failed", "phase", "gc", "err", err)
@@ -499,6 +521,7 @@ func (h *Hub) rebuild(rs journal.RecoveredStream) *Session {
 	}
 	s := newSession(h, rs.ID, rs.Tool, a)
 	s.created = rs.Submitted
+	s.restoreTrace(rs.Key)
 
 	// Restore the freshest checkpoint when the analyzer supports it; a
 	// failed restore falls back to a clean analyzer and a full re-feed — a
@@ -519,6 +542,7 @@ func (h *Hub) rebuild(rs journal.RecoveredStream) *Session {
 				}
 				s = newSession(h, rs.ID, rs.Tool, a)
 				s.created = rs.Submitted
+				s.restoreTrace(rs.Key)
 			} else {
 				s.events = rs.Checkpoint.NextEvent
 				s.lastCkpt = rs.Checkpoint.NextEvent
@@ -527,6 +551,14 @@ func (h *Hub) rebuild(rs journal.RecoveredStream) *Session {
 					"phase", "recovery", "resume_event", s.events)
 			}
 		}
+	}
+
+	// The recovery work is itself a span on the resumed trace: where the
+	// checkpoint put the session and how far the spooled suffix carried it.
+	var restoreSpan *telemetry.Span
+	if s.span != nil {
+		restoreSpan = s.span.StartChild("restore", time.Time{})
+		restoreSpan.SetCount("resume_event", int64(s.resumedFrom))
 	}
 
 	// Re-feed the spool: events below the restored position are skipped by
@@ -542,8 +574,17 @@ func (h *Hub) rebuild(rs journal.RecoveredStream) *Session {
 		s.status = StatusFailed
 		s.finished = time.Now()
 		s.errMsg = fmt.Sprintf("recovery: %v", err)
+		if restoreSpan != nil {
+			restoreSpan.SetError(err.Error())
+			restoreSpan.EndAt(time.Time{})
+		}
+		s.endTraceLocked()
 		_ = h.cfg.Journal.MarkStream(rs.ID, journal.StatusFailed, s.errMsg, nil)
 		return s
+	}
+	if restoreSpan != nil {
+		restoreSpan.SetCount("refed_event", int64(s.events))
+		restoreSpan.EndAt(time.Time{})
 	}
 	w, err := h.cfg.Journal.OpenStreamBytes(rs.ID)
 	if err != nil {
@@ -552,9 +593,11 @@ func (h *Hub) rebuild(rs journal.RecoveredStream) *Session {
 		s.status = StatusFailed
 		s.finished = time.Now()
 		s.errMsg = fmt.Sprintf("recovery: %v", err)
+		s.endTraceLocked()
 		_ = h.cfg.Journal.MarkStream(rs.ID, journal.StatusFailed, s.errMsg, nil)
 		return s
 	}
 	s.spool = w
+	s.publishTraceLocked()
 	return s
 }

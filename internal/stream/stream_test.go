@@ -87,7 +87,7 @@ func newTestHub(t testing.TB, mutate func(*Config)) *Hub {
 // openSession opens a session on h and returns it.
 func openSession(t testing.TB, h *Hub, toolName string) *Session {
 	t.Helper()
-	v, err := h.Open(toolName)
+	v, err := h.Open(toolName, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -382,7 +382,7 @@ func TestStreamLimits(t *testing.T) {
 	t.Run("admission cap", func(t *testing.T) {
 		h := newTestHub(t, func(c *Config) { c.MaxStreams = 1 })
 		s := openSession(t, h, "arbalest")
-		if _, err := h.Open("arbalest"); !errors.Is(err, ErrSaturated) {
+		if _, err := h.Open("arbalest", ""); !errors.Is(err, ErrSaturated) {
 			t.Fatalf("open at cap: %v, want ErrSaturated", err)
 		}
 		if !h.Saturated() {
@@ -394,7 +394,7 @@ func TestStreamLimits(t *testing.T) {
 		if h.Saturated() {
 			t.Fatal("hub still saturated after the only session closed")
 		}
-		if _, err := h.Open("arbalest"); err != nil {
+		if _, err := h.Open("arbalest", ""); err != nil {
 			t.Fatalf("open after drain: %v", err)
 		}
 	})
@@ -403,7 +403,7 @@ func TestStreamLimits(t *testing.T) {
 		h := newTestHub(t, nil)
 		s := openSession(t, h, "arbalest")
 		h.Close()
-		if _, err := h.Open("arbalest"); !errors.Is(err, ErrDraining) {
+		if _, err := h.Open("arbalest", ""); !errors.Is(err, ErrDraining) {
 			t.Fatalf("open on closed hub: %v, want ErrDraining", err)
 		}
 		if err := s.StartIngest(); !errors.Is(err, ErrDraining) {
@@ -431,7 +431,7 @@ func TestStreamLimits(t *testing.T) {
 
 	t.Run("unknown tool", func(t *testing.T) {
 		h := newTestHub(t, nil)
-		if _, err := h.Open("no-such-tool"); err == nil {
+		if _, err := h.Open("no-such-tool", ""); err == nil {
 			t.Fatal("open with unknown tool succeeded")
 		}
 	})
@@ -729,5 +729,117 @@ func TestStreamIdleEviction(t *testing.T) {
 	}
 	if got := attached.View().Status; got != StatusLive {
 		t.Fatalf("attached session %s, want live (busy sessions are never idle)", got)
+	}
+}
+
+// TestStreamTraceContinuity: a session opened with a client traceparent is
+// ONE trace across a daemon crash. The session's trace identity is journaled
+// write-ahead with the stream record, so the recovered session publishes
+// under the same trace and span IDs (a "restore" child marks the resume),
+// and terminal GC evicts the trace together with the session.
+func TestStreamTraceContinuity(t *testing.T) {
+	dir := t.TempDir()
+	jnl, err := journal.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := recordDRACC(t, dracc.ByID(22))
+
+	traces1 := telemetry.NewTraceStore(16, 1, nil)
+	h1 := NewHub(Config{Registry: telemetry.NewRegistry(), Journal: jnl, CheckpointEvery: 4, Traces: traces1})
+	client := telemetry.NewTraceContext()
+	v, err := h1.Open("arbalest", client.Traceparent())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.TraceID != client.TraceID {
+		t.Fatalf("session joined trace %s, client sent %s", v.TraceID, client.TraceID)
+	}
+	s1, ok := h1.Get(v.ID)
+	if !ok {
+		t.Fatal(err)
+	}
+	half := len(tr.Events) / 2
+	body := trace.StreamHeader()
+	for i := 0; i < half; i++ {
+		if body, err = trace.AppendEventFrame(body, &tr.Events[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	feedChunks(t, s1, body, 0)
+	before := traces1.Get(client.TraceID)
+	if before == nil {
+		t.Fatalf("trace %s not published while live", client.TraceID)
+	}
+	if before.Name != "stream" || before.ParentID != client.SpanID {
+		t.Fatalf("root = %s parent %s, want stream under client span %s", before.Name, before.ParentID, client.SpanID)
+	}
+	if before.Find("ingest") == nil {
+		t.Fatal("no ingest span after a completed ingest request")
+	}
+
+	// Kill: no Close, no spool release — then recover into a fresh hub with
+	// a fresh (empty) trace store, the way a restarted daemon starts.
+	jnl2, err := journal.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	traces2 := telemetry.NewTraceStore(16, 1, nil)
+	h2 := NewHub(Config{Registry: telemetry.NewRegistry(), Journal: jnl2, CheckpointEvery: 4, Traces: traces2, MaxFinished: 1})
+	t.Cleanup(h2.Close)
+	if live, err := h2.Recover(); err != nil || live != 1 {
+		t.Fatalf("recovered %d live sessions, err %v; want 1", live, err)
+	}
+	s2, ok := h2.Get(v.ID)
+	if !ok {
+		t.Fatalf("recovered hub has no session %s", v.ID)
+	}
+	v2 := s2.View()
+	if v2.TraceID != client.TraceID {
+		t.Fatalf("recovered session trace %s, want the original %s", v2.TraceID, client.TraceID)
+	}
+	root := traces2.Get(client.TraceID)
+	if root == nil {
+		t.Fatalf("recovered trace %s not republished", client.TraceID)
+	}
+	// The session's own identity survives exactly (trace id + span id from
+	// the journaled traceparent); only the link up to the client's span is
+	// lost — the journal carries the session's context, not its parent's.
+	if root.SpanID != before.SpanID {
+		t.Fatalf("recovered root span %s, want the exact pre-crash identity %s", root.SpanID, before.SpanID)
+	}
+	restore := root.Find("restore")
+	if restore == nil {
+		t.Fatal("recovery left no restore span")
+	}
+	if got := restore.Counts["resume_event"]; got != int64(v2.ResumedFrom) {
+		t.Fatalf("restore span resume_event = %d, view says %d", got, v2.ResumedFrom)
+	}
+
+	// Resume, finish, and check the settled trace.
+	feedChunks(t, s2, frameEvents(t, tr, int(v2.Events)), 0)
+	view, err := s2.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := traces2.Get(client.TraceID)
+	if final == nil || final.Status != "ok" || final.DurationNanos <= 0 {
+		t.Fatalf("settled trace = %+v, want a closed ok root", final)
+	}
+	if got := final.Counts["events"]; got != int64(view.Events) {
+		t.Fatalf("settled trace counts %d events, session applied %d", got, view.Events)
+	}
+
+	// Trace retention follows session retention: with MaxFinished=1, a
+	// second settled session pushes the first out — and its trace with it.
+	s3 := openSession(t, h2, "arbalest")
+	if _, err := s3.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := h2.Get(v.ID); ok {
+		t.Fatal("oldest terminal session survived GC")
+	}
+	if traces2.Get(client.TraceID) != nil {
+		t.Fatal("session evicted but its trace leaked in the store")
 	}
 }

@@ -1,0 +1,149 @@
+// OTLP/JSON trace export, dependency-free. The structures below mirror the
+// OpenTelemetry Protocol's JSON mapping for traces (resourceSpans ->
+// scopeSpans -> spans) closely enough for stock collectors to ingest:
+// 64-bit timestamps are decimal strings of unix nanoseconds, IDs are the
+// same lowercase hex the wire mandates, and status codes use the protocol's
+// enum values (1 = OK, 2 = ERROR). Counts and Attrs become int/string
+// attributes. The export is pull-based — GET /v1/traces/export — so no
+// exporter dependency, queue, or push schedule enters the daemon.
+package telemetry
+
+import (
+	"sort"
+	"strconv"
+)
+
+// OTLP span status codes.
+const (
+	otlpStatusOK    = 1
+	otlpStatusError = 2
+)
+
+// OTLPKeyValue is one attribute in the OTLP/JSON any-value encoding.
+type OTLPKeyValue struct {
+	Key   string       `json:"key"`
+	Value OTLPAnyValue `json:"value"`
+}
+
+// OTLPAnyValue holds exactly one of the value fields.
+type OTLPAnyValue struct {
+	StringValue string `json:"stringValue,omitempty"`
+	// IntValue is a decimal string, per the OTLP JSON mapping of int64.
+	IntValue string `json:"intValue,omitempty"`
+}
+
+// OTLPStatus is a span's status.
+type OTLPStatus struct {
+	Code    int    `json:"code,omitempty"`
+	Message string `json:"message,omitempty"`
+}
+
+// OTLPSpan is one exported span.
+type OTLPSpan struct {
+	TraceID           string         `json:"traceId"`
+	SpanID            string         `json:"spanId"`
+	ParentSpanID      string         `json:"parentSpanId,omitempty"`
+	Name              string         `json:"name"`
+	Kind              int            `json:"kind"`
+	StartTimeUnixNano string         `json:"startTimeUnixNano"`
+	EndTimeUnixNano   string         `json:"endTimeUnixNano"`
+	Attributes        []OTLPKeyValue `json:"attributes,omitempty"`
+	Status            OTLPStatus     `json:"status"`
+}
+
+// OTLPScopeSpans groups spans under their instrumentation scope.
+type OTLPScopeSpans struct {
+	Scope struct {
+		Name string `json:"name"`
+	} `json:"scope"`
+	Spans []OTLPSpan `json:"spans"`
+}
+
+// OTLPResourceSpans groups scopes under a resource (the daemon).
+type OTLPResourceSpans struct {
+	Resource struct {
+		Attributes []OTLPKeyValue `json:"attributes"`
+	} `json:"resource"`
+	ScopeSpans []OTLPScopeSpans `json:"scopeSpans"`
+}
+
+// OTLPExport is the body of an OTLP/JSON ExportTraceServiceRequest.
+type OTLPExport struct {
+	ResourceSpans []OTLPResourceSpans `json:"resourceSpans"`
+}
+
+// otlpScopeName is the instrumentation scope exported spans claim.
+const otlpScopeName = "repro/internal/telemetry"
+
+// OTLP flattens the given trace trees into one OTLP/JSON export request for
+// serviceName. Spans without distributed identity (no SpanID) are skipped —
+// they cannot be addressed by a collector.
+func OTLP(serviceName string, roots []*Span) OTLPExport {
+	var spans []OTLPSpan
+	for _, root := range roots {
+		flattenOTLP(root, &spans)
+	}
+	var rs OTLPResourceSpans
+	rs.Resource.Attributes = []OTLPKeyValue{{
+		Key:   "service.name",
+		Value: OTLPAnyValue{StringValue: serviceName},
+	}}
+	ss := OTLPScopeSpans{Spans: spans}
+	ss.Scope.Name = otlpScopeName
+	rs.ScopeSpans = []OTLPScopeSpans{ss}
+	return OTLPExport{ResourceSpans: []OTLPResourceSpans{rs}}
+}
+
+// flattenOTLP appends s and its subtree to out in preorder.
+func flattenOTLP(s *Span, out *[]OTLPSpan) {
+	if s == nil {
+		return
+	}
+	if s.SpanID != "" {
+		start := s.Start.UnixNano()
+		end := start + s.DurationNanos
+		o := OTLPSpan{
+			TraceID:           s.TraceID,
+			SpanID:            s.SpanID,
+			ParentSpanID:      s.ParentID,
+			Name:              s.Name,
+			Kind:              1, // SPAN_KIND_INTERNAL
+			StartTimeUnixNano: strconv.FormatInt(start, 10),
+			EndTimeUnixNano:   strconv.FormatInt(end, 10),
+		}
+		switch s.Status {
+		case StatusOK:
+			o.Status = OTLPStatus{Code: otlpStatusOK}
+		case StatusError:
+			o.Status = OTLPStatus{Code: otlpStatusError, Message: s.Error}
+		}
+		// Deterministic attribute order so exports are stable for tests
+		// and diffing.
+		keys := make([]string, 0, len(s.Counts))
+		for k := range s.Counts {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			o.Attributes = append(o.Attributes, OTLPKeyValue{
+				Key:   k,
+				Value: OTLPAnyValue{IntValue: strconv.FormatInt(s.Counts[k], 10)},
+			})
+		}
+		keys = keys[:0]
+		for k := range s.Attrs {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			o.Attributes = append(o.Attributes, OTLPKeyValue{
+				Key:   k,
+				Value: OTLPAnyValue{StringValue: s.Attrs[k]},
+			})
+		}
+		*out = append(*out, o)
+	}
+	for _, c := range s.Children {
+		flattenOTLP(c, out)
+	}
+}

@@ -1,0 +1,57 @@
+package telemetry
+
+import (
+	"context"
+	"log/slog"
+)
+
+// CorrelatingHandler is a slog.Handler wrapper that stamps trace_id and
+// span_id onto every record whose context carries a TraceContext
+// (ContextWithTrace). Wrap the daemon's base handler with it once and every
+// *Context logging call on a traced code path — service, stream, dist,
+// journal — correlates automatically; code paths without a context keep
+// logging exactly as before. Log lines for a traced operation can then be
+// joined against GET /v1/traces/{trace_id} by the stamped id.
+type CorrelatingHandler struct {
+	inner slog.Handler
+}
+
+// NewCorrelatingHandler wraps inner.
+func NewCorrelatingHandler(inner slog.Handler) *CorrelatingHandler {
+	return &CorrelatingHandler{inner: inner}
+}
+
+// Enabled defers to the wrapped handler.
+func (h *CorrelatingHandler) Enabled(ctx context.Context, level slog.Level) bool {
+	return h.inner.Enabled(ctx, level)
+}
+
+// Handle appends trace correlation attributes when ctx carries a trace.
+func (h *CorrelatingHandler) Handle(ctx context.Context, r slog.Record) error {
+	if tc, ok := TraceFromContext(ctx); ok {
+		r.AddAttrs(slog.String("trace_id", tc.TraceID), slog.String("span_id", tc.SpanID))
+	}
+	return h.inner.Handle(ctx, r)
+}
+
+// WithAttrs wraps the inner handler's WithAttrs so correlation survives
+// Logger.With chains.
+func (h *CorrelatingHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	return &CorrelatingHandler{inner: h.inner.WithAttrs(attrs)}
+}
+
+// WithGroup wraps the inner handler's WithGroup.
+func (h *CorrelatingHandler) WithGroup(name string) slog.Handler {
+	return &CorrelatingHandler{inner: h.inner.WithGroup(name)}
+}
+
+// LoggerWithTrace returns log with trace_id/span_id attributes attached
+// directly — the correlation path for loggers handed to code that logs
+// without a context (the service's per-job loggers, worker agents). A zero
+// or invalid context returns log unchanged.
+func LoggerWithTrace(log *slog.Logger, tc TraceContext) *slog.Logger {
+	if log == nil || !tc.Valid() {
+		return log
+	}
+	return log.With("trace_id", tc.TraceID, "span_id", tc.SpanID)
+}

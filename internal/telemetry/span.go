@@ -2,20 +2,48 @@ package telemetry
 
 import "time"
 
+// Span status values. The empty string means "unset" (an unfinished or
+// pre-tracing span); StatusError marks spans whose operation failed, and the
+// message lives in Span.Error.
+const (
+	StatusOK    = "ok"
+	StatusError = "error"
+)
+
 // Span is one node of a job's trace tree: a named wall-clock interval with
 // optional event counts and child spans. The service builds one tree per
 // analysis job (root "job", children "parse", "journal", "queue", "replay",
 // "summarize") and serves it at GET /v1/jobs/{id}/trace.
 //
+// Since the fleet PR, spans may also carry distributed-tracing identity:
+// TraceID/SpanID/ParentID in the W3C hex forms (see TraceContext), a status,
+// and string attributes. Identified spans propagate across processes — a
+// worker parents its local spans under the SpanID a lease grant carried —
+// and the merged tree is served from the daemon's TraceStore at
+// GET /v1/traces/{id}. All identity fields are omitempty, so span trees
+// built without tracing (the historical mode) serialize exactly as before.
+//
 // A Span is not internally synchronized: the owner builds children fully
 // before attaching them and serves readers a Clone, which is how the
 // service uses it (all attachments happen under the service mutex).
 type Span struct {
-	Name          string           `json:"name"`
-	Start         time.Time        `json:"start"`
-	DurationNanos int64            `json:"durationNanos"`
-	Counts        map[string]int64 `json:"counts,omitempty"`
-	Children      []*Span          `json:"children,omitempty"`
+	Name string `json:"name"`
+	// TraceID/SpanID/ParentID are the distributed identity (32/16/16
+	// lowercase hex), empty on trees built without tracing.
+	TraceID  string    `json:"traceId,omitempty"`
+	SpanID   string    `json:"spanId,omitempty"`
+	ParentID string    `json:"parentSpanId,omitempty"`
+	Start    time.Time `json:"start"`
+	// DurationNanos is zero while the span is open; EndAt closes it.
+	DurationNanos int64 `json:"durationNanos"`
+	// Status is "", StatusOK, or StatusError; Error carries the failure
+	// message when Status is StatusError.
+	Status string           `json:"status,omitempty"`
+	Error  string           `json:"error,omitempty"`
+	Counts map[string]int64 `json:"counts,omitempty"`
+	// Attrs carries string-valued annotations (worker IDs, fenced ops).
+	Attrs    map[string]string `json:"attrs,omitempty"`
+	Children []*Span           `json:"children,omitempty"`
 }
 
 // NewSpan starts a span at the given time (time.Now() when zero).
@@ -26,16 +54,50 @@ func NewSpan(name string, start time.Time) *Span {
 	return &Span{Name: name, Start: start}
 }
 
+// Identify gives the span distributed identity under tc: the span becomes
+// tc's node (TraceID and SpanID from tc, parent recorded) and every
+// already-attached child is identified recursively. Children attached
+// afterwards inherit identity through StartChild. Identifying an
+// already-identified span is a no-op, so the call is idempotent.
+func (s *Span) Identify(tc TraceContext, parentID string) {
+	if s == nil || !tc.Valid() || s.SpanID != "" {
+		return
+	}
+	s.TraceID = tc.TraceID
+	s.SpanID = tc.SpanID
+	s.ParentID = parentID
+	for _, c := range s.Children {
+		c.Identify(TraceContext{TraceID: tc.TraceID, SpanID: NewSpanID(), Sampled: tc.Sampled}, s.SpanID)
+	}
+}
+
+// Context returns the span's position as a propagable TraceContext (zero
+// when the span has no distributed identity).
+func (s *Span) Context() TraceContext {
+	if s == nil {
+		return TraceContext{}
+	}
+	return TraceContext{TraceID: s.TraceID, SpanID: s.SpanID, Sampled: true}
+}
+
 // StartChild creates, attaches, and returns a child span starting at the
-// given time (time.Now() when zero).
+// given time (time.Now() when zero). An identified parent hands the child a
+// fresh span ID in the same trace; an unidentified parent creates a plain
+// span, exactly as before tracing existed.
 func (s *Span) StartChild(name string, start time.Time) *Span {
 	c := NewSpan(name, start)
+	if s.SpanID != "" {
+		c.TraceID = s.TraceID
+		c.SpanID = NewSpanID()
+		c.ParentID = s.SpanID
+	}
 	s.Children = append(s.Children, c)
 	return c
 }
 
 // EndAt closes the span at the given time (time.Now() when zero). Ending a
-// span before its start clamps the duration to zero.
+// span before its start clamps the duration to zero. A span without an
+// explicit status is marked ok.
 func (s *Span) EndAt(at time.Time) {
 	if at.IsZero() {
 		at = time.Now()
@@ -45,6 +107,15 @@ func (s *Span) EndAt(at time.Time) {
 	} else {
 		s.DurationNanos = 0
 	}
+	if s.Status == "" {
+		s.Status = StatusOK
+	}
+}
+
+// SetError marks the span failed with msg. It overrides a previous ok.
+func (s *Span) SetError(msg string) {
+	s.Status = StatusError
+	s.Error = msg
 }
 
 // SetCount attaches a named event count (e.g. events replayed, issues
@@ -54,6 +125,14 @@ func (s *Span) SetCount(key string, v int64) {
 		s.Counts = make(map[string]int64)
 	}
 	s.Counts[key] = v
+}
+
+// SetAttr attaches a string-valued annotation to the span.
+func (s *Span) SetAttr(key, v string) {
+	if s.Attrs == nil {
+		s.Attrs = make(map[string]string)
+	}
+	s.Attrs[key] = v
 }
 
 // Duration returns the span's recorded wall time.
@@ -83,17 +162,56 @@ func (s *Span) Child(name string) *Span {
 	return nil
 }
 
+// Find returns the first span in the tree (preorder) with the given name,
+// or nil. It is nil-safe.
+func (s *Span) Find(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	if s.Name == name {
+		return s
+	}
+	for _, c := range s.Children {
+		if hit := c.Find(name); hit != nil {
+			return hit
+		}
+	}
+	return nil
+}
+
+// SpanCount returns the number of spans in the tree. Nil-safe.
+func (s *Span) SpanCount() int {
+	if s == nil {
+		return 0
+	}
+	n := 1
+	for _, c := range s.Children {
+		n += c.SpanCount()
+	}
+	return n
+}
+
 // Clone deep-copies the span tree. It is nil-safe and is what the service
 // hands to concurrent readers while the original is still being built.
 func (s *Span) Clone() *Span {
 	if s == nil {
 		return nil
 	}
-	out := &Span{Name: s.Name, Start: s.Start, DurationNanos: s.DurationNanos}
+	out := &Span{
+		Name: s.Name, Start: s.Start, DurationNanos: s.DurationNanos,
+		TraceID: s.TraceID, SpanID: s.SpanID, ParentID: s.ParentID,
+		Status: s.Status, Error: s.Error,
+	}
 	if len(s.Counts) > 0 {
 		out.Counts = make(map[string]int64, len(s.Counts))
 		for k, v := range s.Counts {
 			out.Counts[k] = v
+		}
+	}
+	if len(s.Attrs) > 0 {
+		out.Attrs = make(map[string]string, len(s.Attrs))
+		for k, v := range s.Attrs {
+			out.Attrs[k] = v
 		}
 	}
 	if len(s.Children) > 0 {

@@ -1,0 +1,167 @@
+// W3C-style trace context: the cross-process identity of one distributed
+// trace. A TraceContext names a trace (16 random bytes) and a position in it
+// (an 8-byte span ID) and round-trips through the `traceparent` HTTP header
+// exactly as the W3C Trace Context recommendation spells it:
+//
+//	traceparent: 00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01
+//	             ^^ version
+//	                ^^^^^^^^ 32 lowercase hex: trace id
+//	                         ^^^^^^^^ 16 lowercase hex: parent span id
+//	                                  ^^ flags (01 = sampled)
+//
+// The service stamps a context onto every job and stream at admission
+// (honoring a client-supplied traceparent so external systems can parent our
+// spans), the fleet coordinator forwards it to workers inside each lease
+// grant, and workers parent their local spans under it — one trace per job,
+// no matter how many processes touched it.
+package telemetry
+
+import (
+	"context"
+	"math/rand/v2"
+	"net/http"
+	"strings"
+)
+
+// TraceparentHeader is the canonical propagation header name.
+const TraceparentHeader = "traceparent"
+
+// TraceContext identifies a position inside one distributed trace.
+type TraceContext struct {
+	// TraceID is 32 lowercase hex characters, shared by every span of the
+	// trace across all processes.
+	TraceID string
+	// SpanID is 16 lowercase hex characters naming one span; spans created
+	// under this context use it as their parent.
+	SpanID string
+	// Sampled is the head-based sampling verdict, made once at trace
+	// creation and propagated so every process agrees on whether the trace
+	// is recorded.
+	Sampled bool
+}
+
+// Valid reports whether the context names a trace (both IDs well-formed and
+// not all-zero).
+func (tc TraceContext) Valid() bool {
+	return isHexID(tc.TraceID, 32) && isHexID(tc.SpanID, 16)
+}
+
+// Traceparent renders the context in the W3C header form.
+func (tc TraceContext) Traceparent() string {
+	flags := "00"
+	if tc.Sampled {
+		flags = "01"
+	}
+	return "00-" + tc.TraceID + "-" + tc.SpanID + "-" + flags
+}
+
+// Child returns the same trace with a fresh span ID — the context a child
+// span (possibly in another process) should propagate onward.
+func (tc TraceContext) Child() TraceContext {
+	tc.SpanID = NewSpanID()
+	return tc
+}
+
+// Inject stamps the context onto an outgoing request's headers.
+func (tc TraceContext) Inject(h http.Header) {
+	if tc.Valid() {
+		h.Set(TraceparentHeader, tc.Traceparent())
+	}
+}
+
+// NewTraceContext mints a fresh sampled trace root.
+func NewTraceContext() TraceContext {
+	return TraceContext{TraceID: newHex(32), SpanID: newHex(16), Sampled: true}
+}
+
+// NewSpanID mints a fresh span identifier.
+func NewSpanID() string { return newHex(16) }
+
+// ParseTraceparent parses the W3C header form. ok is false for anything
+// malformed, for an unknown version, and for all-zero IDs (the spec's
+// "invalid" values).
+func ParseTraceparent(s string) (TraceContext, bool) {
+	parts := strings.Split(strings.TrimSpace(s), "-")
+	if len(parts) != 4 || parts[0] != "00" || len(parts[3]) != 2 {
+		return TraceContext{}, false
+	}
+	tc := TraceContext{TraceID: strings.ToLower(parts[1]), SpanID: strings.ToLower(parts[2])}
+	if !tc.Valid() || !isHex(parts[3]) {
+		return TraceContext{}, false
+	}
+	tc.Sampled = parts[3] == "01"
+	return tc, true
+}
+
+// ExtractTraceContext reads the context from incoming request headers.
+func ExtractTraceContext(h http.Header) (TraceContext, bool) {
+	v := h.Get(TraceparentHeader)
+	if v == "" {
+		return TraceContext{}, false
+	}
+	return ParseTraceparent(v)
+}
+
+// isHexID checks for exactly n lowercase hex characters, not all zero.
+func isHexID(s string, n int) bool {
+	if len(s) != n || !isHex(s) {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		if s[i] != '0' {
+			return true
+		}
+	}
+	return false
+}
+
+func isHex(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+const hexDigits = "0123456789abcdef"
+
+// newHex returns n random lowercase hex characters, never all zero. IDs only
+// need to be unique, not unpredictable, so the shared PRNG is enough and
+// keeps span creation off the crypto/rand syscall path.
+func newHex(n int) string {
+	b := make([]byte, n)
+	for {
+		zero := true
+		for i := 0; i < n; i += 16 {
+			v := rand.Uint64()
+			for j := i; j < i+16 && j < n; j++ {
+				d := byte(v & 0xf)
+				v >>= 4
+				b[j] = hexDigits[d]
+				if d != 0 {
+					zero = false
+				}
+			}
+		}
+		if !zero {
+			return string(b)
+		}
+	}
+}
+
+// ctxKey keys the TraceContext stored in a context.Context.
+type ctxKey struct{}
+
+// ContextWithTrace attaches tc to ctx so logging (CorrelatingHandler) and
+// downstream RPCs can recover it.
+func ContextWithTrace(ctx context.Context, tc TraceContext) context.Context {
+	return context.WithValue(ctx, ctxKey{}, tc)
+}
+
+// TraceFromContext recovers the context attached by ContextWithTrace.
+func TraceFromContext(ctx context.Context) (TraceContext, bool) {
+	tc, ok := ctx.Value(ctxKey{}).(TraceContext)
+	return tc, ok && tc.Valid()
+}
