@@ -20,7 +20,6 @@ import (
 	"context"
 	"flag"
 	"sync"
-	"sync/atomic"
 	"testing"
 
 	"repro/internal/core"
@@ -84,13 +83,22 @@ func BenchmarkFig8(b *testing.B) {
 		// engine's speedup (reports are identical by construction).
 		b.Run(w.Name+"/arbalest-replay", func(b *testing.B) {
 			tr := recordBenchTrace(b, w)
+			b.ReportAllocs()
+			// One event ≈ one simulated instruction; SetBytes(8·events)
+			// makes the MB/s column read as shadow words analyzed per
+			// second, and events/op feeds the events/sec/core figure.
+			b.SetBytes(int64(len(tr.Events)) * 8)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				a := tools.NewArbalestFull(nil)
 				if _, err := tr.ReplayParallel(context.Background(), *benchWorkers, a); err != nil {
 					b.Fatal(err)
 				}
+				// Lease the shadow planes back, as the service does between
+				// jobs — pooled-slab reuse is part of the measured design.
+				a.Release()
 			}
+			b.ReportMetric(float64(len(tr.Events)), "events/op")
 		})
 	}
 }
@@ -142,7 +150,7 @@ func BenchmarkVSMTransition(b *testing.B) {
 
 // BenchmarkShadowCAS vs BenchmarkShadowMutex: the lock-free design choice.
 func BenchmarkShadowCAS(b *testing.B) {
-	var slot atomic.Uint64
+	var slot uint64
 	b.RunParallel(func(pb *testing.PB) {
 		for pb.Next() {
 			shadow.Update(&slot, func(w shadow.Word) shadow.Word {

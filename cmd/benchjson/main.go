@@ -24,16 +24,22 @@ import (
 	"strings"
 )
 
-// Entry is one benchmark result.
+// Entry is one benchmark result, aggregated across `-count` repetitions.
 type Entry struct {
 	// Name is the benchmark name without the -P GOMAXPROCS suffix.
 	Name string `json:"name"`
 	// Procs is the GOMAXPROCS the benchmark ran under.
 	Procs int `json:"procs"`
-	// Iterations is the measured iteration count (the b.N column).
+	// Count is the number of samples (bench lines) folded into this entry
+	// — the `go test -count` repetitions. Gate tooling can refuse to
+	// compare single-sample documents, which are too noisy for a 5% bar.
+	Count int `json:"count"`
+	// Iterations is the total measured iteration count (sum of the b.N
+	// column over all samples).
 	Iterations int64 `json:"iterations"`
-	// Metrics maps unit -> value for every "<value> <unit>" pair on the
-	// line: ns/op, B/op, allocs/op, MB/s, and custom b.ReportMetric units.
+	// Metrics maps unit -> mean value across samples for every
+	// "<value> <unit>" pair on the line: ns/op, B/op, allocs/op, MB/s,
+	// and custom b.ReportMetric units.
 	Metrics map[string]float64 `json:"metrics"`
 }
 
@@ -111,8 +117,13 @@ func (l *labelFlags) Set(v string) error {
 }
 
 // Parse reads `go test -bench` output and collects the benchmark lines.
+// Repetitions of one benchmark (`-count N` emits N lines with the same
+// name) are folded into a single entry whose metrics are the mean across
+// samples — the stabilized form the bench gate diffs at a 5% threshold.
 func Parse(r io.Reader) (*Doc, error) {
 	doc := &Doc{Benchmarks: []Entry{}}
+	index := make(map[string]int)              // name + procs -> doc.Benchmarks slot
+	samples := make(map[string]map[string]int) // per-entry, per-unit sample counts
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 64<<10), 1<<20)
 	for sc.Scan() {
@@ -120,12 +131,35 @@ func Parse(r io.Reader) (*Doc, error) {
 		if err != nil {
 			return nil, err
 		}
-		if ok {
-			doc.Benchmarks = append(doc.Benchmarks, e)
+		if !ok {
+			continue
+		}
+		key := e.Name + "\x00" + strconv.Itoa(e.Procs)
+		i, seen := index[key]
+		if !seen {
+			index[key] = len(doc.Benchmarks)
+			doc.Benchmarks = append(doc.Benchmarks, Entry{
+				Name: e.Name, Procs: e.Procs, Metrics: make(map[string]float64),
+			})
+			samples[key] = make(map[string]int)
+			i = index[key]
+		}
+		agg := &doc.Benchmarks[i]
+		agg.Count++
+		agg.Iterations += e.Iterations
+		for unit, v := range e.Metrics {
+			agg.Metrics[unit] += v // sum now, divide once all lines are in
+			samples[key][unit]++
 		}
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err
+	}
+	for key, i := range index {
+		agg := &doc.Benchmarks[i]
+		for unit, n := range samples[key] {
+			agg.Metrics[unit] /= float64(n)
+		}
 	}
 	return doc, nil
 }

@@ -89,3 +89,40 @@ func TestLabelFlags(t *testing.T) {
 		t.Error("want error for label without '='")
 	}
 }
+
+// countSample is -count 3 output: three lines per benchmark that must fold
+// into one entry with mean metrics.
+const countSample = `goos: linux
+BenchmarkFig8/552.pep/arbalest-replay 	100	100000 ns/op	100.00 MB/s	200 B/op	10 allocs/op
+BenchmarkFig8/552.pep/arbalest-replay 	100	140000 ns/op	80.00 MB/s	220 B/op	12 allocs/op
+BenchmarkFig8/552.pep/arbalest-replay 	100	120000 ns/op	90.00 MB/s	240 B/op	11 allocs/op
+BenchmarkFig8/554.pcg/arbalest-replay 	100	2000000 ns/op
+PASS
+`
+
+func TestParseAggregatesCountRepetitions(t *testing.T) {
+	doc, err := Parse(strings.NewReader(countSample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(doc.Benchmarks); got != 2 {
+		t.Fatalf("parsed %d entries, want 2 (repetitions folded)", got)
+	}
+	pep := doc.Benchmarks[0]
+	if pep.Count != 3 || pep.Iterations != 300 {
+		t.Errorf("pep count/iterations = %d/%d, want 3/300", pep.Count, pep.Iterations)
+	}
+	if got := pep.Metrics["ns/op"]; got != 120000 {
+		t.Errorf("mean ns/op = %v, want 120000", got)
+	}
+	if got := pep.Metrics["MB/s"]; got != 90 {
+		t.Errorf("mean MB/s = %v, want 90", got)
+	}
+	if got := pep.Metrics["allocs/op"]; got != 11 {
+		t.Errorf("mean allocs/op = %v, want 11", got)
+	}
+	pcg := doc.Benchmarks[1]
+	if pcg.Count != 1 || pcg.Metrics["ns/op"] != 2000000 {
+		t.Errorf("pcg = %+v", pcg)
+	}
+}

@@ -21,7 +21,6 @@ package core
 
 import (
 	"fmt"
-	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -132,6 +131,13 @@ type Arbalest struct {
 
 	accessCount atomic.Uint64
 
+	// mode is the dispatch regime announced by the event source (replay
+	// driver, stream session). It selects the shadow update discipline:
+	// CAS under shared dispatch, plain stores when an epoch shard or a
+	// single goroutine owns its words exclusively (Theorem 1). Written
+	// only before dispatch begins, read on the hot path.
+	mode ompt.DispatchMode
+
 	// stats, when non-nil, collects analyzer-level telemetry. Set at
 	// construction (Options.Stats) or via EnableStats before replay.
 	stats *telemetry.AnalyzerStats
@@ -169,12 +175,23 @@ type cvIndex struct {
 
 // stab returns the entry whose CV range contains p, or nil. Live CV ranges
 // never overlap (cvTree.Insert enforces it), so the candidate is unique.
+// The binary search is open-coded: sort.Search costs an indirect closure
+// call per probe, which is most of the lookup for the handful of ranges a
+// workload keeps live.
 func (ix *cvIndex) stab(p uint64) *cvEntry {
-	i := sort.Search(len(ix.los), func(i int) bool { return ix.los[i] > p })
-	if i == 0 || p >= ix.his[i-1] {
+	lo, hi := 0, len(ix.los)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if ix.los[mid] <= p {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == 0 || p >= ix.his[lo-1] {
 		return nil
 	}
-	return ix.entries[i-1]
+	return ix.entries[lo-1]
 }
 
 // publishCV rebuilds the CV snapshot from cvTree and atomically publishes
@@ -205,6 +222,28 @@ func (a *Arbalest) EnableStats() *telemetry.AnalyzerStats {
 // AnalyzerStats returns the attached telemetry collector, nil when stats
 // are disabled.
 func (a *Arbalest) AnalyzerStats() *telemetry.AnalyzerStats { return a.stats }
+
+// SetDispatchMode implements ompt.ModalTool: the event source announces
+// its concurrency regime before dispatch starts, and the detector relaxes
+// the shadow-word discipline to match — plain stores plus the compact tag
+// plane under exclusive sequential ownership, plain stores under epoch
+// sharding, lock-free CAS (the paper's §IV-C design) otherwise. Never
+// called concurrently with event callbacks.
+func (a *Arbalest) SetDispatchMode(m ompt.DispatchMode) {
+	a.mode = m
+	switch m {
+	case ompt.DispatchSequential:
+		a.shadowMem.SetMode(shadow.ModeSeq)
+	case ompt.DispatchEpochSharded:
+		a.shadowMem.SetMode(shadow.ModeEpoch)
+	default:
+		a.shadowMem.SetMode(shadow.ModeShared)
+	}
+}
+
+// Release returns the detector's shadow slabs to the arena for reuse by
+// the next job. Call after the last event and after any state snapshot.
+func (a *Arbalest) Release() { a.shadowMem.Release() }
 
 // Name implements ompt.Tool.
 func (a *Arbalest) Name() string { return "Arbalest" }
@@ -388,38 +427,173 @@ func (a *Arbalest) OnAccess(e ompt.AccessEvent) {
 	a.reportIssue(issue, ovAddr, prior, repaired, e)
 }
 
+// OnAccessBatch implements ompt.BatchTool: the columnar access fast path.
+// Under exclusive sequential dispatch at word granularity with a single
+// device it streams over the batch's arrays — tag-table transitions, blind
+// metadata stores, a last-hit CV memo in front of resolveDevice, and a
+// last-hit region memo in front of the shadow index — and falls back to
+// the per-event path (identical semantics, just slower) otherwise.
+func (a *Arbalest) OnAccessBatch(b *ompt.AccessBatch) {
+	n := b.Len()
+	if n == 0 {
+		return
+	}
+	if a.mode != ompt.DispatchSequential || a.multi.Load() || a.opts.Granularity != GranularityWord {
+		for i := 0; i < n; i++ {
+			a.OnAccess(b.At(i))
+		}
+		return
+	}
+	a.accessCount.Add(uint64(n))
+	unified := *a.unifiedSnap.Load()
+	// Hoist the column slices so the compiler proves one bounds check per
+	// column for the whole batch instead of one per event.
+	addrs, writes := b.Addrs[:n], b.Writes[:n]
+	devices, bases := b.Devices[:n], b.Bases[:n]
+	clocks, threads, sizes := b.Clocks[:n], b.Threads[:n], b.Sizes[:n]
+	var (
+		// Small memos with round-robin replacement: a kernel body cycles
+		// through several mapped arrays per iteration (coordinate triples,
+		// in/out pairs), so a one-entry memo would miss on nearly every
+		// access while eight slots catch the whole working set.
+		rMemo  [8]*shadow.Region
+		cvMemo [8]*cvEntry
+		rRR    int
+		cvRR   int
+		// Device runs: consecutive accesses share a device across whole
+		// host or kernel phases, so the unified-set lookup happens once per
+		// run instead of once per access.
+		lastDev  = ompt.DeviceID(-1 << 30)
+		lastHost bool
+	)
+	for i := 0; i < n; i++ {
+		addr := addrs[i]
+		write := writes[i]
+		dev := devices[i]
+		if dev != lastDev {
+			lastDev, lastHost = dev, dev == ompt.HostDevice || unified[dev]
+		}
+		hostSide := lastHost
+		ovAddr := addr
+		if !hostSide {
+			base := bases[i]
+			// CV ranges never overlap, so containment in a memoized range
+			// pins the same entry resolveDevice would return, and base
+			// landing in the same range rules out the overflow case.
+			var entry *cvEntry
+			for _, m := range &cvMemo {
+				if m != nil && addr >= m.cv && addr < m.cv+mem.Addr(m.bytes) &&
+					(base == 0 || (base >= m.cv && base < m.cv+mem.Addr(m.bytes))) {
+					entry = m
+					break
+				}
+			}
+			if entry != nil {
+				a.stats.RecordMemoHit()
+			} else {
+				var overflow bool
+				entry, overflow = a.resolveDeviceAddr(addr, base)
+				if entry == nil || overflow {
+					if overflow && !a.opts.DisableOverflow {
+						a.reportOverflow(b.At(i))
+					}
+					continue
+				}
+				cvMemo[cvRR] = entry
+				cvRR = (cvRR + 1) & 7
+			}
+			ovAddr = entry.ov + (addr - entry.cv)
+		}
+		var op vsm.Op
+		switch {
+		case hostSide && write:
+			op = vsm.WriteHost
+		case hostSide:
+			op = vsm.ReadHost
+		case write:
+			op = vsm.WriteTarget
+		default:
+			op = vsm.ReadTarget
+		}
+		w := ovAddr.Align()
+		var r *shadow.Region
+		for _, m := range &rMemo {
+			if m != nil && w >= m.Lo && w < m.Hi {
+				r = m
+				break
+			}
+		}
+		if r != nil {
+			a.stats.RecordMemoHit()
+		} else if r = a.shadowMem.RegionOf(w); r == nil {
+			continue
+		} else {
+			rMemo[rRR] = r
+			rRR = (rRR + 1) & 7
+		}
+		wi := int((w - r.Lo) / mem.WordSize)
+		oldTag := r.TagAt(wi)
+		newTag, issue := vsm.TransitionTag(oldTag, op)
+		clk := clocks[i]
+		if clk == 0 {
+			clk = a.nextClock(threads[i])
+		}
+		meta := shadow.MetaWord(uint32(threads[i]), clk, write, sizes[i], ovAddr.Offset())
+		if issue == vsm.NoIssue {
+			r.StoreSeq(wi, meta|shadow.Word(newTag))
+			a.recordTagTransition(oldTag, newTag)
+			continue
+		}
+		prior := r.LoadPlain(wi)
+		r.StoreSeq(wi, meta|shadow.Word(newTag))
+		a.recordTagTransition(oldTag, newTag)
+		e := b.At(i)
+		repaired := false
+		if issue == vsm.USD {
+			repaired = a.repairStale(ovAddr, e, hostSide)
+		}
+		a.reportIssue(issue, ovAddr, prior, repaired, e)
+	}
+}
+
 // resolveDevice maps a device access to its CV entry. The second result is
 // true when the access escaped its mapping: its address stabs no interval,
 // or a different interval than the base pointer it was issued against
 // (paper §IV-D). Resolution reads the immutable CV snapshot — no lock, no
 // shared cache line — so concurrent replay workers never serialize here.
 func (a *Arbalest) resolveDevice(e ompt.AccessEvent) (*cvEntry, bool) {
+	return a.resolveDeviceAddr(e.Addr, e.Base)
+}
+
+// resolveDeviceAddr is resolveDevice on the bare addresses — the batch
+// fast path calls it without materializing a full event copy.
+func (a *Arbalest) resolveDeviceAddr(addr, base mem.Addr) (*cvEntry, bool) {
 	ix := a.cvSnap.Load()
 	a.stats.RecordTreeLookup()
-	entry := ix.stab(uint64(e.Addr))
+	entry := ix.stab(uint64(addr))
 	if entry == nil {
 		return nil, true
 	}
-	if e.Base != 0 {
+	if base != 0 {
 		a.stats.RecordTreeLookup()
-		if ix.stab(uint64(e.Base)) != entry {
+		if ix.stab(uint64(base)) != entry {
 			return entry, true
 		}
 	}
 	return entry, false
 }
 
-// slotFor resolves the shadow slot tracking ovAddr, or nil when the address
-// is not covered by any registered allocation.
-func (a *Arbalest) slotFor(ovAddr mem.Addr) *atomic.Uint64 {
+// slotFor resolves the shadow region and word index tracking ovAddr, or
+// (nil, -1) when the address is not covered by any registered allocation.
+func (a *Arbalest) slotFor(ovAddr mem.Addr) (*shadow.Region, int) {
 	if a.opts.Granularity == GranularityRegion {
 		r := a.shadowMem.RegionOf(ovAddr)
 		if r == nil {
-			return nil
+			return nil, -1
 		}
-		return r.WordAt(r.Lo)
+		return r, 0
 	}
-	return a.shadowMem.WordAt(ovAddr)
+	return a.shadowMem.Lookup(ovAddr)
 }
 
 // byteSlot resolves (creating on demand) the per-byte shadow slot for
@@ -468,22 +642,56 @@ func (a *Arbalest) apply(ovAddr mem.Addr, size uint64, dev ompt.DeviceID, devLoc
 	if a.opts.Granularity == GranularityByte {
 		return a.applyBytes(ovAddr, size, op, e)
 	}
-	slot := a.slotFor(ovAddr)
-	if slot == nil {
+	r, wi := a.slotFor(ovAddr)
+	if r == nil {
 		return vsm.NoIssue, 0
 	}
 	clk := a.clockFor(e)
-	for {
-		old := shadow.Word(slot.Load())
-		nw, issue := vsm.Transition(old, op)
-		nw = nw.WithTID(uint32(e.Thread)).WithClock(clk).
-			WithIsWrite(e.Write).WithAccessSize(size).WithOffset(ovAddr.Offset())
-		if slot.CompareAndSwap(uint64(old), uint64(nw)) {
-			vsm.RecordTransition(a.stats, old, nw)
-			return issue, old
+	meta := shadow.MetaWord(uint32(e.Thread), clk, e.Write, size, ovAddr.Offset())
+	switch a.mode {
+	case ompt.DispatchSequential:
+		// Tag-plane fast path: the transition runs off the 4 state/init
+		// bits alone; the metadata plane is written blind (the access path
+		// replaces every metadata field, so no read-modify-write is needed)
+		// and the full word is only loaded when a report needs the prior
+		// access's identity.
+		oldTag := r.TagAt(wi)
+		newTag, issue := vsm.TransitionTag(oldTag, op)
+		var prior shadow.Word
+		if issue != vsm.NoIssue {
+			prior = r.LoadPlain(wi)
 		}
-		a.stats.RecordCASRetry()
+		r.StoreSeq(wi, meta|shadow.Word(newTag))
+		a.recordTagTransition(oldTag, newTag)
+		return issue, prior
+	case ompt.DispatchEpochSharded:
+		// This shard owns the word for the whole epoch (Theorem 1): plain
+		// load/store, published by the epoch barrier.
+		old := r.LoadPlain(wi)
+		newTag, issue := vsm.TransitionTag(old.Tag(), op)
+		nw := meta | shadow.Word(newTag)
+		r.StorePlain(wi, nw)
+		vsm.RecordTransition(a.stats, old, nw)
+		return issue, old
+	default:
+		slot := r.Slot(wi)
+		for {
+			old := shadow.Word(atomic.LoadUint64(slot))
+			nw, issue := vsm.Transition(old, op)
+			nw = meta | shadow.Word(nw.Tag())
+			if atomic.CompareAndSwapUint64(slot, uint64(old), uint64(nw)) {
+				vsm.RecordTransition(a.stats, old, nw)
+				return issue, old
+			}
+			a.stats.RecordCASRetry()
+		}
 	}
+}
+
+// recordTagTransition is vsm.RecordTransition for the tag fast path: the
+// VSM state is the low two bits of the tag.
+func (a *Arbalest) recordTagTransition(from, to uint8) {
+	a.stats.RecordTransition(uint8(shadow.TagState(from)), uint8(shadow.TagState(to)))
 }
 
 // applyBytes is the byte-granularity path: every byte of the access gets
@@ -597,18 +805,34 @@ func (a *Arbalest) applyOne(ovAddr mem.Addr, devLoc int, op vsm.Op) {
 		a.applyWide(ovAddr, devLoc, op)
 		return
 	}
-	slot := a.slotFor(ovAddr)
-	if slot == nil {
+	r, wi := a.slotFor(ovAddr)
+	if r == nil {
 		return
 	}
-	for {
-		old := shadow.Word(slot.Load())
+	switch a.mode {
+	case ompt.DispatchSequential:
+		// Mapping ops keep the prior access metadata (only the low nibble
+		// changes), so load-modify-store — and mirror the tag plane.
+		old := r.LoadPlain(wi)
 		nw, _ := vsm.Transition(old, op)
-		if slot.CompareAndSwap(uint64(old), uint64(nw)) {
-			vsm.RecordTransition(a.stats, old, nw)
-			return
+		r.StoreSeq(wi, nw)
+		vsm.RecordTransition(a.stats, old, nw)
+	case ompt.DispatchEpochSharded:
+		old := r.LoadPlain(wi)
+		nw, _ := vsm.Transition(old, op)
+		r.StorePlain(wi, nw)
+		vsm.RecordTransition(a.stats, old, nw)
+	default:
+		slot := r.Slot(wi)
+		for {
+			old := shadow.Word(atomic.LoadUint64(slot))
+			nw, _ := vsm.Transition(old, op)
+			if atomic.CompareAndSwapUint64(slot, uint64(old), uint64(nw)) {
+				vsm.RecordTransition(a.stats, old, nw)
+				return
+			}
+			a.stats.RecordCASRetry()
 		}
-		a.stats.RecordCASRetry()
 	}
 }
 

@@ -1,0 +1,214 @@
+package mem
+
+import "sync"
+
+// SlabArena is a pooled, chunked allocator for uint64 slabs — the backing
+// store for shadow-memory planes. Small requests are bump-carved out of
+// fixed-size chunks; large requests get a dedicated chunk of their own.
+// Chunks whose slabs have all been returned go onto a freelist and are
+// reused by later requests, which turns the many-small-regions allocation
+// pattern (one Register per mapped variable, hundreds of variables per
+// DRACC job) into pointer bumps instead of Go-heap allocations.
+//
+// Spans carved from a recycled chunk are zeroed at Get, so a reused slab
+// can never leak a prior job's shadow state. Spans carved from a fresh
+// chunk are already zero by Go's allocation semantics.
+//
+// The freelist's footprint is bounded by an adaptive retention cap: callers
+// report their observed peak demand via NoteDemand (the shadow memory feeds
+// its PeakBytes high-water mark in), and chunks past the cap are released
+// to the garbage collector instead of retained.
+//
+// All methods are safe for concurrent use.
+type SlabArena struct {
+	mu sync.Mutex
+	// cur is the chunk small requests bump-allocate from.
+	cur *arenaChunk
+	// free holds fully-released chunks keyed by capacity class (a power of
+	// two ≥ arenaChunkWords), ready for reuse.
+	free map[int][]*arenaChunk
+	// retained is the total capacity, in bytes, of the chunks on the
+	// freelist.
+	retained uint64
+	// retainCap bounds retained. Ratcheted up by NoteDemand.
+	retainCap uint64
+
+	stats SlabArenaStats
+}
+
+// SlabArenaStats counts arena activity; retrieved with Stats.
+type SlabArenaStats struct {
+	// Gets is the number of Get calls served.
+	Gets uint64
+	// ChunkAllocs is the number of chunks allocated from the Go heap.
+	ChunkAllocs uint64
+	// ChunkReuses is the number of chunk recycles: freelist pops plus
+	// in-place rewinds of an emptied current chunk.
+	ChunkReuses uint64
+	// ChunkReleases is the number of fully-returned chunks dropped to the
+	// garbage collector because the freelist was at its retention cap.
+	ChunkReleases uint64
+	// RetainedBytes is the current freelist footprint in bytes.
+	RetainedBytes uint64
+	// RetainCapBytes is the current adaptive retention cap in bytes.
+	RetainCapBytes uint64
+}
+
+// arenaChunkWords is the bump-allocation chunk size: 8192 words = 64 KiB.
+// Requests of at least this size get a dedicated chunk.
+const arenaChunkWords = 8192
+
+// minRetainBytes is the retention-cap floor: even before any NoteDemand,
+// the arena keeps up to this much on the freelist (two standard chunks).
+const minRetainBytes = 2 * arenaChunkWords * 8
+
+// arenaChunk is one contiguous allocation that slabs are carved from.
+type arenaChunk struct {
+	buf []uint64
+	// off is the bump pointer: buf[:off] has been handed out.
+	off int
+	// live is the number of outstanding slabs carved from this chunk. When
+	// it reaches zero and the chunk is not current, the chunk is recycled.
+	live int
+	// recycled marks a chunk that has been used before: spans carved from
+	// it must be zeroed before they are handed out.
+	recycled bool
+}
+
+// Slab is a span of words leased from a SlabArena. Data is valid until the
+// slab is returned with Put. The zero Slab is valid and returns nothing.
+type Slab struct {
+	Data []uint64
+	c    *arenaChunk
+}
+
+// NewSlabArena returns an empty arena.
+func NewSlabArena() *SlabArena {
+	return &SlabArena{
+		free:      make(map[int][]*arenaChunk),
+		retainCap: minRetainBytes,
+	}
+}
+
+// Get leases a zeroed slab of n words. n must be positive.
+func (a *SlabArena) Get(n int) Slab {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.stats.Gets++
+	if n >= arenaChunkWords {
+		c := a.takeChunk(n)
+		c.off = n
+		c.live = 1
+		return a.carve(c, 0, n)
+	}
+	if a.cur == nil || len(a.cur.buf)-a.cur.off < n {
+		a.retireCurrent()
+		a.cur = a.takeChunk(arenaChunkWords)
+	}
+	c := a.cur
+	off := c.off
+	c.off += n
+	c.live++
+	return a.carve(c, off, n)
+}
+
+// carve hands out buf[off:off+n] from c, zeroing it if the chunk has been
+// used before. Caller holds a.mu.
+func (a *SlabArena) carve(c *arenaChunk, off, n int) Slab {
+	span := c.buf[off : off+n : off+n]
+	if c.recycled {
+		clear(span)
+	}
+	return Slab{Data: span, c: c}
+}
+
+// Put returns a slab to the arena. Putting the zero Slab is a no-op; the
+// slab's Data must not be used afterwards.
+func (a *SlabArena) Put(s Slab) {
+	if s.c == nil {
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	s.c.live--
+	if s.c.live != 0 {
+		return
+	}
+	if s.c == a.cur {
+		// The current bump chunk just became empty: rewind it in place so
+		// the next job carves from the start again instead of leaking the
+		// already-consumed prefix until retirement.
+		s.c.off = 0
+		s.c.recycled = true
+		a.stats.ChunkReuses++
+		return
+	}
+	a.recycle(s.c)
+}
+
+// retireCurrent detaches the current bump chunk. If every slab carved from
+// it has already been returned it is recycled immediately; otherwise the
+// last Put will recycle it. Caller holds a.mu.
+func (a *SlabArena) retireCurrent() {
+	c := a.cur
+	a.cur = nil
+	if c != nil && c.live == 0 {
+		a.recycle(c)
+	}
+}
+
+// recycle resets a fully-returned chunk and shelves it on the freelist, or
+// drops it to the GC if the freelist is at its retention cap. Caller holds
+// a.mu.
+func (a *SlabArena) recycle(c *arenaChunk) {
+	bytes := uint64(len(c.buf)) * 8
+	if a.retained+bytes > a.retainCap {
+		a.stats.ChunkReleases++
+		return
+	}
+	c.off = 0
+	c.live = 0
+	c.recycled = true
+	class := len(c.buf)
+	a.free[class] = append(a.free[class], c)
+	a.retained += bytes
+}
+
+// takeChunk produces a chunk of at least minWords capacity, preferring the
+// freelist. Caller holds a.mu.
+func (a *SlabArena) takeChunk(minWords int) *arenaChunk {
+	class := arenaChunkWords
+	for class < minWords {
+		class <<= 1
+	}
+	if list := a.free[class]; len(list) > 0 {
+		c := list[len(list)-1]
+		a.free[class] = list[:len(list)-1]
+		a.retained -= uint64(len(c.buf)) * 8
+		a.stats.ChunkReuses++
+		return c
+	}
+	a.stats.ChunkAllocs++
+	return &arenaChunk{buf: make([]uint64, class)}
+}
+
+// NoteDemand ratchets the retention cap up to bytes, letting the arena
+// keep enough chunks around to satisfy a workload of that observed peak
+// without fresh allocations. The cap never shrinks below the floor.
+func (a *SlabArena) NoteDemand(bytes uint64) {
+	a.mu.Lock()
+	if bytes > a.retainCap {
+		a.retainCap = bytes
+	}
+	a.mu.Unlock()
+}
+
+// Stats returns a snapshot of the arena's counters.
+func (a *SlabArena) Stats() SlabArenaStats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	st := a.stats
+	st.RetainedBytes = a.retained
+	st.RetainCapBytes = a.retainCap
+	return st
+}

@@ -1,0 +1,125 @@
+package mem
+
+import "testing"
+
+func TestSlabArenaGetReturnsZeroedWords(t *testing.T) {
+	a := NewSlabArena()
+	s := a.Get(100)
+	if len(s.Data) != 100 {
+		t.Fatalf("Get(100) returned %d words", len(s.Data))
+	}
+	for i, w := range s.Data {
+		if w != 0 {
+			t.Fatalf("fresh slab word %d = %#x, want 0", i, w)
+		}
+	}
+}
+
+func TestSlabArenaFreelistReuseAcrossJobs(t *testing.T) {
+	a := NewSlabArena()
+	// Job 1: lease a working set small enough to fit the default retention
+	// cap, then return all of it.
+	var slabs []Slab
+	for i := 0; i < 8; i++ {
+		slabs = append(slabs, a.Get(512))
+	}
+	allocsAfterJob1 := a.Stats().ChunkAllocs
+	if allocsAfterJob1 == 0 {
+		t.Fatal("no chunks allocated for job 1")
+	}
+	for _, s := range slabs {
+		a.Put(s)
+	}
+	// Job 2: the same working set must come off the freelist, not the heap.
+	for i := 0; i < 8; i++ {
+		a.Get(512)
+	}
+	st := a.Stats()
+	if st.ChunkAllocs != allocsAfterJob1 {
+		t.Errorf("job 2 allocated %d fresh chunks, want 0 (reuse)", st.ChunkAllocs-allocsAfterJob1)
+	}
+	if st.ChunkReuses == 0 {
+		t.Error("no chunk reuses recorded across jobs")
+	}
+}
+
+func TestSlabArenaZeroOnReuse(t *testing.T) {
+	a := NewSlabArena()
+	s := a.Get(256)
+	for i := range s.Data {
+		s.Data[i] = 0xDEADBEEF // a prior job's shadow state
+	}
+	a.Put(s)
+	// Drain the bump chunk so the recycled chunk is picked up again.
+	for leased := 0; leased < 4*arenaChunkWords; leased += 256 {
+		s2 := a.Get(256)
+		for i, w := range s2.Data {
+			if w != 0 {
+				t.Fatalf("recycled slab leaked word %d = %#x", i, w)
+			}
+		}
+	}
+	if a.Stats().ChunkReuses == 0 {
+		t.Fatal("test never exercised a recycled chunk")
+	}
+}
+
+func TestSlabArenaLargeRequestDedicatedChunk(t *testing.T) {
+	a := NewSlabArena()
+	n := arenaChunkWords * 3 // forces a dedicated power-of-two chunk
+	s := a.Get(n)
+	if len(s.Data) != n {
+		t.Fatalf("Get(%d) returned %d words", n, len(s.Data))
+	}
+	s.Data[n-1] = 7
+	a.NoteDemand(uint64(n) * 8 * 2) // retain it
+	a.Put(s)
+	s2 := a.Get(n)
+	if a.Stats().ChunkReuses == 0 {
+		t.Error("large chunk was not reused")
+	}
+	if s2.Data[n-1] != 0 {
+		t.Error("recycled large chunk leaked prior data")
+	}
+}
+
+func TestSlabArenaRetentionCapReleases(t *testing.T) {
+	a := NewSlabArena()
+	// Lease far more than the default cap across separate chunks, then
+	// return everything: the overflow must be dropped, not retained.
+	var slabs []Slab
+	for i := 0; i < 10; i++ {
+		slabs = append(slabs, a.Get(arenaChunkWords))
+	}
+	for _, s := range slabs {
+		a.Put(s)
+	}
+	st := a.Stats()
+	if st.RetainedBytes > st.RetainCapBytes {
+		t.Errorf("retained %d bytes exceeds cap %d", st.RetainedBytes, st.RetainCapBytes)
+	}
+	if st.ChunkReleases == 0 {
+		t.Error("no chunks released despite exceeding the retention cap")
+	}
+}
+
+func TestSlabArenaNoteDemandRatchets(t *testing.T) {
+	a := NewSlabArena()
+	base := a.Stats().RetainCapBytes
+	a.NoteDemand(base * 4)
+	if got := a.Stats().RetainCapBytes; got != base*4 {
+		t.Errorf("cap after NoteDemand(%d) = %d", base*4, got)
+	}
+	a.NoteDemand(base) // lower demand must not shrink the cap
+	if got := a.Stats().RetainCapBytes; got != base*4 {
+		t.Errorf("cap shrank to %d after lower NoteDemand", got)
+	}
+}
+
+func TestSlabArenaPutZeroSlab(t *testing.T) {
+	a := NewSlabArena()
+	a.Put(Slab{}) // must be a no-op, not a panic
+	if got := a.Stats().Gets; got != 0 {
+		t.Errorf("Gets = %d after only a zero Put", got)
+	}
+}

@@ -42,17 +42,18 @@ type State struct {
 	Cells []CellState `json:"cells,omitempty"`
 }
 
-func toAccessState(r accessRecord) AccessState {
+func (d *Detector) toAccessState(r accessRecord) AccessState {
+	sk := d.site(r.site)
 	return AccessState{
-		Task: r.task, Clock: r.clock, Write: r.write, Tag: r.tag,
-		Loc: r.loc, Device: r.device, Thread: r.thread, Seq: r.seq,
+		Task: r.task, Clock: r.clock, Write: r.write, Tag: sk.tag,
+		Loc: sk.loc, Device: r.device, Thread: r.thread, Seq: r.seq,
 	}
 }
 
-func fromAccessState(a AccessState) accessRecord {
+func (d *Detector) fromAccessState(a AccessState) accessRecord {
 	return accessRecord{
-		task: a.Task, clock: a.Clock, write: a.Write, tag: a.Tag,
-		loc: a.Loc, device: a.Device, thread: a.Thread, seq: a.Seq,
+		task: a.Task, clock: a.Clock, write: a.Write, site: d.siteID(a.Tag, a.Loc),
+		device: a.Device, thread: a.Thread, seq: a.Seq,
 	}
 }
 
@@ -66,12 +67,12 @@ func (d *Detector) Snapshot() State {
 	d.live.Range(func(k, v any) bool {
 		tc := v.(*taskClock)
 		tc.mu.RLock()
-		st.Live = append(st.Live, TaskVC{Task: k.(ompt.TaskID), VC: tc.vc.Copy()})
+		st.Live = append(st.Live, TaskVC{Task: k.(ompt.TaskID), VC: tc.vc.toVC()})
 		tc.mu.RUnlock()
 		return true
 	})
 	for t, vc := range d.ended {
-		st.Ended = append(st.Ended, TaskVC{Task: t, VC: vc.Copy()})
+		st.Ended = append(st.Ended, TaskVC{Task: t, VC: vc.toVC()})
 	}
 	d.mu.Unlock()
 	sort.Slice(st.Live, func(i, j int) bool { return st.Live[i].Task < st.Live[j].Task })
@@ -80,12 +81,24 @@ func (d *Detector) Snapshot() State {
 	for i := range d.shards {
 		s := &d.shards[i]
 		s.mu.Lock()
-		for addr, c := range s.cells {
-			cs := CellState{Addr: addr, Write: toAccessState(c.write)}
-			for _, r := range c.reads {
-				cs.Reads = append(cs.Reads, toAccessState(r))
+		for base, pg := range s.pages {
+			for wi := range pg.cells {
+				c := &pg.cells[wi]
+				if !c.touched() {
+					continue
+				}
+				cs := CellState{
+					Addr:  base + mem.Addr(wi)*mem.WordSize,
+					Write: d.toAccessState(c.write),
+				}
+				if c.read0.task != 0 {
+					cs.Reads = append(cs.Reads, d.toAccessState(c.read0))
+				}
+				for _, r := range c.reads {
+					cs.Reads = append(cs.Reads, d.toAccessState(r))
+				}
+				st.Cells = append(st.Cells, cs)
 			}
-			st.Cells = append(st.Cells, cs)
 		}
 		s.mu.Unlock()
 	}
@@ -103,26 +116,45 @@ func (d *Detector) Restore(st State) error {
 		return true
 	})
 	for _, t := range st.Live {
-		d.live.Store(t.Task, &taskClock{vc: t.VC.Copy()})
+		d.live.Store(t.Task, &taskClock{vc: fromVC(t.VC)})
 	}
-	d.ended = make(map[ompt.TaskID]VC, len(st.Ended))
+	d.ended = make(map[ompt.TaskID]vclock, len(st.Ended))
 	for _, t := range st.Ended {
-		d.ended[t.Task] = t.VC.Copy()
+		d.ended[t.Task] = fromVC(t.VC)
 	}
+	d.memoTC = nil
+	d.memoPage = nil
 	for i := range d.shards {
 		s := &d.shards[i]
 		s.mu.Lock()
-		s.cells = make(map[mem.Addr]*cell)
+		for base, pg := range s.pages {
+			delete(s.pages, base)
+			putPage(pg)
+		}
 		s.mu.Unlock()
 	}
 	for _, cs := range st.Cells {
-		c := &cell{write: fromAccessState(cs.Write)}
-		for _, r := range cs.Reads {
-			c.reads = append(c.reads, fromAccessState(r))
+		c := cell{write: d.fromAccessState(cs.Write)}
+		for i, r := range cs.Reads {
+			if i == 0 {
+				c.read0 = d.fromAccessState(r)
+				continue
+			}
+			c.reads = append(c.reads, d.fromAccessState(r))
 		}
-		s := &d.shards[shardOf(cs.Addr)]
+		base := pageBase(cs.Addr)
+		s := &d.shards[shardOf(base)]
 		s.mu.Lock()
-		s.cells[cs.Addr] = c
+		pg, ok := s.pages[base]
+		if !ok {
+			pg = &cellPage{}
+			s.pages[base] = pg
+		}
+		slot := &pg.cells[cellIndex(cs.Addr)]
+		if !slot.touched() {
+			pg.used++
+		}
+		*slot = c
 		s.mu.Unlock()
 	}
 	return nil

@@ -54,6 +54,7 @@ type Metrics struct {
 	vsmTransitions  *telemetry.CounterVec
 	casRetries      *telemetry.Counter
 	intervalLookups *telemetry.Counter
+	regionMemoHits  *telemetry.Counter
 }
 
 // newMetrics builds the registry with every family registered up front, so
@@ -104,6 +105,8 @@ func newMetrics() *Metrics {
 			"Failed compare-and-swap attempts on shadow words during replays."),
 		intervalLookups: reg.Counter("arbalestd_interval_lookups_total",
 			"Interval-tree stabs performed during replays."),
+		regionMemoHits: reg.Counter("arbalestd_region_memo_hits_total",
+			"Address resolutions satisfied by a last-hit memo instead of an interval-tree stab during replays."),
 	}
 	bi := telemetry.Version()
 	reg.GaugeVec("arbalestd_build_info",
@@ -186,4 +189,5 @@ func (m *Metrics) recordJobStats(st *tools.Stats) {
 	}
 	m.casRetries.Add(st.ShadowCASRetries)
 	m.intervalLookups.Add(st.IntervalLookups)
+	m.regionMemoHits.Add(st.RegionMemoHits)
 }

@@ -832,6 +832,12 @@ func (s *Service) runJob(j *job) {
 		sumStart = time.Now()
 		summary = tools.Summarize(a)
 		sumDur = time.Since(sumStart)
+		// The summary has captured findings and footprint; lease the shadow
+		// slabs back to the arena for the next job. Clean path only — a
+		// failed or panicked attempt just lets the GC take the analyzer.
+		if rel, ok := a.(tools.Releaser); ok {
+			rel.Release()
+		}
 		return nil
 	}
 

@@ -197,7 +197,7 @@ func TestUpdateCAS(t *testing.T) {
 	if old != 0 || !now.OVValid() {
 		t.Errorf("Update returned %v -> %v", old, now)
 	}
-	if got := Word(slot.Load()); got != now {
+	if got := Word(atomic.LoadUint64(slot)); got != now {
 		t.Errorf("slot = %v, want %v", got, now)
 	}
 }
@@ -223,7 +223,7 @@ func TestUpdateConcurrentCounts(t *testing.T) {
 		}()
 	}
 	wg.Wait()
-	if got := Word(slot.Load()).Clock(); got != goroutines*perG {
+	if got := Word(atomic.LoadUint64(slot)).Clock(); got != goroutines*perG {
 		t.Errorf("lost updates: clock = %d, want %d", got, goroutines*perG)
 	}
 }
@@ -234,10 +234,13 @@ func TestEachWord(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	marked := Word(0).WithOVInit(true)
+	*r.WordAt(mem.HostBase + 8) = uint64(marked)
 	var addrs []mem.Addr
-	r.EachWord(func(a mem.Addr, slot *atomic.Uint64) {
+	var seen []Word
+	r.EachWord(func(a mem.Addr, w Word) {
 		addrs = append(addrs, a)
-		slot.Store(uint64(Word(0).WithOVInit(true)))
+		seen = append(seen, w)
 	})
 	if len(addrs) != 4 {
 		t.Fatalf("visited %d words, want 4", len(addrs))
@@ -247,7 +250,144 @@ func TestEachWord(t *testing.T) {
 			t.Errorf("non-contiguous walk: %v", addrs)
 		}
 	}
-	if !Word(r.WordAt(mem.HostBase + 8).Load()).OVInit() {
-		t.Error("EachWord slot pointer did not alias region storage")
+	if seen[1] != marked {
+		t.Errorf("EachWord did not read region storage: word 1 = %v, want %v", seen[1], marked)
+	}
+	if !Word(*r.WordAt(mem.HostBase + 8)).OVInit() {
+		t.Error("WordAt pointer did not alias region storage")
+	}
+}
+
+// TestNumRegionsConcurrentWithRegister is the -race regression test for
+// NumRegions: it must read the published index snapshot, never the interval
+// tree that Register/Unregister mutate under the memory's mutex.
+func TestNumRegionsConcurrentWithRegister(t *testing.T) {
+	m := NewMemoryArena(mem.NewSlabArena())
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; !stop.Load(); i++ {
+			base := mem.HostBase + mem.Addr(i%64)*1024
+			if _, err := m.Register(base, 64, "churn"); err == nil {
+				m.Unregister(base)
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 20000; i++ {
+			if n := m.NumRegions(); n < 0 || n > 64 {
+				t.Errorf("NumRegions = %d mid-churn", n)
+				break
+			}
+		}
+		stop.Store(true)
+	}()
+	wg.Wait()
+}
+
+// TestBytesPeakAccounting checks the Fig. 9 metric parity the arena must
+// preserve: Bytes counts logical shadow words only (8 bytes per application
+// word — no tag-plane overhead, no arena slack), and PeakBytes is the
+// high-water mark across register/unregister churn.
+func TestBytesPeakAccounting(t *testing.T) {
+	m := NewMemoryArena(mem.NewSlabArena())
+	r1, err := m.Register(mem.HostBase, 800, "a") // 100 words
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := m.Bytes(), uint64(r1.NumWords())*8; got != want {
+		t.Fatalf("Bytes after first register = %d, want %d", got, want)
+	}
+	r2, err := m.Register(mem.HostBase+4096, 1600, "b") // 200 words
+	if err != nil {
+		t.Fatal(err)
+	}
+	both := uint64(r1.NumWords()+r2.NumWords()) * 8
+	if got := m.Bytes(); got != both {
+		t.Fatalf("Bytes with both regions = %d, want %d", got, both)
+	}
+	if got := m.PeakBytes(); got != both {
+		t.Fatalf("PeakBytes = %d, want %d", got, both)
+	}
+	if !m.Unregister(mem.HostBase) {
+		t.Fatal("Unregister failed")
+	}
+	if got, want := m.Bytes(), uint64(r2.NumWords())*8; got != want {
+		t.Errorf("Bytes after unregister = %d, want %d", got, want)
+	}
+	if got := m.PeakBytes(); got != both {
+		t.Errorf("PeakBytes dropped to %d after unregister, want %d", got, both)
+	}
+	m.Release()
+	if got := m.Bytes(); got != 0 {
+		t.Errorf("Bytes after Release = %d", got)
+	}
+}
+
+// TestSnapshotRestoreTagPlane round-trips a ModeSeq memory through
+// Snapshot/Restore and checks the rebuilt tag plane agrees with the words
+// plane — the wire format carries only words, so Restore must recompute
+// every nibble.
+func TestSnapshotRestoreTagPlane(t *testing.T) {
+	src := NewMemoryArena(mem.NewSlabArena())
+	src.SetMode(ModeSeq)
+	r, err := src.Register(mem.HostBase, 512, "v") // 64 words
+	if err != nil {
+		t.Fatal(err)
+	}
+	for wi := 0; wi < r.NumWords(); wi++ {
+		w := Word(0).WithState(State(wi % 4)).WithTID(uint32(wi)).WithClock(uint64(wi) * 3)
+		r.StoreSeq(wi, w)
+	}
+	st := src.Snapshot()
+
+	dst := NewMemoryArena(mem.NewSlabArena())
+	dst.SetMode(ModeSeq)
+	if err := dst.Restore(st); err != nil {
+		t.Fatal(err)
+	}
+	dr := dst.RegionOf(mem.HostBase)
+	if dr == nil {
+		t.Fatal("restored memory has no region at HostBase")
+	}
+	for wi := 0; wi < dr.NumWords(); wi++ {
+		want := r.LoadPlain(wi)
+		if got := dr.LoadPlain(wi); got != want {
+			t.Fatalf("word %d = %#x, want %#x", wi, uint64(got), uint64(want))
+		}
+		if got, want := dr.TagAt(wi), uint8(want&0xF); got != want {
+			t.Fatalf("tag plane word %d = %#x, want %#x (must match words plane)", wi, got, want)
+		}
+	}
+	if got, want := dst.Bytes(), src.Bytes(); got != want {
+		t.Errorf("restored Bytes = %d, want %d", got, want)
+	}
+	addr := mem.HostBase + 8*5
+	s1, ok1 := src.Probe(addr)
+	s2, ok2 := dst.Probe(addr)
+	if !ok1 || !ok2 || s1 != s2 {
+		t.Errorf("Probe disagrees after restore: (%v,%v) vs (%v,%v)", s1, ok1, s2, ok2)
+	}
+}
+
+// TestProbeTagPlaneMatchesWords drives random words through StoreSeq and
+// checks the state-only Probe fast path agrees with the metadata plane.
+func TestProbeTagPlaneMatchesWords(t *testing.T) {
+	m := NewMemoryArena(mem.NewSlabArena())
+	m.SetMode(ModeSeq)
+	r, err := m.Register(mem.HostBase, 256, "p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := quick.Check(func(raw uint64, slot uint8) bool {
+		wi := int(slot) % r.NumWords()
+		r.StoreSeq(wi, Word(raw))
+		got, ok := m.Probe(mem.HostBase + mem.Addr(wi*8))
+		return ok && got == Word(raw).State()
+	}, nil); err != nil {
+		t.Error(err)
 	}
 }

@@ -2,14 +2,16 @@ package shadow
 
 import (
 	"fmt"
-	"sync/atomic"
 
 	"repro/internal/interval"
 	"repro/internal/mem"
 )
 
 // RegionState is the serializable form of one shadow region: its bounds,
-// tag, and the raw value of every shadow word.
+// tag, and the raw value of every shadow word. The tag plane is not
+// serialized — the words plane is always complete (every word carries its
+// state bits in the low nibble), so Restore rebuilds tags from words and
+// the wire format is unchanged from earlier releases.
 type RegionState struct {
 	Lo    mem.Addr `json:"lo"`
 	Hi    mem.Addr `json:"hi"`
@@ -33,49 +35,58 @@ func (m *Memory) Snapshot() MemoryState {
 	st := MemoryState{Peak: m.peak.Load()}
 	m.regions.Each(func(_ interval.Interval, r *Region) {
 		rs := RegionState{Lo: r.Lo, Hi: r.Hi, Tag: r.Tag, Words: make([]uint64, len(r.words))}
-		for i := range r.words {
-			rs.Words[i] = r.words[i].Load()
-		}
+		copy(rs.Words, r.words)
 		st.Regions = append(st.Regions, rs)
 	})
 	return st
 }
 
 // Restore replaces the shadow state with a snapshot: regions are rebuilt
-// with their saved word values and the lock-free lookup index republished.
+// with their saved word values (slabs leased from the arena), the tag
+// planes recomputed when the memory is in ModeSeq, and the lock-free
+// lookup index republished.
 func (m *Memory) Restore(st MemoryState) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	tree := interval.New[*Region]()
+	var regions []*Region
 	var total uint64
+	fail := func(err error) error {
+		for _, r := range regions {
+			m.releaseRegion(r)
+		}
+		return err
+	}
 	for _, rs := range st.Regions {
 		if rs.Lo >= rs.Hi || rs.Lo != rs.Lo.Align() || rs.Hi != rs.Hi.Align() {
-			return fmt.Errorf("shadow: restore: bad region bounds [%#x,%#x)", uint64(rs.Lo), uint64(rs.Hi))
+			return fail(fmt.Errorf("shadow: restore: bad region bounds [%#x,%#x)", uint64(rs.Lo), uint64(rs.Hi)))
 		}
 		if want := int((rs.Hi - rs.Lo) / mem.WordSize); want != len(rs.Words) {
-			return fmt.Errorf("shadow: restore: region %q has %d words, bounds need %d", rs.Tag, len(rs.Words), want)
+			return fail(fmt.Errorf("shadow: restore: region %q has %d words, bounds need %d", rs.Tag, len(rs.Words), want))
 		}
-		r := &Region{Lo: rs.Lo, Hi: rs.Hi, Tag: rs.Tag, words: makeWords(rs.Words)}
+		r := m.newRegion(rs.Lo, rs.Hi, rs.Tag, len(rs.Words))
+		regions = append(regions, r)
+		copy(r.words, rs.Words)
+		if m.mode == ModeSeq {
+			r.rebuildTags()
+		}
 		if err := tree.Insert(uint64(rs.Lo), uint64(rs.Hi), r); err != nil {
-			return fmt.Errorf("shadow: restore: %w", err)
+			return fail(fmt.Errorf("shadow: restore: %w", err))
 		}
 		total += uint64(len(rs.Words)) * 8
 	}
+	for _, r := range m.index.Load().regions {
+		if m.mode != ModeShared {
+			m.releaseRegion(r)
+		}
+	}
 	m.regions = tree
 	m.publish()
+	m.clearMemo()
 	m.bytes.Store(total)
 	m.peak.Store(st.Peak)
 	if total > st.Peak {
 		m.peak.Store(total)
 	}
 	return nil
-}
-
-// makeWords builds a shadow slab preloaded with the given word values.
-func makeWords(vals []uint64) []atomic.Uint64 {
-	words := make([]atomic.Uint64, len(vals))
-	for i, v := range vals {
-		words[i].Store(v)
-	}
-	return words
 }

@@ -161,6 +161,22 @@ func (s State) String() string {
 	return fmt.Sprintf("State(%d)", uint8(s))
 }
 
+// Tag returns the word's low nibble: the 4 state/init bits that the
+// compact tag plane mirrors (OVValid | CVValid<<1 | OVInit<<2 | CVInit<<3).
+func (w Word) Tag() uint8 { return uint8(w & 0xF) }
+
+// TagState decodes the VSM state from a 4-bit tag. The two valid bits are
+// the state's binary encoding, so this is a mask.
+func TagState(tag uint8) State { return State(tag & 3) }
+
+// MetaWord builds the metadata plane of a shadow word — everything above
+// the low nibble — exactly as the access path's WithTID/WithClock/
+// WithIsWrite/WithAccessSize/WithOffset chain would. OR it with a 4-bit
+// tag to form the complete word. size must be 1, 2, 4 or 8.
+func MetaWord(tid uint32, clock uint64, write bool, size, off uint64) Word {
+	return Word(0).WithTID(tid).WithClock(clock).WithIsWrite(write).WithAccessSize(size).WithOffset(off)
+}
+
 // State decodes the VSM state from the valid bits.
 func (w Word) State() State {
 	switch {

@@ -95,6 +95,13 @@ func newSession(h *Hub, id, tool string, a tools.Analyzer) *Session {
 	}
 	s.cp, _ = a.(tools.Checkpointer)
 	s.d.Register(a)
+	if h.cfg.Exclusive {
+		// Feed and recovery both dispatch under s.mu, so callbacks are
+		// mutually excluded and the mutex's release/acquire edges publish
+		// shadow writes between feeds — the single-owner contract holds
+		// even though successive feeds may run on different goroutines.
+		s.d.SetDispatchMode(ompt.DispatchSequential)
+	}
 	return s
 }
 

@@ -95,6 +95,12 @@ type Config struct {
 	Logger *slog.Logger
 	// AnalyzerStats enables analyzer-level telemetry on capable analyzers.
 	AnalyzerStats bool
+	// Exclusive declares that every session's events arrive through the
+	// hub's serialized Feed path only (the default deployment). Sessions
+	// then run their analyzers in sequential dispatch mode — lock-free
+	// tag-plane shadow updates instead of CAS. Leave false when session
+	// analyzers are shared with concurrent out-of-band dispatchers.
+	Exclusive bool
 	// Traces, when non-nil, receives snapshots of every session's span tree
 	// so stream traces land in the same queryable store as job traces. Nil
 	// disables stream tracing.

@@ -20,6 +20,7 @@ type AnalyzerStats struct {
 	transitions [NumVSMStates * NumVSMStates]atomic.Uint64
 	casRetries  atomic.Uint64
 	treeLookups atomic.Uint64
+	memoHits    atomic.Uint64
 }
 
 // NewAnalyzerStats returns a zeroed collector.
@@ -53,6 +54,15 @@ func (s *AnalyzerStats) RecordTreeLookup() {
 	s.treeLookups.Add(1)
 }
 
+// RecordMemoHit counts one region lookup satisfied by a last-hit memo
+// instead of an index search.
+func (s *AnalyzerStats) RecordMemoHit() {
+	if s == nil {
+		return
+	}
+	s.memoHits.Add(1)
+}
+
 // TransitionCount returns the recorded count for (from, to); zero on a nil
 // receiver or out-of-range states.
 func (s *AnalyzerStats) TransitionCount(from, to uint8) uint64 {
@@ -76,4 +86,12 @@ func (s *AnalyzerStats) TreeLookups() uint64 {
 		return 0
 	}
 	return s.treeLookups.Load()
+}
+
+// MemoHits returns the recorded memo-hit count (zero on nil).
+func (s *AnalyzerStats) MemoHits() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.memoHits.Load()
 }

@@ -45,9 +45,13 @@ type Stats struct {
 	// ShadowCASRetries is the number of failed compare-and-swap attempts
 	// on shadow words (contention on the lock-free path, paper §IV-C).
 	ShadowCASRetries uint64 `json:"shadowCASRetries"`
-	// IntervalLookups is the number of interval-tree stabs performed to
-	// resolve addresses to shadow state or CV mappings.
+	// IntervalLookups is the number of index searches (binary searches of
+	// the published region/CV snapshots) performed to resolve addresses to
+	// shadow state or CV mappings.
 	IntervalLookups uint64 `json:"intervalLookups"`
+	// RegionMemoHits is the number of lookups satisfied by a last-hit memo
+	// instead of an index search (sequential and epoch-sharded replay).
+	RegionMemoHits uint64 `json:"regionMemoHits,omitempty"`
 }
 
 // StatsProvider is implemented by analyzers that can collect analyzer-level
@@ -89,6 +93,7 @@ func buildStats(a Analyzer, st *telemetry.AnalyzerStats) *Stats {
 	out := &Stats{
 		ShadowCASRetries: st.CASRetries(),
 		IntervalLookups:  st.TreeLookups(),
+		RegionMemoHits:   st.MemoHits(),
 	}
 	if ac, ok := a.(interface{ AccessCount() uint64 }); ok {
 		out.Accesses = ac.AccessCount()

@@ -27,6 +27,14 @@ type Analyzer interface {
 	ShadowBytes() uint64
 }
 
+// Releaser is implemented by analyzers whose shadow state is leased from
+// a pooled arena. Release returns the slabs for reuse by the next job; it
+// must only be called after the last event and the final Summarize/
+// CheckpointState of the analyzer.
+type Releaser interface {
+	Release()
+}
+
 // Names lists the tool names accepted by New, in the column order of the
 // paper's Table III.
 func Names() []string {
@@ -168,6 +176,27 @@ func (a *ArbalestFull) OnDataOp(e ompt.DataOpEvent) {
 func (a *ArbalestFull) OnAccess(e ompt.AccessEvent) {
 	a.vsm.OnAccess(e)
 	a.race.OnAccess(e)
+}
+
+// OnAccessBatch implements ompt.BatchTool: both components consume the
+// columnar batch, in the same vsm-then-race order as the per-event path.
+func (a *ArbalestFull) OnAccessBatch(b *ompt.AccessBatch) {
+	a.vsm.OnAccessBatch(b)
+	a.race.OnAccessBatch(b)
+}
+
+// SetDispatchMode implements ompt.ModalTool.
+func (a *ArbalestFull) SetDispatchMode(m ompt.DispatchMode) {
+	a.vsm.SetDispatchMode(m)
+	a.race.SetDispatchMode(m)
+}
+
+// Release implements Releaser: the VSM component's shadow slabs go back
+// to the arena and the race detector's cell pages to their pool, ready
+// for the next job.
+func (a *ArbalestFull) Release() {
+	a.vsm.Release()
+	a.race.Release()
 }
 
 // OnSync implements ompt.Tool.

@@ -109,8 +109,10 @@ func (t *Trace) ReplayDurable(ctx context.Context, opts DurableOptions, toolList
 		return ReplayStats{}, fmt.Errorf("trace: resume start %d is beyond trace end %d", opts.StartEvent, len(t.Events))
 	}
 	if workers == 1 {
+		d.SetDispatchMode(ompt.DispatchSequential)
 		return t.replayDurableSeq(ctx, &d, opts)
 	}
+	d.SetDispatchMode(ompt.DispatchEpochSharded)
 	return t.replayDurablePar(ctx, &d, opts, workers)
 }
 
@@ -129,43 +131,69 @@ func (t *Trace) replayDurableSeq(ctx context.Context, d *ompt.Dispatcher, opts D
 	events := t.Events
 	start := int(opts.StartEvent)
 	last := opts.StartEvent
-	var epoch uint64
-	for i := start; i < len(events); i++ {
-		if (i-start)%replayCheckInterval == 0 {
+	// Runs of consecutive accesses dispatch as zero-copy views of the
+	// trace's decode-once columns; runs end at barrier events, so
+	// checkpoint boundaries stay exact (all events before the boundary
+	// dispatched, none after).
+	cols := t.columns()
+	sinceCheck := replayCheckInterval // check ctx before the first event
+	for i := start; i < len(events); {
+		if sinceCheck >= replayCheckInterval {
+			sinceCheck = 0
 			if err := ctx.Err(); err != nil {
 				return st, fmt.Errorf("trace: replay canceled at event %d of %d: %w", i, len(events), err)
 			}
 		}
 		e := &events[i]
 		if e.Kind == KindAccess {
-			st.Accesses++
-			epoch++
-		} else if epoch > 0 {
+			if e.Access == nil {
+				return st, payloadErr(e)
+			}
+			j := i + 1
+			for j < len(events) && events[j].Kind == KindAccess && events[j].Access != nil {
+				j++
+			}
+			lo := cols.pos[i]
+			for off, run := 0, j-i; off < run; {
+				chunk := run - off
+				if chunk > accessBatchCap {
+					chunk = accessBatchCap
+				}
+				b := cols.view(lo+off, lo+off+chunk)
+				d.AccessBatch(&b)
+				opts.Progress.Add(uint64(chunk))
+				off += chunk
+				sinceCheck += chunk
+				if sinceCheck >= replayCheckInterval && off < run {
+					sinceCheck = 0
+					if err := ctx.Err(); err != nil {
+						return st, fmt.Errorf("trace: replay canceled at event %d of %d: %w", i+off, len(events), err)
+					}
+				}
+			}
+			epoch := uint64(j - i)
+			st.Accesses += epoch
+			st.Events += epoch
 			st.Epochs++
 			if epoch > st.MaxEpochAccesses {
 				st.MaxEpochAccesses = epoch
 			}
-			epoch = 0
+			i = j
+			continue
 		}
 		if err := dispatchEvent(d, e); err != nil {
 			return st, err
 		}
 		st.Events++
 		opts.Progress.Add(1)
-		if e.Kind != KindAccess {
-			if boundary := uint64(i) + 1; checkpointDue(&opts, boundary, last) {
-				if err := opts.Checkpoint(boundary); err != nil {
-					return st, err
-				}
-				last = boundary
+		sinceCheck++
+		if boundary := uint64(i) + 1; checkpointDue(&opts, boundary, last) {
+			if err := opts.Checkpoint(boundary); err != nil {
+				return st, err
 			}
+			last = boundary
 		}
-	}
-	if epoch > 0 {
-		st.Epochs++
-		if epoch > st.MaxEpochAccesses {
-			st.MaxEpochAccesses = epoch
-		}
+		i++
 	}
 	return st, nil
 }

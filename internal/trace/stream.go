@@ -131,13 +131,19 @@ func ReplayStream(ctx context.Context, r io.Reader, lim Limits, workers int, too
 	var stats ReplayStats
 	var consumeErr error
 	if workers == 1 {
+		// All dispatch happens on this goroutine (decode runs concurrently
+		// but only produces), so sequential-mode accelerators are safe.
+		d.SetDispatchMode(ompt.DispatchSequential)
 		stats.Workers = 1
 		var epoch uint64
+		ab := newAccessBatcher(&d, nil)
+		defer ab.release()
 		n := 0
 	seq:
 		for batch := range batches {
 			for i := range batch {
 				if n%replayCheckInterval == 0 {
+					ab.flush()
 					if err := ctx.Err(); err != nil {
 						consumeErr = fmt.Errorf("trace: replay canceled at event %d: %w", n, err)
 						break seq
@@ -146,15 +152,24 @@ func ReplayStream(ctx context.Context, r io.Reader, lim Limits, workers int, too
 				n++
 				e := &batch[i]
 				if e.Kind == KindAccess {
+					if e.Access == nil {
+						consumeErr = payloadErr(e)
+						break seq
+					}
 					stats.Accesses++
 					epoch++
-				} else if epoch > 0 {
+					stats.Events++
+					ab.add(e)
+					continue
+				}
+				if epoch > 0 {
 					stats.Epochs++
 					if epoch > stats.MaxEpochAccesses {
 						stats.MaxEpochAccesses = epoch
 					}
 					epoch = 0
 				}
+				ab.flush()
 				if err := dispatchEvent(&d, e); err != nil {
 					consumeErr = err
 					break seq
@@ -162,6 +177,7 @@ func ReplayStream(ctx context.Context, r io.Reader, lim Limits, workers int, too
 				stats.Events++
 			}
 		}
+		ab.flush()
 		if epoch > 0 {
 			stats.Epochs++
 			if epoch > stats.MaxEpochAccesses {
@@ -169,6 +185,7 @@ func ReplayStream(ctx context.Context, r io.Reader, lim Limits, workers int, too
 			}
 		}
 	} else {
+		d.SetDispatchMode(ompt.DispatchEpochSharded)
 		eng := newReplayEngine(ctx, &d, workers, nil)
 		// Access runs are copied out of the decoder's batches into an epoch
 		// chunk buffer, since one epoch usually spans many decode batches.

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/ompt"
 )
@@ -138,6 +139,11 @@ var _ ompt.Tool = (*Recorder)(nil)
 // Trace is a recorded event stream.
 type Trace struct {
 	Events []Event
+
+	// cols caches the decode-once columnar view of the access events (see
+	// accessCols). Built lazily on the first sequential replay; replays of
+	// one trace then dispatch zero-copy slices of it.
+	cols atomic.Pointer[accessCols]
 }
 
 // Replay drives the trace through the given tools, in recorded order.
@@ -164,15 +170,55 @@ func (t *Trace) ReplayContext(ctx context.Context, toolList ...ompt.Tool) error 
 	for _, tool := range toolList {
 		d.Register(tool)
 	}
-	for i := range t.Events {
-		if i%replayCheckInterval == 0 {
+	// One goroutine delivers every callback here, so modal tools may drop
+	// their synchronization and enable single-threaded accelerators.
+	d.SetDispatchMode(ompt.DispatchSequential)
+	cols := t.columns()
+	events := t.Events
+	sinceCheck := replayCheckInterval // check ctx before the first event
+	for i := 0; i < len(events); {
+		if sinceCheck >= replayCheckInterval {
+			sinceCheck = 0
 			if err := ctx.Err(); err != nil {
-				return fmt.Errorf("trace: replay canceled at event %d of %d: %w", i, len(t.Events), err)
+				return fmt.Errorf("trace: replay canceled at event %d of %d: %w", i, len(events), err)
 			}
 		}
-		if err := dispatchEvent(&d, &t.Events[i]); err != nil {
+		e := &events[i]
+		if e.Kind == KindAccess {
+			if e.Access == nil {
+				return payloadErr(e)
+			}
+			// Maximal run of valid access events: dispatch zero-copy column
+			// views, checking for cancellation between chunks.
+			j := i + 1
+			for j < len(events) && events[j].Kind == KindAccess && events[j].Access != nil {
+				j++
+			}
+			lo := cols.pos[i]
+			for off, run := 0, j-i; off < run; {
+				chunk := run - off
+				if chunk > accessBatchCap {
+					chunk = accessBatchCap
+				}
+				b := cols.view(lo+off, lo+off+chunk)
+				d.AccessBatch(&b)
+				off += chunk
+				sinceCheck += chunk
+				if sinceCheck >= replayCheckInterval && off < run {
+					sinceCheck = 0
+					if err := ctx.Err(); err != nil {
+						return fmt.Errorf("trace: replay canceled at event %d of %d: %w", i+off, len(events), err)
+					}
+				}
+			}
+			i = j
+			continue
+		}
+		if err := dispatchEvent(&d, e); err != nil {
 			return err
 		}
+		sinceCheck++
+		i++
 	}
 	return nil
 }

@@ -160,6 +160,31 @@ func Transition(w shadow.Word, op Op) (shadow.Word, IssueKind) {
 // that can manifest an issue.
 func (o Op) IsRead() bool { return o == ReadHost || o == ReadTarget }
 
+// tagTable is the whole state machine flattened into 8 ops × 16 tags.
+// Each entry packs the 4-bit result tag in the low nibble and the
+// IssueKind in bits 4-5. Built from Transition at init, so the table and
+// the reference implementation cannot drift.
+var tagTable [8][16]uint8
+
+func init() {
+	for op := ReadHost; op <= Release; op++ {
+		for tag := 0; tag < 16; tag++ {
+			nw, issue := Transition(shadow.Word(tag), op)
+			tagTable[op][tag] = uint8(nw)&0xF | uint8(issue)<<4
+		}
+	}
+}
+
+// TransitionTag applies op to a 4-bit state/init tag — the compact form of
+// Transition for the tag-plane fast path. It returns the new tag and the
+// manifested issue. Because Transition only reads and writes the low
+// nibble of the shadow word, TransitionTag(w.Tag(), op) agrees with
+// Transition(w, op) for every word w.
+func TransitionTag(tag uint8, op Op) (uint8, IssueKind) {
+	v := tagTable[op][tag&0xF]
+	return v & 0xF, IssueKind(v >> 4)
+}
+
 // RecordTransition records the (from, to) state pair of an applied
 // transition on stats. The detector calls it once per *successful* CAS so
 // retried iterations never double-count. The indexes are the packed

@@ -247,3 +247,24 @@ func TestOpStrings(t *testing.T) {
 		t.Error("IssueKind names empty")
 	}
 }
+
+// TestTransitionTagMatchesTransition exhaustively checks the tag-plane fast
+// path against the reference: for every op and every 4-bit tag,
+// TransitionTag must produce exactly the low nibble and issue that
+// Transition produces, regardless of the metadata bits above the nibble.
+func TestTransitionTagMatchesTransition(t *testing.T) {
+	metaPatterns := []uint64{0, 0xFFFFFFFFFFFFFFF0, 0xABCDEF1234567890 &^ 0xF}
+	for op := ReadHost; op <= Release; op++ {
+		for tag := uint8(0); tag < 16; tag++ {
+			wantTag, wantIssue := TransitionTag(tag, op)
+			for _, meta := range metaPatterns {
+				w := shadow.Word(meta | uint64(tag))
+				nw, issue := Transition(w, op)
+				if uint8(nw)&0xF != wantTag || issue != wantIssue {
+					t.Fatalf("op %v tag %#x meta %#x: Transition -> (%#x, %v), TransitionTag -> (%#x, %v)",
+						op, tag, meta, uint8(nw)&0xF, issue, wantTag, wantIssue)
+				}
+			}
+		}
+	}
+}
