@@ -11,6 +11,13 @@
 //	arbalest -fleet-status URL         print the daemon's federated fleet
 //	                                   status (workers, leases, latencies)
 //
+// -submit and -stream accept -tenant NAME (sent as X-Arbalest-Tenant, the
+// identity the daemon's per-tenant rate limits, quotas, and weighted-fair
+// dispatch key on) and -deadline DUR (sent as X-Arbalest-Deadline; the
+// daemon sheds the job if the deadline passes before replay starts). When
+// the daemon throttles a tenant (HTTP 429) the client backs off, honoring
+// the Retry-After hint.
+//
 // Uploads carry a W3C traceparent header, so every submitted job and stream
 // is one distributed trace on the daemon (GET /v1/traces/<id>); the trace
 // id is printed alongside the job/session id.
@@ -41,6 +48,7 @@ import (
 	"repro/internal/service"
 	"repro/internal/specaccel"
 	"repro/internal/telemetry"
+	"repro/internal/tenant"
 	"repro/internal/tools"
 	"repro/internal/trace"
 )
@@ -58,8 +66,11 @@ func main() {
 	submit := flag.String("submit", "", "arbalestd base URL (e.g. http://localhost:8321): record the program's trace and submit it for remote analysis instead of analyzing locally")
 	streamURL := flag.String("stream", "", "arbalestd base URL: stream the program's trace live to an analysis session as framed chunks (resumable; see internal/stream)")
 	fleetStatusURL := flag.String("fleet-status", "", "arbalestd base URL: print the federated fleet status (/v1/fleet/status) and exit")
+	tenantName := flag.String("tenant", "", "tenant identity sent with -submit and -stream admissions (X-Arbalest-Tenant header; empty = the daemon's default tenant)")
+	deadline := flag.String("deadline", "", "completion deadline sent with -submit and -stream admissions (X-Arbalest-Deadline header): a Go duration like \"30s\" or an RFC 3339 timestamp")
 	version := flag.Bool("version", false, "print build info and exit")
 	flag.Parse()
+	clientTenant, clientDeadline = *tenantName, *deadline
 
 	if *version {
 		bi := telemetry.Version()
@@ -158,6 +169,23 @@ func main() {
 	}
 	fmt.Printf("%s: %d issue(s) detected in %s\n", a.Name(), len(reports), name)
 	os.Exit(1)
+}
+
+// clientTenant and clientDeadline hold the -tenant and -deadline flag
+// values; tenantHeaders stamps them onto every admission request.
+var clientTenant, clientDeadline string
+
+// tenantHeaders adds the caller's tenant identity and completion deadline
+// to an admission request (job submit, stream open). The tenant is bound at
+// admission, so per-session follow-ups (chunk uploads, polls, close) do not
+// need the headers.
+func tenantHeaders(h http.Header) {
+	if clientTenant != "" {
+		h.Set(tenant.Header, clientTenant)
+	}
+	if clientDeadline != "" {
+		h.Set(tenant.DeadlineHeader, clientDeadline)
+	}
 }
 
 // printJSON writes v to stdout as indented JSON.
@@ -294,6 +322,7 @@ func submitTrace(baseURL string, tr *trace.Trace, toolName string, jsonOut bool)
 		req.Header.Set("Content-Type", "application/x-ndjson")
 		req.Header.Set(retry.IdempotencyHeader, key)
 		tc.Inject(req.Header)
+		tenantHeaders(req.Header)
 		resp, err := client.Do(req)
 		if err != nil {
 			return err // connection-level failure: retryable

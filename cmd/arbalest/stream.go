@@ -81,6 +81,7 @@ func streamTrace(baseURL string, tr *trace.Trace, toolName string, jsonOut bool)
 		}
 		req.Header.Set("Content-Type", "application/json")
 		tc.Inject(req.Header)
+		tenantHeaders(req.Header)
 		resp, err := client.Do(req)
 		if err != nil {
 			return err // connection-level failure: retryable

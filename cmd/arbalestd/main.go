@@ -14,6 +14,9 @@
 //	          [-trace-capacity N] [-trace-sample F]
 //	          [-role standalone|coordinator|worker] [-coordinator-url URL]
 //	          [-lease-ttl DUR] [-worker-id ID] [-poll-wait DUR]
+//	          [-tenants SPEC] [-tenant-defaults LIMITS]
+//	          [-shed-target DUR] [-shed-interval DUR] [-gc-interval DUR]
+//	          [-breaker-threshold N] [-breaker-cooldown DUR]
 //
 // -workers sizes the job pool (how many traces analyze concurrently);
 // -replay-workers sets the per-job analysis fan-out (epoch-sharded parallel
@@ -32,6 +35,32 @@
 // replays each job while streaming epoch-barrier checkpoints back, and
 // posts the result. Workers hold no durable state and may be killed at
 // any time. See README "Distributed operation".
+//
+// # Multi-tenancy and overload
+//
+// Requests carry their tenant identity in the X-Arbalest-Tenant header
+// (`arbalest -tenant NAME`); an absent header is the "default" tenant.
+// -tenants seeds per-tenant weights, token-bucket admission rates, and
+// concurrent-job/stream/in-flight-byte quotas, semicolon-separated:
+//
+//	-tenants 'alice:weight=4,rate=50,jobs=16;bob:rate=5,burst=10,bytes=67108864'
+//
+// -tenant-defaults sets the limits unknown tenants start with (same
+// key=value grammar, no name). Dispatch is weighted-fair per tenant — in
+// the job queue and, under -role coordinator, in lease grants — so one
+// tenant's backlog cannot starve another's. -shed-target arms CoDel-style
+// overload shedding: when queue delay stays above the target for a full
+// interval, the newest queued job of the heaviest-backlogged tenant is
+// shed before replay. A client X-Arbalest-Deadline header ("30s" or
+// RFC 3339; `arbalest -deadline`) likewise sheds jobs whose deadline
+// already passed when they reach the front of the queue. Limits are
+// live-tunable (GET /v1/tenants, PUT /v1/tenants/<name>), journaled with
+// -spool so tuning survives restarts, and surfaced as arbalestd_tenant_*
+// metrics plus per-tenant saturation detail on /readyz. Workers guard
+// their coordinator RPCs with a circuit breaker (-breaker-threshold,
+// -breaker-cooldown) so a struggling coordinator sees fast-failing
+// workers instead of a retry storm. See README "Multi-tenancy and
+// overload behavior".
 //
 // # Distributed tracing
 //
@@ -60,11 +89,16 @@
 //	                              span-derived job latencies); standalone
 //	                              daemons report the inline pool as one
 //	                              synthetic worker
+//	GET  /v1/tenants              every tracked tenant's usage and limits
+//	PUT  /v1/tenants/<name>       tune one tenant's limits live (journaled)
 //	GET  /metrics                 telemetry registry (Prometheus text format)
 //	GET  /version                 build info (version, Go version)
 //	GET  /healthz                 liveness; 503 once shutdown begins
 //	GET  /readyz                  readiness; 503 when the queue is >=90% full
-//	                              or streaming sessions are saturated
+//	                              or streaming sessions are saturated; the
+//	                              body is structured JSON detail (queue
+//	                              depth, stream count, journal health,
+//	                              per-tenant saturation)
 //
 // Live streaming ingestion (see internal/stream): a client opens a session
 // with POST /v1/streams, ships CRC32C-framed event chunks to
@@ -112,6 +146,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -119,7 +154,24 @@ import (
 	"repro/internal/journal"
 	"repro/internal/service"
 	"repro/internal/telemetry"
+	"repro/internal/tenant"
 )
+
+// parseDefaultLimits parses the -tenant-defaults value — a -tenants clause
+// without the leading "name:" — into the limits unknown tenants start with.
+func parseDefaultLimits(v string) (tenant.Limits, error) {
+	if strings.TrimSpace(v) == "" {
+		return tenant.Limits{}, nil
+	}
+	if strings.Contains(v, ";") {
+		return tenant.Limits{}, fmt.Errorf("-tenant-defaults is a single key=value list (per-tenant clauses go in -tenants)")
+	}
+	m, err := tenant.ParseSpec("_defaults:" + v)
+	if err != nil {
+		return tenant.Limits{}, err
+	}
+	return m["_defaults"], nil
+}
 
 func main() {
 	addr := flag.String("addr", ":8321", "listen address")
@@ -148,6 +200,13 @@ func main() {
 	leaseTTL := flag.Duration("lease-ttl", 15*time.Second, "coordinator: lease duration without a heartbeat before a job is rescheduled")
 	workerID := flag.String("worker-id", "", "worker: unique worker id (default host-pid)")
 	pollWait := flag.Duration("poll-wait", 5*time.Second, "worker: lease long-poll duration")
+	tenantSpec := flag.String("tenants", "", "per-tenant limits: semicolon-separated \"name:key=value,...\" clauses with keys weight, rate, burst, jobs, streams, bytes (empty = no per-tenant overrides)")
+	tenantDefaults := flag.String("tenant-defaults", "", "limits unknown tenants start with, as \"key=value,...\" with the -tenants keys (empty = unlimited)")
+	shedTarget := flag.Duration("shed-target", 0, "queue-delay target for overload shedding: sustained dequeue sojourn above it sheds the newest job of the heaviest-backlogged tenant (0 = shedding disabled)")
+	shedInterval := flag.Duration("shed-interval", 0, "initial observation interval for -shed-target (0 = 10x the target)")
+	gcInterval := flag.Duration("gc-interval", 0, "also run finished-job retention GC on this background interval, staggered per process (0 = GC runs inline only)")
+	breakerThreshold := flag.Int("breaker-threshold", 0, "worker: consecutive failed coordinator RPCs before the circuit breaker fails fast (0 = default 5, negative = disabled)")
+	breakerCooldown := flag.Duration("breaker-cooldown", 0, "worker: how long an open breaker fails fast before probing the coordinator again (0 = -poll-wait)")
 	version := flag.Bool("version", false, "print build info and exit")
 	flag.Parse()
 
@@ -178,10 +237,19 @@ func main() {
 		if *coordinatorURL == "" {
 			fatal("-role worker requires -coordinator-url")
 		}
-		runWorker(logger, *coordinatorURL, *workerID, *pollWait, rw, *checkpointEvery)
+		runWorker(logger, *coordinatorURL, *workerID, *pollWait, rw, *checkpointEvery, *breakerThreshold, *breakerCooldown)
 		return
 	default:
 		fatal("unknown -role (want standalone, coordinator, or worker)", "role", *role)
+	}
+
+	tenantLimits, err := tenant.ParseSpec(*tenantSpec)
+	if err != nil {
+		fatal("bad -tenants spec", "err", err)
+	}
+	defaultLimits, err := parseDefaultLimits(*tenantDefaults)
+	if err != nil {
+		fatal("bad -tenant-defaults", "err", err)
 	}
 
 	cfg := service.Config{
@@ -204,6 +272,12 @@ func main() {
 		StreamMaxBytes:    *streamMaxBytes,
 		StreamIdleTimeout: *streamIdleTimeout,
 		StreamReadTimeout: *streamReadTimeout,
+
+		TenantDefaults: defaultLimits,
+		TenantLimits:   tenantLimits,
+		ShedTarget:     *shedTarget,
+		ShedInterval:   *shedInterval,
+		GCInterval:     *gcInterval,
 
 		ExternalDispatch: *role == "coordinator",
 	}
@@ -304,7 +378,7 @@ func main() {
 
 // runWorker runs the fleet analysis agent until SIGINT/SIGTERM (or until a
 // fault-injected crash kills it, in chaos tests).
-func runWorker(logger *slog.Logger, coordinatorURL, id string, pollWait time.Duration, replayWorkers int, checkpointEvery uint64) {
+func runWorker(logger *slog.Logger, coordinatorURL, id string, pollWait time.Duration, replayWorkers int, checkpointEvery uint64, breakerThreshold int, breakerCooldown time.Duration) {
 	if id == "" {
 		host, err := os.Hostname()
 		if err != nil {
@@ -313,12 +387,14 @@ func runWorker(logger *slog.Logger, coordinatorURL, id string, pollWait time.Dur
 		id = fmt.Sprintf("%s-%d", host, os.Getpid())
 	}
 	w := dist.NewWorker(dist.WorkerConfig{
-		ID:              id,
-		CoordinatorURL:  coordinatorURL,
-		PollWait:        pollWait,
-		ReplayWorkers:   replayWorkers,
-		CheckpointEvery: checkpointEvery,
-		Logger:          logger,
+		ID:               id,
+		CoordinatorURL:   coordinatorURL,
+		PollWait:         pollWait,
+		ReplayWorkers:    replayWorkers,
+		CheckpointEvery:  checkpointEvery,
+		BreakerThreshold: breakerThreshold,
+		BreakerCooldown:  breakerCooldown,
+		Logger:           logger,
 	})
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()

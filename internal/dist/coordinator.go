@@ -12,6 +12,7 @@ import (
 	"repro/internal/faultinject"
 	"repro/internal/journal"
 	"repro/internal/telemetry"
+	"repro/internal/tenant"
 	"repro/internal/trace"
 )
 
@@ -83,8 +84,12 @@ type Coordinator struct {
 	cfg CoordinatorConfig
 	m   *fleetMetrics
 
-	mu      sync.Mutex
-	pending []JobSpec            // jobs awaiting a lease, oldest first
+	mu sync.Mutex
+	// pending holds jobs awaiting a lease, grouped by tenant and granted
+	// weighted-fair: each grant pops under the same weighted round-robin the
+	// service queue uses, so one tenant's burst of accepted jobs cannot
+	// monopolize the fleet's workers any more than it can the inline pool.
+	pending *tenant.FairQueue[JobSpec]
 	leases  map[string]*lease    // job id -> active lease
 	tokens  map[string]uint64    // job id -> newest issued fencing token
 	workers map[string]time.Time // worker id -> last contact
@@ -112,6 +117,7 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 	c := &Coordinator{
 		cfg:       cfg,
 		m:         newFleetMetrics(cfg.Registry),
+		pending:   tenant.NewFairQueue[JobSpec](),
 		leases:    make(map[string]*lease),
 		tokens:    make(map[string]uint64),
 		workers:   make(map[string]time.Time),
@@ -202,12 +208,24 @@ func (c *Coordinator) dispatchLoop(ctx context.Context) {
 	}
 }
 
+// specTenant and specWeight normalize a JobSpec's fair-queue key: specs
+// from older coordinators (or tests) without tenant fields land under the
+// default tenant at weight 1.
+func specTenant(spec JobSpec) string { return tenant.Canonical(spec.Tenant) }
+
+func specWeight(spec JobSpec) int {
+	if spec.Weight < 1 {
+		return 1
+	}
+	return spec.Weight
+}
+
 // offer routes one dequeued job.
 func (c *Coordinator) offer(spec JobSpec) {
 	now := time.Now()
 	c.mu.Lock()
 	if c.liveWorkersLocked(now) > 0 || now.Before(c.graceUntil) {
-		c.pending = append(c.pending, spec)
+		c.pending.Push(specTenant(spec), specWeight(spec), spec)
 		c.wakeLocked()
 		c.mu.Unlock()
 		return
@@ -301,14 +319,17 @@ func (c *Coordinator) Lease(ctx context.Context, workerID string, wait time.Dura
 	}
 }
 
-// grantLocked tries to lease the oldest pending job to workerID. It returns
-// (nil, nil) when no job is pending. Callers hold c.mu; the lock is
-// released around the fleet-log fsync and re-acquired (safe because the
-// popped job is owned by this call: it is in neither pending nor leases).
+// grantLocked tries to lease the next pending job — weighted-fair across
+// tenants — to workerID. It returns (nil, nil) when no job is pending.
+// Callers hold c.mu; the lock is released around the fleet-log fsync and
+// re-acquired (safe because the popped job is owned by this call: it is in
+// neither pending nor leases).
 func (c *Coordinator) grantLocked(workerID string) (*LeaseGrant, error) {
-	for len(c.pending) > 0 {
-		spec := c.pending[0]
-		c.pending = c.pending[1:]
+	for c.pending.Len() > 0 {
+		tname, spec, ok := c.pending.Pop()
+		if !ok {
+			break
+		}
 		token := c.tokens[spec.ID] + 1
 		if c.cfg.Fleet != nil {
 			c.mu.Unlock()
@@ -316,8 +337,9 @@ func (c *Coordinator) grantLocked(workerID string) (*LeaseGrant, error) {
 			c.mu.Lock()
 			if err != nil {
 				// Without the durable token the grant is unsafe; put the job
-				// back and surface the spool failure to the worker (503).
-				c.pending = append([]JobSpec{spec}, c.pending...)
+				// back at the head of its tenant's line and surface the spool
+				// failure to the worker (503).
+				c.pending.PushFront(tname, specWeight(spec), spec)
 				return nil, err
 			}
 		}
@@ -480,10 +502,11 @@ func (c *Coordinator) janitorLoop() {
 }
 
 // janitorOnce expires leases whose heartbeats lapsed (rescheduling their
-// jobs at the head of the pending list so a crash-looping job is retried
-// before fresh work), prunes workers past the worker TTL, and — when the
-// fleet has no live workers and the reconnect grace is over — drains the
-// pending list through the inline path so jobs never starve.
+// jobs at the head of their tenant's line, so a crash-looping job is
+// retried before the tenant's fresh work without jumping other tenants),
+// prunes workers past the worker TTL, and — when the fleet has no live
+// workers and the reconnect grace is over — drains the pending queue
+// through the inline path so jobs never starve.
 func (c *Coordinator) janitorOnce(now time.Time) {
 	c.mu.Lock()
 	var resched []JobSpec
@@ -504,7 +527,9 @@ func (c *Coordinator) janitorOnce(now time.Time) {
 		}
 	}
 	if len(resched) > 0 {
-		c.pending = append(resched, c.pending...)
+		for _, spec := range resched {
+			c.pending.PushFront(specTenant(spec), specWeight(spec), spec)
+		}
 		c.wakeLocked()
 	}
 	for w, seen := range c.workers {
@@ -515,9 +540,8 @@ func (c *Coordinator) janitorOnce(now time.Time) {
 	}
 	c.m.workers.Set(int64(len(c.workers)))
 	var inline []JobSpec
-	if len(c.workers) == 0 && now.After(c.graceUntil) && len(c.pending) > 0 {
-		inline = c.pending
-		c.pending = nil
+	if len(c.workers) == 0 && now.After(c.graceUntil) && c.pending.Len() > 0 {
+		inline = c.pending.Drain()
 		c.cfg.Logger.Warn("no live workers; draining pending jobs inline", "jobs", len(inline))
 	}
 	c.mu.Unlock()
@@ -548,7 +572,7 @@ func (c *Coordinator) Stats() Stats {
 	defer c.mu.Unlock()
 	return Stats{
 		LiveWorkers: c.liveWorkersLocked(now),
-		Pending:     len(c.pending),
+		Pending:     c.pending.Len(),
 		Leased:      len(c.leases),
 	}
 }
@@ -565,7 +589,7 @@ func (c *Coordinator) FleetSnapshot() FleetSnapshot {
 	}
 	snap := FleetSnapshot{
 		Workers: make([]WorkerInfo, 0, len(c.workers)),
-		Pending: len(c.pending),
+		Pending: c.pending.Len(),
 		Leased:  len(c.leases),
 	}
 	for id, seen := range c.workers {

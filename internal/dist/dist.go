@@ -53,6 +53,11 @@ type JobSpec struct {
 	Tool string `json:"tool"`
 	// Events is the trace length, for progress accounting.
 	Events int `json:"events"`
+	// Tenant is the identity the job was admitted under; the coordinator's
+	// pending table grants leases weighted-fair across tenants.
+	Tenant string `json:"tenant,omitempty"`
+	// Weight is the tenant's WFQ weight at dequeue time (>= 1).
+	Weight int `json:"weight,omitempty"`
 }
 
 // Backend is the coordinator's seam into the job engine; *service.Service

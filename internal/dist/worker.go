@@ -42,6 +42,17 @@ type WorkerConfig struct {
 	// the package defaults (4 attempts, exponential backoff, full jitter,
 	// 30s budget).
 	Retry retry.Policy
+	// BreakerThreshold trips the worker's coordinator circuit breaker after
+	// this many consecutive failed RPCs (each already retried under Retry).
+	// While open, every coordinator call fails fast with
+	// retry.ErrBreakerOpen instead of burning its full retry budget —
+	// so a fleet of workers doesn't hammer a limping coordinator with
+	// Threshold × MaxAttempts × N requests the moment it returns. Default
+	// 5; negative disables the breaker.
+	BreakerThreshold int
+	// BreakerCooldown is how long a tripped breaker fails fast before
+	// letting one probe through (default PollWait).
+	BreakerCooldown time.Duration
 	// Logger receives operational logging. Nil discards.
 	Logger *slog.Logger
 }
@@ -55,6 +66,12 @@ func (c WorkerConfig) withDefaults() WorkerConfig {
 	}
 	if c.CheckpointEvery == 0 {
 		c.CheckpointEvery = 4096
+	}
+	if c.BreakerThreshold == 0 {
+		c.BreakerThreshold = 5
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = c.PollWait
 	}
 	if c.Client == nil {
 		c.Client = http.DefaultClient
@@ -73,11 +90,41 @@ func (c WorkerConfig) withDefaults() WorkerConfig {
 type Worker struct {
 	cfg WorkerConfig
 	ttl time.Duration // lease TTL learned at registration
+	// breaker is the circuit breaker guarding every coordinator RPC; nil
+	// when disabled (BreakerThreshold < 0).
+	breaker *retry.Breaker
 }
 
 // NewWorker builds a worker agent.
 func NewWorker(cfg WorkerConfig) *Worker {
-	return &Worker{cfg: cfg.withDefaults()}
+	cfg = cfg.withDefaults()
+	w := &Worker{cfg: cfg}
+	if cfg.BreakerThreshold > 0 {
+		w.breaker = retry.NewBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown)
+	}
+	return w
+}
+
+// guard runs one (already retry-wrapped) coordinator RPC under the circuit
+// breaker: fail fast while open, otherwise run and record the outcome. An
+// application verdict — any HTTP status below 500 except 429 — proves the
+// coordinator is alive and counts as a success for the breaker even though
+// the call itself failed (a fenced 409 must not trip the circuit).
+func (w *Worker) guard(fn func() error) error {
+	if w.breaker == nil {
+		return fn()
+	}
+	if err := w.breaker.Allow(); err != nil {
+		return err
+	}
+	err := fn()
+	outcome := err
+	var se *httpStatusError
+	if errors.As(err, &se) && se.status < 500 && se.status != http.StatusTooManyRequests {
+		outcome = nil
+	}
+	w.breaker.Record(outcome)
+	return err
 }
 
 // workerTrace is the worker's local span tree for one lease: a "worker"
@@ -452,6 +499,14 @@ func (w *Worker) doJSONPolicy(ctx context.Context, policy retry.Policy, method, 
 	if len(query) > 0 {
 		u += "?" + query.Encode()
 	}
+	return w.guard(func() error {
+		return w.doJSONOnce(ctx, policy, method, u, body, contentType, out)
+	})
+}
+
+// doJSONOnce is doJSONPolicy's retried body, separated so the breaker
+// wraps the whole retry budget as one observation.
+func (w *Worker) doJSONOnce(ctx context.Context, policy retry.Policy, method, u string, body []byte, contentType string, out any) error {
 	return policy.Do(ctx, func(int) error {
 		req, err := http.NewRequestWithContext(ctx, method, u, bytes.NewReader(body))
 		if err != nil {
@@ -514,30 +569,32 @@ func (w *Worker) lease(ctx context.Context) (*LeaseGrant, error) {
 func (w *Worker) fetchTrace(ctx context.Context, jobID string) (*trace.Trace, error) {
 	u := w.cfg.CoordinatorURL + "/v1/fleet/jobs/" + url.PathEscape(jobID) + "/trace"
 	var tr *trace.Trace
-	err := w.cfg.Retry.Do(ctx, func(int) error {
-		req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
-		if err != nil {
-			return retry.Permanent(err)
-		}
-		resp, err := w.cfg.Client.Do(req)
-		if err != nil {
-			return err
-		}
-		defer resp.Body.Close()
-		if resp.StatusCode != http.StatusOK {
-			msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
-			serr := &httpStatusError{status: resp.StatusCode, body: string(bytes.TrimSpace(msg))}
-			if !retry.StatusRetryable(resp.StatusCode) {
-				return retry.Permanent(serr)
+	err := w.guard(func() error {
+		return w.cfg.Retry.Do(ctx, func(int) error {
+			req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+			if err != nil {
+				return retry.Permanent(err)
 			}
-			return retry.After(serr, retry.RetryAfter(resp))
-		}
-		t, lerr := trace.Load(resp.Body)
-		if lerr != nil {
-			return lerr
-		}
-		tr = t
-		return nil
+			resp, err := w.cfg.Client.Do(req)
+			if err != nil {
+				return err
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
+				serr := &httpStatusError{status: resp.StatusCode, body: string(bytes.TrimSpace(msg))}
+				if !retry.StatusRetryable(resp.StatusCode) {
+					return retry.Permanent(serr)
+				}
+				return retry.After(serr, retry.RetryAfter(resp))
+			}
+			t, lerr := trace.Load(resp.Body)
+			if lerr != nil {
+				return lerr
+			}
+			tr = t
+			return nil
+		})
 	})
 	return tr, err
 }
@@ -548,37 +605,39 @@ func (w *Worker) fetchCheckpoint(ctx context.Context, jobID string, token uint64
 		"token":  {strconv.FormatUint(token, 10)},
 	}.Encode()
 	var ck *trace.Checkpoint
-	err := w.cfg.Retry.Do(ctx, func(int) error {
-		req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
-		if err != nil {
-			return retry.Permanent(err)
-		}
-		resp, err := w.cfg.Client.Do(req)
-		if err != nil {
-			return err
-		}
-		defer resp.Body.Close()
-		switch {
-		case resp.StatusCode == http.StatusNoContent:
-			return nil
-		case resp.StatusCode != http.StatusOK:
-			msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
-			serr := &httpStatusError{status: resp.StatusCode, body: string(bytes.TrimSpace(msg))}
-			if !retry.StatusRetryable(resp.StatusCode) {
-				return retry.Permanent(serr)
+	err := w.guard(func() error {
+		return w.cfg.Retry.Do(ctx, func(int) error {
+			req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+			if err != nil {
+				return retry.Permanent(err)
 			}
-			return retry.After(serr, retry.RetryAfter(resp))
-		}
-		data, rerr := io.ReadAll(io.LimitReader(resp.Body, maxCheckpointBody))
-		if rerr != nil {
-			return rerr
-		}
-		c, derr := trace.DecodeCheckpoint(data)
-		if derr != nil {
-			return retry.Permanent(derr) // corrupt on the wire won't improve
-		}
-		ck = c
-		return nil
+			resp, err := w.cfg.Client.Do(req)
+			if err != nil {
+				return err
+			}
+			defer resp.Body.Close()
+			switch {
+			case resp.StatusCode == http.StatusNoContent:
+				return nil
+			case resp.StatusCode != http.StatusOK:
+				msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
+				serr := &httpStatusError{status: resp.StatusCode, body: string(bytes.TrimSpace(msg))}
+				if !retry.StatusRetryable(resp.StatusCode) {
+					return retry.Permanent(serr)
+				}
+				return retry.After(serr, retry.RetryAfter(resp))
+			}
+			data, rerr := io.ReadAll(io.LimitReader(resp.Body, maxCheckpointBody))
+			if rerr != nil {
+				return rerr
+			}
+			c, derr := trace.DecodeCheckpoint(data)
+			if derr != nil {
+				return retry.Permanent(derr) // corrupt on the wire won't improve
+			}
+			ck = c
+			return nil
+		})
 	})
 	return ck, err
 }

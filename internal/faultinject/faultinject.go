@@ -32,6 +32,15 @@
 //	dist.worker.crash   fired in a remote worker after a checkpoint posts;
 //	                    an armed error makes the whole worker agent exit as
 //	                    if the process died, leaving the lease to expire
+//	journal.stream.append  error on a streaming session's write-ahead open
+//	                    record (the session is refused, quota released)
+//	journal.stream.mark error on a streaming session's lifecycle transition
+//	                    append
+//	journal.tenant      error on a tenant-limits append (live tuning is
+//	                    refused rather than accepted undurably)
+//	stream.read         fired per ingest chunk read; an armed error aborts
+//	                    the connection mid-body exactly like a client
+//	                    disconnect (the session stays live for resume)
 package faultinject
 
 import (

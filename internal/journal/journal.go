@@ -66,15 +66,20 @@ const (
 // Status "pending" and carries the job's identity; later lines only need
 // Status plus the terminal fields.
 type Entry struct {
-	ID        string          `json:"id,omitempty"`
-	Tool      string          `json:"tool,omitempty"`
-	Key       string          `json:"key,omitempty"` // idempotency key, optional
-	Events    int             `json:"events,omitempty"`
-	Submitted time.Time       `json:"submitted,omitempty"`
-	Status    string          `json:"status"`
-	Time      time.Time       `json:"time"`
-	Error     string          `json:"error,omitempty"`
-	Result    json.RawMessage `json:"result,omitempty"`
+	ID        string    `json:"id,omitempty"`
+	Tool      string    `json:"tool,omitempty"`
+	Key       string    `json:"key,omitempty"`    // idempotency key, optional
+	Tenant    string    `json:"tenant,omitempty"` // owning tenant, "" for the default
+	Events    int       `json:"events,omitempty"`
+	Submitted time.Time `json:"submitted,omitempty"`
+	// DeadlineMs is the client-propagated completion deadline in Unix
+	// milliseconds, 0 when none — persisted so a recovered job can still
+	// be shed instead of replayed when its deadline already passed.
+	DeadlineMs int64           `json:"deadlineMs,omitempty"`
+	Status     string          `json:"status"`
+	Time       time.Time       `json:"time"`
+	Error      string          `json:"error,omitempty"`
+	Result     json.RawMessage `json:"result,omitempty"`
 }
 
 // Record identifies a job at accept time.
@@ -82,8 +87,10 @@ type Record struct {
 	ID        string
 	Tool      string
 	Key       string // idempotency key, "" if the client sent none
+	Tenant    string // owning tenant, "" for the default tenant
 	Events    int
 	Submitted time.Time
+	Deadline  time.Time // client-propagated completion deadline, zero when none
 }
 
 // RecoveredJob is one job found in the spool by Recover.
@@ -217,8 +224,9 @@ func (j *Journal) Append(rec Record, tr *trace.Trace) error {
 		return err
 	}
 	first := Entry{
-		ID: rec.ID, Tool: rec.Tool, Key: rec.Key, Events: rec.Events,
-		Submitted: rec.Submitted, Status: StatusPending, Time: rec.Submitted,
+		ID: rec.ID, Tool: rec.Tool, Key: rec.Key, Tenant: rec.Tenant, Events: rec.Events,
+		Submitted: rec.Submitted, DeadlineMs: deadlineMs(rec.Deadline),
+		Status: StatusPending, Time: rec.Submitted,
 	}
 	if err := j.appendMeta(rec.ID, first); err != nil {
 		j.removeFiles(rec.ID)
@@ -303,6 +311,11 @@ func (j *Journal) Recover() ([]RecoveredJob, RecoverStats, []error) {
 		if !strings.HasSuffix(name, ".meta") {
 			continue
 		}
+		// Subsystem logs share the spool and the framing but are not job
+		// lifecycle logs; their owners recover them separately.
+		if name == fleetFile || name == tenantFile {
+			continue
+		}
 		id := strings.TrimSuffix(name, ".meta")
 		rj, err := j.recoverOne(id, &stats)
 		if err != nil {
@@ -335,6 +348,22 @@ func (e *JobError) Error() string { return fmt.Sprintf("journal: job %s: %v", e.
 
 // Unwrap exposes the cause to errors.Is/As.
 func (e *JobError) Unwrap() error { return e.Err }
+
+// deadlineMs converts a deadline to Unix milliseconds (0 for none).
+func deadlineMs(t time.Time) int64 {
+	if t.IsZero() {
+		return 0
+	}
+	return t.UnixMilli()
+}
+
+// msToDeadline is the inverse of deadlineMs.
+func msToDeadline(ms int64) time.Time {
+	if ms == 0 {
+		return time.Time{}
+	}
+	return time.UnixMilli(ms)
+}
 
 // metaCRC is the CRC32C table framing meta lines.
 var metaCRC = crc32.MakeTable(crc32.Castagnoli)
@@ -468,7 +497,10 @@ func (j *Journal) recoverOne(id string, stats *RecoverStats) (RecoveredJob, erro
 			if e.ID != id {
 				return RecoveredJob{}, fmt.Errorf("meta identity %q does not match file %q", e.ID, id)
 			}
-			rj.Record = Record{ID: e.ID, Tool: e.Tool, Key: e.Key, Events: e.Events, Submitted: e.Submitted}
+			rj.Record = Record{
+				ID: e.ID, Tool: e.Tool, Key: e.Key, Tenant: e.Tenant,
+				Events: e.Events, Submitted: e.Submitted, Deadline: msToDeadline(e.DeadlineMs),
+			}
 		}
 		rj.Status = e.Status
 		switch e.Status {

@@ -92,7 +92,7 @@ func (j *Journal) AppendStream(rec Record) (*StreamWriter, error) {
 		return nil, err
 	}
 	first := Entry{
-		ID: rec.ID, Tool: rec.Tool, Key: rec.Key,
+		ID: rec.ID, Tool: rec.Tool, Key: rec.Key, Tenant: rec.Tenant,
 		Submitted: rec.Submitted, Status: StatusLive, Time: rec.Submitted,
 	}
 	if err := j.appendMetaFile(j.smetaPath(rec.ID), first); err != nil {
@@ -218,7 +218,7 @@ func (j *Journal) recoverOneStream(id string, stats *RecoverStats) (RecoveredStr
 			if e.ID != id {
 				return RecoveredStream{}, fmt.Errorf("meta identity %q does not match file %q", e.ID, id)
 			}
-			rs.Record = Record{ID: e.ID, Tool: e.Tool, Key: e.Key, Submitted: e.Submitted}
+			rs.Record = Record{ID: e.ID, Tool: e.Tool, Key: e.Key, Tenant: e.Tenant, Submitted: e.Submitted}
 		}
 		rs.Status = e.Status
 		switch e.Status {

@@ -1,0 +1,151 @@
+package journal
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/tenant"
+)
+
+func TestTenantLogRoundTrip(t *testing.T) {
+	j, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tl := j.Tenants()
+	if err := tl.RecordLimits("alice", tenant.Limits{Weight: 2, Rate: 10}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tl.RecordLimits("bob", tenant.Limits{MaxJobs: 4}); err != nil {
+		t.Fatal(err)
+	}
+	// Last write per tenant wins.
+	if err := tl.RecordLimits("alice", tenant.Limits{Weight: 5, MaxStreams: 3}); err != nil {
+		t.Fatal(err)
+	}
+	var stats RecoverStats
+	got, err := tl.RecoverTenants(&stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("recovered %d tenants, want 2", len(got))
+	}
+	if a := got["alice"]; a.Weight != 5 || a.MaxStreams != 3 || a.Rate != 0 {
+		t.Fatalf("alice = %+v, want the last write only", a)
+	}
+	if b := got["bob"]; b.MaxJobs != 4 {
+		t.Fatalf("bob = %+v", b)
+	}
+	if stats.TruncatedRecords != 0 {
+		t.Fatalf("truncated = %d", stats.TruncatedRecords)
+	}
+
+	// Recovery compacted the log to one line per tenant; a second recovery
+	// sees the same state.
+	got2, err := j.Tenants().RecoverTenants(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got2) != 2 || got2["alice"].Weight != 5 {
+		t.Fatalf("post-compaction recovery = %+v", got2)
+	}
+}
+
+func TestTenantLogMissingIsEmpty(t *testing.T) {
+	j, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := j.Tenants().RecoverTenants(nil)
+	if err != nil || len(got) != 0 {
+		t.Fatalf("missing log: %v %v", got, err)
+	}
+}
+
+func TestTenantLogTornTailDropped(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tl := j.Tenants()
+	if err := tl.RecordLimits("good", tenant.Limits{Weight: 2}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(filepath.Join(dir, "tenants.meta"), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString("c2 deadbeef {torn"); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	var stats RecoverStats
+	got, err := tl.RecoverTenants(&stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got["good"].Weight != 2 {
+		t.Fatalf("recovered = %+v", got)
+	}
+	if stats.TruncatedRecords != 1 {
+		t.Fatalf("truncated = %d, want 1", stats.TruncatedRecords)
+	}
+}
+
+// TestSubsystemLogsNotJobs: the tenant and fleet logs live in the spool
+// with the same .meta suffix as job lifecycle logs; job recovery must
+// skip them instead of reporting a phantom corrupt job named "tenants"
+// or "fleet".
+func TestSubsystemLogsNotJobs(t *testing.T) {
+	j, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Tenants().RecordLimits("alice", tenant.Limits{Weight: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Fleet().RecordToken("job-1", 7); err != nil {
+		t.Fatal(err)
+	}
+	jobs, _, errs := j.Recover()
+	if len(errs) != 0 {
+		t.Fatalf("recover errors: %v", errs)
+	}
+	if len(jobs) != 0 {
+		t.Fatalf("recovered %d phantom jobs: %+v", len(jobs), jobs)
+	}
+}
+
+func TestRecordPersistsTenantAndDeadline(t *testing.T) {
+	j, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := sampleTrace(1)
+	deadline := time.Now().Add(time.Hour).Truncate(time.Millisecond)
+	rec := Record{
+		ID: "job-1", Tool: "arbalest", Tenant: "alice",
+		Events: len(tr.Events), Submitted: time.Now(), Deadline: deadline,
+	}
+	if err := j.Append(rec, tr); err != nil {
+		t.Fatal(err)
+	}
+	jobs, _, errs := j.Recover()
+	if len(errs) != 0 {
+		t.Fatalf("recover errors: %v", errs)
+	}
+	if len(jobs) != 1 {
+		t.Fatalf("recovered %d jobs", len(jobs))
+	}
+	got := jobs[0]
+	if got.Tenant != "alice" {
+		t.Fatalf("tenant = %q", got.Tenant)
+	}
+	if !got.Deadline.Equal(deadline) {
+		t.Fatalf("deadline = %v, want %v", got.Deadline, deadline)
+	}
+}

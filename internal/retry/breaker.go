@@ -1,0 +1,167 @@
+package retry
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// ErrBreakerOpen is returned by Breaker.Allow while the circuit is open:
+// the peer has failed enough consecutive calls that further traffic would
+// only add load to a sick endpoint. Callers should treat it like a
+// connection error (back off and try again later); the breaker itself
+// decides when a probe is allowed through.
+var ErrBreakerOpen = errors.New("retry: circuit breaker open")
+
+// Breaker is a three-state circuit breaker for one client->server path
+// (e.g. a fleet worker's RPCs to its coordinator).
+//
+//	closed    — all calls pass; Threshold consecutive failures trip it.
+//	open      — calls fail fast with ErrBreakerOpen for Cooldown.
+//	half-open — after Cooldown one probe call is let through; success
+//	            closes the breaker, failure re-opens it for another
+//	            Cooldown.
+//
+// Fail-fast matters on the worker->coordinator path because every RPC is
+// already wrapped in a retry.Policy: without a breaker, a partitioned
+// coordinator receives Threshold x MaxAttempts x N-workers hammering the
+// moment it limps back, which is exactly when it can least afford it.
+//
+// The zero value is not usable; create with NewBreaker. All methods are
+// safe for concurrent use.
+type Breaker struct {
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time
+
+	mu       sync.Mutex
+	failures int       // consecutive failures while closed
+	state    int       // breaker state (stateClosed, stateOpen, stateHalfOpen)
+	until    time.Time // when the open state ends
+	probing  bool      // a half-open probe is in flight
+	trips    uint64    // cumulative closed->open transitions
+}
+
+const (
+	stateClosed = iota
+	stateOpen
+	stateHalfOpen
+)
+
+// NewBreaker returns a closed breaker that trips after threshold
+// consecutive failures (min 1) and stays open for cooldown (min 1ms).
+func NewBreaker(threshold int, cooldown time.Duration) *Breaker {
+	if threshold < 1 {
+		threshold = 1
+	}
+	if cooldown < time.Millisecond {
+		cooldown = time.Millisecond
+	}
+	return &Breaker{threshold: threshold, cooldown: cooldown, now: time.Now}
+}
+
+// SetClock injects a time source (tests).
+func (b *Breaker) SetClock(now func() time.Time) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.now = now
+}
+
+// Allow reports whether a call may proceed now. It returns nil (proceed)
+// or ErrBreakerOpen (fail fast). Every Allow that returns nil must be
+// matched by exactly one Record with the call's outcome — in half-open
+// state the nil Allow is the probe, and further calls fail fast until the
+// probe's Record arrives.
+func (b *Breaker) Allow() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case stateClosed:
+		return nil
+	case stateOpen:
+		if b.now().Before(b.until) {
+			return ErrBreakerOpen
+		}
+		b.state = stateHalfOpen
+		b.probing = true
+		return nil
+	default: // half-open
+		if b.probing {
+			return ErrBreakerOpen
+		}
+		b.probing = true
+		return nil
+	}
+}
+
+// Record feeds a call outcome back. A nil err is a success; in half-open
+// state it closes the breaker, in closed state it resets the failure run.
+// A non-nil err counts toward the trip threshold (closed) or re-opens the
+// circuit immediately (half-open).
+func (b *Breaker) Record(err error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if err == nil {
+		b.failures = 0
+		if b.state != stateClosed {
+			b.state = stateClosed
+			b.probing = false
+		}
+		return
+	}
+	switch b.state {
+	case stateClosed:
+		b.failures++
+		if b.failures >= b.threshold {
+			b.tripLocked()
+		}
+	case stateHalfOpen:
+		// The probe failed: back to a full cooldown.
+		b.tripLocked()
+	}
+}
+
+func (b *Breaker) tripLocked() {
+	b.state = stateOpen
+	b.until = b.now().Add(b.cooldown)
+	b.failures = 0
+	b.probing = false
+	b.trips++
+}
+
+// State returns "closed", "open", or "half-open" — gauge material.
+func (b *Breaker) State() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case stateOpen:
+		// Report the transition lazily so a metric scrape between the
+		// cooldown's end and the next call shows the probe-ready state.
+		if !b.now().Before(b.until) {
+			return "half-open"
+		}
+		return "open"
+	case stateHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// Trips returns how many times the breaker has opened.
+func (b *Breaker) Trips() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.trips
+}
+
+// Do runs fn under the breaker: fail fast when open, otherwise call and
+// record. It returns fn's error (or ErrBreakerOpen).
+func (b *Breaker) Do(fn func() error) error {
+	if err := b.Allow(); err != nil {
+		return err
+	}
+	err := fn()
+	b.Record(err)
+	return err
+}

@@ -1,0 +1,153 @@
+package retry
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestBreakerTripsAfterThreshold(t *testing.T) {
+	clk := time.Unix(1700000000, 0)
+	b := NewBreaker(3, time.Second)
+	b.SetClock(func() time.Time { return clk })
+
+	boom := errors.New("boom")
+	for i := 0; i < 3; i++ {
+		if err := b.Allow(); err != nil {
+			t.Fatalf("allow %d while closed: %v", i, err)
+		}
+		b.Record(boom)
+	}
+	if got := b.State(); got != "open" {
+		t.Fatalf("state = %q, want open", got)
+	}
+	if err := b.Allow(); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("allow while open = %v, want ErrBreakerOpen", err)
+	}
+	if b.Trips() != 1 {
+		t.Fatalf("trips = %d, want 1", b.Trips())
+	}
+}
+
+func TestBreakerSuccessResetsRun(t *testing.T) {
+	b := NewBreaker(3, time.Second)
+	boom := errors.New("boom")
+	for i := 0; i < 10; i++ {
+		_ = b.Allow()
+		b.Record(boom)
+		_ = b.Allow()
+		b.Record(boom)
+		_ = b.Allow()
+		b.Record(nil) // never three in a row
+	}
+	if got := b.State(); got != "closed" {
+		t.Fatalf("state = %q, want closed", got)
+	}
+}
+
+func TestBreakerHalfOpenProbe(t *testing.T) {
+	clk := time.Unix(1700000000, 0)
+	b := NewBreaker(1, time.Second)
+	b.SetClock(func() time.Time { return clk })
+
+	boom := errors.New("boom")
+	_ = b.Allow()
+	b.Record(boom) // trips
+	if err := b.Allow(); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatal("should be open")
+	}
+	clk = clk.Add(time.Second) // cooldown elapses
+
+	// Exactly one probe is let through; concurrent calls fail fast.
+	if err := b.Allow(); err != nil {
+		t.Fatalf("probe allow: %v", err)
+	}
+	if err := b.Allow(); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("second call during probe = %v, want ErrBreakerOpen", err)
+	}
+	// Failed probe: re-open for a fresh cooldown.
+	b.Record(boom)
+	if err := b.Allow(); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatal("should be open after failed probe")
+	}
+	clk = clk.Add(time.Second)
+	if err := b.Allow(); err != nil {
+		t.Fatalf("second probe allow: %v", err)
+	}
+	b.Record(nil) // successful probe closes
+	if got := b.State(); got != "closed" {
+		t.Fatalf("state = %q, want closed", got)
+	}
+	if err := b.Allow(); err != nil {
+		t.Fatalf("allow after close: %v", err)
+	}
+	if b.Trips() != 2 {
+		t.Fatalf("trips = %d, want 2", b.Trips())
+	}
+}
+
+func TestBreakerDo(t *testing.T) {
+	clk := time.Unix(1700000000, 0)
+	b := NewBreaker(2, time.Second)
+	b.SetClock(func() time.Time { return clk })
+
+	boom := errors.New("boom")
+	calls := 0
+	fail := func() error { calls++; return boom }
+	okfn := func() error { calls++; return nil }
+
+	_ = b.Do(fail)
+	_ = b.Do(fail) // trips
+	if err := b.Do(okfn); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("Do while open = %v", err)
+	}
+	if calls != 2 {
+		t.Fatalf("calls = %d, want 2 (fail-fast must not invoke fn)", calls)
+	}
+	clk = clk.Add(time.Second)
+	if err := b.Do(okfn); err != nil {
+		t.Fatalf("probe Do: %v", err)
+	}
+	if got := b.State(); got != "closed" {
+		t.Fatalf("state = %q, want closed", got)
+	}
+}
+
+func TestBreakerStateReportsProbeReady(t *testing.T) {
+	clk := time.Unix(1700000000, 0)
+	b := NewBreaker(1, time.Second)
+	b.SetClock(func() time.Time { return clk })
+	_ = b.Allow()
+	b.Record(errors.New("boom"))
+	if got := b.State(); got != "open" {
+		t.Fatalf("state = %q, want open", got)
+	}
+	clk = clk.Add(2 * time.Second)
+	if got := b.State(); got != "half-open" {
+		t.Fatalf("state after cooldown = %q, want half-open", got)
+	}
+}
+
+func TestBreakerConcurrent(t *testing.T) {
+	b := NewBreaker(5, time.Millisecond)
+	boom := errors.New("boom")
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				if err := b.Allow(); err == nil {
+					if i%3 == 0 {
+						b.Record(boom)
+					} else {
+						b.Record(nil)
+					}
+				}
+				_ = b.State()
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -23,22 +23,20 @@ import (
 )
 
 // DequeueJob hands the next accepted job to the coordinator, blocking until
-// one arrives. ok=false means ctx was canceled or the service is shutting
-// down with the queue drained.
+// one arrives. Jobs surface in weighted-fair order with deadline and
+// overload shedding applied at the pop, exactly as for inline workers.
+// ok=false means ctx was canceled or the service is shutting down with the
+// queue drained.
 func (s *Service) DequeueJob(ctx context.Context) (dist.JobSpec, bool) {
-	select {
-	case j, ok := <-s.queue:
-		if !ok {
-			return dist.JobSpec{}, false
-		}
-		s.metrics.queueDepth.Add(-1)
-		s.mu.Lock()
-		spec := dist.JobSpec{ID: j.id, Tool: j.tool, Events: j.events}
-		s.mu.Unlock()
-		return spec, true
-	case <-ctx.Done():
+	j, ok := s.dequeue(ctx)
+	if !ok {
 		return dist.JobSpec{}, false
 	}
+	weight := s.tenants.Get(j.tenant).Weight()
+	s.mu.Lock()
+	spec := dist.JobSpec{ID: j.id, Tool: j.tool, Events: j.events, Tenant: j.tenant, Weight: weight}
+	s.mu.Unlock()
+	return spec, true
 }
 
 // RunJobInline analyzes the job on the calling goroutine through the
@@ -165,6 +163,7 @@ func (s *Service) CompleteRemote(id, errMsg string, result json.RawMessage) erro
 		}
 		j.span.EndAt(j.finished)
 	}
+	s.releaseQuotaLocked(j)
 	s.publishTraceLocked(j)
 	s.metrics.jobSeconds.ObserveDuration(j.finished.Sub(j.submitted))
 	s.gcLocked(j.finished)

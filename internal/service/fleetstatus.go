@@ -66,7 +66,7 @@ type FleetStatus struct {
 func (s *Service) FleetStatus() FleetStatus {
 	s.mu.Lock()
 	src := s.fleetSource
-	depth, capacity := len(s.queue), cap(s.queue)
+	depth, capacity := s.fq.Len(), s.cfg.QueueSize
 	running := 0
 	for _, j := range s.jobs {
 		if j.status == StatusRunning {

@@ -3,11 +3,14 @@ package service
 import (
 	"encoding/json"
 	"errors"
+	"math"
 	"net/http"
+	"strconv"
 	"time"
 
 	"repro/internal/retry"
 	"repro/internal/telemetry"
+	"repro/internal/tenant"
 	"repro/internal/trace"
 )
 
@@ -73,6 +76,8 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/streams/{id}/findings", s.handleStreamFindings)
 	mux.HandleFunc("POST /v1/streams/{id}/close", s.handleStreamClose)
 	mux.HandleFunc("DELETE /v1/streams/{id}", s.handleStreamAbort)
+	mux.HandleFunc("GET /v1/tenants", s.handleTenantList)
+	mux.HandleFunc("PUT /v1/tenants/{name}", s.handleTenantSet)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /version", s.handleVersion)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -92,35 +97,89 @@ func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	_, _ = w.Write([]byte("ok\n"))
 }
 
+// ReadyDetail is the structured body GET /readyz answers with: overall
+// verdict, every degradation reason (not just the first), queue and stream
+// occupancy, journal health, and per-tenant quota saturation — what an
+// operator triaging a 503 would otherwise assemble from three endpoints.
+type ReadyDetail struct {
+	// Status is "ok" or "degraded"; degraded bodies ship with HTTP 503.
+	Status string `json:"status"`
+	// Reasons lists every active degradation (draining, queue overloaded,
+	// streams saturated, journal spool unwritable); empty when ok.
+	Reasons       []string `json:"reasons,omitempty"`
+	QueueDepth    int      `json:"queueDepth"`
+	QueueCapacity int      `json:"queueCapacity"`
+	// Streams is the live streaming-session count; StreamsSaturated means
+	// the hub is at its session cap.
+	Streams          int  `json:"streams"`
+	StreamsSaturated bool `json:"streamsSaturated"`
+	// JournalWritable is false when the spool probe fails (disk full,
+	// permissions); true when healthy or when no journal is configured.
+	JournalWritable bool `json:"journalWritable"`
+	// Tenants is each tracked tenant's occupancy and quota saturation.
+	Tenants []tenant.Usage `json:"tenants,omitempty"`
+}
+
 // handleReadyz is the readiness probe: graceful degradation for load
 // balancers. It answers 503 while draining, when the job queue is at
 // least 90% full (so traffic sheds before submissions start bouncing
 // with 429s), and when the journal spool is unwritable (disk full,
 // permissions): every accept would fail its write-ahead append anyway,
-// so the instance sheds until a spool probe succeeds again.
+// so the instance sheds until a spool probe succeeds again. The body is
+// a ReadyDetail JSON document either way.
 func (s *Service) handleReadyz(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	if s.Draining() {
-		w.WriteHeader(http.StatusServiceUnavailable)
-		_, _ = w.Write([]byte("draining\n"))
-		return
+	depth, capacity := s.QueueFullness()
+	d := ReadyDetail{
+		Status:          "ok",
+		QueueDepth:      depth,
+		QueueCapacity:   capacity,
+		Streams:         s.hub.ActiveCount(),
+		JournalWritable: true,
+		Tenants:         s.tenants.Snapshot(),
 	}
-	if depth, capacity := s.QueueFullness(); capacity > 0 && 10*depth >= 9*capacity {
-		w.WriteHeader(http.StatusServiceUnavailable)
-		_, _ = w.Write([]byte("overloaded\n"))
-		return
+	if s.Draining() {
+		d.Reasons = append(d.Reasons, "draining")
+	}
+	if capacity > 0 && 10*depth >= 9*capacity {
+		d.Reasons = append(d.Reasons, "queue overloaded")
 	}
 	if s.hub.Saturated() {
-		w.WriteHeader(http.StatusServiceUnavailable)
-		_, _ = w.Write([]byte("streams saturated\n"))
-		return
+		d.StreamsSaturated = true
+		d.Reasons = append(d.Reasons, "streams saturated")
 	}
 	if s.cfg.Journal != nil && !s.cfg.Journal.Writable() {
-		w.WriteHeader(http.StatusServiceUnavailable)
-		_, _ = w.Write([]byte("journal spool unwritable\n"))
+		d.JournalWritable = false
+		d.Reasons = append(d.Reasons, "journal spool unwritable")
+	}
+	status := http.StatusOK
+	if len(d.Reasons) > 0 {
+		d.Status = "degraded"
+		status = http.StatusServiceUnavailable
+	}
+	s.writeJSON(w, status, d)
+}
+
+// handleTenantList serves every tracked tenant's usage and limits.
+func (s *Service) handleTenantList(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, http.StatusOK, struct {
+		Tenants []tenant.Usage `json:"tenants"`
+	}{Tenants: s.tenants.Snapshot()})
+}
+
+// handleTenantSet tunes one tenant's limits live. The body is a
+// tenant.Limits JSON document; omitted fields are zero (unlimited), so a
+// PUT replaces the tenant's limits wholesale. The change is journaled
+// (tenants.meta) and survives restart.
+func (s *Service) handleTenantSet(w http.ResponseWriter, r *http.Request) {
+	var lim tenant.Limits
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&lim); err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	_, _ = w.Write([]byte("ok\n"))
+	t := s.tenants.Set(r.PathValue("name"), lim)
+	s.writeJSON(w, http.StatusOK, t.Usage())
 }
 
 func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
@@ -154,19 +213,33 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, status, err)
 		return
 	}
+	deadline, derr := tenant.ParseDeadline(r.Header.Get(tenant.DeadlineHeader), accepted)
+	if derr != nil {
+		s.countRejected()
+		s.writeError(w, http.StatusBadRequest, derr)
+		return
+	}
+	nbytes := r.ContentLength
+	if nbytes < 0 {
+		nbytes = 0
+	}
 	view, duplicate, err := s.SubmitTrace(SubmitOptions{
 		Tool:          toolName,
 		Key:           r.Header.Get(retry.IdempotencyHeader),
 		Start:         accepted,
 		ParseDuration: parseDur,
 		Traceparent:   r.Header.Get(telemetry.TraceparentHeader),
+		Tenant:        r.Header.Get(tenant.Header),
+		Deadline:      deadline,
+		Bytes:         nbytes,
 	}, tr)
 	if err != nil {
 		status := submitStatus(err)
 		if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
 			// Give retrying clients a backoff floor instead of letting
-			// them hammer a full queue.
-			w.Header().Set("Retry-After", "1")
+			// them hammer a full queue; a throttled tenant gets the token
+			// bucket's actual refill horizon.
+			w.Header().Set("Retry-After", retryAfterSeconds(err))
 		}
 		s.writeError(w, status, err)
 		return
@@ -184,7 +257,11 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 // submitStatus maps a Submit error to its HTTP status.
 func submitStatus(err error) int {
 	switch {
-	case errors.Is(err, ErrQueueFull):
+	case errors.Is(err, ErrQueueFull),
+		errors.Is(err, tenant.ErrThrottled),
+		errors.Is(err, tenant.ErrJobQuota),
+		errors.Is(err, tenant.ErrStreamQuota),
+		errors.Is(err, tenant.ErrByteQuota):
 		return http.StatusTooManyRequests
 	case errors.Is(err, ErrShuttingDown), errors.Is(err, ErrJournal):
 		return http.StatusServiceUnavailable
@@ -193,6 +270,19 @@ func submitStatus(err error) int {
 	default: // unknown tool and other validation failures
 		return http.StatusBadRequest
 	}
+}
+
+// retryAfterSeconds renders the Retry-After value for a 429/503: the token
+// bucket's refill horizon for a throttled tenant (rounded up to a whole
+// second, minimum 1), a flat 1s floor for everything else.
+func retryAfterSeconds(err error) string {
+	var te *tenant.ThrottledError
+	if errors.As(err, &te) {
+		if secs := int(math.Ceil(te.RetryAfter.Seconds())); secs > 1 {
+			return strconv.Itoa(secs)
+		}
+	}
+	return "1"
 }
 
 func (s *Service) handleList(w http.ResponseWriter, r *http.Request) {

@@ -35,6 +35,20 @@ type job struct {
 	wall      time.Duration
 	errMsg    string
 
+	// tenant is the canonical identity the job was admitted under; it keys
+	// the weighted-fair queue and the per-tenant metric labels.
+	tenant string
+	// deadline, when non-zero, is the client's completion deadline; a job
+	// still queued past it is shed at dequeue instead of replayed.
+	deadline time.Time
+	// bytes is the upload's wire size, charged against the tenant's byte
+	// quota while the job is live.
+	bytes int64
+	// quotaHeld records that the tenant's job slot and bytes are reserved
+	// and not yet released, so every terminal path (finish, shed, remote
+	// completion) releases exactly once.
+	quotaHeld bool
+
 	// enqueued is when the job entered the queue (zero for restored
 	// history); the queue-wait histogram observes pickup minus this.
 	enqueued time.Time
@@ -61,8 +75,10 @@ type job struct {
 type JobView struct {
 	ID        string         `json:"id"`
 	Tool      string         `json:"tool"`
+	Tenant    string         `json:"tenant,omitempty"`
 	Status    Status         `json:"status"`
 	Submitted time.Time      `json:"submitted"`
+	Deadline  *time.Time     `json:"deadline,omitempty"`
 	Started   *time.Time     `json:"started,omitempty"`
 	Finished  *time.Time     `json:"finished,omitempty"`
 	Events    int            `json:"events"`
@@ -81,6 +97,7 @@ func (j *job) viewLocked() JobView {
 	v := JobView{
 		ID:        j.id,
 		Tool:      j.tool,
+		Tenant:    j.tenant,
 		Status:    j.status,
 		Submitted: j.submitted,
 		Events:    j.events,
@@ -88,6 +105,10 @@ func (j *job) viewLocked() JobView {
 		Error:     j.errMsg,
 		Result:    j.result,
 		Trace:     j.span.Clone(),
+	}
+	if !j.deadline.IsZero() {
+		t := j.deadline
+		v.Deadline = &t
 	}
 	if j.span != nil {
 		v.TraceID = j.span.TraceID

@@ -55,6 +55,16 @@ type Metrics struct {
 	casRetries      *telemetry.Counter
 	intervalLookups *telemetry.Counter
 	regionMemoHits  *telemetry.Counter
+
+	// Per-tenant accounting. Every submission and stream open lands in
+	// exactly one of admitted, throttled, or rejected; shed counts queued
+	// work later failed by the overload controller or a missed deadline.
+	tenantAdmitted   *telemetry.CounterVec
+	tenantThrottled  *telemetry.CounterVec
+	tenantRejected   *telemetry.CounterVec
+	tenantShed       *telemetry.CounterVec
+	tenantQueueDepth *telemetry.GaugeVec
+	queueSojourn     *telemetry.Histogram
 }
 
 // newMetrics builds the registry with every family registered up front, so
@@ -107,6 +117,19 @@ func newMetrics() *Metrics {
 			"Interval-tree stabs performed during replays."),
 		regionMemoHits: reg.Counter("arbalestd_region_memo_hits_total",
 			"Address resolutions satisfied by a last-hit memo instead of an interval-tree stab during replays."),
+
+		tenantAdmitted: reg.CounterVec("arbalestd_tenant_admitted_total",
+			"Submissions and stream opens admitted, by tenant.", "tenant"),
+		tenantThrottled: reg.CounterVec("arbalestd_tenant_throttled_total",
+			"Requests rejected by the tenant token-bucket rate limiter (429 with Retry-After), by tenant.", "tenant"),
+		tenantRejected: reg.CounterVec("arbalestd_tenant_rejected_total",
+			"Requests rejected by tenant quotas or queue capacity, by tenant and reason (jobs, streams, bytes, queue).", "tenant", "reason"),
+		tenantShed: reg.CounterVec("arbalestd_tenant_shed_total",
+			"Queued jobs shed before replay, by tenant and reason (overload: CoDel queue-delay controller; deadline: client deadline expired).", "tenant", "reason"),
+		tenantQueueDepth: reg.GaugeVec("arbalestd_tenant_queue_depth",
+			"Jobs queued but not yet running, by tenant.", "tenant"),
+		queueSojourn: reg.Histogram("arbalestd_queue_sojourn_seconds",
+			"Queue delay observed at dequeue — the signal the CoDel shed controller tracks.", telemetry.DurationBuckets),
 	}
 	bi := telemetry.Version()
 	reg.GaugeVec("arbalestd_build_info",

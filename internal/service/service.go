@@ -55,6 +55,7 @@ import (
 	"repro/internal/journal"
 	"repro/internal/stream"
 	"repro/internal/telemetry"
+	"repro/internal/tenant"
 	"repro/internal/tools"
 	"repro/internal/trace"
 )
@@ -160,6 +161,28 @@ type Config struct {
 	// admission and propagated in the trace context, so every process
 	// handling the job agrees.
 	TraceSampleRate float64
+	// TenantDefaults are the limits unknown tenants start with. The zero
+	// value is a fully open tenant — the single-tenant daemon's behavior.
+	TenantDefaults tenant.Limits
+	// TenantLimits seeds per-tenant limits at construction (the -tenants
+	// flag). Limits recovered from the journal's tenant log are applied
+	// after these, so live tuning from a previous life wins.
+	TenantLimits map[string]tenant.Limits
+	// ShedTarget, when positive, arms the CoDel-style queue-delay
+	// controller: when the queue sojourn observed at dequeue stays above
+	// this target for a full interval, the newest queued job of the
+	// heaviest-backlogged tenant is shed (failed before replay) and sheds
+	// accelerate until the delay recovers. 0 disables shedding.
+	ShedTarget time.Duration
+	// ShedInterval is the controller's initial interval (default
+	// 10*ShedTarget).
+	ShedInterval time.Duration
+	// GCInterval, when positive, also runs the retention GC on a background
+	// timer (it always runs inline as jobs finish and on submissions). The
+	// timer's first firing is staggered by a uniform random fraction of the
+	// interval so a fleet restarted in unison does not sweep its spool
+	// directories in lockstep.
+	GCInterval time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -206,8 +229,19 @@ type Service struct {
 	// the handler synthesizes the inline pool as one worker.
 	fleetSource FleetSource
 
-	mu        sync.Mutex
-	queue     chan *job
+	// tenants is the tenant registry: identity, rate limits, quotas, and
+	// WFQ weights. It has its own lock, always acquired after s.mu.
+	tenants *tenant.Registry
+
+	mu sync.Mutex
+	// fq is the weighted-fair job queue, guarded by s.mu. ready is its
+	// wake-up channel: one buffered token per push (best effort — a shed
+	// leaves an orphan token, a full buffer drops the send), so tokens >=
+	// queued items always holds and dequeue treats an empty pop as a
+	// spurious wake-up. Shutdown closes ready.
+	fq        *tenant.FairQueue[*job]
+	ready     chan struct{}
+	codel     tenant.CoDel
 	jobs      map[string]*job
 	order     []string
 	keys      map[string]string // idempotency key -> job id
@@ -217,6 +251,7 @@ type Service struct {
 
 	wg      sync.WaitGroup
 	started bool
+	gcStop  chan struct{}
 
 	// testHookRunning, when set before Start, is called by a worker after
 	// its job enters StatusRunning and before the replay begins. Tests use
@@ -231,19 +266,42 @@ func New(cfg Config) *Service {
 	svc := &Service{
 		cfg:     cfg,
 		metrics: newMetrics(),
-		queue:   make(chan *job, cfg.QueueSize),
+		tenants: tenant.NewRegistry(cfg.TenantDefaults),
+		fq:      tenant.NewFairQueue[*job](),
+		ready:   make(chan struct{}, cfg.QueueSize),
+		codel:   tenant.CoDel{Target: cfg.ShedTarget, Interval: cfg.ShedInterval},
 		jobs:    make(map[string]*job),
 		keys:    make(map[string]string),
+		gcStop:  make(chan struct{}),
+	}
+	// Flag-seeded limits go through Apply, not Set: only live tuning is
+	// journaled, so recovery (which runs after this) can overlay newer
+	// journaled limits on top.
+	for name, lim := range cfg.TenantLimits {
+		svc.tenants.Apply(name, lim)
+	}
+	if cfg.Journal != nil {
+		tl := cfg.Journal.Tenants()
+		svc.tenants.OnChange(func(name string, lim tenant.Limits) {
+			if err := tl.RecordLimits(name, lim); err != nil {
+				svc.metrics.journalError("tenant")
+				cfg.Logger.Error("tenant limits journal failed",
+					"phase", "tenant", "tenant", name, "err", err)
+			}
+		})
 	}
 	if cfg.TraceCapacity >= 0 {
 		svc.traces = telemetry.NewTraceStore(cfg.TraceCapacity, cfg.TraceSampleRate, svc.metrics.reg)
 	}
 	// The stream hub shares the service's registry so /metrics exposes job
-	// and stream families side by side (one hub per registry), and the
-	// trace store so stream sessions land next to job traces.
+	// and stream families side by side (one hub per registry), the trace
+	// store so stream sessions land next to job traces, and the tenant
+	// registry so stream slots and spooled bytes draw on the same quotas as
+	// job submissions.
 	svc.hub = stream.NewHub(stream.Config{
 		Registry:        svc.metrics.reg,
 		Traces:          svc.traces,
+		Tenants:         svc.tenants,
 		Journal:         cfg.Journal,
 		MaxStreams:      cfg.MaxStreams,
 		MaxBytes:        cfg.StreamMaxBytes,
@@ -269,6 +327,9 @@ func (s *Service) Streams() *stream.Hub { return s.hub }
 // disabled (Config.TraceCapacity < 0).
 func (s *Service) Traces() *telemetry.TraceStore { return s.traces }
 
+// Tenants returns the tenant registry.
+func (s *Service) Tenants() *tenant.Registry { return s.tenants }
+
 // jobLogger returns the configured logger scoped to one job, so every line
 // it emits carries the job_id and tool attributes — plus trace_id/span_id
 // when the job is traced, which is what joins log lines against
@@ -290,7 +351,7 @@ func (s *Service) Draining() bool {
 func (s *Service) QueueFullness() (depth, capacity int) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return len(s.queue), cap(s.queue)
+	return s.fq.Len(), s.cfg.QueueSize
 }
 
 // Recover replays the configured journal's spool directory into the
@@ -313,7 +374,19 @@ func (s *Service) Recover() (int, error) {
 	} else if n > 0 {
 		s.cfg.Logger.Info("recovered live streaming sessions", "phase", "recovery", "sessions", n)
 	}
+	// Journaled tenant tuning overlays the flag-seeded limits (Apply: no
+	// re-journaling). A damaged tenant log degrades to flag defaults, never
+	// blocks job recovery.
+	var tstats journal.RecoverStats
+	if lims, terr := s.cfg.Journal.Tenants().RecoverTenants(&tstats); terr != nil {
+		s.cfg.Logger.Error("tenant limits recovery failed", "phase", "recovery", "err", terr)
+	} else {
+		for name, lim := range lims {
+			s.tenants.Apply(name, lim)
+		}
+	}
 	recovered, rstats, errs := s.cfg.Journal.Recover()
+	rstats.TruncatedRecords += tstats.TruncatedRecords
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.started {
@@ -343,20 +416,22 @@ func (s *Service) Recover() (int, error) {
 		l.Error("journal recovery error", "err", err)
 	}
 
-	// Grow the queue if the backlog from the previous life exceeds the
-	// configured capacity: recovery must never drop an accepted job.
+	// Grow the wake-up channel if the backlog from the previous life
+	// exceeds the configured capacity: recovery must never drop an accepted
+	// job. The fresh channel gets exactly one token per job already queued
+	// (orphan tokens from pre-recovery sheds are not carried over).
 	pending := 0
 	for _, rj := range recovered {
 		if rj.Status == journal.StatusPending || rj.Status == journal.StatusRunning {
 			pending++
 		}
 	}
-	if spare := cap(s.queue) - len(s.queue); pending > spare {
-		grown := make(chan *job, cap(s.queue)+pending-spare)
-		for len(s.queue) > 0 {
-			grown <- <-s.queue
+	if need := s.fq.Len() + pending; need > cap(s.ready) {
+		fresh := make(chan struct{}, need)
+		for i := 0; i < s.fq.Len(); i++ {
+			fresh <- struct{}{}
 		}
-		s.queue = grown
+		s.ready = fresh
 	}
 
 	requeued := 0
@@ -368,6 +443,8 @@ func (s *Service) Recover() (int, error) {
 			id:        rj.ID,
 			tool:      rj.Tool,
 			key:       rj.Key,
+			tenant:    tenant.Canonical(rj.Tenant),
+			deadline:  rj.Deadline,
 			submitted: rj.Submitted,
 			started:   rj.Started,
 			events:    rj.Events,
@@ -395,7 +472,19 @@ func (s *Service) Recover() (int, error) {
 			j.tr = rj.Trace
 			j.ckpt = rj.Checkpoint
 			j.enqueued = time.Now()
-			s.queue <- j
+			// Re-attribute the job to its tenant without quota enforcement
+			// (an accepted job must never be dropped at restart); the spool
+			// does not record upload sizes, so recovered jobs hold a slot
+			// but no bytes.
+			t := s.tenants.Get(j.tenant)
+			t.Adopt(0)
+			j.quotaHeld = true
+			s.fq.Push(j.tenant, t.Weight(), j)
+			s.metrics.tenantQueueDepth.With(j.tenant).Set(int64(s.fq.TenantLen(j.tenant)))
+			select {
+			case s.ready <- struct{}{}:
+			default:
+			}
 			requeued++
 			s.metrics.jobsRecovered.Inc()
 			s.metrics.queueDepth.Add(1)
@@ -432,7 +521,30 @@ func (s *Service) Start() {
 			go s.worker()
 		}
 	}
+	if s.cfg.GCInterval > 0 {
+		s.wg.Add(1)
+		go s.gcLoop()
+	}
 	s.hub.Start()
+}
+
+// gcLoop runs the retention GC on a timer. The first firing is staggered
+// by a uniform random fraction of the interval: a fleet of daemons
+// restarted in unison (deploy, power event) must not all sweep their spool
+// directories at the same instant and stampede the shared disk.
+func (s *Service) gcLoop() {
+	defer s.wg.Done()
+	timer := time.NewTimer(time.Duration(rand.Int64N(int64(s.cfg.GCInterval) + 1)))
+	defer timer.Stop()
+	for {
+		select {
+		case <-s.gcStop:
+			return
+		case <-timer.C:
+			s.GC()
+			timer.Reset(s.cfg.GCInterval)
+		}
+	}
 }
 
 // Submit validates the tool name and trace size, then enqueues a job. It
@@ -471,6 +583,15 @@ type SubmitOptions struct {
 	// job span's parent and its sampling verdict is honored). Empty or
 	// malformed, the service mints a fresh trace subject to head sampling.
 	Traceparent string
+	// Tenant is the caller's identity (the X-Arbalest-Tenant header);
+	// empty maps to tenant.DefaultName.
+	Tenant string
+	// Deadline, when non-zero, is the client's completion deadline; a job
+	// still queued when it passes is shed instead of replayed.
+	Deadline time.Time
+	// Bytes is the upload's wire size, charged against the tenant's byte
+	// quota while the job is live (0 = uncharged).
+	Bytes int64
 }
 
 // SubmitTrace is the full submission entry point: Submit and SubmitKeyed
@@ -505,17 +626,41 @@ func (s *Service) SubmitTrace(opts SubmitOptions, tr *trace.Trace) (view JobView
 			delete(s.keys, opts.Key)
 		}
 	}
-	// Workers only ever drain the queue, and submissions all hold s.mu,
-	// so a capacity check here cannot race with another sender: the send
-	// below never blocks.
-	if len(s.queue) == cap(s.queue) {
+	// Tenant admission: rate limit first (cheapest, carries Retry-After),
+	// then global queue capacity, then the tenant's job/byte quotas —
+	// acquired last so no release is needed on the capacity rejection.
+	tname := tenant.Canonical(opts.Tenant)
+	tn := s.tenants.Get(tname)
+	// Get may have collapsed the identity into the shared overflow tenant;
+	// metrics and the queue must key on the effective name.
+	tname = tn.Name()
+	if err := tn.Admit(); err != nil {
+		s.metrics.tenantThrottled.With(tname).Inc()
+		s.countRejected()
+		return JobView{}, false, err
+	}
+	if s.fq.Len() >= s.cfg.QueueSize {
+		s.metrics.tenantRejected.With(tname, "queue").Inc()
 		s.countRejected()
 		return JobView{}, false, ErrQueueFull
+	}
+	if err := tn.AcquireJob(opts.Bytes); err != nil {
+		reason := "jobs"
+		if errors.Is(err, tenant.ErrByteQuota) {
+			reason = "bytes"
+		}
+		s.metrics.tenantRejected.With(tname, reason).Inc()
+		s.countRejected()
+		return JobView{}, false, err
 	}
 	j := &job{
 		id:        fmt.Sprintf("job-%d", s.nextID),
 		tool:      opts.Tool,
 		key:       opts.Key,
+		tenant:    tname,
+		deadline:  opts.Deadline,
+		bytes:     opts.Bytes,
+		quotaHeld: true,
 		status:    StatusPending,
 		submitted: time.Now(),
 		events:    len(tr.Events),
@@ -546,10 +691,12 @@ func (s *Service) SubmitTrace(opts SubmitOptions, tr *trace.Trace) (view JobView
 		// after this point cannot lose it.
 		js := j.span.StartChild("journal", time.Time{})
 		jerr := s.cfg.Journal.Append(journal.Record{
-			ID: j.id, Tool: j.tool, Key: j.key, Events: j.events, Submitted: j.submitted,
+			ID: j.id, Tool: j.tool, Key: j.key, Tenant: j.tenant,
+			Events: j.events, Submitted: j.submitted, Deadline: j.deadline,
 		}, tr)
 		js.EndAt(time.Time{})
 		if jerr != nil {
+			tn.ReleaseJob(j.bytes)
 			s.metrics.journalError("append")
 			s.countRejected()
 			return JobView{}, false, fmt.Errorf("%w: %v", ErrJournal, jerr)
@@ -563,8 +710,16 @@ func (s *Service) SubmitTrace(opts SubmitOptions, tr *trace.Trace) (view JobView
 	}
 	j.enqueued = time.Now()
 	j.span.StartChild("queue", j.enqueued)
-	s.queue <- j
+	s.fq.Push(j.tenant, tn.Weight(), j)
+	s.metrics.tenantQueueDepth.With(j.tenant).Set(int64(s.fq.TenantLen(j.tenant)))
+	select {
+	case s.ready <- struct{}{}:
+	default:
+		// The buffer already holds at least QueueSize tokens — more than
+		// the items now queued — so a worker is guaranteed to wake for j.
+	}
 	s.metrics.jobsAccepted.Inc()
+	s.metrics.tenantAdmitted.With(j.tenant).Inc()
 	s.metrics.queueDepth.Add(1)
 	s.gcLocked(time.Now())
 	s.publishTraceLocked(j)
@@ -618,7 +773,8 @@ func (s *Service) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
 	if !s.closed {
 		s.closed = true
-		close(s.queue)
+		close(s.ready)
+		close(s.gcStop)
 	}
 	started := s.started
 	s.mu.Unlock()
@@ -644,10 +800,117 @@ func (s *Service) Shutdown(ctx context.Context) error {
 // worker pulls jobs until the queue is closed and drained.
 func (s *Service) worker() {
 	defer s.wg.Done()
-	for j := range s.queue {
-		s.metrics.queueDepth.Add(-1)
+	for {
+		j, ok := s.dequeue(context.Background())
+		if !ok {
+			return
+		}
 		s.runJob(j)
 	}
+}
+
+// dequeue blocks for the next job under weighted-fair order. At each pop it
+// observes the job's queue sojourn (the CoDel controller's signal), sheds
+// jobs whose client deadline already passed, and — when the controller says
+// the queue delay has stayed above target — sheds the newest queued job of
+// the heaviest-backlogged tenant, the work whose loss costs the least sunk
+// investment and whose owner contributes most to the backlog. ok=false
+// means ctx was canceled or the service is shutting down with the queue
+// drained; tokens without items (left by sheds) are consumed silently.
+func (s *Service) dequeue(ctx context.Context) (*job, bool) {
+	for {
+		s.mu.Lock()
+		ready := s.ready
+		s.mu.Unlock()
+		select {
+		case _, ok := <-ready:
+			if !ok {
+				// Closed and drained: every push's token was consumed, and
+				// tokens >= items always holds, so the queue is empty.
+				return nil, false
+			}
+		case <-ctx.Done():
+			return nil, false
+		}
+
+		now := time.Now()
+		s.mu.Lock()
+		tname, j, ok := s.fq.Pop()
+		if !ok {
+			// Orphan token from a shed; the item is already gone.
+			s.mu.Unlock()
+			continue
+		}
+		s.metrics.queueDepth.Add(-1)
+		s.metrics.tenantQueueDepth.With(tname).Set(int64(s.fq.TenantLen(tname)))
+		sojourn := now.Sub(j.enqueued)
+		s.metrics.queueSojourn.ObserveDuration(sojourn)
+		var shed *job
+		if s.cfg.ShedTarget > 0 && s.codel.OnDequeue(now, sojourn) {
+			if ht, _, ok := s.fq.Heaviest(); ok {
+				if sj, ok := s.fq.PopNewest(ht); ok {
+					shed = sj
+					s.metrics.queueDepth.Add(-1)
+					s.metrics.tenantQueueDepth.With(ht).Set(int64(s.fq.TenantLen(ht)))
+				}
+			}
+		}
+		expired := !j.deadline.IsZero() && now.After(j.deadline)
+		s.mu.Unlock()
+
+		if shed != nil {
+			s.failShed(shed, "overload",
+				"service: shed under overload: queue delay above target")
+		}
+		if expired {
+			s.failShed(j, "deadline", "service: client deadline expired before replay started")
+			continue
+		}
+		return j, true
+	}
+}
+
+// failShed records a queued job's terminal failure without running it:
+// span, journal mark, quota release, and the per-tenant shed counter. The
+// job's token (if any remains) is consumed as an orphan by a later dequeue.
+func (s *Service) failShed(j *job, reason, msg string) {
+	s.mu.Lock()
+	j.finished = time.Now()
+	j.status = StatusFailed
+	j.errMsg = msg
+	j.tr = nil
+	j.ckpt = nil
+	if j.span != nil {
+		if qs := j.span.Child("queue"); qs != nil {
+			qs.EndAt(j.finished)
+		}
+		j.span.SetError(msg)
+		j.span.EndAt(j.finished)
+	}
+	s.releaseQuotaLocked(j)
+	s.publishTraceLocked(j)
+	s.metrics.tenantShed.With(j.tenant, reason).Inc()
+	s.gcLocked(j.finished)
+	s.mu.Unlock()
+	s.metrics.jobsFailed.Inc()
+	s.jobLogger(j).Warn("job shed before replay", "phase", "shed", "reason", reason, "tenant", j.tenant)
+	s.mark(j, journal.StatusFailed, msg, nil)
+	if s.cfg.Journal != nil {
+		if rerr := s.cfg.Journal.RemoveCheckpoint(j.id); rerr != nil {
+			s.metrics.journalError("remove")
+			s.jobLogger(j).Error("checkpoint remove failed", "phase", "gc", "err", rerr)
+		}
+	}
+}
+
+// releaseQuotaLocked returns the job's tenant quota (slot + bytes) exactly
+// once; the caller must hold s.mu.
+func (s *Service) releaseQuotaLocked(j *job) {
+	if !j.quotaHeld {
+		return
+	}
+	j.quotaHeld = false
+	s.tenants.Get(j.tenant).ReleaseJob(j.bytes)
 }
 
 // mark journals a lifecycle transition, logging (never failing the job
@@ -890,6 +1153,7 @@ func (s *Service) runJob(j *job) {
 		}
 		j.span.EndAt(j.finished)
 	}
+	s.releaseQuotaLocked(j)
 	s.publishTraceLocked(j)
 	s.metrics.jobSeconds.ObserveDuration(j.finished.Sub(j.submitted))
 	now := j.finished

@@ -13,6 +13,7 @@ import (
 	"repro/internal/faultinject"
 	"repro/internal/stream"
 	"repro/internal/telemetry"
+	"repro/internal/tenant"
 )
 
 // maxFindingsWait caps the ?wait= long-poll on the findings endpoint so a
@@ -22,7 +23,10 @@ const maxFindingsWait = 30 * time.Second
 // streamStatus maps a stream package error to its HTTP status.
 func streamStatus(err error) int {
 	switch {
-	case errors.Is(err, stream.ErrSaturated):
+	case errors.Is(err, stream.ErrSaturated),
+		errors.Is(err, tenant.ErrThrottled),
+		errors.Is(err, tenant.ErrStreamQuota),
+		errors.Is(err, tenant.ErrByteQuota):
 		return http.StatusTooManyRequests
 	case errors.Is(err, stream.ErrDraining):
 		return http.StatusServiceUnavailable
@@ -35,21 +39,34 @@ func streamStatus(err error) int {
 	}
 }
 
-// handleStreamOpen admits a new streaming session (POST /v1/streams).
+// handleStreamOpen admits a new streaming session (POST /v1/streams) under
+// the caller's tenant identity: the open spends a tenant rate-limit token
+// and a concurrent-stream slot, and the refusal metrics account the attempt
+// to exactly one of admitted, throttled, or rejected.
 func (s *Service) handleStreamOpen(w http.ResponseWriter, r *http.Request) {
 	toolName := r.URL.Query().Get("tool")
 	if toolName == "" {
 		toolName = "arbalest"
 	}
-	view, err := s.hub.Open(toolName, r.Header.Get(telemetry.TraceparentHeader))
+	tname := s.tenants.Get(r.Header.Get(tenant.Header)).Name()
+	view, err := s.hub.OpenAs(toolName, r.Header.Get(telemetry.TraceparentHeader), tname)
 	if err != nil {
+		switch {
+		case errors.Is(err, tenant.ErrThrottled):
+			s.metrics.tenantThrottled.With(tname).Inc()
+		case errors.Is(err, tenant.ErrStreamQuota), errors.Is(err, stream.ErrSaturated):
+			s.metrics.tenantRejected.With(tname, "streams").Inc()
+		case errors.Is(err, tenant.ErrByteQuota):
+			s.metrics.tenantRejected.With(tname, "bytes").Inc()
+		}
 		status := streamStatus(err)
 		if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
-			w.Header().Set("Retry-After", "1")
+			w.Header().Set("Retry-After", retryAfterSeconds(err))
 		}
 		s.writeError(w, status, err)
 		return
 	}
+	s.metrics.tenantAdmitted.With(view.Tenant).Inc()
 	s.writeJSON(w, http.StatusCreated, view)
 }
 
@@ -103,7 +120,14 @@ func (s *Service) handleStreamEvents(w http.ResponseWriter, r *http.Request) {
 				if errors.Is(ferr, stream.ErrBudget) {
 					s.hub.Evict(sess, "budget")
 				}
-				s.writeError(w, streamStatus(ferr), ferr)
+				status := streamStatus(ferr)
+				if status == http.StatusTooManyRequests {
+					// Tenant byte quota: shared occupancy that frees as the
+					// tenant's other work drains. The session stays live and
+					// the client re-sends the chunk after the hint.
+					w.Header().Set("Retry-After", retryAfterSeconds(ferr))
+				}
+				s.writeError(w, status, ferr)
 				return
 			}
 		}

@@ -12,6 +12,7 @@ import (
 	"repro/internal/ompt"
 	"repro/internal/report"
 	"repro/internal/telemetry"
+	"repro/internal/tenant"
 	"repro/internal/tools"
 	"repro/internal/trace"
 )
@@ -44,12 +45,22 @@ type Session struct {
 	hub  *Hub
 	id   string
 	tool string
+	// tenant is the canonical identity the session was admitted under;
+	// assigned before publication and never reassigned.
+	tenant string
 
-	mu       sync.Mutex
-	status   Status
-	analyzer tools.Analyzer // nil for sessions recovered as history
-	cp       tools.Checkpointer
-	d        ompt.Dispatcher
+	mu     sync.Mutex
+	status Status
+	// tquota is the tenant charged for this session's stream slot and
+	// in-flight bytes; nil when the hub runs without a tenant registry.
+	// quotaHeld guarantees the slot and reserved bytes are released exactly
+	// once, whichever terminal path wins.
+	tquota    *tenant.Tenant
+	quotaHeld bool
+	reserved  int64
+	analyzer  tools.Analyzer // nil for sessions recovered as history
+	cp        tools.Checkpointer
+	d         ompt.Dispatcher
 	// dec decodes the current ingest request's body; each request carries a
 	// complete framed stream (header plus frames), so every request gets a
 	// fresh decoder and duplicate events are skipped by sequence number.
@@ -214,6 +225,8 @@ type View struct {
 	ID     string `json:"id"`
 	Tool   string `json:"tool"`
 	Status Status `json:"status"`
+	// Tenant is the identity the session was admitted under.
+	Tenant string `json:"tenant,omitempty"`
 	// Events is the number of events applied so far — the sequence number a
 	// resuming client should send next.
 	Events   uint64 `json:"events"`
@@ -244,6 +257,7 @@ func (s *Session) viewLocked() View {
 		ID:          s.id,
 		Tool:        s.tool,
 		Status:      s.status,
+		Tenant:      s.tenant,
 		Events:      s.events,
 		Bytes:       s.bytes,
 		Findings:    len(s.reportsLocked()),
@@ -370,6 +384,17 @@ func (s *Session) Feed(chunk []byte) error {
 	if s.hub.cfg.MaxBytes > 0 && s.bytes+int64(len(chunk)) > s.hub.cfg.MaxBytes {
 		s.mu.Unlock()
 		return ErrBudget
+	}
+	// Charge the chunk against the tenant's in-flight byte quota before any
+	// state advances: a refusal (tenant.ErrByteQuota, HTTP 429) leaves the
+	// session live — the quota is shared occupancy that frees up as the
+	// tenant's other work drains, so the client simply retries the chunk.
+	if s.quotaHeld {
+		if err := s.tquota.ReserveBytes(int64(len(chunk))); err != nil {
+			s.mu.Unlock()
+			return err
+		}
+		s.reserved += int64(len(chunk))
 	}
 	s.bytes += int64(len(chunk))
 	s.lastActive = start
@@ -560,6 +585,7 @@ func (s *Session) Finalize() (View, error) {
 	s.endTraceLocked()
 	s.notifyLocked()
 	s.releaseSpoolLocked()
+	s.releaseQuotaLocked()
 	v := s.viewLocked()
 	s.mu.Unlock()
 	s.hub.noteFinished(StatusDone)
@@ -617,9 +643,24 @@ func (s *Session) finish(status Status, errMsg string, sum *tools.Summary) bool 
 	s.endTraceLocked()
 	s.notifyLocked()
 	s.releaseSpoolLocked()
+	s.releaseQuotaLocked()
 	s.mu.Unlock()
 	s.hub.noteFinished(status)
 	return true
+}
+
+// releaseQuotaLocked returns the session's tenant stream slot and reserved
+// bytes exactly once (quotaHeld arms it at admission or recovery). Called
+// from every live → terminal transition; the caller holds s.mu or owns a
+// session that is not yet published.
+func (s *Session) releaseQuotaLocked() {
+	if !s.quotaHeld {
+		return
+	}
+	s.quotaHeld = false
+	s.tquota.ReleaseStream()
+	s.tquota.ReleaseBytes(s.reserved)
+	s.reserved = 0
 }
 
 // releaseSpool syncs and closes the session's spool writer (hub shutdown

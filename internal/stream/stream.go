@@ -43,6 +43,7 @@ import (
 	"fmt"
 	"io"
 	"log/slog"
+	"math/rand/v2"
 	"strconv"
 	"strings"
 	"sync"
@@ -50,6 +51,7 @@ import (
 
 	"repro/internal/journal"
 	"repro/internal/telemetry"
+	"repro/internal/tenant"
 	"repro/internal/tools"
 	"repro/internal/trace"
 )
@@ -105,6 +107,11 @@ type Config struct {
 	// so stream traces land in the same queryable store as job traces. Nil
 	// disables stream tracing.
 	Traces *telemetry.TraceStore
+	// Tenants, when non-nil, enforces per-tenant admission: OpenAs spends a
+	// rate-limit token and a concurrent-stream slot, and every ingested
+	// chunk reserves in-flight bytes, all released when the session leaves
+	// the live set. Nil runs the hub single-tenant with no quotas.
+	Tenants *tenant.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -166,15 +173,27 @@ func (h *Hub) sessionLogger(s *Session) *slog.Logger {
 	return telemetry.LoggerWithTrace(h.cfg.Logger.With("stream_id", s.id, "tool", s.tool), s.tc)
 }
 
-// Open admits a new session for the named tool. It fails with ErrSaturated
-// at the admission cap and ErrDraining once Close has begun.
+// Open admits a new session for the named tool under the default tenant.
+// It fails with ErrSaturated at the admission cap and ErrDraining once
+// Close has begun.
+func (h *Hub) Open(tool, traceparent string) (View, error) {
+	return h.OpenAs(tool, traceparent, tenant.DefaultName)
+}
+
+// OpenAs is Open under an explicit tenant identity. With Config.Tenants
+// set, admission additionally spends one of the tenant's rate-limit tokens
+// (*tenant.ThrottledError on refusal) and reserves a concurrent-stream slot
+// (tenant.ErrStreamQuota), both attributed to the canonical identity —
+// past the registry cap, fabricated names collapse into the shared
+// overflow tenant. The slot, plus every byte the session later reserves,
+// is released exactly once when the session leaves the live set.
 //
 // traceparent, when it parses as a W3C trace context, makes the session a
 // child of the caller's trace; otherwise a fresh trace is minted subject to
 // the store's head sampling. The session's own traceparent is journaled
 // write-ahead (Record.Key), so a daemon crash and recovery resumes the SAME
 // trace — chunked uploads, the crash, and the resumed feed read as one tree.
-func (h *Hub) Open(tool, traceparent string) (View, error) {
+func (h *Hub) OpenAs(tool, traceparent, tenantName string) (View, error) {
 	a, err := tools.New(tool)
 	if err != nil {
 		return View{}, err
@@ -189,21 +208,44 @@ func (h *Hub) Open(tool, traceparent string) (View, error) {
 	if h.closed {
 		return View{}, ErrDraining
 	}
+	var tn *tenant.Tenant
+	if h.cfg.Tenants != nil {
+		tn = h.cfg.Tenants.Get(tenantName)
+		tenantName = tn.Name()
+		if err := tn.Admit(); err != nil {
+			return View{}, err
+		}
+	} else {
+		tenantName = tenant.Canonical(tenantName)
+	}
 	if h.cfg.MaxStreams > 0 && h.live >= h.cfg.MaxStreams {
 		return View{}, ErrSaturated
 	}
+	if tn != nil {
+		if err := tn.AcquireStream(); err != nil {
+			return View{}, err
+		}
+	}
 	id := fmt.Sprintf("stream-%d", h.nextID)
 	s := newSession(h, id, tool, a)
+	s.tenant = tenantName
+	if tn != nil {
+		s.tquota = tn
+		s.quotaHeld = true
+	}
 	s.attachTrace(traceparent)
 	if h.cfg.Journal != nil {
 		// Write-ahead: the session is journaled (live mark plus the spool's
 		// framed-format header, fsynced) before it is acknowledged. Key
 		// carries the session's own traceparent so recovery rejoins the
-		// trace under the same IDs.
+		// trace under the same IDs; Tenant re-attributes the slot and the
+		// spooled bytes after a crash.
 		w, err := h.cfg.Journal.AppendStream(journal.Record{
 			ID: id, Tool: tool, Submitted: s.created, Key: s.traceKey(),
+			Tenant: tenantName,
 		})
 		if err != nil {
+			s.releaseQuotaLocked()
 			return View{}, fmt.Errorf("stream: journal: %w", err)
 		}
 		if _, err := w.Write(trace.StreamHeader()); err == nil {
@@ -212,6 +254,7 @@ func (h *Hub) Open(tool, traceparent string) (View, error) {
 		if err != nil {
 			w.Close()
 			_ = h.cfg.Journal.RemoveStream(id)
+			s.releaseQuotaLocked()
 			return View{}, fmt.Errorf("stream: journal: %w", err)
 		}
 		s.spool = w
@@ -288,20 +331,23 @@ func (h *Hub) Start() {
 
 // janitor periodically evicts live sessions idle past IdleTimeout. Sessions
 // with an ingest request attached are never idle — their liveness is the
-// HTTP read deadline's problem.
+// HTTP read deadline's problem. The first sweep is staggered by a uniform
+// random fraction of the interval so a fleet restarted in unison doesn't
+// sweep (and GC-stampede the spool) in lockstep.
 func (h *Hub) janitor(stop <-chan struct{}, done chan<- struct{}) {
 	defer close(done)
 	interval := h.cfg.IdleTimeout / 4
 	if interval <= 0 {
 		interval = time.Second
 	}
-	ticker := time.NewTicker(interval)
-	defer ticker.Stop()
+	timer := time.NewTimer(time.Duration(rand.Int64N(int64(interval) + 1)))
+	defer timer.Stop()
 	for {
 		select {
 		case <-stop:
 			return
-		case <-ticker.C:
+		case <-timer.C:
+			timer.Reset(interval)
 			h.mu.Lock()
 			candidates := make([]*Session, 0, h.live)
 			for _, s := range h.sessions {
@@ -501,6 +547,7 @@ func (h *Hub) rebuild(rs journal.RecoveredStream) *Session {
 	if rs.Status != journal.StatusLive {
 		s := &Session{
 			hub: h, id: rs.ID, tool: rs.Tool, status: Status(rs.Status),
+			tenant:  tenant.Canonical(rs.Tenant),
 			created: rs.Submitted, finished: rs.Finished, errMsg: rs.Error,
 			notify: make(chan struct{}),
 		}
@@ -527,6 +574,7 @@ func (h *Hub) rebuild(rs journal.RecoveredStream) *Session {
 	}
 	s := newSession(h, rs.ID, rs.Tool, a)
 	s.created = rs.Submitted
+	s.tenant = tenant.Canonical(rs.Tenant)
 	s.restoreTrace(rs.Key)
 
 	// Restore the freshest checkpoint when the analyzer supports it; a
@@ -548,6 +596,7 @@ func (h *Hub) rebuild(rs journal.RecoveredStream) *Session {
 				}
 				s = newSession(h, rs.ID, rs.Tool, a)
 				s.created = rs.Submitted
+				s.tenant = tenant.Canonical(rs.Tenant)
 				s.restoreTrace(rs.Key)
 			} else {
 				s.events = rs.Checkpoint.NextEvent
@@ -604,6 +653,18 @@ func (h *Hub) rebuild(rs journal.RecoveredStream) *Session {
 		return s
 	}
 	s.spool = w
+	// Re-attribute the session to its tenant without enforcement: an
+	// admitted session is never dropped at restart, even over a shrunken
+	// quota — the occupancy simply reports over quota until it drains. The
+	// spooled bytes are the session's in-flight byte footprint.
+	if h.cfg.Tenants != nil {
+		tn := h.cfg.Tenants.Get(s.tenant)
+		s.tenant = tn.Name()
+		tn.AdoptStream(s.bytes)
+		s.tquota = tn
+		s.reserved = s.bytes
+		s.quotaHeld = true
+	}
 	s.publishTraceLocked()
 	return s
 }

@@ -85,6 +85,16 @@ type series struct {
 	hist        *Histogram
 }
 
+// MaxSeries bounds the distinct label-value combinations one family tracks.
+// Combinations past the cap collapse into a shared series whose label
+// values are all OverflowValue — the same move the tenant registry makes at
+// its cap, so an adversarial flood of fabricated label values (tenant
+// names, worker ids) cannot grow /metrics without bound.
+const MaxSeries = 1024
+
+// OverflowValue is the label value that absorbs series past MaxSeries.
+const OverflowValue = "_overflow"
+
 // seriesFor returns (creating on first use) the series for the given label
 // values.
 func (f *family) seriesFor(values []string) *series {
@@ -95,6 +105,17 @@ func (f *family) seriesFor(values []string) *series {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	s, ok := f.series[key]
+	if !ok && len(f.labels) > 0 && len(f.series) >= MaxSeries {
+		// Cardinality cap: account this sample under the shared overflow
+		// series instead of minting a new one.
+		ov := make([]string, len(values))
+		for i := range ov {
+			ov[i] = OverflowValue
+		}
+		values = ov
+		key = strings.Join(values, "\xff")
+		s, ok = f.series[key]
+	}
 	if !ok {
 		s = &series{labelValues: append([]string(nil), values...)}
 		switch f.typ {

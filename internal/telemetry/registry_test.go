@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"fmt"
 	"math"
 	"strings"
 	"sync"
@@ -124,6 +125,35 @@ func TestVecSeriesAndEscaping(t *testing.T) {
 	}
 	if strings.Count(out, "test_moves_total{") != 2 {
 		t.Errorf("want exactly 2 test_moves_total series:\n%s", out)
+	}
+}
+
+// TestVecCardinalityCap: a flood of distinct label values stops minting
+// series at MaxSeries; everything past the cap lands on one shared
+// overflow series, so /metrics stays bounded under adversarial names.
+func TestVecCardinalityCap(t *testing.T) {
+	r := NewRegistry()
+	cv := r.CounterVec("test_flood_total", "Flood.", "tenant")
+	for i := 0; i < MaxSeries+100; i++ {
+		cv.With(fmt.Sprintf("t%d", i)).Inc()
+	}
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	// MaxSeries real series plus the one overflow series they collapse to.
+	if got := strings.Count(out, "test_flood_total{"); got != MaxSeries+1 {
+		t.Fatalf("family holds %d series, want %d", got, MaxSeries+1)
+	}
+	want := fmt.Sprintf(`test_flood_total{tenant=%q} 100`, OverflowValue)
+	if !strings.Contains(out, want) {
+		t.Fatalf("output missing collapsed overflow series %q", want)
+	}
+	// The capped family still hands out a usable (shared) counter.
+	cv.With("yet-another").Inc()
+	if got := cv.With("one-more").Value(); got != 101 {
+		t.Fatalf("overflow counter = %d, want the shared series (101)", got)
 	}
 }
 

@@ -1,0 +1,89 @@
+package tenant
+
+import (
+	"math"
+	"time"
+)
+
+// CoDel is a CoDel-style (Controlled Delay, Nichols & Jacobson) queue-delay
+// controller adapted to job shedding. The classic algorithm watches the
+// sojourn time of dequeued packets; when it stays above Target for a full
+// Interval the controller enters a dropping state and signals drops at a
+// rate that increases with the square root of the drop count (the control
+// law that drives delay back to Target with minimal loss). We reuse the
+// state machine verbatim but re-aim the verdict: instead of dropping the
+// packet being dequeued (which here would be the *oldest* job — the one
+// with the most sunk queue time), the caller sheds the newest work of the
+// heaviest tenant, so overload cost lands on whoever is flooding.
+//
+// CoDel is not safe for concurrent use; the service queue lock serializes
+// OnDequeue calls. The zero value with Target == 0 is disabled.
+type CoDel struct {
+	// Target is the acceptable standing sojourn time; 0 disables shedding.
+	Target time.Duration
+	// Interval is how long sojourn must stay above Target before the first
+	// shed, and the base spacing of the shed schedule. 0 defaults to
+	// 10 x Target.
+	Interval time.Duration
+
+	firstAbove time.Time // when sojourn first exceeded Target (zero: below)
+	dropping   bool      // in the shedding state
+	dropNext   time.Time // next scheduled shed while dropping
+	count      int       // sheds this dropping episode (control-law input)
+	lastCount  int       // count when the previous episode ended
+}
+
+// interval returns the effective interval.
+func (c *CoDel) interval() time.Duration {
+	if c.Interval > 0 {
+		return c.Interval
+	}
+	return 10 * c.Target
+}
+
+// OnDequeue feeds one dequeue observation (the sojourn time of the item
+// just popped) into the controller and reports whether the caller should
+// shed one queued item now.
+func (c *CoDel) OnDequeue(now time.Time, sojourn time.Duration) bool {
+	if c.Target <= 0 {
+		return false
+	}
+	if sojourn < c.Target {
+		// Back under target: leave the dropping state, remember count so a
+		// quickly returning overload resumes near its old shed rate.
+		c.firstAbove = time.Time{}
+		if c.dropping {
+			c.dropping = false
+			c.lastCount = c.count
+		}
+		return false
+	}
+	if c.firstAbove.IsZero() {
+		// First observation above target: arm the interval timer.
+		c.firstAbove = now.Add(c.interval())
+		return false
+	}
+	if now.Before(c.firstAbove) {
+		return false
+	}
+	if !c.dropping {
+		c.dropping = true
+		// Resume the control law near the previous episode's rate if it
+		// ended recently enough to still be the same overload.
+		if c.lastCount > 2 {
+			c.count = c.lastCount - 2
+		} else {
+			c.count = 1
+		}
+		c.dropNext = now
+	}
+	if now.Before(c.dropNext) {
+		return false
+	}
+	c.count++
+	c.dropNext = now.Add(time.Duration(float64(c.interval()) / math.Sqrt(float64(c.count))))
+	return true
+}
+
+// Dropping reports whether the controller is in its shedding state.
+func (c *CoDel) Dropping() bool { return c.dropping }

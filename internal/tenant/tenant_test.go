@@ -1,0 +1,229 @@
+package tenant
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// fakeClock is an injectable time source.
+type fakeClock struct{ t time.Time }
+
+func newFakeClock() *fakeClock { return &fakeClock{t: time.Unix(1700000000, 0)} }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func TestTokenBucketThrottlesAndRefills(t *testing.T) {
+	clk := newFakeClock()
+	r := NewRegistry(Limits{Rate: 2, Burst: 2})
+	r.SetClock(clk.now)
+	ten := r.Get("alice")
+
+	if err := ten.Admit(); err != nil {
+		t.Fatalf("first admit: %v", err)
+	}
+	if err := ten.Admit(); err != nil {
+		t.Fatalf("second admit (burst): %v", err)
+	}
+	err := ten.Admit()
+	if !errors.Is(err, ErrThrottled) {
+		t.Fatalf("third admit: want ErrThrottled, got %v", err)
+	}
+	var te *ThrottledError
+	if !errors.As(err, &te) || te.RetryAfter <= 0 {
+		t.Fatalf("want ThrottledError with positive RetryAfter, got %#v", err)
+	}
+	// At 2 req/s one token takes 500ms.
+	if te.RetryAfter > 600*time.Millisecond {
+		t.Fatalf("RetryAfter = %v, want <= ~500ms", te.RetryAfter)
+	}
+	clk.advance(500 * time.Millisecond)
+	if err := ten.Admit(); err != nil {
+		t.Fatalf("admit after refill: %v", err)
+	}
+}
+
+func TestRateZeroIsUnlimited(t *testing.T) {
+	r := NewRegistry(Limits{})
+	ten := r.Get("anyone")
+	for i := 0; i < 1000; i++ {
+		if err := ten.Admit(); err != nil {
+			t.Fatalf("admit %d: %v", i, err)
+		}
+	}
+}
+
+func TestJobAndByteQuotas(t *testing.T) {
+	r := NewRegistry(Limits{MaxJobs: 2, MaxBytes: 100})
+	ten := r.Get("bob")
+	if err := ten.AcquireJob(60); err != nil {
+		t.Fatalf("job 1: %v", err)
+	}
+	if err := ten.AcquireJob(40); err != nil {
+		t.Fatalf("job 2: %v", err)
+	}
+	if err := ten.AcquireJob(1); !errors.Is(err, ErrJobQuota) {
+		t.Fatalf("job 3: want ErrJobQuota, got %v", err)
+	}
+	ten.ReleaseJob(40)
+	// Slot free but bytes would exceed: 60 + 50 > 100.
+	if err := ten.AcquireJob(50); !errors.Is(err, ErrByteQuota) {
+		t.Fatalf("want ErrByteQuota, got %v", err)
+	}
+	// Failed acquire must not leak a slot or bytes.
+	if err := ten.AcquireJob(10); err != nil {
+		t.Fatalf("job after failed acquire: %v", err)
+	}
+	u := ten.Usage()
+	if u.Jobs != 2 || u.Bytes != 70 {
+		t.Fatalf("usage = %+v, want jobs=2 bytes=70", u)
+	}
+}
+
+func TestStreamQuota(t *testing.T) {
+	r := NewRegistry(Limits{MaxStreams: 1})
+	ten := r.Get("carol")
+	if err := ten.AcquireStream(); err != nil {
+		t.Fatalf("stream 1: %v", err)
+	}
+	if err := ten.AcquireStream(); !errors.Is(err, ErrStreamQuota) {
+		t.Fatalf("stream 2: want ErrStreamQuota, got %v", err)
+	}
+	ten.ReleaseStream()
+	if err := ten.AcquireStream(); err != nil {
+		t.Fatalf("stream after release: %v", err)
+	}
+}
+
+func TestReserveBytesIncremental(t *testing.T) {
+	r := NewRegistry(Limits{MaxBytes: 10})
+	ten := r.Get("dave")
+	if err := ten.ReserveBytes(6); err != nil {
+		t.Fatalf("reserve 6: %v", err)
+	}
+	if err := ten.ReserveBytes(5); !errors.Is(err, ErrByteQuota) {
+		t.Fatalf("reserve 5: want ErrByteQuota, got %v", err)
+	}
+	ten.ReleaseBytes(3)
+	if err := ten.ReserveBytes(5); err != nil {
+		t.Fatalf("reserve after release: %v", err)
+	}
+}
+
+func TestRegistryDefaultAndCanonical(t *testing.T) {
+	r := NewRegistry(Limits{Weight: 3})
+	if got := r.Get("").Name(); got != DefaultName {
+		t.Fatalf("empty name -> %q, want %q", got, DefaultName)
+	}
+	if got := r.Get("  spacey  ").Name(); got != "spacey" {
+		t.Fatalf("trimmed name -> %q", got)
+	}
+	long := make([]byte, 2*MaxName)
+	for i := range long {
+		long[i] = 'x'
+	}
+	if got := r.Get(string(long)).Name(); len(got) != MaxName {
+		t.Fatalf("long name len = %d, want %d", len(got), MaxName)
+	}
+	if w := r.Get("fresh").Weight(); w != 3 {
+		t.Fatalf("default weight = %d, want 3", w)
+	}
+}
+
+func TestRegistryOverflowCap(t *testing.T) {
+	r := NewRegistry(Limits{})
+	r.max = 4
+	for i := 0; i < 4; i++ {
+		r.Get(fmt.Sprintf("t%d", i))
+	}
+	over := r.Get("one-too-many")
+	if over.Name() != OverflowName {
+		t.Fatalf("past-cap tenant = %q, want %q", over.Name(), OverflowName)
+	}
+	// All past-cap identities share the overflow tenant.
+	if r.Get("another") != over {
+		t.Fatal("overflow identities must share one tenant")
+	}
+	// An already-tracked tenant is still itself.
+	if r.Get("t0").Name() != "t0" {
+		t.Fatal("pre-cap tenant lost")
+	}
+}
+
+func TestSetAndApplyLiveTuning(t *testing.T) {
+	r := NewRegistry(Limits{MaxJobs: 4})
+	var hooked []string
+	r.OnChange(func(name string, lim Limits) {
+		hooked = append(hooked, fmt.Sprintf("%s:%d", name, lim.MaxJobs))
+	})
+	ten := r.Get("erin")
+	for i := 0; i < 4; i++ {
+		if err := ten.AcquireJob(0); err != nil {
+			t.Fatalf("job %d: %v", i, err)
+		}
+	}
+	r.Set("erin", Limits{MaxJobs: 2})
+	if err := ten.AcquireJob(0); !errors.Is(err, ErrJobQuota) {
+		t.Fatalf("shrunk quota must bind immediately, got %v", err)
+	}
+	r.Apply("erin", Limits{MaxJobs: 8})
+	if err := ten.AcquireJob(0); err != nil {
+		t.Fatalf("grown quota: %v", err)
+	}
+	if len(hooked) != 1 || hooked[0] != "erin:2" {
+		t.Fatalf("OnChange calls = %v, want exactly [erin:2] (Apply must not fire)", hooked)
+	}
+}
+
+func TestUsageSaturation(t *testing.T) {
+	r := NewRegistry(Limits{MaxJobs: 4, MaxStreams: 2})
+	ten := r.Get("frank")
+	_ = ten.AcquireJob(0)
+	_ = ten.AcquireStream()
+	_ = ten.AcquireStream()
+	u := ten.Usage()
+	if u.Saturation != 1 {
+		t.Fatalf("saturation = %v, want 1 (streams full)", u.Saturation)
+	}
+	ten.ReleaseStream()
+	ten.ReleaseStream()
+	u = ten.Usage()
+	if u.Saturation != 0.25 {
+		t.Fatalf("saturation = %v, want 0.25 (1/4 jobs)", u.Saturation)
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	m, err := ParseSpec("alice:weight=4,rate=50,jobs=16; bob:rate=5,burst=10,bytes=1024,streams=2")
+	if err != nil {
+		t.Fatalf("ParseSpec: %v", err)
+	}
+	a := m["alice"]
+	if a.Weight != 4 || a.Rate != 50 || a.MaxJobs != 16 {
+		t.Fatalf("alice = %+v", a)
+	}
+	b := m["bob"]
+	if b.Rate != 5 || b.Burst != 10 || b.MaxBytes != 1024 || b.MaxStreams != 2 {
+		t.Fatalf("bob = %+v", b)
+	}
+	for _, bad := range []string{"noclause", "x:rate", "x:rate=abc", "x:bogus=1"} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Fatalf("ParseSpec(%q): want error", bad)
+		}
+	}
+	if m, err := ParseSpec(""); err != nil || len(m) != 0 {
+		t.Fatalf("empty spec: %v %v", m, err)
+	}
+}
+
+func TestSnapshotSorted(t *testing.T) {
+	r := NewRegistry(Limits{})
+	r.Get("zeta")
+	r.Get("alpha")
+	snap := r.Snapshot()
+	if len(snap) != 2 || snap[0].Name != "alpha" || snap[1].Name != "zeta" {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+}
